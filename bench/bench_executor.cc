@@ -1,0 +1,129 @@
+// Executor microbenchmarks (paper §5: "our current implementation
+// dispatches approximately 2,000,000 null operations per second"). These
+// run the real executor, not the simulator.
+
+#include <benchmark/benchmark.h>
+
+#include "graph/ops.h"
+#include "runtime/session.h"
+
+namespace tfrepro {
+namespace {
+
+// Dispatch rate for a wide graph of NoOps hanging off one root.
+void BM_NullOpDispatch(benchmark::State& state) {
+  const int num_ops = static_cast<int>(state.range(0));
+  Graph g;
+  GraphBuilder b(&g);
+  Node* root = b.Op("NoOp").Name("root").FinalizeNode();
+  std::vector<Output> all;
+  for (int i = 0; i < num_ops; ++i) {
+    Node* n = b.Op("NoOp").ControlInput(root).FinalizeNode();
+    all.emplace_back(n, 0);
+  }
+  Node* sink = ops::Group(&b, all, "sink");
+  TF_CHECK_OK(b.status());
+  SessionOptions options;
+  options.num_threads = 2;
+  // CSE would legally merge the identical NoOps into one; keep them apart
+  // so the dispatch rate is measured over the full fan-out.
+  options.optimizer.do_cse = false;
+  auto session = DirectSession::Create(g, options);
+  TF_CHECK_OK(session.status());
+  // Warm the executor cache.
+  TF_CHECK_OK(session.value()->Run({}, {}, {sink->name()}, nullptr));
+  for (auto _ : state) {
+    TF_CHECK_OK(session.value()->Run({}, {}, {sink->name()}, nullptr));
+  }
+  state.SetItemsProcessed(state.iterations() * (num_ops + 2));
+  state.counters["null_ops_per_sec"] = benchmark::Counter(
+      static_cast<double>(state.iterations() * (num_ops + 2)),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_NullOpDispatch)->Arg(100)->Arg(1000)->Arg(10000);
+
+// A deep chain exercises the inline tail-call path.
+void BM_NullOpChain(benchmark::State& state) {
+  const int depth = static_cast<int>(state.range(0));
+  Graph g;
+  GraphBuilder b(&g);
+  Output v = ops::Const(&b, 0.0f);
+  for (int i = 0; i < depth; ++i) {
+    v = ops::Identity(&b, v);
+  }
+  TF_CHECK_OK(b.status());
+  SessionOptions options;
+  options.num_threads = 2;
+  options.optimizer.do_cse = false;
+  options.optimizer.do_constant_folding = false;
+  auto session = DirectSession::Create(g, options);
+  std::vector<Tensor> out;
+  TF_CHECK_OK(session.value()->Run({v.name()}, &out));
+  for (auto _ : state) {
+    TF_CHECK_OK(session.value()->Run({v.name()}, &out));
+  }
+  state.SetItemsProcessed(state.iterations() * depth);
+}
+BENCHMARK(BM_NullOpChain)->Arg(100)->Arg(1000);
+
+// Minimal end-to-end step latency (one Const fetch) — the per-step session
+// overhead when the executor is cached.
+void BM_CachedStepOverhead(benchmark::State& state) {
+  Graph g;
+  GraphBuilder b(&g);
+  Output c = ops::Const(&b, 1.0f);
+  TF_CHECK_OK(b.status());
+  auto session = DirectSession::Create(g);
+  std::vector<Tensor> out;
+  TF_CHECK_OK(session.value()->Run({c.name()}, &out));
+  for (auto _ : state) {
+    TF_CHECK_OK(session.value()->Run({c.name()}, &out));
+  }
+}
+BENCHMARK(BM_CachedStepOverhead);
+
+// Ablation (DESIGN.md §5.6): cost of compiling a step signature from
+// scratch — prune + place + optimize + partition + executor build —
+// vs reusing the cache.
+void BM_UncachedStepCompilation(benchmark::State& state) {
+  Graph g;
+  GraphBuilder b(&g);
+  Output v = ops::Const(&b, 1.0f);
+  for (int i = 0; i < 64; ++i) {
+    v = ops::Add(&b, v, ops::Const(&b, static_cast<float>(i)));
+  }
+  TF_CHECK_OK(b.status());
+  for (auto _ : state) {
+    // A fresh session per iteration forces recompilation.
+    state.PauseTiming();
+    auto session = DirectSession::Create(g);
+    state.ResumeTiming();
+    std::vector<Tensor> out;
+    TF_CHECK_OK(session.value()->Run({v.name()}, &out));
+  }
+}
+BENCHMARK(BM_UncachedStepCompilation);
+
+// Feed/fetch round trip.
+void BM_FeedFetch(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  Graph g;
+  GraphBuilder b(&g);
+  Output x = ops::Placeholder(&b, DataType::kFloat, TensorShape({n}), "x");
+  Output y = ops::Identity(&b, x);
+  TF_CHECK_OK(b.status());
+  auto session = DirectSession::Create(g);
+  Tensor input(DataType::kFloat, TensorShape({n}));
+  std::vector<Tensor> out;
+  TF_CHECK_OK(session.value()->Run({{"x", input}}, {y.name()}, {}, &out));
+  for (auto _ : state) {
+    TF_CHECK_OK(session.value()->Run({{"x", input}}, {y.name()}, {}, &out));
+  }
+  state.SetBytesProcessed(state.iterations() * n * 4);
+}
+BENCHMARK(BM_FeedFetch)->Arg(16)->Arg(16384);
+
+}  // namespace
+}  // namespace tfrepro
+
+BENCHMARK_MAIN();

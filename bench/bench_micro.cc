@@ -1,0 +1,206 @@
+// Micro benchmarks of the real runtime: kernels, rendezvous, queues,
+// variable updates, and the DESIGN.md ablations (sparse gather vs full
+// fetch; fused vs composed optimizer update).
+
+#include <benchmark/benchmark.h>
+
+#include "core/random.h"
+#include "graph/ops.h"
+#include "kernels/queue.h"
+#include "runtime/rendezvous.h"
+#include "runtime/session.h"
+#include "train/optimizer.h"
+
+namespace tfrepro {
+namespace {
+
+void BM_MatMul(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  Graph g;
+  GraphBuilder b(&g);
+  Tensor a(DataType::kFloat, TensorShape({n, n}));
+  Tensor c(DataType::kFloat, TensorShape({n, n}));
+  PhiloxRandom rng(1);
+  for (int64_t i = 0; i < n * n; ++i) {
+    a.flat<float>(i) = rng.Uniform();
+    c.flat<float>(i) = rng.Uniform();
+  }
+  Output p = ops::MatMul(&b, ops::Const(&b, a), ops::Const(&b, c));
+  TF_CHECK_OK(b.status());
+  SessionOptions options;
+  options.optimizer.do_constant_folding = false;  // keep the matmul live
+  auto session = DirectSession::Create(g, options);
+  std::vector<Tensor> out;
+  for (auto _ : state) {
+    TF_CHECK_OK(session.value()->Run({p.name()}, &out));
+  }
+  state.counters["gflops"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * 2 * n * n * n * 1e-9,
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_MatMul)->Arg(64)->Arg(256);
+
+void BM_RendezvousSendRecv(benchmark::State& state) {
+  LocalRendezvous rendezvous;
+  Tensor value = Tensor::Scalar(1.0f);
+  int64_t i = 0;
+  for (auto _ : state) {
+    std::string key = "k" + std::to_string(i++);
+    TF_CHECK_OK(rendezvous.Send(key, value, false));
+    Tensor received;
+    bool is_dead;
+    TF_CHECK_OK(rendezvous.Recv(key, &received, &is_dead));
+  }
+}
+BENCHMARK(BM_RendezvousSendRecv);
+
+void BM_QueueEnqueueDequeue(benchmark::State& state) {
+  QueueResource queue({DataType::kFloat}, /*capacity=*/-1,
+                      /*min_after_dequeue=*/0, /*seed=*/1, /*shuffle=*/false);
+  QueueResource::Tuple tuple = {Tensor::Scalar(1.0f)};
+  for (auto _ : state) {
+    queue.TryEnqueue(tuple, nullptr, [](const Status&) {});
+    queue.TryDequeue(1, false, nullptr,
+                     [](const Status&, const QueueResource::Tuple&) {});
+  }
+}
+BENCHMARK(BM_QueueEnqueueDequeue);
+
+void BM_VariableAssignAdd(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  Graph g;
+  GraphBuilder b(&g);
+  Output v = ops::Variable(&b, DataType::kFloat, TensorShape({n}), "v");
+  Output init = ops::Assign(&b, v, ops::Fill(&b, ops::ConstVecI32(&b, {(int32_t)n}),
+                                             ops::Const(&b, 0.0f)));
+  Output bump = ops::AssignAdd(
+      &b, v,
+      ops::Fill(&b, ops::ConstVecI32(&b, {(int32_t)n}), ops::Const(&b, 1.0f)));
+  TF_CHECK_OK(b.status());
+  auto session = DirectSession::Create(g);
+  TF_CHECK_OK(session.value()->Run({}, {}, {init.node->name()}, nullptr));
+  for (auto _ : state) {
+    TF_CHECK_OK(session.value()->Run({}, {}, {bump.node->name()}, nullptr));
+  }
+  state.SetBytesProcessed(state.iterations() * n * 4);
+}
+BENCHMARK(BM_VariableAssignAdd)->Arg(1024)->Arg(262144);
+
+// Ablation (DESIGN.md §5.2 / Figure 6's dense-vs-sparse distinction):
+// reading 32 rows via Gather vs fetching the whole table.
+void BM_SparseGatherVsDenseFetch(benchmark::State& state) {
+  const bool sparse = state.range(0) != 0;
+  const int64_t rows = 16384;
+  const int64_t dim = 256;
+  Graph g;
+  GraphBuilder b(&g);
+  Output table = ops::Variable(&b, DataType::kFloat, TensorShape({rows, dim}),
+                               "table");
+  Output init = ops::Assign(
+      &b, table,
+      ops::Fill(&b,
+                ops::ConstVecI32(&b, {(int32_t)rows, (int32_t)dim}),
+                ops::Const(&b, 0.5f)));
+  std::vector<int32_t> idx;
+  for (int i = 0; i < 32; ++i) idx.push_back((i * 509) % rows);
+  Output fetched =
+      sparse ? ops::Gather(&b, table, ops::ConstVecI32(&b, idx))
+             : ops::Identity(&b, table);
+  Output sum = ops::SumAll(&b, fetched);
+  TF_CHECK_OK(b.status());
+  auto session = DirectSession::Create(g);
+  TF_CHECK_OK(session.value()->Run({}, {}, {init.node->name()}, nullptr));
+  std::vector<Tensor> out;
+  for (auto _ : state) {
+    TF_CHECK_OK(session.value()->Run({sum.name()}, &out));
+  }
+  state.SetLabel(sparse ? "sparse_32_rows" : "dense_full_table");
+}
+BENCHMARK(BM_SparseGatherVsDenseFetch)->Arg(1)->Arg(0);
+
+// Ablation (DESIGN.md / paper §4.1): fused ApplyGradientDescent kernel vs
+// the same update composed from primitive operations.
+void BM_OptimizerFusedVsComposed(benchmark::State& state) {
+  const bool fused = state.range(0) != 0;
+  const int64_t n = 65536;
+  Graph g;
+  GraphBuilder b(&g);
+  Output w = ops::Variable(&b, DataType::kFloat, TensorShape({n}), "w");
+  Output init = ops::Assign(
+      &b, w,
+      ops::Fill(&b, ops::ConstVecI32(&b, {(int32_t)n}), ops::Const(&b, 1.0f)));
+  Output target =
+      ops::Fill(&b, ops::ConstVecI32(&b, {(int32_t)n}), ops::Const(&b, 0.0f));
+  Output loss = ops::SumAll(&b, ops::Square(&b, ops::Sub(&b, w, target)));
+  std::unique_ptr<train::Optimizer> opt;
+  if (fused) {
+    opt = std::make_unique<train::GradientDescentOptimizer>(1e-6f);
+  } else {
+    opt = std::make_unique<train::ComposedGradientDescentOptimizer>(1e-6f);
+  }
+  Result<Node*> train_op = opt->Minimize(&b, loss, {w}, "train");
+  TF_CHECK_OK(train_op.status());
+  TF_CHECK_OK(b.status());
+  auto session = DirectSession::Create(g);
+  TF_CHECK_OK(session.value()->Run({}, {}, {init.node->name()}, nullptr));
+  for (auto _ : state) {
+    TF_CHECK_OK(
+        session.value()->Run({}, {}, {train_op.value()->name()}, nullptr));
+  }
+  state.SetLabel(fused ? "fused_kernel" : "composed_primitives");
+}
+BENCHMARK(BM_OptimizerFusedVsComposed)->Arg(1)->Arg(0);
+
+
+// Ablation (paper §5: the master applies CSE and constant folding): step
+// time on a redundancy-heavy graph with the optimizer passes on vs off.
+void BM_GraphOptimizationAblation(benchmark::State& state) {
+  const bool optimize = state.range(0) != 0;
+  Graph g;
+  GraphBuilder b(&g);
+  Output x = ops::Placeholder(&b, DataType::kFloat, TensorShape({256}), "x");
+  // 32 identical branches plus a constant subexpression per branch.
+  std::vector<Output> branches;
+  for (int i = 0; i < 32; ++i) {
+    Output scale = ops::Mul(&b, ops::Const(&b, 2.0f), ops::Const(&b, 3.0f));
+    branches.push_back(ops::Mul(&b, ops::Square(&b, x), scale));
+  }
+  Output sum = ops::AddN(&b, branches);
+  TF_CHECK_OK(b.status());
+  SessionOptions options;
+  options.optimizer.do_cse = optimize;
+  options.optimizer.do_constant_folding = optimize;
+  auto session = DirectSession::Create(g, options);
+  Tensor input(DataType::kFloat, TensorShape({256}));
+  std::vector<Tensor> out;
+  TF_CHECK_OK(session.value()->Run({{"x", input}}, {sum.name()}, {}, &out));
+  for (auto _ : state) {
+    TF_CHECK_OK(session.value()->Run({{"x", input}}, {sum.name()}, {}, &out));
+  }
+  state.SetLabel(optimize ? "cse_and_folding_on" : "optimizations_off");
+}
+BENCHMARK(BM_GraphOptimizationAblation)->Arg(1)->Arg(0);
+
+void BM_TensorClone(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  Tensor t(DataType::kFloat, TensorShape({n}));
+  for (auto _ : state) {
+    Tensor copy = t.Clone();
+    benchmark::DoNotOptimize(copy);
+  }
+  state.SetBytesProcessed(state.iterations() * n * 4);
+}
+BENCHMARK(BM_TensorClone)->Arg(1024)->Arg(1048576);
+
+void BM_PhiloxGeneration(benchmark::State& state) {
+  PhiloxRandom rng(7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.Uniform());
+  }
+}
+BENCHMARK(BM_PhiloxGeneration);
+
+}  // namespace
+}  // namespace tfrepro
+
+BENCHMARK_MAIN();

@@ -1,0 +1,92 @@
+// Table 1 (paper §6.1): training step times for four convolutional models
+// under Caffe, Neon, Torch and TensorFlow on one Titan X GPU.
+//
+// Substitution (DESIGN.md): no GPU is available, so step times come from
+// the calibrated cost model — per-layer FLOPs at a saturating
+// arithmetic-intensity efficiency plus per-op dispatch overhead. The
+// framework profiles encode the causes §6.1 names (shared cuDNN for
+// TF/Torch, Caffe's slow open-source convolutions, Neon's assembly
+// kernels). Absolute numbers are model outputs; the comparisons — who wins
+// and by what factor — are the reproduced result.
+
+#include <cstdio>
+#include <vector>
+
+#include "nn/model_zoo.h"
+#include "sim/cost_model.h"
+
+namespace tfrepro {
+namespace {
+
+struct PaperRow {
+  const char* library;
+  double alexnet, overfeat, oxfordnet, googlenet;  // milliseconds
+};
+
+constexpr PaperRow kPaper[] = {
+    {"Caffe", 324, 823, 1068, 1935},
+    {"Neon", 87, 211, 320, 270},
+    {"Torch", 81, 268, 529, 470},
+    {"TensorFlow", 81, 279, 540, 445},
+};
+
+int Run() {
+  std::vector<nn::ModelSpec> models = {nn::AlexNet(128), nn::Overfeat(128),
+                                       nn::OxfordNet(64), nn::GoogleNet(128)};
+  std::vector<sim::FrameworkProfile> frameworks = {
+      sim::CaffeProfile(), sim::NeonProfile(), sim::TorchProfile(),
+      sim::TensorFlowProfile()};
+  sim::DeviceProfile device = sim::TitanX();
+
+  std::printf("Table 1: Training step time (ms) for four convolutional "
+              "models, one Titan X GPU\n");
+  std::printf("(model = calibrated cost model; paper = published value)\n\n");
+  std::printf("%-12s", "Library");
+  for (const auto& m : models) std::printf(" %21s", m.name.c_str());
+  std::printf("\n");
+  std::printf("%-12s", "");
+  for (size_t i = 0; i < models.size(); ++i) {
+    std::printf(" %10s %10s", "model", "paper");
+  }
+  std::printf("\n");
+
+  for (size_t f = 0; f < frameworks.size(); ++f) {
+    std::printf("%-12s", frameworks[f].name.c_str());
+    const double paper[4] = {kPaper[f].alexnet, kPaper[f].overfeat,
+                             kPaper[f].oxfordnet, kPaper[f].googlenet};
+    for (size_t m = 0; m < models.size(); ++m) {
+      double ms =
+          1000 * sim::TrainingStepSeconds(models[m], device, frameworks[f]);
+      std::printf(" %8.0fms %8.0fms", ms, paper[m]);
+    }
+    std::printf("\n");
+  }
+
+  std::printf("\nKey relationships to check against the paper:\n");
+  for (size_t m = 0; m < models.size(); ++m) {
+    double tf =
+        sim::TrainingStepSeconds(models[m], device, sim::TensorFlowProfile());
+    double torch =
+        sim::TrainingStepSeconds(models[m], device, sim::TorchProfile());
+    double caffe =
+        sim::TrainingStepSeconds(models[m], device, sim::CaffeProfile());
+    double neon =
+        sim::TrainingStepSeconds(models[m], device, sim::NeonProfile());
+    std::printf(
+        "  %-12s TF/Torch = %.2f (paper ~1.0);  Caffe/TF = %.1fx (paper "
+        "%.1fx);  Neon/TF = %.2f (paper %.2f)\n",
+        models[m].name.c_str(), tf / torch, caffe / tf,
+        kPaper[0].alexnet * 0 +  // silence unused warnings pattern
+            (m == 0 ? 324.0 / 81 : m == 1 ? 823.0 / 279 : m == 2 ? 1068.0 / 540
+                                                                 : 1935.0 / 445),
+        neon / tf,
+        (m == 0 ? 87.0 / 81 : m == 1 ? 211.0 / 279 : m == 2 ? 320.0 / 540
+                                                            : 270.0 / 445));
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace tfrepro
+
+int main() { return tfrepro::Run(); }

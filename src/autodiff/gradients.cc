@@ -1,0 +1,219 @@
+#include "autodiff/gradients.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <deque>
+#include <set>
+
+#include "graph/ops.h"
+
+namespace tfrepro {
+
+GradientRegistry* GradientRegistry::Global() {
+  static GradientRegistry* registry = new GradientRegistry();
+  return registry;
+}
+
+Status GradientRegistry::Register(const std::string& op_name, GradFunc func) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = funcs_.emplace(op_name, std::move(func));
+  (void)it;
+  if (!inserted) {
+    return AlreadyExists("gradient for op '" + op_name +
+                         "' registered twice");
+  }
+  return Status::OK();
+}
+
+const GradFunc* GradientRegistry::Lookup(const std::string& op_name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = funcs_.find(op_name);
+  return it == funcs_.end() ? nullptr : &it->second;
+}
+
+namespace gradient_registration {
+GradientRegistrar::GradientRegistrar(const char* op_name, GradFunc func) {
+  Status s = GradientRegistry::Global()->Register(op_name, std::move(func));
+  if (!s.ok()) {
+    std::fprintf(stderr, "Gradient registration failed: %s\n",
+                 s.ToString().c_str());
+    std::abort();
+  }
+}
+}  // namespace gradient_registration
+
+namespace {
+
+// Sums a list of gradient contributions for one tensor.
+Output SumGrads(GraphBuilder* b, const std::vector<Output>& grads) {
+  if (grads.empty()) return Output();
+  if (grads.size() == 1) return grads[0];
+  return ops::AddN(b, grads);
+}
+
+}  // namespace
+
+Status AddGradients(GraphBuilder* b, const std::vector<Output>& ys,
+                    const std::vector<Output>& xs,
+                    const std::vector<Output>& grad_ys,
+                    std::vector<Output>* grads) {
+  Graph* graph = b->graph();
+
+  // 1. Nodes backward-reachable from ys.
+  std::set<Node*> from_ys;
+  {
+    std::deque<Node*> queue;
+    for (const Output& y : ys) {
+      if (y.node != nullptr && from_ys.insert(y.node).second) {
+        queue.push_back(y.node);
+      }
+    }
+    while (!queue.empty()) {
+      Node* n = queue.front();
+      queue.pop_front();
+      for (const Edge* e : n->in_edges()) {
+        if (e->IsControlEdge()) continue;
+        if (from_ys.insert(e->src).second) queue.push_back(e->src);
+      }
+    }
+  }
+  // 2. Nodes forward-reachable from xs.
+  std::set<Node*> from_xs;
+  {
+    std::deque<Node*> queue;
+    for (const Output& x : xs) {
+      if (x.node != nullptr && from_xs.insert(x.node).second) {
+        queue.push_back(x.node);
+      }
+    }
+    while (!queue.empty()) {
+      Node* n = queue.front();
+      queue.pop_front();
+      for (const Edge* e : n->out_edges()) {
+        if (e->IsControlEdge()) continue;
+        if (from_xs.insert(e->dst).second) queue.push_back(e->dst);
+      }
+    }
+  }
+  // The backprop set: nodes on some xs->ys path.
+  std::set<Node*> active;
+  for (Node* n : from_ys) {
+    if (from_xs.count(n) > 0) active.insert(n);
+  }
+
+  // Seed gradients at ys.
+  std::map<Output, std::vector<Output>> pending_grads;
+  if (!grad_ys.empty() && grad_ys.size() != ys.size()) {
+    return InvalidArgument("grad_ys size must match ys");
+  }
+  for (size_t i = 0; i < ys.size(); ++i) {
+    Output seed =
+        grad_ys.empty() ? ops::OnesLike(b, ys[i]) : grad_ys[i];
+    pending_grads[ys[i]].push_back(seed);
+  }
+
+  // Process active nodes in reverse topological order (back edges through
+  // NextIteration are excluded by TopologicalOrder; loop bodies are not
+  // differentiated — see header).
+  Result<std::vector<Node*>> order = graph->TopologicalOrder();
+  TF_RETURN_IF_ERROR(order.status());
+  std::map<Output, Output> final_grads;
+
+  for (auto it = order.value().rbegin(); it != order.value().rend(); ++it) {
+    Node* node = *it;
+    if (active.count(node) == 0) continue;
+    if (node->IsControlFlow()) {
+      return Unimplemented(
+          "cannot differentiate through control-flow op '" + node->name() +
+          "' (" + node->op() + "); unroll loops statically");
+    }
+
+    // Collect incoming gradients for each output of this node.
+    std::vector<Output> grad_outputs(node->num_outputs());
+    bool any = false;
+    for (int i = 0; i < node->num_outputs(); ++i) {
+      Output out(node, i);
+      auto git = pending_grads.find(out);
+      if (git != pending_grads.end()) {
+        grad_outputs[i] = SumGrads(b, git->second);
+        final_grads[out] = grad_outputs[i];
+        any = true;
+      }
+    }
+    if (!any) continue;  // node feeds ys only through non-differentiable
+                         // paths that produced no gradient
+    // Leaf xs need no backprop through their own op.
+    bool node_is_x_only = true;
+    for (const Edge* e : node->in_edges()) {
+      if (!e->IsControlEdge() && active.count(e->src) > 0) {
+        node_is_x_only = false;
+        break;
+      }
+    }
+    bool is_x = false;
+    for (const Output& x : xs) {
+      if (x.node == node) is_x = true;
+    }
+    if (node_is_x_only && is_x) continue;
+
+    const GradFunc* func = GradientRegistry::Global()->Lookup(node->op());
+    if (func == nullptr) {
+      return Unimplemented("no gradient registered for op '" + node->op() +
+                           "' (node '" + node->name() + "')");
+    }
+    std::vector<Output> grad_inputs(node->num_inputs());
+    TF_RETURN_IF_ERROR((*func)(b, node, grad_outputs, &grad_inputs));
+    TF_RETURN_IF_ERROR(b->status());
+    for (const Edge* e : node->ordered_data_inputs()) {
+      const Output& g = grad_inputs[e->dst_input];
+      if (!g.valid()) continue;
+      if (active.count(e->src) == 0) continue;
+      pending_grads[Output(e->src, e->src_output)].push_back(g);
+    }
+  }
+
+  // Final pass: xs whose pending grads were never consumed by the loop above
+  // (e.g. x is a source node like Variable) still need their sums.
+  grads->clear();
+  grads->reserve(xs.size());
+  for (const Output& x : xs) {
+    auto fit = final_grads.find(x);
+    if (fit != final_grads.end()) {
+      grads->push_back(fit->second);
+      continue;
+    }
+    auto pit = pending_grads.find(x);
+    if (pit != pending_grads.end()) {
+      grads->push_back(SumGrads(b, pit->second));
+    } else {
+      grads->push_back(Output());  // x does not influence ys
+    }
+  }
+  return b->status();
+}
+
+Status ClipByGlobalNorm(GraphBuilder* b, const std::vector<Output>& grads,
+                        float clip_norm, std::vector<Output>* clipped,
+                        Output* global_norm_out) {
+  // global_norm = sqrt(sum_i ||g_i||^2); scale = clip / max(global, clip).
+  std::vector<Output> sq_norms;
+  for (const Output& g : grads) {
+    if (!g.valid()) continue;
+    sq_norms.push_back(ops::Mul(b, ops::L2Loss(b, g), ops::Const(b, 2.0f)));
+  }
+  if (sq_norms.empty()) {
+    *clipped = grads;
+    return b->status();
+  }
+  Output global_norm = ops::Sqrt(b, ops::AddN(b, sq_norms));
+  if (global_norm_out != nullptr) *global_norm_out = global_norm;
+  Output clip = ops::Const(b, clip_norm);
+  Output scale = ops::Div(b, clip, ops::Maximum(b, global_norm, clip));
+  clipped->clear();
+  for (const Output& g : grads) {
+    clipped->push_back(g.valid() ? ops::Mul(b, g, scale) : Output());
+  }
+  return b->status();
+}
+
+}  // namespace tfrepro

@@ -1,0 +1,78 @@
+// Automatic differentiation (paper §4.1): a user-level library that walks
+// backwards from a target (e.g. a loss) to a set of parameters, summing the
+// partial gradients contributed by each path, and emits the backpropagation
+// subgraph using ordinary operations. Nothing here is runtime-privileged —
+// exactly the extensibility argument of §4.
+//
+// Gradients of Gather are expressed densely via UnsortedSegmentSum; the
+// sharded-embedding layer (src/nn/embedding.*) wires the sparse update path
+// (SparseApply*) explicitly, mirroring §4.2.
+//
+// Limitations (documented in DESIGN.md): gradients do not flow through
+// dynamic control flow (Switch/Merge/Enter/Exit); recurrent models are
+// differentiated over statically-unrolled timesteps, which is how the
+// LSTM-512-512 benchmark model is built.
+
+#ifndef TFREPRO_AUTODIFF_GRADIENTS_H_
+#define TFREPRO_AUTODIFF_GRADIENTS_H_
+
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/status.h"
+#include "graph/graph_builder.h"
+
+namespace tfrepro {
+
+// Builds gradient subgraph nodes for one op. `grad_outputs[i]` is dL/d(out
+// i) (invalid Output if that output has no incoming gradient); the function
+// fills `grad_inputs[i]` with dL/d(in i) (invalid Output for
+// non-differentiable inputs such as indices).
+using GradFunc = std::function<Status(GraphBuilder* b, Node* op,
+                                      const std::vector<Output>& grad_outputs,
+                                      std::vector<Output>* grad_inputs)>;
+
+class GradientRegistry {
+ public:
+  static GradientRegistry* Global();
+
+  Status Register(const std::string& op_name, GradFunc func);
+  const GradFunc* Lookup(const std::string& op_name) const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, GradFunc> funcs_;
+};
+
+namespace gradient_registration {
+struct GradientRegistrar {
+  GradientRegistrar(const char* op_name, GradFunc func);
+};
+}  // namespace gradient_registration
+
+#define REGISTER_GRADIENT(op_name, fn)                           \
+  static const ::tfrepro::gradient_registration::GradientRegistrar \
+      REGISTER_OP_CONCAT(gradient_registrar_, __COUNTER__)(op_name, fn)
+
+// Appends gradient nodes to b's graph computing d(sum(ys * grad_ys))/d(xs).
+// If `grad_ys` is empty, ones are used (standard dL/dL = 1 seeding). On
+// success grads->at(i) is the gradient for xs[i]; an invalid Output means
+// xs[i] does not influence ys (callers typically substitute zeros).
+Status AddGradients(GraphBuilder* b, const std::vector<Output>& ys,
+                    const std::vector<Output>& xs,
+                    const std::vector<Output>& grad_ys,
+                    std::vector<Output>* grads);
+
+// Gradient-clipping utility (§4.1: "users have implemented optimizations
+// like gradient clipping"): scales each gradient by
+// min(1, clip_norm / global_norm).
+Status ClipByGlobalNorm(GraphBuilder* b, const std::vector<Output>& grads,
+                        float clip_norm, std::vector<Output>* clipped,
+                        Output* global_norm_out = nullptr);
+
+}  // namespace tfrepro
+
+#endif  // TFREPRO_AUTODIFF_GRADIENTS_H_

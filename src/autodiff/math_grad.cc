@@ -1,0 +1,336 @@
+// Gradient functions for the mathematical operations. Broadcasting binary
+// ops reduce their gradients back to each input's shape via SumToShapeOf.
+
+#include "autodiff/gradients.h"
+#include "graph/ops.h"
+
+namespace tfrepro {
+namespace {
+
+Output In(Node* op, int i) {
+  Result<const Edge*> e = op->input_edge(i);
+  TF_CHECK_OK(e.status());
+  return Output(e.value()->src, e.value()->src_output);
+}
+
+#define GRAD_FN(name)                                                   \
+  Status name(GraphBuilder* b, Node* op,                                \
+              const std::vector<Output>& dy, std::vector<Output>* dx)
+
+GRAD_FN(AddGrad) {
+  (*dx)[0] = ops::SumToShapeOf(b, dy[0], In(op, 0));
+  (*dx)[1] = ops::SumToShapeOf(b, dy[0], In(op, 1));
+  return Status::OK();
+}
+REGISTER_GRADIENT("Add", AddGrad);
+
+GRAD_FN(SubGrad) {
+  (*dx)[0] = ops::SumToShapeOf(b, dy[0], In(op, 0));
+  (*dx)[1] = ops::SumToShapeOf(b, ops::Neg(b, dy[0]), In(op, 1));
+  return Status::OK();
+}
+REGISTER_GRADIENT("Sub", SubGrad);
+
+GRAD_FN(MulGrad) {
+  Output x = In(op, 0);
+  Output y = In(op, 1);
+  (*dx)[0] = ops::SumToShapeOf(b, ops::Mul(b, dy[0], y), x);
+  (*dx)[1] = ops::SumToShapeOf(b, ops::Mul(b, dy[0], x), y);
+  return Status::OK();
+}
+REGISTER_GRADIENT("Mul", MulGrad);
+
+GRAD_FN(DivGrad) {
+  Output x = In(op, 0);
+  Output y = In(op, 1);
+  (*dx)[0] = ops::SumToShapeOf(b, ops::Div(b, dy[0], y), x);
+  // d/dy (x/y) = -x / y^2.
+  Output gy = ops::Neg(b, ops::Div(b, ops::Mul(b, dy[0], x),
+                                   ops::Mul(b, y, y)));
+  (*dx)[1] = ops::SumToShapeOf(b, gy, y);
+  return Status::OK();
+}
+REGISTER_GRADIENT("Div", DivGrad);
+
+GRAD_FN(PowGrad) {
+  Output x = In(op, 0);
+  Output y = In(op, 1);
+  Output z(op, 0);
+  // dz/dx = y * x^(y-1); dz/dy = z * log(x).
+  Output one = ops::OnesLike(b, y);
+  Output gx = ops::Mul(b, dy[0], ops::Mul(b, y, ops::Pow(b, x, ops::Sub(b, y, one))));
+  (*dx)[0] = ops::SumToShapeOf(b, gx, x);
+  Output gy = ops::Mul(b, dy[0], ops::Mul(b, z, ops::Log(b, x)));
+  (*dx)[1] = ops::SumToShapeOf(b, gy, y);
+  return Status::OK();
+}
+REGISTER_GRADIENT("Pow", PowGrad);
+
+GRAD_FN(MaximumGrad) {
+  Output x = In(op, 0);
+  Output y = In(op, 1);
+  Output take_x = ops::GreaterEqual(b, x, y);
+  Output zero = ops::ZerosLike(b, dy[0]);
+  (*dx)[0] = ops::SumToShapeOf(b, ops::Select(b, take_x, dy[0], zero), x);
+  (*dx)[1] = ops::SumToShapeOf(b, ops::Select(b, take_x, zero, dy[0]), y);
+  return Status::OK();
+}
+REGISTER_GRADIENT("Maximum", MaximumGrad);
+
+GRAD_FN(MinimumGrad) {
+  Output x = In(op, 0);
+  Output y = In(op, 1);
+  Output take_x = ops::LessEqual(b, x, y);
+  Output zero = ops::ZerosLike(b, dy[0]);
+  (*dx)[0] = ops::SumToShapeOf(b, ops::Select(b, take_x, dy[0], zero), x);
+  (*dx)[1] = ops::SumToShapeOf(b, ops::Select(b, take_x, zero, dy[0]), y);
+  return Status::OK();
+}
+REGISTER_GRADIENT("Minimum", MinimumGrad);
+
+GRAD_FN(SquaredDifferenceGrad) {
+  Output x = In(op, 0);
+  Output y = In(op, 1);
+  Output two = ops::Const(b, 2.0f);
+  Output g = ops::Mul(b, dy[0], ops::Mul(b, two, ops::Sub(b, x, y)));
+  (*dx)[0] = ops::SumToShapeOf(b, g, x);
+  (*dx)[1] = ops::SumToShapeOf(b, ops::Neg(b, g), y);
+  return Status::OK();
+}
+REGISTER_GRADIENT("SquaredDifference", SquaredDifferenceGrad);
+
+GRAD_FN(NegGrad) {
+  (*dx)[0] = ops::Neg(b, dy[0]);
+  return Status::OK();
+}
+REGISTER_GRADIENT("Neg", NegGrad);
+
+GRAD_FN(ExpGrad) {
+  (*dx)[0] = ops::Mul(b, dy[0], Output(op, 0));
+  return Status::OK();
+}
+REGISTER_GRADIENT("Exp", ExpGrad);
+
+GRAD_FN(LogGrad) {
+  (*dx)[0] = ops::Div(b, dy[0], In(op, 0));
+  return Status::OK();
+}
+REGISTER_GRADIENT("Log", LogGrad);
+
+GRAD_FN(SqrtGrad) {
+  // d sqrt(x) = dy / (2 * sqrt(x)).
+  Output two = ops::Const(b, 2.0f);
+  (*dx)[0] = ops::Div(b, dy[0], ops::Mul(b, two, Output(op, 0)));
+  return Status::OK();
+}
+REGISTER_GRADIENT("Sqrt", SqrtGrad);
+
+GRAD_FN(RsqrtGrad) {
+  // d x^-1/2 = -1/2 x^-3/2 dy = -0.5 * y^3 * dy.
+  Output y(op, 0);
+  Output y3 = ops::Mul(b, y, ops::Mul(b, y, y));
+  (*dx)[0] = ops::Mul(b, ops::Const(b, -0.5f), ops::Mul(b, y3, dy[0]));
+  return Status::OK();
+}
+REGISTER_GRADIENT("Rsqrt", RsqrtGrad);
+
+GRAD_FN(SquareGrad) {
+  Output two = ops::Const(b, 2.0f);
+  (*dx)[0] = ops::Mul(b, dy[0], ops::Mul(b, two, In(op, 0)));
+  return Status::OK();
+}
+REGISTER_GRADIENT("Square", SquareGrad);
+
+GRAD_FN(AbsGrad) {
+  (*dx)[0] = ops::Mul(b, dy[0], ops::Sign(b, In(op, 0)));
+  return Status::OK();
+}
+REGISTER_GRADIENT("Abs", AbsGrad);
+
+GRAD_FN(TanhGradFn) {
+  (*dx)[0] = b->Op("TanhGrad")
+                 .Input(Output(op, 0))
+                 .Input(dy[0])
+                 .Attr("T", BaseType(dy[0].dtype()))
+                 .Finalize();
+  return Status::OK();
+}
+REGISTER_GRADIENT("Tanh", TanhGradFn);
+
+GRAD_FN(SigmoidGradFn) {
+  (*dx)[0] = b->Op("SigmoidGrad")
+                 .Input(Output(op, 0))
+                 .Input(dy[0])
+                 .Attr("T", BaseType(dy[0].dtype()))
+                 .Finalize();
+  return Status::OK();
+}
+REGISTER_GRADIENT("Sigmoid", SigmoidGradFn);
+
+GRAD_FN(ReluGradFn) {
+  (*dx)[0] = b->Op("ReluGrad")
+                 .Input(dy[0])
+                 .Input(In(op, 0))
+                 .Attr("T", BaseType(dy[0].dtype()))
+                 .Finalize();
+  return Status::OK();
+}
+REGISTER_GRADIENT("Relu", ReluGradFn);
+
+GRAD_FN(IdentityGrad) {
+  (*dx)[0] = dy[0];
+  return Status::OK();
+}
+REGISTER_GRADIENT("Identity", IdentityGrad);
+
+GRAD_FN(StopGradientGrad) {
+  (*dx)[0] = Output();  // blocks the flow, by design
+  return Status::OK();
+}
+REGISTER_GRADIENT("StopGradient", StopGradientGrad);
+
+GRAD_FN(AddNGrad) {
+  for (int i = 0; i < op->num_inputs(); ++i) {
+    (*dx)[i] = dy[0];
+  }
+  return Status::OK();
+}
+REGISTER_GRADIENT("AddN", AddNGrad);
+
+GRAD_FN(MatMulGrad) {
+  bool ta = op->GetAttr("transpose_a").b();
+  bool tb = op->GetAttr("transpose_b").b();
+  Output a = In(op, 0);
+  Output bb = In(op, 1);
+  Output g = dy[0];
+  if (!ta && !tb) {
+    (*dx)[0] = ops::MatMul(b, g, bb, false, true);
+    (*dx)[1] = ops::MatMul(b, a, g, true, false);
+  } else if (!ta && tb) {
+    (*dx)[0] = ops::MatMul(b, g, bb, false, false);
+    (*dx)[1] = ops::MatMul(b, g, a, true, false);
+  } else if (ta && !tb) {
+    (*dx)[0] = ops::MatMul(b, bb, g, false, true);
+    (*dx)[1] = ops::MatMul(b, a, g, false, false);
+  } else {
+    (*dx)[0] = ops::MatMul(b, bb, g, true, true);
+    (*dx)[1] = ops::MatMul(b, g, a, true, true);
+  }
+  return Status::OK();
+}
+REGISTER_GRADIENT("MatMul", MatMulGrad);
+
+GRAD_FN(BiasAddGrad) {
+  (*dx)[0] = dy[0];
+  (*dx)[1] = b->Op("BiasAddGrad")
+                 .Input(dy[0])
+                 .Attr("T", BaseType(dy[0].dtype()))
+                 .Finalize();
+  return Status::OK();
+}
+REGISTER_GRADIENT("BiasAdd", BiasAddGrad);
+
+GRAD_FN(L2LossGrad) {
+  // d(sum(x^2)/2) = x * dy.
+  (*dx)[0] = ops::Mul(b, In(op, 0), dy[0]);
+  return Status::OK();
+}
+REGISTER_GRADIENT("L2Loss", L2LossGrad);
+
+// --- Reductions ---
+
+// Computes the kept-dims shape of a reduction dynamically:
+// reduced_shape[i] = 1 for reduced axes else input_shape[i].
+Output ReducedShape(GraphBuilder* b, Output input, Output axes) {
+  Output input_shape = ops::Shape(b, input);
+  Output rank = ops::Size(b, input_shape);
+  Output all = ops::Range(b, ops::Const(b, int32_t{0}), rank,
+                          ops::Const(b, int32_t{1}));
+  Output ones = ops::OnesLike(b, axes);
+  // DynamicStitch([all, axes], [input_shape, ones]): axes entries override.
+  return ops::DynamicStitch(b, {all, axes}, {input_shape, ones});
+}
+
+GRAD_FN(SumGrad) {
+  Output input = In(op, 0);
+  Output axes = In(op, 1);
+  Output reduced = ReducedShape(b, input, axes);
+  Output g = ops::Reshape(b, dy[0], reduced);
+  Output mult = ops::Div(b, ops::Shape(b, input), reduced);
+  (*dx)[0] = ops::Tile(b, g, mult);
+  (*dx)[1] = Output();
+  return Status::OK();
+}
+REGISTER_GRADIENT("Sum", SumGrad);
+
+GRAD_FN(MeanGrad) {
+  Output input = In(op, 0);
+  Output axes = In(op, 1);
+  Output reduced = ReducedShape(b, input, axes);
+  Output g = ops::Reshape(b, dy[0], reduced);
+  Output mult = ops::Div(b, ops::Shape(b, input), reduced);
+  Output tiled = ops::Tile(b, g, mult);
+  // Divide by the number of reduced elements.
+  Output count = ops::Cast(
+      b, ops::Div(b, ops::Size(b, input), ops::Size(b, Output(op, 0))),
+      BaseType(input.dtype()));
+  (*dx)[0] = ops::Div(b, tiled, count);
+  (*dx)[1] = Output();
+  return Status::OK();
+}
+REGISTER_GRADIENT("Mean", MeanGrad);
+
+GRAD_FN(MaxMinReduceGrad) {
+  // Gradient flows to elements equal to the max/min.
+  Output input = In(op, 0);
+  Output axes = In(op, 1);
+  Output reduced = ReducedShape(b, input, axes);
+  Output y = ops::Reshape(b, Output(op, 0), reduced);
+  Output g = ops::Reshape(b, dy[0], reduced);
+  Output mult = ops::Div(b, ops::Shape(b, input), reduced);
+  Output y_full = ops::Tile(b, y, mult);
+  Output g_full = ops::Tile(b, g, mult);
+  Output mask = ops::Equal(b, input, y_full);
+  (*dx)[0] = ops::Select(b, mask, g_full, ops::ZerosLike(b, input));
+  (*dx)[1] = Output();
+  return Status::OK();
+}
+REGISTER_GRADIENT("Max", MaxMinReduceGrad);
+REGISTER_GRADIENT("Min", MaxMinReduceGrad);
+
+GRAD_FN(SelectGrad) {
+  Output cond = In(op, 0);
+  Output zero = ops::ZerosLike(b, dy[0]);
+  (*dx)[0] = Output();
+  (*dx)[1] = ops::Select(b, cond, dy[0], zero);
+  (*dx)[2] = ops::Select(b, cond, zero, dy[0]);
+  return Status::OK();
+}
+REGISTER_GRADIENT("Select", SelectGrad);
+
+GRAD_FN(CastGrad) {
+  (*dx)[0] = ops::Cast(b, dy[0], BaseType(In(op, 0).dtype()));
+  return Status::OK();
+}
+REGISTER_GRADIENT("Cast", CastGrad);
+
+GRAD_FN(FillGrad) {
+  (*dx)[0] = Output();  // dims
+  (*dx)[1] = ops::SumAll(b, dy[0]);
+  return Status::OK();
+}
+REGISTER_GRADIENT("Fill", FillGrad);
+
+GRAD_FN(SumToShapeOfGrad) {
+  // Forward op summed grad->target shape; its gradient broadcasts back.
+  // d/d(grad) = broadcast of dy to grad's shape = dy * ones_like(grad).
+  (*dx)[0] = ops::Mul(b, dy[0], ops::OnesLike(b, In(op, 0)));
+  (*dx)[1] = Output();
+  return Status::OK();
+}
+REGISTER_GRADIENT("SumToShapeOf", SumToShapeOfGrad);
+
+#undef GRAD_FN
+
+}  // namespace
+}  // namespace tfrepro

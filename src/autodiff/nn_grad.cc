@@ -1,0 +1,110 @@
+// Gradients for neural-network operations.
+
+#include "autodiff/gradients.h"
+#include "graph/ops.h"
+
+namespace tfrepro {
+namespace {
+
+Output In(Node* op, int i) {
+  Result<const Edge*> e = op->input_edge(i);
+  TF_CHECK_OK(e.status());
+  return Output(e.value()->src, e.value()->src_output);
+}
+
+#define GRAD_FN(name)                                                   \
+  Status name(GraphBuilder* b, Node* op,                                \
+              const std::vector<Output>& dy, std::vector<Output>* dx)
+
+GRAD_FN(Conv2DGrad) {
+  Output input = In(op, 0);
+  Output filter = In(op, 1);
+  const AttrValue& strides = op->GetAttr("strides");
+  const AttrValue& padding = op->GetAttr("padding");
+  (*dx)[0] = b->Op("Conv2DBackpropInput")
+                 .Input(ops::Shape(b, input))
+                 .Input(filter)
+                 .Input(dy[0])
+                 .Attr("T", BaseType(dy[0].dtype()))
+                 .Attr("strides", strides)
+                 .Attr("padding", padding)
+                 .Finalize();
+  (*dx)[1] = b->Op("Conv2DBackpropFilter")
+                 .Input(input)
+                 .Input(ops::Shape(b, filter))
+                 .Input(dy[0])
+                 .Attr("T", BaseType(dy[0].dtype()))
+                 .Attr("strides", strides)
+                 .Attr("padding", padding)
+                 .Finalize();
+  return Status::OK();
+}
+REGISTER_GRADIENT("Conv2D", Conv2DGrad);
+
+GRAD_FN(MaxPoolGradFn) {
+  (*dx)[0] = b->Op("MaxPoolGrad")
+                 .Input(In(op, 0))
+                 .Input(Output(op, 0))
+                 .Input(dy[0])
+                 .Attr("T", BaseType(dy[0].dtype()))
+                 .Attr("ksize", op->GetAttr("ksize"))
+                 .Attr("strides", op->GetAttr("strides"))
+                 .Attr("padding", op->GetAttr("padding"))
+                 .Finalize();
+  return Status::OK();
+}
+REGISTER_GRADIENT("MaxPool", MaxPoolGradFn);
+
+GRAD_FN(AvgPoolGradFn) {
+  (*dx)[0] = b->Op("AvgPoolGrad")
+                 .Input(ops::Shape(b, In(op, 0)))
+                 .Input(dy[0])
+                 .Attr("T", BaseType(dy[0].dtype()))
+                 .Attr("ksize", op->GetAttr("ksize"))
+                 .Attr("strides", op->GetAttr("strides"))
+                 .Attr("padding", op->GetAttr("padding"))
+                 .Finalize();
+  return Status::OK();
+}
+REGISTER_GRADIENT("AvgPool", AvgPoolGradFn);
+
+GRAD_FN(SoftmaxGrad) {
+  // dL/dx = (dy - sum(dy * y, axis=1, keep_dims)) * y.
+  Output y(op, 0);
+  Output prod = ops::Mul(b, dy[0], y);
+  Output sum = ops::Sum(b, prod, ops::ConstVecI32(b, {1}), /*keep_dims=*/true);
+  (*dx)[0] = ops::Mul(b, ops::Sub(b, dy[0], sum), y);
+  return Status::OK();
+}
+REGISTER_GRADIENT("Softmax", SoftmaxGrad);
+
+GRAD_FN(LogSoftmaxGrad) {
+  // dL/dx = dy - softmax(x) * sum(dy, axis=1, keep_dims).
+  Output y(op, 0);  // log softmax
+  Output softmax = ops::Exp(b, y);
+  Output sum = ops::Sum(b, dy[0], ops::ConstVecI32(b, {1}), /*keep_dims=*/true);
+  (*dx)[0] = ops::Sub(b, dy[0], ops::Mul(b, softmax, sum));
+  return Status::OK();
+}
+REGISTER_GRADIENT("LogSoftmax", LogSoftmaxGrad);
+
+GRAD_FN(SoftmaxXentGrad) {
+  // The fused kernel already produced the backprop in output 1; scale it by
+  // the per-example loss gradient.
+  if (dy[1].valid()) {
+    return Unimplemented(
+        "gradient through the backprop output of "
+        "SoftmaxCrossEntropyWithLogits is not supported");
+  }
+  Output scale = ops::ExpandDims(b, dy[0], 1);
+  (*dx)[0] = ops::Mul(b, scale, Output(op, 1));
+  (*dx)[1] = Output();  // labels: no gradient
+  return Status::OK();
+}
+REGISTER_GRADIENT("SoftmaxCrossEntropyWithLogits", SoftmaxXentGrad);
+REGISTER_GRADIENT("SparseSoftmaxCrossEntropyWithLogits", SoftmaxXentGrad);
+
+#undef GRAD_FN
+
+}  // namespace
+}  // namespace tfrepro

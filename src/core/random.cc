@@ -1,0 +1,121 @@
+#include "core/random.h"
+
+#include <cmath>
+
+namespace tfrepro {
+
+namespace {
+
+constexpr uint32_t kPhiloxW32A = 0x9E3779B9;
+constexpr uint32_t kPhiloxW32B = 0xBB67AE85;
+constexpr uint32_t kPhiloxM4x32A = 0xD2511F53;
+constexpr uint32_t kPhiloxM4x32B = 0xCD9E8D57;
+
+inline void MulHiLo(uint32_t a, uint32_t b, uint32_t* hi, uint32_t* lo) {
+  uint64_t product = static_cast<uint64_t>(a) * b;
+  *hi = static_cast<uint32_t>(product >> 32);
+  *lo = static_cast<uint32_t>(product);
+}
+
+}  // namespace
+
+PhiloxRandom::PhiloxRandom(uint64_t seed, uint64_t stream) {
+  key_[0] = static_cast<uint32_t>(seed);
+  key_[1] = static_cast<uint32_t>(seed >> 32);
+  counter_[2] = static_cast<uint32_t>(stream);
+  counter_[3] = static_cast<uint32_t>(stream >> 32);
+}
+
+void PhiloxRandom::IncrementCounter() {
+  if (++counter_[0] != 0) return;
+  if (++counter_[1] != 0) return;
+  if (++counter_[2] != 0) return;
+  ++counter_[3];
+}
+
+void PhiloxRandom::Skip(uint64_t count) {
+  uint32_t lo = static_cast<uint32_t>(count);
+  uint32_t hi = static_cast<uint32_t>(count >> 32);
+  uint32_t old0 = counter_[0];
+  counter_[0] += lo;
+  if (counter_[0] < old0) ++hi;
+  uint32_t old1 = counter_[1];
+  counter_[1] += hi;
+  if (counter_[1] < old1) {
+    if (++counter_[2] == 0) ++counter_[3];
+  }
+  output_pos_ = 4;
+}
+
+std::array<uint32_t, 4> PhiloxRandom::Next4() {
+  std::array<uint32_t, 4> x = counter_;
+  uint32_t k0 = key_[0];
+  uint32_t k1 = key_[1];
+  for (int round = 0; round < 10; ++round) {
+    uint32_t hi0, lo0, hi1, lo1;
+    MulHiLo(kPhiloxM4x32A, x[0], &hi0, &lo0);
+    MulHiLo(kPhiloxM4x32B, x[2], &hi1, &lo1);
+    x = {hi1 ^ x[1] ^ k0, lo1, hi0 ^ x[3] ^ k1, lo0};
+    k0 += kPhiloxW32A;
+    k1 += kPhiloxW32B;
+  }
+  IncrementCounter();
+  return x;
+}
+
+float PhiloxRandom::Uniform() {
+  if (output_pos_ >= 4) {
+    output_ = Next4();
+    output_pos_ = 0;
+  }
+  uint32_t v = output_[output_pos_++];
+  // Use the top 24 bits for a uniform float in [0, 1).
+  return (v >> 8) * (1.0f / 16777216.0f);
+}
+
+double PhiloxRandom::UniformDouble() {
+  if (output_pos_ >= 3) {
+    output_ = Next4();
+    output_pos_ = 0;
+  }
+  uint64_t hi = output_[output_pos_++];
+  uint64_t lo = output_[output_pos_++];
+  uint64_t v = (hi << 21) ^ lo;  // 53 significant bits
+  return (v & ((1ULL << 53) - 1)) * (1.0 / 9007199254740992.0);
+}
+
+float PhiloxRandom::Normal() {
+  if (have_cached_normal_) {
+    have_cached_normal_ = false;
+    return cached_normal_;
+  }
+  float u1 = Uniform();
+  float u2 = Uniform();
+  if (u1 < 1e-10f) u1 = 1e-10f;
+  float r = std::sqrt(-2.0f * std::log(u1));
+  float theta = 2.0f * static_cast<float>(M_PI) * u2;
+  cached_normal_ = r * std::sin(theta);
+  have_cached_normal_ = true;
+  return r * std::cos(theta);
+}
+
+float PhiloxRandom::TruncatedNormal() {
+  for (;;) {
+    float v = Normal();
+    if (v > -2.0f && v < 2.0f) return v;
+  }
+}
+
+uint64_t PhiloxRandom::UniformInt(uint64_t range) {
+  if (range == 0) return 0;
+  if (output_pos_ >= 3) {
+    output_ = Next4();
+    output_pos_ = 0;
+  }
+  uint64_t hi = output_[output_pos_++];
+  uint64_t lo = output_[output_pos_++];
+  uint64_t v = (hi << 32) | lo;
+  return v % range;
+}
+
+}  // namespace tfrepro

@@ -1,0 +1,51 @@
+// Deterministic counter-based pseudo-random generator (Philox 4x32-10),
+// used by random kernels and the synthetic data generators. Counter-based
+// RNGs are splittable: each (key, counter) pair gives an independent stream,
+// which keeps data-parallel workers decorrelated without shared state.
+
+#ifndef TFREPRO_CORE_RANDOM_H_
+#define TFREPRO_CORE_RANDOM_H_
+
+#include <array>
+#include <cstdint>
+
+namespace tfrepro {
+
+class PhiloxRandom {
+ public:
+  explicit PhiloxRandom(uint64_t seed, uint64_t stream = 0);
+
+  // Returns 4 random 32-bit words and advances the counter.
+  std::array<uint32_t, 4> Next4();
+
+  // Uniform in [0, 1).
+  float Uniform();
+  double UniformDouble();
+
+  // Standard normal via Box-Muller.
+  float Normal();
+
+  // Truncated standard normal: re-samples until |x| < 2 (as TensorFlow's
+  // TruncatedNormal does).
+  float TruncatedNormal();
+
+  // Uniform integer in [0, range).
+  uint64_t UniformInt(uint64_t range);
+
+  // Skips the counter ahead; useful for carving independent substreams.
+  void Skip(uint64_t count);
+
+ private:
+  std::array<uint32_t, 4> counter_{};
+  std::array<uint32_t, 2> key_{};
+  std::array<uint32_t, 4> output_{};
+  int output_pos_ = 4;  // force generation on first use
+  bool have_cached_normal_ = false;
+  float cached_normal_ = 0.0f;
+
+  void IncrementCounter();
+};
+
+}  // namespace tfrepro
+
+#endif  // TFREPRO_CORE_RANDOM_H_

@@ -1,0 +1,107 @@
+#include "core/status.h"
+
+namespace tfrepro {
+
+const char* CodeName(Code code) {
+  switch (code) {
+    case Code::kOk:
+      return "OK";
+    case Code::kCancelled:
+      return "CANCELLED";
+    case Code::kInvalidArgument:
+      return "INVALID_ARGUMENT";
+    case Code::kDeadlineExceeded:
+      return "DEADLINE_EXCEEDED";
+    case Code::kNotFound:
+      return "NOT_FOUND";
+    case Code::kAlreadyExists:
+      return "ALREADY_EXISTS";
+    case Code::kPermissionDenied:
+      return "PERMISSION_DENIED";
+    case Code::kResourceExhausted:
+      return "RESOURCE_EXHAUSTED";
+    case Code::kFailedPrecondition:
+      return "FAILED_PRECONDITION";
+    case Code::kAborted:
+      return "ABORTED";
+    case Code::kOutOfRange:
+      return "OUT_OF_RANGE";
+    case Code::kUnimplemented:
+      return "UNIMPLEMENTED";
+    case Code::kInternal:
+      return "INTERNAL";
+    case Code::kUnavailable:
+      return "UNAVAILABLE";
+    case Code::kDataLoss:
+      return "DATA_LOSS";
+  }
+  return "UNKNOWN";
+}
+
+Status::Status(Code code, std::string message) {
+  if (code != Code::kOk) {
+    rep_ = std::make_shared<Rep>(Rep{code, std::move(message)});
+  }
+}
+
+const std::string& Status::message() const {
+  static const std::string kEmpty;
+  return rep_ == nullptr ? kEmpty : rep_->message;
+}
+
+Status& Status::Prepend(const std::string& context) {
+  if (rep_ != nullptr) {
+    rep_ = std::make_shared<Rep>(Rep{rep_->code, context + ": " + rep_->message});
+  }
+  return *this;
+}
+
+std::string Status::ToString() const {
+  if (ok()) {
+    return "OK";
+  }
+  return std::string(CodeName(code())) + ": " + message();
+}
+
+std::ostream& operator<<(std::ostream& os, const Status& status) {
+  return os << status.ToString();
+}
+
+Status InvalidArgument(const std::string& message) {
+  return Status(Code::kInvalidArgument, message);
+}
+Status NotFound(const std::string& message) {
+  return Status(Code::kNotFound, message);
+}
+Status AlreadyExists(const std::string& message) {
+  return Status(Code::kAlreadyExists, message);
+}
+Status FailedPrecondition(const std::string& message) {
+  return Status(Code::kFailedPrecondition, message);
+}
+Status OutOfRange(const std::string& message) {
+  return Status(Code::kOutOfRange, message);
+}
+Status Unimplemented(const std::string& message) {
+  return Status(Code::kUnimplemented, message);
+}
+Status Internal(const std::string& message) {
+  return Status(Code::kInternal, message);
+}
+Status Aborted(const std::string& message) {
+  return Status(Code::kAborted, message);
+}
+Status Cancelled(const std::string& message) {
+  return Status(Code::kCancelled, message);
+}
+Status ResourceExhausted(const std::string& message) {
+  return Status(Code::kResourceExhausted, message);
+}
+Status Unavailable(const std::string& message) {
+  return Status(Code::kUnavailable, message);
+}
+Status DataLoss(const std::string& message) {
+  return Status(Code::kDataLoss, message);
+}
+
+}  // namespace tfrepro

@@ -1,0 +1,134 @@
+// Error handling for tfrepro: Status codes and a lightweight Result<T>.
+//
+// The runtime never throws; every fallible operation returns a Status (or a
+// Result<T> carrying a value on success). This mirrors the error-handling
+// discipline of large C++ systems code (and of the system the paper
+// describes, whose C API surfaces status codes).
+
+#ifndef TFREPRO_CORE_STATUS_H_
+#define TFREPRO_CORE_STATUS_H_
+
+#include <cassert>
+#include <memory>
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace tfrepro {
+
+enum class Code : int {
+  kOk = 0,
+  kCancelled = 1,
+  kInvalidArgument = 3,
+  kDeadlineExceeded = 4,
+  kNotFound = 5,
+  kAlreadyExists = 6,
+  kPermissionDenied = 7,
+  kResourceExhausted = 8,
+  kFailedPrecondition = 9,
+  kAborted = 10,
+  kOutOfRange = 11,
+  kUnimplemented = 12,
+  kInternal = 13,
+  kUnavailable = 14,
+  kDataLoss = 15,
+};
+
+// Human-readable name for a status code ("OK", "INVALID_ARGUMENT", ...).
+const char* CodeName(Code code);
+
+// A Status is either OK (cheap: no allocation) or an error code plus message.
+class Status {
+ public:
+  Status() = default;  // OK.
+  Status(Code code, std::string message);
+
+  static Status OK() { return Status(); }
+
+  bool ok() const { return rep_ == nullptr; }
+  Code code() const { return rep_ == nullptr ? Code::kOk : rep_->code; }
+  const std::string& message() const;
+
+  // Appends context to an error message; no-op on OK statuses.
+  Status& Prepend(const std::string& context);
+
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code() == other.code() && message() == other.message();
+  }
+
+ private:
+  struct Rep {
+    Code code;
+    std::string message;
+  };
+  std::shared_ptr<Rep> rep_;  // null == OK
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+// Constructors for the common error codes.
+Status InvalidArgument(const std::string& message);
+Status NotFound(const std::string& message);
+Status AlreadyExists(const std::string& message);
+Status FailedPrecondition(const std::string& message);
+Status OutOfRange(const std::string& message);
+Status Unimplemented(const std::string& message);
+Status Internal(const std::string& message);
+Status Aborted(const std::string& message);
+Status Cancelled(const std::string& message);
+Status ResourceExhausted(const std::string& message);
+Status Unavailable(const std::string& message);
+Status DataLoss(const std::string& message);
+
+// Result<T> is a Status plus, on success, a value of type T.
+template <typename T>
+class Result {
+ public:
+  Result(const T& value) : value_(value) {}            // NOLINT: implicit
+  Result(T&& value) : value_(std::move(value)) {}      // NOLINT: implicit
+  Result(const Status& status) : status_(status) {     // NOLINT: implicit
+    assert(!status.ok() && "Result constructed from OK status without value");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return value_;
+  }
+  T& value() & {
+    assert(ok());
+    return value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(value_);
+  }
+
+ private:
+  Status status_;
+  T value_{};
+};
+
+#define TF_RETURN_IF_ERROR(expr)                 \
+  do {                                           \
+    ::tfrepro::Status _status = (expr);          \
+    if (!_status.ok()) return _status;           \
+  } while (0)
+
+#define TF_CHECK_OK(expr)                                            \
+  do {                                                               \
+    ::tfrepro::Status _status = (expr);                              \
+    if (!_status.ok()) {                                             \
+      fprintf(stderr, "TF_CHECK_OK failed at %s:%d: %s\n", __FILE__, \
+              __LINE__, _status.ToString().c_str());                 \
+      abort();                                                       \
+    }                                                                \
+  } while (0)
+
+}  // namespace tfrepro
+
+#endif  // TFREPRO_CORE_STATUS_H_

@@ -1,0 +1,148 @@
+// Tensor: a dense n-dimensional array with a reference-counted buffer
+// (paper §3.1: "all data is modeled as tensors ... all tensors are dense").
+//
+// Copying a Tensor is cheap (shares the buffer). Kernels that mutate state do
+// so through Variable buffers, never through ordinary value tensors.
+
+#ifndef TFREPRO_CORE_TENSOR_H_
+#define TFREPRO_CORE_TENSOR_H_
+
+#include <cassert>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/status.h"
+#include "core/tensor_shape.h"
+#include "core/types.h"
+
+namespace tfrepro {
+
+class Tensor {
+ public:
+  // Invalid tensor (dtype kInvalid). Useful as a placeholder.
+  Tensor() = default;
+
+  // Allocates an uninitialized (zeroed) tensor of the given type and shape.
+  Tensor(DataType dtype, const TensorShape& shape);
+
+  // Scalar constructors.
+  static Tensor Scalar(float v);
+  static Tensor Scalar(double v);
+  static Tensor Scalar(int32_t v);
+  static Tensor Scalar(int64_t v);
+  static Tensor Scalar(bool v);
+  static Tensor Scalar(const std::string& v);
+
+  // Builds a tensor from a flat vector of values; `shape.num_elements()` must
+  // equal `values.size()`.
+  template <typename T>
+  static Tensor FromVector(const std::vector<T>& values,
+                           const TensorShape& shape) {
+    Tensor t(DataTypeToEnum<T>::value, shape);
+    assert(static_cast<int64_t>(values.size()) == shape.num_elements());
+    T* dst = t.data<T>();
+    for (size_t i = 0; i < values.size(); ++i) dst[i] = values[i];
+    return t;
+  }
+  template <typename T>
+  static Tensor Vec(const std::vector<T>& values) {
+    return FromVector<T>(values,
+                         TensorShape({static_cast<int64_t>(values.size())}));
+  }
+
+  DataType dtype() const { return dtype_; }
+  const TensorShape& shape() const { return shape_; }
+  int64_t num_elements() const { return shape_.num_elements(); }
+  int64_t dim(int i) const { return shape_.dim(i); }
+  bool IsInitialized() const { return dtype_ != DataType::kInvalid; }
+  bool IsScalar() const { return shape_.IsScalar(); }
+
+  // Total buffer size in bytes (0 for string tensors).
+  size_t TotalBytes() const;
+
+  // Typed flat access. T must match dtype(); checked by assertion.
+  template <typename T>
+  T* data() {
+    assert(DataTypeToEnum<T>::value == BaseType(dtype_));
+    return reinterpret_cast<T*>(raw_data());
+  }
+  template <typename T>
+  const T* data() const {
+    assert(DataTypeToEnum<T>::value == BaseType(dtype_));
+    return reinterpret_cast<const T*>(raw_data());
+  }
+
+  // Element access by flat index.
+  template <typename T>
+  T& flat(int64_t i) {
+    assert(i >= 0 && i < num_elements());
+    return data<T>()[i];
+  }
+  template <typename T>
+  const T& flat(int64_t i) const {
+    assert(i >= 0 && i < num_elements());
+    return data<T>()[i];
+  }
+
+  // 2-D access (rank must be 2).
+  template <typename T>
+  T& matrix(int64_t r, int64_t c) {
+    assert(shape_.rank() == 2);
+    return data<T>()[r * shape_.dim(1) + c];
+  }
+  template <typename T>
+  const T& matrix(int64_t r, int64_t c) const {
+    assert(shape_.rank() == 2);
+    return data<T>()[r * shape_.dim(1) + c];
+  }
+
+  // String element access (dtype must be kString).
+  std::string& str(int64_t i);
+  const std::string& str(int64_t i) const;
+
+  char* raw_data();
+  const char* raw_data() const;
+
+  // Whether this tensor shares its buffer with `other`.
+  bool SharesBufferWith(const Tensor& other) const {
+    return buffer_ != nullptr && buffer_ == other.buffer_;
+  }
+
+  // Returns a tensor with the same buffer but a different shape;
+  // `new_shape.num_elements()` must match.
+  Result<Tensor> Reshaped(const TensorShape& new_shape) const;
+
+  // Returns a copy of rows [start, start+len) along dimension 0, sharing no
+  // buffer with this tensor.
+  Result<Tensor> SliceRows(int64_t start, int64_t len) const;
+
+  // Deep copy.
+  Tensor Clone() const;
+
+  // Copies the contents of `other` into this tensor's buffer (shapes and
+  // dtypes must match). Used by Assign kernels for in-place variable update.
+  Status CopyDataFrom(const Tensor& other);
+
+  // Binary serialization (for checkpoints and the simulated network layer).
+  void AppendToBytes(std::string* out) const;
+  static Result<Tensor> ParseFromBytes(const std::string& bytes,
+                                       size_t* offset);
+
+  std::string DebugString(int max_entries = 12) const;
+
+ private:
+  struct Buffer {
+    std::vector<char> bytes;           // POD types
+    std::vector<std::string> strings;  // kString
+  };
+
+  DataType dtype_ = DataType::kInvalid;
+  TensorShape shape_;
+  std::shared_ptr<Buffer> buffer_;
+};
+
+}  // namespace tfrepro
+
+#endif  // TFREPRO_CORE_TENSOR_H_

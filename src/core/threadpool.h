@@ -1,0 +1,49 @@
+// A fixed-size thread pool used by devices and the dataflow executor to run
+// kernels in parallel (paper §5: "dispatches kernels to local devices and
+// runs kernels in parallel when possible").
+
+#ifndef TFREPRO_CORE_THREADPOOL_H_
+#define TFREPRO_CORE_THREADPOOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace tfrepro {
+
+class ThreadPool {
+ public:
+  ThreadPool(const std::string& name, int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  // Enqueues `fn` for asynchronous execution.
+  void Schedule(std::function<void()> fn);
+
+  int num_threads() const { return static_cast<int>(threads_.size()); }
+
+  // Blocks until the queue is empty and all workers are idle. Intended for
+  // tests; regular shutdown happens in the destructor.
+  void WaitIdle();
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable idle_cv_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> threads_;
+  int active_ = 0;
+  bool shutdown_ = false;
+};
+
+}  // namespace tfrepro
+
+#endif  // TFREPRO_CORE_THREADPOOL_H_

@@ -1,0 +1,78 @@
+#include "core/types.h"
+
+namespace tfrepro {
+
+const char* DataTypeName(DataType dt) {
+  if (IsRefType(dt)) {
+    switch (BaseType(dt)) {
+      case DataType::kFloat:
+        return "float_ref";
+      case DataType::kDouble:
+        return "double_ref";
+      case DataType::kInt32:
+        return "int32_ref";
+      case DataType::kInt64:
+        return "int64_ref";
+      case DataType::kBool:
+        return "bool_ref";
+      case DataType::kString:
+        return "string_ref";
+      case DataType::kUint8:
+        return "uint8_ref";
+      default:
+        return "invalid_ref";
+    }
+  }
+  switch (dt) {
+    case DataType::kFloat:
+      return "float";
+    case DataType::kDouble:
+      return "double";
+    case DataType::kInt32:
+      return "int32";
+    case DataType::kInt64:
+      return "int64";
+    case DataType::kBool:
+      return "bool";
+    case DataType::kString:
+      return "string";
+    case DataType::kUint8:
+      return "uint8";
+    default:
+      return "invalid";
+  }
+}
+
+size_t DataTypeSize(DataType dt) {
+  switch (BaseType(dt)) {
+    case DataType::kFloat:
+      return 4;
+    case DataType::kDouble:
+      return 8;
+    case DataType::kInt32:
+      return 4;
+    case DataType::kInt64:
+      return 8;
+    case DataType::kBool:
+      return 1;
+    case DataType::kUint8:
+      return 1;
+    case DataType::kString:
+      return 0;
+    default:
+      return 0;
+  }
+}
+
+bool DataTypeIsFloating(DataType dt) {
+  DataType base = BaseType(dt);
+  return base == DataType::kFloat || base == DataType::kDouble;
+}
+
+bool DataTypeIsInteger(DataType dt) {
+  DataType base = BaseType(dt);
+  return base == DataType::kInt32 || base == DataType::kInt64 ||
+         base == DataType::kUint8;
+}
+
+}  // namespace tfrepro

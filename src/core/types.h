@@ -1,0 +1,82 @@
+// Primitive element types carried by tensors (paper §3.1).
+
+#ifndef TFREPRO_CORE_TYPES_H_
+#define TFREPRO_CORE_TYPES_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace tfrepro {
+
+enum class DataType : int {
+  kInvalid = 0,
+  kFloat = 1,   // float32
+  kDouble = 2,  // float64
+  kInt32 = 3,
+  kInt64 = 4,
+  kBool = 5,
+  kString = 6,  // variable-length byte strings (also used to encode sparse
+                // data into dense tensors, paper §3.1)
+  kUint8 = 7,
+};
+
+// A reference type marker: ops like Variable output a *reference* to a
+// mutable buffer rather than a value. Encoded as DataType + kRefBit.
+constexpr int kRefBit = 100;
+
+inline DataType MakeRefType(DataType dt) {
+  return static_cast<DataType>(static_cast<int>(dt) + kRefBit);
+}
+inline bool IsRefType(DataType dt) { return static_cast<int>(dt) >= kRefBit; }
+inline DataType BaseType(DataType dt) {
+  return IsRefType(dt) ? static_cast<DataType>(static_cast<int>(dt) - kRefBit)
+                       : dt;
+}
+
+const char* DataTypeName(DataType dt);
+
+// Size in bytes of one element; 0 for kString (variable length).
+size_t DataTypeSize(DataType dt);
+
+bool DataTypeIsFloating(DataType dt);
+bool DataTypeIsInteger(DataType dt);
+
+using DataTypeVector = std::vector<DataType>;
+
+// Maps C++ types to DataType values.
+template <typename T>
+struct DataTypeToEnum;
+
+template <>
+struct DataTypeToEnum<float> {
+  static constexpr DataType value = DataType::kFloat;
+};
+template <>
+struct DataTypeToEnum<double> {
+  static constexpr DataType value = DataType::kDouble;
+};
+template <>
+struct DataTypeToEnum<int32_t> {
+  static constexpr DataType value = DataType::kInt32;
+};
+template <>
+struct DataTypeToEnum<int64_t> {
+  static constexpr DataType value = DataType::kInt64;
+};
+template <>
+struct DataTypeToEnum<bool> {
+  static constexpr DataType value = DataType::kBool;
+};
+template <>
+struct DataTypeToEnum<std::string> {
+  static constexpr DataType value = DataType::kString;
+};
+template <>
+struct DataTypeToEnum<uint8_t> {
+  static constexpr DataType value = DataType::kUint8;
+};
+
+}  // namespace tfrepro
+
+#endif  // TFREPRO_CORE_TYPES_H_

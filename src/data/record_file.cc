@@ -1,0 +1,84 @@
+#include "data/record_file.h"
+
+#include <cstring>
+
+namespace tfrepro {
+namespace data {
+
+uint32_t RecordChecksum(const std::string& payload) {
+  uint32_t checksum = 0xA5A5A5A5u;
+  for (size_t i = 0; i < payload.size(); ++i) {
+    checksum ^= static_cast<uint8_t>(payload[i]) << ((i % 4) * 8);
+    checksum = (checksum << 1) | (checksum >> 31);  // rotate for ordering
+  }
+  return checksum;
+}
+
+RecordWriter::RecordWriter(const std::string& path)
+    : out_(path, std::ios::binary | std::ios::trunc), path_(path) {}
+
+Status RecordWriter::Append(const std::string& record) {
+  if (closed_) {
+    return FailedPrecondition("record writer for '" + path_ + "' is closed");
+  }
+  if (!out_) {
+    return Internal("cannot write to '" + path_ + "'");
+  }
+  int64_t length = static_cast<int64_t>(record.size());
+  uint32_t checksum = RecordChecksum(record);
+  out_.write(reinterpret_cast<const char*>(&length), sizeof(length));
+  out_.write(reinterpret_cast<const char*>(&checksum), sizeof(checksum));
+  out_.write(record.data(), static_cast<std::streamsize>(record.size()));
+  if (!out_) {
+    return Internal("short write to '" + path_ + "'");
+  }
+  ++records_;
+  return Status::OK();
+}
+
+Status RecordWriter::Close() {
+  if (!closed_) {
+    out_.flush();
+    out_.close();
+    closed_ = true;
+  }
+  return out_.fail() && records_ > 0 ? Internal("close failed for '" + path_ +
+                                                "'")
+                                     : Status::OK();
+}
+
+RecordReader::RecordReader(const std::string& path)
+    : in_(path, std::ios::binary), path_(path) {}
+
+Status RecordReader::ReadNext(std::string* record) {
+  if (!in_.is_open()) {
+    return NotFound("cannot open record file '" + path_ + "'");
+  }
+  int64_t length = 0;
+  in_.read(reinterpret_cast<char*>(&length), sizeof(length));
+  if (in_.eof() && in_.gcount() == 0) {
+    return OutOfRange("end of record file '" + path_ + "'");
+  }
+  if (!in_ || in_.gcount() != sizeof(length) || length < 0) {
+    return DataLoss("truncated record header in '" + path_ + "'");
+  }
+  uint32_t checksum = 0;
+  in_.read(reinterpret_cast<char*>(&checksum), sizeof(checksum));
+  if (!in_ || in_.gcount() != sizeof(checksum)) {
+    return DataLoss("truncated record checksum in '" + path_ + "'");
+  }
+  record->resize(static_cast<size_t>(length));
+  in_.read(record->data(), length);
+  if (!in_ || in_.gcount() != length) {
+    return DataLoss("truncated record payload in '" + path_ + "'");
+  }
+  if (RecordChecksum(*record) != checksum) {
+    return DataLoss("checksum mismatch in '" + path_ + "' record " +
+                    std::to_string(records_));
+  }
+  ++records_;
+  return Status::OK();
+}
+
+}  // namespace data
+}  // namespace tfrepro

@@ -1,0 +1,57 @@
+// Length-prefixed record files with per-record checksums — the stand-in
+// for the paper's distributed-file-system input files (Figure 1's "Dist.
+// FS" + Reader stage). The format is deliberately simple: for each record,
+//   [int64 length][uint32 xor-checksum][payload bytes]
+
+#ifndef TFREPRO_DATA_RECORD_FILE_H_
+#define TFREPRO_DATA_RECORD_FILE_H_
+
+#include <fstream>
+#include <string>
+
+#include "core/status.h"
+
+namespace tfrepro {
+namespace data {
+
+class RecordWriter {
+ public:
+  // Truncates/creates `path`.
+  explicit RecordWriter(const std::string& path);
+
+  Status Append(const std::string& record);
+  // Flushes and closes; further Appends fail.
+  Status Close();
+
+  int64_t records_written() const { return records_; }
+
+ private:
+  std::ofstream out_;
+  std::string path_;
+  int64_t records_ = 0;
+  bool closed_ = false;
+};
+
+class RecordReader {
+ public:
+  explicit RecordReader(const std::string& path);
+
+  // Reads the next record; OutOfRange at clean end-of-file, DataLoss on a
+  // truncated or corrupted record.
+  Status ReadNext(std::string* record);
+
+  int64_t records_read() const { return records_; }
+
+ private:
+  std::ifstream in_;
+  std::string path_;
+  int64_t records_ = 0;
+};
+
+// XOR-fold checksum used by the record format.
+uint32_t RecordChecksum(const std::string& payload);
+
+}  // namespace data
+}  // namespace tfrepro
+
+#endif  // TFREPRO_DATA_RECORD_FILE_H_

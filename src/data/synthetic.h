@@ -1,0 +1,66 @@
+// Synthetic dataset generators (DESIGN.md substitution for ImageNet and the
+// One Billion Word Benchmark): evaluation metrics in the paper are
+// throughput and step time, which depend on tensor sizes and access
+// patterns, not content. Clustered Gaussians give a learnable
+// classification task for the examples; Zipf-distributed token streams
+// preserve the skewed embedding-access pattern of natural text (§4.2).
+
+#ifndef TFREPRO_DATA_SYNTHETIC_H_
+#define TFREPRO_DATA_SYNTHETIC_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/random.h"
+#include "core/tensor.h"
+
+namespace tfrepro {
+namespace data {
+
+// A classification problem: `num_classes` Gaussian clusters in
+// `dim`-dimensional space, separated enough to be learnable.
+class ClusteredDataset {
+ public:
+  ClusteredDataset(int num_classes, int dim, uint64_t seed,
+                   float cluster_spread = 0.3f);
+
+  // Samples a batch: features [batch, dim] float, labels [batch] int64.
+  void Batch(int batch_size, Tensor* features, Tensor* labels);
+
+  int num_classes() const { return num_classes_; }
+  int dim() const { return dim_; }
+
+ private:
+  int num_classes_;
+  int dim_;
+  float spread_;
+  std::vector<float> centers_;  // [num_classes, dim]
+  PhiloxRandom rng_;
+};
+
+// Synthetic "image" batches: uniform noise in NHWC layout.
+Tensor SyntheticImageBatch(int batch, int height, int width, int channels,
+                           PhiloxRandom* rng);
+
+// A Zipf(s)-distributed token stream over a vocabulary: token ranks follow
+// p(r) ~ 1/r^s, matching the skewed word frequencies of real corpora.
+class ZipfTokenStream {
+ public:
+  ZipfTokenStream(int64_t vocab_size, double exponent, uint64_t seed);
+
+  int64_t Next();
+
+  // Fills a [batch, length] int64 tensor of token ids, and a matching
+  // [batch, length] tensor of "next tokens" as labels.
+  void Batch(int batch, int length, Tensor* tokens, Tensor* labels);
+
+ private:
+  int64_t vocab_size_;
+  std::vector<double> cdf_;
+  PhiloxRandom rng_;
+};
+
+}  // namespace data
+}  // namespace tfrepro
+
+#endif  // TFREPRO_DATA_SYNTHETIC_H_

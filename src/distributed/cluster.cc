@@ -1,0 +1,174 @@
+#include "distributed/cluster.h"
+
+#include <chrono>
+#include <thread>
+
+namespace tfrepro {
+namespace distributed {
+
+namespace {
+
+// Keys look like "<send_device>;<recv_device>;<name>;<iter>".
+bool IsCrossTask(const std::string& key) {
+  size_t first = key.find(';');
+  if (first == std::string::npos) return false;
+  size_t second = key.find(';', first + 1);
+  if (second == std::string::npos) return false;
+  std::string send_dev = key.substr(0, first);
+  std::string recv_dev = key.substr(first + 1, second - first - 1);
+  // Same task iff the "/job:X/task:N" prefixes match.
+  auto task_prefix = [](const std::string& dev) {
+    size_t pos = dev.find("/device:");
+    return pos == std::string::npos ? dev : dev.substr(0, pos);
+  };
+  return task_prefix(send_dev) != task_prefix(recv_dev);
+}
+
+}  // namespace
+
+Status ThrottledRendezvous::Send(const std::string& key, const Tensor& value,
+                                 bool is_dead) {
+  double delay = IsCrossTask(key) ? model_.TransferSeconds(value.TotalBytes())
+                                  : 0.0;
+  if (delay <= 0.0) {
+    return inner_.Send(key, value, is_dead);
+  }
+  // Deliver after the modeled wire time, off a timer thread.
+  timer_pool_->Schedule([this, key, value, is_dead, delay]() {
+    std::this_thread::sleep_for(std::chrono::duration<double>(delay));
+    (void)inner_.Send(key, value, is_dead);
+  });
+  return Status::OK();
+}
+
+void ThrottledRendezvous::RecvAsync(const std::string& key,
+                                    DoneCallback done) {
+  inner_.RecvAsync(key, std::move(done));
+}
+
+void ThrottledRendezvous::StartAbort(const Status& status) {
+  inner_.StartAbort(status);
+}
+
+TaskWorker::TaskWorker(const std::string& job, int task_index, int num_threads,
+                       int num_devices)
+    : job_(job), task_index_(task_index), pool_("worker", num_threads) {
+  for (int i = 0; i < num_devices; ++i) {
+    device_mgr_.AddDevice(NewCpuDevice(job, task_index, i, &pool_));
+  }
+}
+
+Status TaskWorker::RegisterSubgraph(const std::string& handle,
+                                    const std::string& segment,
+                                    std::unique_ptr<Graph> partition,
+                                    const std::string& device_name) {
+  Result<Device*> device = device_mgr_.LookupDevice(device_name);
+  TF_RETURN_IF_ERROR(device.status());
+  Result<std::unique_ptr<Executor>> executor =
+      Executor::Create(partition.get(), device.value(), segment);
+  TF_RETURN_IF_ERROR(executor.status());
+  std::lock_guard<std::mutex> lock(mu_);
+  subgraphs_[handle].push_back(
+      RegisteredGraph{std::move(partition), std::move(executor).value()});
+  return Status::OK();
+}
+
+void TaskWorker::RunSubgraphsAsync(const std::string& handle,
+                                   const Executor::Args& args,
+                                   std::function<void(Status)> done) {
+  std::vector<Executor*> executors;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = subgraphs_.find(handle);
+    if (it == subgraphs_.end()) {
+      done(NotFound("task " + task_name() + " has no subgraphs for handle '" +
+                    handle + "'"));
+      return;
+    }
+    for (const RegisteredGraph& rg : it->second) {
+      executors.push_back(rg.executor.get());
+    }
+  }
+  struct SharedState {
+    std::mutex mu;
+    Status status;
+    size_t remaining;
+    std::function<void(Status)> done;
+  };
+  auto state = std::make_shared<SharedState>();
+  state->remaining = executors.size();
+  state->done = std::move(done);
+  for (Executor* executor : executors) {
+    executor->RunAsync(args, [state](const Status& s) {
+      bool finished = false;
+      Status final_status;
+      {
+        std::lock_guard<std::mutex> lock(state->mu);
+        if (state->status.ok() && !s.ok()) state->status = s;
+        finished = (--state->remaining == 0);
+        final_status = state->status;
+      }
+      if (finished) state->done(final_status);
+    });
+  }
+}
+
+bool TaskWorker::HasSubgraphs(const std::string& handle) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return subgraphs_.count(handle) > 0;
+}
+
+InProcessCluster::InProcessCluster(const ClusterSpec& spec,
+                                   const Options& options)
+    : spec_(spec) {
+  for (const auto& [job, count] : spec.jobs) {
+    for (int i = 0; i < count; ++i) {
+      workers_.push_back(std::make_unique<TaskWorker>(
+          job, i, options.threads_per_task, options.devices_per_task));
+    }
+  }
+}
+
+Result<std::unique_ptr<InProcessCluster>> InProcessCluster::Create(
+    const ClusterSpec& spec, const Options& options) {
+  if (spec.jobs.empty()) {
+    return InvalidArgument("cluster spec has no jobs");
+  }
+  for (const auto& [job, count] : spec.jobs) {
+    if (count <= 0) {
+      return InvalidArgument("job '" + job + "' has no tasks");
+    }
+  }
+  return std::unique_ptr<InProcessCluster>(
+      new InProcessCluster(spec, options));
+}
+
+Result<TaskWorker*> InProcessCluster::worker(const std::string& job,
+                                             int task_index) const {
+  for (const auto& w : workers_) {
+    if (w->job() == job && w->task_index() == task_index) {
+      return w.get();
+    }
+  }
+  return NotFound("no task /job:" + job + "/task:" +
+                  std::to_string(task_index) + " in cluster");
+}
+
+std::vector<TaskWorker*> InProcessCluster::workers() const {
+  std::vector<TaskWorker*> out;
+  for (const auto& w : workers_) out.push_back(w.get());
+  return out;
+}
+
+std::vector<Device*> InProcessCluster::all_devices() const {
+  std::vector<Device*> devices;
+  for (const auto& w : workers_) {
+    for (Device* d : w->device_mgr()->ListDevices()) {
+      devices.push_back(d);
+    }
+  }
+  return devices;
+}
+
+}  // namespace distributed
+}  // namespace tfrepro

@@ -1,0 +1,138 @@
+// In-process cluster substrate (paper §3.3). Each task ("/job:ps/task:0",
+// "/job:worker/task:3", ...) is modeled as a Worker owning its own devices
+// and threadpool — the same code paths a networked deployment exercises
+// (graph partitioning, Send/Recv rendezvous, per-task subgraph caching),
+// with an in-memory transport standing in for gRPC (see DESIGN.md
+// substitutions). An optional NetworkModel injects per-transfer latency and
+// bandwidth costs so tests and benchmarks can reproduce network behaviour.
+
+#ifndef TFREPRO_DISTRIBUTED_CLUSTER_H_
+#define TFREPRO_DISTRIBUTED_CLUSTER_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/status.h"
+#include "core/threadpool.h"
+#include "runtime/device.h"
+#include "runtime/executor.h"
+#include "runtime/rendezvous.h"
+
+namespace tfrepro {
+namespace distributed {
+
+// Jobs and their task counts, e.g. {{"ps", 2}, {"worker", 4}}.
+struct ClusterSpec {
+  std::map<std::string, int> jobs;
+};
+
+// Models the wire between tasks: a transfer of `bytes` takes
+// latency + bytes / bandwidth seconds. Used by the throttled rendezvous.
+struct NetworkModel {
+  double latency_seconds = 0.0;
+  double bytes_per_second = 0.0;  // 0 = infinite bandwidth
+
+  double TransferSeconds(size_t bytes) const {
+    double t = latency_seconds;
+    if (bytes_per_second > 0) {
+      t += static_cast<double>(bytes) / bytes_per_second;
+    }
+    return t;
+  }
+};
+
+// A rendezvous that delays cross-task deliveries per a NetworkModel.
+// Local (same-task) transfers pass through untouched.
+class ThrottledRendezvous : public Rendezvous {
+ public:
+  ThrottledRendezvous(NetworkModel model, ThreadPool* timer_pool)
+      : model_(model), timer_pool_(timer_pool) {}
+
+  Status Send(const std::string& key, const Tensor& value,
+              bool is_dead) override;
+  void RecvAsync(const std::string& key, DoneCallback done) override;
+  void StartAbort(const Status& status) override;
+
+ private:
+  NetworkModel model_;
+  ThreadPool* timer_pool_;
+  LocalRendezvous inner_;
+};
+
+// One task of the cluster: devices + threadpool + registered subgraphs.
+class TaskWorker {
+ public:
+  TaskWorker(const std::string& job, int task_index, int num_threads,
+             int num_devices);
+
+  const std::string& job() const { return job_; }
+  int task_index() const { return task_index_; }
+  std::string task_name() const {
+    return "/job:" + job_ + "/task:" + std::to_string(task_index_);
+  }
+  DeviceMgr* device_mgr() { return &device_mgr_; }
+
+  // Registers one per-device partition under (handle, device); creates its
+  // executor. The worker takes ownership of the partition graph.
+  // `handle` names the step's subgraph set; `segment` keys kernel sharing
+  // and must be stable for the whole session so stateful kernels
+  // (variables, queues) are shared across step signatures.
+  Status RegisterSubgraph(const std::string& handle,
+                          const std::string& segment,
+                          std::unique_ptr<Graph> partition,
+                          const std::string& device_name);
+
+  // Runs all subgraphs registered under `handle` for one step; `done` fires
+  // once with the first error (or OK). This is the "one small message to
+  // each participating task" of §3.3.
+  void RunSubgraphsAsync(const std::string& handle, const Executor::Args& args,
+                         std::function<void(Status)> done);
+
+  bool HasSubgraphs(const std::string& handle) const;
+
+ private:
+  std::string job_;
+  int task_index_;
+  ThreadPool pool_;
+  DeviceMgr device_mgr_;
+  mutable std::mutex mu_;
+  struct RegisteredGraph {
+    std::unique_ptr<Graph> graph;
+    std::unique_ptr<Executor> executor;
+  };
+  std::map<std::string, std::vector<RegisteredGraph>> subgraphs_;
+};
+
+// Owns every task's worker.
+class InProcessCluster {
+ public:
+  struct Options {
+    int threads_per_task = 2;
+    int devices_per_task = 1;
+  };
+
+  static Result<std::unique_ptr<InProcessCluster>> Create(
+      const ClusterSpec& spec, const Options& options);
+  static Result<std::unique_ptr<InProcessCluster>> Create(
+      const ClusterSpec& spec) {
+    return Create(spec, Options{});
+  }
+
+  Result<TaskWorker*> worker(const std::string& job, int task_index) const;
+  std::vector<TaskWorker*> workers() const;
+  std::vector<Device*> all_devices() const;
+
+  const ClusterSpec& spec() const { return spec_; }
+
+ private:
+  InProcessCluster(const ClusterSpec& spec, const Options& options);
+  ClusterSpec spec_;
+  std::vector<std::unique_ptr<TaskWorker>> workers_;
+};
+
+}  // namespace distributed
+}  // namespace tfrepro
+
+#endif  // TFREPRO_DISTRIBUTED_CLUSTER_H_

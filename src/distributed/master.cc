@@ -1,0 +1,161 @@
+#include "distributed/master.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <sstream>
+
+#include "graph/subgraph.h"
+#include "runtime/partition.h"
+#include "runtime/placer.h"
+
+namespace tfrepro {
+namespace distributed {
+
+namespace {
+std::atomic<int64_t> next_master_id{1};
+
+// "/job:x/task:0/device:CPU:0" -> ("x", 0).
+Result<std::pair<std::string, int>> TaskOfDevice(const std::string& device) {
+  Result<DeviceName> parsed = DeviceName::Parse(device);
+  TF_RETURN_IF_ERROR(parsed.status());
+  if (!parsed.value().has_job || !parsed.value().has_task) {
+    return InvalidArgument("device '" + device + "' has no job/task");
+  }
+  return std::make_pair(parsed.value().job, parsed.value().task);
+}
+}  // namespace
+
+MasterSession::MasterSession(const Graph& graph, InProcessCluster* cluster,
+                             const Options& options)
+    : options_(options),
+      cluster_(cluster),
+      graph_(graph.Clone()),
+      session_prefix_("master_" + std::to_string(next_master_id++)),
+      timer_pool_("net_timer", 2) {}
+
+Result<std::unique_ptr<MasterSession>> MasterSession::Create(
+    const Graph& graph, InProcessCluster* cluster, const Options& options) {
+  if (cluster == nullptr) {
+    return InvalidArgument("null cluster");
+  }
+  return std::unique_ptr<MasterSession>(
+      new MasterSession(graph, cluster, options));
+}
+
+Result<MasterSession::CompiledStep*> MasterSession::GetOrCompile(
+    const std::vector<std::string>& feed_names,
+    const std::vector<std::string>& fetches,
+    const std::vector<std::string>& targets) {
+  std::ostringstream key_os;
+  for (const auto& f : feed_names) key_os << f << ",";
+  key_os << "|";
+  for (const auto& f : fetches) key_os << f << ",";
+  key_os << "|";
+  for (const auto& t : targets) key_os << t << ",";
+  std::string key = key_os.str();
+
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = compiled_.find(key);
+  if (it != compiled_.end()) {
+    return it->second.get();
+  }
+
+  // Prune (§3.2), place across every device in the cluster (§3.3),
+  // optimize (§5), partition with Send/Recv insertion (§3.3).
+  std::unique_ptr<Graph> client_graph = graph_->Clone();
+  TF_RETURN_IF_ERROR(RewriteGraphForExecution(client_graph.get(), feed_names,
+                                              fetches, targets));
+  std::vector<Device*> devices = cluster_->all_devices();
+  TF_RETURN_IF_ERROR(PlaceGraph(client_graph.get(), devices));
+  TF_RETURN_IF_ERROR(
+      OptimizeGraph(client_graph.get(), devices.front(), options_.optimizer));
+  Result<std::map<std::string, std::unique_ptr<Graph>>> partitions =
+      PartitionGraph(*client_graph);
+  TF_RETURN_IF_ERROR(partitions.status());
+
+  auto step = std::make_unique<CompiledStep>();
+  step->handle = session_prefix_ + "_g" + std::to_string(next_handle_++);
+  std::set<TaskWorker*> participating;
+  for (auto& [device_name, part] : partitions.value()) {
+    Result<std::pair<std::string, int>> task = TaskOfDevice(device_name);
+    TF_RETURN_IF_ERROR(task.status());
+    Result<TaskWorker*> worker =
+        cluster_->worker(task.value().first, task.value().second);
+    TF_RETURN_IF_ERROR(worker.status());
+    TF_RETURN_IF_ERROR(worker.value()->RegisterSubgraph(
+        step->handle, session_prefix_, std::move(part), device_name));
+    participating.insert(worker.value());
+  }
+  step->participating.assign(participating.begin(), participating.end());
+
+  CompiledStep* raw = step.get();
+  compiled_[key] = std::move(step);
+  return raw;
+}
+
+Status MasterSession::Run(
+    const std::vector<std::pair<std::string, Tensor>>& feeds,
+    const std::vector<std::string>& fetches,
+    const std::vector<std::string>& targets, std::vector<Tensor>* outputs) {
+  std::vector<std::string> feed_names;
+  std::vector<Tensor> feed_tensors;
+  for (const auto& [name, tensor] : feeds) {
+    feed_names.push_back(name);
+    feed_tensors.push_back(tensor);
+  }
+
+  Result<CompiledStep*> step = GetOrCompile(feed_names, fetches, targets);
+  TF_RETURN_IF_ERROR(step.status());
+
+  CallFrame call_frame(std::move(feed_tensors),
+                       static_cast<int>(fetches.size()));
+  CancellationManager cancellation;
+  std::unique_ptr<Rendezvous> rendezvous;
+  if (options_.use_network_model) {
+    rendezvous =
+        std::make_unique<ThrottledRendezvous>(options_.network, &timer_pool_);
+  } else {
+    rendezvous = std::make_unique<LocalRendezvous>();
+  }
+
+  Executor::Args args;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    args.step_id = next_step_id_++;
+  }
+  args.rendezvous = rendezvous.get();
+  args.call_frame = &call_frame;
+  args.cancellation = &cancellation;
+
+  // One message per participating task (§3.3).
+  std::mutex done_mu;
+  std::condition_variable done_cv;
+  size_t remaining = step.value()->participating.size();
+  Status step_status;
+  for (TaskWorker* worker : step.value()->participating) {
+    worker->RunSubgraphsAsync(step.value()->handle, args, [&](const Status& s) {
+      std::lock_guard<std::mutex> lock(done_mu);
+      if (step_status.ok() && !s.ok()) step_status = s;
+      if (--remaining == 0) done_cv.notify_all();
+    });
+  }
+  {
+    std::unique_lock<std::mutex> lock(done_mu);
+    done_cv.wait(lock, [&]() { return remaining == 0; });
+  }
+  TF_RETURN_IF_ERROR(step_status);
+
+  if (outputs != nullptr) {
+    *outputs = call_frame.fetches();
+    for (size_t i = 0; i < outputs->size(); ++i) {
+      if (!(*outputs)[i].IsInitialized()) {
+        return InvalidArgument("fetch '" + fetches[i] +
+                               "' produced no value (dead tensor)");
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace distributed
+}  // namespace tfrepro

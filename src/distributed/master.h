@@ -1,0 +1,80 @@
+// The distributed master (paper §3.3, §5): "translates user requests into
+// execution across a set of tasks. Given a graph and a step definition, it
+// prunes and partitions the graph to obtain subgraphs for each
+// participating device, and caches these subgraphs so that they may be
+// re-used in subsequent steps" — then coordinates each step with one
+// RunSubgraphs call per participating task.
+
+#ifndef TFREPRO_DISTRIBUTED_MASTER_H_
+#define TFREPRO_DISTRIBUTED_MASTER_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "distributed/cluster.h"
+#include "graph/graph.h"
+#include "runtime/graph_optimizer.h"
+
+namespace tfrepro {
+namespace distributed {
+
+class MasterSession {
+ public:
+  struct Options {
+    OptimizerOptions optimizer;
+    // Optional wire model applied to cross-task transfers.
+    NetworkModel network;
+    bool use_network_model = false;
+  };
+
+  // Clones `graph`; the cluster must outlive the session.
+  static Result<std::unique_ptr<MasterSession>> Create(
+      const Graph& graph, InProcessCluster* cluster, const Options& options);
+  static Result<std::unique_ptr<MasterSession>> Create(
+      const Graph& graph, InProcessCluster* cluster) {
+    return Create(graph, cluster, Options{});
+  }
+
+  // Runs one distributed step (same contract as DirectSession::Run).
+  Status Run(const std::vector<std::pair<std::string, Tensor>>& feeds,
+             const std::vector<std::string>& fetches,
+             const std::vector<std::string>& targets,
+             std::vector<Tensor>* outputs);
+
+  Status Run(const std::vector<std::string>& fetches,
+             std::vector<Tensor>* outputs) {
+    return Run({}, fetches, {}, outputs);
+  }
+
+ private:
+  MasterSession(const Graph& graph, InProcessCluster* cluster,
+                const Options& options);
+
+  struct CompiledStep {
+    std::string handle;
+    std::vector<TaskWorker*> participating;
+  };
+
+  Result<CompiledStep*> GetOrCompile(
+      const std::vector<std::string>& feed_names,
+      const std::vector<std::string>& fetches,
+      const std::vector<std::string>& targets);
+
+  Options options_;
+  InProcessCluster* cluster_;
+  std::unique_ptr<Graph> graph_;
+  std::string session_prefix_;
+  ThreadPool timer_pool_;
+
+  std::mutex mu_;
+  std::map<std::string, std::unique_ptr<CompiledStep>> compiled_;
+  int64_t next_step_id_ = 1;
+  int64_t next_handle_ = 0;
+};
+
+}  // namespace distributed
+}  // namespace tfrepro
+
+#endif  // TFREPRO_DISTRIBUTED_MASTER_H_

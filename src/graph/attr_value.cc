@@ -1,0 +1,138 @@
+#include "graph/attr_value.h"
+
+#include <sstream>
+
+namespace tfrepro {
+
+AttrValue::Kind AttrValue::kind() const {
+  struct Visitor {
+    Kind operator()(const std::monostate&) { return Kind::kNone; }
+    Kind operator()(const int64_t&) { return Kind::kInt; }
+    Kind operator()(const float&) { return Kind::kFloat; }
+    Kind operator()(const bool&) { return Kind::kBool; }
+    Kind operator()(const std::string&) { return Kind::kString; }
+    Kind operator()(const DataType&) { return Kind::kType; }
+    Kind operator()(const TensorShape&) { return Kind::kShape; }
+    Kind operator()(const Tensor&) { return Kind::kTensor; }
+    Kind operator()(const std::vector<int64_t>&) { return Kind::kIntList; }
+    Kind operator()(const std::vector<float>&) { return Kind::kFloatList; }
+    Kind operator()(const std::vector<std::string>&) {
+      return Kind::kStringList;
+    }
+    Kind operator()(const DataTypeVector&) { return Kind::kTypeList; }
+    Kind operator()(const std::vector<TensorShape>&) {
+      return Kind::kShapeList;
+    }
+  };
+  return std::visit(Visitor{}, value_);
+}
+
+const char* AttrKindName(AttrValue::Kind kind) {
+  switch (kind) {
+    case AttrValue::Kind::kNone:
+      return "none";
+    case AttrValue::Kind::kInt:
+      return "int";
+    case AttrValue::Kind::kFloat:
+      return "float";
+    case AttrValue::Kind::kBool:
+      return "bool";
+    case AttrValue::Kind::kString:
+      return "string";
+    case AttrValue::Kind::kType:
+      return "type";
+    case AttrValue::Kind::kShape:
+      return "shape";
+    case AttrValue::Kind::kTensor:
+      return "tensor";
+    case AttrValue::Kind::kIntList:
+      return "list(int)";
+    case AttrValue::Kind::kFloatList:
+      return "list(float)";
+    case AttrValue::Kind::kStringList:
+      return "list(string)";
+    case AttrValue::Kind::kTypeList:
+      return "list(type)";
+    case AttrValue::Kind::kShapeList:
+      return "list(shape)";
+  }
+  return "unknown";
+}
+
+std::string AttrValue::DebugString() const {
+  std::ostringstream os;
+  switch (kind()) {
+    case Kind::kNone:
+      os << "<none>";
+      break;
+    case Kind::kInt:
+      os << i();
+      break;
+    case Kind::kFloat:
+      os << f();
+      break;
+    case Kind::kBool:
+      os << (b() ? "true" : "false");
+      break;
+    case Kind::kString:
+      os << "\"" << s() << "\"";
+      break;
+    case Kind::kType:
+      os << DataTypeName(type());
+      break;
+    case Kind::kShape:
+      os << shape().DebugString();
+      break;
+    case Kind::kTensor:
+      os << tensor().DebugString(4);
+      break;
+    case Kind::kIntList: {
+      os << "[";
+      for (size_t j = 0; j < int_list().size(); ++j) {
+        if (j) os << ",";
+        os << int_list()[j];
+      }
+      os << "]";
+      break;
+    }
+    case Kind::kFloatList: {
+      os << "[";
+      for (size_t j = 0; j < float_list().size(); ++j) {
+        if (j) os << ",";
+        os << float_list()[j];
+      }
+      os << "]";
+      break;
+    }
+    case Kind::kStringList: {
+      os << "[";
+      for (size_t j = 0; j < string_list().size(); ++j) {
+        if (j) os << ",";
+        os << "\"" << string_list()[j] << "\"";
+      }
+      os << "]";
+      break;
+    }
+    case Kind::kTypeList: {
+      os << "[";
+      for (size_t j = 0; j < type_list().size(); ++j) {
+        if (j) os << ",";
+        os << DataTypeName(type_list()[j]);
+      }
+      os << "]";
+      break;
+    }
+    case Kind::kShapeList: {
+      os << "[";
+      for (size_t j = 0; j < shape_list().size(); ++j) {
+        if (j) os << ",";
+        os << shape_list()[j].DebugString();
+      }
+      os << "]";
+      break;
+    }
+  }
+  return os.str();
+}
+
+}  // namespace tfrepro

@@ -1,0 +1,102 @@
+// AttrValue: the compile-time attributes attached to operations
+// (paper §3.1: "an operation ... may have zero or more compile-time
+// attributes that determine its behavior").
+
+#ifndef TFREPRO_GRAPH_ATTR_VALUE_H_
+#define TFREPRO_GRAPH_ATTR_VALUE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "core/status.h"
+#include "core/tensor.h"
+#include "core/tensor_shape.h"
+#include "core/types.h"
+
+namespace tfrepro {
+
+class AttrValue {
+ public:
+  enum class Kind {
+    kNone,
+    kInt,
+    kFloat,
+    kBool,
+    kString,
+    kType,
+    kShape,
+    kTensor,
+    kIntList,
+    kFloatList,
+    kStringList,
+    kTypeList,
+    kShapeList,
+  };
+
+  AttrValue() = default;
+  AttrValue(int64_t v) : value_(v) {}                        // NOLINT
+  AttrValue(int v) : value_(static_cast<int64_t>(v)) {}      // NOLINT
+  AttrValue(float v) : value_(v) {}                          // NOLINT
+  AttrValue(double v) : value_(static_cast<float>(v)) {}     // NOLINT
+  AttrValue(bool v) : value_(v) {}                           // NOLINT
+  AttrValue(const char* v) : value_(std::string(v)) {}       // NOLINT
+  AttrValue(std::string v) : value_(std::move(v)) {}         // NOLINT
+  AttrValue(DataType v) : value_(v) {}                       // NOLINT
+  AttrValue(TensorShape v) : value_(std::move(v)) {}         // NOLINT
+  AttrValue(Tensor v) : value_(std::move(v)) {}              // NOLINT
+  AttrValue(std::vector<int64_t> v) : value_(std::move(v)) {}     // NOLINT
+  AttrValue(std::vector<float> v) : value_(std::move(v)) {}       // NOLINT
+  AttrValue(std::vector<std::string> v) : value_(std::move(v)) {} // NOLINT
+  AttrValue(DataTypeVector v) : value_(std::move(v)) {}           // NOLINT
+  AttrValue(std::vector<TensorShape> v) : value_(std::move(v)) {} // NOLINT
+
+  Kind kind() const;
+
+  bool has_value() const { return kind() != Kind::kNone; }
+
+  // Typed accessors; each asserts the stored kind.
+  int64_t i() const { return std::get<int64_t>(value_); }
+  float f() const { return std::get<float>(value_); }
+  bool b() const { return std::get<bool>(value_); }
+  const std::string& s() const { return std::get<std::string>(value_); }
+  DataType type() const { return std::get<DataType>(value_); }
+  const TensorShape& shape() const { return std::get<TensorShape>(value_); }
+  const Tensor& tensor() const { return std::get<Tensor>(value_); }
+  const std::vector<int64_t>& int_list() const {
+    return std::get<std::vector<int64_t>>(value_);
+  }
+  const std::vector<float>& float_list() const {
+    return std::get<std::vector<float>>(value_);
+  }
+  const std::vector<std::string>& string_list() const {
+    return std::get<std::vector<std::string>>(value_);
+  }
+  const DataTypeVector& type_list() const {
+    return std::get<DataTypeVector>(value_);
+  }
+  const std::vector<TensorShape>& shape_list() const {
+    return std::get<std::vector<TensorShape>>(value_);
+  }
+
+  std::string DebugString() const;
+
+ private:
+  std::variant<std::monostate, int64_t, float, bool, std::string, DataType,
+               TensorShape, Tensor, std::vector<int64_t>, std::vector<float>,
+               std::vector<std::string>, DataTypeVector,
+               std::vector<TensorShape>>
+      value_;
+};
+
+using AttrMap = std::map<std::string, AttrValue>;
+
+// Returns the attr type name ("int", "type", "list(shape)", ...) used in
+// OpDef attr specs for a given kind.
+const char* AttrKindName(AttrValue::Kind kind);
+
+}  // namespace tfrepro
+
+#endif  // TFREPRO_GRAPH_ATTR_VALUE_H_

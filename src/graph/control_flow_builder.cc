@@ -1,0 +1,181 @@
+#include "graph/control_flow_builder.h"
+
+#include <map>
+#include <set>
+
+#include "graph/ops.h"
+
+namespace tfrepro {
+namespace ops {
+
+Result<std::vector<Output>> Cond(GraphBuilder* b, Output pred,
+                                 const std::vector<Output>& inputs,
+                                 const BranchFn& then_branch,
+                                 const BranchFn& else_branch) {
+  // Switch every input on the predicate; feed output 1 (true) to the then
+  // branch and output 0 (false) to the else branch. The untaken side's
+  // values are dead and its subgraph never executes.
+  std::vector<Output> then_inputs;
+  std::vector<Output> else_inputs;
+  for (const Output& in : inputs) {
+    Node* sw = Switch(b, in, pred);
+    if (sw == nullptr) return b->status();
+    else_inputs.emplace_back(sw, 0);
+    then_inputs.emplace_back(sw, 1);
+  }
+  std::vector<Output> then_outputs = then_branch(b, then_inputs);
+  std::vector<Output> else_outputs = else_branch(b, else_inputs);
+  TF_RETURN_IF_ERROR(b->status());
+  if (then_outputs.size() != else_outputs.size()) {
+    return InvalidArgument("Cond branches returned different arities: " +
+                           std::to_string(then_outputs.size()) + " vs " +
+                           std::to_string(else_outputs.size()));
+  }
+  std::vector<Output> results;
+  for (size_t i = 0; i < then_outputs.size(); ++i) {
+    Node* merge = Merge(b, {else_outputs[i], then_outputs[i]});
+    if (merge == nullptr) return b->status();
+    results.emplace_back(merge, 0);
+  }
+  return results;
+}
+
+namespace {
+
+// Rewires edges from outside the loop frame into auto-inserted constant
+// Enter nodes (what tf.while_loop does for captured values): a value
+// produced in the parent frame cannot feed a node executing inside the
+// loop directly, because pending counts are tracked per frame/iteration.
+Status CaptureExternalInputs(GraphBuilder* b, const std::string& frame,
+                             const std::set<Node*>& in_frame) {
+  Graph* g = b->graph();
+  std::map<Output, Output> entered;  // external output -> Enter output
+  for (Node* node : in_frame) {
+    std::vector<const Edge*> in_edges(node->in_edges().begin(),
+                                      node->in_edges().end());
+    for (const Edge* e : in_edges) {
+      if (e->IsControlEdge()) continue;
+      Node* src = e->src;
+      if (in_frame.count(src) > 0) continue;
+      if (src->IsEnter() && src->GetAttr("frame_name").s() == frame) continue;
+      Output external(src, e->src_output);
+      auto it = entered.find(external);
+      if (it == entered.end()) {
+        Output enter = Enter(b, external, frame, /*is_constant=*/true);
+        TF_RETURN_IF_ERROR(b->status());
+        it = entered.emplace(external, enter).first;
+      }
+      int dst_input = e->dst_input;
+      g->RemoveEdge(e);
+      TF_RETURN_IF_ERROR(
+          g->AddEdge(it->second.node, it->second.index, node, dst_input)
+              .status());
+    }
+  }
+  return Status::OK();
+}
+
+// Nodes added to the graph between two id marks.
+void CollectNewNodes(Graph* g, int from_id, std::set<Node*>* out) {
+  for (int id = from_id; id < g->num_node_ids(); ++id) {
+    Node* n = g->FindNodeById(id);
+    if (n != nullptr) out->insert(n);
+  }
+}
+
+}  // namespace
+
+Result<std::vector<Output>> WhileLoop(GraphBuilder* b,
+                                      const std::vector<Output>& initial,
+                                      const CondFn& cond, const BodyFn& body,
+                                      const std::vector<Output>& invariants,
+                                      const std::string& name) {
+  if (initial.empty()) {
+    return InvalidArgument("WhileLoop needs at least one loop variable");
+  }
+  Graph* g = b->graph();
+  const std::string frame =
+      name.empty() ? g->NewName("while_frame") : name;
+
+  // Enter each loop variable; Merge(Enter, <back edge placeholder>).
+  std::vector<Node*> merges;
+  std::vector<Output> merged;
+  for (const Output& init : initial) {
+    Output enter = Enter(b, init, frame);
+    Node* merge = Merge(b, {enter, enter});  // 2nd input rewired below
+    if (merge == nullptr) return b->status();
+    merges.push_back(merge);
+    merged.emplace_back(merge, 0);
+  }
+  // Loop invariants enter once and are re-delivered every iteration.
+  std::vector<Output> carried = merged;
+  for (const Output& inv : invariants) {
+    carried.push_back(Enter(b, inv, frame, /*is_constant=*/true));
+  }
+
+  // Track nodes created by the callbacks so externally-captured values can
+  // be auto-Entered afterwards.
+  std::set<Node*> in_frame(merges.begin(), merges.end());
+  int mark = g->num_node_ids();
+
+  Output predicate = cond(b, carried);
+  TF_RETURN_IF_ERROR(b->status());
+  Output loop_cond = LoopCond(b, predicate);
+
+  // Switch each merged variable on the loop condition: output 0 exits,
+  // output 1 continues into the body.
+  std::vector<Output> exits;
+  std::vector<Output> body_inputs;
+  std::vector<Node*> switches;
+  for (const Output& m : merged) {
+    Node* sw = Switch(b, m, loop_cond);
+    if (sw == nullptr) return b->status();
+    switches.push_back(sw);
+    exits.push_back(Exit(b, Output(sw, 0)));
+    body_inputs.emplace_back(sw, 1);
+  }
+  for (size_t i = initial.size(); i < carried.size(); ++i) {
+    body_inputs.push_back(carried[i]);  // invariants pass through unswitched
+  }
+
+  std::vector<Output> next_values = body(b, body_inputs);
+  TF_RETURN_IF_ERROR(b->status());
+  if (next_values.size() != initial.size()) {
+    return InvalidArgument(
+        "WhileLoop body must return one value per loop variable (" +
+        std::to_string(initial.size()) + "), got " +
+        std::to_string(next_values.size()));
+  }
+
+  // Close the cycles through NextIteration.
+  for (size_t i = 0; i < merges.size(); ++i) {
+    Output next = NextIteration(b, next_values[i]);
+    TF_RETURN_IF_ERROR(b->status());
+    Result<const Edge*> placeholder_edge = merges[i]->input_edge(1);
+    TF_RETURN_IF_ERROR(placeholder_edge.status());
+    g->RemoveEdge(placeholder_edge.value());
+    TF_RETURN_IF_ERROR(g->AddEdge(next.node, 0, merges[i], 1).status());
+  }
+
+  // Everything created by the callbacks executes inside the frame — except
+  // Exit nodes (they deliver to the parent) and any nested loop's own Exits
+  // (a nested WhileLoop handles its interior itself, and its Exit outputs
+  // belong to THIS frame's body, which CollectNewNodes already covers).
+  CollectNewNodes(g, mark, &in_frame);
+  for (const Output& exit : exits) in_frame.erase(exit.node);
+  // Source nodes (constants etc.) created inside the callbacks execute in
+  // the root frame — the executor schedules no-input nodes at root
+  // iteration 0 — so they are externals to capture, not frame members.
+  for (auto it = in_frame.begin(); it != in_frame.end();) {
+    if ((*it)->in_edges().empty()) {
+      it = in_frame.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  TF_RETURN_IF_ERROR(CaptureExternalInputs(b, frame, in_frame));
+  return exits;
+}
+
+}  // namespace ops
+}  // namespace tfrepro

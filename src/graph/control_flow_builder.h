@@ -1,0 +1,47 @@
+// High-level builders for dynamic control flow (paper §3.4): wraps the
+// Switch/Merge/Enter/Exit/NextIteration primitives into tf.cond /
+// tf.while_loop-style constructors, including the loop-invariant handling
+// (is_constant Enters) and back-edge wiring.
+
+#ifndef TFREPRO_GRAPH_CONTROL_FLOW_BUILDER_H_
+#define TFREPRO_GRAPH_CONTROL_FLOW_BUILDER_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "graph/graph_builder.h"
+
+namespace tfrepro {
+namespace ops {
+
+// Builds a non-strict conditional: only the taken branch executes
+// (Figure 2). Both branch functions receive the switched inputs and must
+// return the same number of outputs.
+using BranchFn =
+    std::function<std::vector<Output>(GraphBuilder*, const std::vector<Output>&)>;
+
+Result<std::vector<Output>> Cond(GraphBuilder* b, Output pred,
+                                 const std::vector<Output>& inputs,
+                                 const BranchFn& then_branch,
+                                 const BranchFn& else_branch);
+
+// Builds "while cond(vars): vars = body(vars)" with the §3.4 primitives.
+// `invariants` are loop-constant values made available to cond/body via
+// is_constant Enter nodes (appended to the callback argument list after the
+// loop variables). Returns the Exit outputs, one per loop variable.
+using CondFn =
+    std::function<Output(GraphBuilder*, const std::vector<Output>&)>;
+using BodyFn =
+    std::function<std::vector<Output>(GraphBuilder*, const std::vector<Output>&)>;
+
+Result<std::vector<Output>> WhileLoop(GraphBuilder* b,
+                                      const std::vector<Output>& initial,
+                                      const CondFn& cond, const BodyFn& body,
+                                      const std::vector<Output>& invariants = {},
+                                      const std::string& name = "");
+
+}  // namespace ops
+}  // namespace tfrepro
+
+#endif  // TFREPRO_GRAPH_CONTROL_FLOW_BUILDER_H_

@@ -1,0 +1,86 @@
+#include "graph/dot.h"
+
+#include <map>
+#include <sstream>
+#include <vector>
+
+namespace tfrepro {
+
+namespace {
+
+std::string Escape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+const char* ShapeFor(const Node* node) {
+  if (node->IsControlFlow()) return "diamond";
+  if (node->IsStateful()) return "box";
+  return "ellipse";
+}
+
+void EmitNode(std::ostringstream& os, const Node* node) {
+  os << "  n" << node->id() << " [label=\"" << Escape(node->name()) << "\\n"
+     << Escape(node->op()) << "\" shape=" << ShapeFor(node) << "];\n";
+}
+
+}  // namespace
+
+std::string GraphToDot(const Graph& graph, const DotOptions& options) {
+  std::ostringstream os;
+  os << "digraph G {\n  rankdir=TB;\n  node [fontsize=10];\n";
+
+  if (options.group_by_device) {
+    // Group nodes into clusters by device.
+    std::map<std::string, std::vector<const Node*>> by_device;
+    for (Node* node : graph.nodes()) {
+      std::string device = node->assigned_device().empty()
+                               ? node->requested_device()
+                               : node->assigned_device();
+      by_device[device].push_back(node);
+    }
+    int cluster = 0;
+    for (const auto& [device, nodes] : by_device) {
+      if (!device.empty()) {
+        os << "  subgraph cluster_" << cluster++ << " {\n"
+           << "    label=\"" << Escape(device) << "\";\n    style=dashed;\n";
+      }
+      for (const Node* node : nodes) {
+        os << (device.empty() ? "" : "  ");
+        EmitNode(os, node);
+      }
+      if (!device.empty()) {
+        os << "  }\n";
+      }
+    }
+  } else {
+    for (Node* node : graph.nodes()) {
+      EmitNode(os, node);
+    }
+  }
+
+  for (Node* node : graph.nodes()) {
+    for (const Edge* e : node->out_edges()) {
+      if (e->IsControlEdge()) {
+        if (!options.include_control_edges) continue;
+        os << "  n" << node->id() << " -> n" << e->dst->id()
+           << " [style=dashed];\n";
+      } else {
+        os << "  n" << node->id() << " -> n" << e->dst->id() << " [label=\""
+           << e->src_output << "\" fontsize=8];\n";
+      }
+    }
+  }
+  os << "}\n";
+  return os.str();
+}
+
+std::string GraphToDot(const Graph& graph) {
+  return GraphToDot(graph, DotOptions{});
+}
+
+}  // namespace tfrepro

@@ -1,0 +1,28 @@
+// Graphviz export (the paper's §5 tooling mentions "a graph visualizer
+// that helps users to understand the connections in a model"; this is the
+// text-format backend for such a tool).
+
+#ifndef TFREPRO_GRAPH_DOT_H_
+#define TFREPRO_GRAPH_DOT_H_
+
+#include <string>
+
+#include "graph/graph.h"
+
+namespace tfrepro {
+
+struct DotOptions {
+  // Cluster nodes by assigned (or requested) device.
+  bool group_by_device = true;
+  // Include control edges (dashed).
+  bool include_control_edges = true;
+};
+
+// Renders the graph in Graphviz dot format. Stateful ops are drawn as
+// boxes, control flow as diamonds, everything else as ellipses.
+std::string GraphToDot(const Graph& graph, const DotOptions& options);
+std::string GraphToDot(const Graph& graph);
+
+}  // namespace tfrepro
+
+#endif  // TFREPRO_GRAPH_DOT_H_

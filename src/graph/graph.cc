@@ -1,0 +1,300 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+#include <cassert>
+#include <deque>
+#include <sstream>
+
+namespace tfrepro {
+
+void ParseInputName(const std::string& input, std::string* name, int* port) {
+  if (!input.empty() && input[0] == '^') {
+    *name = input.substr(1);
+    *port = kControlSlot;
+    return;
+  }
+  size_t colon = input.rfind(':');
+  if (colon == std::string::npos) {
+    *name = input;
+    *port = 0;
+    return;
+  }
+  *name = input.substr(0, colon);
+  *port = std::stoi(input.substr(colon + 1));
+}
+
+const AttrValue* Node::FindAttr(const std::string& name) const {
+  auto it = def_.attrs.find(name);
+  if (it != def_.attrs.end()) return &it->second;
+  const AttrDef* def = op_def_->FindAttr(name);
+  if (def != nullptr && def->has_default) return &def->default_value;
+  return nullptr;
+}
+
+const AttrValue& Node::GetAttr(const std::string& name) const {
+  const AttrValue* v = FindAttr(name);
+  assert(v != nullptr && "missing attr");
+  return *v;
+}
+
+bool Node::HasAttr(const std::string& name) const {
+  return FindAttr(name) != nullptr;
+}
+
+void Node::SetAttr(const std::string& name, AttrValue value) {
+  def_.attrs[name] = std::move(value);
+}
+
+Result<const Edge*> Node::input_edge(int i) const {
+  for (const Edge* e : in_edges_) {
+    if (!e->IsControlEdge() && e->dst_input == i) return e;
+  }
+  return NotFound("node '" + name() + "' has no edge into input slot " +
+                  std::to_string(i));
+}
+
+std::vector<const Edge*> Node::ordered_data_inputs() const {
+  std::vector<const Edge*> result;
+  for (const Edge* e : in_edges_) {
+    if (!e->IsControlEdge()) result.push_back(e);
+  }
+  std::sort(result.begin(), result.end(),
+            [](const Edge* a, const Edge* b) {
+              return a->dst_input < b->dst_input;
+            });
+  return result;
+}
+
+std::string Node::DebugString() const {
+  std::ostringstream os;
+  os << name() << " = " << op() << "(";
+  bool first = true;
+  for (const Edge* e : ordered_data_inputs()) {
+    if (!first) os << ", ";
+    first = false;
+    os << e->src->name() << ":" << e->src_output;
+  }
+  for (const Edge* e : in_edges_) {
+    if (e->IsControlEdge()) {
+      if (!first) os << ", ";
+      first = false;
+      os << "^" << e->src->name();
+    }
+  }
+  os << ")";
+  if (!assigned_device_.empty()) os << " @" << assigned_device_;
+  return os.str();
+}
+
+Graph::Graph(const OpRegistry* registry) : registry_(registry) {}
+
+Graph::~Graph() {
+  for (Node* n : nodes_) delete n;
+}
+
+Result<Node*> Graph::AddNode(NodeDef def) {
+  if (def.name.empty()) {
+    return InvalidArgument("node with empty name");
+  }
+  if (name_index_.count(def.name) > 0) {
+    return AlreadyExists("duplicate node name '" + def.name + "'");
+  }
+  Result<const OpDef*> op_def = registry_->LookUpOrError(def.op);
+  if (!op_def.ok()) {
+    return op_def.status();
+  }
+  auto node = std::make_unique<Node>();
+  node->def_ = std::move(def);
+  node->op_def_ = op_def.value();
+  Status s = ResolveArgTypes(*node->op_def_, node->def_.attrs,
+                             &node->input_types_, &node->output_types_);
+  if (!s.ok()) {
+    return s.Prepend("node '" + node->def_.name + "'");
+  }
+  node->id_ = static_cast<int>(nodes_.size());
+  Node* raw = node.release();
+  nodes_.push_back(raw);
+  name_index_[raw->name()] = raw;
+  ++num_live_nodes_;
+  return raw;
+}
+
+Result<const Edge*> Graph::AddEdge(Node* src, int src_output, Node* dst,
+                                   int dst_input) {
+  if (src_output < 0 || src_output >= src->num_outputs()) {
+    return InvalidArgument("edge from '" + src->name() + "' output " +
+                           std::to_string(src_output) + " out of range (" +
+                           std::to_string(src->num_outputs()) + " outputs)");
+  }
+  if (dst_input < 0 || dst_input >= dst->num_inputs()) {
+    return InvalidArgument("edge into '" + dst->name() + "' input " +
+                           std::to_string(dst_input) + " out of range (" +
+                           std::to_string(dst->num_inputs()) + " inputs)");
+  }
+  DataType src_type = src->output_type(src_output);
+  DataType dst_type = dst->input_type(dst_input);
+  // A ref output may feed a value input (implicit deref); a value output may
+  // not feed a ref input.
+  if (BaseType(src_type) != BaseType(dst_type)) {
+    return InvalidArgument(
+        std::string("type mismatch on edge ") + src->name() + ":" +
+        std::to_string(src_output) + " (" + DataTypeName(src_type) + ") -> " +
+        dst->name() + ":" + std::to_string(dst_input) + " (" +
+        DataTypeName(dst_type) + ")");
+  }
+  if (IsRefType(dst_type) && !IsRefType(src_type)) {
+    return InvalidArgument("non-ref output " + src->name() + ":" +
+                           std::to_string(src_output) +
+                           " cannot feed ref input " + dst->name() + ":" +
+                           std::to_string(dst_input));
+  }
+  for (const Edge* e : dst->in_edges_) {
+    if (!e->IsControlEdge() && e->dst_input == dst_input) {
+      return AlreadyExists("input slot " + std::to_string(dst_input) +
+                           " of '" + dst->name() + "' already connected");
+    }
+  }
+  auto edge = std::make_unique<Edge>();
+  edge->src = src;
+  edge->src_output = src_output;
+  edge->dst = dst;
+  edge->dst_input = dst_input;
+  const Edge* raw = edge.get();
+  edges_.push_back(std::move(edge));
+  src->out_edges_.push_back(raw);
+  dst->in_edges_.push_back(raw);
+  return raw;
+}
+
+const Edge* Graph::AddControlEdge(Node* src, Node* dst) {
+  for (const Edge* e : dst->in_edges_) {
+    if (e->IsControlEdge() && e->src == src) return e;  // dedup
+  }
+  auto edge = std::make_unique<Edge>();
+  edge->src = src;
+  edge->src_output = kControlSlot;
+  edge->dst = dst;
+  edge->dst_input = kControlSlot;
+  const Edge* raw = edge.get();
+  edges_.push_back(std::move(edge));
+  src->out_edges_.push_back(raw);
+  dst->in_edges_.push_back(raw);
+  return raw;
+}
+
+void Graph::RemoveEdge(const Edge* edge) {
+  auto erase_from = [edge](std::vector<const Edge*>* list) {
+    list->erase(std::remove(list->begin(), list->end(), edge), list->end());
+  };
+  erase_from(&edge->src->out_edges_);
+  erase_from(&edge->dst->in_edges_);
+  edges_.erase(std::remove_if(edges_.begin(), edges_.end(),
+                              [edge](const std::unique_ptr<Edge>& e) {
+                                return e.get() == edge;
+                              }),
+               edges_.end());
+}
+
+void Graph::RemoveNode(Node* node) {
+  std::vector<const Edge*> to_remove(node->in_edges_.begin(),
+                                     node->in_edges_.end());
+  to_remove.insert(to_remove.end(), node->out_edges_.begin(),
+                   node->out_edges_.end());
+  for (const Edge* e : to_remove) RemoveEdge(e);
+  name_index_.erase(node->name());
+  nodes_[node->id_] = nullptr;
+  --num_live_nodes_;
+  delete node;
+}
+
+Node* Graph::FindNode(const std::string& name) const {
+  auto it = name_index_.find(name);
+  return it == name_index_.end() ? nullptr : it->second;
+}
+
+std::vector<Node*> Graph::nodes() const {
+  std::vector<Node*> out;
+  out.reserve(num_live_nodes_);
+  for (Node* n : nodes_) {
+    if (n != nullptr) out.push_back(n);
+  }
+  return out;
+}
+
+Result<std::vector<Node*>> Graph::TopologicalOrder() const {
+  // Kahn's algorithm; edges into Merge from NextIteration are back edges and
+  // excluded so cyclic loop graphs still order (paper §3.4).
+  std::map<const Node*, int> pending;
+  std::deque<Node*> ready;
+  for (Node* n : nodes()) {
+    int count = 0;
+    for (const Edge* e : n->in_edges()) {
+      if (e->src->IsNextIteration() && n->IsMerge()) continue;
+      ++count;
+    }
+    pending[n] = count;
+    if (count == 0) ready.push_back(n);
+  }
+  std::vector<Node*> order;
+  order.reserve(num_live_nodes_);
+  while (!ready.empty()) {
+    Node* n = ready.front();
+    ready.pop_front();
+    order.push_back(n);
+    for (const Edge* e : n->out_edges()) {
+      if (n->IsNextIteration() && e->dst->IsMerge()) continue;
+      if (--pending[e->dst] == 0) ready.push_back(e->dst);
+    }
+  }
+  if (static_cast<int>(order.size()) != num_live_nodes_) {
+    return InvalidArgument(
+        "graph contains a cycle not mediated by NextIteration");
+  }
+  return order;
+}
+
+std::unique_ptr<Graph> Graph::Clone(
+    std::map<const Node*, Node*>* node_map) const {
+  auto copy = std::make_unique<Graph>(registry_);
+  std::map<const Node*, Node*> local_map;
+  for (const Node* n : nodes()) {
+    NodeDef def = n->def();
+    def.inputs.clear();
+    Result<Node*> added = copy->AddNode(std::move(def));
+    TF_CHECK_OK(added.status());
+    added.value()->set_assigned_device(n->assigned_device());
+    local_map[n] = added.value();
+  }
+  for (const auto& e : edges_) {
+    Node* src = local_map[e->src];
+    Node* dst = local_map[e->dst];
+    if (e->IsControlEdge()) {
+      copy->AddControlEdge(src, dst);
+    } else {
+      TF_CHECK_OK(
+          copy->AddEdge(src, e->src_output, dst, e->dst_input).status());
+    }
+  }
+  copy->name_counter_ = name_counter_;
+  if (node_map != nullptr) *node_map = std::move(local_map);
+  return copy;
+}
+
+std::string Graph::NewName(const std::string& prefix) {
+  for (;;) {
+    std::string name = prefix + "_" + std::to_string(name_counter_++);
+    if (name_index_.count(name) == 0) return name;
+  }
+}
+
+std::string Graph::DebugString() const {
+  std::ostringstream os;
+  os << "Graph{" << num_live_nodes_ << " nodes\n";
+  for (const Node* n : nodes()) {
+    os << "  " << n->DebugString() << "\n";
+  }
+  os << "}";
+  return os.str();
+}
+
+}  // namespace tfrepro

@@ -1,0 +1,175 @@
+// The dataflow graph (paper §3): vertices are operations, edges carry
+// tensors; special control edges enforce ordering without carrying data.
+
+#ifndef TFREPRO_GRAPH_GRAPH_H_
+#define TFREPRO_GRAPH_GRAPH_H_
+
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/status.h"
+#include "graph/attr_value.h"
+#include "graph/op_def.h"
+#include "graph/op_registry.h"
+
+namespace tfrepro {
+
+class Graph;
+class Node;
+
+// Port number used for control edges.
+constexpr int kControlSlot = -1;
+
+struct Edge {
+  Node* src = nullptr;
+  int src_output = 0;  // kControlSlot for control edges
+  Node* dst = nullptr;
+  int dst_input = 0;  // kControlSlot for control edges
+
+  bool IsControlEdge() const { return src_output == kControlSlot; }
+};
+
+// The serializable definition of one node.
+struct NodeDef {
+  std::string name;
+  std::string op;
+  std::vector<std::string> inputs;  // "node", "node:port", or "^node"
+  std::string device;               // requested device (may be partial)
+  AttrMap attrs;
+};
+
+class Node {
+ public:
+  int id() const { return id_; }
+  const std::string& name() const { return def_.name; }
+  const std::string& op() const { return def_.op; }
+  const OpDef& op_def() const { return *op_def_; }
+  const NodeDef& def() const { return def_; }
+
+  const AttrMap& attrs() const { return def_.attrs; }
+  const AttrValue* FindAttr(const std::string& name) const;
+  // Attr lookup falling back to the OpDef default; asserts presence.
+  const AttrValue& GetAttr(const std::string& name) const;
+  bool HasAttr(const std::string& name) const;
+  void SetAttr(const std::string& name, AttrValue value);
+
+  int num_inputs() const { return static_cast<int>(input_types_.size()); }
+  int num_outputs() const { return static_cast<int>(output_types_.size()); }
+  DataType input_type(int i) const { return input_types_[i]; }
+  DataType output_type(int i) const { return output_types_[i]; }
+  const DataTypeVector& input_types() const { return input_types_; }
+  const DataTypeVector& output_types() const { return output_types_; }
+
+  const std::string& requested_device() const { return def_.device; }
+  const std::string& assigned_device() const { return assigned_device_; }
+  void set_assigned_device(const std::string& device) {
+    assigned_device_ = device;
+  }
+  void set_requested_device(const std::string& device) {
+    def_.device = device;
+  }
+
+  // All edges (data edges are NOT sorted by dst_input here).
+  const std::vector<const Edge*>& in_edges() const { return in_edges_; }
+  const std::vector<const Edge*>& out_edges() const { return out_edges_; }
+
+  // The data edge feeding input slot `i`, or error if missing.
+  Result<const Edge*> input_edge(int i) const;
+  // All data input edges ordered by dst_input.
+  std::vector<const Edge*> ordered_data_inputs() const;
+
+  bool IsOp(const std::string& op) const { return def_.op == op; }
+  bool IsSwitch() const { return IsOp("Switch") || IsOp("RefSwitch"); }
+  bool IsMerge() const { return IsOp("Merge") || IsOp("RefMerge"); }
+  bool IsEnter() const { return IsOp("Enter") || IsOp("RefEnter"); }
+  bool IsExit() const { return IsOp("Exit"); }
+  bool IsNextIteration() const { return IsOp("NextIteration"); }
+  bool IsLoopCond() const { return IsOp("LoopCond"); }
+  bool IsControlFlow() const {
+    return IsSwitch() || IsMerge() || IsEnter() || IsExit() ||
+           IsNextIteration() || IsLoopCond();
+  }
+  bool IsSend() const { return IsOp("_Send"); }
+  bool IsRecv() const { return IsOp("_Recv"); }
+  bool IsConstant() const { return IsOp("Const"); }
+  bool IsVariable() const { return IsOp("Variable"); }
+  bool IsStateful() const { return op_def_->is_stateful(); }
+
+  std::string DebugString() const;
+
+ private:
+  friend class Graph;
+  int id_ = -1;
+  NodeDef def_;
+  const OpDef* op_def_ = nullptr;
+  std::string assigned_device_;
+  DataTypeVector input_types_;
+  DataTypeVector output_types_;
+  std::vector<const Edge*> in_edges_;
+  std::vector<const Edge*> out_edges_;
+};
+
+class Graph {
+ public:
+  explicit Graph(const OpRegistry* registry = OpRegistry::Global());
+  ~Graph();
+
+  Graph(const Graph&) = delete;
+  Graph& operator=(const Graph&) = delete;
+
+  // Adds a node; the NodeDef's `inputs` field is ignored here — connect with
+  // AddEdge/AddControlEdge. Resolves the op schema and concrete types.
+  Result<Node*> AddNode(NodeDef def);
+
+  // Adds a data edge src:src_output -> dst:dst_input, type-checked.
+  Result<const Edge*> AddEdge(Node* src, int src_output, Node* dst,
+                              int dst_input);
+  const Edge* AddControlEdge(Node* src, Node* dst);
+
+  void RemoveEdge(const Edge* edge);
+  void RemoveNode(Node* node);
+
+  Node* FindNode(const std::string& name) const;
+
+  // Iteration: `nodes()` skips removed slots.
+  std::vector<Node*> nodes() const;
+  int num_nodes() const { return num_live_nodes_; }
+  int num_node_ids() const { return static_cast<int>(nodes_.size()); }
+  Node* FindNodeById(int id) const {
+    return id >= 0 && id < num_node_ids() ? nodes_[id] : nullptr;
+  }
+
+  // Returns nodes in a topological order over data+control edges. Back
+  // edges from NextIteration are excluded from the ordering constraint (the
+  // graph may legally be cyclic through them, paper §3.4).
+  Result<std::vector<Node*>> TopologicalOrder() const;
+
+  // Deep-copies this graph; `node_map` (optional) receives old->new.
+  std::unique_ptr<Graph> Clone(
+      std::map<const Node*, Node*>* node_map = nullptr) const;
+
+  // Generates a fresh node name with the given prefix.
+  std::string NewName(const std::string& prefix);
+
+  const OpRegistry* registry() const { return registry_; }
+
+  std::string DebugString() const;
+
+ private:
+  const OpRegistry* registry_;
+  std::vector<Node*> nodes_;  // indexed by id; removed => nullptr
+  std::vector<std::unique_ptr<Edge>> edges_;
+  std::map<std::string, Node*> name_index_;
+  int num_live_nodes_ = 0;
+  int name_counter_ = 0;
+};
+
+// Splits "node:3" / "node" / "^node" into (name, port); control inputs get
+// port kControlSlot.
+void ParseInputName(const std::string& input, std::string* name, int* port);
+
+}  // namespace tfrepro
+
+#endif  // TFREPRO_GRAPH_GRAPH_H_

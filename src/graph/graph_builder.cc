@@ -1,0 +1,77 @@
+#include "graph/graph_builder.h"
+
+namespace tfrepro {
+
+NodeBuilder::NodeBuilder(GraphBuilder* builder, std::string op_name)
+    : builder_(builder), op_name_(std::move(op_name)) {}
+
+NodeBuilder& NodeBuilder::Name(const std::string& name) {
+  name_ = name;
+  return *this;
+}
+
+NodeBuilder& NodeBuilder::Input(const Output& out) {
+  inputs_.push_back(out);
+  return *this;
+}
+
+NodeBuilder& NodeBuilder::Input(const std::vector<Output>& outs) {
+  inputs_.insert(inputs_.end(), outs.begin(), outs.end());
+  return *this;
+}
+
+NodeBuilder& NodeBuilder::ControlInput(Node* node) {
+  control_inputs_.push_back(node);
+  return *this;
+}
+
+NodeBuilder& NodeBuilder::Attr(const std::string& name, AttrValue value) {
+  attrs_[name] = std::move(value);
+  return *this;
+}
+
+NodeBuilder& NodeBuilder::Device(const std::string& device) {
+  device_ = device;
+  return *this;
+}
+
+Node* NodeBuilder::FinalizeNode() {
+  if (!builder_->ok()) return nullptr;
+  for (const Output& in : inputs_) {
+    if (!in.valid()) {
+      builder_->UpdateStatus(
+          InvalidArgument("invalid input to op " + op_name_));
+      return nullptr;
+    }
+  }
+  NodeDef def;
+  def.op = op_name_;
+  def.name = name_.empty() ? builder_->graph()->NewName(op_name_) : name_;
+  def.device = device_.empty() ? builder_->default_device() : device_;
+  def.attrs = attrs_;
+  Result<Node*> node = builder_->graph()->AddNode(std::move(def));
+  if (!node.ok()) {
+    builder_->UpdateStatus(node.status());
+    return nullptr;
+  }
+  for (size_t i = 0; i < inputs_.size(); ++i) {
+    Result<const Edge*> edge = builder_->graph()->AddEdge(
+        inputs_[i].node, inputs_[i].index, node.value(), static_cast<int>(i));
+    if (!edge.ok()) {
+      builder_->UpdateStatus(edge.status());
+      return nullptr;
+    }
+  }
+  for (Node* c : control_inputs_) {
+    builder_->graph()->AddControlEdge(c, node.value());
+  }
+  return node.value();
+}
+
+Output NodeBuilder::Finalize() {
+  Node* node = FinalizeNode();
+  if (node == nullptr) return Output();
+  return Output(node, 0);
+}
+
+}  // namespace tfrepro

@@ -1,0 +1,121 @@
+// Client-side graph construction API (the role of the Python/C++ client
+// layers in Figure 5). A GraphBuilder wraps a Graph with fluent node
+// construction and sticky error handling, so model code reads linearly:
+//
+//   GraphBuilder b(&graph);
+//   Output w = b.Op("Variable").Attr("dtype", DataType::kFloat)
+//                 .Attr("shape", TensorShape({4, 2})).Finalize();
+//   Output y = b.Op("MatMul").Input(x).Input(w).Finalize();
+//   TF_CHECK_OK(b.status());
+
+#ifndef TFREPRO_GRAPH_GRAPH_BUILDER_H_
+#define TFREPRO_GRAPH_GRAPH_BUILDER_H_
+
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace tfrepro {
+
+// One output of a node: the value flowing along an edge.
+struct Output {
+  Node* node = nullptr;
+  int index = 0;
+
+  Output() = default;
+  Output(Node* n, int i = 0) : node(n), index(i) {}  // NOLINT
+
+  bool valid() const { return node != nullptr; }
+  DataType dtype() const {
+    return node == nullptr ? DataType::kInvalid : node->output_type(index);
+  }
+  std::string name() const {
+    if (node == nullptr) return "<invalid>";
+    return node->name() + ":" + std::to_string(index);
+  }
+  bool operator==(const Output& o) const {
+    return node == o.node && index == o.index;
+  }
+  bool operator<(const Output& o) const {
+    if (node != o.node) return node < o.node;
+    return index < o.index;
+  }
+};
+
+class GraphBuilder;
+
+class NodeBuilder {
+ public:
+  NodeBuilder(GraphBuilder* builder, std::string op_name);
+
+  NodeBuilder& Name(const std::string& name);
+  NodeBuilder& Input(const Output& out);
+  NodeBuilder& Input(const std::vector<Output>& outs);
+  NodeBuilder& ControlInput(Node* node);
+  NodeBuilder& Attr(const std::string& name, AttrValue value);
+  NodeBuilder& Device(const std::string& device);
+
+  // Creates the node and its edges. On error, records the error in the
+  // GraphBuilder and returns an invalid Output.
+  Output Finalize();
+  // As Finalize() but returns the node (for multi-output ops).
+  Node* FinalizeNode();
+
+ private:
+  GraphBuilder* builder_;
+  std::string op_name_;
+  std::string name_;
+  std::string device_;
+  std::vector<Output> inputs_;
+  std::vector<Node*> control_inputs_;
+  AttrMap attrs_;
+};
+
+class GraphBuilder {
+ public:
+  explicit GraphBuilder(Graph* graph) : graph_(graph) {}
+
+  Graph* graph() const { return graph_; }
+
+  NodeBuilder Op(const std::string& op_name) {
+    return NodeBuilder(this, op_name);
+  }
+
+  // First error encountered during construction (sticky).
+  const Status& status() const { return status_; }
+  bool ok() const { return status_.ok(); }
+
+  void UpdateStatus(const Status& s) {
+    if (status_.ok() && !s.ok()) status_ = s;
+  }
+
+  // Default device applied to nodes that do not set one explicitly; used by
+  // clients to express placement constraints like "/job:ps/task:0"
+  // (paper §3.3).
+  void SetDefaultDevice(const std::string& device) { default_device_ = device; }
+  const std::string& default_device() const { return default_device_; }
+
+  // RAII helper: scopes a default device.
+  class DeviceScope {
+   public:
+    DeviceScope(GraphBuilder* b, const std::string& device)
+        : builder_(b), saved_(b->default_device()) {
+      b->SetDefaultDevice(device);
+    }
+    ~DeviceScope() { builder_->SetDefaultDevice(saved_); }
+
+   private:
+    GraphBuilder* builder_;
+    std::string saved_;
+  };
+
+ private:
+  Graph* graph_;
+  Status status_;
+  std::string default_device_;
+};
+
+}  // namespace tfrepro
+
+#endif  // TFREPRO_GRAPH_GRAPH_BUILDER_H_

@@ -1,0 +1,324 @@
+#include "graph/op_def.h"
+
+#include <cctype>
+#include <sstream>
+
+namespace tfrepro {
+
+namespace {
+
+// Trims ASCII whitespace from both ends.
+std::string Trim(const std::string& s) {
+  size_t b = 0;
+  size_t e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+bool LookupConcreteType(const std::string& name, DataType* dt) {
+  if (name == "float") {
+    *dt = DataType::kFloat;
+  } else if (name == "double") {
+    *dt = DataType::kDouble;
+  } else if (name == "int32") {
+    *dt = DataType::kInt32;
+  } else if (name == "int64") {
+    *dt = DataType::kInt64;
+  } else if (name == "bool") {
+    *dt = DataType::kBool;
+  } else if (name == "string") {
+    *dt = DataType::kString;
+  } else if (name == "uint8") {
+    *dt = DataType::kUint8;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+bool IsValidAttrTypeName(const std::string& t) {
+  return t == "int" || t == "float" || t == "bool" || t == "string" ||
+         t == "type" || t == "shape" || t == "tensor" || t == "list(int)" ||
+         t == "list(float)" || t == "list(string)" || t == "list(type)" ||
+         t == "list(shape)";
+}
+
+// Parses a default-value literal for the given attr type.
+Status ParseDefault(const std::string& type, const std::string& literal,
+                    AttrValue* out) {
+  std::string v = Trim(literal);
+  if (type == "int") {
+    *out = AttrValue(static_cast<int64_t>(std::stoll(v)));
+  } else if (type == "float") {
+    *out = AttrValue(std::stof(v));
+  } else if (type == "bool") {
+    if (v == "true") {
+      *out = AttrValue(true);
+    } else if (v == "false") {
+      *out = AttrValue(false);
+    } else {
+      return InvalidArgument("bad bool default '" + v + "'");
+    }
+  } else if (type == "string") {
+    if (v.size() >= 2 && (v.front() == '\'' || v.front() == '"')) {
+      v = v.substr(1, v.size() - 2);
+    }
+    *out = AttrValue(v);
+  } else if (type == "type") {
+    DataType dt;
+    if (!LookupConcreteType(v, &dt)) {
+      return InvalidArgument("bad type default '" + v + "'");
+    }
+    *out = AttrValue(dt);
+  } else if (type == "list(int)") {
+    // "[1, 2, 3]" or "[]".
+    std::vector<int64_t> vals;
+    std::string inner = Trim(v);
+    if (inner.size() < 2 || inner.front() != '[' || inner.back() != ']') {
+      return InvalidArgument("bad list(int) default '" + v + "'");
+    }
+    inner = inner.substr(1, inner.size() - 2);
+    std::istringstream is(inner);
+    std::string tok;
+    while (std::getline(is, tok, ',')) {
+      tok = Trim(tok);
+      if (!tok.empty()) vals.push_back(std::stoll(tok));
+    }
+    *out = AttrValue(vals);
+  } else {
+    return Unimplemented("no default parsing for attr type " + type);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+const AttrDef* OpDef::FindAttr(const std::string& name) const {
+  for (const AttrDef& a : attrs_) {
+    if (a.name == name) return &a;
+  }
+  return nullptr;
+}
+
+std::string OpDef::DebugString() const {
+  std::ostringstream os;
+  os << "Op<" << name_ << ">(";
+  for (size_t i = 0; i < inputs_.size(); ++i) {
+    if (i) os << ", ";
+    os << inputs_[i].name;
+  }
+  os << ") -> (";
+  for (size_t i = 0; i < outputs_.size(); ++i) {
+    if (i) os << ", ";
+    os << outputs_[i].name;
+  }
+  os << ")";
+  if (is_stateful_) os << " stateful";
+  return os.str();
+}
+
+OpDefBuilder::OpDefBuilder(std::string name) { op_.name_ = std::move(name); }
+
+OpDefBuilder& OpDefBuilder::Input(const std::string& spec) {
+  input_specs_.push_back(spec);
+  return *this;
+}
+
+OpDefBuilder& OpDefBuilder::Output(const std::string& spec) {
+  output_specs_.push_back(spec);
+  return *this;
+}
+
+OpDefBuilder& OpDefBuilder::Attr(const std::string& spec) {
+  attr_specs_.push_back(spec);
+  return *this;
+}
+
+OpDefBuilder& OpDefBuilder::SetIsStateful() {
+  op_.is_stateful_ = true;
+  return *this;
+}
+
+OpDefBuilder& OpDefBuilder::SetAllowsUninitializedInput() {
+  op_.allows_uninitialized_input_ = true;
+  return *this;
+}
+
+Status OpDefBuilder::ParseAttr(const std::string& spec, AttrDef* attr) const {
+  // Form: "name: type" or "name: type = default".
+  size_t colon = spec.find(':');
+  if (colon == std::string::npos) {
+    return InvalidArgument("attr spec missing ':' in '" + spec + "'");
+  }
+  attr->name = Trim(spec.substr(0, colon));
+  std::string rest = Trim(spec.substr(colon + 1));
+  size_t eq = rest.find('=');
+  std::string type_str = Trim(eq == std::string::npos ? rest : rest.substr(0, eq));
+  if (!IsValidAttrTypeName(type_str)) {
+    return InvalidArgument("bad attr type '" + type_str + "' in '" + spec + "'");
+  }
+  attr->type = type_str;
+  if (eq != std::string::npos) {
+    TF_RETURN_IF_ERROR(
+        ParseDefault(type_str, rest.substr(eq + 1), &attr->default_value));
+    attr->has_default = true;
+  }
+  return Status::OK();
+}
+
+Status OpDefBuilder::ParseArg(const std::string& spec, ArgDef* arg) const {
+  // Forms: "name: T" | "name: float" | "name: N * T" | "name: Ref(T)"
+  //        | "name: Tlist" where Tlist is a declared list(type) attr.
+  size_t colon = spec.find(':');
+  if (colon == std::string::npos) {
+    return InvalidArgument("arg spec missing ':' in '" + spec + "'");
+  }
+  arg->name = Trim(spec.substr(0, colon));
+  std::string rest = Trim(spec.substr(colon + 1));
+
+  if (rest.rfind("Ref(", 0) == 0 && rest.back() == ')') {
+    arg->is_ref = true;
+    rest = Trim(rest.substr(4, rest.size() - 5));
+  }
+
+  size_t star = rest.find('*');
+  if (star != std::string::npos) {
+    arg->number_attr = Trim(rest.substr(0, star));
+    rest = Trim(rest.substr(star + 1));
+  }
+
+  DataType dt;
+  if (LookupConcreteType(rest, &dt)) {
+    arg->type = dt;
+    return Status::OK();
+  }
+
+  // Otherwise `rest` names an attr — either a "type" attr or a "list(type)"
+  // attr; disambiguated in Build() once all attrs are known.
+  arg->type_attr = rest;
+  return Status::OK();
+}
+
+Result<OpDef> OpDefBuilder::Build() const {
+  OpDef op = op_;
+  for (const std::string& spec : attr_specs_) {
+    AttrDef attr;
+    Status s = ParseAttr(spec, &attr);
+    if (!s.ok()) return s.Prepend("op " + op.name_);
+    op.attrs_.push_back(attr);
+  }
+
+  auto finish_args = [&op](const std::vector<std::string>& specs,
+                           std::vector<ArgDef>* out,
+                           const OpDefBuilder* builder) -> Status {
+    for (const std::string& spec : specs) {
+      ArgDef arg;
+      TF_RETURN_IF_ERROR(builder->ParseArg(spec, &arg));
+      if (!arg.type_attr.empty()) {
+        const AttrDef* attr = op.FindAttr(arg.type_attr);
+        if (attr == nullptr) {
+          return InvalidArgument("op " + op.name_ + ": arg '" + arg.name +
+                                 "' references undeclared attr '" +
+                                 arg.type_attr + "'");
+        }
+        if (attr->type == "list(type)") {
+          arg.type_list_attr = arg.type_attr;
+          arg.type_attr.clear();
+        } else if (attr->type != "type") {
+          return InvalidArgument("op " + op.name_ + ": arg '" + arg.name +
+                                 "' references attr '" + attr->name +
+                                 "' of non-type kind " + attr->type);
+        }
+      }
+      if (!arg.number_attr.empty()) {
+        const AttrDef* attr = op.FindAttr(arg.number_attr);
+        if (attr == nullptr || attr->type != "int") {
+          return InvalidArgument("op " + op.name_ + ": arg '" + arg.name +
+                                 "' number_attr '" + arg.number_attr +
+                                 "' is not a declared int attr");
+        }
+      }
+      out->push_back(arg);
+    }
+    return Status::OK();
+  };
+
+  TF_RETURN_IF_ERROR(finish_args(input_specs_, &op.inputs_, this));
+  TF_RETURN_IF_ERROR(finish_args(output_specs_, &op.outputs_, this));
+  return op;
+}
+
+namespace {
+
+Status ResolveOneArg(const OpDef& op_def, const ArgDef& arg,
+                     const AttrMap& attrs, DataTypeVector* out) {
+  auto get_attr = [&](const std::string& name) -> const AttrValue* {
+    auto it = attrs.find(name);
+    if (it != attrs.end()) return &it->second;
+    const AttrDef* def = op_def.FindAttr(name);
+    if (def != nullptr && def->has_default) return &def->default_value;
+    return nullptr;
+  };
+
+  if (!arg.type_list_attr.empty()) {
+    const AttrValue* v = get_attr(arg.type_list_attr);
+    if (v == nullptr || v->kind() != AttrValue::Kind::kTypeList) {
+      return InvalidArgument("op " + op_def.name() + ": missing list(type) attr '" +
+                             arg.type_list_attr + "'");
+    }
+    for (DataType dt : v->type_list()) {
+      out->push_back(arg.is_ref ? MakeRefType(dt) : dt);
+    }
+    return Status::OK();
+  }
+
+  DataType dt = arg.type;
+  if (!arg.type_attr.empty()) {
+    const AttrValue* v = get_attr(arg.type_attr);
+    if (v == nullptr || v->kind() != AttrValue::Kind::kType) {
+      return InvalidArgument("op " + op_def.name() + ": missing type attr '" +
+                             arg.type_attr + "'");
+    }
+    dt = v->type();
+  }
+  if (dt == DataType::kInvalid) {
+    return Internal("op " + op_def.name() + ": arg '" + arg.name +
+                    "' has no resolvable type");
+  }
+  if (arg.is_ref) dt = MakeRefType(dt);
+
+  int64_t repeat = 1;
+  if (!arg.number_attr.empty()) {
+    const AttrValue* v = get_attr(arg.number_attr);
+    if (v == nullptr || v->kind() != AttrValue::Kind::kInt) {
+      return InvalidArgument("op " + op_def.name() + ": missing int attr '" +
+                             arg.number_attr + "'");
+    }
+    repeat = v->i();
+    if (repeat < 0) {
+      return InvalidArgument("op " + op_def.name() + ": attr '" +
+                             arg.number_attr + "' is negative");
+    }
+  }
+  for (int64_t i = 0; i < repeat; ++i) out->push_back(dt);
+  return Status::OK();
+}
+
+}  // namespace
+
+Status ResolveArgTypes(const OpDef& op_def, const AttrMap& attrs,
+                       DataTypeVector* input_types,
+                       DataTypeVector* output_types) {
+  input_types->clear();
+  output_types->clear();
+  for (const ArgDef& arg : op_def.inputs()) {
+    TF_RETURN_IF_ERROR(ResolveOneArg(op_def, arg, attrs, input_types));
+  }
+  for (const ArgDef& arg : op_def.outputs()) {
+    TF_RETURN_IF_ERROR(ResolveOneArg(op_def, arg, attrs, output_types));
+  }
+  return Status::OK();
+}
+
+}  // namespace tfrepro

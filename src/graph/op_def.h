@@ -1,0 +1,106 @@
+// OpDef: the schema of an operation type — its inputs, outputs, and attrs
+// (paper §3.1). Ops can be generic (types resolved through a "type" attr)
+// and variadic (arity resolved through an "int" attr, like AddN's N).
+
+#ifndef TFREPRO_GRAPH_OP_DEF_H_
+#define TFREPRO_GRAPH_OP_DEF_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/status.h"
+#include "graph/attr_value.h"
+
+namespace tfrepro {
+
+// One input or output argument in an op schema.
+struct ArgDef {
+  std::string name;
+  // Exactly one of `type` / `type_attr` is set: either a concrete type, or
+  // the name of a "type" attr on the node that supplies it.
+  DataType type = DataType::kInvalid;
+  std::string type_attr;
+  // If non-empty, this arg is a repeated sequence whose length is given by
+  // the named "int" attr (e.g. AddN's inputs: "inputs: N * T").
+  std::string number_attr;
+  // If non-empty, this arg is a heterogeneous list whose types are given by
+  // the named "list(type)" attr (e.g. Merge/DynamicStitch variants).
+  std::string type_list_attr;
+  // Reference argument (mutable buffer handle, e.g. Variable's output).
+  bool is_ref = false;
+};
+
+struct AttrDef {
+  std::string name;
+  std::string type;  // "int", "float", "bool", "string", "type", "shape",
+                     // "tensor", "list(int)", "list(type)", ...
+  AttrValue default_value;  // Kind::kNone if no default.
+  bool has_default = false;
+};
+
+class OpDef {
+ public:
+  const std::string& name() const { return name_; }
+  const std::vector<ArgDef>& inputs() const { return inputs_; }
+  const std::vector<ArgDef>& outputs() const { return outputs_; }
+  const std::vector<AttrDef>& attrs() const { return attrs_; }
+  bool is_stateful() const { return is_stateful_; }
+  bool allows_uninitialized_input() const {
+    return allows_uninitialized_input_;
+  }
+
+  const AttrDef* FindAttr(const std::string& name) const;
+
+  std::string DebugString() const;
+
+ private:
+  friend class OpDefBuilder;
+  std::string name_;
+  std::vector<ArgDef> inputs_;
+  std::vector<ArgDef> outputs_;
+  std::vector<AttrDef> attrs_;
+  bool is_stateful_ = false;
+  bool allows_uninitialized_input_ = false;
+};
+
+// Builds an OpDef from compact spec strings:
+//   input/output specs:  "x: T", "y: float", "inputs: N * T", "ref: Ref(T)",
+//                        "values: Tlist" (where Tlist is a list(type) attr)
+//   attr specs:          "T: type", "N: int", "N: int = 4",
+//                        "transpose_a: bool = false", "strides: list(int)",
+//                        "padding: string = 'SAME'"
+class OpDefBuilder {
+ public:
+  explicit OpDefBuilder(std::string name);
+
+  OpDefBuilder& Input(const std::string& spec);
+  OpDefBuilder& Output(const std::string& spec);
+  OpDefBuilder& Attr(const std::string& spec);
+  OpDefBuilder& SetIsStateful();
+  OpDefBuilder& SetAllowsUninitializedInput();
+
+  // Validates cross-references (every type_attr names a declared "type"
+  // attr, etc.) and returns the finished OpDef.
+  Result<OpDef> Build() const;
+
+ private:
+  Status ParseArg(const std::string& spec, ArgDef* arg) const;
+  Status ParseAttr(const std::string& spec, AttrDef* attr) const;
+
+  OpDef op_;
+  std::vector<std::string> input_specs_;
+  std::vector<std::string> output_specs_;
+  std::vector<std::string> attr_specs_;
+};
+
+// Resolves the concrete input/output data types of a node given its attrs.
+// Repeated args are expanded (an "N * T" input with N=3 contributes 3
+// entries). Ref outputs are marked with the ref bit.
+Status ResolveArgTypes(const OpDef& op_def, const AttrMap& attrs,
+                       DataTypeVector* input_types,
+                       DataTypeVector* output_types);
+
+}  // namespace tfrepro
+
+#endif  // TFREPRO_GRAPH_OP_DEF_H_

@@ -1,0 +1,73 @@
+#include "graph/op_registry.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace tfrepro {
+
+OpRegistry* OpRegistry::Global() {
+  static OpRegistry* registry = new OpRegistry();
+  return registry;
+}
+
+Status OpRegistry::Register(OpDef op_def) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::string name = op_def.name();
+  auto [it, inserted] =
+      ops_.emplace(name, std::make_unique<OpDef>(std::move(op_def)));
+  (void)it;
+  if (!inserted) {
+    return AlreadyExists("op '" + name + "' registered twice");
+  }
+  return Status::OK();
+}
+
+const OpDef* OpRegistry::LookUp(const std::string& op_name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = ops_.find(op_name);
+  return it == ops_.end() ? nullptr : it->second.get();
+}
+
+Result<const OpDef*> OpRegistry::LookUpOrError(
+    const std::string& op_name) const {
+  const OpDef* def = LookUp(op_name);
+  if (def == nullptr) {
+    return NotFound("op type '" + op_name + "' is not registered");
+  }
+  return def;
+}
+
+std::vector<std::string> OpRegistry::ListOps() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> names;
+  names.reserve(ops_.size());
+  for (const auto& [name, def] : ops_) {
+    names.push_back(name);
+  }
+  return names;
+}
+
+int OpRegistry::num_ops() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int>(ops_.size());
+}
+
+namespace register_op_detail {
+
+OpRegistrar::OpRegistrar(const OpDefBuilder& builder) {
+  Result<OpDef> op_def = builder.Build();
+  if (!op_def.ok()) {
+    std::fprintf(stderr, "Invalid op registration: %s\n",
+                 op_def.status().ToString().c_str());
+    std::abort();
+  }
+  Status s = OpRegistry::Global()->Register(std::move(op_def).value());
+  if (!s.ok()) {
+    std::fprintf(stderr, "Op registration failed: %s\n", s.ToString().c_str());
+    std::abort();
+  }
+}
+
+}  // namespace register_op_detail
+
+}  // namespace tfrepro

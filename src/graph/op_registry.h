@@ -1,0 +1,62 @@
+// Global registry of operation schemas. The runtime ships with over 200
+// standard operations (paper §5); each is registered here at static-init
+// time via REGISTER_OP.
+
+#ifndef TFREPRO_GRAPH_OP_REGISTRY_H_
+#define TFREPRO_GRAPH_OP_REGISTRY_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/status.h"
+#include "graph/op_def.h"
+
+namespace tfrepro {
+
+class OpRegistry {
+ public:
+  static OpRegistry* Global();
+
+  Status Register(OpDef op_def);
+
+  // Returns nullptr if not found.
+  const OpDef* LookUp(const std::string& op_name) const;
+
+  Result<const OpDef*> LookUpOrError(const std::string& op_name) const;
+
+  std::vector<std::string> ListOps() const;
+  int num_ops() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<OpDef>> ops_;
+};
+
+namespace register_op_detail {
+// Registers the OpDef produced by a builder; aborts on invalid specs so
+// schema errors surface at startup rather than mid-training. The implicit
+// conversion from OpDefBuilder lets REGISTER_OP chain builder calls:
+//
+//   REGISTER_OP("MatMul")
+//       .Input("a: T").Input("b: T").Output("product: T")
+//       .Attr("T: type")
+//       .Attr("transpose_a: bool = false");
+struct OpRegistrar {
+  OpRegistrar(const OpDefBuilder& builder);  // NOLINT: implicit
+};
+}  // namespace register_op_detail
+
+#define REGISTER_OP_CONCAT_(a, b) a##b
+#define REGISTER_OP_CONCAT(a, b) REGISTER_OP_CONCAT_(a, b)
+
+#define REGISTER_OP(name)                                 \
+  static const ::tfrepro::register_op_detail::OpRegistrar \
+      REGISTER_OP_CONCAT(op_registrar_, __COUNTER__) =    \
+          ::tfrepro::OpDefBuilder(name)
+
+}  // namespace tfrepro
+
+#endif  // TFREPRO_GRAPH_OP_REGISTRY_H_

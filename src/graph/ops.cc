@@ -1,0 +1,656 @@
+#include "graph/ops.h"
+
+namespace tfrepro {
+namespace ops {
+
+namespace {
+
+// Most ops carry their element type in attr "T" derived from an input.
+Output Binary(GraphBuilder* b, const char* op, Output x, Output y) {
+  return b->Op(op)
+      .Input(x)
+      .Input(y)
+      .Attr("T", BaseType(x.dtype()))
+      .Finalize();
+}
+
+Output Unary(GraphBuilder* b, const char* op, Output x) {
+  return b->Op(op).Input(x).Attr("T", BaseType(x.dtype())).Finalize();
+}
+
+}  // namespace
+
+Output Const(GraphBuilder* b, Tensor value, const std::string& name) {
+  NodeBuilder nb = b->Op("Const");
+  if (!name.empty()) nb.Name(name);
+  return nb.Attr("dtype", value.dtype()).Attr("value", std::move(value))
+      .Finalize();
+}
+Output Const(GraphBuilder* b, float value) {
+  return Const(b, Tensor::Scalar(value));
+}
+Output Const(GraphBuilder* b, int32_t value) {
+  return Const(b, Tensor::Scalar(value));
+}
+Output Const(GraphBuilder* b, int64_t value) {
+  return Const(b, Tensor::Scalar(value));
+}
+Output ConstVecI32(GraphBuilder* b, const std::vector<int32_t>& values) {
+  return Const(b, Tensor::Vec<int32_t>(values));
+}
+
+Output Placeholder(GraphBuilder* b, DataType dtype, const TensorShape& shape,
+                   const std::string& name) {
+  NodeBuilder nb = b->Op("Placeholder");
+  if (!name.empty()) nb.Name(name);
+  return nb.Attr("dtype", dtype).Attr("shape", shape).Finalize();
+}
+
+Output Add(GraphBuilder* b, Output x, Output y) { return Binary(b, "Add", x, y); }
+Output Sub(GraphBuilder* b, Output x, Output y) { return Binary(b, "Sub", x, y); }
+Output Mul(GraphBuilder* b, Output x, Output y) { return Binary(b, "Mul", x, y); }
+Output Div(GraphBuilder* b, Output x, Output y) { return Binary(b, "Div", x, y); }
+Output Pow(GraphBuilder* b, Output x, Output y) { return Binary(b, "Pow", x, y); }
+Output Maximum(GraphBuilder* b, Output x, Output y) {
+  return Binary(b, "Maximum", x, y);
+}
+Output Minimum(GraphBuilder* b, Output x, Output y) {
+  return Binary(b, "Minimum", x, y);
+}
+Output SquaredDifference(GraphBuilder* b, Output x, Output y) {
+  return Binary(b, "SquaredDifference", x, y);
+}
+Output Neg(GraphBuilder* b, Output x) { return Unary(b, "Neg", x); }
+Output Exp(GraphBuilder* b, Output x) { return Unary(b, "Exp", x); }
+Output Log(GraphBuilder* b, Output x) { return Unary(b, "Log", x); }
+Output Sqrt(GraphBuilder* b, Output x) { return Unary(b, "Sqrt", x); }
+Output Rsqrt(GraphBuilder* b, Output x) { return Unary(b, "Rsqrt", x); }
+Output Square(GraphBuilder* b, Output x) { return Unary(b, "Square", x); }
+Output Abs(GraphBuilder* b, Output x) { return Unary(b, "Abs", x); }
+Output Sign(GraphBuilder* b, Output x) { return Unary(b, "Sign", x); }
+Output Tanh(GraphBuilder* b, Output x) { return Unary(b, "Tanh", x); }
+Output Sigmoid(GraphBuilder* b, Output x) { return Unary(b, "Sigmoid", x); }
+Output Relu(GraphBuilder* b, Output x) { return Unary(b, "Relu", x); }
+
+Output AddN(GraphBuilder* b, const std::vector<Output>& xs) {
+  if (xs.empty()) {
+    b->UpdateStatus(InvalidArgument("AddN with no inputs"));
+    return Output();
+  }
+  return b->Op("AddN")
+      .Input(xs)
+      .Attr("N", static_cast<int64_t>(xs.size()))
+      .Attr("T", BaseType(xs[0].dtype()))
+      .Finalize();
+}
+
+Output Less(GraphBuilder* b, Output x, Output y) {
+  return Binary(b, "Less", x, y);
+}
+Output LessEqual(GraphBuilder* b, Output x, Output y) {
+  return Binary(b, "LessEqual", x, y);
+}
+Output Greater(GraphBuilder* b, Output x, Output y) {
+  return Binary(b, "Greater", x, y);
+}
+Output GreaterEqual(GraphBuilder* b, Output x, Output y) {
+  return Binary(b, "GreaterEqual", x, y);
+}
+Output Equal(GraphBuilder* b, Output x, Output y) {
+  return Binary(b, "Equal", x, y);
+}
+Output LogicalAnd(GraphBuilder* b, Output x, Output y) {
+  return b->Op("LogicalAnd").Input(x).Input(y).Finalize();
+}
+Output LogicalNot(GraphBuilder* b, Output x) {
+  return b->Op("LogicalNot").Input(x).Finalize();
+}
+Output Select(GraphBuilder* b, Output cond, Output t, Output e) {
+  return b->Op("Select")
+      .Input(cond)
+      .Input(t)
+      .Input(e)
+      .Attr("T", BaseType(t.dtype()))
+      .Finalize();
+}
+Output Cast(GraphBuilder* b, Output x, DataType dst) {
+  return b->Op("Cast")
+      .Input(x)
+      .Attr("SrcT", BaseType(x.dtype()))
+      .Attr("DstT", dst)
+      .Finalize();
+}
+
+Output MatMul(GraphBuilder* b, Output x, Output y, bool transpose_a,
+              bool transpose_b) {
+  return b->Op("MatMul")
+      .Input(x)
+      .Input(y)
+      .Attr("T", BaseType(x.dtype()))
+      .Attr("transpose_a", transpose_a)
+      .Attr("transpose_b", transpose_b)
+      .Finalize();
+}
+Output BiasAdd(GraphBuilder* b, Output value, Output bias) {
+  return Binary(b, "BiasAdd", value, bias);
+}
+Output Conv2D(GraphBuilder* b, Output input, Output filter,
+              const std::vector<int64_t>& strides,
+              const std::string& padding) {
+  return b->Op("Conv2D")
+      .Input(input)
+      .Input(filter)
+      .Attr("T", BaseType(input.dtype()))
+      .Attr("strides", strides)
+      .Attr("padding", padding)
+      .Finalize();
+}
+Output MaxPool(GraphBuilder* b, Output input, const std::vector<int64_t>& ksize,
+               const std::vector<int64_t>& strides,
+               const std::string& padding) {
+  return b->Op("MaxPool")
+      .Input(input)
+      .Attr("T", BaseType(input.dtype()))
+      .Attr("ksize", ksize)
+      .Attr("strides", strides)
+      .Attr("padding", padding)
+      .Finalize();
+}
+Output AvgPool(GraphBuilder* b, Output input, const std::vector<int64_t>& ksize,
+               const std::vector<int64_t>& strides,
+               const std::string& padding) {
+  return b->Op("AvgPool")
+      .Input(input)
+      .Attr("T", BaseType(input.dtype()))
+      .Attr("ksize", ksize)
+      .Attr("strides", strides)
+      .Attr("padding", padding)
+      .Finalize();
+}
+Output Softmax(GraphBuilder* b, Output logits) {
+  return Unary(b, "Softmax", logits);
+}
+Output LogSoftmax(GraphBuilder* b, Output logits) {
+  return Unary(b, "LogSoftmax", logits);
+}
+Node* SoftmaxCrossEntropyWithLogits(GraphBuilder* b, Output features,
+                                    Output labels) {
+  return b->Op("SoftmaxCrossEntropyWithLogits")
+      .Input(features)
+      .Input(labels)
+      .Attr("T", BaseType(features.dtype()))
+      .FinalizeNode();
+}
+Node* SparseSoftmaxCrossEntropyWithLogits(GraphBuilder* b, Output features,
+                                          Output labels) {
+  return b->Op("SparseSoftmaxCrossEntropyWithLogits")
+      .Input(features)
+      .Input(labels)
+      .Attr("T", BaseType(features.dtype()))
+      .Attr("Tlabels", BaseType(labels.dtype()))
+      .FinalizeNode();
+}
+Output L2Loss(GraphBuilder* b, Output t) { return Unary(b, "L2Loss", t); }
+
+namespace {
+Output Reduce(GraphBuilder* b, const char* op, Output x, Output axes,
+              bool keep_dims) {
+  return b->Op(op)
+      .Input(x)
+      .Input(axes)
+      .Attr("T", BaseType(x.dtype()))
+      .Attr("keep_dims", keep_dims)
+      .Finalize();
+}
+Output AllAxes(GraphBuilder* b, Output x) {
+  Output rank = b->Op("Rank").Input(x).Attr("T", BaseType(x.dtype())).Finalize();
+  return Range(b, Const(b, int32_t{0}), rank, Const(b, int32_t{1}));
+}
+}  // namespace
+
+Output Sum(GraphBuilder* b, Output x, Output axes, bool keep_dims) {
+  return Reduce(b, "Sum", x, axes, keep_dims);
+}
+Output Mean(GraphBuilder* b, Output x, Output axes, bool keep_dims) {
+  return Reduce(b, "Mean", x, axes, keep_dims);
+}
+Output MaxReduce(GraphBuilder* b, Output x, Output axes, bool keep_dims) {
+  return Reduce(b, "Max", x, axes, keep_dims);
+}
+Output SumAll(GraphBuilder* b, Output x) {
+  return Sum(b, x, AllAxes(b, x));
+}
+Output MeanAll(GraphBuilder* b, Output x) {
+  return Mean(b, x, AllAxes(b, x));
+}
+Output ArgMax(GraphBuilder* b, Output x, int32_t axis) {
+  return b->Op("ArgMax")
+      .Input(x)
+      .Input(Const(b, axis))
+      .Attr("T", BaseType(x.dtype()))
+      .Finalize();
+}
+
+Output Shape(GraphBuilder* b, Output x) {
+  return b->Op("Shape").Input(x).Attr("T", BaseType(x.dtype())).Finalize();
+}
+Output Reshape(GraphBuilder* b, Output x, Output shape) {
+  return b->Op("Reshape")
+      .Input(x)
+      .Input(shape)
+      .Attr("T", BaseType(x.dtype()))
+      .Finalize();
+}
+Output Reshape(GraphBuilder* b, Output x, const std::vector<int32_t>& shape) {
+  return Reshape(b, x, ConstVecI32(b, shape));
+}
+Output ExpandDims(GraphBuilder* b, Output x, int32_t dim) {
+  return b->Op("ExpandDims")
+      .Input(x)
+      .Input(Const(b, dim))
+      .Attr("T", BaseType(x.dtype()))
+      .Finalize();
+}
+Output ZerosLike(GraphBuilder* b, Output x) {
+  return Unary(b, "ZerosLike", x);
+}
+Output OnesLike(GraphBuilder* b, Output x) { return Unary(b, "OnesLike", x); }
+Output Fill(GraphBuilder* b, Output dims, Output value) {
+  return b->Op("Fill")
+      .Input(dims)
+      .Input(value)
+      .Attr("T", BaseType(value.dtype()))
+      .Finalize();
+}
+Output Range(GraphBuilder* b, Output start, Output limit, Output delta) {
+  return b->Op("Range").Input(start).Input(limit).Input(delta).Finalize();
+}
+Output Concat(GraphBuilder* b, int32_t axis, const std::vector<Output>& xs) {
+  if (xs.empty()) {
+    b->UpdateStatus(InvalidArgument("Concat with no inputs"));
+    return Output();
+  }
+  return b->Op("Concat")
+      .Input(Const(b, axis))
+      .Input(xs)
+      .Attr("N", static_cast<int64_t>(xs.size()))
+      .Attr("T", BaseType(xs[0].dtype()))
+      .Finalize();
+}
+std::vector<Output> Split(GraphBuilder* b, int32_t axis, Output value,
+                          int num_split) {
+  Node* node = b->Op("Split")
+                   .Input(Const(b, axis))
+                   .Input(value)
+                   .Attr("num_split", static_cast<int64_t>(num_split))
+                   .Attr("T", BaseType(value.dtype()))
+                   .FinalizeNode();
+  std::vector<Output> outs;
+  for (int i = 0; i < num_split; ++i) {
+    outs.emplace_back(node, node == nullptr ? 0 : i);
+  }
+  return outs;
+}
+Output Slice(GraphBuilder* b, Output input, const std::vector<int32_t>& begin,
+             const std::vector<int32_t>& size) {
+  return b->Op("Slice")
+      .Input(input)
+      .Input(ConstVecI32(b, begin))
+      .Input(ConstVecI32(b, size))
+      .Attr("T", BaseType(input.dtype()))
+      .Finalize();
+}
+Output Slice(GraphBuilder* b, Output input, Output begin, Output size) {
+  return b->Op("Slice")
+      .Input(input)
+      .Input(begin)
+      .Input(size)
+      .Attr("T", BaseType(input.dtype()))
+      .Finalize();
+}
+Output Tile(GraphBuilder* b, Output input, Output mult) {
+  return b->Op("Tile")
+      .Input(input)
+      .Input(mult)
+      .Attr("T", BaseType(input.dtype()))
+      .Finalize();
+}
+Output SumToShapeOf(GraphBuilder* b, Output grad, Output target) {
+  return b->Op("SumToShapeOf")
+      .Input(grad)
+      .Input(target)
+      .Attr("T", BaseType(grad.dtype()))
+      .Finalize();
+}
+Output Size(GraphBuilder* b, Output x) {
+  return b->Op("Size").Input(x).Attr("T", BaseType(x.dtype())).Finalize();
+}
+Output Rank(GraphBuilder* b, Output x) {
+  return b->Op("Rank").Input(x).Attr("T", BaseType(x.dtype())).Finalize();
+}
+
+Output Transpose(GraphBuilder* b, Output x, const std::vector<int32_t>& perm) {
+  return b->Op("Transpose")
+      .Input(x)
+      .Input(ConstVecI32(b, perm))
+      .Attr("T", BaseType(x.dtype()))
+      .Finalize();
+}
+Output Tile(GraphBuilder* b, Output input, const std::vector<int32_t>& mult) {
+  return b->Op("Tile")
+      .Input(input)
+      .Input(ConstVecI32(b, mult))
+      .Attr("T", BaseType(input.dtype()))
+      .Finalize();
+}
+Output Pack(GraphBuilder* b, const std::vector<Output>& xs, int64_t axis) {
+  if (xs.empty()) {
+    b->UpdateStatus(InvalidArgument("Pack with no inputs"));
+    return Output();
+  }
+  return b->Op("Pack")
+      .Input(xs)
+      .Attr("N", static_cast<int64_t>(xs.size()))
+      .Attr("T", BaseType(xs[0].dtype()))
+      .Attr("axis", axis)
+      .Finalize();
+}
+std::vector<Output> Unpack(GraphBuilder* b, Output value, int num,
+                           int64_t axis) {
+  Node* node = b->Op("Unpack")
+                   .Input(value)
+                   .Attr("num", static_cast<int64_t>(num))
+                   .Attr("T", BaseType(value.dtype()))
+                   .Attr("axis", axis)
+                   .FinalizeNode();
+  std::vector<Output> outs;
+  for (int i = 0; i < num; ++i) {
+    outs.emplace_back(node, node == nullptr ? 0 : i);
+  }
+  return outs;
+}
+Output OneHot(GraphBuilder* b, Output indices, int32_t depth, float on,
+              float off) {
+  return b->Op("OneHot")
+      .Input(indices)
+      .Input(Const(b, depth))
+      .Input(Const(b, on))
+      .Input(Const(b, off))
+      .Attr("T", DataType::kFloat)
+      .Attr("TI", BaseType(indices.dtype()))
+      .Finalize();
+}
+Output Gather(GraphBuilder* b, Output params, Output indices) {
+  return b->Op("Gather")
+      .Input(params)
+      .Input(indices)
+      .Attr("T", BaseType(params.dtype()))
+      .Attr("Tindices", BaseType(indices.dtype()))
+      .Finalize();
+}
+std::vector<Output> DynamicPartition(GraphBuilder* b, Output data,
+                                     Output partitions, int num_partitions) {
+  Node* node = b->Op("DynamicPartition")
+                   .Input(data)
+                   .Input(partitions)
+                   .Attr("num_partitions", static_cast<int64_t>(num_partitions))
+                   .Attr("T", BaseType(data.dtype()))
+                   .FinalizeNode();
+  std::vector<Output> outs;
+  for (int i = 0; i < num_partitions; ++i) {
+    outs.emplace_back(node, node == nullptr ? 0 : i);
+  }
+  return outs;
+}
+Output DynamicStitch(GraphBuilder* b, const std::vector<Output>& indices,
+                     const std::vector<Output>& data) {
+  if (indices.empty() || indices.size() != data.size()) {
+    b->UpdateStatus(InvalidArgument("DynamicStitch arity mismatch"));
+    return Output();
+  }
+  return b->Op("DynamicStitch")
+      .Input(indices)
+      .Input(data)
+      .Attr("N", static_cast<int64_t>(indices.size()))
+      .Attr("T", BaseType(data[0].dtype()))
+      .Finalize();
+}
+Output UnsortedSegmentSum(GraphBuilder* b, Output data, Output segment_ids,
+                          Output num_segments) {
+  return b->Op("UnsortedSegmentSum")
+      .Input(data)
+      .Input(segment_ids)
+      .Input(num_segments)
+      .Attr("T", BaseType(data.dtype()))
+      .Attr("Tindices", BaseType(segment_ids.dtype()))
+      .Finalize();
+}
+
+namespace {
+Output Random(GraphBuilder* b, const char* op,
+              const std::vector<int32_t>& shape, DataType dtype,
+              int64_t seed) {
+  return b->Op(op)
+      .Input(ConstVecI32(b, shape))
+      .Attr("dtype", dtype)
+      .Attr("seed", seed)
+      .Finalize();
+}
+}  // namespace
+
+Output RandomUniform(GraphBuilder* b, const std::vector<int32_t>& shape,
+                     DataType dtype, int64_t seed) {
+  return Random(b, "RandomUniform", shape, dtype, seed);
+}
+Output RandomNormal(GraphBuilder* b, const std::vector<int32_t>& shape,
+                    DataType dtype, int64_t seed) {
+  return Random(b, "RandomStandardNormal", shape, dtype, seed);
+}
+Output TruncatedNormal(GraphBuilder* b, const std::vector<int32_t>& shape,
+                       DataType dtype, int64_t seed) {
+  return Random(b, "TruncatedNormal", shape, dtype, seed);
+}
+
+Output Variable(GraphBuilder* b, DataType dtype, const TensorShape& shape,
+                const std::string& name) {
+  NodeBuilder nb = b->Op("Variable");
+  if (!name.empty()) nb.Name(name);
+  return nb.Attr("dtype", dtype).Attr("shape", shape).Finalize();
+}
+Output Assign(GraphBuilder* b, Output ref, Output value) {
+  return b->Op("Assign")
+      .Input(ref)
+      .Input(value)
+      .Attr("T", BaseType(ref.dtype()))
+      .Finalize();
+}
+Output AssignAdd(GraphBuilder* b, Output ref, Output value) {
+  return b->Op("AssignAdd")
+      .Input(ref)
+      .Input(value)
+      .Attr("T", BaseType(ref.dtype()))
+      .Finalize();
+}
+Output AssignSub(GraphBuilder* b, Output ref, Output value) {
+  return b->Op("AssignSub")
+      .Input(ref)
+      .Input(value)
+      .Attr("T", BaseType(ref.dtype()))
+      .Finalize();
+}
+Output ScatterAdd(GraphBuilder* b, Output ref, Output indices,
+                  Output updates) {
+  return b->Op("ScatterAdd")
+      .Input(ref)
+      .Input(indices)
+      .Input(updates)
+      .Attr("T", BaseType(ref.dtype()))
+      .Attr("Tindices", BaseType(indices.dtype()))
+      .Finalize();
+}
+Output ScatterSub(GraphBuilder* b, Output ref, Output indices,
+                  Output updates) {
+  return b->Op("ScatterSub")
+      .Input(ref)
+      .Input(indices)
+      .Input(updates)
+      .Attr("T", BaseType(ref.dtype()))
+      .Attr("Tindices", BaseType(indices.dtype()))
+      .Finalize();
+}
+
+Node* Switch(GraphBuilder* b, Output data, Output pred) {
+  return b->Op("Switch")
+      .Input(data)
+      .Input(pred)
+      .Attr("T", BaseType(data.dtype()))
+      .FinalizeNode();
+}
+Node* Merge(GraphBuilder* b, const std::vector<Output>& inputs) {
+  if (inputs.empty()) {
+    b->UpdateStatus(InvalidArgument("Merge with no inputs"));
+    return nullptr;
+  }
+  return b->Op("Merge")
+      .Input(inputs)
+      .Attr("N", static_cast<int64_t>(inputs.size()))
+      .Attr("T", BaseType(inputs[0].dtype()))
+      .FinalizeNode();
+}
+Output Enter(GraphBuilder* b, Output data, const std::string& frame_name,
+             bool is_constant) {
+  return b->Op("Enter")
+      .Input(data)
+      .Attr("T", BaseType(data.dtype()))
+      .Attr("frame_name", frame_name)
+      .Attr("is_constant", is_constant)
+      .Finalize();
+}
+Output Exit(GraphBuilder* b, Output data) {
+  return b->Op("Exit").Input(data).Attr("T", BaseType(data.dtype())).Finalize();
+}
+Output NextIteration(GraphBuilder* b, Output data) {
+  return b->Op("NextIteration")
+      .Input(data)
+      .Attr("T", BaseType(data.dtype()))
+      .Finalize();
+}
+Output LoopCond(GraphBuilder* b, Output pred) {
+  return b->Op("LoopCond").Input(pred).Finalize();
+}
+
+Output Identity(GraphBuilder* b, Output x) { return Unary(b, "Identity", x); }
+Output StopGradient(GraphBuilder* b, Output x) {
+  return Unary(b, "StopGradient", x);
+}
+Node* Group(GraphBuilder* b, const std::vector<Output>& deps,
+            const std::string& name) {
+  NodeBuilder nb = b->Op("NoOp");
+  if (!name.empty()) nb.Name(name);
+  for (const Output& d : deps) {
+    if (d.node != nullptr) nb.ControlInput(d.node);
+  }
+  return nb.FinalizeNode();
+}
+
+Output FIFOQueue(GraphBuilder* b, const DataTypeVector& component_types,
+                 int64_t capacity, const std::string& shared_name) {
+  return b->Op("FIFOQueue")
+      .Attr("component_types", component_types)
+      .Attr("capacity", capacity)
+      .Attr("shared_name", shared_name)
+      .Finalize();
+}
+Output RandomShuffleQueue(GraphBuilder* b,
+                          const DataTypeVector& component_types,
+                          int64_t capacity, int64_t min_after_dequeue,
+                          const std::string& shared_name) {
+  return b->Op("RandomShuffleQueue")
+      .Attr("component_types", component_types)
+      .Attr("capacity", capacity)
+      .Attr("min_after_dequeue", min_after_dequeue)
+      .Attr("shared_name", shared_name)
+      .Finalize();
+}
+
+namespace {
+DataTypeVector TypesOf(const std::vector<Output>& components) {
+  DataTypeVector types;
+  types.reserve(components.size());
+  for (const Output& c : components) types.push_back(BaseType(c.dtype()));
+  return types;
+}
+}  // namespace
+
+Node* QueueEnqueue(GraphBuilder* b, Output handle,
+                   const std::vector<Output>& components) {
+  return b->Op("QueueEnqueue")
+      .Input(handle)
+      .Input(components)
+      .Attr("Tcomponents", TypesOf(components))
+      .FinalizeNode();
+}
+Node* QueueEnqueueMany(GraphBuilder* b, Output handle,
+                       const std::vector<Output>& components) {
+  return b->Op("QueueEnqueueMany")
+      .Input(handle)
+      .Input(components)
+      .Attr("Tcomponents", TypesOf(components))
+      .FinalizeNode();
+}
+std::vector<Output> QueueDequeue(GraphBuilder* b, Output handle,
+                                 const DataTypeVector& component_types) {
+  Node* node = b->Op("QueueDequeue")
+                   .Input(handle)
+                   .Attr("component_types", component_types)
+                   .FinalizeNode();
+  std::vector<Output> outs;
+  for (size_t i = 0; i < component_types.size(); ++i) {
+    outs.emplace_back(node, node == nullptr ? 0 : static_cast<int>(i));
+  }
+  return outs;
+}
+std::vector<Output> QueueDequeueMany(GraphBuilder* b, Output handle, Output n,
+                                     const DataTypeVector& component_types) {
+  Node* node = b->Op("QueueDequeueMany")
+                   .Input(handle)
+                   .Input(n)
+                   .Attr("component_types", component_types)
+                   .FinalizeNode();
+  std::vector<Output> outs;
+  for (size_t i = 0; i < component_types.size(); ++i) {
+    outs.emplace_back(node, node == nullptr ? 0 : static_cast<int>(i));
+  }
+  return outs;
+}
+Output QueueSize(GraphBuilder* b, Output handle) {
+  return b->Op("QueueSize").Input(handle).Finalize();
+}
+Node* QueueClose(GraphBuilder* b, Output handle,
+                 bool cancel_pending_enqueues) {
+  return b->Op("QueueClose")
+      .Input(handle)
+      .Attr("cancel_pending_enqueues", cancel_pending_enqueues)
+      .FinalizeNode();
+}
+
+Node* Save(GraphBuilder* b, Output filename, Output tensor_names,
+           const std::vector<Output>& tensors) {
+  return b->Op("Save")
+      .Input(filename)
+      .Input(tensor_names)
+      .Input(tensors)
+      .Attr("T", TypesOf(tensors))
+      .FinalizeNode();
+}
+Output Restore(GraphBuilder* b, Output file_pattern, Output tensor_name,
+               DataType dt) {
+  return b->Op("Restore")
+      .Input(file_pattern)
+      .Input(tensor_name)
+      .Attr("dt", dt)
+      .Finalize();
+}
+
+}  // namespace ops
+}  // namespace tfrepro

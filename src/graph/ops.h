@@ -1,0 +1,187 @@
+// Convenience constructors for standard operations — the C++ client layer
+// of Figure 5. Each helper adds one node to the builder's graph and returns
+// its primary output. All helpers propagate errors through the builder's
+// sticky status.
+
+#ifndef TFREPRO_GRAPH_OPS_H_
+#define TFREPRO_GRAPH_OPS_H_
+
+#include <string>
+#include <vector>
+
+#include "graph/graph_builder.h"
+
+namespace tfrepro {
+namespace ops {
+
+// --- Constants & placeholders ---
+Output Const(GraphBuilder* b, Tensor value, const std::string& name = "");
+Output Const(GraphBuilder* b, float value);
+Output Const(GraphBuilder* b, int32_t value);
+Output Const(GraphBuilder* b, int64_t value);
+Output ConstVecI32(GraphBuilder* b, const std::vector<int32_t>& values);
+Output Placeholder(GraphBuilder* b, DataType dtype, const TensorShape& shape,
+                   const std::string& name = "");
+
+// --- Element-wise math ---
+Output Add(GraphBuilder* b, Output x, Output y);
+Output Sub(GraphBuilder* b, Output x, Output y);
+Output Mul(GraphBuilder* b, Output x, Output y);
+Output Div(GraphBuilder* b, Output x, Output y);
+Output Pow(GraphBuilder* b, Output x, Output y);
+Output Maximum(GraphBuilder* b, Output x, Output y);
+Output Minimum(GraphBuilder* b, Output x, Output y);
+Output SquaredDifference(GraphBuilder* b, Output x, Output y);
+Output Neg(GraphBuilder* b, Output x);
+Output Exp(GraphBuilder* b, Output x);
+Output Log(GraphBuilder* b, Output x);
+Output Sqrt(GraphBuilder* b, Output x);
+Output Rsqrt(GraphBuilder* b, Output x);
+Output Square(GraphBuilder* b, Output x);
+Output Abs(GraphBuilder* b, Output x);
+Output Sign(GraphBuilder* b, Output x);
+Output Tanh(GraphBuilder* b, Output x);
+Output Sigmoid(GraphBuilder* b, Output x);
+Output Relu(GraphBuilder* b, Output x);
+Output AddN(GraphBuilder* b, const std::vector<Output>& xs);
+
+// --- Comparisons / logic / select ---
+Output Less(GraphBuilder* b, Output x, Output y);
+Output LessEqual(GraphBuilder* b, Output x, Output y);
+Output Greater(GraphBuilder* b, Output x, Output y);
+Output GreaterEqual(GraphBuilder* b, Output x, Output y);
+Output Equal(GraphBuilder* b, Output x, Output y);
+Output LogicalAnd(GraphBuilder* b, Output x, Output y);
+Output LogicalNot(GraphBuilder* b, Output x);
+Output Select(GraphBuilder* b, Output cond, Output t, Output e);
+Output Cast(GraphBuilder* b, Output x, DataType dst);
+
+// --- Linear algebra / NN ---
+Output MatMul(GraphBuilder* b, Output x, Output y, bool transpose_a = false,
+              bool transpose_b = false);
+Output BiasAdd(GraphBuilder* b, Output value, Output bias);
+Output Conv2D(GraphBuilder* b, Output input, Output filter,
+              const std::vector<int64_t>& strides, const std::string& padding);
+Output MaxPool(GraphBuilder* b, Output input, const std::vector<int64_t>& ksize,
+               const std::vector<int64_t>& strides, const std::string& padding);
+Output AvgPool(GraphBuilder* b, Output input, const std::vector<int64_t>& ksize,
+               const std::vector<int64_t>& strides, const std::string& padding);
+Output Softmax(GraphBuilder* b, Output logits);
+Output LogSoftmax(GraphBuilder* b, Output logits);
+// Returns (loss, backprop) node; use Output(node, 0) / Output(node, 1).
+Node* SoftmaxCrossEntropyWithLogits(GraphBuilder* b, Output features,
+                                    Output labels);
+Node* SparseSoftmaxCrossEntropyWithLogits(GraphBuilder* b, Output features,
+                                          Output labels);
+Output L2Loss(GraphBuilder* b, Output t);
+
+// --- Reductions ---
+Output Sum(GraphBuilder* b, Output x, Output axes, bool keep_dims = false);
+Output Mean(GraphBuilder* b, Output x, Output axes, bool keep_dims = false);
+Output MaxReduce(GraphBuilder* b, Output x, Output axes,
+                 bool keep_dims = false);
+// Reduce over all axes (uses Range(0, Rank(x)) so it works for any rank).
+Output SumAll(GraphBuilder* b, Output x);
+Output MeanAll(GraphBuilder* b, Output x);
+Output ArgMax(GraphBuilder* b, Output x, int32_t axis);
+
+// --- Array ---
+Output Shape(GraphBuilder* b, Output x);
+Output Reshape(GraphBuilder* b, Output x, Output shape);
+Output Reshape(GraphBuilder* b, Output x, const std::vector<int32_t>& shape);
+Output ExpandDims(GraphBuilder* b, Output x, int32_t dim);
+Output ZerosLike(GraphBuilder* b, Output x);
+Output OnesLike(GraphBuilder* b, Output x);
+Output Fill(GraphBuilder* b, Output dims, Output value);
+Output Range(GraphBuilder* b, Output start, Output limit, Output delta);
+Output Concat(GraphBuilder* b, int32_t axis, const std::vector<Output>& xs);
+std::vector<Output> Split(GraphBuilder* b, int32_t axis, Output value,
+                          int num_split);
+Output Slice(GraphBuilder* b, Output input, const std::vector<int32_t>& begin,
+             const std::vector<int32_t>& size);
+Output Slice(GraphBuilder* b, Output input, Output begin, Output size);
+Output Transpose(GraphBuilder* b, Output x, const std::vector<int32_t>& perm);
+Output Tile(GraphBuilder* b, Output input, const std::vector<int32_t>& mult);
+Output Tile(GraphBuilder* b, Output input, Output mult);
+// Sums grad down to the shape of target (inverse of broadcasting).
+Output SumToShapeOf(GraphBuilder* b, Output grad, Output target);
+// Number of elements of x, as a scalar int32.
+Output Size(GraphBuilder* b, Output x);
+Output Rank(GraphBuilder* b, Output x);
+Output Pack(GraphBuilder* b, const std::vector<Output>& xs, int64_t axis = 0);
+std::vector<Output> Unpack(GraphBuilder* b, Output value, int num,
+                           int64_t axis = 0);
+Output OneHot(GraphBuilder* b, Output indices, int32_t depth, float on = 1.0f,
+              float off = 0.0f);
+Output Gather(GraphBuilder* b, Output params, Output indices);
+std::vector<Output> DynamicPartition(GraphBuilder* b, Output data,
+                                     Output partitions, int num_partitions);
+Output DynamicStitch(GraphBuilder* b, const std::vector<Output>& indices,
+                     const std::vector<Output>& data);
+Output UnsortedSegmentSum(GraphBuilder* b, Output data, Output segment_ids,
+                          Output num_segments);
+
+// --- Random ---
+Output RandomUniform(GraphBuilder* b, const std::vector<int32_t>& shape,
+                     DataType dtype = DataType::kFloat, int64_t seed = 0);
+Output RandomNormal(GraphBuilder* b, const std::vector<int32_t>& shape,
+                    DataType dtype = DataType::kFloat, int64_t seed = 0);
+Output TruncatedNormal(GraphBuilder* b, const std::vector<int32_t>& shape,
+                       DataType dtype = DataType::kFloat, int64_t seed = 0);
+
+// --- State ---
+Output Variable(GraphBuilder* b, DataType dtype, const TensorShape& shape,
+                const std::string& name = "");
+Output Assign(GraphBuilder* b, Output ref, Output value);
+Output AssignAdd(GraphBuilder* b, Output ref, Output value);
+Output AssignSub(GraphBuilder* b, Output ref, Output value);
+Output ScatterAdd(GraphBuilder* b, Output ref, Output indices, Output updates);
+Output ScatterSub(GraphBuilder* b, Output ref, Output indices, Output updates);
+
+// --- Control flow primitives (§3.4) ---
+// Returns the Switch node; output 0 = false branch, output 1 = true branch.
+Node* Switch(GraphBuilder* b, Output data, Output pred);
+Node* Merge(GraphBuilder* b, const std::vector<Output>& inputs);
+Output Enter(GraphBuilder* b, Output data, const std::string& frame_name,
+             bool is_constant = false);
+Output Exit(GraphBuilder* b, Output data);
+Output NextIteration(GraphBuilder* b, Output data);
+Output LoopCond(GraphBuilder* b, Output pred);
+
+// Identity / grouping.
+Output Identity(GraphBuilder* b, Output x);
+Output StopGradient(GraphBuilder* b, Output x);
+// A NoOp node with control dependencies on all of `deps` — the standard
+// "group" node used as a Run target.
+Node* Group(GraphBuilder* b, const std::vector<Output>& deps,
+            const std::string& name = "");
+
+// --- Queues (§3.1) ---
+Output FIFOQueue(GraphBuilder* b, const DataTypeVector& component_types,
+                 int64_t capacity, const std::string& shared_name = "");
+Output RandomShuffleQueue(GraphBuilder* b,
+                          const DataTypeVector& component_types,
+                          int64_t capacity, int64_t min_after_dequeue,
+                          const std::string& shared_name = "");
+Node* QueueEnqueue(GraphBuilder* b, Output handle,
+                   const std::vector<Output>& components);
+Node* QueueEnqueueMany(GraphBuilder* b, Output handle,
+                       const std::vector<Output>& components);
+std::vector<Output> QueueDequeue(GraphBuilder* b, Output handle,
+                                 const DataTypeVector& component_types);
+std::vector<Output> QueueDequeueMany(GraphBuilder* b, Output handle, Output n,
+                                     const DataTypeVector& component_types);
+Output QueueSize(GraphBuilder* b, Output handle);
+Node* QueueClose(GraphBuilder* b, Output handle,
+                 bool cancel_pending_enqueues = false);
+
+// --- Checkpointing (§4.3) ---
+Node* Save(GraphBuilder* b, Output filename, Output tensor_names,
+           const std::vector<Output>& tensors);
+Output Restore(GraphBuilder* b, Output file_pattern, Output tensor_name,
+               DataType dt);
+
+}  // namespace ops
+}  // namespace tfrepro
+
+#endif  // TFREPRO_GRAPH_OPS_H_

@@ -1,0 +1,44 @@
+#include "kernels/broadcast.h"
+
+#include <algorithm>
+
+namespace tfrepro {
+
+Result<TensorShape> BroadcastShape(const TensorShape& a,
+                                   const TensorShape& b) {
+  int rank = std::max(a.rank(), b.rank());
+  std::vector<int64_t> dims(rank);
+  for (int i = 0; i < rank; ++i) {
+    int ai = a.rank() - rank + i;
+    int bi = b.rank() - rank + i;
+    int64_t da = ai >= 0 ? a.dim(ai) : 1;
+    int64_t db = bi >= 0 ? b.dim(bi) : 1;
+    if (da == db) {
+      dims[i] = da;
+    } else if (da == 1) {
+      dims[i] = db;
+    } else if (db == 1) {
+      dims[i] = da;
+    } else {
+      return InvalidArgument("shapes " + a.DebugString() + " and " +
+                             b.DebugString() + " are not broadcastable");
+    }
+  }
+  return TensorShape(dims);
+}
+
+std::vector<int64_t> BroadcastStrides(const TensorShape& in,
+                                      const TensorShape& out) {
+  int rank = out.rank();
+  std::vector<int64_t> strides(rank, 0);
+  // Natural strides of `in`, right-aligned against `out`.
+  int64_t stride = 1;
+  for (int i = in.rank() - 1; i >= 0; --i) {
+    int oi = rank - in.rank() + i;
+    strides[oi] = (in.dim(i) == 1 && out.dim(oi) != 1) ? 0 : stride;
+    stride *= in.dim(i);
+  }
+  return strides;
+}
+
+}  // namespace tfrepro

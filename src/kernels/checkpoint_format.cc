@@ -1,0 +1,145 @@
+#include "kernels/checkpoint_format.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <functional>
+#include <sstream>
+
+namespace tfrepro {
+
+namespace {
+
+constexpr char kMagic[8] = {'T', 'F', 'R', 'C', 'K', 'P', 'T', '1'};
+
+void AppendInt64(std::string* out, int64_t v) {
+  out->append(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+bool ReadInt64(const std::string& in, size_t* offset, int64_t* v) {
+  if (*offset + sizeof(int64_t) > in.size()) return false;
+  std::memcpy(v, in.data() + *offset, sizeof(int64_t));
+  *offset += sizeof(int64_t);
+  return true;
+}
+
+Result<std::string> ReadWholeFile(const std::string& filename) {
+  std::ifstream in(filename, std::ios::binary);
+  if (!in) {
+    return NotFound("cannot open checkpoint file '" + filename + "'");
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+}  // namespace
+
+Status WriteCheckpoint(
+    const std::string& filename,
+    const std::vector<std::pair<std::string, Tensor>>& entries) {
+  std::string bytes;
+  bytes.append(kMagic, sizeof(kMagic));
+  AppendInt64(&bytes, static_cast<int64_t>(entries.size()));
+  for (const auto& [name, tensor] : entries) {
+    AppendInt64(&bytes, static_cast<int64_t>(name.size()));
+    bytes.append(name);
+    tensor.AppendToBytes(&bytes);
+  }
+  // Write via a temp file + rename for crash atomicity: a checkpoint that
+  // is only partially written must never shadow the previous good one.
+  std::string tmp = filename + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      return Internal("cannot open '" + tmp + "' for writing");
+    }
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    if (!out) {
+      return Internal("short write to '" + tmp + "'");
+    }
+  }
+  if (std::rename(tmp.c_str(), filename.c_str()) != 0) {
+    return Internal("cannot rename '" + tmp + "' to '" + filename + "'");
+  }
+  return Status::OK();
+}
+
+namespace {
+
+// Shared scan over a checkpoint's entries.
+Status ScanCheckpoint(
+    const std::string& filename,
+    const std::function<bool(const std::string&, const std::string&, size_t*)>&
+        visit) {
+  Result<std::string> bytes = ReadWholeFile(filename);
+  TF_RETURN_IF_ERROR(bytes.status());
+  const std::string& data = bytes.value();
+  if (data.size() < sizeof(kMagic) ||
+      std::memcmp(data.data(), kMagic, sizeof(kMagic)) != 0) {
+    return DataLoss("'" + filename + "' is not a tfrepro checkpoint");
+  }
+  size_t offset = sizeof(kMagic);
+  int64_t count = 0;
+  if (!ReadInt64(data, &offset, &count) || count < 0) {
+    return DataLoss("corrupt checkpoint header in '" + filename + "'");
+  }
+  for (int64_t i = 0; i < count; ++i) {
+    int64_t name_len = 0;
+    if (!ReadInt64(data, &offset, &name_len) || name_len < 0 ||
+        offset + static_cast<size_t>(name_len) > data.size()) {
+      return DataLoss("corrupt entry name in '" + filename + "'");
+    }
+    std::string name(data.data() + offset, name_len);
+    offset += name_len;
+    if (visit(name, data, &offset)) {
+      return Status::OK();
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<Tensor> ReadCheckpointTensor(const std::string& filename,
+                                    const std::string& tensor_name) {
+  Tensor found;
+  bool have = false;
+  Status scan = ScanCheckpoint(
+      filename, [&](const std::string& name, const std::string& data,
+                    size_t* offset) {
+        Result<Tensor> t = Tensor::ParseFromBytes(data, offset);
+        if (!t.ok()) {
+          return false;  // scan surfaces corruption via the parse below
+        }
+        if (name == tensor_name) {
+          found = std::move(t).value();
+          have = true;
+          return true;
+        }
+        return false;
+      });
+  TF_RETURN_IF_ERROR(scan);
+  if (!have) {
+    return NotFound("tensor '" + tensor_name + "' not found in checkpoint '" +
+                    filename + "'");
+  }
+  return found;
+}
+
+Result<std::vector<std::string>> ListCheckpointTensors(
+    const std::string& filename) {
+  std::vector<std::string> names;
+  Status scan = ScanCheckpoint(
+      filename, [&](const std::string& name, const std::string& data,
+                    size_t* offset) {
+        Result<Tensor> t = Tensor::ParseFromBytes(data, offset);
+        if (!t.ok()) return true;  // stop on corruption
+        names.push_back(name);
+        return false;
+      });
+  TF_RETURN_IF_ERROR(scan);
+  return names;
+}
+
+}  // namespace tfrepro

@@ -1,0 +1,68 @@
+// Dynamic control-flow kernels (paper §3.4): Switch demultiplexes on a
+// runtime predicate (the untaken output is left unset and becomes a dead
+// value); Merge forwards its first live input; Enter/Exit/NextIteration are
+// pass-throughs whose frame semantics live in the executor.
+
+#include "runtime/kernel.h"
+
+namespace tfrepro {
+namespace {
+
+class SwitchOp : public OpKernel {
+ public:
+  using OpKernel::OpKernel;
+  void Compute(OpKernelContext* ctx) override {
+    const TensorValue& data = ctx->input_value(0);
+    Tensor pred = ctx->input(1);
+    OP_REQUIRES(ctx, pred.IsScalar() && BaseType(pred.dtype()) == DataType::kBool,
+                InvalidArgument("Switch pred must be a scalar bool"));
+    int taken = *pred.data<bool>() ? 1 : 0;
+    if (data.is_ref()) {
+      ctx->set_output_ref(taken, data.ref_mu, data.ref);
+    } else {
+      ctx->set_output(taken, data.tensor);
+    }
+    // The other output stays unset -> dead.
+  }
+  bool IsExpensive() const override { return false; }
+};
+REGISTER_KERNEL("Switch", kDeviceCpu, SwitchOp);
+
+class MergeOp : public OpKernel {
+ public:
+  using OpKernel::OpKernel;
+  void Compute(OpKernelContext* ctx) override {
+    // Non-strict: exactly one input is live when the executor fires us.
+    for (int i = 0; i < ctx->num_inputs(); ++i) {
+      const TensorValue& v = ctx->input_value(i);
+      if (v.is_ref() || v.tensor.IsInitialized()) {
+        if (v.is_ref()) {
+          ctx->set_output(0, v.Deref());
+        } else {
+          ctx->set_output(0, v.tensor);
+        }
+        ctx->set_output(1, Tensor::Scalar(int32_t{i}));
+        return;
+      }
+    }
+    ctx->SetStatus(Internal("Merge '" + name() + "' fired with no live input"));
+  }
+  bool IsExpensive() const override { return false; }
+};
+REGISTER_KERNEL("Merge", kDeviceCpu, MergeOp);
+
+class PassThroughOp : public OpKernel {
+ public:
+  using OpKernel::OpKernel;
+  void Compute(OpKernelContext* ctx) override {
+    ctx->set_output(0, ctx->input(0));
+  }
+  bool IsExpensive() const override { return false; }
+};
+REGISTER_KERNEL("Enter", kDeviceCpu, PassThroughOp);
+REGISTER_KERNEL("Exit", kDeviceCpu, PassThroughOp);
+REGISTER_KERNEL("NextIteration", kDeviceCpu, PassThroughOp);
+REGISTER_KERNEL("LoopCond", kDeviceCpu, PassThroughOp);
+
+}  // namespace
+}  // namespace tfrepro

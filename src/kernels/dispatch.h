@@ -1,0 +1,86 @@
+// Type-dispatch helpers shared by kernels. Each operation registers one
+// kernel per device type and dispatches on the runtime DataType internally.
+
+#ifndef TFREPRO_KERNELS_DISPATCH_H_
+#define TFREPRO_KERNELS_DISPATCH_H_
+
+#include <cstdint>
+
+#include "core/status.h"
+#include "core/tensor.h"
+#include "core/types.h"
+
+namespace tfrepro {
+
+// Invokes f(T{}) for the numeric C++ type matching `dt`.
+template <typename F>
+Status NumericDispatch(DataType dt, F&& f) {
+  switch (BaseType(dt)) {
+    case DataType::kFloat:
+      f(float{});
+      return Status::OK();
+    case DataType::kDouble:
+      f(double{});
+      return Status::OK();
+    case DataType::kInt32:
+      f(int32_t{});
+      return Status::OK();
+    case DataType::kInt64:
+      f(int64_t{});
+      return Status::OK();
+    case DataType::kUint8:
+      f(uint8_t{});
+      return Status::OK();
+    default:
+      return Unimplemented(std::string("unsupported numeric dtype ") +
+                           DataTypeName(dt));
+  }
+}
+
+// As NumericDispatch but restricted to floating types.
+template <typename F>
+Status FloatDispatch(DataType dt, F&& f) {
+  switch (BaseType(dt)) {
+    case DataType::kFloat:
+      f(float{});
+      return Status::OK();
+    case DataType::kDouble:
+      f(double{});
+      return Status::OK();
+    default:
+      return Unimplemented(std::string("unsupported floating dtype ") +
+                           DataTypeName(dt));
+  }
+}
+
+// Numeric + bool + string (ops like Identity, Concat, Gather move any type).
+template <typename F>
+Status AnyTypeDispatch(DataType dt, F&& f) {
+  switch (BaseType(dt)) {
+    case DataType::kBool:
+      f(bool{});
+      return Status::OK();
+    default:
+      return NumericDispatch(dt, std::forward<F>(f));
+  }
+}
+
+// Index types for Gather/Scatter/segment ops.
+template <typename F>
+Status IndexDispatch(DataType dt, F&& f) {
+  switch (BaseType(dt)) {
+    case DataType::kInt32:
+      f(int32_t{});
+      return Status::OK();
+    case DataType::kInt64:
+      f(int64_t{});
+      return Status::OK();
+    default:
+      return InvalidArgument(std::string("indices must be int32/int64, got ") +
+                             DataTypeName(dt));
+  }
+}
+
+}  // namespace tfrepro
+
+#endif  // TFREPRO_KERNELS_DISPATCH_H_

@@ -1,0 +1,142 @@
+// MatMul and bias kernels. The matrix multiply uses a cache-blocked i-k-j
+// loop order — the workhorse of every model in the paper's evaluation.
+
+#include "kernels/dispatch.h"
+#include "runtime/kernel.h"
+
+namespace tfrepro {
+namespace {
+
+template <typename T>
+void MatMulImpl(const T* a, const T* b, T* c, int64_t m, int64_t k, int64_t n,
+                bool ta, bool tb) {
+  // c[m,n] = a[m,k] (or aT) * b[k,n] (or bT); c is pre-zeroed.
+  auto a_at = [&](int64_t i, int64_t j) { return ta ? a[j * m + i] : a[i * k + j]; };
+  auto b_at = [&](int64_t i, int64_t j) { return tb ? b[j * k + i] : b[i * n + j]; };
+  if (!ta && !tb) {
+    // Fast path: i-k-j with row-major streaming over b and c.
+    constexpr int64_t kBlock = 64;
+    for (int64_t i0 = 0; i0 < m; i0 += kBlock) {
+      int64_t i1 = std::min(m, i0 + kBlock);
+      for (int64_t k0 = 0; k0 < k; k0 += kBlock) {
+        int64_t k1 = std::min(k, k0 + kBlock);
+        for (int64_t i = i0; i < i1; ++i) {
+          for (int64_t kk = k0; kk < k1; ++kk) {
+            T av = a[i * k + kk];
+            if (av == T{0}) continue;
+            const T* brow = b + kk * n;
+            T* crow = c + i * n;
+            for (int64_t j = 0; j < n; ++j) {
+              crow[j] += av * brow[j];
+            }
+          }
+        }
+      }
+    }
+    return;
+  }
+  for (int64_t i = 0; i < m; ++i) {
+    for (int64_t j = 0; j < n; ++j) {
+      T acc{0};
+      for (int64_t kk = 0; kk < k; ++kk) {
+        acc += a_at(i, kk) * b_at(kk, j);
+      }
+      c[i * n + j] = acc;
+    }
+  }
+}
+
+class MatMulOp : public OpKernel {
+ public:
+  explicit MatMulOp(OpKernelConstruction* ctx) : OpKernel(ctx) {
+    ctx->SetStatus(ctx->GetBoolAttr("transpose_a", &ta_));
+    ctx->SetStatus(ctx->GetBoolAttr("transpose_b", &tb_));
+  }
+  void Compute(OpKernelContext* ctx) override {
+    Tensor a = ctx->input(0);
+    Tensor b = ctx->input(1);
+    OP_REQUIRES(ctx, a.shape().rank() == 2 && b.shape().rank() == 2,
+                InvalidArgument("MatMul inputs must be rank-2, got " +
+                                a.shape().DebugString() + " and " +
+                                b.shape().DebugString()));
+    int64_t m = ta_ ? a.dim(1) : a.dim(0);
+    int64_t k = ta_ ? a.dim(0) : a.dim(1);
+    int64_t kb = tb_ ? b.dim(1) : b.dim(0);
+    int64_t n = tb_ ? b.dim(0) : b.dim(1);
+    OP_REQUIRES(ctx, k == kb,
+                InvalidArgument("MatMul inner dimensions differ: " +
+                                a.shape().DebugString() + " x " +
+                                b.shape().DebugString()));
+    Tensor out(BaseType(a.dtype()), TensorShape({m, n}));
+    OP_REQUIRES_OK(ctx, NumericDispatch(a.dtype(), [&](auto tag) {
+      using T = decltype(tag);
+      MatMulImpl<T>(a.data<T>(), b.data<T>(), out.data<T>(), m, k, n, ta_,
+                    tb_);
+    }));
+    ctx->set_output(0, std::move(out));
+  }
+
+ private:
+  bool ta_ = false;
+  bool tb_ = false;
+};
+REGISTER_KERNEL("MatMul", kDeviceCpu, MatMulOp);
+
+// BiasAdd: value[..., c] + bias[c].
+class BiasAddOp : public OpKernel {
+ public:
+  using OpKernel::OpKernel;
+  void Compute(OpKernelContext* ctx) override {
+    Tensor value = ctx->input(0);
+    Tensor bias = ctx->input(1);
+    OP_REQUIRES(ctx, value.shape().rank() >= 1,
+                InvalidArgument("BiasAdd value must have rank >= 1"));
+    OP_REQUIRES(ctx, bias.shape().rank() == 1,
+                InvalidArgument("BiasAdd bias must be a vector"));
+    int64_t c = value.dim(value.shape().rank() - 1);
+    OP_REQUIRES(ctx, bias.dim(0) == c,
+                InvalidArgument("BiasAdd bias length " +
+                                std::to_string(bias.dim(0)) +
+                                " != channel count " + std::to_string(c)));
+    Tensor out(BaseType(value.dtype()), value.shape());
+    OP_REQUIRES_OK(ctx, NumericDispatch(value.dtype(), [&](auto tag) {
+      using T = decltype(tag);
+      const T* v = value.data<T>();
+      const T* bp = bias.data<T>();
+      T* o = out.data<T>();
+      int64_t n = value.num_elements();
+      for (int64_t i = 0; i < n; ++i) {
+        o[i] = v[i] + bp[i % c];
+      }
+    }));
+    ctx->set_output(0, std::move(out));
+  }
+};
+REGISTER_KERNEL("BiasAdd", kDeviceCpu, BiasAddOp);
+
+// BiasAddGrad: sum out_backprop over all but the last dimension.
+class BiasAddGradOp : public OpKernel {
+ public:
+  using OpKernel::OpKernel;
+  void Compute(OpKernelContext* ctx) override {
+    Tensor g = ctx->input(0);
+    OP_REQUIRES(ctx, g.shape().rank() >= 1,
+                InvalidArgument("BiasAddGrad input must have rank >= 1"));
+    int64_t c = g.dim(g.shape().rank() - 1);
+    Tensor out(BaseType(g.dtype()), TensorShape({c}));
+    OP_REQUIRES_OK(ctx, NumericDispatch(g.dtype(), [&](auto tag) {
+      using T = decltype(tag);
+      const T* gp = g.data<T>();
+      T* o = out.data<T>();
+      int64_t n = g.num_elements();
+      for (int64_t i = 0; i < n; ++i) {
+        o[i % c] += gp[i];
+      }
+    }));
+    ctx->set_output(0, std::move(out));
+  }
+};
+REGISTER_KERNEL("BiasAddGrad", kDeviceCpu, BiasAddGradOp);
+
+}  // namespace
+}  // namespace tfrepro

@@ -1,0 +1,614 @@
+// Neural-network kernels: 2-D convolution and pooling with their gradients
+// (NHWC layout, HWIO filters, SAME/VALID padding), softmax family, and the
+// fused softmax-cross-entropy kernels.
+
+#include <cmath>
+#include <limits>
+
+#include "kernels/dispatch.h"
+#include "runtime/kernel.h"
+
+namespace tfrepro {
+namespace {
+
+struct Conv2DParams {
+  int64_t batch, in_h, in_w, in_c;
+  int64_t k_h, k_w, out_c;
+  int64_t stride_h, stride_w;
+  int64_t out_h, out_w;
+  int64_t pad_top, pad_left;
+};
+
+Status ComputeConv2DParams(const TensorShape& input, const TensorShape& filter,
+                           const std::vector<int64_t>& strides,
+                           const std::string& padding, Conv2DParams* p) {
+  if (input.rank() != 4) {
+    return InvalidArgument("Conv2D input must be NHWC rank-4");
+  }
+  if (filter.rank() != 4) {
+    return InvalidArgument("Conv2D filter must be HWIO rank-4");
+  }
+  if (strides.size() != 4 || strides[0] != 1 || strides[3] != 1) {
+    return InvalidArgument("Conv2D strides must be [1, sh, sw, 1]");
+  }
+  p->batch = input.dim(0);
+  p->in_h = input.dim(1);
+  p->in_w = input.dim(2);
+  p->in_c = input.dim(3);
+  p->k_h = filter.dim(0);
+  p->k_w = filter.dim(1);
+  if (filter.dim(2) != p->in_c) {
+    return InvalidArgument("Conv2D filter in-channels mismatch");
+  }
+  p->out_c = filter.dim(3);
+  p->stride_h = strides[1];
+  p->stride_w = strides[2];
+  if (padding == "SAME") {
+    p->out_h = (p->in_h + p->stride_h - 1) / p->stride_h;
+    p->out_w = (p->in_w + p->stride_w - 1) / p->stride_w;
+    int64_t pad_h =
+        std::max<int64_t>(0, (p->out_h - 1) * p->stride_h + p->k_h - p->in_h);
+    int64_t pad_w =
+        std::max<int64_t>(0, (p->out_w - 1) * p->stride_w + p->k_w - p->in_w);
+    p->pad_top = pad_h / 2;
+    p->pad_left = pad_w / 2;
+  } else if (padding == "VALID") {
+    p->out_h = (p->in_h - p->k_h) / p->stride_h + 1;
+    p->out_w = (p->in_w - p->k_w) / p->stride_w + 1;
+    p->pad_top = 0;
+    p->pad_left = 0;
+  } else {
+    return InvalidArgument("Conv2D padding must be SAME or VALID");
+  }
+  if (p->out_h <= 0 || p->out_w <= 0) {
+    return InvalidArgument("Conv2D output would be empty");
+  }
+  return Status::OK();
+}
+
+class Conv2DOp : public OpKernel {
+ public:
+  explicit Conv2DOp(OpKernelConstruction* ctx) : OpKernel(ctx) {
+    ctx->SetStatus(ctx->GetIntListAttr("strides", &strides_));
+    ctx->SetStatus(ctx->GetStringAttr("padding", &padding_));
+  }
+  void Compute(OpKernelContext* ctx) override {
+    Tensor input = ctx->input(0);
+    Tensor filter = ctx->input(1);
+    Conv2DParams p;
+    OP_REQUIRES_OK(ctx, ComputeConv2DParams(input.shape(), filter.shape(),
+                                            strides_, padding_, &p));
+    Tensor out(BaseType(input.dtype()),
+               TensorShape({p.batch, p.out_h, p.out_w, p.out_c}));
+    OP_REQUIRES_OK(ctx, FloatDispatch(input.dtype(), [&](auto tag) {
+      using T = decltype(tag);
+      const T* in = input.data<T>();
+      const T* f = filter.data<T>();
+      T* o = out.data<T>();
+      for (int64_t b = 0; b < p.batch; ++b) {
+        for (int64_t oh = 0; oh < p.out_h; ++oh) {
+          for (int64_t ow = 0; ow < p.out_w; ++ow) {
+            T* opix = o + ((b * p.out_h + oh) * p.out_w + ow) * p.out_c;
+            for (int64_t kh = 0; kh < p.k_h; ++kh) {
+              int64_t ih = oh * p.stride_h + kh - p.pad_top;
+              if (ih < 0 || ih >= p.in_h) continue;
+              for (int64_t kw = 0; kw < p.k_w; ++kw) {
+                int64_t iw = ow * p.stride_w + kw - p.pad_left;
+                if (iw < 0 || iw >= p.in_w) continue;
+                const T* ipix =
+                    in + ((b * p.in_h + ih) * p.in_w + iw) * p.in_c;
+                const T* fpix = f + (kh * p.k_w + kw) * p.in_c * p.out_c;
+                for (int64_t ic = 0; ic < p.in_c; ++ic) {
+                  T iv = ipix[ic];
+                  if (iv == T{0}) continue;
+                  const T* frow = fpix + ic * p.out_c;
+                  for (int64_t oc = 0; oc < p.out_c; ++oc) {
+                    opix[oc] += iv * frow[oc];
+                  }
+                }
+              }
+            }
+          }
+        }
+      }
+    }));
+    ctx->set_output(0, std::move(out));
+  }
+
+ private:
+  std::vector<int64_t> strides_;
+  std::string padding_;
+};
+REGISTER_KERNEL("Conv2D", kDeviceCpu, Conv2DOp);
+
+class Conv2DBackpropInputOp : public OpKernel {
+ public:
+  explicit Conv2DBackpropInputOp(OpKernelConstruction* ctx) : OpKernel(ctx) {
+    ctx->SetStatus(ctx->GetIntListAttr("strides", &strides_));
+    ctx->SetStatus(ctx->GetStringAttr("padding", &padding_));
+  }
+  void Compute(OpKernelContext* ctx) override {
+    Tensor input_sizes = ctx->input(0);
+    Tensor filter = ctx->input(1);
+    Tensor grad = ctx->input(2);
+    OP_REQUIRES(ctx, input_sizes.num_elements() == 4,
+                InvalidArgument("input_sizes must have 4 elements"));
+    TensorShape in_shape({input_sizes.flat<int32_t>(0),
+                          input_sizes.flat<int32_t>(1),
+                          input_sizes.flat<int32_t>(2),
+                          input_sizes.flat<int32_t>(3)});
+    Conv2DParams p;
+    OP_REQUIRES_OK(ctx, ComputeConv2DParams(in_shape, filter.shape(), strides_,
+                                            padding_, &p));
+    Tensor out(BaseType(grad.dtype()), in_shape);
+    OP_REQUIRES_OK(ctx, FloatDispatch(grad.dtype(), [&](auto tag) {
+      using T = decltype(tag);
+      const T* g = grad.data<T>();
+      const T* f = filter.data<T>();
+      T* o = out.data<T>();
+      for (int64_t b = 0; b < p.batch; ++b) {
+        for (int64_t oh = 0; oh < p.out_h; ++oh) {
+          for (int64_t ow = 0; ow < p.out_w; ++ow) {
+            const T* gpix = g + ((b * p.out_h + oh) * p.out_w + ow) * p.out_c;
+            for (int64_t kh = 0; kh < p.k_h; ++kh) {
+              int64_t ih = oh * p.stride_h + kh - p.pad_top;
+              if (ih < 0 || ih >= p.in_h) continue;
+              for (int64_t kw = 0; kw < p.k_w; ++kw) {
+                int64_t iw = ow * p.stride_w + kw - p.pad_left;
+                if (iw < 0 || iw >= p.in_w) continue;
+                T* opix = o + ((b * p.in_h + ih) * p.in_w + iw) * p.in_c;
+                const T* fpix = f + (kh * p.k_w + kw) * p.in_c * p.out_c;
+                for (int64_t ic = 0; ic < p.in_c; ++ic) {
+                  const T* frow = fpix + ic * p.out_c;
+                  T acc{0};
+                  for (int64_t oc = 0; oc < p.out_c; ++oc) {
+                    acc += gpix[oc] * frow[oc];
+                  }
+                  opix[ic] += acc;
+                }
+              }
+            }
+          }
+        }
+      }
+    }));
+    ctx->set_output(0, std::move(out));
+  }
+
+ private:
+  std::vector<int64_t> strides_;
+  std::string padding_;
+};
+REGISTER_KERNEL("Conv2DBackpropInput", kDeviceCpu, Conv2DBackpropInputOp);
+
+class Conv2DBackpropFilterOp : public OpKernel {
+ public:
+  explicit Conv2DBackpropFilterOp(OpKernelConstruction* ctx) : OpKernel(ctx) {
+    ctx->SetStatus(ctx->GetIntListAttr("strides", &strides_));
+    ctx->SetStatus(ctx->GetStringAttr("padding", &padding_));
+  }
+  void Compute(OpKernelContext* ctx) override {
+    Tensor input = ctx->input(0);
+    Tensor filter_sizes = ctx->input(1);
+    Tensor grad = ctx->input(2);
+    OP_REQUIRES(ctx, filter_sizes.num_elements() == 4,
+                InvalidArgument("filter_sizes must have 4 elements"));
+    TensorShape f_shape({filter_sizes.flat<int32_t>(0),
+                         filter_sizes.flat<int32_t>(1),
+                         filter_sizes.flat<int32_t>(2),
+                         filter_sizes.flat<int32_t>(3)});
+    Conv2DParams p;
+    OP_REQUIRES_OK(ctx, ComputeConv2DParams(input.shape(), f_shape, strides_,
+                                            padding_, &p));
+    Tensor out(BaseType(grad.dtype()), f_shape);
+    OP_REQUIRES_OK(ctx, FloatDispatch(grad.dtype(), [&](auto tag) {
+      using T = decltype(tag);
+      const T* in = input.data<T>();
+      const T* g = grad.data<T>();
+      T* o = out.data<T>();
+      for (int64_t b = 0; b < p.batch; ++b) {
+        for (int64_t oh = 0; oh < p.out_h; ++oh) {
+          for (int64_t ow = 0; ow < p.out_w; ++ow) {
+            const T* gpix = g + ((b * p.out_h + oh) * p.out_w + ow) * p.out_c;
+            for (int64_t kh = 0; kh < p.k_h; ++kh) {
+              int64_t ih = oh * p.stride_h + kh - p.pad_top;
+              if (ih < 0 || ih >= p.in_h) continue;
+              for (int64_t kw = 0; kw < p.k_w; ++kw) {
+                int64_t iw = ow * p.stride_w + kw - p.pad_left;
+                if (iw < 0 || iw >= p.in_w) continue;
+                const T* ipix =
+                    in + ((b * p.in_h + ih) * p.in_w + iw) * p.in_c;
+                T* fpix = o + (kh * p.k_w + kw) * p.in_c * p.out_c;
+                for (int64_t ic = 0; ic < p.in_c; ++ic) {
+                  T iv = ipix[ic];
+                  if (iv == T{0}) continue;
+                  T* frow = fpix + ic * p.out_c;
+                  for (int64_t oc = 0; oc < p.out_c; ++oc) {
+                    frow[oc] += iv * gpix[oc];
+                  }
+                }
+              }
+            }
+          }
+        }
+      }
+    }));
+    ctx->set_output(0, std::move(out));
+  }
+
+ private:
+  std::vector<int64_t> strides_;
+  std::string padding_;
+};
+REGISTER_KERNEL("Conv2DBackpropFilter", kDeviceCpu, Conv2DBackpropFilterOp);
+
+struct PoolParams {
+  Conv2DParams conv;  // reuse geometry (k = ksize)
+};
+
+Status ComputePoolParams(const TensorShape& input,
+                         const std::vector<int64_t>& ksize,
+                         const std::vector<int64_t>& strides,
+                         const std::string& padding, Conv2DParams* p) {
+  if (ksize.size() != 4 || ksize[0] != 1 || ksize[3] != 1) {
+    return InvalidArgument("pool ksize must be [1, kh, kw, 1]");
+  }
+  // Fabricate a filter shape with matching channels so the conv geometry
+  // helper applies.
+  if (input.rank() != 4) {
+    return InvalidArgument("pool input must be NHWC rank-4");
+  }
+  TensorShape filter({ksize[1], ksize[2], input.dim(3), input.dim(3)});
+  return ComputeConv2DParams(input, filter, strides, padding, p);
+}
+
+class MaxPoolOp : public OpKernel {
+ public:
+  explicit MaxPoolOp(OpKernelConstruction* ctx) : OpKernel(ctx) {
+    ctx->SetStatus(ctx->GetIntListAttr("ksize", &ksize_));
+    ctx->SetStatus(ctx->GetIntListAttr("strides", &strides_));
+    ctx->SetStatus(ctx->GetStringAttr("padding", &padding_));
+  }
+  void Compute(OpKernelContext* ctx) override {
+    Tensor input = ctx->input(0);
+    Conv2DParams p;
+    OP_REQUIRES_OK(
+        ctx, ComputePoolParams(input.shape(), ksize_, strides_, padding_, &p));
+    Tensor out(BaseType(input.dtype()),
+               TensorShape({p.batch, p.out_h, p.out_w, p.in_c}));
+    OP_REQUIRES_OK(ctx, FloatDispatch(input.dtype(), [&](auto tag) {
+      using T = decltype(tag);
+      const T* in = input.data<T>();
+      T* o = out.data<T>();
+      for (int64_t b = 0; b < p.batch; ++b) {
+        for (int64_t oh = 0; oh < p.out_h; ++oh) {
+          for (int64_t ow = 0; ow < p.out_w; ++ow) {
+            for (int64_t c = 0; c < p.in_c; ++c) {
+              T best = std::numeric_limits<T>::lowest();
+              for (int64_t kh = 0; kh < p.k_h; ++kh) {
+                int64_t ih = oh * p.stride_h + kh - p.pad_top;
+                if (ih < 0 || ih >= p.in_h) continue;
+                for (int64_t kw = 0; kw < p.k_w; ++kw) {
+                  int64_t iw = ow * p.stride_w + kw - p.pad_left;
+                  if (iw < 0 || iw >= p.in_w) continue;
+                  T v = in[((b * p.in_h + ih) * p.in_w + iw) * p.in_c + c];
+                  if (v > best) best = v;
+                }
+              }
+              o[((b * p.out_h + oh) * p.out_w + ow) * p.in_c + c] = best;
+            }
+          }
+        }
+      }
+    }));
+    ctx->set_output(0, std::move(out));
+  }
+
+ private:
+  std::vector<int64_t> ksize_;
+  std::vector<int64_t> strides_;
+  std::string padding_;
+};
+REGISTER_KERNEL("MaxPool", kDeviceCpu, MaxPoolOp);
+
+class MaxPoolGradOp : public OpKernel {
+ public:
+  explicit MaxPoolGradOp(OpKernelConstruction* ctx) : OpKernel(ctx) {
+    ctx->SetStatus(ctx->GetIntListAttr("ksize", &ksize_));
+    ctx->SetStatus(ctx->GetIntListAttr("strides", &strides_));
+    ctx->SetStatus(ctx->GetStringAttr("padding", &padding_));
+  }
+  void Compute(OpKernelContext* ctx) override {
+    Tensor input = ctx->input(0);
+    Tensor output = ctx->input(1);
+    Tensor grad = ctx->input(2);
+    Conv2DParams p;
+    OP_REQUIRES_OK(
+        ctx, ComputePoolParams(input.shape(), ksize_, strides_, padding_, &p));
+    Tensor out(BaseType(input.dtype()), input.shape());
+    OP_REQUIRES_OK(ctx, FloatDispatch(input.dtype(), [&](auto tag) {
+      using T = decltype(tag);
+      const T* in = input.data<T>();
+      const T* op = output.data<T>();
+      const T* g = grad.data<T>();
+      T* o = out.data<T>();
+      for (int64_t b = 0; b < p.batch; ++b) {
+        for (int64_t oh = 0; oh < p.out_h; ++oh) {
+          for (int64_t ow = 0; ow < p.out_w; ++ow) {
+            for (int64_t c = 0; c < p.in_c; ++c) {
+              int64_t oidx = ((b * p.out_h + oh) * p.out_w + ow) * p.in_c + c;
+              T best = op[oidx];
+              // Route the gradient to the first element matching the max.
+              bool routed = false;
+              for (int64_t kh = 0; kh < p.k_h && !routed; ++kh) {
+                int64_t ih = oh * p.stride_h + kh - p.pad_top;
+                if (ih < 0 || ih >= p.in_h) continue;
+                for (int64_t kw = 0; kw < p.k_w && !routed; ++kw) {
+                  int64_t iw = ow * p.stride_w + kw - p.pad_left;
+                  if (iw < 0 || iw >= p.in_w) continue;
+                  int64_t iidx =
+                      ((b * p.in_h + ih) * p.in_w + iw) * p.in_c + c;
+                  if (in[iidx] == best) {
+                    o[iidx] += g[oidx];
+                    routed = true;
+                  }
+                }
+              }
+            }
+          }
+        }
+      }
+    }));
+    ctx->set_output(0, std::move(out));
+  }
+
+ private:
+  std::vector<int64_t> ksize_;
+  std::vector<int64_t> strides_;
+  std::string padding_;
+};
+REGISTER_KERNEL("MaxPoolGrad", kDeviceCpu, MaxPoolGradOp);
+
+class AvgPoolOp : public OpKernel {
+ public:
+  explicit AvgPoolOp(OpKernelConstruction* ctx) : OpKernel(ctx) {
+    ctx->SetStatus(ctx->GetIntListAttr("ksize", &ksize_));
+    ctx->SetStatus(ctx->GetIntListAttr("strides", &strides_));
+    ctx->SetStatus(ctx->GetStringAttr("padding", &padding_));
+  }
+  void Compute(OpKernelContext* ctx) override {
+    Tensor input = ctx->input(0);
+    Conv2DParams p;
+    OP_REQUIRES_OK(
+        ctx, ComputePoolParams(input.shape(), ksize_, strides_, padding_, &p));
+    Tensor out(BaseType(input.dtype()),
+               TensorShape({p.batch, p.out_h, p.out_w, p.in_c}));
+    OP_REQUIRES_OK(ctx, FloatDispatch(input.dtype(), [&](auto tag) {
+      using T = decltype(tag);
+      const T* in = input.data<T>();
+      T* o = out.data<T>();
+      for (int64_t b = 0; b < p.batch; ++b) {
+        for (int64_t oh = 0; oh < p.out_h; ++oh) {
+          for (int64_t ow = 0; ow < p.out_w; ++ow) {
+            for (int64_t c = 0; c < p.in_c; ++c) {
+              double acc = 0;
+              int64_t count = 0;
+              for (int64_t kh = 0; kh < p.k_h; ++kh) {
+                int64_t ih = oh * p.stride_h + kh - p.pad_top;
+                if (ih < 0 || ih >= p.in_h) continue;
+                for (int64_t kw = 0; kw < p.k_w; ++kw) {
+                  int64_t iw = ow * p.stride_w + kw - p.pad_left;
+                  if (iw < 0 || iw >= p.in_w) continue;
+                  acc += in[((b * p.in_h + ih) * p.in_w + iw) * p.in_c + c];
+                  ++count;
+                }
+              }
+              o[((b * p.out_h + oh) * p.out_w + ow) * p.in_c + c] =
+                  static_cast<T>(count > 0 ? acc / count : 0);
+            }
+          }
+        }
+      }
+    }));
+    ctx->set_output(0, std::move(out));
+  }
+
+ private:
+  std::vector<int64_t> ksize_;
+  std::vector<int64_t> strides_;
+  std::string padding_;
+};
+REGISTER_KERNEL("AvgPool", kDeviceCpu, AvgPoolOp);
+
+class AvgPoolGradOp : public OpKernel {
+ public:
+  explicit AvgPoolGradOp(OpKernelConstruction* ctx) : OpKernel(ctx) {
+    ctx->SetStatus(ctx->GetIntListAttr("ksize", &ksize_));
+    ctx->SetStatus(ctx->GetIntListAttr("strides", &strides_));
+    ctx->SetStatus(ctx->GetStringAttr("padding", &padding_));
+  }
+  void Compute(OpKernelContext* ctx) override {
+    Tensor shape_t = ctx->input(0);
+    Tensor grad = ctx->input(1);
+    TensorShape in_shape({shape_t.flat<int32_t>(0), shape_t.flat<int32_t>(1),
+                          shape_t.flat<int32_t>(2), shape_t.flat<int32_t>(3)});
+    Conv2DParams p;
+    OP_REQUIRES_OK(ctx,
+                   ComputePoolParams(in_shape, ksize_, strides_, padding_, &p));
+    Tensor out(BaseType(grad.dtype()), in_shape);
+    OP_REQUIRES_OK(ctx, FloatDispatch(grad.dtype(), [&](auto tag) {
+      using T = decltype(tag);
+      const T* g = grad.data<T>();
+      T* o = out.data<T>();
+      for (int64_t b = 0; b < p.batch; ++b) {
+        for (int64_t oh = 0; oh < p.out_h; ++oh) {
+          for (int64_t ow = 0; ow < p.out_w; ++ow) {
+            // Count contributing elements (same loop as forward).
+            int64_t count = 0;
+            for (int64_t kh = 0; kh < p.k_h; ++kh) {
+              int64_t ih = oh * p.stride_h + kh - p.pad_top;
+              if (ih < 0 || ih >= p.in_h) continue;
+              for (int64_t kw = 0; kw < p.k_w; ++kw) {
+                int64_t iw = ow * p.stride_w + kw - p.pad_left;
+                if (iw >= 0 && iw < p.in_w) ++count;
+              }
+            }
+            if (count == 0) continue;
+            for (int64_t c = 0; c < p.in_c; ++c) {
+              T share =
+                  g[((b * p.out_h + oh) * p.out_w + ow) * p.in_c + c] /
+                  static_cast<T>(count);
+              for (int64_t kh = 0; kh < p.k_h; ++kh) {
+                int64_t ih = oh * p.stride_h + kh - p.pad_top;
+                if (ih < 0 || ih >= p.in_h) continue;
+                for (int64_t kw = 0; kw < p.k_w; ++kw) {
+                  int64_t iw = ow * p.stride_w + kw - p.pad_left;
+                  if (iw < 0 || iw >= p.in_w) continue;
+                  o[((b * p.in_h + ih) * p.in_w + iw) * p.in_c + c] += share;
+                }
+              }
+            }
+          }
+        }
+      }
+    }));
+    ctx->set_output(0, std::move(out));
+  }
+
+ private:
+  std::vector<int64_t> ksize_;
+  std::vector<int64_t> strides_;
+  std::string padding_;
+};
+REGISTER_KERNEL("AvgPoolGrad", kDeviceCpu, AvgPoolGradOp);
+
+// Numerically-stable row softmax on [batch, classes].
+template <typename T>
+void SoftmaxRow(const T* in, T* out, int64_t n, bool log_form) {
+  T mx = in[0];
+  for (int64_t i = 1; i < n; ++i) mx = std::max(mx, in[i]);
+  double sum = 0;
+  for (int64_t i = 0; i < n; ++i) {
+    sum += std::exp(static_cast<double>(in[i] - mx));
+  }
+  double log_sum = std::log(sum);
+  for (int64_t i = 0; i < n; ++i) {
+    double centered = static_cast<double>(in[i] - mx);
+    out[i] = log_form ? static_cast<T>(centered - log_sum)
+                      : static_cast<T>(std::exp(centered - log_sum));
+  }
+}
+
+template <bool LogForm>
+class SoftmaxOp : public OpKernel {
+ public:
+  using OpKernel::OpKernel;
+  void Compute(OpKernelContext* ctx) override {
+    Tensor logits = ctx->input(0);
+    OP_REQUIRES(ctx, logits.shape().rank() == 2,
+                InvalidArgument("Softmax logits must be rank-2"));
+    Tensor out(BaseType(logits.dtype()), logits.shape());
+    int64_t batch = logits.dim(0);
+    int64_t classes = logits.dim(1);
+    OP_REQUIRES_OK(ctx, FloatDispatch(logits.dtype(), [&](auto tag) {
+      using T = decltype(tag);
+      for (int64_t b = 0; b < batch; ++b) {
+        SoftmaxRow<T>(logits.data<T>() + b * classes,
+                      out.data<T>() + b * classes, classes, LogForm);
+      }
+    }));
+    ctx->set_output(0, std::move(out));
+  }
+};
+REGISTER_KERNEL("Softmax", kDeviceCpu, SoftmaxOp<false>);
+REGISTER_KERNEL("LogSoftmax", kDeviceCpu, SoftmaxOp<true>);
+
+// Fused loss+gradient: loss_b = -sum_c labels[b,c] * logsoftmax[b,c];
+// backprop = softmax - labels.
+class SoftmaxCrossEntropyOp : public OpKernel {
+ public:
+  using OpKernel::OpKernel;
+  void Compute(OpKernelContext* ctx) override {
+    Tensor logits = ctx->input(0);
+    Tensor labels = ctx->input(1);
+    OP_REQUIRES(ctx,
+                logits.shape().rank() == 2 && labels.shape() == logits.shape(),
+                InvalidArgument("SoftmaxCrossEntropy shapes must match"));
+    int64_t batch = logits.dim(0);
+    int64_t classes = logits.dim(1);
+    Tensor loss(BaseType(logits.dtype()), TensorShape({batch}));
+    Tensor backprop(BaseType(logits.dtype()), logits.shape());
+    OP_REQUIRES_OK(ctx, FloatDispatch(logits.dtype(), [&](auto tag) {
+      using T = decltype(tag);
+      std::vector<T> logsm(classes);
+      for (int64_t b = 0; b < batch; ++b) {
+        const T* row = logits.data<T>() + b * classes;
+        const T* lab = labels.data<T>() + b * classes;
+        T* bp = backprop.data<T>() + b * classes;
+        SoftmaxRow<T>(row, logsm.data(), classes, /*log_form=*/true);
+        double l = 0;
+        for (int64_t c = 0; c < classes; ++c) {
+          l -= static_cast<double>(lab[c]) * logsm[c];
+          bp[c] = static_cast<T>(std::exp(static_cast<double>(logsm[c]))) -
+                  lab[c];
+        }
+        loss.flat<T>(b) = static_cast<T>(l);
+      }
+    }));
+    ctx->set_output(0, std::move(loss));
+    ctx->set_output(1, std::move(backprop));
+  }
+};
+REGISTER_KERNEL("SoftmaxCrossEntropyWithLogits", kDeviceCpu,
+                SoftmaxCrossEntropyOp);
+
+class SparseSoftmaxCrossEntropyOp : public OpKernel {
+ public:
+  using OpKernel::OpKernel;
+  void Compute(OpKernelContext* ctx) override {
+    Tensor logits = ctx->input(0);
+    Tensor labels = ctx->input(1);
+    OP_REQUIRES(ctx, logits.shape().rank() == 2,
+                InvalidArgument("logits must be rank-2"));
+    int64_t batch = logits.dim(0);
+    int64_t classes = logits.dim(1);
+    OP_REQUIRES(ctx, labels.num_elements() == batch,
+                InvalidArgument("labels must have one entry per row"));
+    Tensor loss(BaseType(logits.dtype()), TensorShape({batch}));
+    Tensor backprop(BaseType(logits.dtype()), logits.shape());
+    Status index_status;
+    Status dispatch_status;
+    OP_REQUIRES_OK(ctx, FloatDispatch(logits.dtype(), [&](auto tag) {
+      using T = decltype(tag);
+      std::vector<T> logsm(classes);
+      dispatch_status = IndexDispatch(labels.dtype(), [&](auto itag) {
+        using I = decltype(itag);
+        const I* lab = labels.data<I>();
+        for (int64_t b = 0; b < batch; ++b) {
+          if (lab[b] < 0 || lab[b] >= classes) {
+            index_status = OutOfRange("label out of range");
+            return;
+          }
+          const T* row = logits.data<T>() + b * classes;
+          T* bp = backprop.data<T>() + b * classes;
+          SoftmaxRow<T>(row, logsm.data(), classes, /*log_form=*/true);
+          loss.flat<T>(b) = -logsm[lab[b]];
+          for (int64_t c = 0; c < classes; ++c) {
+            bp[c] =
+                static_cast<T>(std::exp(static_cast<double>(logsm[c]))) -
+                (c == static_cast<int64_t>(lab[b]) ? T{1} : T{0});
+          }
+        }
+      });
+    }));
+    if (index_status.ok()) index_status = dispatch_status;
+    OP_REQUIRES_OK(ctx, index_status);
+    ctx->set_output(0, std::move(loss));
+    ctx->set_output(1, std::move(backprop));
+  }
+};
+REGISTER_KERNEL("SparseSoftmaxCrossEntropyWithLogits", kDeviceCpu,
+                SparseSoftmaxCrossEntropyOp);
+
+}  // namespace
+}  // namespace tfrepro

@@ -1,0 +1,253 @@
+#include "kernels/queue.h"
+
+#include "runtime/device.h"
+
+namespace tfrepro {
+
+QueueResource::QueueResource(DataTypeVector component_types, int64_t capacity,
+                             int64_t min_after_dequeue, uint64_t seed,
+                             bool shuffle)
+    : component_types_(std::move(component_types)),
+      capacity_(capacity),
+      min_after_dequeue_(min_after_dequeue),
+      shuffle_(shuffle),
+      rng_(seed) {}
+
+void QueueResource::TryEnqueue(Tuple tuple, CancellationManager* cm,
+                               EnqueueCallback done) {
+  std::vector<std::function<void()>> actions;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (closed_) {
+      Status s = Aborted("queue is closed");
+      actions.push_back([done = std::move(done), s]() { done(s); });
+    } else {
+      EnqueueWaiter w;
+      w.id = next_waiter_id_++;
+      w.tuple = std::move(tuple);
+      w.done = std::move(done);
+      w.cm = cm;
+      w.has_token = false;
+      if (cm != nullptr) {
+        int64_t id = w.id;
+        w.has_token = cm->RegisterCallback(
+            &w.token, [this, id]() { CancelEnqueue(id); });
+        if (!w.has_token) {
+          Status s = Cancelled("step was cancelled");
+          actions.push_back(
+              [done = std::move(w.done), s]() { done(s); });
+          w.done = nullptr;
+        }
+      }
+      if (w.done != nullptr) {
+        enqueue_waiters_.push_back(std::move(w));
+        SatisfyLocked(&actions);
+      }
+    }
+  }
+  for (auto& action : actions) action();
+}
+
+void QueueResource::TryDequeue(int64_t n, bool batched,
+                               CancellationManager* cm, DequeueCallback done) {
+  std::vector<std::function<void()>> actions;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    DequeueWaiter w;
+    w.id = next_waiter_id_++;
+    w.n = n;
+    w.batched = batched;
+    w.done = std::move(done);
+    w.cm = cm;
+    w.has_token = false;
+    if (cm != nullptr) {
+      int64_t id = w.id;
+      w.has_token =
+          cm->RegisterCallback(&w.token, [this, id]() { CancelDequeue(id); });
+      if (!w.has_token) {
+        Status s = Cancelled("step was cancelled");
+        actions.push_back(
+            [done = std::move(w.done), s]() { done(s, Tuple()); });
+        w.done = nullptr;
+      }
+    }
+    if (w.done != nullptr) {
+      dequeue_waiters_.push_back(std::move(w));
+      SatisfyLocked(&actions);
+    }
+  }
+  for (auto& action : actions) action();
+}
+
+QueueResource::Tuple QueueResource::PopOneLocked() {
+  size_t index = 0;
+  if (shuffle_ && buffer_.size() > 1) {
+    index = static_cast<size_t>(rng_.UniformInt(buffer_.size()));
+  }
+  Tuple t = std::move(buffer_[index]);
+  buffer_.erase(buffer_.begin() + index);
+  return t;
+}
+
+QueueResource::Tuple QueueResource::StackRows(const std::vector<Tuple>& rows) {
+  Tuple out;
+  if (rows.empty()) return out;
+  size_t num_components = rows[0].size();
+  for (size_t c = 0; c < num_components; ++c) {
+    TensorShape shape = rows[0][c].shape();
+    shape.InsertDim(0, static_cast<int64_t>(rows.size()));
+    Tensor stacked(rows[0][c].dtype(), shape);
+    int64_t row_elems = rows[0][c].num_elements();
+    size_t esz = DataTypeSize(rows[0][c].dtype());
+    for (size_t r = 0; r < rows.size(); ++r) {
+      if (esz > 0) {
+        std::memcpy(stacked.raw_data() + r * row_elems * esz,
+                    rows[r][c].raw_data(), row_elems * esz);
+      } else {
+        for (int64_t i = 0; i < row_elems; ++i) {
+          stacked.str(r * row_elems + i) = rows[r][c].str(i);
+        }
+      }
+    }
+    out.push_back(std::move(stacked));
+  }
+  return out;
+}
+
+void QueueResource::SatisfyLocked(std::vector<std::function<void()>>* actions) {
+  bool progress = true;
+  while (progress) {
+    progress = false;
+
+    // Move waiting enqueues into the buffer while capacity allows.
+    while (!enqueue_waiters_.empty() &&
+           (capacity_ < 0 ||
+            static_cast<int64_t>(buffer_.size()) < capacity_)) {
+      EnqueueWaiter w = std::move(enqueue_waiters_.front());
+      enqueue_waiters_.pop_front();
+      buffer_.push_back(std::move(w.tuple));
+      if (w.has_token) w.cm->DeregisterCallback(w.token);
+      actions->push_back([done = std::move(w.done)]() { done(Status::OK()); });
+      progress = true;
+    }
+
+    if (dequeue_waiters_.empty()) continue;
+
+    // Feed the front dequeue waiter. A shuffle queue keeps
+    // min_after_dequeue elements buffered while open (for mixing).
+    DequeueWaiter& w = dequeue_waiters_.front();
+    int64_t reserve = (shuffle_ && !closed_) ? min_after_dequeue_ : 0;
+    while (static_cast<int64_t>(w.rows.size()) < w.n &&
+           static_cast<int64_t>(buffer_.size()) > reserve) {
+      w.rows.push_back(PopOneLocked());
+      progress = true;
+    }
+    if (static_cast<int64_t>(w.rows.size()) == w.n) {
+      DequeueWaiter ready = std::move(dequeue_waiters_.front());
+      dequeue_waiters_.pop_front();
+      if (ready.has_token) ready.cm->DeregisterCallback(ready.token);
+      Tuple result = ready.batched ? StackRows(ready.rows)
+                                   : std::move(ready.rows[0]);
+      actions->push_back(
+          [done = std::move(ready.done), result = std::move(result)]() {
+            done(Status::OK(), result);
+          });
+      progress = true;
+    } else if (closed_ &&
+               static_cast<int64_t>(buffer_.size()) +
+                       static_cast<int64_t>(enqueue_waiters_.size()) <
+                   w.n - static_cast<int64_t>(w.rows.size())) {
+      // Queue closed and can never produce enough elements.
+      DequeueWaiter failed = std::move(dequeue_waiters_.front());
+      dequeue_waiters_.pop_front();
+      if (failed.has_token) failed.cm->DeregisterCallback(failed.token);
+      Status s = OutOfRange("queue is closed and has insufficient elements");
+      actions->push_back([done = std::move(failed.done), s]() {
+        done(s, Tuple());
+      });
+      progress = true;
+    }
+  }
+}
+
+void QueueResource::Close(bool cancel_pending_enqueues) {
+  std::vector<std::function<void()>> actions;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    closed_ = true;
+    cancel_pending_ = cancel_pending_enqueues;
+    if (cancel_pending_enqueues) {
+      while (!enqueue_waiters_.empty()) {
+        EnqueueWaiter w = std::move(enqueue_waiters_.front());
+        enqueue_waiters_.pop_front();
+        if (w.has_token) w.cm->DeregisterCallback(w.token);
+        Status s = Cancelled("queue closed with pending enqueues cancelled");
+        actions.push_back([done = std::move(w.done), s]() { done(s); });
+      }
+    }
+    SatisfyLocked(&actions);
+  }
+  for (auto& action : actions) action();
+}
+
+int64_t QueueResource::Size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int64_t>(buffer_.size());
+}
+
+bool QueueResource::is_closed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return closed_;
+}
+
+std::string QueueResource::DebugString() const {
+  return "Queue(size=" + std::to_string(Size()) + ")";
+}
+
+void QueueResource::CancelEnqueue(int64_t id) {
+  EnqueueCallback done;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto it = enqueue_waiters_.begin(); it != enqueue_waiters_.end();
+         ++it) {
+      if (it->id == id) {
+        done = std::move(it->done);
+        enqueue_waiters_.erase(it);
+        break;
+      }
+    }
+  }
+  if (done) done(Cancelled("enqueue was cancelled"));
+}
+
+void QueueResource::CancelDequeue(int64_t id) {
+  DequeueCallback done;
+  std::vector<Tuple> rows;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto it = dequeue_waiters_.begin(); it != dequeue_waiters_.end();
+         ++it) {
+      if (it->id == id) {
+        done = std::move(it->done);
+        rows = std::move(it->rows);
+        dequeue_waiters_.erase(it);
+        break;
+      }
+    }
+    // Return partially-collected rows to the buffer.
+    for (auto& row : rows) buffer_.push_front(std::move(row));
+  }
+  if (done) done(Cancelled("dequeue was cancelled"), Tuple());
+}
+
+Result<std::shared_ptr<QueueResource>> LookupQueue(OpKernelContext* ctx,
+                                                   int handle_input) {
+  Tensor handle = ctx->input(handle_input);
+  if (BaseType(handle.dtype()) != DataType::kString ||
+      handle.num_elements() < 1) {
+    return InvalidArgument("queue handle must be a string tensor");
+  }
+  return ctx->device()->resource_mgr()->Lookup<QueueResource>(handle.str(0));
+}
+
+}  // namespace tfrepro

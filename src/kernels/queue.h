@@ -1,0 +1,106 @@
+// Queue resources (paper §3.1): a FIFOQueue owns an internal queue of
+// tensor tuples and supports concurrent access. Enqueue blocks when the
+// queue is full and Dequeue blocks when it is empty — the blocking provides
+// backpressure in input pipelines and the synchronization primitive used
+// for synchronous replication (§4.4).
+//
+// Blocking is implemented with callbacks so asynchronous kernels never park
+// a threadpool thread.
+
+#ifndef TFREPRO_KERNELS_QUEUE_H_
+#define TFREPRO_KERNELS_QUEUE_H_
+
+#include <deque>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <vector>
+
+#include "core/random.h"
+#include "core/status.h"
+#include "core/tensor.h"
+#include "runtime/kernel.h"
+#include "runtime/resource_mgr.h"
+
+namespace tfrepro {
+
+class QueueResource : public ResourceBase {
+ public:
+  using Tuple = std::vector<Tensor>;
+  using EnqueueCallback = std::function<void(const Status&)>;
+  using DequeueCallback = std::function<void(const Status&, const Tuple&)>;
+
+  QueueResource(DataTypeVector component_types, int64_t capacity,
+                int64_t min_after_dequeue, uint64_t seed, bool shuffle);
+
+  // Attempts to push one tuple; `done` fires when space was available (or
+  // on close/cancellation). `cm` may be null.
+  void TryEnqueue(Tuple tuple, CancellationManager* cm, EnqueueCallback done);
+
+  // Attempts to pop `n` tuples, stacked along a new leading dimension when
+  // n >= 1 is batched (DequeueMany); n == 1 with `batched` false returns the
+  // raw tuple (Dequeue).
+  void TryDequeue(int64_t n, bool batched, CancellationManager* cm,
+                  DequeueCallback done);
+
+  void Close(bool cancel_pending_enqueues);
+  int64_t Size() const;
+  bool is_closed() const;
+
+  const DataTypeVector& component_types() const { return component_types_; }
+
+  std::string DebugString() const override;
+
+ private:
+  struct EnqueueWaiter {
+    int64_t id;
+    Tuple tuple;
+    EnqueueCallback done;
+    CancellationManager* cm;
+    CancellationManager::Token token;
+    bool has_token;
+  };
+  struct DequeueWaiter {
+    int64_t id;
+    int64_t n;
+    bool batched;
+    Tuple accum;  // partially-stacked components (rows collected so far)
+    std::vector<Tuple> rows;
+    DequeueCallback done;
+    CancellationManager* cm;
+    CancellationManager::Token token;
+    bool has_token;
+  };
+
+  // Moves tuples between buffer and waiters; returns actions to run outside
+  // the lock. Must hold mu_.
+  void SatisfyLocked(std::vector<std::function<void()>>* actions);
+  Tuple PopOneLocked();
+  static Tuple StackRows(const std::vector<Tuple>& rows);
+
+  void CancelEnqueue(int64_t id);
+  void CancelDequeue(int64_t id);
+
+  const DataTypeVector component_types_;
+  const int64_t capacity_;  // -1 == unbounded
+  const int64_t min_after_dequeue_;
+  const bool shuffle_;
+
+  mutable std::mutex mu_;
+  PhiloxRandom rng_;
+  std::deque<Tuple> buffer_;
+  std::deque<EnqueueWaiter> enqueue_waiters_;
+  std::deque<DequeueWaiter> dequeue_waiters_;
+  bool closed_ = false;
+  bool cancel_pending_ = false;
+  int64_t next_waiter_id_ = 0;
+};
+
+// Looks up the queue named by a handle tensor (as produced by queue ops) in
+// the device's resource manager.
+Result<std::shared_ptr<QueueResource>> LookupQueue(OpKernelContext* ctx,
+                                                   int handle_input);
+
+}  // namespace tfrepro
+
+#endif  // TFREPRO_KERNELS_QUEUE_H_

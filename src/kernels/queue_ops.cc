@@ -1,0 +1,223 @@
+// Queue kernels: FIFOQueue / RandomShuffleQueue creation, enqueue, dequeue
+// (single and batched), size, and close (paper §3.1, §4.4).
+
+#include "kernels/queue.h"
+#include "runtime/device.h"
+
+namespace tfrepro {
+namespace {
+
+template <bool Shuffle>
+class QueueCreationOp : public OpKernel {
+ public:
+  explicit QueueCreationOp(OpKernelConstruction* ctx) : OpKernel(ctx) {
+    DataTypeVector component_types;
+    ctx->SetStatus(ctx->GetTypeListAttr("component_types", &component_types));
+    int64_t capacity = -1;
+    ctx->SetStatus(ctx->GetIntAttr("capacity", &capacity));
+    int64_t min_after_dequeue = 0;
+    int64_t seed = 0;
+    if (Shuffle) {
+      ctx->SetStatus(ctx->GetIntAttr("min_after_dequeue", &min_after_dequeue));
+      ctx->SetStatus(ctx->GetIntAttr("seed", &seed));
+    }
+    std::string shared_name;
+    ctx->SetStatus(ctx->GetStringAttr("shared_name", &shared_name));
+    resource_name_ =
+        shared_name.empty() ? ctx->node_name() : shared_name;
+
+    queue_ = std::make_shared<QueueResource>(
+        std::move(component_types), capacity, min_after_dequeue,
+        static_cast<uint64_t>(seed == 0 ? 0x51F0E9B5 : seed), Shuffle);
+    // Publish in the device resource manager so handle consumers find it.
+    Status s = ctx->device()->resource_mgr()->Create(resource_name_, queue_);
+    if (s.code() == Code::kAlreadyExists && !shared_name.empty()) {
+      // Sharing an existing queue by name is allowed.
+      Result<std::shared_ptr<QueueResource>> existing =
+          ctx->device()->resource_mgr()->Lookup<QueueResource>(resource_name_);
+      if (existing.ok()) {
+        queue_ = existing.value();
+        s = Status::OK();
+      }
+    }
+    ctx->SetStatus(s);
+
+    handle_ = Tensor(DataType::kString, TensorShape({2}));
+    handle_.str(0) = resource_name_;
+    handle_.str(1) = resource_name_;
+  }
+
+  void Compute(OpKernelContext* ctx) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    ctx->set_output_ref(0, &mu_, &handle_);
+  }
+  bool IsExpensive() const override { return false; }
+
+ private:
+  std::string resource_name_;
+  std::shared_ptr<QueueResource> queue_;
+  std::mutex mu_;
+  Tensor handle_;
+};
+REGISTER_KERNEL("FIFOQueue", kDeviceCpu, QueueCreationOp<false>);
+REGISTER_KERNEL("RandomShuffleQueue", kDeviceCpu, QueueCreationOp<true>);
+
+// Enqueue a single tuple (or, for EnqueueMany, dim-0 slices of the inputs).
+template <bool Many>
+class QueueEnqueueOp : public AsyncOpKernel {
+ public:
+  using AsyncOpKernel::AsyncOpKernel;
+
+  void ComputeAsync(OpKernelContext* ctx, DoneCallback done) override {
+    Result<std::shared_ptr<QueueResource>> queue = LookupQueue(ctx, 0);
+    OP_REQUIRES_OK_ASYNC(ctx, queue.status(), done);
+    if (!Many) {
+      QueueResource::Tuple tuple;
+      for (int i = 1; i < ctx->num_inputs(); ++i) {
+        tuple.push_back(ctx->input(i));
+      }
+      queue.value()->TryEnqueue(std::move(tuple), ctx->cancellation(),
+                                [ctx, done](const Status& s) {
+                                  ctx->SetStatus(s);
+                                  done();
+                                });
+      return;
+    }
+    // EnqueueMany: split each component along dim 0 into rows.
+    int64_t rows = -1;
+    std::vector<Tensor> components;
+    for (int i = 1; i < ctx->num_inputs(); ++i) {
+      Tensor t = ctx->input(i);
+      OP_REQUIRES_ASYNC(ctx, t.shape().rank() >= 1,
+                        InvalidArgument("EnqueueMany components need rank>=1"),
+                        done);
+      if (rows < 0) rows = t.dim(0);
+      OP_REQUIRES_ASYNC(ctx, t.dim(0) == rows,
+                        InvalidArgument("EnqueueMany dim0 mismatch"), done);
+      components.push_back(t);
+    }
+    if (rows <= 0) {
+      done();
+      return;
+    }
+    // Chain the row enqueues; completes when the last row lands.
+    EnqueueRows(ctx, std::move(done), queue.value(), std::move(components), 0,
+                rows);
+  }
+
+ private:
+  void EnqueueRows(OpKernelContext* ctx, DoneCallback done,
+                   std::shared_ptr<QueueResource> queue,
+                   std::vector<Tensor> components, int64_t row, int64_t rows) {
+    QueueResource::Tuple tuple;
+    for (Tensor& c : components) {
+      Result<Tensor> slice = c.SliceRows(row, 1);
+      OP_REQUIRES_OK_ASYNC(ctx, slice.status(), done);
+      TensorShape shape = slice.value().shape();
+      shape.RemoveDim(0);
+      Result<Tensor> squeezed = slice.value().Reshaped(shape);
+      OP_REQUIRES_OK_ASYNC(ctx, squeezed.status(), done);
+      tuple.push_back(std::move(squeezed).value());
+    }
+    auto queue_raw = queue.get();
+    queue_raw->TryEnqueue(
+        std::move(tuple), ctx->cancellation(),
+        [this, ctx, done, queue = std::move(queue),
+         components = std::move(components), row, rows](const Status& s) mutable {
+          if (!s.ok()) {
+            ctx->SetStatus(s);
+            done();
+            return;
+          }
+          if (row + 1 == rows) {
+            done();
+            return;
+          }
+          EnqueueRows(ctx, std::move(done), std::move(queue),
+                      std::move(components), row + 1, rows);
+        });
+  }
+};
+REGISTER_KERNEL("QueueEnqueue", kDeviceCpu, QueueEnqueueOp<false>);
+REGISTER_KERNEL("QueueEnqueueMany", kDeviceCpu, QueueEnqueueOp<true>);
+
+class QueueDequeueOp : public AsyncOpKernel {
+ public:
+  using AsyncOpKernel::AsyncOpKernel;
+  void ComputeAsync(OpKernelContext* ctx, DoneCallback done) override {
+    Result<std::shared_ptr<QueueResource>> queue = LookupQueue(ctx, 0);
+    OP_REQUIRES_OK_ASYNC(ctx, queue.status(), done);
+    queue.value()->TryDequeue(
+        1, /*batched=*/false, ctx->cancellation(),
+        [ctx, done](const Status& s, const QueueResource::Tuple& tuple) {
+          if (!s.ok()) {
+            ctx->SetStatus(s);
+          } else {
+            for (size_t i = 0; i < tuple.size(); ++i) {
+              ctx->set_output(static_cast<int>(i), tuple[i]);
+            }
+          }
+          done();
+        });
+  }
+};
+REGISTER_KERNEL("QueueDequeue", kDeviceCpu, QueueDequeueOp);
+
+class QueueDequeueManyOp : public AsyncOpKernel {
+ public:
+  using AsyncOpKernel::AsyncOpKernel;
+  void ComputeAsync(OpKernelContext* ctx, DoneCallback done) override {
+    Result<std::shared_ptr<QueueResource>> queue = LookupQueue(ctx, 0);
+    OP_REQUIRES_OK_ASYNC(ctx, queue.status(), done);
+    int32_t n = *ctx->input(1).data<int32_t>();
+    OP_REQUIRES_ASYNC(ctx, n >= 0,
+                      InvalidArgument("DequeueMany count must be >= 0"), done);
+    queue.value()->TryDequeue(
+        n, /*batched=*/true, ctx->cancellation(),
+        [ctx, done](const Status& s, const QueueResource::Tuple& tuple) {
+          if (!s.ok()) {
+            ctx->SetStatus(s);
+          } else {
+            for (size_t i = 0; i < tuple.size(); ++i) {
+              ctx->set_output(static_cast<int>(i), tuple[i]);
+            }
+          }
+          done();
+        });
+  }
+};
+REGISTER_KERNEL("QueueDequeueMany", kDeviceCpu, QueueDequeueManyOp);
+
+class QueueSizeOp : public OpKernel {
+ public:
+  using OpKernel::OpKernel;
+  void Compute(OpKernelContext* ctx) override {
+    Result<std::shared_ptr<QueueResource>> queue = LookupQueue(ctx, 0);
+    OP_REQUIRES_OK(ctx, queue.status());
+    ctx->set_output(
+        0, Tensor::Scalar(static_cast<int32_t>(queue.value()->Size())));
+  }
+  bool IsExpensive() const override { return false; }
+};
+REGISTER_KERNEL("QueueSize", kDeviceCpu, QueueSizeOp);
+
+class QueueCloseOp : public OpKernel {
+ public:
+  explicit QueueCloseOp(OpKernelConstruction* ctx) : OpKernel(ctx) {
+    ctx->SetStatus(
+        ctx->GetBoolAttr("cancel_pending_enqueues", &cancel_pending_));
+  }
+  void Compute(OpKernelContext* ctx) override {
+    Result<std::shared_ptr<QueueResource>> queue = LookupQueue(ctx, 0);
+    OP_REQUIRES_OK(ctx, queue.status());
+    queue.value()->Close(cancel_pending_);
+  }
+  bool IsExpensive() const override { return false; }
+
+ private:
+  bool cancel_pending_ = false;
+};
+REGISTER_KERNEL("QueueClose", kDeviceCpu, QueueCloseOp);
+
+}  // namespace
+}  // namespace tfrepro

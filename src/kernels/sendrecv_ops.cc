@@ -1,0 +1,68 @@
+// _Send/_Recv kernels (paper §3.3): partitions meet at a rendezvous key.
+// Send fires as soon as its input is available (even dead — the deadness
+// bit must cross device boundaries, §3.4); Recv is asynchronous so blocked
+// receives never occupy a pool thread.
+
+#include "runtime/kernel.h"
+
+namespace tfrepro {
+namespace {
+
+std::string KeyFromAttrs(OpKernelConstruction* ctx) {
+  std::string tensor_name;
+  std::string send_device;
+  std::string recv_device;
+  ctx->SetStatus(ctx->GetStringAttr("tensor_name", &tensor_name));
+  ctx->SetStatus(ctx->GetStringAttr("send_device", &send_device));
+  ctx->SetStatus(ctx->GetStringAttr("recv_device", &recv_device));
+  return send_device + ";" + recv_device + ";" + tensor_name;
+}
+
+class SendOp : public OpKernel {
+ public:
+  explicit SendOp(OpKernelConstruction* ctx)
+      : OpKernel(ctx), base_key_(KeyFromAttrs(ctx)) {}
+
+  void Compute(OpKernelContext* ctx) override {
+    OP_REQUIRES(ctx, ctx->rendezvous() != nullptr,
+                Internal("_Send executed without a rendezvous"));
+    std::string key = base_key_ + ";" + std::to_string(ctx->frame_iter());
+    bool is_dead = ctx->is_input_dead();
+    Tensor value = is_dead ? Tensor() : ctx->input(0);
+    OP_REQUIRES_OK(ctx, ctx->rendezvous()->Send(key, value, is_dead));
+  }
+  bool IsExpensive() const override { return false; }
+
+ private:
+  std::string base_key_;
+};
+REGISTER_KERNEL("_Send", kDeviceCpu, SendOp);
+
+class RecvOp : public AsyncOpKernel {
+ public:
+  explicit RecvOp(OpKernelConstruction* ctx)
+      : AsyncOpKernel(ctx), base_key_(KeyFromAttrs(ctx)) {}
+
+  void ComputeAsync(OpKernelContext* ctx, DoneCallback done) override {
+    OP_REQUIRES_ASYNC(ctx, ctx->rendezvous() != nullptr,
+                      Internal("_Recv executed without a rendezvous"), done);
+    std::string key = base_key_ + ";" + std::to_string(ctx->frame_iter());
+    ctx->rendezvous()->RecvAsync(
+        key, [ctx, done](const Status& s, const Tensor& value, bool is_dead) {
+          if (!s.ok()) {
+            ctx->SetStatus(s);
+          } else if (!is_dead) {
+            ctx->set_output(0, value);
+          }
+          // Dead: leave the output unset; the executor propagates deadness.
+          done();
+        });
+  }
+
+ private:
+  std::string base_key_;
+};
+REGISTER_KERNEL("_Recv", kDeviceCpu, RecvOp);
+
+}  // namespace
+}  // namespace tfrepro

@@ -1,0 +1,57 @@
+#include "nn/build_model.h"
+
+namespace tfrepro {
+namespace nn {
+
+Result<Output> BuildConvNet(VariableStore* store, Output images,
+                            const ModelSpec& spec) {
+  GraphBuilder* b = store->builder();
+  Output x = images;
+  bool flattened = false;
+  int index = 0;
+  for (const LayerSpec& layer : spec.layers) {
+    const std::string name = spec.name + "/layer" + std::to_string(index++);
+    switch (layer.kind) {
+      case LayerSpec::Kind::kConv: {
+        int64_t kw = layer.k2 != 0 ? layer.k2 : layer.k;
+        if (kw != layer.k) {
+          return Unimplemented(
+              "BuildConvNet: rectangular kernels are cost-model-only");
+        }
+        x = ConvLayer(store, x, layer.in_c, layer.out_c, layer.k,
+                      layer.stride, layer.same_padding ? "SAME" : "VALID",
+                      Activation::kRelu, name);
+        break;
+      }
+      case LayerSpec::Kind::kPool: {
+        x = ops::MaxPool(b, x, {1, layer.k, layer.k, 1},
+                         {1, layer.stride, layer.stride, 1},
+                         layer.same_padding ? "SAME" : "VALID");
+        break;
+      }
+      case LayerSpec::Kind::kFullyConnected: {
+        if (!flattened) {
+          x = ops::Reshape(
+              b, x, {static_cast<int32_t>(spec.batch),
+                     static_cast<int32_t>(layer.in_dim)});
+          flattened = true;
+        }
+        // The last FC layer emits raw logits; inner ones get ReLU.
+        bool last = index == static_cast<int>(spec.layers.size());
+        x = Dense(store, x, layer.in_dim, layer.out_dim,
+                  last ? Activation::kNone : Activation::kRelu, name);
+        break;
+      }
+      case LayerSpec::Kind::kLstm:
+      case LayerSpec::Kind::kSoftmax:
+        return Unimplemented(
+            "BuildConvNet handles conv/pool/fc specs; use LSTMCell / softmax "
+            "heads for sequence models");
+    }
+    TF_RETURN_IF_ERROR(b->status());
+  }
+  return x;
+}
+
+}  // namespace nn
+}  // namespace tfrepro

@@ -1,0 +1,30 @@
+// Builds runnable graphs from model-zoo layer specs, so the same
+// definitions drive both the performance simulator (src/sim) and real
+// executable models (DESIGN.md §5.7: one source of truth).
+
+#ifndef TFREPRO_NN_BUILD_MODEL_H_
+#define TFREPRO_NN_BUILD_MODEL_H_
+
+#include "graph/graph_builder.h"
+#include "nn/layers.h"
+#include "nn/model_zoo.h"
+
+namespace tfrepro {
+namespace nn {
+
+// Constructs the forward graph of `spec` on NHWC input `images`
+// ([batch, h, w, c] matching the spec's first layer). Conv layers get ReLU
+// activations; pools follow the spec's kernel/stride; the first
+// fully-connected layer flattens. Returns the logits. Supports linear
+// (sequential) specs of kConv/kPool/kFullyConnected layers — AlexNet,
+// Overfeat, OxfordNet and custom specs; the branched Inception module lists
+// (GoogleNet, Inception-v3) describe per-branch costs for the simulator and
+// are not sequentially runnable. kLstm/kSoftmax specs are built by the
+// dedicated rnn/softmax modules.
+Result<Output> BuildConvNet(VariableStore* store, Output images,
+                            const ModelSpec& spec);
+
+}  // namespace nn
+}  // namespace tfrepro
+
+#endif  // TFREPRO_NN_BUILD_MODEL_H_

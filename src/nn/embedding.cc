@@ -1,0 +1,92 @@
+#include "nn/embedding.h"
+
+#include <cmath>
+
+namespace tfrepro {
+namespace nn {
+
+ShardedEmbedding::ShardedEmbedding(
+    VariableStore* store, const std::string& name, int64_t vocab_size,
+    int64_t dim, int num_shards,
+    const std::function<std::string(int)>& ps_device_fn)
+    : store_(store), b_(store->builder()), vocab_size_(vocab_size), dim_(dim) {
+  float stddev = 1.0f / std::sqrt(static_cast<float>(dim));
+  for (int s = 0; s < num_shards; ++s) {
+    // Mod-sharding: shard s holds rows {s, s+k, s+2k, ...}.
+    int64_t rows = (vocab_size - s + num_shards - 1) / num_shards;
+    GraphBuilder::DeviceScope scope(
+        b_, ps_device_fn ? ps_device_fn(s) : b_->default_device());
+    Output shard = store->WeightVariable(
+        name + "/shard" + std::to_string(s), TensorShape({rows, dim}),
+        stddev);
+    shards_.push_back(shard);
+  }
+}
+
+ShardedEmbedding::Routing ShardedEmbedding::Route(Output indices) {
+  int num = num_shards();
+  // shard id = index mod k; local row = index div k (Figure 3's "Mod" /
+  // "Part" stage).
+  Output k = ops::Const(b_, static_cast<int32_t>(num));
+  Output shard_ids = b_->Op("Mod")
+                         .Input(indices)
+                         .Input(k)
+                         .Attr("T", DataType::kInt32)
+                         .Finalize();
+  Output local = b_->Op("FloorDiv")
+                     .Input(indices)
+                     .Input(k)
+                     .Attr("T", DataType::kInt32)
+                     .Finalize();
+  Routing routing;
+  routing.local_indices = ops::DynamicPartition(b_, local, shard_ids, num);
+  Output n = ops::Size(b_, indices);
+  Output positions = ops::Range(b_, ops::Const(b_, int32_t{0}), n,
+                                ops::Const(b_, int32_t{1}));
+  routing.positions = ops::DynamicPartition(b_, positions, shard_ids, num);
+  return routing;
+}
+
+Output ShardedEmbedding::Lookup(Output indices) {
+  Routing routing = Route(indices);
+  std::vector<Output> gathered;
+  for (int s = 0; s < num_shards(); ++s) {
+    Output g = ops::Gather(b_, shards_[s], routing.local_indices[s]);
+    // Colocate the Gather with its shard: the lookup runs on the PS task
+    // holding the rows, and only the gathered rows cross the network
+    // (paper §4.2).
+    if (g.valid()) {
+      g.node->set_requested_device(shards_[s].node->requested_device());
+    }
+    gathered.push_back(g);
+  }
+  // "Stitch" reassembles the batch order.
+  return ops::DynamicStitch(b_, routing.positions, gathered);
+}
+
+Node* ShardedEmbedding::SparseApplySgd(Output indices, Output grad,
+                                       float learning_rate) {
+  Routing routing = Route(indices);
+  std::vector<Output> updates;
+  for (int s = 0; s < num_shards(); ++s) {
+    // Per-shard slice of the incoming gradient rows.
+    Output grad_rows = ops::Gather(b_, grad, routing.positions[s]);
+    Output update = b_->Op("SparseApplyGradientDescent")
+                        .Input(shards_[s])
+                        .Input(ops::Const(b_, learning_rate))
+                        .Input(grad_rows)
+                        .Input(routing.local_indices[s])
+                        .Attr("T", DataType::kFloat)
+                        .Attr("Tindices", DataType::kInt32)
+                        .Finalize();
+    if (update.valid()) {
+      update.node->set_requested_device(
+          shards_[s].node->requested_device());
+    }
+    updates.push_back(update);
+  }
+  return ops::Group(b_, updates, "");
+}
+
+}  // namespace nn
+}  // namespace tfrepro

@@ -1,0 +1,66 @@
+// Sharded embedding layer (paper §4.2, Figure 3): an n x d embedding matrix
+// split across parameter-server tasks by mod-sharding; lookups route index
+// subsets to each shard with DynamicPartition, Gather colocated with the
+// shard, and DynamicStitch reassembling the result. The whole composition
+// is built from primitive operations and is differentiable (each op has a
+// registered gradient), exactly as the paper argues.
+
+#ifndef TFREPRO_NN_EMBEDDING_H_
+#define TFREPRO_NN_EMBEDDING_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "graph/graph_builder.h"
+#include "graph/ops.h"
+#include "nn/layers.h"
+
+namespace tfrepro {
+namespace nn {
+
+class ShardedEmbedding {
+ public:
+  // Creates `num_shards` variables of ~vocab/num_shards rows each. If
+  // `ps_device_fn` is provided, shard i is placed on ps_device_fn(i)
+  // (e.g. "/job:ps/task:i" — paper §3.3 PS placement).
+  ShardedEmbedding(VariableStore* store, const std::string& name,
+                   int64_t vocab_size, int64_t dim, int num_shards,
+                   const std::function<std::string(int)>& ps_device_fn = {});
+
+  // Builds the Figure 3 lookup graph for a vector of int32 indices
+  // [n] -> [n, dim]. Gathers run colocated with their shards.
+  Output Lookup(Output indices);
+
+  // Builds the explicit sparse update path (paper §4.2: "sparse update
+  // operations that act on just the values that were originally gathered"):
+  // SparseApplyGradientDescent per shard, colocated with the shard.
+  // `grad` is d(loss)/d(lookup result) with shape [n, dim] and `indices`
+  // the original lookup indices. Returns a group node.
+  Node* SparseApplySgd(Output indices, Output grad, float learning_rate);
+
+  const std::vector<Output>& shards() const { return shards_; }
+  int64_t vocab_size() const { return vocab_size_; }
+  int64_t dim() const { return dim_; }
+  int num_shards() const { return static_cast<int>(shards_.size()); }
+
+ private:
+  // Routes indices to shards; fills per-shard local row ids and the
+  // positions needed to stitch results back.
+  struct Routing {
+    std::vector<Output> local_indices;  // per shard, row ids within shard
+    std::vector<Output> positions;      // per shard, positions in the input
+  };
+  Routing Route(Output indices);
+
+  VariableStore* store_;
+  GraphBuilder* b_;
+  int64_t vocab_size_;
+  int64_t dim_;
+  std::vector<Output> shards_;
+};
+
+}  // namespace nn
+}  // namespace tfrepro
+
+#endif  // TFREPRO_NN_EMBEDDING_H_

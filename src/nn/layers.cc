@@ -1,0 +1,90 @@
+#include "nn/layers.h"
+
+#include <cmath>
+
+namespace tfrepro {
+namespace nn {
+
+Output VariableStore::WeightVariable(const std::string& name,
+                                     const TensorShape& shape, float stddev) {
+  Output var = ops::Variable(b_, DataType::kFloat, shape, name);
+  std::vector<int32_t> dims;
+  for (int i = 0; i < shape.rank(); ++i) {
+    dims.push_back(static_cast<int32_t>(shape.dim(i)));
+  }
+  Output init_value = ops::TruncatedNormal(b_, dims, DataType::kFloat, seed_++);
+  Output scaled = ops::Mul(b_, init_value, ops::Const(b_, stddev));
+  Output assign = ops::Assign(b_, var, scaled);
+  if (assign.valid() && var.valid()) {
+    assign.node->set_requested_device(var.node->requested_device());
+  }
+  variables_.push_back(var);
+  inits_.push_back(assign);
+  return var;
+}
+
+Output VariableStore::ZeroVariable(const std::string& name,
+                                   const TensorShape& shape) {
+  Output var = ops::Variable(b_, DataType::kFloat, shape, name);
+  std::vector<int32_t> dims;
+  for (int i = 0; i < shape.rank(); ++i) {
+    dims.push_back(static_cast<int32_t>(shape.dim(i)));
+  }
+  Output zeros =
+      ops::Fill(b_, ops::ConstVecI32(b_, dims), ops::Const(b_, 0.0f));
+  Output assign = ops::Assign(b_, var, zeros);
+  if (assign.valid() && var.valid()) {
+    assign.node->set_requested_device(var.node->requested_device());
+  }
+  variables_.push_back(var);
+  inits_.push_back(assign);
+  return var;
+}
+
+Node* VariableStore::BuildInitOp(const std::string& name) {
+  return ops::Group(b_, inits_, name);
+}
+
+Output ApplyActivation(GraphBuilder* b, Output x, Activation activation) {
+  switch (activation) {
+    case Activation::kNone:
+      return x;
+    case Activation::kRelu:
+      return ops::Relu(b, x);
+    case Activation::kTanh:
+      return ops::Tanh(b, x);
+    case Activation::kSigmoid:
+      return ops::Sigmoid(b, x);
+  }
+  return x;
+}
+
+Output Dense(VariableStore* store, Output x, int64_t in_dim, int64_t units,
+             Activation activation, const std::string& name) {
+  GraphBuilder* b = store->builder();
+  float stddev = 1.0f / std::sqrt(static_cast<float>(in_dim));
+  Output w = store->WeightVariable(name + "/w", TensorShape({in_dim, units}),
+                                   stddev);
+  Output bias = store->ZeroVariable(name + "/b", TensorShape({units}));
+  Output z = ops::BiasAdd(b, ops::MatMul(b, x, w), bias);
+  return ApplyActivation(b, z, activation);
+}
+
+Output ConvLayer(VariableStore* store, Output x, int64_t in_channels,
+                 int64_t filters, int64_t ksize, int64_t stride,
+                 const std::string& padding, Activation activation,
+                 const std::string& name) {
+  GraphBuilder* b = store->builder();
+  float stddev =
+      1.0f / std::sqrt(static_cast<float>(ksize * ksize * in_channels));
+  Output w = store->WeightVariable(
+      name + "/filter", TensorShape({ksize, ksize, in_channels, filters}),
+      stddev);
+  Output bias = store->ZeroVariable(name + "/b", TensorShape({filters}));
+  Output conv = ops::Conv2D(b, x, w, {1, stride, stride, 1}, padding);
+  Output z = ops::BiasAdd(b, conv, bias);
+  return ApplyActivation(b, z, activation);
+}
+
+}  // namespace nn
+}  // namespace tfrepro

@@ -1,0 +1,69 @@
+// Neural-network layers: user-level compositions of standard operations
+// (paper §5: "users compose standard operations to build higher-level
+// abstractions, such as neural network layers").
+//
+// A VariableStore tracks every variable a model creates together with its
+// initializer, so examples can build one init op and hand the variable list
+// to optimizers and savers.
+
+#ifndef TFREPRO_NN_LAYERS_H_
+#define TFREPRO_NN_LAYERS_H_
+
+#include <string>
+#include <vector>
+
+#include "graph/graph_builder.h"
+#include "graph/ops.h"
+
+namespace tfrepro {
+namespace nn {
+
+enum class Activation { kNone, kRelu, kTanh, kSigmoid };
+
+class VariableStore {
+ public:
+  explicit VariableStore(GraphBuilder* b, int64_t seed = 7)
+      : b_(b), seed_(seed) {}
+
+  // Creates a variable with a truncated-normal initializer scaled by
+  // 1/sqrt(fan_in) (the standard dense-layer init).
+  Output WeightVariable(const std::string& name, const TensorShape& shape,
+                        float stddev);
+
+  // Creates a zero-initialized variable.
+  Output ZeroVariable(const std::string& name, const TensorShape& shape);
+
+  // All variables created so far (pass to Optimizer / Saver).
+  const std::vector<Output>& variables() const { return variables_; }
+
+  // One group node running every initializer.
+  Node* BuildInitOp(const std::string& name = "init");
+
+  // Merge another store's initializers (e.g. optimizer slots).
+  void AddInitializer(Output assign_op) { inits_.push_back(assign_op); }
+
+  GraphBuilder* builder() const { return b_; }
+
+ private:
+  GraphBuilder* b_;
+  int64_t seed_;
+  std::vector<Output> variables_;
+  std::vector<Output> inits_;
+};
+
+// Fully-connected layer: activation(x W + b). x: [batch, in].
+Output Dense(VariableStore* store, Output x, int64_t in_dim, int64_t units,
+             Activation activation, const std::string& name);
+
+// 2-D convolution layer (NHWC): activation(conv(x, W) + b).
+Output ConvLayer(VariableStore* store, Output x, int64_t in_channels,
+                 int64_t filters, int64_t ksize, int64_t stride,
+                 const std::string& padding, Activation activation,
+                 const std::string& name);
+
+Output ApplyActivation(GraphBuilder* b, Output x, Activation activation);
+
+}  // namespace nn
+}  // namespace tfrepro
+
+#endif  // TFREPRO_NN_LAYERS_H_

@@ -1,0 +1,63 @@
+#include "nn/rnn.h"
+
+#include <cmath>
+
+namespace tfrepro {
+namespace nn {
+
+LSTMCell::LSTMCell(VariableStore* store, const std::string& name,
+                   int64_t input_dim, int64_t hidden_dim)
+    : store_(store),
+      b_(store->builder()),
+      input_dim_(input_dim),
+      hidden_dim_(hidden_dim) {
+  float stddev =
+      1.0f / std::sqrt(static_cast<float>(input_dim + hidden_dim));
+  w_ = store->WeightVariable(
+      name + "/w", TensorShape({input_dim + hidden_dim, 4 * hidden_dim}),
+      stddev);
+  bias_ = store->ZeroVariable(name + "/b", TensorShape({4 * hidden_dim}));
+}
+
+LSTMState LSTMCell::Step(Output x, const LSTMState& state) {
+  Output xh = ops::Concat(b_, 1, {x, state.h});
+  Output z = ops::BiasAdd(b_, ops::MatMul(b_, xh, w_), bias_);
+  std::vector<Output> gates = ops::Split(b_, 1, z, 4);
+  Output i = ops::Sigmoid(b_, gates[0]);
+  Output j = ops::Tanh(b_, gates[1]);
+  // Forget-gate bias of 1.0 for training stability (standard practice).
+  Output f = ops::Sigmoid(b_, ops::Add(b_, gates[2], ops::Const(b_, 1.0f)));
+  Output o = ops::Sigmoid(b_, gates[3]);
+  LSTMState next;
+  next.c = ops::Add(b_, ops::Mul(b_, state.c, f), ops::Mul(b_, i, j));
+  next.h = ops::Mul(b_, ops::Tanh(b_, next.c), o);
+  return next;
+}
+
+LSTMState LSTMCell::ZeroState(Output x_for_batch) {
+  // batch = Shape(x)[0]; state shape = [batch, hidden].
+  Output batch = ops::Reshape(
+      b_, ops::Slice(b_, ops::Shape(b_, x_for_batch), {0}, {1}),
+      std::vector<int32_t>{});
+  Output dims = ops::Pack(
+      b_, {batch, ops::Const(b_, static_cast<int32_t>(hidden_dim_))}, 0);
+  LSTMState state;
+  state.c = ops::Fill(b_, dims, ops::Const(b_, 0.0f));
+  state.h = ops::Fill(b_, dims, ops::Const(b_, 0.0f));
+  return state;
+}
+
+std::vector<Output> UnrollLSTM(LSTMCell* cell,
+                               const std::vector<Output>& inputs) {
+  std::vector<Output> outputs;
+  if (inputs.empty()) return outputs;
+  LSTMState state = cell->ZeroState(inputs[0]);
+  for (const Output& x : inputs) {
+    state = cell->Step(x, state);
+    outputs.push_back(state.h);
+  }
+  return outputs;
+}
+
+}  // namespace nn
+}  // namespace tfrepro

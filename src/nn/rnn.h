@@ -1,0 +1,55 @@
+// LSTM cell and static unrolling. The paper's language model (§6.4) is an
+// LSTM-512-512 over the One Billion Word Benchmark; recurrent models here
+// are differentiated by unrolling timesteps statically (see
+// autodiff/gradients.h for the dynamic-control-flow limitation).
+
+#ifndef TFREPRO_NN_RNN_H_
+#define TFREPRO_NN_RNN_H_
+
+#include <string>
+#include <vector>
+
+#include "graph/graph_builder.h"
+#include "graph/ops.h"
+#include "nn/layers.h"
+
+namespace tfrepro {
+namespace nn {
+
+struct LSTMState {
+  Output c;
+  Output h;
+};
+
+class LSTMCell {
+ public:
+  // One weight matrix [input_dim + hidden, 4 * hidden] and bias [4*hidden],
+  // the standard fused-gate layout.
+  LSTMCell(VariableStore* store, const std::string& name, int64_t input_dim,
+           int64_t hidden_dim);
+
+  // One timestep: returns the new state; state.h is the output.
+  LSTMState Step(Output x, const LSTMState& state);
+
+  // A zero state sized to x's batch dimension (dynamic).
+  LSTMState ZeroState(Output x_for_batch);
+
+  int64_t hidden_dim() const { return hidden_dim_; }
+
+ private:
+  VariableStore* store_;
+  GraphBuilder* b_;
+  int64_t input_dim_;
+  int64_t hidden_dim_;
+  Output w_;
+  Output bias_;
+};
+
+// Statically unrolls `cell` over `steps` inputs; returns per-step outputs.
+std::vector<Output> UnrollLSTM(LSTMCell* cell,
+                               const std::vector<Output>& inputs);
+
+}  // namespace nn
+}  // namespace tfrepro
+
+#endif  // TFREPRO_NN_RNN_H_

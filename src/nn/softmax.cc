@@ -1,0 +1,117 @@
+#include "nn/softmax.h"
+
+#include <cmath>
+
+#include "nn/embedding.h"
+
+namespace tfrepro {
+namespace nn {
+
+FullSoftmaxHead::FullSoftmaxHead(
+    VariableStore* store, const std::string& name, int64_t hidden_dim,
+    int64_t num_classes, int num_shards,
+    const std::function<std::string(int)>& ps_device_fn)
+    : store_(store),
+      b_(store->builder()),
+      hidden_dim_(hidden_dim),
+      num_classes_(num_classes) {
+  if (num_classes % num_shards != 0) {
+    b_->UpdateStatus(InvalidArgument(
+        "FullSoftmaxHead: num_classes must be divisible by num_shards"));
+    return;
+  }
+  int64_t cols = num_classes / num_shards;
+  float stddev = 1.0f / std::sqrt(static_cast<float>(hidden_dim));
+  for (int s = 0; s < num_shards; ++s) {
+    GraphBuilder::DeviceScope scope(
+        b_, ps_device_fn ? ps_device_fn(s) : b_->default_device());
+    shards_.push_back(store->WeightVariable(
+        name + "/w_shard" + std::to_string(s),
+        TensorShape({hidden_dim, cols}), stddev));
+    biases_.push_back(store->ZeroVariable(
+        name + "/b_shard" + std::to_string(s), TensorShape({cols})));
+  }
+}
+
+SoftmaxLoss FullSoftmaxHead::Loss(Output hidden, Output labels) {
+  // Each partial matmul is colocated with its weight shard: the paper's
+  // Project-Adam-style distributed softmax — hidden activations travel to
+  // the PS tasks, per-shard logits travel back (§4.2).
+  std::vector<Output> partial_logits;
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    Output logits_s = ops::BiasAdd(
+        b_, ops::MatMul(b_, hidden, shards_[s]), biases_[s]);
+    if (logits_s.valid()) {
+      logits_s.node->set_requested_device(
+          shards_[s].node->requested_device());
+      // Colocate the whole shard-local chain.
+      Result<const Edge*> mm = logits_s.node->input_edge(0);
+      if (mm.ok()) {
+        mm.value()->src->set_requested_device(
+            shards_[s].node->requested_device());
+      }
+    }
+    partial_logits.push_back(logits_s);
+  }
+  Output logits = ops::Concat(b_, 1, partial_logits);
+  Node* xent = ops::SparseSoftmaxCrossEntropyWithLogits(b_, logits, labels);
+  SoftmaxLoss result;
+  result.logits = logits;
+  result.loss = ops::MeanAll(b_, Output(xent, 0));
+  return result;
+}
+
+SampledSoftmaxHead::SampledSoftmaxHead(
+    VariableStore* store, const std::string& name, int64_t hidden_dim,
+    int64_t num_classes, int64_t num_sampled, int num_shards,
+    const std::function<std::string(int)>& ps_device_fn)
+    : store_(store),
+      b_(store->builder()),
+      hidden_dim_(hidden_dim),
+      num_classes_(num_classes),
+      num_sampled_(num_sampled) {
+  weights_ = std::make_unique<ShardedEmbedding>(
+      store, name + "/w", num_classes, hidden_dim, num_shards, ps_device_fn);
+}
+
+SoftmaxLoss SampledSoftmaxHead::Loss(Output hidden, Output labels) {
+  // True-class rows.
+  Output labels32 = ops::Cast(b_, labels, DataType::kInt32);
+  Output true_w = weights_->Lookup(labels32);  // [batch, d]
+
+  // Random negative sample of classes (shared across the batch, as in the
+  // paper's experiments: "we sample 512 classes for each batch").
+  Output sampled = b_->Op("RandomUniformInt")
+                       .Input(ops::ConstVecI32(
+                           b_, {static_cast<int32_t>(num_sampled_)}))
+                       .Input(ops::Const(b_, int64_t{0}))
+                       .Input(ops::Const(b_, num_classes_))
+                       .Attr("T", DataType::kInt64)
+                       .Attr("seed", int64_t{42})
+                       .Finalize();
+  Output sampled32 = ops::Cast(b_, sampled, DataType::kInt32);
+  Output sampled_w = weights_->Lookup(sampled32);  // [S, d]
+
+  // Logit for the true class: rowwise dot(hidden, true_w).
+  Output true_logits = ops::Sum(
+      b_, ops::Mul(b_, hidden, true_w), ops::ConstVecI32(b_, {1}),
+      /*keep_dims=*/true);  // [batch, 1]
+  // Logits for the sampled classes: hidden x sampled_w^T -> [batch, S].
+  Output sampled_logits =
+      ops::MatMul(b_, hidden, sampled_w, /*ta=*/false, /*tb=*/true);
+  Output logits = ops::Concat(b_, 1, {true_logits, sampled_logits});
+
+  // After concatenation the true class is always column 0.
+  Output zero_labels =
+      ops::Cast(b_, ops::Mul(b_, labels, ops::Const(b_, int64_t{0})),
+                DataType::kInt64);
+  Node* xent = ops::SparseSoftmaxCrossEntropyWithLogits(b_, logits,
+                                                        zero_labels);
+  SoftmaxLoss result;
+  result.logits = logits;
+  result.loss = ops::MeanAll(b_, Output(xent, 0));
+  return result;
+}
+
+}  // namespace nn
+}  // namespace tfrepro

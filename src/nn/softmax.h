@@ -1,0 +1,81 @@
+// Softmax classification heads (paper §4.2 and §6.4):
+//
+//  * FullSoftmaxHead — multiplies the final hidden state by a [d, |V|]
+//    weight matrix, optionally sharded across PS tasks with the matmul and
+//    gradient colocated with the shards (the Project-Adam-style scheme the
+//    paper describes);
+//  * SampledSoftmaxHead — multiplies by a sparse random matrix containing
+//    weights for the true class and a sample of false classes, reducing
+//    softmax data transfer and compute by |V| / (num_sampled + 1)
+//    (the "factor of 78" of §6.4 for |V|=40000, 512 samples).
+
+#ifndef TFREPRO_NN_SOFTMAX_H_
+#define TFREPRO_NN_SOFTMAX_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "graph/graph_builder.h"
+#include "graph/ops.h"
+#include "nn/layers.h"
+
+namespace tfrepro {
+namespace nn {
+
+struct SoftmaxLoss {
+  Output loss;     // scalar mean loss over the batch
+  Output logits;   // per-class logits actually computed
+};
+
+class FullSoftmaxHead {
+ public:
+  // Weight shards are [d, |V|/k] column slices; shard i goes on
+  // ps_device_fn(i) when provided.
+  FullSoftmaxHead(VariableStore* store, const std::string& name,
+                  int64_t hidden_dim, int64_t num_classes, int num_shards,
+                  const std::function<std::string(int)>& ps_device_fn = {});
+
+  // hidden: [batch, d]; labels: [batch] int64. Builds the sharded matmul
+  // (each piece colocated with its weight shard) and the cross-entropy.
+  SoftmaxLoss Loss(Output hidden, Output labels);
+
+  const std::vector<Output>& shards() const { return shards_; }
+
+ private:
+  VariableStore* store_;
+  GraphBuilder* b_;
+  int64_t hidden_dim_;
+  int64_t num_classes_;
+  std::vector<Output> shards_;
+  std::vector<Output> biases_;
+};
+
+class SampledSoftmaxHead {
+ public:
+  SampledSoftmaxHead(VariableStore* store, const std::string& name,
+                     int64_t hidden_dim, int64_t num_classes,
+                     int64_t num_sampled, int num_shards,
+                     const std::function<std::string(int)>& ps_device_fn = {});
+
+  // hidden: [batch, d]; labels: [batch] int64 (true classes). Computes
+  // logits only for the true class and `num_sampled` random negatives.
+  SoftmaxLoss Loss(Output hidden, Output labels);
+
+  int64_t num_sampled() const { return num_sampled_; }
+
+ private:
+  VariableStore* store_;
+  GraphBuilder* b_;
+  int64_t hidden_dim_;
+  int64_t num_classes_;
+  int64_t num_sampled_;
+  // The weight matrix is stored row-major [|V|, d] so that per-class rows
+  // can be gathered through the sharded embedding machinery.
+  std::unique_ptr<class ShardedEmbedding> weights_;
+};
+
+}  // namespace nn
+}  // namespace tfrepro
+
+#endif  // TFREPRO_NN_SOFTMAX_H_

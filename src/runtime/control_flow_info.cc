@@ -1,0 +1,90 @@
+#include "runtime/control_flow_info.h"
+
+#include <deque>
+#include <map>
+
+namespace tfrepro {
+
+Status BuildControlFlowInfo(const Graph& graph, ControlFlowInfo* info) {
+  int n = graph.num_node_ids();
+  info->frame_name.assign(n, "");
+  info->frame_enter.assign(n, -1);
+  info->parent_frame.assign(n, "");
+  std::vector<bool> visited(n, false);
+
+  // Discovered frame hierarchy: child frame name -> parent frame name.
+  std::map<std::string, std::string> frame_parent;
+  frame_parent[""] = "";
+
+  // BFS from source nodes (no inputs). Frames propagate along edges:
+  //   x -> Enter(f):   Enter is in frame f, parent(f) = frame(x)
+  //   x -> Exit:       Exit is in parent(frame(x))
+  //   x -> other:      same frame as x
+  std::deque<Node*> queue;
+  for (Node* node : graph.nodes()) {
+    if (node->in_edges().empty()) {
+      queue.push_back(node);
+      visited[node->id()] = true;
+      if (node->IsEnter()) {
+        std::string f = node->GetAttr("frame_name").s();
+        info->frame_name[node->id()] = f;
+        info->frame_enter[node->id()] = node->id();
+        frame_parent[f] = "";
+      }
+    }
+  }
+
+  while (!queue.empty()) {
+    Node* src = queue.front();
+    queue.pop_front();
+    const std::string src_frame = info->frame_name[src->id()];
+    for (const Edge* e : src->out_edges()) {
+      Node* dst = e->dst;
+      std::string frame;
+      int enter_id = -1;
+      if (dst->IsEnter()) {
+        frame = dst->GetAttr("frame_name").s();
+        auto it = frame_parent.find(frame);
+        if (it != frame_parent.end() && it->second != src_frame) {
+          return InvalidArgument("frame '" + frame +
+                                 "' entered from two different frames");
+        }
+        frame_parent[frame] = src_frame;
+        enter_id = dst->id();
+      } else if (dst->IsExit()) {
+        auto it = frame_parent.find(src_frame);
+        if (it == frame_parent.end()) {
+          return InvalidArgument("Exit node '" + dst->name() +
+                                 "' outside any frame");
+        }
+        frame = it->second;
+        enter_id = -1;
+      } else {
+        frame = src_frame;
+        enter_id = info->frame_enter[src->id()];
+      }
+      if (visited[dst->id()]) {
+        if (info->frame_name[dst->id()] != frame) {
+          return InvalidArgument(
+              "node '" + dst->name() + "' has inputs from frames '" +
+              info->frame_name[dst->id()] + "' and '" + frame + "'");
+        }
+        continue;
+      }
+      visited[dst->id()] = true;
+      info->frame_name[dst->id()] = frame;
+      info->frame_enter[dst->id()] = enter_id;
+      queue.push_back(dst);
+    }
+  }
+
+  // Fill parent_frame from the discovered hierarchy.
+  for (Node* node : graph.nodes()) {
+    const std::string& f = info->frame_name[node->id()];
+    auto it = frame_parent.find(f);
+    info->parent_frame[node->id()] = it == frame_parent.end() ? "" : it->second;
+  }
+  return Status::OK();
+}
+
+}  // namespace tfrepro

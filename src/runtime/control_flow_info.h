@@ -1,0 +1,29 @@
+// Static control-flow analysis: assigns every node to the loop frame it
+// executes in (paper §3.4). Enter nodes start a child frame; Exit returns
+// to the parent; all other nodes inherit the frame of their inputs.
+
+#ifndef TFREPRO_RUNTIME_CONTROL_FLOW_INFO_H_
+#define TFREPRO_RUNTIME_CONTROL_FLOW_INFO_H_
+
+#include <string>
+#include <vector>
+
+#include "core/status.h"
+#include "graph/graph.h"
+
+namespace tfrepro {
+
+struct ControlFlowInfo {
+  // Indexed by node id. frame_name is "" for the root frame.
+  std::vector<std::string> frame_name;
+  // Node id of the Enter that created each node's frame (-1 in root).
+  std::vector<int> frame_enter;
+  // parent_frame[node] = frame name of the enclosing frame.
+  std::vector<std::string> parent_frame;
+};
+
+Status BuildControlFlowInfo(const Graph& graph, ControlFlowInfo* info);
+
+}  // namespace tfrepro
+
+#endif  // TFREPRO_RUNTIME_CONTROL_FLOW_INFO_H_

@@ -1,0 +1,189 @@
+#include "runtime/device.h"
+
+#include <algorithm>
+#include <cctype>
+#include <sstream>
+
+namespace tfrepro {
+
+namespace {
+
+std::vector<std::string> SplitSlash(const std::string& s) {
+  std::vector<std::string> parts;
+  std::string cur;
+  for (char c : s) {
+    if (c == '/') {
+      if (!cur.empty()) parts.push_back(cur);
+      cur.clear();
+    } else {
+      cur.push_back(c);
+    }
+  }
+  if (!cur.empty()) parts.push_back(cur);
+  return parts;
+}
+
+std::string ToUpper(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return std::toupper(c); });
+  return s;
+}
+
+}  // namespace
+
+Result<DeviceName> DeviceName::Parse(const std::string& name) {
+  DeviceName parsed;
+  if (name.empty()) return parsed;
+  for (const std::string& part : SplitSlash(name)) {
+    size_t colon = part.find(':');
+    if (colon == std::string::npos) {
+      return InvalidArgument("bad device name component '" + part + "' in '" +
+                             name + "'");
+    }
+    std::string key = part.substr(0, colon);
+    std::string value = part.substr(colon + 1);
+    if (key == "job") {
+      parsed.has_job = true;
+      parsed.job = value;
+    } else if (key == "task") {
+      parsed.has_task = true;
+      parsed.task = std::stoi(value);
+    } else if (key == "device") {
+      // "device:CPU:0" or "device:CPU".
+      size_t colon2 = value.find(':');
+      parsed.has_type = true;
+      if (colon2 == std::string::npos) {
+        parsed.type = ToUpper(value);
+      } else {
+        parsed.type = ToUpper(value.substr(0, colon2));
+        parsed.has_id = true;
+        parsed.id = std::stoi(value.substr(colon2 + 1));
+      }
+    } else if (key == "cpu" || key == "CPU" || key == "gpu" || key == "GPU") {
+      parsed.has_type = true;
+      parsed.type = ToUpper(key);
+      parsed.has_id = true;
+      parsed.id = std::stoi(value);
+    } else {
+      return InvalidArgument("unknown device name key '" + key + "' in '" +
+                             name + "'");
+    }
+  }
+  return parsed;
+}
+
+bool DeviceName::Matches(const DeviceName& spec) const {
+  if (spec.has_job && (!has_job || job != spec.job)) return false;
+  if (spec.has_task && (!has_task || task != spec.task)) return false;
+  if (spec.has_type && (!has_type || type != spec.type)) return false;
+  if (spec.has_id && (!has_id || id != spec.id)) return false;
+  return true;
+}
+
+Status DeviceName::MergeFrom(const DeviceName& other) {
+  auto conflict = [](const std::string& what) {
+    return InvalidArgument("conflicting device constraint on " + what);
+  };
+  if (other.has_job) {
+    if (has_job && job != other.job) return conflict("job");
+    has_job = true;
+    job = other.job;
+  }
+  if (other.has_task) {
+    if (has_task && task != other.task) return conflict("task");
+    has_task = true;
+    task = other.task;
+  }
+  if (other.has_type) {
+    if (has_type && type != other.type) return conflict("device type");
+    has_type = true;
+    type = other.type;
+  }
+  if (other.has_id) {
+    if (has_id && id != other.id) return conflict("device id");
+    has_id = true;
+    id = other.id;
+  }
+  return Status::OK();
+}
+
+std::string DeviceName::ToString() const {
+  std::ostringstream os;
+  if (has_job) os << "/job:" << job;
+  if (has_task) os << "/task:" << task;
+  if (has_type) {
+    os << "/device:" << type;
+    if (has_id) os << ":" << id;
+  }
+  return os.str();
+}
+
+Device::Device(const std::string& name, const std::string& type,
+               ThreadPool* pool)
+    : name_(name), type_(type), pool_(pool) {
+  Result<DeviceName> parsed = DeviceName::Parse(name);
+  TF_CHECK_OK(parsed.status());
+  parsed_name_ = parsed.value();
+}
+
+Status Device::GetOrCreateKernel(const std::string& segment, const Node& node,
+                                 OpKernel** kernel) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& seg = segments_[segment];
+  auto it = seg.find(node.name());
+  if (it != seg.end()) {
+    *kernel = it->second.get();
+    return Status::OK();
+  }
+  Result<std::unique_ptr<OpKernel>> created =
+      KernelRegistry::Global()->CreateKernel(node, this);
+  if (!created.ok()) {
+    return created.status();
+  }
+  *kernel = created.value().get();
+  seg[node.name()] = std::move(created).value();
+  return Status::OK();
+}
+
+void Device::ClearSegment(const std::string& segment) {
+  std::lock_guard<std::mutex> lock(mu_);
+  segments_.erase(segment);
+}
+
+void DeviceMgr::AddDevice(std::unique_ptr<Device> device) {
+  devices_.push_back(std::move(device));
+}
+
+Result<Device*> DeviceMgr::LookupDevice(const std::string& name) const {
+  for (const auto& d : devices_) {
+    if (d->name() == name) return d.get();
+  }
+  // Accept alternative spellings by parsed comparison.
+  Result<DeviceName> parsed = DeviceName::Parse(name);
+  if (parsed.ok()) {
+    for (const auto& d : devices_) {
+      if (d->parsed_name() == parsed.value()) return d.get();
+    }
+  }
+  return NotFound("device '" + name + "' not found");
+}
+
+std::vector<Device*> DeviceMgr::ListDevices() const {
+  std::vector<Device*> out;
+  out.reserve(devices_.size());
+  for (const auto& d : devices_) out.push_back(d.get());
+  return out;
+}
+
+Device* DeviceMgr::default_device() const {
+  return devices_.empty() ? nullptr : devices_[0].get();
+}
+
+std::unique_ptr<Device> NewCpuDevice(const std::string& job, int task, int id,
+                                     ThreadPool* pool) {
+  std::string name = "/job:" + job + "/task:" + std::to_string(task) +
+                     "/device:CPU:" + std::to_string(id);
+  return std::make_unique<Device>(name, "CPU", pool);
+}
+
+}  // namespace tfrepro

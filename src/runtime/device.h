@@ -1,0 +1,111 @@
+// Device abstraction (paper §3.3): each operation resides on a particular
+// device in a particular task; the device executes kernels for its
+// operations. Names follow "/job:<job>/task:<n>/device:<TYPE>:<i>".
+//
+// This reproduction ships a CPU device; the cost-model-driven simulator in
+// src/sim/ stands in for GPUs/TPUs (see DESIGN.md substitutions).
+
+#ifndef TFREPRO_RUNTIME_DEVICE_H_
+#define TFREPRO_RUNTIME_DEVICE_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/status.h"
+#include "core/threadpool.h"
+#include "graph/graph.h"
+#include "runtime/kernel.h"
+#include "runtime/resource_mgr.h"
+
+namespace tfrepro {
+
+// Parsed (possibly partial) device name. Users may give partial constraints
+// such as "/job:ps" or "/device:CPU:0" (paper §3.3).
+struct DeviceName {
+  bool has_job = false;
+  std::string job;
+  bool has_task = false;
+  int task = 0;
+  bool has_type = false;
+  std::string type;
+  bool has_id = false;
+  int id = 0;
+
+  // Parses "/job:x/task:1/device:CPU:0" with any subset of components
+  // (also accepts the legacy "/cpu:0" shorthand).
+  static Result<DeviceName> Parse(const std::string& name);
+
+  // True if every component set in `spec` matches this (full) name.
+  bool Matches(const DeviceName& spec) const;
+
+  // True when job, task, type and id are all present.
+  bool IsFullySpecified() const {
+    return has_job && has_task && has_type && has_id;
+  }
+
+  // Merges the components of `other` into this name; error on conflicts.
+  Status MergeFrom(const DeviceName& other);
+
+  std::string ToString() const;
+
+  bool operator==(const DeviceName& o) const {
+    return ToString() == o.ToString();
+  }
+};
+
+class Device {
+ public:
+  Device(const std::string& name, const std::string& type, ThreadPool* pool);
+  virtual ~Device() = default;
+
+  const std::string& name() const { return name_; }
+  const std::string& type() const { return type_; }
+  const DeviceName& parsed_name() const { return parsed_name_; }
+  ThreadPool* pool() const { return pool_; }
+  ResourceMgr* resource_mgr() { return &resource_mgr_; }
+
+  // Returns a kernel for `node`, creating and caching it under `segment` on
+  // first use. Kernels are shared between executors of the same session so
+  // stateful kernels (variables, queues) keep one instance of their state.
+  Status GetOrCreateKernel(const std::string& segment, const Node& node,
+                           OpKernel** kernel);
+
+  // Drops all cached kernels for a segment (when a session closes).
+  void ClearSegment(const std::string& segment);
+
+ private:
+  std::string name_;
+  std::string type_;
+  DeviceName parsed_name_;
+  ThreadPool* pool_;
+  ResourceMgr resource_mgr_;
+
+  std::mutex mu_;
+  // segment -> node name -> kernel.
+  std::map<std::string, std::map<std::string, std::unique_ptr<OpKernel>>>
+      segments_;
+};
+
+// Owns the devices of one task.
+class DeviceMgr {
+ public:
+  void AddDevice(std::unique_ptr<Device> device);
+
+  Result<Device*> LookupDevice(const std::string& name) const;
+  std::vector<Device*> ListDevices() const;
+  Device* default_device() const;
+
+ private:
+  std::vector<std::unique_ptr<Device>> devices_;
+};
+
+// Creates a CPU device named "/job:<job>/task:<n>/device:CPU:<i>".
+std::unique_ptr<Device> NewCpuDevice(const std::string& job, int task, int id,
+                                     ThreadPool* pool);
+
+}  // namespace tfrepro
+
+#endif  // TFREPRO_RUNTIME_DEVICE_H_

@@ -1,0 +1,689 @@
+#include "runtime/executor.h"
+
+#include <atomic>
+#include <cassert>
+#include <condition_variable>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <set>
+
+#include "runtime/control_flow_info.h"
+
+namespace tfrepro {
+
+// Static, per-node scheduling metadata precomputed at executor creation.
+struct ExecutorNodeItem {
+  const Node* node = nullptr;
+  OpKernel* kernel = nullptr;
+
+  bool is_merge = false;
+  bool is_enter = false;
+  bool is_constant_enter = false;
+  bool is_exit = false;
+  bool is_next_iteration = false;
+  bool is_transfer = false;  // _Send/_Recv: runs even when dead (to forward
+                             // the deadness bit across devices).
+
+  int num_inputs = 0;  // data inputs
+  int num_control_inputs = 0;
+  int input_base = 0;  // offset of this node's input slots in the per-
+                       // iteration entry table
+
+  // Initial pending count (see Propagate for the merge encoding).
+  int initial_pending = 0;
+
+  // For merges: forward edges (from outside the loop / Enter) deliver only
+  // at iteration 0; back edges (from NextIteration) only at iterations >= 1.
+  int num_forward_data_inputs = 0;
+  int num_back_data_inputs = 0;
+
+  std::string child_frame;  // for Enter nodes
+};
+
+struct ExecutorOutEdge {
+  int dst_id = 0;
+  int src_output = 0;  // kControlSlot for control edges
+  int dst_input = 0;
+};
+
+struct Executor::Impl {
+  const Graph* graph = nullptr;
+  Device* device = nullptr;
+  std::vector<ExecutorNodeItem> items;                  // by node id
+  std::vector<std::vector<ExecutorOutEdge>> out_edges;  // by node id
+  std::vector<int> initial_ready;                       // ids with no inputs
+  // Stateless kernels are per-executor (different step-signature graphs may
+  // reuse node names for different computations); only stateful kernels are
+  // shared through the device's segment cache so variable/queue state is
+  // one instance per session.
+  std::vector<std::unique_ptr<OpKernel>> owned_kernels;
+  int total_input_slots = 0;
+  int num_nodes = 0;
+
+  // Frame bookkeeping: how many Enter nodes feed each frame name, and which
+  // Exit nodes leave it (needed to propagate deadness out of a loop whose
+  // body went fully dead, and out of loops when they terminate).
+  std::map<std::string, int> enters_per_frame;
+  std::map<std::string, std::vector<int>> exits_per_frame;
+};
+
+namespace {
+
+// One tensor-or-dead slot in an iteration's input table.
+struct Entry {
+  enum class State { kNone, kHasValue, kDead };
+  State state = State::kNone;
+  TensorValue val;
+};
+
+struct IterationState {
+  explicit IterationState(const Executor::Impl& impl)
+      : entries(impl.total_input_slots),
+        pending(impl.num_nodes),
+        dead_count(impl.num_nodes, 0),
+        merge_live(impl.num_nodes, false) {
+    for (int i = 0; i < impl.num_nodes; ++i) {
+      pending[i] = impl.items[i].initial_pending;
+    }
+  }
+  std::vector<Entry> entries;
+  std::vector<int> pending;
+  std::vector<int> dead_count;
+  std::vector<bool> merge_live;  // merge already received its live value
+};
+
+struct FrameState {
+  std::string name;
+  FrameState* parent = nullptr;
+  int64_t parent_iter = 0;
+  std::vector<std::unique_ptr<IterationState>> iterations;
+
+  // Loop-invariant values from is_constant Enter nodes, re-delivered into
+  // every new iteration (paper §3.4 / timely dataflow loop invariants).
+  struct ConstantEntry {
+    int dst_id;
+    int dst_slot;
+    Entry entry;
+  };
+  std::vector<ConstantEntry> constants;
+
+  // Completion tracking: a frame is done when every Enter feeding it has
+  // fired, no op is scheduled or running inside it, and no child frame is
+  // still live. At that point its never-fired Exits propagate dead values
+  // to the parent (this is how deadness crosses a loop that never ran, and
+  // how early-iteration dead Exits are withheld until the loop finishes).
+  int outstanding_ops = 0;
+  int live_children = 0;
+  int enters_arrived = 0;
+  bool done = false;
+  std::set<int> exits_fired_live;
+};
+
+// A node scheduled to run in a particular frame/iteration.
+struct TaggedNode {
+  int node_id = 0;
+  FrameState* frame = nullptr;
+  int64_t iter = 0;
+  bool is_dead = false;
+};
+
+// Per-step mutable state. Deletes itself when the step finishes.
+class ExecutorState {
+ public:
+  ExecutorState(const Executor::Impl& impl, const Executor::Args& args,
+                std::function<void(Status)> done)
+      : impl_(impl), args_(args), done_(std::move(done)) {
+    root_.name = "";
+    root_.parent = nullptr;
+    root_.iterations.push_back(std::make_unique<IterationState>(impl_));
+  }
+
+  void RunAsync() {
+    std::deque<TaggedNode> ready;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      for (int id : impl_.initial_ready) {
+        PushReady(&ready, TaggedNode{id, &root_, 0, false});
+      }
+      outstanding_ += static_cast<int64_t>(ready.size());
+    }
+    if (ready.empty()) {
+      Finish();
+      return;
+    }
+    Distribute(std::move(ready), /*local=*/nullptr);
+  }
+
+ private:
+  // Runs tagged nodes from a local queue until it drains; newly-ready nodes
+  // are pushed here (one at a time) to avoid both pool round-trips and
+  // unbounded recursion on long chains and loops.
+  void ProcessLoop(TaggedNode first) {
+    std::deque<TaggedNode> local;
+    local.push_back(first);
+    while (!local.empty()) {
+      TaggedNode t = local.front();
+      local.pop_front();
+      Process(t, &local);
+    }
+  }
+
+  void Process(const TaggedNode& tagged, std::deque<TaggedNode>* local) {
+    const ExecutorNodeItem& item = impl_.items[tagged.node_id];
+
+    if (tagged.is_dead && !item.is_transfer) {
+      // Dead nodes do not execute; their outputs are all dead.
+      std::vector<Entry> outputs(std::max(1, item.node->num_outputs()));
+      for (Entry& e : outputs) e.state = Entry::State::kDead;
+      NodeDone(tagged, &outputs, /*node_dead=*/true, local);
+      return;
+    }
+
+    // Gather inputs from the iteration's entry table.
+    std::vector<TensorValue> inputs(item.num_inputs);
+    bool any_input_dead = false;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      IterationState* iter_state = GetIteration(tagged.frame, tagged.iter);
+      for (int i = 0; i < item.num_inputs; ++i) {
+        Entry& e = iter_state->entries[item.input_base + i];
+        if (e.state == Entry::State::kHasValue) {
+          inputs[i] = e.val;
+        } else {
+          any_input_dead = true;  // dead or never produced (merge slots)
+        }
+      }
+    }
+
+    OpKernelContext::Params params;
+    params.device = impl_.device;
+    params.rendezvous = args_.rendezvous;
+    params.call_frame = args_.call_frame;
+    params.cancellation = args_.cancellation;
+    params.step_id = args_.step_id;
+    params.frame_iter = FrameIterId(tagged.frame, tagged.iter);
+    params.is_input_dead = any_input_dead;
+
+    OpKernel* kernel = item.kernel;
+    if (kernel->IsAsync()) {
+      // The context must outlive this stack frame.
+      auto* ctx = new OpKernelContext(params, std::move(inputs),
+                                      item.node->num_outputs());
+      kernel->ComputeAsync(ctx, [this, tagged, ctx]() {
+        CompleteKernel(tagged, ctx, /*local=*/nullptr);
+        delete ctx;
+      });
+    } else {
+      OpKernelContext ctx(params, std::move(inputs), item.node->num_outputs());
+      kernel->Compute(&ctx);
+      CompleteKernel(tagged, &ctx, local);
+    }
+  }
+
+  void CompleteKernel(const TaggedNode& tagged, OpKernelContext* ctx,
+                      std::deque<TaggedNode>* local) {
+    const ExecutorNodeItem& item = impl_.items[tagged.node_id];
+    std::vector<Entry> outputs(std::max(1, item.node->num_outputs()));
+    if (!ctx->status().ok()) {
+      RecordError(Status(ctx->status())
+                      .Prepend("node '" + item.node->name() + "' (" +
+                               item.node->op() + ")"));
+      for (Entry& e : outputs) e.state = Entry::State::kDead;
+      NodeDone(tagged, &outputs, /*node_dead=*/true, local);
+      return;
+    }
+    for (int i = 0; i < item.node->num_outputs(); ++i) {
+      if (ctx->output_set(i)) {
+        outputs[i].state = Entry::State::kHasValue;
+        outputs[i].val = ctx->output(i);
+      } else {
+        // Unset outputs are dead (this is how Switch kills one branch).
+        outputs[i].state = Entry::State::kDead;
+      }
+    }
+    NodeDone(tagged, &outputs, /*node_dead=*/false, local);
+  }
+
+  // Delivers outputs, updates frame accounting, schedules newly-ready
+  // nodes, retires this node.
+  void NodeDone(const TaggedNode& tagged, std::vector<Entry>* outputs,
+                bool node_dead, std::deque<TaggedNode>* local) {
+    std::deque<TaggedNode> ready;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      FrameState* entered_child = nullptr;
+      Propagate(tagged, outputs, node_dead, &ready, &entered_child);
+      --tagged.frame->outstanding_ops;
+      CheckFrameDone(tagged.frame, &ready);
+      if (entered_child != nullptr) {
+        CheckFrameDone(entered_child, &ready);
+      }
+      outstanding_ += static_cast<int64_t>(ready.size());
+    }
+    Distribute(std::move(ready), local);
+    if (--outstanding_ == 0) {
+      Finish();
+    }
+  }
+
+  // Keeps one ready node for the current thread (via `local`, or a fresh
+  // ProcessLoop when called from an async completion) and hands the rest to
+  // the pool.
+  void Distribute(std::deque<TaggedNode> ready, std::deque<TaggedNode>* local) {
+    if (ready.empty()) return;
+    TaggedNode keep = ready.front();
+    ready.pop_front();
+    for (const TaggedNode& t : ready) {
+      impl_.device->pool()->Schedule([this, t]() { ProcessLoop(t); });
+    }
+    if (local != nullptr) {
+      local->push_back(keep);
+    } else {
+      ProcessLoop(keep);
+    }
+  }
+
+  // Must hold mu_. Adds a node to the ready set, counting it against its
+  // frame.
+  void PushReady(std::deque<TaggedNode>* ready, TaggedNode t) {
+    ++t.frame->outstanding_ops;
+    ready->push_back(t);
+  }
+
+  // Must hold mu_.
+  void Propagate(const TaggedNode& tagged, std::vector<Entry>* outputs,
+                 bool node_dead, std::deque<TaggedNode>* ready,
+                 FrameState** entered_child) {
+    const ExecutorNodeItem& item = impl_.items[tagged.node_id];
+
+    FrameState* dst_frame = tagged.frame;
+    int64_t dst_iter = tagged.iter;
+
+    if (item.is_enter) {
+      dst_frame =
+          FindOrCreateChildFrame(tagged.frame, tagged.iter, item.child_frame);
+      dst_iter = 0;
+      ++dst_frame->enters_arrived;
+      if (entered_child != nullptr) *entered_child = dst_frame;
+      if (item.is_constant_enter && !node_dead) {
+        // Remember loop invariants for future iterations of the child frame.
+        for (const ExecutorOutEdge& e : impl_.out_edges[tagged.node_id]) {
+          if (e.src_output == kControlSlot) continue;
+          FrameState::ConstantEntry ce;
+          ce.dst_id = e.dst_id;
+          ce.dst_slot = impl_.items[e.dst_id].input_base + e.dst_input;
+          ce.entry = (*outputs)[e.src_output];
+          dst_frame->constants.push_back(ce);
+        }
+      }
+    } else if (item.is_exit) {
+      assert(tagged.frame->parent != nullptr && "Exit in root frame");
+      bool dead =
+          node_dead || (*outputs)[0].state != Entry::State::kHasValue;
+      if (dead) {
+        // Withhold dead Exits: they propagate (once) when the whole frame
+        // completes, from CheckFrameDone. Early iterations of a live loop
+        // produce dead Exit inputs that must not leak to the parent.
+        return;
+      }
+      tagged.frame->exits_fired_live.insert(tagged.node_id);
+      dst_frame = tagged.frame->parent;
+      dst_iter = tagged.frame->parent_iter;
+    } else if (item.is_next_iteration) {
+      bool dead =
+          node_dead || (*outputs)[0].state != Entry::State::kHasValue;
+      if (dead) {
+        // Deadness stops at NextIteration: this is how loops terminate
+        // without spawning an iteration of dead work.
+        return;
+      }
+      dst_iter = tagged.iter + 1;
+      EnsureIteration(tagged.frame, dst_iter, ready);
+    }
+
+    DeliverToEdges(tagged.node_id, dst_frame, dst_iter, outputs, node_dead,
+                   ready);
+  }
+
+  // Must hold mu_. Delivers `outputs` of node `node_id` along its out edges
+  // into (dst_frame, dst_iter).
+  void DeliverToEdges(int node_id, FrameState* dst_frame, int64_t dst_iter,
+                      std::vector<Entry>* outputs, bool node_dead,
+                      std::deque<TaggedNode>* ready) {
+    IterationState* iter_state = GetIteration(dst_frame, dst_iter);
+
+    for (const ExecutorOutEdge& e : impl_.out_edges[node_id]) {
+      const ExecutorNodeItem& dst = impl_.items[e.dst_id];
+      bool dst_ready = false;
+      bool dst_dead = false;
+
+      if (e.src_output == kControlSlot) {
+        // Control edges carry completion, plus deadness of the node itself
+        // (not of any particular data output) to non-merges.
+        if (dst.is_merge) {
+          iter_state->pending[e.dst_id] -= 2;
+          dst_ready = MergeReady(dst, iter_state, dst_iter, &dst_dead);
+        } else {
+          if (node_dead) ++iter_state->dead_count[e.dst_id];
+          dst_ready = (--iter_state->pending[e.dst_id] == 0);
+          dst_dead = iter_state->dead_count[e.dst_id] > 0;
+        }
+      } else {
+        const Entry& out = (*outputs)[e.src_output];
+        int slot = dst.input_base + e.dst_input;
+        if (dst.is_merge) {
+          if (out.state == Entry::State::kHasValue) {
+            iter_state->entries[slot] = out;
+            iter_state->merge_live[e.dst_id] = true;
+            iter_state->pending[e.dst_id] -= 1;
+          } else {
+            iter_state->entries[slot].state = Entry::State::kDead;
+            ++iter_state->dead_count[e.dst_id];
+          }
+          dst_ready = MergeReady(dst, iter_state, dst_iter, &dst_dead);
+        } else {
+          iter_state->entries[slot] = out;
+          if (out.state != Entry::State::kHasValue) {
+            iter_state->entries[slot].state = Entry::State::kDead;
+            ++iter_state->dead_count[e.dst_id];
+          }
+          dst_ready = (--iter_state->pending[e.dst_id] == 0);
+          dst_dead = iter_state->dead_count[e.dst_id] > 0;
+        }
+      }
+
+      if (dst_ready) {
+        // Sentinel so a merge cannot fire a second time this iteration.
+        iter_state->pending[e.dst_id] = -1;
+        PushReady(ready, TaggedNode{e.dst_id, dst_frame, dst_iter, dst_dead});
+      }
+    }
+  }
+
+  // Merge readiness:
+  //   pending starts at 1 + 2 * num_control_inputs;
+  //   a control arrival subtracts 2; a live data arrival subtracts 1;
+  //   dead data arrivals only bump dead_count.
+  // Live fire: pending == 0 (all controls in, live value present).
+  // Dead fire: pending == 1, no live value, and every data input that can
+  // arrive this iteration (forward edges at iteration 0, back edges later)
+  // has arrived dead.
+  bool MergeReady(const ExecutorNodeItem& dst, IterationState* iter_state,
+                  int64_t iter, bool* dst_dead) {
+    int pending = iter_state->pending[dst.node->id()];
+    if (pending < 0) return false;  // already fired
+    int expected =
+        iter == 0 ? dst.num_forward_data_inputs : dst.num_back_data_inputs;
+    if (pending == 0) {
+      *dst_dead = false;
+      return true;
+    }
+    if (pending == 1 && !iter_state->merge_live[dst.node->id()] &&
+        expected > 0 && iter_state->dead_count[dst.node->id()] >= expected) {
+      *dst_dead = true;
+      return true;
+    }
+    return false;
+  }
+
+  // Must hold mu_. Fires dead Exits and retires the frame once it can make
+  // no further progress; cascades to the parent.
+  void CheckFrameDone(FrameState* frame, std::deque<TaggedNode>* ready) {
+    while (frame != nullptr && frame != &root_ && !frame->done) {
+      auto enters = impl_.enters_per_frame.find(frame->name);
+      int expected_enters = enters == impl_.enters_per_frame.end()
+                                ? 0
+                                : enters->second;
+      if (frame->enters_arrived < expected_enters ||
+          frame->outstanding_ops > 0 || frame->live_children > 0) {
+        return;
+      }
+      frame->done = true;
+      auto exits = impl_.exits_per_frame.find(frame->name);
+      if (exits != impl_.exits_per_frame.end()) {
+        for (int exit_id : exits->second) {
+          if (frame->exits_fired_live.count(exit_id) > 0) continue;
+          std::vector<Entry> dead(std::max(
+              1, impl_.items[exit_id].node->num_outputs()));
+          for (Entry& e : dead) e.state = Entry::State::kDead;
+          DeliverToEdges(exit_id, frame->parent, frame->parent_iter, &dead,
+                         /*node_dead=*/true, ready);
+        }
+      }
+      FrameState* parent = frame->parent;
+      --parent->live_children;
+      frame = parent;
+    }
+  }
+
+  // Must hold mu_.
+  FrameState* FindOrCreateChildFrame(FrameState* parent, int64_t iter,
+                                     const std::string& name) {
+    // Keyed by (parent frame, parent iteration, name) so that concurrent
+    // iterations of an outer loop get distinct inner frame instances.
+    FrameKey key{parent, iter, name};
+    auto it = frames_.find(key);
+    if (it != frames_.end()) return it->second.get();
+    auto frame = std::make_unique<FrameState>();
+    frame->name = name;
+    frame->parent = parent;
+    frame->parent_iter = iter;
+    frame->iterations.push_back(std::make_unique<IterationState>(impl_));
+    ++parent->live_children;
+    FrameState* raw = frame.get();
+    frames_[key] = std::move(frame);
+    return raw;
+  }
+
+  // Must hold mu_.
+  void EnsureIteration(FrameState* frame, int64_t iter,
+                       std::deque<TaggedNode>* ready) {
+    while (static_cast<int64_t>(frame->iterations.size()) <= iter) {
+      frame->iterations.push_back(std::make_unique<IterationState>(impl_));
+      IterationState* is = frame->iterations.back().get();
+      int64_t new_iter = static_cast<int64_t>(frame->iterations.size()) - 1;
+      // Re-deliver loop invariants into the new iteration.
+      for (const FrameState::ConstantEntry& ce : frame->constants) {
+        is->entries[ce.dst_slot] = ce.entry;
+        if (--is->pending[ce.dst_id] == 0) {
+          is->pending[ce.dst_id] = -1;
+          PushReady(ready, TaggedNode{ce.dst_id, frame, new_iter, false});
+        }
+      }
+    }
+  }
+
+  // Must hold mu_.
+  IterationState* GetIteration(FrameState* frame, int64_t iter) {
+    assert(iter >= 0 && iter < static_cast<int64_t>(frame->iterations.size()));
+    return frame->iterations[iter].get();
+  }
+
+  int64_t FrameIterId(FrameState* frame, int64_t iter) const {
+    // A stable id scoping rendezvous keys per frame/iteration (paper §3.4:
+    // distributed loop state). Root frame iteration 0 hashes to 0 so plain
+    // Send/Recv keys stay simple.
+    int64_t h = iter;
+    const FrameState* f = frame;
+    while (f != nullptr) {
+      for (char c : f->name) h = h * 131 + c;
+      if (f->parent != nullptr) h = h * 1000003 + f->parent_iter;
+      f = f->parent;
+    }
+    return h;
+  }
+
+  void RecordError(const Status& status) {
+    bool first = false;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (status_.ok()) {
+        status_ = status;
+        first = true;
+      }
+    }
+    if (first) {
+      if (args_.rendezvous != nullptr) args_.rendezvous->StartAbort(status);
+      if (args_.cancellation != nullptr) args_.cancellation->StartCancel();
+    }
+  }
+
+  void Finish() {
+    Status status;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      status = status_;
+    }
+    std::function<void(Status)> done = std::move(done_);
+    delete this;
+    done(status);
+  }
+
+  struct FrameKey {
+    FrameState* parent;
+    int64_t iter;
+    std::string name;
+    bool operator<(const FrameKey& o) const {
+      if (parent != o.parent) return parent < o.parent;
+      if (iter != o.iter) return iter < o.iter;
+      return name < o.name;
+    }
+  };
+
+  const Executor::Impl& impl_;
+  Executor::Args args_;
+  std::function<void(Status)> done_;
+
+  std::mutex mu_;
+  Status status_;
+  FrameState root_;
+  std::map<FrameKey, std::unique_ptr<FrameState>> frames_;
+  std::atomic<int64_t> outstanding_{0};
+};
+
+}  // namespace
+
+Executor::Executor(std::unique_ptr<Impl> impl) : impl_(std::move(impl)) {}
+Executor::~Executor() = default;
+
+Result<std::unique_ptr<Executor>> Executor::Create(const Graph* graph,
+                                                   Device* device,
+                                                   const std::string& segment) {
+  auto impl = std::make_unique<Impl>();
+  impl->graph = graph;
+  impl->device = device;
+  int n = graph->num_node_ids();
+  impl->num_nodes = n;
+  impl->items.resize(n);
+  impl->out_edges.resize(n);
+
+  ControlFlowInfo cf_info;
+  TF_RETURN_IF_ERROR(BuildControlFlowInfo(*graph, &cf_info));
+
+  for (Node* node : graph->nodes()) {
+    ExecutorNodeItem& item = impl->items[node->id()];
+    item.node = node;
+    // _Send/_Recv are schema-stateful (to shield them from CSE/folding) but
+    // their identity is the rendezvous key, which differs across step
+    // signatures that reuse node names — so they are per-executor, not
+    // segment-shared.
+    bool share_in_segment =
+        node->IsStateful() && !node->IsSend() && !node->IsRecv();
+    if (share_in_segment) {
+      Status s = device->GetOrCreateKernel(segment, *node, &item.kernel);
+      if (!s.ok()) {
+        return s.Prepend("creating kernel for node '" + node->name() + "'");
+      }
+    } else {
+      Result<std::unique_ptr<OpKernel>> kernel =
+          KernelRegistry::Global()->CreateKernel(*node, device);
+      if (!kernel.ok()) {
+        return Status(kernel.status())
+            .Prepend("creating kernel for node '" + node->name() + "'");
+      }
+      item.kernel = kernel.value().get();
+      impl->owned_kernels.push_back(std::move(kernel).value());
+    }
+    item.is_merge = node->IsMerge();
+    item.is_enter = node->IsEnter();
+    if (item.is_enter) {
+      item.child_frame = node->GetAttr("frame_name").s();
+      item.is_constant_enter = node->GetAttr("is_constant").b();
+      ++impl->enters_per_frame[item.child_frame];
+    }
+    item.is_exit = node->IsExit();
+    if (item.is_exit) {
+      // The frame an Exit leaves is the frame of its data input.
+      Result<const Edge*> in = node->input_edge(0);
+      if (in.ok()) {
+        impl->exits_per_frame[cf_info.frame_name[in.value()->src->id()]]
+            .push_back(node->id());
+      }
+    }
+    item.is_next_iteration = node->IsNextIteration();
+    item.is_transfer = node->IsSend() || node->IsRecv();
+    item.num_inputs = node->num_inputs();
+    for (const Edge* e : node->in_edges()) {
+      if (e->IsControlEdge()) {
+        ++item.num_control_inputs;
+      } else if (e->src->IsNextIteration()) {
+        ++item.num_back_data_inputs;
+      } else {
+        ++item.num_forward_data_inputs;
+      }
+    }
+    int num_data_edges_in =
+        item.num_forward_data_inputs + item.num_back_data_inputs;
+    if (item.is_merge) {
+      item.initial_pending = 1 + 2 * item.num_control_inputs;
+    } else {
+      item.initial_pending = num_data_edges_in + item.num_control_inputs;
+    }
+    if (item.initial_pending == 0) {
+      impl->initial_ready.push_back(node->id());
+    }
+  }
+
+  // Assign input slot offsets.
+  int offset = 0;
+  for (Node* node : graph->nodes()) {
+    impl->items[node->id()].input_base = offset;
+    offset += node->num_inputs();
+  }
+  impl->total_input_slots = offset;
+
+  for (Node* node : graph->nodes()) {
+    for (const Edge* e : node->out_edges()) {
+      impl->out_edges[node->id()].push_back(
+          ExecutorOutEdge{e->dst->id(), e->src_output, e->dst_input});
+    }
+  }
+
+  return std::unique_ptr<Executor>(new Executor(std::move(impl)));
+}
+
+void Executor::RunAsync(const Args& args, std::function<void(Status)> done) {
+  auto* state = new ExecutorState(*impl_, args, std::move(done));
+  state->RunAsync();
+}
+
+Status Executor::Run(const Args& args) {
+  std::mutex mu;
+  std::condition_variable cv;
+  bool finished = false;
+  Status result;
+  RunAsync(args, [&](const Status& s) {
+    std::lock_guard<std::mutex> lock(mu);
+    result = s;
+    finished = true;
+    cv.notify_one();
+  });
+  std::unique_lock<std::mutex> lock(mu);
+  cv.wait(lock, [&]() { return finished; });
+  return result;
+}
+
+int Executor::num_kernels() const { return impl_->num_nodes; }
+
+}  // namespace tfrepro

@@ -1,0 +1,68 @@
+// The dataflow executor (paper §3.2, §3.4, §5): schedules the kernels of one
+// per-device graph partition, supporting
+//   - parallel execution of independent operations on a threadpool,
+//   - non-strict evaluation at Merge with recursive dead-value propagation
+//     (the Switch/Merge conditional scheme of §3.4),
+//   - timely-dataflow-style frames for (nested, parallel) iteration, with
+//     one value per output per iteration,
+//   - asynchronous kernels (Recv, queue operations) that never block a pool
+//     thread.
+//
+// An Executor is immutable after creation and may run many concurrent steps
+// (paper §3.2: "multiple concurrent executions on overlapping subgraphs");
+// all mutable per-step state lives in an internal ExecutorState.
+
+#ifndef TFREPRO_RUNTIME_EXECUTOR_H_
+#define TFREPRO_RUNTIME_EXECUTOR_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/status.h"
+#include "graph/graph.h"
+#include "runtime/device.h"
+#include "runtime/kernel.h"
+#include "runtime/rendezvous.h"
+
+namespace tfrepro {
+
+class Executor {
+ public:
+  struct Args {
+    int64_t step_id = 0;
+    Rendezvous* rendezvous = nullptr;
+    CallFrame* call_frame = nullptr;
+    CancellationManager* cancellation = nullptr;
+  };
+
+  // Creates an executor for `graph` (a partition fully assigned to
+  // `device`). `segment` keys kernel sharing so stateful kernels are shared
+  // between executors of one session. The graph must outlive the executor.
+  static Result<std::unique_ptr<Executor>> Create(const Graph* graph,
+                                                  Device* device,
+                                                  const std::string& segment);
+
+  ~Executor();
+
+  // Runs one step; `done` fires exactly once from a pool thread (or inline).
+  void RunAsync(const Args& args, std::function<void(Status)> done);
+
+  // Synchronous wrapper.
+  Status Run(const Args& args);
+
+  int num_kernels() const;
+
+  // Implementation detail, public so the per-step state machine (an
+  // internal class) can read the precomputed node tables.
+  struct Impl;
+
+ private:
+  explicit Executor(std::unique_ptr<Impl> impl);
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace tfrepro
+
+#endif  // TFREPRO_RUNTIME_EXECUTOR_H_

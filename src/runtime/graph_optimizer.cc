@@ -1,0 +1,222 @@
+#include "runtime/graph_optimizer.h"
+
+#include <map>
+#include <sstream>
+
+#include "runtime/kernel.h"
+
+namespace tfrepro {
+
+namespace {
+
+// True if this node is eligible for CSE / folding at all.
+bool IsOptimizable(const Node* node) {
+  if (node->IsStateful() || node->IsControlFlow()) return false;
+  if (node->op()[0] == '_') return false;  // _Feed/_Fetch/_Send/_Recv
+  for (int i = 0; i < node->num_outputs(); ++i) {
+    if (IsRefType(node->output_type(i))) return false;
+  }
+  return true;
+}
+
+std::string NodeSignature(const Node* node) {
+  std::ostringstream os;
+  os << node->op() << "|" << node->requested_device() << "|"
+     << node->assigned_device() << "|";
+  for (const auto& [name, value] : node->attrs()) {
+    os << name << "=" << value.DebugString() << ";";
+  }
+  os << "|";
+  for (const Edge* e : node->ordered_data_inputs()) {
+    os << e->src->id() << ":" << e->src_output << ",";
+  }
+  os << "|";
+  // Control inputs, sorted.
+  std::vector<int> controls;
+  for (const Edge* e : node->in_edges()) {
+    if (e->IsControlEdge()) controls.push_back(e->src->id());
+  }
+  std::sort(controls.begin(), controls.end());
+  for (int c : controls) os << c << ",";
+  return os.str();
+}
+
+// Redirects every out edge of `from` to come from `to` instead, then
+// removes `from`.
+Status ReplaceNode(Graph* graph, Node* from, Node* to) {
+  std::vector<const Edge*> out_edges(from->out_edges().begin(),
+                                     from->out_edges().end());
+  for (const Edge* e : out_edges) {
+    if (e->IsControlEdge()) {
+      graph->AddControlEdge(to, e->dst);
+      graph->RemoveEdge(e);
+    } else {
+      Node* dst = e->dst;
+      int src_output = e->src_output;
+      int dst_input = e->dst_input;
+      graph->RemoveEdge(e);
+      TF_RETURN_IF_ERROR(
+          graph->AddEdge(to, src_output, dst, dst_input).status());
+    }
+  }
+  graph->RemoveNode(from);
+  return Status::OK();
+}
+
+}  // namespace
+
+int EliminateCommonSubexpressions(Graph* graph) {
+  int removed = 0;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    std::map<std::string, Node*> canonical;
+    Result<std::vector<Node*>> order = graph->TopologicalOrder();
+    if (!order.ok()) return removed;
+    for (Node* node : order.value()) {
+      if (!IsOptimizable(node)) continue;
+      std::string sig = NodeSignature(node);
+      auto [it, inserted] = canonical.emplace(sig, node);
+      if (!inserted && it->second != node) {
+        if (ReplaceNode(graph, node, it->second).ok()) {
+          ++removed;
+          changed = true;
+        }
+      }
+    }
+  }
+  return removed;
+}
+
+namespace {
+
+// Evaluates one node whose data inputs are all constants; returns the
+// output tensors.
+Result<std::vector<Tensor>> EvaluateNode(Node* node,
+                                         const std::vector<Tensor>& inputs,
+                                         Device* device) {
+  Result<std::unique_ptr<OpKernel>> kernel =
+      KernelRegistry::Global()->CreateKernel(*node, device);
+  TF_RETURN_IF_ERROR(kernel.status());
+  if (kernel.value()->IsAsync()) {
+    return Unimplemented("async kernels are not folded");
+  }
+  std::vector<TensorValue> in_values;
+  in_values.reserve(inputs.size());
+  for (const Tensor& t : inputs) {
+    TensorValue v;
+    v.tensor = t;
+    in_values.push_back(v);
+  }
+  OpKernelContext::Params params;
+  params.device = device;
+  OpKernelContext ctx(params, std::move(in_values), node->num_outputs());
+  kernel.value()->Compute(&ctx);
+  TF_RETURN_IF_ERROR(ctx.status());
+  std::vector<Tensor> outputs;
+  for (int i = 0; i < node->num_outputs(); ++i) {
+    if (!ctx.output_set(i)) {
+      return Internal("folded node left an output unset");
+    }
+    outputs.push_back(ctx.output(i).tensor);
+  }
+  return outputs;
+}
+
+}  // namespace
+
+Result<int> FoldConstants(Graph* graph, Device* device) {
+  int folded = 0;
+  Result<std::vector<Node*>> order = graph->TopologicalOrder();
+  TF_RETURN_IF_ERROR(order.status());
+  for (Node* node : order.value()) {
+    if (!IsOptimizable(node) || node->IsConstant()) continue;
+    if (node->num_inputs() == 0) continue;  // placeholders etc.
+    bool all_const = true;
+    bool has_control = false;
+    for (const Edge* e : node->in_edges()) {
+      if (e->IsControlEdge()) {
+        has_control = true;
+      } else if (!e->src->IsConstant()) {
+        all_const = false;
+      }
+    }
+    if (!all_const || has_control) continue;
+    // No consumer may need this node as a ref; checked in IsOptimizable.
+    std::vector<Tensor> inputs(node->num_inputs());
+    for (const Edge* e : node->ordered_data_inputs()) {
+      inputs[e->dst_input] = e->src->GetAttr("value").tensor();
+    }
+    Result<std::vector<Tensor>> outputs = EvaluateNode(node, inputs, device);
+    if (!outputs.ok()) continue;  // leave unfoldable nodes in place
+
+    // Replace each consumed output with a Const node.
+    std::vector<const Edge*> out_edges(node->out_edges().begin(),
+                                       node->out_edges().end());
+    std::map<int, Node*> const_for_output;
+    bool ok = true;
+    for (const Edge* e : out_edges) {
+      if (e->IsControlEdge()) continue;
+      Node*& cnode = const_for_output[e->src_output];
+      if (cnode == nullptr) {
+        NodeDef def;
+        def.name = graph->NewName(node->name() + "_folded");
+        def.op = "Const";
+        def.device = node->requested_device();
+        def.attrs["dtype"] =
+            AttrValue(BaseType(node->output_type(e->src_output)));
+        def.attrs["value"] = AttrValue(outputs.value()[e->src_output]);
+        Result<Node*> added = graph->AddNode(std::move(def));
+        if (!added.ok()) {
+          ok = false;
+          break;
+        }
+        added.value()->set_assigned_device(node->assigned_device());
+        cnode = added.value();
+      }
+      Node* dst = e->dst;
+      int dst_input = e->dst_input;
+      graph->RemoveEdge(e);
+      if (!graph->AddEdge(cnode, 0, dst, dst_input).ok()) {
+        ok = false;
+        break;
+      }
+    }
+    if (!ok) {
+      return Internal("constant folding failed to rewire graph");
+    }
+    // Forward remaining control out-edges directly from this node's const
+    // replacements is unnecessary: constants have no side effects, so the
+    // control edges can be dropped with the node (its inputs are constants
+    // too). If the node still has control out-edges, keep it alive.
+    bool has_control_consumer = false;
+    for (const Edge* e : node->out_edges()) {
+      if (e->IsControlEdge()) has_control_consumer = true;
+    }
+    if (!has_control_consumer) {
+      graph->RemoveNode(node);
+      ++folded;
+    }
+  }
+  return folded;
+}
+
+Status OptimizeGraph(Graph* graph, Device* device,
+                     const OptimizerOptions& options) {
+  if (options.do_cse) {
+    EliminateCommonSubexpressions(graph);
+  }
+  if (options.do_constant_folding) {
+    for (int pass = 0; pass < options.max_folding_passes; ++pass) {
+      Result<int> folded = FoldConstants(graph, device);
+      TF_RETURN_IF_ERROR(folded.status());
+      if (folded.value() == 0) break;
+      if (options.do_cse) {
+        EliminateCommonSubexpressions(graph);
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace tfrepro

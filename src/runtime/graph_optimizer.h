@@ -1,0 +1,34 @@
+// Master-side graph optimizations (paper §5): common-subexpression
+// elimination and constant folding. (Pruning, the third optimization named
+// in the paper, lives in graph/subgraph.h as part of partial-execution
+// rewriting.)
+
+#ifndef TFREPRO_RUNTIME_GRAPH_OPTIMIZER_H_
+#define TFREPRO_RUNTIME_GRAPH_OPTIMIZER_H_
+
+#include "core/status.h"
+#include "graph/graph.h"
+#include "runtime/device.h"
+
+namespace tfrepro {
+
+struct OptimizerOptions {
+  bool do_cse = true;
+  bool do_constant_folding = true;
+  // Bound on folding passes (each pass may expose new foldable nodes).
+  int max_folding_passes = 3;
+};
+
+// Merges duplicate stateless nodes. Returns the number of nodes removed.
+int EliminateCommonSubexpressions(Graph* graph);
+
+// Evaluates stateless nodes whose inputs are all constants on `device` and
+// replaces them with Const nodes. Returns the number of nodes folded.
+Result<int> FoldConstants(Graph* graph, Device* device);
+
+Status OptimizeGraph(Graph* graph, Device* device,
+                     const OptimizerOptions& options = OptimizerOptions());
+
+}  // namespace tfrepro
+
+#endif  // TFREPRO_RUNTIME_GRAPH_OPTIMIZER_H_

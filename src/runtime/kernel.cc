@@ -1,0 +1,219 @@
+#include "runtime/kernel.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "runtime/device.h"
+
+namespace tfrepro {
+
+Result<Tensor> CallFrame::GetFeed(int index) const {
+  if (index < 0 || index >= static_cast<int>(feeds_.size())) {
+    return OutOfRange("feed index " + std::to_string(index) + " out of range");
+  }
+  return feeds_[index];
+}
+
+Status CallFrame::SetFetch(int index, Tensor value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (index < 0 || index >= static_cast<int>(fetches_.size())) {
+    return OutOfRange("fetch index " + std::to_string(index) +
+                      " out of range");
+  }
+  fetches_[index] = std::move(value);
+  return Status::OK();
+}
+
+bool CancellationManager::RegisterCallback(Token* token,
+                                           std::function<void()> callback) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (cancelled_) return false;
+  *token = next_token_++;
+  callbacks_[*token] = std::move(callback);
+  return true;
+}
+
+void CancellationManager::DeregisterCallback(Token token) {
+  std::lock_guard<std::mutex> lock(mu_);
+  callbacks_.erase(token);
+}
+
+void CancellationManager::StartCancel() {
+  std::map<Token, std::function<void()>> callbacks;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (cancelled_) return;
+    cancelled_ = true;
+    callbacks.swap(callbacks_);
+  }
+  for (auto& [token, cb] : callbacks) {
+    cb();
+  }
+}
+
+bool CancellationManager::IsCancelled() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return cancelled_;
+}
+
+void OpKernel::ComputeAsync(OpKernelContext* ctx, DoneCallback done) {
+  Compute(ctx);
+  done();
+}
+
+void AsyncOpKernel::Compute(OpKernelContext* ctx) {
+  (void)ctx;
+  std::fprintf(stderr, "AsyncOpKernel %s invoked synchronously\n",
+               name().c_str());
+  std::abort();
+}
+
+namespace {
+
+template <typename T>
+Status GetTypedAttr(const OpKernelConstruction* ctx, const std::string& name,
+                    AttrValue::Kind kind, T (AttrValue::*getter)() const,
+                    T* value) {
+  const AttrValue* attr = ctx->FindAttr(name);
+  if (attr == nullptr) {
+    return NotFound("node '" + ctx->node_name() + "': missing attr '" + name +
+                    "'");
+  }
+  if (attr->kind() != kind) {
+    return InvalidArgument("node '" + ctx->node_name() + "': attr '" + name +
+                           "' has kind " + AttrKindName(attr->kind()) +
+                           ", expected " + AttrKindName(kind));
+  }
+  *value = (attr->*getter)();
+  return Status::OK();
+}
+
+template <typename T>
+Status GetTypedRefAttr(const OpKernelConstruction* ctx,
+                       const std::string& name, AttrValue::Kind kind,
+                       const T& (AttrValue::*getter)() const, T* value) {
+  const AttrValue* attr = ctx->FindAttr(name);
+  if (attr == nullptr) {
+    return NotFound("node '" + ctx->node_name() + "': missing attr '" + name +
+                    "'");
+  }
+  if (attr->kind() != kind) {
+    return InvalidArgument("node '" + ctx->node_name() + "': attr '" + name +
+                           "' has kind " + AttrKindName(attr->kind()) +
+                           ", expected " + AttrKindName(kind));
+  }
+  *value = (attr->*getter)();
+  return Status::OK();
+}
+
+}  // namespace
+
+Status OpKernelConstruction::GetIntAttr(const std::string& name,
+                                        int64_t* value) const {
+  return GetTypedAttr(this, name, AttrValue::Kind::kInt, &AttrValue::i, value);
+}
+Status OpKernelConstruction::GetFloatAttr(const std::string& name,
+                                          float* value) const {
+  return GetTypedAttr(this, name, AttrValue::Kind::kFloat, &AttrValue::f,
+                      value);
+}
+Status OpKernelConstruction::GetBoolAttr(const std::string& name,
+                                         bool* value) const {
+  return GetTypedAttr(this, name, AttrValue::Kind::kBool, &AttrValue::b,
+                      value);
+}
+Status OpKernelConstruction::GetStringAttr(const std::string& name,
+                                           std::string* value) const {
+  return GetTypedRefAttr(this, name, AttrValue::Kind::kString, &AttrValue::s,
+                         value);
+}
+Status OpKernelConstruction::GetTypeAttr(const std::string& name,
+                                         DataType* value) const {
+  return GetTypedAttr(this, name, AttrValue::Kind::kType, &AttrValue::type,
+                      value);
+}
+Status OpKernelConstruction::GetShapeAttr(const std::string& name,
+                                          TensorShape* value) const {
+  return GetTypedRefAttr(this, name, AttrValue::Kind::kShape,
+                         &AttrValue::shape, value);
+}
+Status OpKernelConstruction::GetTensorAttr(const std::string& name,
+                                           Tensor* value) const {
+  return GetTypedRefAttr(this, name, AttrValue::Kind::kTensor,
+                         &AttrValue::tensor, value);
+}
+Status OpKernelConstruction::GetIntListAttr(const std::string& name,
+                                            std::vector<int64_t>* value) const {
+  return GetTypedRefAttr(this, name, AttrValue::Kind::kIntList,
+                         &AttrValue::int_list, value);
+}
+Status OpKernelConstruction::GetTypeListAttr(const std::string& name,
+                                             DataTypeVector* value) const {
+  return GetTypedRefAttr(this, name, AttrValue::Kind::kTypeList,
+                         &AttrValue::type_list, value);
+}
+
+KernelRegistry* KernelRegistry::Global() {
+  static KernelRegistry* registry = new KernelRegistry();
+  return registry;
+}
+
+Status KernelRegistry::Register(const std::string& op_name,
+                                const std::string& device_type,
+                                KernelFactory factory) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto key = std::make_pair(op_name, device_type);
+  auto [it, inserted] = factories_.emplace(key, std::move(factory));
+  (void)it;
+  if (!inserted) {
+    return AlreadyExists("kernel for op '" + op_name + "' on device type '" +
+                         device_type + "' registered twice");
+  }
+  return Status::OK();
+}
+
+Result<std::unique_ptr<OpKernel>> KernelRegistry::CreateKernel(
+    const Node& node, Device* device) const {
+  KernelFactory factory;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = factories_.find(std::make_pair(node.op(), device->type()));
+    if (it == factories_.end()) {
+      return NotFound("no kernel for op '" + node.op() + "' on device type '" +
+                      device->type() + "'");
+    }
+    factory = it->second;
+  }
+  OpKernelConstruction ctx(&node, device);
+  std::unique_ptr<OpKernel> kernel = factory(&ctx);
+  if (!ctx.status().ok()) {
+    return ctx.status();
+  }
+  if (kernel == nullptr) {
+    return Internal("kernel factory for '" + node.op() + "' returned null");
+  }
+  return kernel;
+}
+
+bool KernelRegistry::HasKernel(const std::string& op_name,
+                               const std::string& device_type) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return factories_.count(std::make_pair(op_name, device_type)) > 0;
+}
+
+namespace kernel_registration {
+
+KernelRegistrar::KernelRegistrar(const char* op_name, const char* device_type,
+                                 KernelFactory factory) {
+  Status s =
+      KernelRegistry::Global()->Register(op_name, device_type, std::move(factory));
+  if (!s.ok()) {
+    std::fprintf(stderr, "Kernel registration failed: %s\n",
+                 s.ToString().c_str());
+    std::abort();
+  }
+}
+
+}  // namespace kernel_registration
+
+}  // namespace tfrepro

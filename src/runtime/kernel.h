@@ -1,0 +1,321 @@
+// OpKernel: the device-specific implementation of an operation (paper §3.3:
+// "a device is responsible for executing a kernel for each operation
+// assigned to it"). Kernels are constructed once per node and invoked once
+// per execution; stateful kernels (Variable, queues) own state that
+// persists across steps.
+
+#ifndef TFREPRO_RUNTIME_KERNEL_H_
+#define TFREPRO_RUNTIME_KERNEL_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/status.h"
+#include "core/tensor.h"
+#include "graph/graph.h"
+#include "runtime/rendezvous.h"
+
+namespace tfrepro {
+
+class Device;
+class OpKernelContext;
+
+// A tensor flowing between kernels: either a value, or a reference to a
+// mutable buffer guarded by a mutex (paper §3.1, stateful operations).
+struct TensorValue {
+  Tensor tensor;
+  Tensor* ref = nullptr;
+  std::mutex* ref_mu = nullptr;
+
+  bool is_ref() const { return ref != nullptr; }
+
+  // Snapshot for value semantics; shares the underlying buffer, which gives
+  // the relaxed consistency the paper relies on for asynchronous training.
+  Tensor Deref() const { return is_ref() ? *ref : tensor; }
+};
+
+// Carries feed tensors into a step and fetch tensors out (used by the
+// _Feed/_Fetch nodes inserted by session graph rewriting, §3.2).
+class CallFrame {
+ public:
+  explicit CallFrame(std::vector<Tensor> feeds, int num_fetches)
+      : feeds_(std::move(feeds)), fetches_(num_fetches) {}
+
+  Result<Tensor> GetFeed(int index) const;
+  Status SetFetch(int index, Tensor value);
+  const std::vector<Tensor>& fetches() const { return fetches_; }
+
+ private:
+  std::vector<Tensor> feeds_;
+  mutable std::mutex mu_;
+  std::vector<Tensor> fetches_;
+};
+
+// Fans a cancellation signal out to blocking async kernels (pending Recv,
+// queue operations) when a step is aborted.
+class CancellationManager {
+ public:
+  using Token = int64_t;
+
+  // Returns false (and does not register) if cancellation already started.
+  bool RegisterCallback(Token* token, std::function<void()> callback);
+  void DeregisterCallback(Token token);
+  void StartCancel();
+  bool IsCancelled() const;
+
+ private:
+  mutable std::mutex mu_;
+  bool cancelled_ = false;
+  Token next_token_ = 0;
+  std::map<Token, std::function<void()>> callbacks_;
+};
+
+// Construction-time context: attrs and device.
+class OpKernelConstruction {
+ public:
+  OpKernelConstruction(const Node* node, Device* device)
+      : node_(node), device_(device) {}
+
+  const std::string& node_name() const { return node_->name(); }
+  const std::string& op_name() const { return node_->op(); }
+  const Node& node() const { return *node_; }
+  Device* device() const { return device_; }
+
+  const AttrValue* FindAttr(const std::string& name) const {
+    return node_->FindAttr(name);
+  }
+
+  // Typed attr lookup; records an error if missing or mistyped.
+  Status GetIntAttr(const std::string& name, int64_t* value) const;
+  Status GetFloatAttr(const std::string& name, float* value) const;
+  Status GetBoolAttr(const std::string& name, bool* value) const;
+  Status GetStringAttr(const std::string& name, std::string* value) const;
+  Status GetTypeAttr(const std::string& name, DataType* value) const;
+  Status GetShapeAttr(const std::string& name, TensorShape* value) const;
+  Status GetTensorAttr(const std::string& name, Tensor* value) const;
+  Status GetIntListAttr(const std::string& name,
+                        std::vector<int64_t>* value) const;
+  Status GetTypeListAttr(const std::string& name, DataTypeVector* value) const;
+
+  int num_inputs() const { return node_->num_inputs(); }
+  int num_outputs() const { return node_->num_outputs(); }
+  DataType input_type(int i) const { return node_->input_type(i); }
+  DataType output_type(int i) const { return node_->output_type(i); }
+
+  void SetStatus(const Status& status) {
+    if (status_.ok()) status_ = status;
+  }
+  const Status& status() const { return status_; }
+
+ private:
+  const Node* node_;
+  Device* device_;
+  Status status_;
+};
+
+class OpKernel {
+ public:
+  explicit OpKernel(OpKernelConstruction* ctx)
+      : name_(ctx->node_name()),
+        op_(ctx->op_name()),
+        num_outputs_(ctx->num_outputs()) {}
+  virtual ~OpKernel() = default;
+
+  virtual void Compute(OpKernelContext* ctx) = 0;
+
+  // Async kernels (Recv, queue dequeue) override ComputeAsync instead; the
+  // executor must not block a pool thread on them.
+  virtual bool IsAsync() const { return false; }
+  using DoneCallback = std::function<void()>;
+  virtual void ComputeAsync(OpKernelContext* ctx, DoneCallback done);
+
+  // Cheap kernels may be run inline by the executor rather than handed to
+  // the threadpool (§5: executor optimized for fine-grained graphs).
+  virtual bool IsExpensive() const { return true; }
+
+  const std::string& name() const { return name_; }
+  const std::string& op() const { return op_; }
+  int num_outputs() const { return num_outputs_; }
+
+ private:
+  std::string name_;
+  std::string op_;
+  int num_outputs_;
+};
+
+class AsyncOpKernel : public OpKernel {
+ public:
+  using OpKernel::OpKernel;
+  bool IsAsync() const final { return true; }
+  void Compute(OpKernelContext* ctx) final;  // aborts; use ComputeAsync
+};
+
+// Per-invocation context handed to Compute().
+class OpKernelContext {
+ public:
+  struct Params {
+    Device* device = nullptr;
+    Rendezvous* rendezvous = nullptr;
+    CallFrame* call_frame = nullptr;
+    CancellationManager* cancellation = nullptr;
+    int64_t step_id = 0;
+    // Encodes the executing frame/iteration for rendezvous key scoping.
+    int64_t frame_iter = 0;
+    // True when at least one input is dead; _Send kernels forward this bit
+    // across device boundaries (paper §3.4).
+    bool is_input_dead = false;
+  };
+
+  OpKernelContext(Params params, std::vector<TensorValue> inputs,
+                  int num_outputs)
+      : params_(params),
+        inputs_(std::move(inputs)),
+        outputs_(num_outputs),
+        output_set_(num_outputs, false) {}
+
+  int num_inputs() const { return static_cast<int>(inputs_.size()); }
+  int num_outputs() const { return static_cast<int>(outputs_.size()); }
+
+  // Value view of input `i` (dereferences refs).
+  Tensor input(int i) const {
+    return inputs_[i].Deref();
+  }
+  const TensorValue& input_value(int i) const { return inputs_[i]; }
+
+  // Mutable access to a ref input; `*mu` guards the buffer.
+  Tensor* mutable_input_ref(int i, std::mutex** mu) {
+    *mu = inputs_[i].ref_mu;
+    return inputs_[i].ref;
+  }
+
+  void set_output(int i, Tensor value) {
+    outputs_[i].tensor = std::move(value);
+    outputs_[i].ref = nullptr;
+    output_set_[i] = true;
+  }
+  void set_output_ref(int i, std::mutex* mu, Tensor* ref) {
+    outputs_[i].ref = ref;
+    outputs_[i].ref_mu = mu;
+    output_set_[i] = true;
+  }
+  // Passes a ref input through to a ref output (Assign-style kernels).
+  void forward_ref_input_to_output(int input_index, int output_index) {
+    outputs_[output_index] = inputs_[input_index];
+    output_set_[output_index] = true;
+  }
+
+  bool output_set(int i) const { return output_set_[i]; }
+  const TensorValue& output(int i) const { return outputs_[i]; }
+  std::vector<TensorValue>& outputs() { return outputs_; }
+
+  void SetStatus(const Status& status) {
+    if (status_.ok() && !status.ok()) status_ = status;
+  }
+  const Status& status() const { return status_; }
+
+  Device* device() const { return params_.device; }
+  Rendezvous* rendezvous() const { return params_.rendezvous; }
+  CallFrame* call_frame() const { return params_.call_frame; }
+  CancellationManager* cancellation() const { return params_.cancellation; }
+  int64_t step_id() const { return params_.step_id; }
+  int64_t frame_iter() const { return params_.frame_iter; }
+  bool is_input_dead() const { return params_.is_input_dead; }
+
+ private:
+  Params params_;
+  std::vector<TensorValue> inputs_;
+  std::vector<TensorValue> outputs_;
+  std::vector<bool> output_set_;
+  Status status_;
+};
+
+// Convenience macros mirroring the classic kernel idiom.
+#define OP_REQUIRES(ctx, cond, status) \
+  do {                                 \
+    if (!(cond)) {                     \
+      (ctx)->SetStatus(status);        \
+      return;                          \
+    }                                  \
+  } while (0)
+
+#define OP_REQUIRES_OK(ctx, expr)        \
+  do {                                   \
+    ::tfrepro::Status _s = (expr);       \
+    if (!_s.ok()) {                      \
+      (ctx)->SetStatus(_s);              \
+      return;                            \
+    }                                    \
+  } while (0)
+
+#define OP_REQUIRES_ASYNC(ctx, cond, status, done) \
+  do {                                             \
+    if (!(cond)) {                                 \
+      (ctx)->SetStatus(status);                    \
+      done();                                      \
+      return;                                      \
+    }                                              \
+  } while (0)
+
+#define OP_REQUIRES_OK_ASYNC(ctx, expr, done) \
+  do {                                        \
+    ::tfrepro::Status _s = (expr);            \
+    if (!_s.ok()) {                           \
+      (ctx)->SetStatus(_s);                   \
+      done();                                 \
+      return;                                 \
+    }                                         \
+  } while (0)
+
+// ---------------------------------------------------------------------------
+// Kernel registry: (op name, device type) -> factory. Multiple kernels may
+// be registered for one operation on different device types (paper §3.3).
+// ---------------------------------------------------------------------------
+
+using KernelFactory =
+    std::function<std::unique_ptr<OpKernel>(OpKernelConstruction*)>;
+
+class KernelRegistry {
+ public:
+  static KernelRegistry* Global();
+
+  Status Register(const std::string& op_name, const std::string& device_type,
+                  KernelFactory factory);
+
+  // Creates the kernel for `node` on `device`; error if no kernel is
+  // registered for the node's op on the device's type.
+  Result<std::unique_ptr<OpKernel>> CreateKernel(const Node& node,
+                                                 Device* device) const;
+
+  bool HasKernel(const std::string& op_name,
+                 const std::string& device_type) const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::pair<std::string, std::string>, KernelFactory> factories_;
+};
+
+namespace kernel_registration {
+struct KernelRegistrar {
+  KernelRegistrar(const char* op_name, const char* device_type,
+                  KernelFactory factory);
+};
+}  // namespace kernel_registration
+
+#define REGISTER_KERNEL(op_name, device_type, KernelClass)                  \
+  static const ::tfrepro::kernel_registration::KernelRegistrar             \
+      REGISTER_OP_CONCAT(kernel_registrar_, __COUNTER__)(                  \
+          op_name, device_type,                                            \
+          [](::tfrepro::OpKernelConstruction* ctx)                         \
+              -> std::unique_ptr<::tfrepro::OpKernel> {                    \
+            return std::make_unique<KernelClass>(ctx);                     \
+          })
+
+constexpr char kDeviceCpu[] = "CPU";
+
+}  // namespace tfrepro
+
+#endif  // TFREPRO_RUNTIME_KERNEL_H_

@@ -1,0 +1,99 @@
+#include "runtime/placer.h"
+
+#include <map>
+#include <numeric>
+
+namespace tfrepro {
+
+namespace {
+
+// Union-find over node ids.
+class UnionFind {
+ public:
+  explicit UnionFind(int n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), 0);
+  }
+  int Find(int x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+  void Union(int a, int b) { parent_[Find(a)] = Find(b); }
+
+ private:
+  std::vector<int> parent_;
+};
+
+}  // namespace
+
+Status PlaceGraph(Graph* graph, const std::vector<Device*>& devices,
+                  Device* default_device) {
+  if (devices.empty()) {
+    return InvalidArgument("no devices to place onto");
+  }
+  if (default_device == nullptr) {
+    default_device = devices.front();
+  }
+
+  // 1. Colocation groups: endpoints of reference edges must share a device
+  // (implicit constraint from stateful operations, §3.3).
+  UnionFind groups(graph->num_node_ids());
+  for (Node* node : graph->nodes()) {
+    for (const Edge* e : node->in_edges()) {
+      if (e->IsControlEdge()) continue;
+      if (IsRefType(node->input_type(e->dst_input))) {
+        groups.Union(e->src->id(), node->id());
+      }
+    }
+  }
+
+  // 2. Merge the requested constraints of each group.
+  std::map<int, DeviceName> group_spec;
+  for (Node* node : graph->nodes()) {
+    int g = groups.Find(node->id());
+    DeviceName& spec = group_spec[g];  // default-constructed: unconstrained
+    if (!node->requested_device().empty()) {
+      Result<DeviceName> parsed = DeviceName::Parse(node->requested_device());
+      if (!parsed.ok()) {
+        return Status(parsed.status())
+            .Prepend("device for node '" + node->name() + "'");
+      }
+      Status merged = spec.MergeFrom(parsed.value());
+      if (!merged.ok()) {
+        return merged.Prepend(
+            "colocation group of node '" + node->name() +
+            "' has incompatible device constraints");
+      }
+    }
+  }
+
+  // 3. Pick a satisfying device per group.
+  std::map<int, Device*> group_device;
+  for (const auto& [g, spec] : group_spec) {
+    Device* chosen = nullptr;
+    if (!spec.has_job && !spec.has_task && !spec.has_type && !spec.has_id) {
+      chosen = default_device;
+    } else {
+      for (Device* d : devices) {
+        if (d->parsed_name().Matches(spec)) {
+          chosen = d;
+          break;
+        }
+      }
+    }
+    if (chosen == nullptr) {
+      return InvalidArgument("no device matches constraint '" +
+                             spec.ToString() + "'");
+    }
+    group_device[g] = chosen;
+  }
+
+  for (Node* node : graph->nodes()) {
+    node->set_assigned_device(group_device[groups.Find(node->id())]->name());
+  }
+  return Status::OK();
+}
+
+}  // namespace tfrepro

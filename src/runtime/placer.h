@@ -1,0 +1,30 @@
+// Device placement (paper §3.3): "the placement algorithm computes a
+// feasible set of devices for each operation, calculates the sets of
+// operations that must be colocated, and selects a satisfying device for
+// each colocation group."
+//
+// Colocation here is driven by reference edges: an operation that mutates
+// state (consumes a ref input) must live with the operation that owns that
+// state. Partial user constraints ("/job:ps", "/task:1/device:CPU:0") are
+// merged per group and matched against the available devices.
+
+#ifndef TFREPRO_RUNTIME_PLACER_H_
+#define TFREPRO_RUNTIME_PLACER_H_
+
+#include <vector>
+
+#include "core/status.h"
+#include "graph/graph.h"
+#include "runtime/device.h"
+
+namespace tfrepro {
+
+// Assigns every node of `graph` a device from `devices` (full names written
+// to node->assigned_device()). `default_device` receives nodes with no
+// constraints; pass nullptr to use devices.front().
+Status PlaceGraph(Graph* graph, const std::vector<Device*>& devices,
+                  Device* default_device = nullptr);
+
+}  // namespace tfrepro
+
+#endif  // TFREPRO_RUNTIME_PLACER_H_

@@ -1,0 +1,92 @@
+#include "runtime/rendezvous.h"
+
+#include <condition_variable>
+#include <vector>
+
+namespace tfrepro {
+
+std::string RendezvousKey(const std::string& send_device,
+                          const std::string& recv_device,
+                          const std::string& tensor_name, int64_t frame_iter) {
+  return send_device + ";" + recv_device + ";" + tensor_name + ";" +
+         std::to_string(frame_iter);
+}
+
+Status Rendezvous::Recv(const std::string& key, Tensor* value, bool* is_dead) {
+  std::mutex mu;
+  std::condition_variable cv;
+  bool done = false;
+  Status status;
+  RecvAsync(key, [&](const Status& s, const Tensor& t, bool dead) {
+    std::lock_guard<std::mutex> lock(mu);
+    status = s;
+    *value = t;
+    *is_dead = dead;
+    done = true;
+    cv.notify_one();
+  });
+  std::unique_lock<std::mutex> lock(mu);
+  cv.wait(lock, [&]() { return done; });
+  return status;
+}
+
+Status LocalRendezvous::Send(const std::string& key, const Tensor& value,
+                             bool is_dead) {
+  DoneCallback waiter;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!aborted_.ok()) return aborted_;
+    auto wit = waiting_.find(key);
+    if (wit != waiting_.end() && !wit->second.empty()) {
+      waiter = std::move(wit->second.front());
+      wit->second.pop_front();
+      if (wit->second.empty()) waiting_.erase(wit);
+    } else {
+      ready_[key].push_back(Item{value, is_dead});
+      return Status::OK();
+    }
+  }
+  waiter(Status::OK(), value, is_dead);
+  return Status::OK();
+}
+
+void LocalRendezvous::RecvAsync(const std::string& key, DoneCallback done) {
+  Item item;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (!aborted_.ok()) {
+      Status aborted = aborted_;
+      lock.unlock();
+      done(aborted, Tensor(), false);
+      return;
+    }
+    auto rit = ready_.find(key);
+    if (rit == ready_.end() || rit->second.empty()) {
+      waiting_[key].push_back(std::move(done));
+      return;
+    }
+    item = std::move(rit->second.front());
+    rit->second.pop_front();
+    if (rit->second.empty()) ready_.erase(rit);
+  }
+  done(Status::OK(), item.value, item.is_dead);
+}
+
+void LocalRendezvous::StartAbort(const Status& status) {
+  std::vector<DoneCallback> waiters;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!aborted_.ok()) return;  // already aborted
+    aborted_ = status.ok() ? Cancelled("rendezvous aborted") : status;
+    for (auto& [key, queue] : waiting_) {
+      for (DoneCallback& cb : queue) waiters.push_back(std::move(cb));
+    }
+    waiting_.clear();
+    ready_.clear();
+  }
+  for (DoneCallback& cb : waiters) {
+    cb(aborted_, Tensor(), false);
+  }
+}
+
+}  // namespace tfrepro

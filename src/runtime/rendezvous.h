@@ -1,0 +1,76 @@
+// Rendezvous: the meeting point for Send/Recv pairs (paper §3.3). Send
+// transmits its input "as soon as the tensor is available, using a
+// rendezvous key to name the value"; Recv blocks (asynchronously) until the
+// value for its key is available.
+//
+// A rendezvous object lives for one step and is shared by all per-device
+// executors participating in that step. The distributed runtime layers a
+// remote transport behind the same interface.
+
+#ifndef TFREPRO_RUNTIME_RENDEZVOUS_H_
+#define TFREPRO_RUNTIME_RENDEZVOUS_H_
+
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "core/status.h"
+#include "core/tensor.h"
+
+namespace tfrepro {
+
+// Builds the canonical key naming one value:
+//   "<send_device>;<recv_device>;<tensor_name>;<frame_iter>"
+// The frame/iteration component keeps concurrent loop iterations distinct
+// when a loop body is split across devices (paper §3.4).
+std::string RendezvousKey(const std::string& send_device,
+                          const std::string& recv_device,
+                          const std::string& tensor_name,
+                          int64_t frame_iter = 0);
+
+class Rendezvous {
+ public:
+  // `is_dead` propagates control-flow deadness across device boundaries.
+  using DoneCallback =
+      std::function<void(const Status&, const Tensor&, bool is_dead)>;
+
+  virtual ~Rendezvous() = default;
+
+  virtual Status Send(const std::string& key, const Tensor& value,
+                      bool is_dead) = 0;
+  virtual void RecvAsync(const std::string& key, DoneCallback done) = 0;
+
+  // Aborts all pending and future operations with `status` (used to unblock
+  // Recv when a step fails elsewhere).
+  virtual void StartAbort(const Status& status) = 0;
+
+  // Synchronous convenience wrapper over RecvAsync.
+  Status Recv(const std::string& key, Tensor* value, bool* is_dead);
+};
+
+// In-process rendezvous used within one task: values are buffered until the
+// matching Recv arrives (or vice versa).
+class LocalRendezvous : public Rendezvous {
+ public:
+  Status Send(const std::string& key, const Tensor& value,
+              bool is_dead) override;
+  void RecvAsync(const std::string& key, DoneCallback done) override;
+  void StartAbort(const Status& status) override;
+
+ private:
+  struct Item {
+    Tensor value;
+    bool is_dead = false;
+  };
+  std::mutex mu_;
+  Status aborted_;
+  std::map<std::string, std::deque<Item>> ready_;
+  std::map<std::string, std::deque<DoneCallback>> waiting_;
+};
+
+}  // namespace tfrepro
+
+#endif  // TFREPRO_RUNTIME_RENDEZVOUS_H_

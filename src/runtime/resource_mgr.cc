@@ -1,0 +1,29 @@
+#include "runtime/resource_mgr.h"
+
+namespace tfrepro {
+
+Status ResourceMgr::Create(const std::string& name,
+                           std::shared_ptr<ResourceBase> resource) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = resources_.emplace(name, std::move(resource));
+  (void)it;
+  if (!inserted) {
+    return AlreadyExists("resource '" + name + "' already exists");
+  }
+  return Status::OK();
+}
+
+Status ResourceMgr::Delete(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (resources_.erase(name) == 0) {
+    return NotFound("resource '" + name + "' not found");
+  }
+  return Status::OK();
+}
+
+void ResourceMgr::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  resources_.clear();
+}
+
+}  // namespace tfrepro

@@ -1,0 +1,53 @@
+// ResourceMgr: named, ref-counted resources owned by a device. Stateful
+// kernels (queues, readers) publish their state here so that handle-consuming
+// ops (QueueEnqueue etc.) can find it by name.
+
+#ifndef TFREPRO_RUNTIME_RESOURCE_MGR_H_
+#define TFREPRO_RUNTIME_RESOURCE_MGR_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "core/status.h"
+
+namespace tfrepro {
+
+class ResourceBase {
+ public:
+  virtual ~ResourceBase() = default;
+  virtual std::string DebugString() const = 0;
+};
+
+class ResourceMgr {
+ public:
+  // Registers `resource` under `name`; rejects duplicates.
+  Status Create(const std::string& name, std::shared_ptr<ResourceBase> resource);
+
+  // Looks up a resource of type T; error if missing or wrong type.
+  template <typename T>
+  Result<std::shared_ptr<T>> Lookup(const std::string& name) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = resources_.find(name);
+    if (it == resources_.end()) {
+      return NotFound("resource '" + name + "' not found");
+    }
+    std::shared_ptr<T> typed = std::dynamic_pointer_cast<T>(it->second);
+    if (typed == nullptr) {
+      return InvalidArgument("resource '" + name + "' has unexpected type");
+    }
+    return typed;
+  }
+
+  Status Delete(const std::string& name);
+  void Clear();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::shared_ptr<ResourceBase>> resources_;
+};
+
+}  // namespace tfrepro
+
+#endif  // TFREPRO_RUNTIME_RESOURCE_MGR_H_

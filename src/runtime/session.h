@@ -1,0 +1,88 @@
+// DirectSession: single-process session running a dataflow graph across the
+// local devices (paper §3.2–§3.3). Each distinct (feeds, fetches, targets)
+// signature is pruned, optimized, placed, partitioned and compiled into
+// per-device executors exactly once, then cached — repeated steps reuse the
+// cached executors (the paper's low-latency repeated-subgraph execution).
+// Multiple Run() calls may execute concurrently and share stateful kernels.
+
+#ifndef TFREPRO_RUNTIME_SESSION_H_
+#define TFREPRO_RUNTIME_SESSION_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/status.h"
+#include "core/tensor.h"
+#include "core/threadpool.h"
+#include "graph/graph.h"
+#include "runtime/device.h"
+#include "runtime/executor.h"
+#include "runtime/graph_optimizer.h"
+
+namespace tfrepro {
+
+struct SessionOptions {
+  int num_threads = 4;
+  // Run static shape inference when compiling a step signature and fail
+  // fast on provable rank/dimension mismatches.
+  bool validate_shapes = true;
+  // Number of CPU devices to expose (multi-device placement and Send/Recv
+  // paths are exercised even on one machine).
+  int num_devices = 1;
+  std::string job_name = "localhost";
+  OptimizerOptions optimizer;
+};
+
+class DirectSession {
+ public:
+  // The session clones `graph`; the caller keeps ownership of the original.
+  static Result<std::unique_ptr<DirectSession>> Create(
+      const Graph& graph, const SessionOptions& options = SessionOptions());
+
+  ~DirectSession();
+
+  // Runs one step: feeds[i] supplies the tensor named feed_names[i], the
+  // fetched tensors are returned in `outputs` (same order as fetches).
+  Status Run(const std::vector<std::pair<std::string, Tensor>>& feeds,
+             const std::vector<std::string>& fetches,
+             const std::vector<std::string>& targets,
+             std::vector<Tensor>* outputs);
+
+  // Convenience: no feeds/targets.
+  Status Run(const std::vector<std::string>& fetches,
+             std::vector<Tensor>* outputs) {
+    return Run({}, fetches, {}, outputs);
+  }
+
+  DeviceMgr* device_mgr() { return &device_mgr_; }
+
+ private:
+  DirectSession(const Graph& graph, const SessionOptions& options);
+
+  struct ExecutorsAndGraphs {
+    std::map<std::string, std::unique_ptr<Graph>> partitions;
+    std::vector<std::pair<std::unique_ptr<Executor>, Device*>> executors;
+  };
+
+  Result<ExecutorsAndGraphs*> GetOrCreateExecutors(
+      const std::vector<std::string>& feed_names,
+      const std::vector<std::string>& fetches,
+      const std::vector<std::string>& targets);
+
+  SessionOptions options_;
+  std::string handle_;  // kernel segment key
+  ThreadPool pool_;
+  DeviceMgr device_mgr_;
+  std::unique_ptr<Graph> graph_;
+
+  std::mutex mu_;
+  std::map<std::string, std::unique_ptr<ExecutorsAndGraphs>> executor_cache_;
+  int64_t next_step_id_ = 1;
+};
+
+}  // namespace tfrepro
+
+#endif  // TFREPRO_RUNTIME_SESSION_H_

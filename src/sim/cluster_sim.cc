@@ -1,0 +1,225 @@
+#include "sim/cluster_sim.h"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+
+#include "sim/des.h"
+
+namespace tfrepro {
+namespace sim {
+
+double ClusterStats::Percentile(double p) const {
+  if (step_seconds.empty()) return 0;
+  std::vector<double> sorted = step_seconds;
+  std::sort(sorted.begin(), sorted.end());
+  double rank = p / 100.0 * (sorted.size() - 1);
+  size_t lo = static_cast<size_t>(rank);
+  size_t hi = std::min(lo + 1, sorted.size() - 1);
+  double frac = rank - lo;
+  return sorted[lo] * (1 - frac) + sorted[hi] * frac;
+}
+
+namespace {
+
+// The whole simulation state; drives worker state machines over the DES.
+class ClusterSimulation {
+ public:
+  ClusterSimulation(const ClusterConfig& config, int steps)
+      : config_(config),
+        steps_(steps),
+        net_(&sim_),
+        noise_(config.compute_median_seconds > 0
+                   ? config.compute_median_seconds
+                   : 1.0,
+               config.compute_sigma, config.seed),
+        straggler_noise_(1.0, 1.0, config.seed * 7919 + 13) {
+    for (int w = 0; w < config.num_workers; ++w) {
+      worker_task_.push_back(
+          net_.AddTask(config.worker_nic_bps, config.worker_nic_bps));
+    }
+    for (int p = 0; p < config.num_ps; ++p) {
+      ps_task_.push_back(net_.AddTask(config.ps_nic_bps, config.ps_nic_bps));
+      ps_service_.push_back(std::make_unique<ServiceQueue>(&sim_));
+    }
+  }
+
+  ClusterStats Run() {
+    bool sync = config_.mode == ClusterConfig::Mode::kSync;
+    for (int w = 0; w < config_.num_workers; ++w) {
+      worker_waiting_[w] = false;
+      worker_started_step_[w] = 1;
+      StartFetch(w, /*step_tag=*/0);
+    }
+    sim_.Run();
+    stats_.wall_seconds = finished_at_;
+    if (!stats_.step_seconds.empty() && stats_.wall_seconds > 0) {
+      double completed = sync ? static_cast<double>(stats_.step_seconds.size())
+                              : static_cast<double>(total_cycles_);
+      stats_.steps_per_second = completed / stats_.wall_seconds;
+    }
+    return stats_;
+  }
+
+ private:
+  // --- Worker state machine ---
+
+  void StartFetch(int w, int64_t step_tag) {
+    cycle_start_[w] = sim_.Now();
+    double per_ps = config_.fetch_bytes / config_.num_ps;
+    auto remaining = std::make_shared<int>(config_.num_ps);
+    for (int p = 0; p < config_.num_ps; ++p) {
+      // Request handled serially at the PS, then the shard streams back.
+      ps_service_[p]->Enqueue(
+          config_.ps_request_service_seconds,
+          [this, w, p, per_ps, remaining, step_tag]() {
+            net_.Transfer(ps_task_[p], worker_task_[w], per_ps,
+                          config_.wire_latency_seconds,
+                          [this, w, remaining, step_tag]() {
+                            if (--*remaining == 0) {
+                              StartCompute(w, step_tag);
+                            }
+                          });
+          });
+    }
+  }
+
+  void StartCompute(int w, int64_t step_tag) {
+    double compute = config_.compute_median_seconds > 0
+                         ? noise_.Sample()
+                         : 0.0;
+    if (config_.straggler_prob > 0 &&
+        straggler_noise_.SampleUniform() < config_.straggler_prob) {
+      compute *= config_.straggler_factor;
+    }
+    sim_.After(compute, [this, w, step_tag]() {
+      if (config_.ps_compute_seconds_per_step > 0) {
+        StartPsCompute(w, step_tag);
+      } else {
+        StartPush(w, step_tag);
+      }
+    });
+  }
+
+  // Offloaded (sharded-softmax-style) work: every PS runs its share for
+  // this worker's step, serialized with other requests at that task.
+  void StartPsCompute(int w, int64_t step_tag) {
+    double per_ps = config_.ps_compute_seconds_per_step / config_.num_ps;
+    auto remaining = std::make_shared<int>(config_.num_ps);
+    for (int p = 0; p < config_.num_ps; ++p) {
+      ps_service_[p]->Enqueue(per_ps, [this, w, remaining, step_tag]() {
+        if (--*remaining == 0) {
+          StartPush(w, step_tag);
+        }
+      });
+    }
+  }
+
+  void StartPush(int w, int64_t step_tag) {
+    double per_ps = config_.push_bytes / config_.num_ps;
+    auto remaining = std::make_shared<int>(config_.num_ps);
+    for (int p = 0; p < config_.num_ps; ++p) {
+      net_.Transfer(worker_task_[w], ps_task_[p], per_ps,
+                    config_.wire_latency_seconds,
+                    [this, w, p, remaining, step_tag]() {
+                      // Apply is serialized at the PS.
+                      ps_service_[p]->Enqueue(
+                          config_.ps_request_service_seconds,
+                          [this, w, remaining, step_tag]() {
+                            if (--*remaining == 0) {
+                              PushApplied(w, step_tag);
+                            }
+                          });
+                    });
+    }
+  }
+
+  void PushApplied(int w, int64_t step_tag) {
+    finished_at_ = sim_.Now();
+    if (config_.mode == ClusterConfig::Mode::kAsync) {
+      stats_.step_seconds.push_back(sim_.Now() - cycle_start_[w]);
+      ++total_cycles_;
+      if (++cycles_done_[w] < steps_) {
+        StartFetch(w, 0);
+      }
+      return;
+    }
+
+    // Synchronous: count only pushes for the current global step.
+    if (step_tag == current_step_) {
+      int required = config_.num_workers - config_.backup_workers;
+      if (++applied_this_step_ >= required && !step_released_) {
+        step_released_ = true;
+        double now = sim_.Now();
+        stats_.step_seconds.push_back(now - step_start_);
+        ReleaseNextStep(now);
+      }
+    }
+    // This worker may start its next step once the new version exists.
+    worker_waiting_[w] = true;
+    MaybeStartWorker(w);
+  }
+
+  void ReleaseNextStep(double now) {
+    ++current_step_;
+    if (current_step_ >= steps_) {
+      release_time_ = -1;  // no more steps
+      return;
+    }
+    applied_this_step_ = 0;
+    step_released_ = false;
+    step_start_ = now;
+    release_time_ = now;
+    for (int w = 0; w < config_.num_workers; ++w) {
+      MaybeStartWorker(w);
+    }
+  }
+
+  void MaybeStartWorker(int w) {
+    if (config_.mode != ClusterConfig::Mode::kSync) return;
+    if (!worker_waiting_[w]) return;
+    if (release_time_ < 0) return;  // simulation over
+    if (worker_started_step_[w] >= current_step_ + 1) return;
+    worker_waiting_[w] = false;
+    worker_started_step_[w] = current_step_ + 1;
+    int64_t tag = current_step_;
+    StartFetch(w, tag);
+  }
+
+  ClusterConfig config_;
+  int steps_;
+  Simulator sim_;
+  NetSim net_;
+  LogNormal noise_;
+  LogNormal straggler_noise_;  // used as a uniform-ish trigger stream
+
+  std::vector<int> worker_task_;
+  std::vector<int> ps_task_;
+  std::vector<std::unique_ptr<ServiceQueue>> ps_service_;
+
+  std::map<int, double> cycle_start_;
+  std::map<int, int> cycles_done_;
+  int64_t total_cycles_ = 0;
+
+  // Sync-mode state.
+  int64_t current_step_ = 0;
+  int applied_this_step_ = 0;
+  bool step_released_ = false;
+  double step_start_ = 0;
+  double release_time_ = 0;
+  std::map<int, bool> worker_waiting_;
+  std::map<int, int64_t> worker_started_step_;
+
+  ClusterStats stats_;
+  double finished_at_ = 0;
+};
+
+}  // namespace
+
+ClusterStats SimulateCluster(const ClusterConfig& config, int steps) {
+  ClusterSimulation simulation(config, steps);
+  return simulation.Run();
+}
+
+}  // namespace sim
+}  // namespace tfrepro

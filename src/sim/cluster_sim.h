@@ -1,0 +1,83 @@
+// Parameter-server training-cluster simulator (Figures 6-9). Replays the
+// coordination protocols of §4.4 — asynchronous, synchronous, synchronous
+// with backup workers — over the discrete-event network/service substrate:
+//
+//   worker cycle: fetch params from every PS (request service + transfer)
+//                 -> local compute (log-normal straggler noise)
+//                 -> optional PS-side offloaded compute (sharded softmax,
+//                    serialized per PS task — the §6.4 model parallelism)
+//                 -> push gradients to every PS (transfer + apply service)
+//
+//   async: each worker loops independently (Figure 4a);
+//   sync:  a step completes when the first m of n gradient pushes have been
+//          applied (m == n: Figure 4b; m < n: backup workers, Figure 4c);
+//          stale pushes still consume network and service capacity, which
+//          is why a 5th backup worker hurts (Figure 8).
+
+#ifndef TFREPRO_SIM_CLUSTER_SIM_H_
+#define TFREPRO_SIM_CLUSTER_SIM_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace tfrepro {
+namespace sim {
+
+struct ClusterConfig {
+  int num_workers = 1;
+  int num_ps = 16;
+
+  // NIC capacities (bytes/second) and wire latency. Calibrated in
+  // EXPERIMENTS.md against the §6.2 microbenchmark.
+  double worker_nic_bps = 1.37e9;
+  double ps_nic_bps = 2.0e9;
+  double wire_latency_seconds = 800e-6;
+
+  // Serialized per-request handling time at a PS task (fetch or push).
+  double ps_request_service_seconds = 40e-6;
+
+  // Bytes per step per worker, split evenly across PS tasks.
+  double fetch_bytes = 0;
+  double push_bytes = 0;
+
+  // Local compute per step: log-normal(median, sigma), plus a heavy-tail
+  // straggler mixture — with probability straggler_prob a step is slowed by
+  // straggler_factor (shared-cluster interference, GC-style pauses). The
+  // mixture is what makes a small number of backup workers so effective
+  // (Figure 8) and the sync tail so sharp (Figure 7c).
+  double compute_median_seconds = 0;
+  double compute_sigma = 0.1;
+  double straggler_prob = 0;
+  double straggler_factor = 3.0;
+
+  // Compute offloaded to the PS tasks per worker step (seconds of CPU work,
+  // split across PS tasks, serialized per task).
+  double ps_compute_seconds_per_step = 0;
+
+  enum class Mode { kAsync, kSync };
+  Mode mode = Mode::kAsync;
+  // Sync: aggregate the first (num_workers - backup_workers) pushes; the
+  // remaining pushes are stale and discarded (but still transmitted).
+  int backup_workers = 0;
+
+  uint64_t seed = 1;
+};
+
+struct ClusterStats {
+  // Async: every completed worker cycle; sync: every global step.
+  std::vector<double> step_seconds;
+  double wall_seconds = 0;
+  // Worker-steps per second (async) or global steps per second (sync).
+  double steps_per_second = 0;
+
+  double Median() const { return Percentile(50); }
+  double Percentile(double p) const;  // p in [0, 100]
+};
+
+// Runs `steps` per worker (async) or `steps` global steps (sync).
+ClusterStats SimulateCluster(const ClusterConfig& config, int steps);
+
+}  // namespace sim
+}  // namespace tfrepro
+
+#endif  // TFREPRO_SIM_CLUSTER_SIM_H_

@@ -1,0 +1,151 @@
+#include "sim/des.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+namespace tfrepro {
+namespace sim {
+
+void Simulator::At(double time, Callback cb) {
+  assert(time >= now_ - 1e-12);
+  queue_.push(Event{time, next_seq_++, std::move(cb)});
+}
+
+void Simulator::Run() {
+  while (!queue_.empty()) {
+    Event e = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    now_ = e.time;
+    e.cb();
+  }
+}
+
+void ServiceQueue::Enqueue(double service_seconds, Simulator::Callback done) {
+  jobs_.push(Job{service_seconds, std::move(done)});
+  if (!busy_) {
+    busy_ = true;
+    StartNext();
+  }
+}
+
+void ServiceQueue::StartNext() {
+  if (jobs_.empty()) {
+    busy_ = false;
+    return;
+  }
+  Job job = std::move(jobs_.front());
+  jobs_.pop();
+  sim_->After(job.service, [this, done = std::move(job.done)]() {
+    done();
+    StartNext();
+  });
+}
+
+int NetSim::AddTask(double tx_bytes_per_sec, double rx_bytes_per_sec) {
+  tasks_.push_back(Task{tx_bytes_per_sec, rx_bytes_per_sec});
+  return static_cast<int>(tasks_.size()) - 1;
+}
+
+void NetSim::Transfer(int src, int dst, double bytes, double latency,
+                      Simulator::Callback done) {
+  sim_->After(latency, [this, src, dst, bytes, done = std::move(done)]() {
+    StartFlow(src, dst, bytes, std::move(done));
+  });
+}
+
+void NetSim::StartFlow(int src, int dst, double bytes,
+                       Simulator::Callback done) {
+  if (bytes <= 0) {
+    done();
+    return;
+  }
+  int64_t id = next_flow_id_++;
+  Flow flow;
+  flow.src = src;
+  flow.dst = dst;
+  flow.bytes_left = bytes;
+  flow.done = std::move(done);
+  flows_[id] = std::move(flow);
+  ++tasks_[src].tx_flows;
+  ++tasks_[dst].rx_flows;
+  Reschedule();
+}
+
+void NetSim::Reschedule() {
+  double now = sim_->Now();
+  double elapsed = now - last_settle_;
+  last_settle_ = now;
+
+  // 1. Settle progress at the old rates and collect completed flows. The
+  // completion threshold is rate-relative: floating-point settling of a
+  // multi-megabyte flow leaves a residue far above any absolute epsilon,
+  // and a residue below one picosecond of transfer time would otherwise
+  // schedule a wake-up that rounds to the current timestamp (livelock).
+  std::vector<Simulator::Callback> finished;
+  for (auto it = flows_.begin(); it != flows_.end();) {
+    Flow& flow = it->second;
+    flow.bytes_left -= elapsed * flow.rate;
+    double threshold = std::max(1e-9, flow.rate * 1e-9);
+    if (flow.bytes_left <= threshold) {
+      --tasks_[flow.src].tx_flows;
+      --tasks_[flow.dst].rx_flows;
+      ++completed_;
+      finished.push_back(std::move(flow.done));
+      it = flows_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+
+  // 2. Recompute fair-share rates and the earliest completion.
+  double min_eta = std::numeric_limits<double>::infinity();
+  for (auto& [id, flow] : flows_) {
+    double tx_share =
+        tasks_[flow.src].tx_cap / std::max(1, tasks_[flow.src].tx_flows);
+    double rx_share =
+        tasks_[flow.dst].rx_cap / std::max(1, tasks_[flow.dst].rx_flows);
+    flow.rate = std::min(tx_share, rx_share);
+    if (flow.rate > 0) {
+      min_eta = std::min(min_eta, flow.bytes_left / flow.rate);
+    }
+  }
+
+  // 3. One wake-up at the next completion; stale wake-ups are ignored.
+  int64_t expected = ++epoch_;
+  if (min_eta < std::numeric_limits<double>::infinity()) {
+    sim_->After(min_eta, [this, expected]() {
+      if (epoch_ == expected) Reschedule();
+    });
+  }
+
+  // 4. Completion callbacks run after the new schedule is in place (they
+  // typically start follow-on work).
+  for (Simulator::Callback& done : finished) done();
+}
+
+LogNormal::LogNormal(double median, double sigma, uint64_t seed)
+    : mu_(std::log(median)), sigma_(sigma), state_(seed ^ 0x9E3779B97F4A7C15ULL) {
+  if (state_ == 0) state_ = 1;
+}
+
+double LogNormal::NextUniform() {
+  // xorshift64*.
+  state_ ^= state_ >> 12;
+  state_ ^= state_ << 25;
+  state_ ^= state_ >> 27;
+  uint64_t v = state_ * 0x2545F4914F6CDD1DULL;
+  return (v >> 11) * (1.0 / 9007199254740992.0);
+}
+
+double LogNormal::Sample() {
+  double u1 = NextUniform();
+  double u2 = NextUniform();
+  if (u1 < 1e-300) u1 = 1e-300;
+  double z = std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * M_PI * u2);
+  return std::exp(mu_ + sigma_ * z);
+}
+
+}  // namespace sim
+}  // namespace tfrepro

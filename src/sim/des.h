@@ -1,0 +1,135 @@
+// Discrete-event simulation substrate for the evaluation (DESIGN.md
+// substitution: a shared 100-GPU production cluster is replayed at virtual
+// time). Three pieces:
+//   Simulator    — virtual clock + event queue;
+//   ServiceQueue — a serial resource (e.g. a PS task's request-handling
+//                  thread); models the §6.2 synchronization overhead;
+//   NetSim       — tasks with NIC tx/rx capacities and fair-shared flows;
+//                  models PS network-interface contention (§6.3: "more
+//                  contention on the PS tasks, both at the network
+//                  interface and in the aggregation of updates").
+
+#ifndef TFREPRO_SIM_DES_H_
+#define TFREPRO_SIM_DES_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <queue>
+#include <vector>
+
+namespace tfrepro {
+namespace sim {
+
+class Simulator {
+ public:
+  using Callback = std::function<void()>;
+
+  double Now() const { return now_; }
+  void At(double time, Callback cb);
+  void After(double delay, Callback cb) { At(now_ + delay, std::move(cb)); }
+
+  // Runs until the event queue drains.
+  void Run();
+
+ private:
+  struct Event {
+    double time;
+    int64_t seq;
+    Callback cb;
+    bool operator>(const Event& o) const {
+      if (time != o.time) return time > o.time;
+      return seq > o.seq;
+    }
+  };
+  double now_ = 0;
+  int64_t next_seq_ = 0;
+  std::priority_queue<Event, std::vector<Event>, std::greater<Event>> queue_;
+};
+
+// A serial FIFO resource: jobs run one at a time.
+class ServiceQueue {
+ public:
+  ServiceQueue(Simulator* sim) : sim_(sim) {}
+
+  void Enqueue(double service_seconds, Simulator::Callback done);
+
+ private:
+  void StartNext();
+  struct Job {
+    double service;
+    Simulator::Callback done;
+  };
+  Simulator* sim_;
+  std::queue<Job> jobs_;
+  bool busy_ = false;
+};
+
+// Network of tasks with per-task tx/rx NIC capacities. Active flows share
+// each NIC equally (1/n processor sharing); a flow's rate is the minimum of
+// its shares at the sender and receiver. Rates are recomputed whenever a
+// flow starts or finishes.
+class NetSim {
+ public:
+  explicit NetSim(Simulator* sim) : sim_(sim) {}
+
+  // Returns the task id.
+  int AddTask(double tx_bytes_per_sec, double rx_bytes_per_sec);
+
+  // Starts a transfer of `bytes` from src to dst after `latency`; `done`
+  // fires when the last byte arrives.
+  void Transfer(int src, int dst, double bytes, double latency,
+                Simulator::Callback done);
+
+  int64_t completed_flows() const { return completed_; }
+
+ private:
+  struct Task {
+    double tx_cap;
+    double rx_cap;
+    int tx_flows = 0;
+    int rx_flows = 0;
+  };
+  struct Flow {
+    int src;
+    int dst;
+    double bytes_left;
+    double rate = 0;
+    Simulator::Callback done;
+  };
+
+  void StartFlow(int src, int dst, double bytes, Simulator::Callback done);
+  // Settles progress to Now(), completes finished flows, recomputes rates,
+  // and schedules one event at the next completion time.
+  void Reschedule();
+
+  Simulator* sim_;
+  std::vector<Task> tasks_;
+  std::map<int64_t, Flow> flows_;
+  double last_settle_ = 0;
+  int64_t epoch_ = 0;  // invalidates stale wake-up events
+  int64_t next_flow_id_ = 0;
+  int64_t completed_ = 0;
+};
+
+// Deterministic log-normal sampler for straggler noise: exp(mu + sigma*z)
+// where the median is exp(mu).
+class LogNormal {
+ public:
+  LogNormal(double median, double sigma, uint64_t seed);
+  double Sample();
+  // Uniform in [0,1) from the same deterministic stream (used for mixture
+  // triggers such as the straggler model).
+  double SampleUniform() { return NextUniform(); }
+
+ private:
+  double mu_;
+  double sigma_;
+  uint64_t state_;
+  double NextUniform();
+};
+
+}  // namespace sim
+}  // namespace tfrepro
+
+#endif  // TFREPRO_SIM_DES_H_

@@ -1,0 +1,59 @@
+#include "train/coordinator.h"
+
+namespace tfrepro {
+namespace train {
+
+void Coordinator::RequestStop(const Status& status) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (status_.ok() && !status.ok()) status_ = status;
+  }
+  stop_requested_.store(true);
+}
+
+void Coordinator::Join() {
+  std::vector<std::thread> threads;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    threads.swap(threads_);
+  }
+  for (std::thread& t : threads) {
+    if (t.joinable()) t.join();
+  }
+}
+
+void Coordinator::RegisterThread(std::thread thread) {
+  std::lock_guard<std::mutex> lock(mu_);
+  threads_.push_back(std::move(thread));
+}
+
+Status Coordinator::status() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return status_;
+}
+
+void QueueRunner::Start(DirectSession* session, Coordinator* coord,
+                        int num_threads) {
+  for (int i = 0; i < num_threads; ++i) {
+    coord->RegisterThread(std::thread([this, session, coord]() {
+      while (!coord->ShouldStop()) {
+        Status s = session->Run({}, {}, {enqueue_op_}, nullptr);
+        if (!s.ok()) {
+          if (s.code() == Code::kCancelled || s.code() == Code::kAborted ||
+              s.code() == Code::kOutOfRange) {
+            break;  // queue closed: clean shutdown
+          }
+          coord->RequestStop(s);
+          break;
+        }
+      }
+      if (!close_op_.empty()) {
+        // Best-effort close so consumers observe end-of-input.
+        (void)session->Run({}, {}, {close_op_}, nullptr);
+      }
+    }));
+  }
+}
+
+}  // namespace train
+}  // namespace tfrepro

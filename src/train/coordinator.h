@@ -1,0 +1,64 @@
+// Coordinator + QueueRunner: background threads that keep input queues full
+// (paper §3.2: "concurrent steps of the training subgraph" fed by
+// "concurrent preprocessing steps"). A Coordinator fans a stop request out
+// to every runner and joins them; queue closure propagates OutOfRange to
+// consumers, giving clean end-of-input shutdown.
+
+#ifndef TFREPRO_TRAIN_COORDINATOR_H_
+#define TFREPRO_TRAIN_COORDINATOR_H_
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/status.h"
+#include "runtime/session.h"
+
+namespace tfrepro {
+namespace train {
+
+class Coordinator {
+ public:
+  // Signals all participants to stop; the first non-OK status is kept.
+  void RequestStop(const Status& status = Status::OK());
+  bool ShouldStop() const { return stop_requested_.load(); }
+
+  // Blocks until every registered thread finishes.
+  void Join();
+
+  void RegisterThread(std::thread thread);
+
+  Status status() const;
+
+ private:
+  std::atomic<bool> stop_requested_{false};
+  mutable std::mutex mu_;
+  Status status_;
+  std::vector<std::thread> threads_;
+};
+
+class QueueRunner {
+ public:
+  // `enqueue_op`: the node name of a QueueEnqueue(Many) op to run
+  // repeatedly; `close_op`: node name of a QueueClose op to run on stop
+  // (may be empty).
+  QueueRunner(std::string enqueue_op, std::string close_op = "")
+      : enqueue_op_(std::move(enqueue_op)), close_op_(std::move(close_op)) {}
+
+  // Spawns `num_threads` threads running the enqueue op until the
+  // coordinator stops or the op fails. Cancelled/Aborted (queue closed) are
+  // clean shutdown, not errors.
+  void Start(DirectSession* session, Coordinator* coord, int num_threads = 1);
+
+ private:
+  std::string enqueue_op_;
+  std::string close_op_;
+};
+
+}  // namespace train
+}  // namespace tfrepro
+
+#endif  // TFREPRO_TRAIN_COORDINATOR_H_

@@ -1,0 +1,28 @@
+#include "train/device_setter.h"
+
+#include <algorithm>
+
+namespace tfrepro {
+namespace train {
+
+std::string ReplicaDeviceSetter::NextPsDevice(int64_t bytes) {
+  int task;
+  switch (strategy_) {
+    case Strategy::kLeastLoaded: {
+      task = static_cast<int>(
+          std::min_element(ps_bytes_.begin(), ps_bytes_.end()) -
+          ps_bytes_.begin());
+      break;
+    }
+    case Strategy::kRoundRobin:
+    default:
+      task = next_;
+      next_ = (next_ + 1) % num_ps_;
+      break;
+  }
+  ps_bytes_[task] += bytes;
+  return "/job:" + ps_job_ + "/task:" + std::to_string(task);
+}
+
+}  // namespace train
+}  // namespace tfrepro

@@ -1,0 +1,54 @@
+// Replica device setter (paper §3.3: "a typical training application will
+// use client-side programming constructs to add constraints such that, for
+// example, parameters are distributed among a set of 'PS' tasks"). Assigns
+// parameter (stateful) nodes round-robin — or proportionally to their size
+// — across PS tasks, and everything else to the worker task.
+
+#ifndef TFREPRO_TRAIN_DEVICE_SETTER_H_
+#define TFREPRO_TRAIN_DEVICE_SETTER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace tfrepro {
+namespace train {
+
+class ReplicaDeviceSetter {
+ public:
+  enum class Strategy {
+    kRoundRobin,      // next PS task per variable
+    kLeastLoaded,     // PS task currently holding the fewest bytes
+  };
+
+  ReplicaDeviceSetter(int num_ps_tasks, std::string worker_device,
+                      Strategy strategy = Strategy::kRoundRobin,
+                      std::string ps_job = "ps")
+      : num_ps_(num_ps_tasks),
+        worker_device_(std::move(worker_device)),
+        strategy_(strategy),
+        ps_job_(std::move(ps_job)),
+        ps_bytes_(num_ps_tasks, 0) {}
+
+  // The device for the next parameter of `bytes` size.
+  std::string NextPsDevice(int64_t bytes = 0);
+
+  // The device for compute nodes.
+  const std::string& worker_device() const { return worker_device_; }
+
+  // Bytes assigned per PS task so far.
+  const std::vector<int64_t>& ps_bytes() const { return ps_bytes_; }
+
+ private:
+  int num_ps_;
+  std::string worker_device_;
+  Strategy strategy_;
+  std::string ps_job_;
+  int next_ = 0;
+  std::vector<int64_t> ps_bytes_;
+};
+
+}  // namespace train
+}  // namespace tfrepro
+
+#endif  // TFREPRO_TRAIN_DEVICE_SETTER_H_

@@ -1,0 +1,245 @@
+#include "train/optimizer.h"
+
+#include "autodiff/gradients.h"
+
+namespace tfrepro {
+namespace train {
+
+Result<std::vector<GradAndVar>> Optimizer::ComputeGradients(
+    GraphBuilder* b, Output loss, const std::vector<Output>& vars) {
+  std::vector<Output> grads;
+  TF_RETURN_IF_ERROR(AddGradients(b, {loss}, vars, {}, &grads));
+  std::vector<GradAndVar> result;
+  for (size_t i = 0; i < vars.size(); ++i) {
+    if (!grads[i].valid()) {
+      return InvalidArgument("variable '" + vars[i].node->name() +
+                             "' does not influence the loss");
+    }
+    result.push_back(GradAndVar{grads[i], vars[i]});
+  }
+  return result;
+}
+
+Result<Node*> Optimizer::ApplyGradients(
+    GraphBuilder* b, const std::vector<GradAndVar>& grads_and_vars,
+    const std::string& name) {
+  std::vector<Output> updates;
+  for (const GradAndVar& gv : grads_and_vars) {
+    Output update = ApplyDense(b, gv.var, gv.grad);
+    if (!update.valid()) {
+      TF_RETURN_IF_ERROR(b->status());
+      return Internal("optimizer produced no update op");
+    }
+    // Updates mutate the variable's buffer, so they run where the variable
+    // lives (on its PS task, §4.1) — the gradient arrives over Send/Recv.
+    update.node->set_requested_device(gv.var.node->requested_device());
+    updates.push_back(update);
+  }
+  Node* group = ops::Group(b, updates, name);
+  TF_RETURN_IF_ERROR(b->status());
+  // Adam-style optimizers need per-step bookkeeping after all updates.
+  if (auto* adam = dynamic_cast<AdamOptimizer*>(this)) {
+    return adam->FinishApply(b, group);
+  }
+  return group;
+}
+
+Result<Node*> Optimizer::Minimize(GraphBuilder* b, Output loss,
+                                  const std::vector<Output>& vars,
+                                  const std::string& name) {
+  Result<std::vector<GradAndVar>> grads = ComputeGradients(b, loss, vars);
+  TF_RETURN_IF_ERROR(grads.status());
+  return ApplyGradients(b, grads.value(), name);
+}
+
+Output Optimizer::CreateSlot(GraphBuilder* b, Output var,
+                             const std::string& slot_name) {
+  const TensorShape& shape = var.node->GetAttr("shape").shape();
+  DataType dtype = var.node->GetAttr("dtype").type();
+  Output slot =
+      ops::Variable(b, dtype, shape, var.node->name() + "/" + slot_name);
+  // Colocate the slot with its variable (they are updated together on the
+  // PS task, paper §4.1).
+  if (slot.valid()) {
+    slot.node->set_requested_device(var.node->requested_device());
+  }
+  // Zero initializer.
+  Tensor zero_scalar(dtype, TensorShape());
+  Output dims = ops::ConstVecI32(
+      b, [&shape]() {
+        std::vector<int32_t> d;
+        for (int i = 0; i < shape.rank(); ++i) {
+          d.push_back(static_cast<int32_t>(shape.dim(i)));
+        }
+        return d;
+      }());
+  Output zeros = ops::Fill(b, dims, ops::Const(b, zero_scalar));
+  Output init = ops::Assign(b, slot, zeros);
+  if (init.valid()) {
+    init.node->set_requested_device(var.node->requested_device());
+    init_ops_.push_back(init.node);
+  }
+  return slot;
+}
+
+Output GradientDescentOptimizer::ApplyDense(GraphBuilder* b, Output var,
+                                            Output grad) {
+  return b->Op("ApplyGradientDescent")
+      .Input(var)
+      .Input(ops::Const(b, learning_rate_))
+      .Input(grad)
+      .Attr("T", BaseType(var.dtype()))
+      .Finalize();
+}
+
+Output ComposedGradientDescentOptimizer::ApplyDense(GraphBuilder* b,
+                                                    Output var, Output grad) {
+  // The §4.1 parameter-server formulation: W -= alpha * dL/dW, written with
+  // ordinary primitive operations.
+  Output scaled = ops::Mul(b, grad, ops::Const(b, learning_rate_));
+  return ops::AssignSub(b, var, scaled);
+}
+
+Output MomentumOptimizer::ApplyDense(GraphBuilder* b, Output var,
+                                     Output grad) {
+  Output accum = CreateSlot(b, var, "momentum");
+  return b->Op("ApplyMomentum")
+      .Input(var)
+      .Input(accum)
+      .Input(ops::Const(b, learning_rate_))
+      .Input(grad)
+      .Input(ops::Const(b, momentum_))
+      .Attr("T", BaseType(var.dtype()))
+      .Finalize();
+}
+
+Output AdagradOptimizer::ApplyDense(GraphBuilder* b, Output var, Output grad) {
+  Output accum = CreateSlot(b, var, "adagrad");
+  // Re-initialize the slot to the configured starting value (replaces the
+  // zero initializer; init steps must not depend on gradient computation,
+  // so the shape comes from the variable's static attrs).
+  if (!init_ops_.empty() && initial_accumulator_ != 0.0f) {
+    const TensorShape& shape = var.node->GetAttr("shape").shape();
+    std::vector<int32_t> dims_vec;
+    for (int i = 0; i < shape.rank(); ++i) {
+      dims_vec.push_back(static_cast<int32_t>(shape.dim(i)));
+    }
+    Output filled = ops::Fill(b, ops::ConstVecI32(b, dims_vec),
+                              ops::Const(b, initial_accumulator_));
+    Output init2 = b->Op("Assign")
+                       .Input(accum)
+                       .Input(filled)
+                       .Attr("T", BaseType(var.dtype()))
+                       .ControlInput(init_ops_.back())
+                       .Finalize();
+    if (init2.valid()) {
+      init2.node->set_requested_device(var.node->requested_device());
+      init_ops_.back() = init2.node;
+    }
+  }
+  return b->Op("ApplyAdagrad")
+      .Input(var)
+      .Input(accum)
+      .Input(ops::Const(b, learning_rate_))
+      .Input(grad)
+      .Attr("T", BaseType(var.dtype()))
+      .Finalize();
+}
+
+Output AdadeltaOptimizer::ApplyDense(GraphBuilder* b, Output var,
+                                     Output grad) {
+  Output accum = CreateSlot(b, var, "adadelta_accum");
+  Output accum_update = CreateSlot(b, var, "adadelta_update");
+  return b->Op("ApplyAdadelta")
+      .Input(var)
+      .Input(accum)
+      .Input(accum_update)
+      .Input(ops::Const(b, learning_rate_))
+      .Input(ops::Const(b, rho_))
+      .Input(ops::Const(b, epsilon_))
+      .Input(grad)
+      .Attr("T", BaseType(var.dtype()))
+      .Finalize();
+}
+
+Output RMSPropOptimizer::ApplyDense(GraphBuilder* b, Output var, Output grad) {
+  Output ms = CreateSlot(b, var, "rms");
+  Output mom = CreateSlot(b, var, "rms_momentum");
+  return b->Op("ApplyRMSProp")
+      .Input(var)
+      .Input(ms)
+      .Input(mom)
+      .Input(ops::Const(b, learning_rate_))
+      .Input(ops::Const(b, decay_))
+      .Input(ops::Const(b, momentum_))
+      .Input(ops::Const(b, epsilon_))
+      .Input(grad)
+      .Attr("T", BaseType(var.dtype()))
+      .Finalize();
+}
+
+void AdamOptimizer::EnsurePowers(GraphBuilder* b) {
+  if (beta1_power_.valid()) return;
+  beta1_power_ = ops::Variable(b, DataType::kFloat, TensorShape(),
+                               b->graph()->NewName("adam_beta1_power"));
+  beta2_power_ = ops::Variable(b, DataType::kFloat, TensorShape(),
+                               b->graph()->NewName("adam_beta2_power"));
+  Output i1 = ops::Assign(b, beta1_power_, ops::Const(b, beta1_));
+  Output i2 = ops::Assign(b, beta2_power_, ops::Const(b, beta2_));
+  if (i1.valid()) init_ops_.push_back(i1.node);
+  if (i2.valid()) init_ops_.push_back(i2.node);
+}
+
+Output AdamOptimizer::ApplyDense(GraphBuilder* b, Output var, Output grad) {
+  EnsurePowers(b);
+  Output m = CreateSlot(b, var, "adam_m");
+  Output v = CreateSlot(b, var, "adam_v");
+  return b->Op("ApplyAdam")
+      .Input(var)
+      .Input(m)
+      .Input(v)
+      .Input(beta1_power_)
+      .Input(beta2_power_)
+      .Input(ops::Const(b, learning_rate_))
+      .Input(ops::Const(b, beta1_))
+      .Input(ops::Const(b, beta2_))
+      .Input(ops::Const(b, epsilon_))
+      .Input(grad)
+      .Attr("T", BaseType(var.dtype()))
+      .Finalize();
+}
+
+Result<Node*> AdamOptimizer::FinishApply(GraphBuilder* b, Node* group) {
+  // After all variable updates: beta powers *= beta (ordered by a control
+  // edge on the update group so updates see this step's powers).
+  Output p1 = b->Op("Assign")
+                  .Input(beta1_power_)
+                  .Input(ops::Mul(b, beta1_power_, ops::Const(b, beta1_)))
+                  .Attr("T", DataType::kFloat)
+                  .ControlInput(group)
+                  .Finalize();
+  Output p2 = b->Op("Assign")
+                  .Input(beta2_power_)
+                  .Input(ops::Mul(b, beta2_power_, ops::Const(b, beta2_)))
+                  .Attr("T", DataType::kFloat)
+                  .ControlInput(group)
+                  .Finalize();
+  Node* outer = ops::Group(b, {p1, p2}, "");
+  TF_RETURN_IF_ERROR(b->status());
+  return outer;
+}
+
+Node* BuildInitOp(GraphBuilder* b, const std::vector<Output>& assign_ops,
+                  const std::vector<Optimizer*>& optimizers,
+                  const std::string& name) {
+  std::vector<Output> deps = assign_ops;
+  for (Optimizer* opt : optimizers) {
+    for (Node* n : opt->init_ops()) {
+      deps.emplace_back(n, 0);
+    }
+  }
+  return ops::Group(b, deps, name);
+}
+
+}  // namespace train
+}  // namespace tfrepro

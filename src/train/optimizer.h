@@ -1,0 +1,191 @@
+// Optimizers (paper §4.1): each training algorithm is user-level code that
+// composes Variable state, autodiff, and either primitive math ops or the
+// fused Apply* kernels — "without needing to modify the underlying system".
+//
+// Every optimizer follows the same protocol:
+//   ComputeGradients -> (optionally transform) -> ApplyGradients
+// Minimize() is the fused convenience path. Slot variables (momentum
+// accumulators etc.) are created on demand; their zero-initializers are
+// collected in init_ops() and must run (once) before training.
+
+#ifndef TFREPRO_TRAIN_OPTIMIZER_H_
+#define TFREPRO_TRAIN_OPTIMIZER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "graph/graph_builder.h"
+#include "graph/ops.h"
+
+namespace tfrepro {
+namespace train {
+
+struct GradAndVar {
+  Output grad;
+  Output var;
+};
+
+class Optimizer {
+ public:
+  virtual ~Optimizer() = default;
+
+  // Builds gradient nodes d(loss)/d(var) for each var.
+  Result<std::vector<GradAndVar>> ComputeGradients(
+      GraphBuilder* b, Output loss, const std::vector<Output>& vars);
+
+  // Builds the update ops; returns a NoOp group node to use as the step's
+  // run target.
+  Result<Node*> ApplyGradients(GraphBuilder* b,
+                               const std::vector<GradAndVar>& grads_and_vars,
+                               const std::string& name = "");
+
+  // ComputeGradients + ApplyGradients.
+  Result<Node*> Minimize(GraphBuilder* b, Output loss,
+                         const std::vector<Output>& vars,
+                         const std::string& name = "");
+
+  // Slot-initialization ops accumulated so far; run them with the variable
+  // initializers.
+  const std::vector<Node*>& init_ops() const { return init_ops_; }
+
+ protected:
+  // Emits the update for one (var, grad) pair; returns an op whose
+  // completion signifies the update happened.
+  virtual Output ApplyDense(GraphBuilder* b, Output var, Output grad) = 0;
+
+  // Creates a zero-initialized slot variable shaped like `var`.
+  Output CreateSlot(GraphBuilder* b, Output var, const std::string& slot_name);
+
+  std::vector<Node*> init_ops_;
+};
+
+// SGD via the fused ApplyGradientDescent kernel.
+class GradientDescentOptimizer : public Optimizer {
+ public:
+  explicit GradientDescentOptimizer(float learning_rate)
+      : learning_rate_(learning_rate) {}
+
+ protected:
+  Output ApplyDense(GraphBuilder* b, Output var, Output grad) override;
+
+ private:
+  float learning_rate_;
+};
+
+// SGD composed purely from primitive ops (AssignSub(var, lr * grad)) — the
+// parameter-server "-=" formulation of §4.1. Numerically identical to the
+// fused kernel; exists to demonstrate (and ablate) the user-level path.
+class ComposedGradientDescentOptimizer : public Optimizer {
+ public:
+  explicit ComposedGradientDescentOptimizer(float learning_rate)
+      : learning_rate_(learning_rate) {}
+
+ protected:
+  Output ApplyDense(GraphBuilder* b, Output var, Output grad) override;
+
+ private:
+  float learning_rate_;
+};
+
+class MomentumOptimizer : public Optimizer {
+ public:
+  MomentumOptimizer(float learning_rate, float momentum)
+      : learning_rate_(learning_rate), momentum_(momentum) {}
+
+ protected:
+  Output ApplyDense(GraphBuilder* b, Output var, Output grad) override;
+
+ private:
+  float learning_rate_;
+  float momentum_;
+};
+
+class AdagradOptimizer : public Optimizer {
+ public:
+  explicit AdagradOptimizer(float learning_rate,
+                            float initial_accumulator = 0.1f)
+      : learning_rate_(learning_rate),
+        initial_accumulator_(initial_accumulator) {}
+
+ protected:
+  Output ApplyDense(GraphBuilder* b, Output var, Output grad) override;
+
+ private:
+  float learning_rate_;
+  float initial_accumulator_;
+};
+
+class AdadeltaOptimizer : public Optimizer {
+ public:
+  explicit AdadeltaOptimizer(float learning_rate = 1.0f, float rho = 0.95f,
+                             float epsilon = 1e-6f)
+      : learning_rate_(learning_rate), rho_(rho), epsilon_(epsilon) {}
+
+ protected:
+  Output ApplyDense(GraphBuilder* b, Output var, Output grad) override;
+
+ private:
+  float learning_rate_;
+  float rho_;
+  float epsilon_;
+};
+
+class RMSPropOptimizer : public Optimizer {
+ public:
+  explicit RMSPropOptimizer(float learning_rate, float decay = 0.9f,
+                            float momentum = 0.0f, float epsilon = 1e-10f)
+      : learning_rate_(learning_rate),
+        decay_(decay),
+        momentum_(momentum),
+        epsilon_(epsilon) {}
+
+ protected:
+  Output ApplyDense(GraphBuilder* b, Output var, Output grad) override;
+
+ private:
+  float learning_rate_;
+  float decay_;
+  float momentum_;
+  float epsilon_;
+};
+
+class AdamOptimizer : public Optimizer {
+ public:
+  explicit AdamOptimizer(float learning_rate = 0.001f, float beta1 = 0.9f,
+                         float beta2 = 0.999f, float epsilon = 1e-8f)
+      : learning_rate_(learning_rate),
+        beta1_(beta1),
+        beta2_(beta2),
+        epsilon_(epsilon) {}
+
+ protected:
+  Output ApplyDense(GraphBuilder* b, Output var, Output grad) override;
+
+ private:
+  // Shared beta-power accumulators, created lazily with the first slot.
+  void EnsurePowers(GraphBuilder* b);
+  Output beta1_power_;
+  Output beta2_power_;
+  std::vector<Output> power_updates_pending_;
+  float learning_rate_;
+  float beta1_;
+  float beta2_;
+  float epsilon_;
+
+ public:
+  // Adam must decay the beta powers once per step; ApplyGradients handles
+  // this via this hook.
+  Result<Node*> FinishApply(GraphBuilder* b, Node* group);
+};
+
+// Builds a NoOp group running the Assign initializers of `vars` to their
+// `inits`, plus all optimizer slot initializers.
+Node* BuildInitOp(GraphBuilder* b, const std::vector<Output>& assign_ops,
+                  const std::vector<Optimizer*>& optimizers,
+                  const std::string& name = "init");
+
+}  // namespace train
+}  // namespace tfrepro
+
+#endif  // TFREPRO_TRAIN_OPTIMIZER_H_

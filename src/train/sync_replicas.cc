@@ -1,0 +1,108 @@
+#include "train/sync_replicas.h"
+
+namespace tfrepro {
+namespace train {
+
+SyncReplicas::SyncReplicas(GraphBuilder* b, Optimizer* optimizer,
+                           int num_workers, int num_required)
+    : b_(b),
+      optimizer_(optimizer),
+      num_workers_(num_workers),
+      num_required_(num_required) {
+  // All coordination queues (and the ops touching their ref handles) live
+  // on one task — the device active when the SyncReplicas is constructed.
+  coordination_device_ = b->default_device();
+  token_queue_ =
+      ops::FIFOQueue(b, {DataType::kInt32}, /*capacity=*/-1,
+                     b->graph()->NewName("sync_token_queue"));
+  if (token_queue_.valid()) {
+    token_queue_.node->set_requested_device(coordination_device_);
+  }
+  // Seed: one token per worker so the first step can proceed.
+  Tensor seed(DataType::kInt32, TensorShape({num_workers}));
+  Node* seed_enqueue = ops::QueueEnqueueMany(
+      b, token_queue_, {ops::Const(b, seed)});
+  if (seed_enqueue != nullptr) {
+    seed_enqueue->set_requested_device(coordination_device_);
+  }
+  token_seed_op_ = seed_enqueue;
+}
+
+Result<Node*> SyncReplicas::AddWorkerStep(
+    const std::vector<GradAndVar>& grads_and_vars) {
+  if (grad_queues_.empty()) {
+    for (const GradAndVar& gv : grads_and_vars) {
+      vars_.push_back(gv.var);
+      Output queue = ops::FIFOQueue(
+          b_, {BaseType(gv.grad.dtype())}, /*capacity=*/-1,
+          b_->graph()->NewName("sync_grad_queue"));
+      if (queue.valid()) {
+        queue.node->set_requested_device(coordination_device_);
+      }
+      grad_queues_.push_back(queue);
+    }
+  } else if (grads_and_vars.size() != grad_queues_.size()) {
+    return InvalidArgument("all worker replicas must provide gradients for "
+                           "the same variables");
+  }
+
+  // Enqueue each gradient, then dequeue one token (gated on the enqueues so
+  // the token wait happens after this worker contributed).
+  std::vector<Output> enqueues;
+  for (size_t i = 0; i < grads_and_vars.size(); ++i) {
+    Node* enq = ops::QueueEnqueue(b_, grad_queues_[i],
+                                  {grads_and_vars[i].grad});
+    if (enq != nullptr) {
+      enq->set_requested_device(coordination_device_);
+      enqueues.emplace_back(enq, 0);
+    }
+  }
+  Node* contributed = ops::Group(b_, enqueues, "");
+  NodeBuilder token_dq = b_->Op("QueueDequeue");
+  token_dq.Input(token_queue_)
+      .Attr("component_types", DataTypeVector{DataType::kInt32})
+      .ControlInput(contributed);
+  Node* token = token_dq.FinalizeNode();
+  if (token != nullptr) token->set_requested_device(coordination_device_);
+  TF_RETURN_IF_ERROR(b_->status());
+  ++workers_added_;
+  return token;
+}
+
+Result<Node*> SyncReplicas::BuildChiefUpdate() {
+  if (grad_queues_.empty()) {
+    return FailedPrecondition("AddWorkerStep must be called first");
+  }
+  // Dequeue the first m gradient sets per variable, average, apply
+  // (Figure 4b/4c: the aggregation takes the first m of n updates).
+  std::vector<GradAndVar> averaged;
+  Output m = ops::Const(b_, static_cast<int32_t>(num_required_));
+  for (size_t i = 0; i < grad_queues_.size(); ++i) {
+    std::vector<Output> batch = ops::QueueDequeueMany(
+        b_, grad_queues_[i], m, {BaseType(vars_[i].dtype())});
+    if (batch[0].valid()) {
+      batch[0].node->set_requested_device(coordination_device_);
+    }
+    Output mean = ops::Mean(b_, batch[0], ops::ConstVecI32(b_, {0}));
+    averaged.push_back(GradAndVar{mean, vars_[i]});
+  }
+  Result<Node*> apply = optimizer_->ApplyGradients(b_, averaged);
+  TF_RETURN_IF_ERROR(apply.status());
+
+  // Release one token per worker, after the update is applied.
+  Tensor tokens(DataType::kInt32, TensorShape({num_workers_}));
+  NodeBuilder release = b_->Op("QueueEnqueueMany");
+  release.Input(token_queue_)
+      .Input(ops::Const(b_, tokens))
+      .Attr("Tcomponents", DataTypeVector{DataType::kInt32})
+      .ControlInput(apply.value());
+  Node* release_node = release.FinalizeNode();
+  if (release_node != nullptr) {
+    release_node->set_requested_device(coordination_device_);
+  }
+  TF_RETURN_IF_ERROR(b_->status());
+  return release_node;
+}
+
+}  // namespace train
+}  // namespace tfrepro

@@ -1,0 +1,71 @@
+// Synchronous replica coordination built from queues (paper §4.4,
+// Figure 4): "a blocking queue acts as a barrier to ensure that all workers
+// read the same parameter version, and a second queue accumulates multiple
+// gradient updates in order to apply them atomically."
+//
+// Shapes provided here:
+//   * per-variable gradient queues where every worker replica enqueues its
+//     gradients;
+//   * a chief update step that dequeues the first m of n gradient sets
+//     (m == n: plain synchronous, Figure 4b; m < n: synchronous with
+//     n - m backup workers, Figure 4c), averages them, applies the update,
+//     then releases one token per worker;
+//   * a token queue each worker blocks on before its next step, so all
+//     workers read the same parameter version.
+//
+// With backup workers the n-m late gradients stay queued and are consumed
+// by the next chief step; the production system drops them by tagging each
+// gradient with its step. The staleness effect on throughput is what the
+// cluster simulator (src/sim) measures for Figure 8.
+
+#ifndef TFREPRO_TRAIN_SYNC_REPLICAS_H_
+#define TFREPRO_TRAIN_SYNC_REPLICAS_H_
+
+#include <string>
+#include <vector>
+
+#include "graph/graph_builder.h"
+#include "graph/ops.h"
+#include "train/optimizer.h"
+
+namespace tfrepro {
+namespace train {
+
+class SyncReplicas {
+ public:
+  // `num_workers` = n replicas; `num_required` = m gradient sets to
+  // aggregate per update (m <= n; n - m backup workers).
+  SyncReplicas(GraphBuilder* b, Optimizer* optimizer, int num_workers,
+               int num_required);
+
+  // Builds the per-worker step: enqueue this replica's gradients, then
+  // block on the token queue. Returns the node to use as the worker's run
+  // target. Call once per worker replica, with that replica's gradients
+  // (the vars must be the same across replicas, in the same order).
+  Result<Node*> AddWorkerStep(const std::vector<GradAndVar>& grads_and_vars);
+
+  // Builds the chief aggregation/update step; call after all AddWorkerStep
+  // calls. Returns the chief's run target.
+  Result<Node*> BuildChiefUpdate();
+
+  // Pre-loads the token queue so workers can run their first step; run this
+  // once after variable initialization.
+  Node* token_seed_op() const { return token_seed_op_; }
+
+ private:
+  GraphBuilder* b_;
+  Optimizer* optimizer_;
+  int num_workers_;
+  int num_required_;
+  std::vector<Output> grad_queues_;  // one per variable
+  std::vector<Output> vars_;
+  Output token_queue_;
+  std::string coordination_device_;
+  Node* token_seed_op_ = nullptr;
+  int workers_added_ = 0;
+};
+
+}  // namespace train
+}  // namespace tfrepro
+
+#endif  // TFREPRO_TRAIN_SYNC_REPLICAS_H_

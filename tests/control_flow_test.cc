@@ -1,0 +1,328 @@
+// Dedicated tests for dynamic control flow (§3.4): the Cond/WhileLoop
+// builders, nested loops, loops inside untaken branches (whole-frame dead
+// propagation), multiple loop variables, loop invariants, and concurrent
+// steps over the same loop graph.
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "graph/control_flow_builder.h"
+#include "graph/ops.h"
+#include "runtime/control_flow_info.h"
+#include "runtime/session.h"
+
+namespace tfrepro {
+namespace {
+
+using ops::Const;
+
+float RunScalar(DirectSession* sess,
+                const std::vector<std::pair<std::string, Tensor>>& feeds,
+                const Output& fetch) {
+  std::vector<Tensor> out;
+  TF_CHECK_OK(sess->Run(feeds, {fetch.name()}, {}, &out));
+  return *out[0].data<float>();
+}
+
+TEST(CondBuilderTest, OnlyTakenBranchExecutes) {
+  Graph g;
+  GraphBuilder b(&g);
+  Output pred = ops::Placeholder(&b, DataType::kBool, TensorShape(), "pred");
+  Output x = ops::Placeholder(&b, DataType::kFloat, TensorShape(), "x");
+  Result<std::vector<Output>> results = ops::Cond(
+      &b, pred, {x},
+      [](GraphBuilder* b, const std::vector<Output>& in) {
+        return std::vector<Output>{ops::Mul(b, in[0], Const(b, 2.0f))};
+      },
+      [](GraphBuilder* b, const std::vector<Output>& in) {
+        return std::vector<Output>{ops::Neg(b, in[0])};
+      });
+  ASSERT_TRUE(results.ok()) << results.status();
+  ASSERT_TRUE(b.ok()) << b.status();
+  auto session = DirectSession::Create(g);
+  EXPECT_FLOAT_EQ(RunScalar(session.value().get(),
+                            {{"pred", Tensor::Scalar(true)},
+                             {"x", Tensor::Scalar(7.0f)}},
+                            results.value()[0]),
+                  14.0f);
+  EXPECT_FLOAT_EQ(RunScalar(session.value().get(),
+                            {{"pred", Tensor::Scalar(false)},
+                             {"x", Tensor::Scalar(7.0f)}},
+                            results.value()[0]),
+                  -7.0f);
+}
+
+TEST(CondBuilderTest, MultipleOutputs) {
+  Graph g;
+  GraphBuilder b(&g);
+  Output pred = ops::Placeholder(&b, DataType::kBool, TensorShape(), "pred");
+  Output x = Const(&b, 3.0f);
+  Result<std::vector<Output>> results = ops::Cond(
+      &b, pred, {x},
+      [](GraphBuilder* b, const std::vector<Output>& in) {
+        return std::vector<Output>{ops::Add(b, in[0], Const(b, 1.0f)),
+                                   ops::Add(b, in[0], Const(b, 2.0f))};
+      },
+      [](GraphBuilder* b, const std::vector<Output>& in) {
+        return std::vector<Output>{in[0], in[0]};
+      });
+  ASSERT_TRUE(results.ok());
+  auto session = DirectSession::Create(g);
+  std::vector<Tensor> out;
+  TF_CHECK_OK(session.value()->Run(
+      {{"pred", Tensor::Scalar(true)}},
+      {results.value()[0].name(), results.value()[1].name()}, {}, &out));
+  EXPECT_FLOAT_EQ(*out[0].data<float>(), 4.0f);
+  EXPECT_FLOAT_EQ(*out[1].data<float>(), 5.0f);
+}
+
+TEST(CondBuilderTest, MismatchedAritiesRejected) {
+  Graph g;
+  GraphBuilder b(&g);
+  Output pred = Const(&b, Tensor::Scalar(true));
+  Output x = Const(&b, 1.0f);
+  Result<std::vector<Output>> results = ops::Cond(
+      &b, pred, {x},
+      [](GraphBuilder* b, const std::vector<Output>& in) {
+        return std::vector<Output>{in[0], in[0]};
+      },
+      [](GraphBuilder* b, const std::vector<Output>& in) {
+        return std::vector<Output>{in[0]};
+      });
+  EXPECT_FALSE(results.ok());
+}
+
+TEST(WhileLoopBuilderTest, CountsToLimit) {
+  Graph g;
+  GraphBuilder b(&g);
+  Output start = ops::Placeholder(&b, DataType::kFloat, TensorShape(), "x");
+  Result<std::vector<Output>> exits = ops::WhileLoop(
+      &b, {start},
+      [](GraphBuilder* b, const std::vector<Output>& v) {
+        return ops::Less(b, v[0], Const(b, 10.0f));
+      },
+      [](GraphBuilder* b, const std::vector<Output>& v) {
+        return std::vector<Output>{ops::Add(b, v[0], Const(b, 3.0f))};
+      });
+  ASSERT_TRUE(exits.ok()) << exits.status();
+  ASSERT_TRUE(b.ok()) << b.status();
+  auto session = DirectSession::Create(g);
+  // 0 -> 3 -> 6 -> 9 -> 12.
+  EXPECT_FLOAT_EQ(RunScalar(session.value().get(),
+                            {{"x", Tensor::Scalar(0.0f)}},
+                            exits.value()[0]),
+                  12.0f);
+  // Body never runs when the condition is initially false.
+  EXPECT_FLOAT_EQ(RunScalar(session.value().get(),
+                            {{"x", Tensor::Scalar(50.0f)}},
+                            exits.value()[0]),
+                  50.0f);
+}
+
+TEST(WhileLoopBuilderTest, TwoLoopVariables) {
+  // (i, sum): while i < 5 { sum += i; i += 1 } => sum = 0+1+2+3+4 = 10.
+  Graph g;
+  GraphBuilder b(&g);
+  Result<std::vector<Output>> exits = ops::WhileLoop(
+      &b, {Const(&b, 0.0f), Const(&b, 0.0f)},
+      [](GraphBuilder* b, const std::vector<Output>& v) {
+        return ops::Less(b, v[0], Const(b, 5.0f));
+      },
+      [](GraphBuilder* b, const std::vector<Output>& v) {
+        return std::vector<Output>{ops::Add(b, v[0], Const(b, 1.0f)),
+                                   ops::Add(b, v[1], v[0])};
+      });
+  ASSERT_TRUE(exits.ok()) << exits.status();
+  auto session = DirectSession::Create(g);
+  std::vector<Tensor> out;
+  TF_CHECK_OK(session.value()->Run(
+      {exits.value()[0].name(), exits.value()[1].name()}, &out));
+  EXPECT_FLOAT_EQ(*out[0].data<float>(), 5.0f);
+  EXPECT_FLOAT_EQ(*out[1].data<float>(), 10.0f);
+}
+
+TEST(WhileLoopBuilderTest, LoopInvariantsViaConstantEnter) {
+  // while v < limit { v *= factor }, limit/factor as invariants.
+  Graph g;
+  GraphBuilder b(&g);
+  Output limit = ops::Placeholder(&b, DataType::kFloat, TensorShape(), "lim");
+  Output factor = Const(&b, 3.0f);
+  Result<std::vector<Output>> exits = ops::WhileLoop(
+      &b, {Const(&b, 1.0f)},
+      [](GraphBuilder* b, const std::vector<Output>& v) {
+        return ops::Less(b, v[0], v[1]);  // v[1] == limit invariant
+      },
+      [](GraphBuilder* b, const std::vector<Output>& v) {
+        return std::vector<Output>{ops::Mul(b, v[0], v[2])};  // v[2] == factor
+      },
+      {limit, factor});
+  ASSERT_TRUE(exits.ok()) << exits.status();
+  auto session = DirectSession::Create(g);
+  // 1 -> 3 -> 9 -> 27 (first >= 20).
+  EXPECT_FLOAT_EQ(RunScalar(session.value().get(),
+                            {{"lim", Tensor::Scalar(20.0f)}},
+                            exits.value()[0]),
+                  27.0f);
+}
+
+TEST(WhileLoopBuilderTest, NestedLoops) {
+  // outer: for i in 0..3 { inner: j = i; while j < 4 { j += 1 }; acc += j }
+  // Every inner loop exits at j == 4, so acc == 12 after 3 outer trips.
+  Graph g;
+  GraphBuilder b(&g);
+  Result<std::vector<Output>> exits = ops::WhileLoop(
+      &b, {Const(&b, 0.0f), Const(&b, 0.0f)},  // (i, acc)
+      [](GraphBuilder* b, const std::vector<Output>& v) {
+        return ops::Less(b, v[0], Const(b, 3.0f));
+      },
+      [](GraphBuilder* b, const std::vector<Output>& v) {
+        Result<std::vector<Output>> inner = ops::WhileLoop(
+            b, {v[0]},
+            [](GraphBuilder* b, const std::vector<Output>& w) {
+              return ops::Less(b, w[0], Const(b, 4.0f));
+            },
+            [](GraphBuilder* b, const std::vector<Output>& w) {
+              return std::vector<Output>{ops::Add(b, w[0], Const(b, 1.0f))};
+            });
+        TF_CHECK_OK(inner.status());
+        return std::vector<Output>{ops::Add(b, v[0], Const(b, 1.0f)),
+                                   ops::Add(b, v[1], inner.value()[0])};
+      });
+  ASSERT_TRUE(exits.ok()) << exits.status();
+  ASSERT_TRUE(b.ok()) << b.status();
+  auto session = DirectSession::Create(g);
+  std::vector<Tensor> out;
+  Status s = session.value()->Run({exits.value()[1].name()}, &out);
+  ASSERT_TRUE(s.ok()) << s;
+  EXPECT_FLOAT_EQ(*out[0].data<float>(), 12.0f);
+}
+
+TEST(WhileLoopBuilderTest, LoopInsideUntakenBranchIsDead) {
+  // A conditional whose false branch contains a whole loop: fetching the
+  // merged result with pred=true must work (the loop's frame goes dead and
+  // its Exit propagates deadness; §3.4 + DESIGN.md §5.10).
+  Graph g;
+  GraphBuilder b(&g);
+  Output pred = ops::Placeholder(&b, DataType::kBool, TensorShape(), "pred");
+  Output x = Const(&b, 2.0f);
+  Result<std::vector<Output>> results = ops::Cond(
+      &b, pred, {x},
+      [](GraphBuilder* b, const std::vector<Output>& in) {
+        return std::vector<Output>{ops::Mul(b, in[0], Const(b, 100.0f))};
+      },
+      [](GraphBuilder* b, const std::vector<Output>& in) {
+        Result<std::vector<Output>> loop = ops::WhileLoop(
+            b, {in[0]},
+            [](GraphBuilder* b, const std::vector<Output>& v) {
+              return ops::Less(b, v[0], Const(b, 10.0f));
+            },
+            [](GraphBuilder* b, const std::vector<Output>& v) {
+              return std::vector<Output>{ops::Add(b, v[0], Const(b, 1.0f))};
+            });
+        TF_CHECK_OK(loop.status());
+        return loop.value();
+      });
+  ASSERT_TRUE(results.ok()) << results.status();
+  auto session = DirectSession::Create(g);
+  EXPECT_FLOAT_EQ(RunScalar(session.value().get(),
+                            {{"pred", Tensor::Scalar(true)}},
+                            results.value()[0]),
+                  200.0f);
+  EXPECT_FLOAT_EQ(RunScalar(session.value().get(),
+                            {{"pred", Tensor::Scalar(false)}},
+                            results.value()[0]),
+                  10.0f);
+}
+
+TEST(WhileLoopBuilderTest, LongLoopDoesNotOverflowStack) {
+  Graph g;
+  GraphBuilder b(&g);
+  Result<std::vector<Output>> exits = ops::WhileLoop(
+      &b, {Const(&b, 0.0f)},
+      [](GraphBuilder* b, const std::vector<Output>& v) {
+        return ops::Less(b, v[0], Const(b, 20000.0f));
+      },
+      [](GraphBuilder* b, const std::vector<Output>& v) {
+        return std::vector<Output>{ops::Add(b, v[0], Const(b, 1.0f))};
+      });
+  ASSERT_TRUE(exits.ok());
+  auto session = DirectSession::Create(g);
+  std::vector<Tensor> out;
+  ASSERT_TRUE(session.value()->Run({exits.value()[0].name()}, &out).ok());
+  EXPECT_FLOAT_EQ(*out[0].data<float>(), 20000.0f);
+}
+
+TEST(WhileLoopBuilderTest, ConcurrentStepsOnOneLoopGraph) {
+  Graph g;
+  GraphBuilder b(&g);
+  Output start = ops::Placeholder(&b, DataType::kFloat, TensorShape(), "x");
+  Result<std::vector<Output>> exits = ops::WhileLoop(
+      &b, {start},
+      [](GraphBuilder* b, const std::vector<Output>& v) {
+        return ops::Less(b, v[0], Const(b, 64.0f));
+      },
+      [](GraphBuilder* b, const std::vector<Output>& v) {
+        return std::vector<Output>{ops::Mul(b, v[0], Const(b, 2.0f))};
+      });
+  ASSERT_TRUE(exits.ok());
+  auto session = DirectSession::Create(g);
+  DirectSession* sess = session.value().get();
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&, t]() {
+      float seed = 1.0f + t;  // 1,2,3,4 all double to >= 64
+      std::vector<Tensor> out;
+      TF_CHECK_OK(sess->Run({{"x", Tensor::Scalar(seed)}},
+                            {exits.value()[0].name()}, {}, &out));
+      float v = *out[0].data<float>();
+      EXPECT_GE(v, 64.0f);
+      EXPECT_LT(v, 128.0f);
+    });
+  }
+  for (auto& t : threads) t.join();
+}
+
+TEST(ControlFlowInfoTest, FrameAssignment) {
+  Graph g;
+  GraphBuilder b(&g);
+  Output x = Const(&b, 1.0f);
+  Result<std::vector<Output>> exits = ops::WhileLoop(
+      &b, {x},
+      [](GraphBuilder* b, const std::vector<Output>& v) {
+        return ops::Less(b, v[0], Const(b, 5.0f));
+      },
+      [](GraphBuilder* b, const std::vector<Output>& v) {
+        return std::vector<Output>{ops::Add(b, v[0], Const(b, 1.0f))};
+      },
+      {}, "myframe");
+  ASSERT_TRUE(exits.ok());
+  ControlFlowInfo info;
+  ASSERT_TRUE(BuildControlFlowInfo(g, &info).ok());
+  // The const feeding Enter is in the root frame; the merge is in the loop
+  // frame; the exit is back in the root frame.
+  EXPECT_EQ(info.frame_name[x.node->id()], "");
+  Node* exit_node = exits.value()[0].node;
+  EXPECT_EQ(info.frame_name[exit_node->id()], "");
+  for (Node* n : g.nodes()) {
+    if (n->IsMerge()) {
+      EXPECT_EQ(info.frame_name[n->id()], "myframe");
+    }
+  }
+}
+
+TEST(ControlFlowInfoTest, RejectsMixedFrameInputs) {
+  Graph g;
+  GraphBuilder b(&g);
+  Output x = Const(&b, 1.0f);
+  Output entered = ops::Enter(&b, x, "frame_a");
+  // Add directly consuming both a frame_a value and a root value.
+  Output bad = ops::Add(&b, entered, x);
+  ASSERT_TRUE(b.ok());
+  (void)bad;
+  ControlFlowInfo info;
+  EXPECT_FALSE(BuildControlFlowInfo(g, &info).ok());
+}
+
+}  // namespace
+}  // namespace tfrepro

@@ -1,0 +1,408 @@
+// Tests for the in-process distributed runtime: placement onto PS/worker
+// tasks, cross-task Send/Recv, parameter-server-style training, async and
+// network-model behaviour.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <fstream>
+#include <thread>
+
+#include "distributed/master.h"
+#include "graph/ops.h"
+#include "nn/embedding.h"
+#include "nn/layers.h"
+#include "train/optimizer.h"
+#include "train/saver.h"
+
+namespace tfrepro {
+namespace {
+
+using distributed::ClusterSpec;
+using distributed::InProcessCluster;
+using distributed::MasterSession;
+using ops::Const;
+
+ClusterSpec PsWorkerSpec(int ps, int workers) {
+  ClusterSpec spec;
+  spec.jobs["ps"] = ps;
+  spec.jobs["worker"] = workers;
+  return spec;
+}
+
+TEST(ClusterTest, CreateAndLookup) {
+  auto cluster = InProcessCluster::Create(PsWorkerSpec(2, 3));
+  ASSERT_TRUE(cluster.ok()) << cluster.status();
+  EXPECT_EQ(cluster.value()->workers().size(), 5u);
+  EXPECT_EQ(cluster.value()->all_devices().size(), 5u);
+  auto w = cluster.value()->worker("ps", 1);
+  ASSERT_TRUE(w.ok());
+  EXPECT_EQ(w.value()->task_name(), "/job:ps/task:1");
+  EXPECT_FALSE(cluster.value()->worker("ps", 7).ok());
+  EXPECT_FALSE(cluster.value()->worker("gpujob", 0).ok());
+}
+
+TEST(ClusterTest, RejectsEmptySpec) {
+  EXPECT_FALSE(InProcessCluster::Create(ClusterSpec{}).ok());
+}
+
+TEST(MasterSessionTest, CrossTaskComputation) {
+  auto cluster = InProcessCluster::Create(PsWorkerSpec(1, 1));
+  ASSERT_TRUE(cluster.ok());
+
+  Graph g;
+  GraphBuilder b(&g);
+  Output on_ps;
+  {
+    GraphBuilder::DeviceScope scope(&b, "/job:ps/task:0");
+    on_ps = ops::Mul(&b, Const(&b, 6.0f), Const(&b, 7.0f));
+  }
+  Output on_worker;
+  {
+    GraphBuilder::DeviceScope scope(&b, "/job:worker/task:0");
+    on_worker = ops::Add(&b, on_ps, Const(&b, 0.5f));
+  }
+  ASSERT_TRUE(b.ok()) << b.status();
+
+  auto session = MasterSession::Create(g, cluster.value().get());
+  ASSERT_TRUE(session.ok()) << session.status();
+  std::vector<Tensor> out;
+  Status s = session.value()->Run({on_worker.name()}, &out);
+  ASSERT_TRUE(s.ok()) << s;
+  EXPECT_FLOAT_EQ(*out[0].data<float>(), 42.5f);
+}
+
+TEST(MasterSessionTest, ParameterServerTraining) {
+  // The canonical PS architecture (§3.3): parameters on /job:ps, compute on
+  // /job:worker; gradients flow back over Send/Recv.
+  auto cluster = InProcessCluster::Create(PsWorkerSpec(1, 1));
+  ASSERT_TRUE(cluster.ok());
+
+  Graph g;
+  GraphBuilder b(&g);
+  Output w;
+  Output init;
+  {
+    GraphBuilder::DeviceScope scope(&b, "/job:ps/task:0");
+    w = ops::Variable(&b, DataType::kFloat, TensorShape({2}), "w");
+    init = ops::Assign(&b, w, Const(&b, Tensor::Vec<float>({4, -4})));
+  }
+  Output loss;
+  Result<Node*> train_op = Internal("unset");
+  train::GradientDescentOptimizer opt(0.25f);
+  {
+    GraphBuilder::DeviceScope scope(&b, "/job:worker/task:0");
+    loss = ops::SumAll(&b, ops::Square(&b, w));
+    train_op = opt.Minimize(&b, loss, {w}, "train");
+  }
+  ASSERT_TRUE(train_op.ok()) << train_op.status();
+  ASSERT_TRUE(b.ok()) << b.status();
+
+  auto session = MasterSession::Create(g, cluster.value().get());
+  ASSERT_TRUE(session.ok());
+  TF_CHECK_OK(session.value()->Run({}, {}, {init.node->name()}, nullptr));
+  for (int i = 0; i < 30; ++i) {
+    TF_CHECK_OK(
+        session.value()->Run({}, {}, {train_op.value()->name()}, nullptr));
+  }
+  std::vector<Tensor> out;
+  TF_CHECK_OK(session.value()->Run({loss.name()}, &out));
+  EXPECT_LT(*out[0].data<float>(), 1e-4f);
+}
+
+TEST(MasterSessionTest, ShardedParametersAcrossPsTasks) {
+  // Two PS shards; the worker sums reads from both (the Figure 3 layout).
+  auto cluster = InProcessCluster::Create(PsWorkerSpec(2, 1));
+  ASSERT_TRUE(cluster.ok());
+
+  Graph g;
+  GraphBuilder b(&g);
+  std::vector<Output> shards;
+  std::vector<Output> inits;
+  for (int s = 0; s < 2; ++s) {
+    GraphBuilder::DeviceScope scope(&b, "/job:ps/task:" + std::to_string(s));
+    Output v = ops::Variable(&b, DataType::kFloat, TensorShape({2}),
+                             "shard" + std::to_string(s));
+    shards.push_back(v);
+    inits.push_back(ops::Assign(
+        &b, v,
+        Const(&b, Tensor::Vec<float>({float(s * 10 + 1), float(s * 10 + 2)}))));
+  }
+  Output total;
+  {
+    GraphBuilder::DeviceScope scope(&b, "/job:worker/task:0");
+    total = ops::SumAll(&b, ops::Concat(&b, 0, {ops::Identity(&b, shards[0]),
+                                                ops::Identity(&b, shards[1])}));
+  }
+  Node* init_all = ops::Group(&b, inits, "init");
+  ASSERT_TRUE(b.ok()) << b.status();
+
+  auto session = MasterSession::Create(g, cluster.value().get());
+  TF_CHECK_OK(session.value()->Run({}, {}, {init_all->name()}, nullptr));
+  std::vector<Tensor> out;
+  TF_CHECK_OK(session.value()->Run({total.name()}, &out));
+  EXPECT_FLOAT_EQ(*out[0].data<float>(), 1 + 2 + 11 + 12);
+}
+
+TEST(MasterSessionTest, AsynchronousDataParallelWorkers) {
+  // Two workers run AssignAdd concurrently against one PS variable — the
+  // asynchronous scheme of Figure 4(a). All updates must land.
+  auto cluster = InProcessCluster::Create(PsWorkerSpec(1, 2));
+  ASSERT_TRUE(cluster.ok());
+
+  Graph g;
+  GraphBuilder b(&g);
+  Output v;
+  Output init;
+  {
+    GraphBuilder::DeviceScope scope(&b, "/job:ps/task:0");
+    v = ops::Variable(&b, DataType::kFloat, TensorShape(), "v");
+    init = ops::Assign(&b, v, Const(&b, 0.0f));
+  }
+  std::vector<Node*> bumps;
+  for (int wk = 0; wk < 2; ++wk) {
+    // Per-worker "gradient" computed on the worker; the mutating update op
+    // runs where the variable lives (its PS task).
+    Output grad;
+    {
+      GraphBuilder::DeviceScope scope(&b, "/job:worker/task:" +
+                                              std::to_string(wk));
+      grad = ops::Mul(&b, Const(&b, 1.0f), Const(&b, 1.0f));
+    }
+    Output apply = ops::AssignAdd(&b, v, grad);
+    apply.node->set_requested_device("/job:ps/task:0");
+    bumps.push_back(ops::Group(&b, {apply}, "bump" + std::to_string(wk)));
+  }
+  ASSERT_TRUE(b.ok()) << b.status();
+
+  auto session = MasterSession::Create(g, cluster.value().get());
+  MasterSession* sess = session.value().get();
+  TF_CHECK_OK(sess->Run({}, {}, {init.node->name()}, nullptr));
+
+  constexpr int kSteps = 20;
+  std::vector<std::thread> threads;
+  for (int wk = 0; wk < 2; ++wk) {
+    threads.emplace_back([&, wk]() {
+      for (int i = 0; i < kSteps; ++i) {
+        TF_CHECK_OK(sess->Run({}, {}, {bumps[wk]->name()}, nullptr));
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  std::vector<Tensor> out;
+  TF_CHECK_OK(sess->Run({"v:0"}, &out));
+  EXPECT_FLOAT_EQ(*out[0].data<float>(), 2 * kSteps);
+}
+
+TEST(MasterSessionTest, NetworkModelDelaysCrossTaskTransfers) {
+  auto cluster = InProcessCluster::Create(PsWorkerSpec(1, 1));
+  ASSERT_TRUE(cluster.ok());
+
+  Graph g;
+  GraphBuilder b(&g);
+  Output x;
+  {
+    GraphBuilder::DeviceScope scope(&b, "/job:ps/task:0");
+    // A fed placeholder cannot be constant-folded away, so the cross-task
+    // transfer happens at run time.
+    x = ops::Placeholder(&b, DataType::kFloat, TensorShape(), "x");
+  }
+  Output y;
+  {
+    GraphBuilder::DeviceScope scope(&b, "/job:worker/task:0");
+    y = ops::Square(&b, x);
+  }
+  ASSERT_TRUE(b.ok());
+
+  MasterSession::Options options;
+  options.use_network_model = true;
+  options.network.latency_seconds = 0.05;
+  auto session = MasterSession::Create(g, cluster.value().get(), options);
+  std::vector<Tensor> out;
+  auto start = std::chrono::steady_clock::now();
+  TF_CHECK_OK(session.value()->Run({{"x", Tensor::Scalar(2.0f)}}, {y.name()},
+                                   {}, &out));
+  auto elapsed = std::chrono::duration<double>(
+                     std::chrono::steady_clock::now() - start)
+                     .count();
+  EXPECT_FLOAT_EQ(*out[0].data<float>(), 4.0f);
+  EXPECT_GE(elapsed, 0.05);  // the cross-task hop paid the wire latency
+}
+
+TEST(MasterSessionTest, MissingDeviceConstraintFails) {
+  auto cluster = InProcessCluster::Create(PsWorkerSpec(1, 1));
+  Graph g;
+  GraphBuilder b(&g);
+  Output x;
+  {
+    GraphBuilder::DeviceScope scope(&b, "/job:gpuworker/task:0");
+    x = Const(&b, 1.0f);
+  }
+  ASSERT_TRUE(b.ok());
+  auto session = MasterSession::Create(g, cluster.value().get());
+  std::vector<Tensor> out;
+  EXPECT_FALSE(session.value()->Run({x.name()}, &out).ok());
+}
+
+TEST(MasterSessionTest, StatefulKernelsSharedAcrossStepSignatures) {
+  // Different fetch signatures compile different subgraphs, but the
+  // variable state must be shared between them.
+  auto cluster = InProcessCluster::Create(PsWorkerSpec(1, 1));
+  Graph g;
+  GraphBuilder b(&g);
+  Output v;
+  Output init;
+  Output bump;
+  {
+    GraphBuilder::DeviceScope scope(&b, "/job:ps/task:0");
+    v = ops::Variable(&b, DataType::kFloat, TensorShape(), "v");
+    init = ops::Assign(&b, v, Const(&b, 5.0f));
+    bump = ops::AssignAdd(&b, v, Const(&b, 1.0f));
+  }
+  Output read;
+  {
+    GraphBuilder::DeviceScope scope(&b, "/job:worker/task:0");
+    read = ops::Identity(&b, v);
+  }
+  ASSERT_TRUE(b.ok());
+  auto session = MasterSession::Create(g, cluster.value().get());
+  TF_CHECK_OK(session.value()->Run({}, {}, {init.node->name()}, nullptr));
+  TF_CHECK_OK(session.value()->Run({}, {}, {bump.node->name()}, nullptr));
+  std::vector<Tensor> out;
+  TF_CHECK_OK(session.value()->Run({read.name()}, &out));
+  EXPECT_FLOAT_EQ(*out[0].data<float>(), 6.0f);
+}
+
+TEST(MasterSessionTest, ShardedEmbeddingAcrossPsTasksTrains) {
+  // Figure 3 end to end, distributed: embedding shards on two PS tasks,
+  // Gather colocated with each shard, DynamicStitch on the worker, dense
+  // gradients flowing back over Send/Recv.
+  auto cluster = InProcessCluster::Create(PsWorkerSpec(2, 1));
+  ASSERT_TRUE(cluster.ok());
+
+  Graph g;
+  GraphBuilder b(&g);
+  nn::VariableStore store(&b);
+  nn::ShardedEmbedding emb(&store, "emb", /*vocab=*/8, /*dim=*/2,
+                           /*num_shards=*/2, [](int shard) {
+                             return "/job:ps/task:" + std::to_string(shard);
+                           });
+  // Check shard placement requests took effect.
+  EXPECT_EQ(emb.shards()[0].node->requested_device(), "/job:ps/task:0");
+  EXPECT_EQ(emb.shards()[1].node->requested_device(), "/job:ps/task:1");
+
+  Output indices;
+  Output loss;
+  Result<Node*> train_op = Internal("unset");
+  train::GradientDescentOptimizer opt(1.0f);
+  {
+    GraphBuilder::DeviceScope scope(&b, "/job:worker/task:0");
+    indices = ops::Const(&b, Tensor::Vec<int32_t>({1, 4, 6}));
+    Output target = ops::Const(
+        &b, Tensor::FromVector<float>({1, 0, 0, 1, -1, -1},
+                                      TensorShape({3, 2})));
+    Output looked_up = emb.Lookup(indices);
+    loss = ops::MeanAll(
+        &b, ops::Square(&b, ops::Sub(&b, looked_up, target)));
+    train_op = opt.Minimize(&b, loss, emb.shards(), "train");
+  }
+  ASSERT_TRUE(train_op.ok()) << train_op.status();
+  Node* init = store.BuildInitOp("init");
+  ASSERT_TRUE(b.ok()) << b.status();
+
+  auto session = MasterSession::Create(g, cluster.value().get());
+  ASSERT_TRUE(session.ok()) << session.status();
+  TF_CHECK_OK(session.value()->Run({}, {}, {init->name()}, nullptr));
+  for (int i = 0; i < 60; ++i) {
+    TF_CHECK_OK(
+        session.value()->Run({}, {}, {train_op.value()->name()}, nullptr));
+  }
+  std::vector<Tensor> out;
+  TF_CHECK_OK(session.value()->Run({loss.name()}, &out));
+  EXPECT_LT(*out[0].data<float>(), 1e-3f);
+}
+
+TEST(ThrottledRendezvousTest, BandwidthModelDelaysBySize) {
+  ThreadPool pool("timer", 2);
+  distributed::NetworkModel model;
+  model.latency_seconds = 0.0;
+  model.bytes_per_second = 1e6;  // 1 MB/s
+  distributed::ThrottledRendezvous rendezvous(model, &pool);
+
+  // Cross-task key: 100 KB should take ~0.1 s.
+  Tensor big(DataType::kFloat, TensorShape({25000}));  // 100 KB
+  std::string key = RendezvousKey("/job:a/task:0/device:CPU:0",
+                                  "/job:b/task:0/device:CPU:0", "t", 0);
+  auto start = std::chrono::steady_clock::now();
+  TF_CHECK_OK(rendezvous.Send(key, big, false));
+  Tensor received;
+  bool is_dead;
+  TF_CHECK_OK(rendezvous.Recv(key, &received, &is_dead));
+  double elapsed = std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - start)
+                       .count();
+  EXPECT_GE(elapsed, 0.09);
+
+  // Same-task transfers are not throttled.
+  std::string local_key = RendezvousKey("/job:a/task:0/device:CPU:0",
+                                        "/job:a/task:0/device:CPU:1", "t", 0);
+  start = std::chrono::steady_clock::now();
+  TF_CHECK_OK(rendezvous.Send(local_key, big, false));
+  TF_CHECK_OK(rendezvous.Recv(local_key, &received, &is_dead));
+  elapsed = std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                          start)
+                .count();
+  EXPECT_LT(elapsed, 0.05);
+}
+
+
+TEST(MasterSessionTest, PerTaskSaverRoundTrip) {
+  // §4.3: one Save operation per task. Two PS tasks -> two task groups,
+  // each writing its own checkpoint file; restore reassembles both.
+  auto cluster = InProcessCluster::Create(PsWorkerSpec(2, 1));
+  ASSERT_TRUE(cluster.ok());
+
+  Graph g;
+  GraphBuilder b(&g);
+  std::vector<Output> vars;
+  std::vector<Output> inits;
+  for (int s = 0; s < 2; ++s) {
+    GraphBuilder::DeviceScope scope(&b, "/job:ps/task:" + std::to_string(s));
+    Output v = ops::Variable(&b, DataType::kFloat, TensorShape({2}),
+                             "pvar" + std::to_string(s));
+    vars.push_back(v);
+    inits.push_back(ops::Assign(
+        &b, v, Const(&b, Tensor::Vec<float>({float(s + 1), float(s + 2)}))));
+  }
+  train::Saver saver(&b, vars);
+  EXPECT_EQ(saver.num_task_groups(), 2);
+  Node* init = ops::Group(&b, inits, "init");
+  Output clobber =
+      ops::Assign(&b, vars[0], Const(&b, Tensor::Vec<float>({9, 9})));
+  ASSERT_TRUE(b.ok()) << b.status();
+
+  auto session = MasterSession::Create(g, cluster.value().get());
+  ASSERT_TRUE(session.ok());
+  MasterSession* sess = session.value().get();
+  TF_CHECK_OK(sess->Run({}, {}, {init->name()}, nullptr));
+  std::string prefix = ::testing::TempDir() + "/per_task_ckpt";
+  Result<std::string> base = saver.Save(sess, prefix, 7);
+  ASSERT_TRUE(base.ok()) << base.status();
+  // Two per-task files exist.
+  EXPECT_TRUE(std::ifstream(base.value() + "@0").good());
+  EXPECT_TRUE(std::ifstream(base.value() + "@1").good());
+
+  TF_CHECK_OK(sess->Run({}, {}, {clobber.node->name()}, nullptr));
+  TF_CHECK_OK(saver.Restore(sess, base.value()));
+  std::vector<Tensor> out;
+  TF_CHECK_OK(sess->Run({"pvar0:0", "pvar1:0"}, &out));
+  EXPECT_FLOAT_EQ(out[0].flat<float>(0), 1.0f);
+  EXPECT_FLOAT_EQ(out[1].flat<float>(1), 3.0f);
+
+  Result<std::string> latest = train::Saver::LatestCheckpoint(prefix);
+  ASSERT_TRUE(latest.ok()) << latest.status();
+  EXPECT_NE(latest.value().find("per_task_ckpt-7"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace tfrepro

@@ -1,0 +1,301 @@
+#include "graph/graph.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/graph_builder.h"
+#include "graph/op_registry.h"
+
+namespace tfrepro {
+namespace {
+
+Node* MustAdd(Graph* g, NodeDef def) {
+  Result<Node*> n = g->AddNode(std::move(def));
+  TF_CHECK_OK(n.status());
+  return n.value();
+}
+
+NodeDef ConstDef(const std::string& name, Tensor value) {
+  NodeDef def;
+  def.name = name;
+  def.op = "Const";
+  def.attrs["dtype"] = AttrValue(value.dtype());
+  def.attrs["value"] = AttrValue(std::move(value));
+  return def;
+}
+
+TEST(OpRegistryTest, StandardOpsRegistered) {
+  OpRegistry* reg = OpRegistry::Global();
+  EXPECT_NE(reg->LookUp("MatMul"), nullptr);
+  EXPECT_NE(reg->LookUp("Const"), nullptr);
+  EXPECT_NE(reg->LookUp("Variable"), nullptr);
+  EXPECT_NE(reg->LookUp("Switch"), nullptr);
+  EXPECT_NE(reg->LookUp("QueueDequeueMany"), nullptr);
+  EXPECT_EQ(reg->LookUp("NoSuchOp"), nullptr);
+  EXPECT_GT(reg->num_ops(), 100);
+}
+
+TEST(OpRegistryTest, LookUpOrErrorReportsMissing) {
+  Result<const OpDef*> r = OpRegistry::Global()->LookUpOrError("Bogus");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), Code::kNotFound);
+}
+
+TEST(OpDefTest, AttrDefaultsParsed) {
+  const OpDef* matmul = OpRegistry::Global()->LookUp("MatMul");
+  ASSERT_NE(matmul, nullptr);
+  const AttrDef* ta = matmul->FindAttr("transpose_a");
+  ASSERT_NE(ta, nullptr);
+  EXPECT_TRUE(ta->has_default);
+  EXPECT_FALSE(ta->default_value.b());
+}
+
+TEST(OpDefTest, StatefulFlag) {
+  EXPECT_TRUE(OpRegistry::Global()->LookUp("Variable")->is_stateful());
+  EXPECT_FALSE(OpRegistry::Global()->LookUp("Add")->is_stateful());
+}
+
+TEST(OpDefTest, VariadicTypesResolve) {
+  const OpDef* addn = OpRegistry::Global()->LookUp("AddN");
+  ASSERT_NE(addn, nullptr);
+  AttrMap attrs;
+  attrs["N"] = AttrValue(int64_t{3});
+  attrs["T"] = AttrValue(DataType::kFloat);
+  DataTypeVector in, out;
+  ASSERT_TRUE(ResolveArgTypes(*addn, attrs, &in, &out).ok());
+  EXPECT_EQ(in.size(), 3u);
+  EXPECT_EQ(out.size(), 1u);
+  EXPECT_EQ(in[0], DataType::kFloat);
+}
+
+TEST(OpDefTest, RefOutputsResolve) {
+  const OpDef* var = OpRegistry::Global()->LookUp("Variable");
+  AttrMap attrs;
+  attrs["dtype"] = AttrValue(DataType::kFloat);
+  attrs["shape"] = AttrValue(TensorShape({2}));
+  DataTypeVector in, out;
+  ASSERT_TRUE(ResolveArgTypes(*var, attrs, &in, &out).ok());
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_TRUE(IsRefType(out[0]));
+  EXPECT_EQ(BaseType(out[0]), DataType::kFloat);
+}
+
+TEST(OpDefTest, TypeListResolves) {
+  const OpDef* q = OpRegistry::Global()->LookUp("QueueDequeue");
+  AttrMap attrs;
+  attrs["component_types"] =
+      AttrValue(DataTypeVector{DataType::kFloat, DataType::kInt32});
+  DataTypeVector in, out;
+  ASSERT_TRUE(ResolveArgTypes(*q, attrs, &in, &out).ok());
+  EXPECT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[1], DataType::kInt32);
+}
+
+TEST(GraphTest, AddNodeAndEdges) {
+  Graph g;
+  Node* a = MustAdd(&g, ConstDef("a", Tensor::Scalar(1.0f)));
+  Node* b = MustAdd(&g, ConstDef("b", Tensor::Scalar(2.0f)));
+  NodeDef add;
+  add.name = "add";
+  add.op = "Add";
+  add.attrs["T"] = AttrValue(DataType::kFloat);
+  Node* c = MustAdd(&g, std::move(add));
+  ASSERT_TRUE(g.AddEdge(a, 0, c, 0).ok());
+  ASSERT_TRUE(g.AddEdge(b, 0, c, 1).ok());
+  EXPECT_EQ(g.num_nodes(), 3);
+  EXPECT_EQ(c->num_inputs(), 2);
+  EXPECT_EQ(c->ordered_data_inputs().size(), 2u);
+}
+
+TEST(GraphTest, DuplicateNameRejected) {
+  Graph g;
+  MustAdd(&g, ConstDef("x", Tensor::Scalar(1.0f)));
+  Result<Node*> dup = g.AddNode(ConstDef("x", Tensor::Scalar(2.0f)));
+  EXPECT_FALSE(dup.ok());
+  EXPECT_EQ(dup.status().code(), Code::kAlreadyExists);
+}
+
+TEST(GraphTest, TypeMismatchRejected) {
+  Graph g;
+  Node* f = MustAdd(&g, ConstDef("f", Tensor::Scalar(1.0f)));
+  NodeDef add;
+  add.name = "addi";
+  add.op = "Add";
+  add.attrs["T"] = AttrValue(DataType::kInt32);
+  Node* c = MustAdd(&g, std::move(add));
+  EXPECT_FALSE(g.AddEdge(f, 0, c, 0).ok());
+}
+
+TEST(GraphTest, DoubleConnectInputRejected) {
+  Graph g;
+  Node* a = MustAdd(&g, ConstDef("a", Tensor::Scalar(1.0f)));
+  NodeDef id;
+  id.name = "id";
+  id.op = "Identity";
+  id.attrs["T"] = AttrValue(DataType::kFloat);
+  Node* i = MustAdd(&g, std::move(id));
+  ASSERT_TRUE(g.AddEdge(a, 0, i, 0).ok());
+  EXPECT_FALSE(g.AddEdge(a, 0, i, 0).ok());
+}
+
+TEST(GraphTest, ControlEdgeDedup) {
+  Graph g;
+  Node* a = MustAdd(&g, ConstDef("a", Tensor::Scalar(1.0f)));
+  Node* b = MustAdd(&g, ConstDef("b", Tensor::Scalar(1.0f)));
+  const Edge* e1 = g.AddControlEdge(a, b);
+  const Edge* e2 = g.AddControlEdge(a, b);
+  EXPECT_EQ(e1, e2);
+  EXPECT_TRUE(e1->IsControlEdge());
+}
+
+TEST(GraphTest, RemoveNodeCleansEdges) {
+  Graph g;
+  Node* a = MustAdd(&g, ConstDef("a", Tensor::Scalar(1.0f)));
+  NodeDef id;
+  id.name = "id";
+  id.op = "Identity";
+  id.attrs["T"] = AttrValue(DataType::kFloat);
+  Node* i = MustAdd(&g, std::move(id));
+  ASSERT_TRUE(g.AddEdge(a, 0, i, 0).ok());
+  g.RemoveNode(i);
+  EXPECT_EQ(g.num_nodes(), 1);
+  EXPECT_TRUE(a->out_edges().empty());
+  EXPECT_EQ(g.FindNode("id"), nullptr);
+}
+
+TEST(GraphTest, TopologicalOrder) {
+  Graph g;
+  Node* a = MustAdd(&g, ConstDef("a", Tensor::Scalar(1.0f)));
+  Node* b = MustAdd(&g, ConstDef("b", Tensor::Scalar(2.0f)));
+  NodeDef add;
+  add.name = "add";
+  add.op = "Add";
+  add.attrs["T"] = AttrValue(DataType::kFloat);
+  Node* c = MustAdd(&g, std::move(add));
+  TF_CHECK_OK(g.AddEdge(a, 0, c, 0).status());
+  TF_CHECK_OK(g.AddEdge(b, 0, c, 1).status());
+  Result<std::vector<Node*>> order = g.TopologicalOrder();
+  ASSERT_TRUE(order.ok());
+  ASSERT_EQ(order.value().size(), 3u);
+  EXPECT_EQ(order.value()[2], c);
+}
+
+TEST(GraphTest, CloneCopiesStructure) {
+  Graph g;
+  Node* a = MustAdd(&g, ConstDef("a", Tensor::Scalar(1.0f)));
+  NodeDef id;
+  id.name = "id";
+  id.op = "Identity";
+  id.attrs["T"] = AttrValue(DataType::kFloat);
+  Node* i = MustAdd(&g, std::move(id));
+  TF_CHECK_OK(g.AddEdge(a, 0, i, 0).status());
+  g.AddControlEdge(a, i);
+  std::map<const Node*, Node*> node_map;
+  std::unique_ptr<Graph> copy = g.Clone(&node_map);
+  EXPECT_EQ(copy->num_nodes(), 2);
+  Node* ci = copy->FindNode("id");
+  ASSERT_NE(ci, nullptr);
+  EXPECT_EQ(ci->in_edges().size(), 2u);  // data + control
+  EXPECT_EQ(node_map[i], ci);
+}
+
+TEST(GraphBuilderTest, FluentConstruction) {
+  Graph g;
+  GraphBuilder b(&g);
+  Output c1 = b.Op("Const")
+                  .Attr("dtype", DataType::kFloat)
+                  .Attr("value", Tensor::Scalar(3.0f))
+                  .Finalize();
+  Output c2 = b.Op("Const")
+                  .Attr("dtype", DataType::kFloat)
+                  .Attr("value", Tensor::Scalar(4.0f))
+                  .Finalize();
+  Output sum = b.Op("Add")
+                   .Input(c1)
+                   .Input(c2)
+                   .Attr("T", DataType::kFloat)
+                   .Finalize();
+  ASSERT_TRUE(b.ok()) << b.status();
+  EXPECT_TRUE(sum.valid());
+  EXPECT_EQ(sum.dtype(), DataType::kFloat);
+  EXPECT_EQ(g.num_nodes(), 3);
+}
+
+TEST(GraphBuilderTest, StickyError) {
+  Graph g;
+  GraphBuilder b(&g);
+  Output bad = b.Op("NoSuchOp").Finalize();
+  EXPECT_FALSE(bad.valid());
+  EXPECT_FALSE(b.ok());
+  // Subsequent construction is skipped without crashing.
+  Output c = b.Op("Const")
+                 .Attr("dtype", DataType::kFloat)
+                 .Attr("value", Tensor::Scalar(1.0f))
+                 .Finalize();
+  EXPECT_FALSE(c.valid());
+}
+
+TEST(GraphBuilderTest, DeviceScope) {
+  Graph g;
+  GraphBuilder b(&g);
+  Output c1;
+  {
+    GraphBuilder::DeviceScope scope(&b, "/job:ps/task:0");
+    c1 = b.Op("Const")
+             .Attr("dtype", DataType::kFloat)
+             .Attr("value", Tensor::Scalar(1.0f))
+             .Finalize();
+  }
+  Output c2 = b.Op("Const")
+                  .Attr("dtype", DataType::kFloat)
+                  .Attr("value", Tensor::Scalar(2.0f))
+                  .Finalize();
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(c1.node->requested_device(), "/job:ps/task:0");
+  EXPECT_EQ(c2.node->requested_device(), "");
+}
+
+TEST(ParseInputNameTest, Forms) {
+  std::string name;
+  int port;
+  ParseInputName("foo", &name, &port);
+  EXPECT_EQ(name, "foo");
+  EXPECT_EQ(port, 0);
+  ParseInputName("foo:3", &name, &port);
+  EXPECT_EQ(name, "foo");
+  EXPECT_EQ(port, 3);
+  ParseInputName("^bar", &name, &port);
+  EXPECT_EQ(name, "bar");
+  EXPECT_EQ(port, kControlSlot);
+}
+
+TEST(GraphTest, RefOutputFeedsValueInput) {
+  Graph g;
+  NodeDef var;
+  var.name = "v";
+  var.op = "Variable";
+  var.attrs["dtype"] = AttrValue(DataType::kFloat);
+  var.attrs["shape"] = AttrValue(TensorShape({2}));
+  Node* v = MustAdd(&g, std::move(var));
+  NodeDef id;
+  id.name = "read";
+  id.op = "Identity";
+  id.attrs["T"] = AttrValue(DataType::kFloat);
+  Node* r = MustAdd(&g, std::move(id));
+  // Implicit deref: ref output feeding a value input is allowed.
+  EXPECT_TRUE(g.AddEdge(v, 0, r, 0).ok());
+}
+
+TEST(GraphTest, ValueOutputCannotFeedRefInput) {
+  Graph g;
+  Node* c = MustAdd(&g, ConstDef("c", Tensor::Scalar(1.0f)));
+  NodeDef assign;
+  assign.name = "assign";
+  assign.op = "Assign";
+  assign.attrs["T"] = AttrValue(DataType::kFloat);
+  Node* a = MustAdd(&g, std::move(assign));
+  EXPECT_FALSE(g.AddEdge(c, 0, a, 0).ok());  // ref slot
+  EXPECT_TRUE(g.AddEdge(c, 0, a, 1).ok());   // value slot
+}
+
+}  // namespace
+}  // namespace tfrepro

@@ -1,0 +1,535 @@
+// Value-level tests for the kernel library: each exercises one operation's
+// semantics through a real session (construction, placement, execution),
+// including error paths and dtype dispatch.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/ops.h"
+#include "runtime/session.h"
+
+namespace tfrepro {
+namespace {
+
+using ops::Const;
+
+// Evaluates a single fetched output built by `fn`.
+Tensor Eval(const std::function<Output(GraphBuilder*)>& fn) {
+  Graph g;
+  GraphBuilder b(&g);
+  Output out = fn(&b);
+  TF_CHECK_OK(b.status());
+  SessionOptions options;
+  options.optimizer.do_constant_folding = false;  // exercise the kernels
+  auto session = DirectSession::Create(g, options);
+  TF_CHECK_OK(session.status());
+  std::vector<Tensor> results;
+  TF_CHECK_OK(session.value()->Run({out.name()}, &results));
+  return results[0];
+}
+
+Status EvalStatus(const std::function<Output(GraphBuilder*)>& fn) {
+  Graph g;
+  GraphBuilder b(&g);
+  Output out = fn(&b);
+  TF_RETURN_IF_ERROR(b.status());
+  SessionOptions options;
+  options.optimizer.do_constant_folding = false;
+  auto session = DirectSession::Create(g, options);
+  std::vector<Tensor> results;
+  return session.value()->Run({out.name()}, &results);
+}
+
+std::vector<float> Vec(const Tensor& t) {
+  std::vector<float> v(t.num_elements());
+  for (int64_t i = 0; i < t.num_elements(); ++i) v[i] = t.flat<float>(i);
+  return v;
+}
+
+TEST(KernelsTest, ElementwiseBinaryFloat) {
+  Tensor r = Eval([](GraphBuilder* b) {
+    return ops::Sub(b, Const(b, Tensor::Vec<float>({5, 7})),
+                    Const(b, Tensor::Vec<float>({2, 10})));
+  });
+  EXPECT_EQ(Vec(r), (std::vector<float>{3, -3}));
+}
+
+TEST(KernelsTest, ElementwiseBinaryInt64) {
+  Tensor r = Eval([](GraphBuilder* b) {
+    return ops::Mul(b, Const(b, Tensor::Vec<int64_t>({1LL << 33, 3})),
+                    Const(b, Tensor::Vec<int64_t>({2, 3})));
+  });
+  EXPECT_EQ(r.flat<int64_t>(0), 1LL << 34);
+  EXPECT_EQ(r.flat<int64_t>(1), 9);
+}
+
+TEST(KernelsTest, FloorDivAndModMatchPythonSemantics) {
+  Tensor q = Eval([](GraphBuilder* b) {
+    return b->Op("FloorDiv")
+        .Input(Const(b, Tensor::Vec<int32_t>({7, -7, 7, -7})))
+        .Input(Const(b, Tensor::Vec<int32_t>({2, 2, -2, -2})))
+        .Attr("T", DataType::kInt32)
+        .Finalize();
+  });
+  EXPECT_EQ(q.flat<int32_t>(0), 3);
+  EXPECT_EQ(q.flat<int32_t>(1), -4);
+  EXPECT_EQ(q.flat<int32_t>(2), -4);
+  EXPECT_EQ(q.flat<int32_t>(3), 3);
+  Tensor m = Eval([](GraphBuilder* b) {
+    return b->Op("Mod")
+        .Input(Const(b, Tensor::Vec<int32_t>({7, -7})))
+        .Input(Const(b, Tensor::Vec<int32_t>({3, 3})))
+        .Attr("T", DataType::kInt32)
+        .Finalize();
+  });
+  EXPECT_EQ(m.flat<int32_t>(0), 1);
+  EXPECT_EQ(m.flat<int32_t>(1), 2);  // Python-style: -7 mod 3 == 2
+}
+
+TEST(KernelsTest, UnaryMathValues) {
+  Tensor r = Eval([](GraphBuilder* b) {
+    return ops::Exp(b, Const(b, Tensor::Vec<float>({0, 1})));
+  });
+  EXPECT_FLOAT_EQ(r.flat<float>(0), 1.0f);
+  EXPECT_NEAR(r.flat<float>(1), std::exp(1.0f), 1e-5);
+  Tensor s = Eval([](GraphBuilder* b) {
+    return ops::Sign(b, Const(b, Tensor::Vec<float>({-3, 0, 9})));
+  });
+  EXPECT_EQ(Vec(s), (std::vector<float>{-1, 0, 1}));
+}
+
+TEST(KernelsTest, ComparisonsAndLogic) {
+  Tensor r = Eval([](GraphBuilder* b) {
+    Output lt = ops::Less(b, Const(b, Tensor::Vec<float>({1, 5})),
+                          Const(b, Tensor::Vec<float>({3, 3})));
+    Output gt = ops::Greater(b, Const(b, Tensor::Vec<float>({1, 5})),
+                             Const(b, Tensor::Vec<float>({3, 3})));
+    return ops::LogicalAnd(b, ops::LogicalNot(b, lt), gt);
+  });
+  EXPECT_FALSE(r.flat<bool>(0));
+  EXPECT_TRUE(r.flat<bool>(1));
+}
+
+TEST(KernelsTest, SelectElementwiseAndVectorCond) {
+  Tensor r = Eval([](GraphBuilder* b) {
+    Tensor cond(DataType::kBool, TensorShape({2}));
+    cond.flat<bool>(0) = true;
+    cond.flat<bool>(1) = false;
+    return ops::Select(b, Const(b, Tensor(cond)),
+                       Const(b, Tensor::FromVector<float>({1, 2, 3, 4},
+                                                          TensorShape({2, 2}))),
+                       Const(b, Tensor::FromVector<float>({9, 9, 9, 9},
+                                                          TensorShape({2, 2}))));
+  });
+  EXPECT_EQ(Vec(r), (std::vector<float>{1, 2, 9, 9}));
+}
+
+TEST(KernelsTest, CastFloatIntBool) {
+  Tensor r = Eval([](GraphBuilder* b) {
+    return ops::Cast(b, Const(b, Tensor::Vec<float>({1.9f, -2.7f})),
+                     DataType::kInt32);
+  });
+  EXPECT_EQ(r.flat<int32_t>(0), 1);
+  EXPECT_EQ(r.flat<int32_t>(1), -2);
+  Tensor fb = Eval([](GraphBuilder* b) {
+    Tensor bools(DataType::kBool, TensorShape({2}));
+    bools.flat<bool>(1) = true;
+    return ops::Cast(b, Const(b, Tensor(bools)), DataType::kFloat);
+  });
+  EXPECT_EQ(Vec(fb), (std::vector<float>{0, 1}));
+}
+
+TEST(KernelsTest, ReductionsWithKeepDims) {
+  Tensor input = Tensor::FromVector<float>({1, 2, 3, 4, 5, 6},
+                                           TensorShape({2, 3}));
+  Tensor kept = Eval([&](GraphBuilder* b) {
+    return ops::Sum(b, Const(b, Tensor(input)), ops::ConstVecI32(b, {1}),
+                    /*keep_dims=*/true);
+  });
+  EXPECT_EQ(kept.shape().DebugString(), "[2,1]");
+  EXPECT_EQ(Vec(kept), (std::vector<float>{6, 15}));
+  Tensor dropped = Eval([&](GraphBuilder* b) {
+    return ops::Sum(b, Const(b, Tensor(input)), ops::ConstVecI32(b, {1}));
+  });
+  EXPECT_EQ(dropped.shape().DebugString(), "[2]");
+}
+
+TEST(KernelsTest, ReductionNegativeAxisAndProd) {
+  Tensor r = Eval([](GraphBuilder* b) {
+    return b->Op("Prod")
+        .Input(Const(b, Tensor::FromVector<float>({1, 2, 3, 4},
+                                                  TensorShape({2, 2}))))
+        .Input(ops::ConstVecI32(b, {-1}))
+        .Attr("T", DataType::kFloat)
+        .Attr("keep_dims", false)
+        .Finalize();
+  });
+  EXPECT_EQ(Vec(r), (std::vector<float>{2, 12}));
+}
+
+TEST(KernelsTest, ArgMaxOverAxes) {
+  Tensor input = Tensor::FromVector<float>({1, 9, 3, 8, 5, 6},
+                                           TensorShape({2, 3}));
+  Tensor by_row = Eval([&](GraphBuilder* b) {
+    return ops::ArgMax(b, Const(b, Tensor(input)), 1);
+  });
+  EXPECT_EQ(by_row.flat<int64_t>(0), 1);
+  EXPECT_EQ(by_row.flat<int64_t>(1), 0);
+  Tensor by_col = Eval([&](GraphBuilder* b) {
+    return ops::ArgMax(b, Const(b, Tensor(input)), 0);
+  });
+  EXPECT_EQ(by_col.flat<int64_t>(0), 1);
+  EXPECT_EQ(by_col.flat<int64_t>(1), 0);
+  EXPECT_EQ(by_col.flat<int64_t>(2), 1);
+}
+
+TEST(KernelsTest, ConcatAndSplitRoundTrip) {
+  Tensor r = Eval([](GraphBuilder* b) {
+    Output m = Const(b, Tensor::FromVector<float>({1, 2, 3, 4, 5, 6},
+                                                  TensorShape({2, 3})));
+    std::vector<Output> parts = ops::Split(b, 1, m, 3);
+    return ops::Concat(b, 1, {parts[2], parts[1], parts[0]});
+  });
+  EXPECT_EQ(Vec(r), (std::vector<float>{3, 2, 1, 6, 5, 4}));
+}
+
+TEST(KernelsTest, SliceAndPadInverse) {
+  Tensor r = Eval([](GraphBuilder* b) {
+    Output m = Const(b, Tensor::FromVector<float>({1, 2, 3, 4, 5, 6, 7, 8, 9},
+                                                  TensorShape({3, 3})));
+    Output middle = ops::Slice(b, m, {1, 1}, {1, 2});  // [[5, 6]]
+    Output paddings = Const(b, Tensor::FromVector<int32_t>(
+                                   {1, 1, 1, 0}, TensorShape({2, 2})));
+    return b->Op("Pad")
+        .Input(middle)
+        .Input(paddings)
+        .Attr("T", DataType::kFloat)
+        .Finalize();
+  });
+  EXPECT_EQ(r.shape().DebugString(), "[3,3]");
+  EXPECT_EQ(r.matrix<float>(1, 1), 5.0f);
+  EXPECT_EQ(r.matrix<float>(1, 2), 6.0f);
+  EXPECT_EQ(r.matrix<float>(0, 0), 0.0f);
+}
+
+TEST(KernelsTest, SliceNegativeSizeMeansToEnd) {
+  Tensor r = Eval([](GraphBuilder* b) {
+    Output v = Const(b, Tensor::Vec<float>({1, 2, 3, 4, 5}));
+    return ops::Slice(b, v, {2}, {-1});
+  });
+  EXPECT_EQ(Vec(r), (std::vector<float>{3, 4, 5}));
+}
+
+TEST(KernelsTest, TransposeTileExpandSqueeze) {
+  Tensor t = Eval([](GraphBuilder* b) {
+    Output m = Const(b, Tensor::FromVector<float>({1, 2, 3, 4, 5, 6},
+                                                  TensorShape({2, 3})));
+    return ops::Transpose(b, m, {1, 0});
+  });
+  EXPECT_EQ(t.shape().DebugString(), "[3,2]");
+  EXPECT_EQ(t.matrix<float>(0, 1), 4.0f);
+
+  Tensor tiled = Eval([](GraphBuilder* b) {
+    return ops::Tile(b, Const(b, Tensor::Vec<float>({1, 2})), {3});
+  });
+  EXPECT_EQ(Vec(tiled), (std::vector<float>{1, 2, 1, 2, 1, 2}));
+
+  Tensor expanded = Eval([](GraphBuilder* b) {
+    Output e = ops::ExpandDims(b, Const(b, Tensor::Vec<float>({1, 2})), 0);
+    return b->Op("Squeeze")
+        .Input(e)
+        .Attr("T", DataType::kFloat)
+        .Finalize();
+  });
+  EXPECT_EQ(expanded.shape().DebugString(), "[2]");
+}
+
+TEST(KernelsTest, PackUnpackAxis1) {
+  Tensor r = Eval([](GraphBuilder* b) {
+    Output a = Const(b, Tensor::Vec<float>({1, 2}));
+    Output c = Const(b, Tensor::Vec<float>({3, 4}));
+    return ops::Pack(b, {a, c}, /*axis=*/1);
+  });
+  EXPECT_EQ(r.shape().DebugString(), "[2,2]");
+  EXPECT_EQ(r.matrix<float>(0, 1), 3.0f);
+  EXPECT_EQ(r.matrix<float>(1, 0), 2.0f);
+}
+
+TEST(KernelsTest, OneHot) {
+  Tensor r = Eval([](GraphBuilder* b) {
+    return ops::OneHot(b, Const(b, Tensor::Vec<int64_t>({1, 0, 3})), 4);
+  });
+  EXPECT_EQ(r.shape().DebugString(), "[3,4]");
+  EXPECT_EQ(r.matrix<float>(0, 1), 1.0f);
+  EXPECT_EQ(r.matrix<float>(0, 0), 0.0f);
+  EXPECT_EQ(r.matrix<float>(2, 3), 1.0f);
+}
+
+TEST(KernelsTest, GatherOutOfRangeFails) {
+  Status s = EvalStatus([](GraphBuilder* b) {
+    Output params = Const(b, Tensor::FromVector<float>({1, 2, 3, 4},
+                                                       TensorShape({2, 2})));
+    return ops::Gather(b, params, Const(b, Tensor::Vec<int32_t>({5})));
+  });
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), Code::kOutOfRange);
+}
+
+TEST(KernelsTest, UnsortedSegmentSum) {
+  Tensor r = Eval([](GraphBuilder* b) {
+    Output data = Const(b, Tensor::FromVector<float>({1, 2, 3, 4, 5, 6},
+                                                     TensorShape({3, 2})));
+    Output ids = Const(b, Tensor::Vec<int32_t>({1, 0, 1}));
+    return ops::UnsortedSegmentSum(b, data, ids, Const(b, int32_t{2}));
+  });
+  EXPECT_EQ(r.shape().DebugString(), "[2,2]");
+  EXPECT_EQ(r.matrix<float>(0, 0), 3.0f);   // row 1
+  EXPECT_EQ(r.matrix<float>(1, 0), 6.0f);   // rows 0 + 2
+  EXPECT_EQ(r.matrix<float>(1, 1), 8.0f);
+}
+
+TEST(KernelsTest, MatMulTransposeCombos) {
+  Tensor a = Tensor::FromVector<float>({1, 2, 3, 4, 5, 6}, TensorShape({2, 3}));
+  // (A^T)^T x A^T with explicit flags == A x A^T.
+  Tensor r = Eval([&](GraphBuilder* b) {
+    Output at = Const(b, Tensor::FromVector<float>({1, 4, 2, 5, 3, 6},
+                                                   TensorShape({3, 2})));
+    return ops::MatMul(b, at, at, /*ta=*/true, /*tb=*/false);
+  });
+  // A x A^T = [[14, 32], [32, 77]].
+  EXPECT_EQ(Vec(r), (std::vector<float>{14, 32, 32, 77}));
+}
+
+TEST(KernelsTest, Conv2DHandComputed) {
+  // 1x2x2x1 input, 2x2 filter of ones, VALID -> single sum.
+  Tensor r = Eval([](GraphBuilder* b) {
+    Tensor input(DataType::kFloat, TensorShape({1, 2, 2, 1}));
+    for (int i = 0; i < 4; ++i) input.flat<float>(i) = i + 1;
+    Tensor filter(DataType::kFloat, TensorShape({2, 2, 1, 1}));
+    for (int i = 0; i < 4; ++i) filter.flat<float>(i) = 1;
+    return ops::Conv2D(b, Const(b, Tensor(input)), Const(b, Tensor(filter)),
+                       {1, 1, 1, 1}, "VALID");
+  });
+  EXPECT_EQ(r.shape().DebugString(), "[1,1,1,1]");
+  EXPECT_FLOAT_EQ(*r.data<float>(), 10.0f);
+}
+
+TEST(KernelsTest, Conv2DSamePaddingShape) {
+  Tensor r = Eval([](GraphBuilder* b) {
+    Tensor input(DataType::kFloat, TensorShape({2, 5, 5, 3}));
+    Tensor filter(DataType::kFloat, TensorShape({3, 3, 3, 8}));
+    return ops::Conv2D(b, Const(b, Tensor(input)), Const(b, Tensor(filter)),
+                       {1, 2, 2, 1}, "SAME");
+  });
+  EXPECT_EQ(r.shape().DebugString(), "[2,3,3,8]");
+}
+
+TEST(KernelsTest, MaxPoolValues) {
+  Tensor r = Eval([](GraphBuilder* b) {
+    Tensor input(DataType::kFloat, TensorShape({1, 2, 2, 1}));
+    input.flat<float>(0) = 1;
+    input.flat<float>(1) = 7;
+    input.flat<float>(2) = 3;
+    input.flat<float>(3) = 2;
+    return ops::MaxPool(b, Const(b, Tensor(input)), {1, 2, 2, 1}, {1, 2, 2, 1},
+                        "VALID");
+  });
+  EXPECT_FLOAT_EQ(*r.data<float>(), 7.0f);
+}
+
+TEST(KernelsTest, AvgPoolValues) {
+  Tensor r = Eval([](GraphBuilder* b) {
+    Tensor input(DataType::kFloat, TensorShape({1, 2, 2, 1}));
+    for (int i = 0; i < 4; ++i) input.flat<float>(i) = i + 1;
+    return ops::AvgPool(b, Const(b, Tensor(input)), {1, 2, 2, 1}, {1, 2, 2, 1},
+                        "VALID");
+  });
+  EXPECT_FLOAT_EQ(*r.data<float>(), 2.5f);
+}
+
+TEST(KernelsTest, SoftmaxRowsSumToOne) {
+  Tensor r = Eval([](GraphBuilder* b) {
+    return ops::Softmax(b, Const(b, Tensor::FromVector<float>(
+                                        {1, 2, 3, 1000, 1001, 1002},
+                                        TensorShape({2, 3}))));
+  });
+  for (int row = 0; row < 2; ++row) {
+    float sum = 0;
+    for (int c = 0; c < 3; ++c) sum += r.matrix<float>(row, c);
+    EXPECT_NEAR(sum, 1.0f, 1e-5);
+  }
+  // Numerical stability: large logits must not produce NaN.
+  EXPECT_FALSE(std::isnan(r.matrix<float>(1, 0)));
+  // Softmax is shift-invariant, so the two rows are identical.
+  EXPECT_NEAR(r.matrix<float>(0, 0), r.matrix<float>(1, 0), 1e-5);
+}
+
+TEST(KernelsTest, SparseXentLossMatchesManual) {
+  Tensor r = Eval([](GraphBuilder* b) {
+    Output logits = Const(b, Tensor::FromVector<float>({0, 0, 0},
+                                                       TensorShape({1, 3})));
+    Node* xent = ops::SparseSoftmaxCrossEntropyWithLogits(
+        b, logits, Const(b, Tensor::Vec<int64_t>({1})));
+    return Output(xent, 0);
+  });
+  EXPECT_NEAR(r.flat<float>(0), std::log(3.0f), 1e-5);
+}
+
+TEST(KernelsTest, RandomSeedDeterminism) {
+  auto draw = [](int64_t seed) {
+    return Eval([seed](GraphBuilder* b) {
+      return ops::RandomUniform(b, {8}, DataType::kFloat, seed);
+    });
+  };
+  Tensor a = draw(5);
+  Tensor b2 = draw(5);
+  Tensor c = draw(6);
+  EXPECT_EQ(Vec(a), Vec(b2));   // same seed, fresh kernels -> same stream
+  EXPECT_NE(Vec(a), Vec(c));    // different seed -> different stream
+}
+
+TEST(KernelsTest, FillAndRange) {
+  Tensor f = Eval([](GraphBuilder* b) {
+    return ops::Fill(b, ops::ConstVecI32(b, {2, 2}), Const(b, 3.5f));
+  });
+  EXPECT_EQ(Vec(f), (std::vector<float>{3.5f, 3.5f, 3.5f, 3.5f}));
+  Tensor r = Eval([](GraphBuilder* b) {
+    return ops::Range(b, Const(b, int32_t{2}), Const(b, int32_t{9}),
+                      Const(b, int32_t{3}));
+  });
+  EXPECT_EQ(r.num_elements(), 3);
+  EXPECT_EQ(r.flat<int32_t>(2), 8);
+}
+
+TEST(KernelsTest, ShapeRankSize) {
+  Graph g;
+  GraphBuilder b(&g);
+  Output m = Const(&b, Tensor(DataType::kFloat, TensorShape({2, 3, 4})));
+  Output shape = ops::Shape(&b, m);
+  Output rank = ops::Rank(&b, m);
+  Output size = ops::Size(&b, m);
+  TF_CHECK_OK(b.status());
+  SessionOptions options;
+  options.optimizer.do_constant_folding = false;
+  auto session = DirectSession::Create(g, options);
+  std::vector<Tensor> out;
+  TF_CHECK_OK(
+      session.value()->Run({shape.name(), rank.name(), size.name()}, &out));
+  EXPECT_EQ(out[0].flat<int32_t>(1), 3);
+  EXPECT_EQ(*out[1].data<int32_t>(), 3);
+  EXPECT_EQ(*out[2].data<int32_t>(), 24);
+}
+
+TEST(KernelsTest, ReshapeWithInferredDim) {
+  Tensor r = Eval([](GraphBuilder* b) {
+    Output v = Const(b, Tensor::Vec<float>({1, 2, 3, 4, 5, 6}));
+    return ops::Reshape(b, v, {2, -1});
+  });
+  EXPECT_EQ(r.shape().DebugString(), "[2,3]");
+}
+
+TEST(KernelsTest, ScatterUpdateReplacesRows) {
+  Graph g;
+  GraphBuilder b(&g);
+  Output v = ops::Variable(&b, DataType::kFloat, TensorShape({3, 2}), "v");
+  Output init = ops::Assign(
+      &b, v, Const(&b, Tensor::FromVector<float>({0, 0, 0, 0, 0, 0},
+                                                 TensorShape({3, 2}))));
+  Output upd = b.Op("ScatterUpdate")
+                   .Input(v)
+                   .Input(Const(&b, Tensor::Vec<int32_t>({2})))
+                   .Input(Const(&b, Tensor::FromVector<float>(
+                                        {7, 8}, TensorShape({1, 2}))))
+                   .Attr("T", DataType::kFloat)
+                   .Attr("Tindices", DataType::kInt32)
+                   .Finalize();
+  Output read = ops::Identity(&b, v);
+  TF_CHECK_OK(b.status());
+  auto session = DirectSession::Create(g);
+  TF_CHECK_OK(session.value()->Run({}, {}, {init.node->name()}, nullptr));
+  TF_CHECK_OK(session.value()->Run({}, {}, {upd.node->name()}, nullptr));
+  std::vector<Tensor> out;
+  TF_CHECK_OK(session.value()->Run({read.name()}, &out));
+  EXPECT_EQ(out[0].matrix<float>(2, 0), 7.0f);
+  EXPECT_EQ(out[0].matrix<float>(2, 1), 8.0f);
+  EXPECT_EQ(out[0].matrix<float>(0, 0), 0.0f);
+}
+
+TEST(KernelsTest, CountUpToLimit) {
+  Graph g;
+  GraphBuilder b(&g);
+  Output v = ops::Variable(&b, DataType::kInt64, TensorShape(), "counter");
+  Output init = ops::Assign(&b, v, Const(&b, Tensor::Scalar(int64_t{0})));
+  Output next = b.Op("CountUpTo")
+                    .Input(v)
+                    .Attr("T", DataType::kInt64)
+                    .Attr("limit", int64_t{3})
+                    .Finalize();
+  TF_CHECK_OK(b.status());
+  auto session = DirectSession::Create(g);
+  TF_CHECK_OK(session.value()->Run({}, {}, {init.node->name()}, nullptr));
+  for (int i = 0; i < 3; ++i) {
+    std::vector<Tensor> out;
+    TF_CHECK_OK(session.value()->Run({next.name()}, &out));
+    EXPECT_EQ(*out[0].data<int64_t>(), i);
+  }
+  std::vector<Tensor> out;
+  Status s = session.value()->Run({next.name()}, &out);
+  EXPECT_EQ(s.code(), Code::kOutOfRange);
+}
+
+TEST(KernelsTest, SumToShapeOfInverseBroadcast) {
+  Tensor r = Eval([](GraphBuilder* b) {
+    Output grad = Const(b, Tensor::FromVector<float>({1, 2, 3, 4, 5, 6},
+                                                     TensorShape({2, 3})));
+    Output target = Const(b, Tensor::Vec<float>({0, 0, 0}));
+    return ops::SumToShapeOf(b, grad, target);
+  });
+  EXPECT_EQ(Vec(r), (std::vector<float>{5, 7, 9}));
+  Tensor scalar = Eval([](GraphBuilder* b) {
+    Output grad = Const(b, Tensor::Vec<float>({1, 2, 3}));
+    return ops::SumToShapeOf(b, grad, Const(b, 0.0f));
+  });
+  EXPECT_FLOAT_EQ(*scalar.data<float>(), 6.0f);
+}
+
+TEST(KernelsTest, AddNAccumulates) {
+  Tensor r = Eval([](GraphBuilder* b) {
+    Output x = Const(b, Tensor::Vec<float>({1, 1}));
+    return ops::AddN(b, {x, x, x, x});
+  });
+  EXPECT_EQ(Vec(r), (std::vector<float>{4, 4}));
+}
+
+TEST(KernelsTest, BiasAddRankThree) {
+  Tensor r = Eval([](GraphBuilder* b) {
+    Tensor value(DataType::kFloat, TensorShape({2, 2, 2}));
+    return ops::BiasAdd(b, Const(b, Tensor(value)),
+                        Const(b, Tensor::Vec<float>({10, 20})));
+  });
+  EXPECT_EQ(r.flat<float>(0), 10.0f);
+  EXPECT_EQ(r.flat<float>(1), 20.0f);
+  EXPECT_EQ(r.flat<float>(7), 20.0f);
+}
+
+TEST(KernelsTest, DynamicPartitionEmptyPartitions) {
+  Graph g;
+  GraphBuilder b(&g);
+  Output data = Const(&b, Tensor::Vec<float>({1, 2, 3}));
+  Output partitions = Const(&b, Tensor::Vec<int32_t>({2, 2, 2}));
+  std::vector<Output> parts = ops::DynamicPartition(&b, data, partitions, 3);
+  TF_CHECK_OK(b.status());
+  SessionOptions options;
+  options.optimizer.do_constant_folding = false;
+  auto session = DirectSession::Create(g, options);
+  std::vector<Tensor> out;
+  TF_CHECK_OK(session.value()->Run(
+      {parts[0].name(), parts[1].name(), parts[2].name()}, &out));
+  EXPECT_EQ(out[0].num_elements(), 0);
+  EXPECT_EQ(out[1].num_elements(), 0);
+  EXPECT_EQ(out[2].num_elements(), 3);
+}
+
+}  // namespace
+}  // namespace tfrepro

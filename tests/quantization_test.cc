@@ -1,0 +1,149 @@
+// Tests for the quantization path (paper §5): round-trip accuracy, the
+// low-precision matmul against the float reference, and the PS device
+// setter strategies.
+
+#include <gtest/gtest.h>
+
+#include "core/random.h"
+#include "graph/ops.h"
+#include "runtime/session.h"
+#include "train/device_setter.h"
+
+namespace tfrepro {
+namespace {
+
+using ops::Const;
+
+Output Quantize(GraphBuilder* b, Output in, float lo, float hi) {
+  return b->Op("Quantize")
+      .Input(in)
+      .Input(Const(b, lo))
+      .Input(Const(b, hi))
+      .Finalize();
+}
+
+Output Dequantize(GraphBuilder* b, Output in, float lo, float hi) {
+  return b->Op("Dequantize")
+      .Input(in)
+      .Input(Const(b, lo))
+      .Input(Const(b, hi))
+      .Finalize();
+}
+
+TEST(QuantizationTest, RoundTripWithinOneLevel) {
+  Graph g;
+  GraphBuilder b(&g);
+  std::vector<float> values = {-1.0f, -0.5f, 0.0f, 0.123f, 0.9f, 1.0f};
+  Output in = Const(&b, Tensor::Vec<float>(values));
+  Output q = Quantize(&b, in, -1.0f, 1.0f);
+  Output back = Dequantize(&b, q, -1.0f, 1.0f);
+  ASSERT_TRUE(b.ok()) << b.status();
+  SessionOptions options;
+  options.optimizer.do_constant_folding = false;
+  auto session = DirectSession::Create(g, options);
+  std::vector<Tensor> out;
+  TF_CHECK_OK(session.value()->Run({back.name()}, &out));
+  const float level = 2.0f / 255;  // one quantization step
+  for (size_t i = 0; i < values.size(); ++i) {
+    EXPECT_NEAR(out[0].flat<float>(i), values[i], level / 2 + 1e-6f) << i;
+  }
+}
+
+TEST(QuantizationTest, ValuesOutsideRangeSaturate) {
+  Graph g;
+  GraphBuilder b(&g);
+  Output in = Const(&b, Tensor::Vec<float>({-5.0f, 5.0f}));
+  Output q = Quantize(&b, in, -1.0f, 1.0f);
+  ASSERT_TRUE(b.ok());
+  SessionOptions options;
+  options.optimizer.do_constant_folding = false;
+  auto session = DirectSession::Create(g, options);
+  std::vector<Tensor> out;
+  TF_CHECK_OK(session.value()->Run({q.name()}, &out));
+  EXPECT_EQ(out[0].flat<uint8_t>(0), 0);
+  EXPECT_EQ(out[0].flat<uint8_t>(1), 255);
+}
+
+TEST(QuantizationTest, InvalidRangeRejected) {
+  Graph g;
+  GraphBuilder b(&g);
+  Output in = Const(&b, Tensor::Vec<float>({0.0f}));
+  Output q = Quantize(&b, in, 1.0f, 1.0f);
+  ASSERT_TRUE(b.ok());
+  SessionOptions options;
+  options.optimizer.do_constant_folding = false;
+  auto session = DirectSession::Create(g, options);
+  std::vector<Tensor> out;
+  EXPECT_FALSE(session.value()->Run({q.name()}, &out).ok());
+}
+
+TEST(QuantizationTest, QuantizedMatMulTracksFloatReference) {
+  // Random matrices in [-1, 1]; the quantized product must match the float
+  // product within accumulated quantization noise.
+  constexpr int64_t kM = 8, kK = 32, kN = 6;
+  PhiloxRandom rng(99);
+  Tensor a(DataType::kFloat, TensorShape({kM, kK}));
+  Tensor bt(DataType::kFloat, TensorShape({kK, kN}));
+  for (int64_t i = 0; i < a.num_elements(); ++i) {
+    a.flat<float>(i) = 2 * rng.Uniform() - 1;
+  }
+  for (int64_t i = 0; i < bt.num_elements(); ++i) {
+    bt.flat<float>(i) = 2 * rng.Uniform() - 1;
+  }
+
+  Graph g;
+  GraphBuilder b(&g);
+  Output fa = Const(&b, Tensor(a));
+  Output fb = Const(&b, Tensor(bt));
+  Output reference = ops::MatMul(&b, fa, fb);
+  Output qa = Quantize(&b, fa, -1.0f, 1.0f);
+  Output qb = Quantize(&b, fb, -1.0f, 1.0f);
+  Output quantized = b.Op("QuantizedMatMul")
+                         .Input(qa)
+                         .Input(qb)
+                         .Input(Const(&b, -1.0f))
+                         .Input(Const(&b, 1.0f))
+                         .Input(Const(&b, -1.0f))
+                         .Input(Const(&b, 1.0f))
+                         .Finalize();
+  ASSERT_TRUE(b.ok()) << b.status();
+  SessionOptions options;
+  options.optimizer.do_constant_folding = false;
+  auto session = DirectSession::Create(g, options);
+  std::vector<Tensor> out;
+  TF_CHECK_OK(session.value()->Run({reference.name(), quantized.name()}, &out));
+  // Error per element ~ k * (quant step) in the worst case; use a
+  // generous-but-meaningful bound.
+  double tolerance = kK * (2.0 / 255) * 0.25;
+  for (int64_t i = 0; i < out[0].num_elements(); ++i) {
+    EXPECT_NEAR(out[1].flat<float>(i), out[0].flat<float>(i), tolerance) << i;
+  }
+}
+
+TEST(DeviceSetterTest, RoundRobinCycles) {
+  train::ReplicaDeviceSetter setter(3, "/job:worker/task:0");
+  EXPECT_EQ(setter.NextPsDevice(), "/job:ps/task:0");
+  EXPECT_EQ(setter.NextPsDevice(), "/job:ps/task:1");
+  EXPECT_EQ(setter.NextPsDevice(), "/job:ps/task:2");
+  EXPECT_EQ(setter.NextPsDevice(), "/job:ps/task:0");
+  EXPECT_EQ(setter.worker_device(), "/job:worker/task:0");
+}
+
+TEST(DeviceSetterTest, LeastLoadedBalancesBytes) {
+  train::ReplicaDeviceSetter setter(
+      2, "/job:worker/task:0",
+      train::ReplicaDeviceSetter::Strategy::kLeastLoaded);
+  EXPECT_EQ(setter.NextPsDevice(100), "/job:ps/task:0");
+  // Task 0 holds 100 bytes; the next (small) variable goes to task 1, and
+  // further small ones keep filling task 1 until it catches up.
+  EXPECT_EQ(setter.NextPsDevice(10), "/job:ps/task:1");
+  EXPECT_EQ(setter.NextPsDevice(10), "/job:ps/task:1");
+  EXPECT_EQ(setter.ps_bytes()[0], 100);
+  EXPECT_EQ(setter.ps_bytes()[1], 20);
+  // A large one lands on task 1 too (still least loaded), then task 0.
+  EXPECT_EQ(setter.NextPsDevice(200), "/job:ps/task:1");
+  EXPECT_EQ(setter.NextPsDevice(1), "/job:ps/task:0");
+}
+
+}  // namespace
+}  // namespace tfrepro

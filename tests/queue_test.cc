@@ -1,0 +1,277 @@
+// Property-style tests for the queue resources (paper §3.1), parameterized
+// over queue kinds and capacities: FIFO ordering, backpressure, blocking
+// dequeues, close semantics, shuffle-queue mixing, cancellation.
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <thread>
+
+#include "kernels/queue.h"
+
+namespace tfrepro {
+namespace {
+
+QueueResource::Tuple ScalarTuple(float v) { return {Tensor::Scalar(v)}; }
+
+struct QueueParam {
+  bool shuffle;
+  int64_t capacity;
+};
+
+class QueuePropertyTest : public ::testing::TestWithParam<QueueParam> {
+ protected:
+  std::unique_ptr<QueueResource> MakeQueue(int64_t min_after_dequeue = 0) {
+    return std::make_unique<QueueResource>(
+        DataTypeVector{DataType::kFloat}, GetParam().capacity,
+        min_after_dequeue, /*seed=*/42, GetParam().shuffle);
+  }
+};
+
+TEST_P(QueuePropertyTest, ElementsConserved) {
+  auto queue = MakeQueue();
+  constexpr int kN = 20;
+  int enqueued = 0;
+  for (int i = 0; i < kN; ++i) {
+    queue->TryEnqueue(ScalarTuple(static_cast<float>(i)), nullptr,
+                      [&](const Status& s) {
+                        if (s.ok()) ++enqueued;
+                      });
+  }
+  std::multiset<float> received;
+  for (int i = 0; i < kN; ++i) {
+    queue->TryDequeue(1, false, nullptr,
+                      [&](const Status& s, const QueueResource::Tuple& t) {
+                        TF_CHECK_OK(s);
+                        received.insert(*t[0].data<float>());
+                      });
+  }
+  // Every enqueued element (possibly bounded by capacity backpressure +
+  // dequeues draining) comes out exactly once.
+  EXPECT_EQ(static_cast<int>(received.size()), kN);
+  for (int i = 0; i < kN; ++i) {
+    EXPECT_EQ(received.count(static_cast<float>(i)), 1u) << i;
+  }
+}
+
+TEST_P(QueuePropertyTest, DequeueBlocksUntilData) {
+  auto queue = MakeQueue();
+  bool got = false;
+  queue->TryDequeue(1, false, nullptr,
+                    [&](const Status& s, const QueueResource::Tuple&) {
+                      TF_CHECK_OK(s);
+                      got = true;
+                    });
+  EXPECT_FALSE(got);
+  queue->TryEnqueue(ScalarTuple(1), nullptr, [](const Status&) {});
+  EXPECT_TRUE(got);
+}
+
+TEST_P(QueuePropertyTest, CloseFailsShortDequeues) {
+  auto queue = MakeQueue();
+  queue->TryEnqueue(ScalarTuple(1), nullptr, [](const Status&) {});
+  queue->Close(false);
+  // One element available: a single dequeue succeeds...
+  Status first;
+  queue->TryDequeue(1, false, nullptr,
+                    [&](const Status& s, const QueueResource::Tuple&) {
+                      first = s;
+                    });
+  EXPECT_TRUE(first.ok());
+  // ...but the next can never be satisfied.
+  Status second;
+  bool fired = false;
+  queue->TryDequeue(1, false, nullptr,
+                    [&](const Status& s, const QueueResource::Tuple&) {
+                      second = s;
+                      fired = true;
+                    });
+  EXPECT_TRUE(fired);
+  EXPECT_EQ(second.code(), Code::kOutOfRange);
+}
+
+TEST_P(QueuePropertyTest, EnqueueAfterCloseFails) {
+  auto queue = MakeQueue();
+  queue->Close(false);
+  Status s;
+  queue->TryEnqueue(ScalarTuple(1), nullptr,
+                    [&](const Status& status) { s = status; });
+  EXPECT_EQ(s.code(), Code::kAborted);
+}
+
+TEST_P(QueuePropertyTest, CancellationRemovesWaiter) {
+  auto queue = MakeQueue();
+  CancellationManager cm;
+  Status seen;
+  bool fired = false;
+  queue->TryDequeue(1, false, &cm,
+                    [&](const Status& s, const QueueResource::Tuple&) {
+                      seen = s;
+                      fired = true;
+                    });
+  EXPECT_FALSE(fired);
+  cm.StartCancel();
+  EXPECT_TRUE(fired);
+  EXPECT_EQ(seen.code(), Code::kCancelled);
+  // The queue still works for non-cancelled users afterwards.
+  queue->TryEnqueue(ScalarTuple(3), nullptr, [](const Status&) {});
+  EXPECT_EQ(queue->Size(), 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Kinds, QueuePropertyTest,
+    ::testing::Values(QueueParam{false, -1}, QueueParam{false, 4},
+                      QueueParam{false, 64}, QueueParam{true, -1},
+                      QueueParam{true, 64}),
+    [](const ::testing::TestParamInfo<QueueParam>& info) {
+      return std::string(info.param.shuffle ? "Shuffle" : "Fifo") +
+             (info.param.capacity < 0
+                  ? "Unbounded"
+                  : "Cap" + std::to_string(info.param.capacity));
+    });
+
+TEST(FifoQueueTest, StrictFifoOrder) {
+  QueueResource queue({DataType::kFloat}, -1, 0, 1, /*shuffle=*/false);
+  for (int i = 0; i < 10; ++i) {
+    queue.TryEnqueue(ScalarTuple(static_cast<float>(i)), nullptr,
+                     [](const Status&) {});
+  }
+  for (int i = 0; i < 10; ++i) {
+    queue.TryDequeue(1, false, nullptr,
+                     [&](const Status& s, const QueueResource::Tuple& t) {
+                       TF_CHECK_OK(s);
+                       EXPECT_FLOAT_EQ(*t[0].data<float>(), i);
+                     });
+  }
+}
+
+TEST(FifoQueueTest, BackpressureBlocksEnqueueAtCapacity) {
+  QueueResource queue({DataType::kFloat}, /*capacity=*/2, 0, 1, false);
+  int completed = 0;
+  for (int i = 0; i < 3; ++i) {
+    queue.TryEnqueue(ScalarTuple(1), nullptr, [&](const Status& s) {
+      if (s.ok()) ++completed;
+    });
+  }
+  EXPECT_EQ(completed, 2);  // the third producer is blocked
+  queue.TryDequeue(1, false, nullptr,
+                   [](const Status&, const QueueResource::Tuple&) {});
+  EXPECT_EQ(completed, 3);  // space freed, blocked enqueue lands
+}
+
+TEST(FifoQueueTest, DequeueManyStacksComponents) {
+  QueueResource queue({DataType::kFloat, DataType::kInt64}, -1, 0, 1, false);
+  for (int i = 0; i < 3; ++i) {
+    queue.TryEnqueue({Tensor::Vec<float>({float(i), float(i + 10)}),
+                      Tensor::Scalar(int64_t{i})},
+                     nullptr, [](const Status&) {});
+  }
+  queue.TryDequeue(3, true, nullptr,
+                   [&](const Status& s, const QueueResource::Tuple& t) {
+                     TF_CHECK_OK(s);
+                     ASSERT_EQ(t.size(), 2u);
+                     EXPECT_EQ(t[0].shape().DebugString(), "[3,2]");
+                     EXPECT_EQ(t[1].shape().DebugString(), "[3]");
+                     EXPECT_FLOAT_EQ(t[0].matrix<float>(2, 1), 12.0f);
+                     EXPECT_EQ(t[1].flat<int64_t>(1), 1);
+                   });
+}
+
+TEST(ShuffleQueueTest, MinAfterDequeueHoldsElementsBack) {
+  QueueResource queue({DataType::kFloat}, -1, /*min_after_dequeue=*/5, 7,
+                      /*shuffle=*/true);
+  for (int i = 0; i < 6; ++i) {
+    queue.TryEnqueue(ScalarTuple(static_cast<float>(i)), nullptr,
+                     [](const Status&) {});
+  }
+  // Only one element above the mixing floor: a second dequeue must block.
+  int got = 0;
+  for (int i = 0; i < 2; ++i) {
+    queue.TryDequeue(1, false, nullptr,
+                     [&](const Status& s, const QueueResource::Tuple&) {
+                       if (s.ok()) ++got;
+                     });
+  }
+  EXPECT_EQ(got, 1);
+  // Closing releases the floor.
+  queue.Close(false);
+  EXPECT_EQ(got, 2);
+}
+
+TEST(ShuffleQueueTest, ProducesPermutationNotFifo) {
+  QueueResource queue({DataType::kFloat}, -1, 0, 1234, /*shuffle=*/true);
+  constexpr int kN = 64;
+  for (int i = 0; i < kN; ++i) {
+    queue.TryEnqueue(ScalarTuple(static_cast<float>(i)), nullptr,
+                     [](const Status&) {});
+  }
+  std::vector<float> order;
+  std::set<float> seen;
+  for (int i = 0; i < kN; ++i) {
+    queue.TryDequeue(1, false, nullptr,
+                     [&](const Status& s, const QueueResource::Tuple& t) {
+                       TF_CHECK_OK(s);
+                       order.push_back(*t[0].data<float>());
+                       seen.insert(*t[0].data<float>());
+                     });
+  }
+  EXPECT_EQ(seen.size(), static_cast<size_t>(kN));  // a permutation
+  bool is_fifo = true;
+  for (int i = 0; i < kN; ++i) {
+    if (order[i] != static_cast<float>(i)) is_fifo = false;
+  }
+  EXPECT_FALSE(is_fifo);  // ...but shuffled
+}
+
+TEST(QueueThreadingTest, ConcurrentProducersConsumers) {
+  QueueResource queue({DataType::kFloat}, /*capacity=*/8, 0, 1, false);
+  constexpr int kPerProducer = 200;
+  constexpr int kProducers = 3;
+  std::atomic<int> consumed{0};
+  std::atomic<long long> sum{0};
+
+  std::vector<std::thread> threads;
+  for (int p = 0; p < kProducers; ++p) {
+    threads.emplace_back([&, p]() {
+      for (int i = 0; i < kPerProducer; ++i) {
+        std::mutex mu;
+        std::condition_variable cv;
+        bool done = false;
+        queue.TryEnqueue(ScalarTuple(static_cast<float>(p * kPerProducer + i)),
+                         nullptr, [&](const Status& s) {
+                           TF_CHECK_OK(s);
+                           std::lock_guard<std::mutex> lock(mu);
+                           done = true;
+                           cv.notify_one();
+                         });
+        std::unique_lock<std::mutex> lock(mu);
+        cv.wait(lock, [&]() { return done; });
+      }
+    });
+  }
+  threads.emplace_back([&]() {
+    while (consumed.load() < kPerProducer * kProducers) {
+      std::mutex mu;
+      std::condition_variable cv;
+      bool done = false;
+      queue.TryDequeue(1, false, nullptr,
+                       [&](const Status& s, const QueueResource::Tuple& t) {
+                         TF_CHECK_OK(s);
+                         sum += static_cast<long long>(*t[0].data<float>());
+                         ++consumed;
+                         std::lock_guard<std::mutex> lock(mu);
+                         done = true;
+                         cv.notify_one();
+                       });
+      std::unique_lock<std::mutex> lock(mu);
+      cv.wait(lock, [&]() { return done; });
+    }
+  });
+  for (auto& t : threads) t.join();
+  long long n = kPerProducer * kProducers;
+  EXPECT_EQ(consumed.load(), n);
+  EXPECT_EQ(sum.load(), n * (n - 1) / 2);  // every value exactly once
+}
+
+}  // namespace
+}  // namespace tfrepro

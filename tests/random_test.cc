@@ -1,0 +1,111 @@
+#include "core/random.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace tfrepro {
+namespace {
+
+TEST(PhiloxTest, Deterministic) {
+  PhiloxRandom a(42);
+  PhiloxRandom b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next4(), b.Next4());
+  }
+}
+
+TEST(PhiloxTest, SeedChangesStream) {
+  PhiloxRandom a(1);
+  PhiloxRandom b(2);
+  int differ = 0;
+  for (int i = 0; i < 16; ++i) {
+    if (a.Next4() != b.Next4()) ++differ;
+  }
+  EXPECT_GT(differ, 12);
+}
+
+TEST(PhiloxTest, StreamsAreIndependent) {
+  PhiloxRandom a(7, 0);
+  PhiloxRandom b(7, 1);
+  EXPECT_NE(a.Next4(), b.Next4());
+}
+
+TEST(PhiloxTest, UniformInUnitInterval) {
+  PhiloxRandom rng(123);
+  double sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    float u = rng.Uniform();
+    ASSERT_GE(u, 0.0f);
+    ASSERT_LT(u, 1.0f);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / n, 0.5, 0.02);
+}
+
+TEST(PhiloxTest, NormalMoments) {
+  PhiloxRandom rng(321);
+  double sum = 0;
+  double sumsq = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    float v = rng.Normal();
+    sum += v;
+    sumsq += static_cast<double>(v) * v;
+  }
+  double mean = sum / n;
+  double var = sumsq / n - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.03);
+  EXPECT_NEAR(var, 1.0, 0.05);
+}
+
+TEST(PhiloxTest, TruncatedNormalBounded) {
+  PhiloxRandom rng(99);
+  for (int i = 0; i < 5000; ++i) {
+    float v = rng.TruncatedNormal();
+    ASSERT_GT(v, -2.0f);
+    ASSERT_LT(v, 2.0f);
+  }
+}
+
+TEST(PhiloxTest, UniformIntInRange) {
+  PhiloxRandom rng(17);
+  std::vector<int> counts(10, 0);
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    uint64_t v = rng.UniformInt(10);
+    ASSERT_LT(v, 10u);
+    ++counts[v];
+  }
+  for (int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c) / n, 0.1, 0.02);
+  }
+}
+
+TEST(PhiloxTest, UniformIntZeroRange) {
+  PhiloxRandom rng(5);
+  EXPECT_EQ(rng.UniformInt(0), 0u);
+}
+
+TEST(PhiloxTest, SkipAdvancesCounter) {
+  PhiloxRandom a(42);
+  PhiloxRandom b(42);
+  a.Next4();
+  a.Next4();
+  b.Skip(2);
+  EXPECT_EQ(a.Next4(), b.Next4());
+}
+
+TEST(PhiloxTest, DoubleHas53BitResolution) {
+  PhiloxRandom rng(1234);
+  for (int i = 0; i < 1000; ++i) {
+    double d = rng.UniformDouble();
+    ASSERT_GE(d, 0.0);
+    ASSERT_LT(d, 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace tfrepro

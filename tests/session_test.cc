@@ -1,0 +1,481 @@
+// End-to-end tests of DirectSession: pruning, placement, partitioning,
+// executor scheduling, kernels, control flow and queues.
+
+#include "runtime/session.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "graph/ops.h"
+
+namespace tfrepro {
+namespace {
+
+using ops::Const;
+
+std::vector<float> FetchVec(const Tensor& t) {
+  std::vector<float> v(t.num_elements());
+  for (int64_t i = 0; i < t.num_elements(); ++i) v[i] = t.flat<float>(i);
+  return v;
+}
+
+TEST(SessionTest, ConstAdd) {
+  Graph g;
+  GraphBuilder b(&g);
+  Output sum = ops::Add(&b, Const(&b, 3.0f), Const(&b, 4.0f));
+  ASSERT_TRUE(b.ok()) << b.status();
+  auto session = DirectSession::Create(g);
+  ASSERT_TRUE(session.ok()) << session.status();
+  std::vector<Tensor> out;
+  ASSERT_TRUE(session.value()->Run({sum.name()}, &out).ok());
+  EXPECT_EQ(*out[0].data<float>(), 7.0f);
+}
+
+TEST(SessionTest, FeedAndFetch) {
+  Graph g;
+  GraphBuilder b(&g);
+  Output x = ops::Placeholder(&b, DataType::kFloat, TensorShape({2}), "x");
+  Output y = ops::Mul(&b, x, Const(&b, 10.0f));
+  ASSERT_TRUE(b.ok()) << b.status();
+  auto session = DirectSession::Create(g);
+  ASSERT_TRUE(session.ok());
+  std::vector<Tensor> out;
+  Status s = session.value()->Run({{"x", Tensor::Vec<float>({1, 2})}},
+                                  {y.name()}, {}, &out);
+  ASSERT_TRUE(s.ok()) << s;
+  EXPECT_EQ(FetchVec(out[0]), (std::vector<float>{10, 20}));
+}
+
+TEST(SessionTest, UnfedPlaceholderFails) {
+  Graph g;
+  GraphBuilder b(&g);
+  Output x = ops::Placeholder(&b, DataType::kFloat, TensorShape({2}), "x");
+  Output y = ops::Neg(&b, x);
+  ASSERT_TRUE(b.ok());
+  auto session = DirectSession::Create(g);
+  std::vector<Tensor> out;
+  EXPECT_FALSE(session.value()->Run({y.name()}, &out).ok());
+}
+
+TEST(SessionTest, MatMulChain) {
+  Graph g;
+  GraphBuilder b(&g);
+  Output a = Const(&b, Tensor::FromVector<float>({1, 2, 3, 4}, TensorShape({2, 2})));
+  Output c = Const(&b, Tensor::FromVector<float>({5, 6, 7, 8}, TensorShape({2, 2})));
+  Output p = ops::MatMul(&b, a, c);
+  ASSERT_TRUE(b.ok());
+  auto session = DirectSession::Create(g);
+  std::vector<Tensor> out;
+  ASSERT_TRUE(session.value()->Run({p.name()}, &out).ok());
+  EXPECT_EQ(FetchVec(out[0]), (std::vector<float>{19, 22, 43, 50}));
+}
+
+TEST(SessionTest, VariableAssignAndRead) {
+  Graph g;
+  GraphBuilder b(&g);
+  Output v = ops::Variable(&b, DataType::kFloat, TensorShape({2}), "v");
+  Output init = ops::Assign(&b, v, Const(&b, Tensor::Vec<float>({1, 1})));
+  Output bump = ops::AssignAdd(&b, v, Const(&b, Tensor::Vec<float>({1, 2})));
+  Output read = ops::Identity(&b, v);
+  ASSERT_TRUE(b.ok()) << b.status();
+  auto session = DirectSession::Create(g);
+  ASSERT_TRUE(session.ok());
+  // Initialize.
+  ASSERT_TRUE(session.value()->Run({}, {}, {init.node->name()}, nullptr).ok());
+  // Two update steps.
+  ASSERT_TRUE(session.value()->Run({}, {}, {bump.node->name()}, nullptr).ok());
+  ASSERT_TRUE(session.value()->Run({}, {}, {bump.node->name()}, nullptr).ok());
+  std::vector<Tensor> out;
+  ASSERT_TRUE(session.value()->Run({read.name()}, &out).ok());
+  EXPECT_EQ(FetchVec(out[0]), (std::vector<float>{3, 5}));
+}
+
+TEST(SessionTest, UninitializedVariableFails) {
+  Graph g;
+  GraphBuilder b(&g);
+  Output v = ops::Variable(&b, DataType::kFloat, TensorShape({2}), "v");
+  Output bump = ops::AssignAdd(&b, v, Const(&b, Tensor::Vec<float>({1, 2})));
+  ASSERT_TRUE(b.ok());
+  auto session = DirectSession::Create(g);
+  Status s = session.value()->Run({}, {}, {bump.node->name()}, nullptr);
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), Code::kFailedPrecondition);
+}
+
+TEST(SessionTest, CachedStepReusesExecutors) {
+  Graph g;
+  GraphBuilder b(&g);
+  Output x = ops::Placeholder(&b, DataType::kFloat, TensorShape(), "x");
+  Output y = ops::Square(&b, x);
+  ASSERT_TRUE(b.ok());
+  auto session = DirectSession::Create(g);
+  for (int i = 0; i < 50; ++i) {
+    std::vector<Tensor> out;
+    ASSERT_TRUE(session.value()
+                    ->Run({{"x", Tensor::Scalar(static_cast<float>(i))}},
+                          {y.name()}, {}, &out)
+                    .ok());
+    EXPECT_EQ(*out[0].data<float>(), static_cast<float>(i) * i);
+  }
+}
+
+TEST(SessionTest, PruningSkipsUnneededOps) {
+  Graph g;
+  GraphBuilder b(&g);
+  Output x = Const(&b, 2.0f);
+  Output wanted = ops::Square(&b, x);
+  // This op would fail if executed (unfed placeholder), but is pruned.
+  Output ph = ops::Placeholder(&b, DataType::kFloat, TensorShape(), "ph");
+  ops::Mul(&b, ph, x);
+  ASSERT_TRUE(b.ok());
+  auto session = DirectSession::Create(g);
+  std::vector<Tensor> out;
+  ASSERT_TRUE(session.value()->Run({wanted.name()}, &out).ok());
+  EXPECT_EQ(*out[0].data<float>(), 4.0f);
+}
+
+TEST(SessionTest, ConditionalSwitchMergeTrueBranch) {
+  Graph g;
+  GraphBuilder b(&g);
+  Output pred = ops::Placeholder(&b, DataType::kBool, TensorShape(), "pred");
+  Output x = Const(&b, 10.0f);
+  Node* sw = ops::Switch(&b, x, pred);
+  // False branch: x * 2; true branch: x + 100.
+  Output f = ops::Mul(&b, Output(sw, 0), Const(&b, 2.0f));
+  Output t = ops::Add(&b, Output(sw, 1), Const(&b, 100.0f));
+  Node* merge = ops::Merge(&b, {f, t});
+  ASSERT_TRUE(b.ok()) << b.status();
+  auto session = DirectSession::Create(g);
+
+  std::vector<Tensor> out;
+  ASSERT_TRUE(session.value()
+                  ->Run({{"pred", Tensor::Scalar(true)}},
+                        {Output(merge, 0).name()}, {}, &out)
+                  .ok());
+  EXPECT_EQ(*out[0].data<float>(), 110.0f);
+
+  ASSERT_TRUE(session.value()
+                  ->Run({{"pred", Tensor::Scalar(false)}},
+                        {Output(merge, 0).name()}, {}, &out)
+                  .ok());
+  EXPECT_EQ(*out[0].data<float>(), 20.0f);
+}
+
+TEST(SessionTest, MergeValueIndexReportsTakenBranch) {
+  Graph g;
+  GraphBuilder b(&g);
+  Output pred = ops::Placeholder(&b, DataType::kBool, TensorShape(), "pred");
+  Output x = Const(&b, 1.0f);
+  Node* sw = ops::Switch(&b, x, pred);
+  Node* merge = ops::Merge(&b, {Output(sw, 0), Output(sw, 1)});
+  ASSERT_TRUE(b.ok());
+  auto session = DirectSession::Create(g);
+  std::vector<Tensor> out;
+  ASSERT_TRUE(session.value()
+                  ->Run({{"pred", Tensor::Scalar(true)}},
+                        {Output(merge, 1).name()}, {}, &out)
+                  .ok());
+  EXPECT_EQ(*out[0].data<int32_t>(), 1);
+}
+
+TEST(SessionTest, FetchingDeadTensorFails) {
+  Graph g;
+  GraphBuilder b(&g);
+  Output pred = ops::Placeholder(&b, DataType::kBool, TensorShape(), "pred");
+  Output x = Const(&b, 1.0f);
+  Node* sw = ops::Switch(&b, x, pred);
+  Output dead_branch = ops::Identity(&b, Output(sw, 0));  // false branch
+  ASSERT_TRUE(b.ok());
+  auto session = DirectSession::Create(g);
+  std::vector<Tensor> out;
+  Status s = session.value()->Run({{"pred", Tensor::Scalar(true)}},
+                                  {dead_branch.name()}, {}, &out);
+  EXPECT_FALSE(s.ok());
+}
+
+// A while loop: i = 0; while (i < 5) i += 1. Built from raw control-flow
+// primitives the way §3.4 describes.
+TEST(SessionTest, WhileLoop) {
+  Graph g;
+  GraphBuilder b(&g);
+  const std::string frame = "loop";
+  Output zero = Const(&b, 0.0f);
+  Output enter = ops::Enter(&b, zero, frame);
+  Node* merge = ops::Merge(&b, {enter, enter});  // placeholder 2nd input
+  // Replace second merge input with the back edge below.
+  Output i(merge, 0);
+  Output limit = ops::Enter(&b, Const(&b, 5.0f), frame, /*is_constant=*/true);
+  Output cond = ops::Less(&b, i, limit);
+  Output loop_cond = ops::LoopCond(&b, cond);
+  Node* sw = ops::Switch(&b, i, loop_cond);
+  Output exit = ops::Exit(&b, Output(sw, 0));
+  Output one = ops::Enter(&b, Const(&b, 1.0f), frame, /*is_constant=*/true);
+  Output next_val = ops::Add(&b, Output(sw, 1), one);
+  Output next = ops::NextIteration(&b, next_val);
+  ASSERT_TRUE(b.ok()) << b.status();
+  // Wire the back edge: replace merge's second input.
+  Result<const Edge*> second = merge->input_edge(1);
+  ASSERT_TRUE(second.ok());
+  g.RemoveEdge(second.value());
+  ASSERT_TRUE(g.AddEdge(next.node, 0, merge, 1).ok());
+
+  auto session = DirectSession::Create(g);
+  ASSERT_TRUE(session.ok());
+  std::vector<Tensor> out;
+  Status s = session.value()->Run({exit.name()}, &out);
+  ASSERT_TRUE(s.ok()) << s;
+  EXPECT_EQ(*out[0].data<float>(), 5.0f);
+}
+
+TEST(SessionTest, QueueEnqueueDequeue) {
+  Graph g;
+  GraphBuilder b(&g);
+  Output q = ops::FIFOQueue(&b, {DataType::kFloat}, 10);
+  Output val = ops::Placeholder(&b, DataType::kFloat, TensorShape(), "val");
+  Node* enqueue = ops::QueueEnqueue(&b, q, {val});
+  std::vector<Output> dq = ops::QueueDequeue(&b, q, {DataType::kFloat});
+  Output size = ops::QueueSize(&b, q);
+  ASSERT_TRUE(b.ok()) << b.status();
+  auto session = DirectSession::Create(g);
+
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(session.value()
+                    ->Run({{"val", Tensor::Scalar(static_cast<float>(i))}},
+                          {}, {enqueue->name()}, nullptr)
+                    .ok());
+  }
+  std::vector<Tensor> out;
+  ASSERT_TRUE(session.value()->Run({size.name()}, &out).ok());
+  EXPECT_EQ(*out[0].data<int32_t>(), 3);
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(session.value()->Run({dq[0].name()}, &out).ok());
+    EXPECT_EQ(*out[0].data<float>(), static_cast<float>(i));  // FIFO order
+  }
+}
+
+TEST(SessionTest, QueueBlocksUntilEnqueue) {
+  Graph g;
+  GraphBuilder b(&g);
+  Output q = ops::FIFOQueue(&b, {DataType::kFloat}, 10);
+  Output val = ops::Placeholder(&b, DataType::kFloat, TensorShape(), "val");
+  Node* enqueue = ops::QueueEnqueue(&b, q, {val});
+  std::vector<Output> dq = ops::QueueDequeue(&b, q, {DataType::kFloat});
+  ASSERT_TRUE(b.ok());
+  auto session = DirectSession::Create(g);
+  DirectSession* sess = session.value().get();
+
+  // Dequeue in a thread; it must block until the enqueue arrives.
+  std::vector<Tensor> out;
+  Status dq_status;
+  std::thread consumer([&]() { dq_status = sess->Run({dq[0].name()}, &out); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  ASSERT_TRUE(sess->Run({{"val", Tensor::Scalar(42.0f)}}, {},
+                        {enqueue->name()}, nullptr)
+                  .ok());
+  consumer.join();
+  ASSERT_TRUE(dq_status.ok()) << dq_status;
+  EXPECT_EQ(*out[0].data<float>(), 42.0f);
+}
+
+TEST(SessionTest, DequeueManyBatches) {
+  Graph g;
+  GraphBuilder b(&g);
+  Output q = ops::FIFOQueue(&b, {DataType::kFloat}, 10);
+  Output val = ops::Placeholder(&b, DataType::kFloat, TensorShape({2}), "val");
+  Node* enqueue = ops::QueueEnqueue(&b, q, {val});
+  std::vector<Output> dq =
+      ops::QueueDequeueMany(&b, q, Const(&b, int32_t{3}), {DataType::kFloat});
+  ASSERT_TRUE(b.ok());
+  auto session = DirectSession::Create(g);
+  for (int i = 0; i < 3; ++i) {
+    float base = static_cast<float>(i * 2);
+    ASSERT_TRUE(
+        session.value()
+            ->Run({{"val", Tensor::Vec<float>({base, base + 1})}}, {},
+                  {enqueue->name()}, nullptr)
+            .ok());
+  }
+  std::vector<Tensor> out;
+  ASSERT_TRUE(session.value()->Run({dq[0].name()}, &out).ok());
+  EXPECT_EQ(out[0].shape().DebugString(), "[3,2]");
+  EXPECT_EQ(out[0].matrix<float>(2, 1), 5.0f);
+}
+
+TEST(SessionTest, MultiDevicePartitioningWithSendRecv) {
+  Graph g;
+  GraphBuilder b(&g);
+  Output x;
+  {
+    GraphBuilder::DeviceScope scope(&b, "/device:CPU:1");
+    x = ops::Mul(&b, Const(&b, 3.0f), Const(&b, 5.0f));
+  }
+  Output y = ops::Add(&b, x, Const(&b, 1.0f));  // placed on CPU:0
+  ASSERT_TRUE(b.ok());
+  SessionOptions options;
+  options.num_devices = 2;
+  auto session = DirectSession::Create(g, options);
+  ASSERT_TRUE(session.ok()) << session.status();
+  std::vector<Tensor> out;
+  Status s = session.value()->Run({y.name()}, &out);
+  ASSERT_TRUE(s.ok()) << s;
+  EXPECT_EQ(*out[0].data<float>(), 16.0f);
+}
+
+TEST(SessionTest, ColocationConstraintViolationDetected) {
+  Graph g;
+  GraphBuilder b(&g);
+  Output v;
+  {
+    GraphBuilder::DeviceScope scope(&b, "/device:CPU:1");
+    v = ops::Variable(&b, DataType::kFloat, TensorShape({1}), "v");
+  }
+  Output value = Const(&b, Tensor::Vec<float>({1.0f}));
+  Output assign;
+  {
+    GraphBuilder::DeviceScope scope(&b, "/device:CPU:0");
+    assign = ops::Assign(&b, v, value);
+  }
+  ASSERT_TRUE(b.ok());
+  SessionOptions options;
+  options.num_devices = 2;
+  auto session = DirectSession::Create(g, options);
+  // Variable and Assign have conflicting explicit constraints.
+  std::vector<Tensor> out;
+  Status s = session.value()->Run({}, {}, {assign.node->name()}, nullptr);
+  EXPECT_FALSE(s.ok());
+}
+
+TEST(SessionTest, ConcurrentStepsOnSharedState) {
+  // Paper §3.2: multiple concurrent steps coordinate through shared
+  // variables. N threads each run AssignAdd(v, 1) k times.
+  Graph g;
+  GraphBuilder b(&g);
+  Output v = ops::Variable(&b, DataType::kFloat, TensorShape(), "v");
+  Output init = ops::Assign(&b, v, Const(&b, 0.0f));
+  Output bump = ops::AssignAdd(&b, v, Const(&b, 1.0f));
+  Output read = ops::Identity(&b, v);
+  ASSERT_TRUE(b.ok());
+  auto session = DirectSession::Create(g);
+  DirectSession* sess = session.value().get();
+  ASSERT_TRUE(sess->Run({}, {}, {init.node->name()}, nullptr).ok());
+
+  constexpr int kThreads = 4;
+  constexpr int kSteps = 25;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&]() {
+      for (int i = 0; i < kSteps; ++i) {
+        TF_CHECK_OK(sess->Run({}, {}, {bump.node->name()}, nullptr));
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  std::vector<Tensor> out;
+  ASSERT_TRUE(sess->Run({read.name()}, &out).ok());
+  EXPECT_EQ(*out[0].data<float>(), kThreads * kSteps);
+}
+
+TEST(SessionTest, GatherAndDynamicPartitionStitchRoundTrip) {
+  // The sharded-embedding dataflow of Figure 3, single-process.
+  Graph g;
+  GraphBuilder b(&g);
+  Output params = Const(
+      &b, Tensor::FromVector<float>({0, 0, 10, 10, 20, 20, 30, 30, 40, 40},
+                                    TensorShape({5, 2})));
+  Output indices = ops::Placeholder(&b, DataType::kInt32, TensorShape({3}),
+                                    "indices");
+  // Shard by parity (mod 2), gather per-shard, stitch back together.
+  Output shard_ids =
+      b.Op("Mod")
+          .Input(indices)
+          .Input(Const(&b, Tensor::Vec<int32_t>({2, 2, 2})))
+          .Attr("T", DataType::kInt32)
+          .Finalize();
+  std::vector<Output> parts = ops::DynamicPartition(&b, indices, shard_ids, 2);
+  // Positions of each index in the original vector, partitioned the same way.
+  Output positions = ops::Range(&b, Const(&b, int32_t{0}),
+                                Const(&b, int32_t{3}), Const(&b, int32_t{1}));
+  std::vector<Output> pos_parts =
+      ops::DynamicPartition(&b, positions, shard_ids, 2);
+  Output g0 = ops::Gather(&b, params, parts[0]);
+  Output g1 = ops::Gather(&b, params, parts[1]);
+  Output stitched = ops::DynamicStitch(&b, pos_parts, {g0, g1});
+  ASSERT_TRUE(b.ok()) << b.status();
+  auto session = DirectSession::Create(g);
+  std::vector<Tensor> out;
+  Status s = session.value()->Run({{"indices", Tensor::Vec<int32_t>({4, 1, 2})}},
+                                  {stitched.name()}, {}, &out);
+  ASSERT_TRUE(s.ok()) << s;
+  EXPECT_EQ(out[0].shape().DebugString(), "[3,2]");
+  EXPECT_EQ(out[0].matrix<float>(0, 0), 40.0f);
+  EXPECT_EQ(out[0].matrix<float>(1, 0), 10.0f);
+  EXPECT_EQ(out[0].matrix<float>(2, 0), 20.0f);
+}
+
+TEST(SessionTest, SaveRestoreRoundTrip) {
+  std::string path = ::testing::TempDir() + "/ckpt_session_test";
+  {
+    Graph g;
+    GraphBuilder b(&g);
+    Output v = ops::Variable(&b, DataType::kFloat, TensorShape({3}), "v");
+    Output init =
+        ops::Assign(&b, v, Const(&b, Tensor::Vec<float>({7, 8, 9})));
+    Node* save = ops::Save(&b, Const(&b, Tensor::Scalar(path)),
+                           Const(&b, Tensor::Scalar(std::string("v"))),
+                           {ops::Identity(&b, v)});
+    ASSERT_TRUE(b.ok()) << b.status();
+    auto session = DirectSession::Create(g);
+    ASSERT_TRUE(session.value()->Run({}, {}, {init.node->name()}, nullptr).ok());
+    ASSERT_TRUE(session.value()->Run({}, {}, {save->name()}, nullptr).ok());
+  }
+  {
+    Graph g;
+    GraphBuilder b(&g);
+    Output restored =
+        ops::Restore(&b, Const(&b, Tensor::Scalar(path)),
+                     Const(&b, Tensor::Scalar(std::string("v"))),
+                     DataType::kFloat);
+    ASSERT_TRUE(b.ok());
+    auto session = DirectSession::Create(g);
+    std::vector<Tensor> out;
+    ASSERT_TRUE(session.value()->Run({restored.name()}, &out).ok());
+    EXPECT_EQ(FetchVec(out[0]), (std::vector<float>{7, 8, 9}));
+  }
+}
+
+TEST(SessionTest, KernelErrorPropagates) {
+  Graph g;
+  GraphBuilder b(&g);
+  // MatMul with mismatched inner dimensions fails at runtime.
+  Output a = Const(&b, Tensor::FromVector<float>({1, 2}, TensorShape({1, 2})));
+  Output c = Const(&b, Tensor::FromVector<float>({1, 2, 3}, TensorShape({1, 3})));
+  Output p = ops::MatMul(&b, a, c);
+  ASSERT_TRUE(b.ok());
+  auto session = DirectSession::Create(g);
+  std::vector<Tensor> out;
+  Status s = session.value()->Run({p.name()}, &out);
+  EXPECT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("MatMul"), std::string::npos);
+}
+
+TEST(SessionTest, ReductionsAndBroadcasting) {
+  Graph g;
+  GraphBuilder b(&g);
+  Output m = Const(&b, Tensor::FromVector<float>({1, 2, 3, 4, 5, 6},
+                                                 TensorShape({2, 3})));
+  Output row = Const(&b, Tensor::Vec<float>({10, 20, 30}));
+  Output sum = ops::Add(&b, m, row);              // broadcast add
+  Output total = ops::SumAll(&b, sum);            // reduce all
+  Output mean0 = ops::Mean(&b, m, ops::ConstVecI32(&b, {0}));
+  ASSERT_TRUE(b.ok());
+  auto session = DirectSession::Create(g);
+  std::vector<Tensor> out;
+  ASSERT_TRUE(
+      session.value()->Run({total.name(), mean0.name()}, &out).ok());
+  EXPECT_EQ(*out[0].data<float>(), 21 + 120);
+  EXPECT_EQ(FetchVec(out[1]), (std::vector<float>{2.5f, 3.5f, 4.5f}));
+}
+
+}  // namespace
+}  // namespace tfrepro

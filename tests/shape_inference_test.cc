@@ -1,0 +1,273 @@
+// Tests for static shape inference over partially-known shapes.
+
+#include "graph/shape_inference.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/ops.h"
+
+namespace tfrepro {
+namespace {
+
+using ops::Const;
+
+PartialShape ShapeOf(const Graph& g, const Output& out) {
+  std::map<std::pair<int, int>, PartialShape> shapes;
+  TF_CHECK_OK(InferShapes(g, &shapes));
+  return shapes[{out.node->id(), out.index}];
+}
+
+TEST(PartialShapeTest, MergeRules) {
+  PartialShape unknown;
+  PartialShape known({2, 3});
+  PartialShape partial({2, -1});
+  EXPECT_EQ(PartialShape::Merge(unknown, known).value().DebugString(),
+            "[2,3]");
+  EXPECT_EQ(PartialShape::Merge(partial, known).value().DebugString(),
+            "[2,3]");
+  EXPECT_FALSE(PartialShape::Merge(known, PartialShape({2, 4})).ok());
+  EXPECT_FALSE(PartialShape::Merge(known, PartialShape({2})).ok());
+}
+
+TEST(PartialShapeTest, Compatibility) {
+  PartialShape partial({2, -1});
+  EXPECT_TRUE(partial.IsCompatibleWith(TensorShape({2, 7})));
+  EXPECT_FALSE(partial.IsCompatibleWith(TensorShape({3, 7})));
+  EXPECT_FALSE(partial.IsCompatibleWith(TensorShape({2})));
+  PartialShape unknown;
+  EXPECT_TRUE(unknown.IsCompatibleWith(TensorShape({5, 5, 5})));
+}
+
+TEST(ShapeInferenceTest, ConstAndElementwise) {
+  Graph g;
+  GraphBuilder b(&g);
+  Output c = Const(&b, Tensor::FromVector<float>({1, 2, 3, 4, 5, 6},
+                                                 TensorShape({2, 3})));
+  Output sq = ops::Square(&b, c);
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(ShapeOf(g, sq).DebugString(), "[2,3]");
+}
+
+TEST(ShapeInferenceTest, BroadcastShapes) {
+  Graph g;
+  GraphBuilder b(&g);
+  Output m = Const(&b, Tensor(DataType::kFloat, TensorShape({4, 3})));
+  Output v = Const(&b, Tensor(DataType::kFloat, TensorShape({3})));
+  Output sum = ops::Add(&b, m, v);
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(ShapeOf(g, sum).DebugString(), "[4,3]");
+}
+
+TEST(ShapeInferenceTest, IncompatibleBroadcastRejected) {
+  Graph g;
+  GraphBuilder b(&g);
+  Output a = Const(&b, Tensor(DataType::kFloat, TensorShape({4, 3})));
+  Output c = Const(&b, Tensor(DataType::kFloat, TensorShape({4, 2})));
+  ops::Add(&b, a, c);
+  ASSERT_TRUE(b.ok());
+  EXPECT_FALSE(InferShapes(g).ok());
+}
+
+TEST(ShapeInferenceTest, MatMulDims) {
+  Graph g;
+  GraphBuilder b(&g);
+  Output a = ops::Placeholder(&b, DataType::kFloat, TensorShape({8, 16}), "a");
+  Output w = ops::Placeholder(&b, DataType::kFloat, TensorShape({16, 4}), "w");
+  Output p = ops::MatMul(&b, a, w);
+  Output pt = ops::MatMul(&b, w, a, /*ta=*/true, /*tb=*/true);
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(ShapeOf(g, p).DebugString(), "[8,4]");
+  EXPECT_EQ(ShapeOf(g, pt).DebugString(), "[4,8]");
+}
+
+TEST(ShapeInferenceTest, MatMulInnerDimMismatchCaught) {
+  Graph g;
+  GraphBuilder b(&g);
+  Output a = ops::Placeholder(&b, DataType::kFloat, TensorShape({8, 16}), "a");
+  Output w = ops::Placeholder(&b, DataType::kFloat, TensorShape({4, 2}), "w");
+  ops::MatMul(&b, a, w);
+  ASSERT_TRUE(b.ok());
+  Status s = InferShapes(g);
+  EXPECT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("MatMul"), std::string::npos);
+}
+
+TEST(ShapeInferenceTest, ReshapeWithConstTarget) {
+  Graph g;
+  GraphBuilder b(&g);
+  Output v = Const(&b, Tensor(DataType::kFloat, TensorShape({6})));
+  Output r = ops::Reshape(&b, v, {2, 3});
+  Output inferred = ops::Reshape(&b, v, {3, -1});
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(ShapeOf(g, r).DebugString(), "[2,3]");
+  EXPECT_EQ(ShapeOf(g, inferred).DebugString(), "[3,2]");
+}
+
+TEST(ShapeInferenceTest, Conv2DAndPool) {
+  Graph g;
+  GraphBuilder b(&g);
+  Output img = ops::Placeholder(&b, DataType::kFloat,
+                                TensorShape({2, 28, 28, 3}), "img");
+  Output filter =
+      Const(&b, Tensor(DataType::kFloat, TensorShape({5, 5, 3, 16})));
+  Output conv = ops::Conv2D(&b, img, filter, {1, 2, 2, 1}, "SAME");
+  Output pool = ops::MaxPool(&b, conv, {1, 2, 2, 1}, {1, 2, 2, 1}, "SAME");
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(ShapeOf(g, conv).DebugString(), "[2,14,14,16]");
+  EXPECT_EQ(ShapeOf(g, pool).DebugString(), "[2,7,7,16]");
+}
+
+TEST(ShapeInferenceTest, Conv2DChannelMismatchCaught) {
+  Graph g;
+  GraphBuilder b(&g);
+  Output img = ops::Placeholder(&b, DataType::kFloat,
+                                TensorShape({2, 28, 28, 3}), "img");
+  Output filter =
+      Const(&b, Tensor(DataType::kFloat, TensorShape({5, 5, 4, 16})));
+  ops::Conv2D(&b, img, filter, {1, 1, 1, 1}, "SAME");
+  ASSERT_TRUE(b.ok());
+  EXPECT_FALSE(InferShapes(g).ok());
+}
+
+TEST(ShapeInferenceTest, GatherComposesIndicesAndRowShape) {
+  Graph g;
+  GraphBuilder b(&g);
+  Output params =
+      ops::Placeholder(&b, DataType::kFloat, TensorShape({100, 8}), "p");
+  Output idx = ops::Placeholder(&b, DataType::kInt32, TensorShape({5}), "i");
+  Output out = ops::Gather(&b, params, idx);
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(ShapeOf(g, out).DebugString(), "[5,8]");
+}
+
+TEST(ShapeInferenceTest, ConcatSumsAxisDim) {
+  Graph g;
+  GraphBuilder b(&g);
+  Output a = Const(&b, Tensor(DataType::kFloat, TensorShape({2, 3})));
+  Output c = Const(&b, Tensor(DataType::kFloat, TensorShape({2, 5})));
+  Output cat = ops::Concat(&b, 1, {a, c});
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(ShapeOf(g, cat).DebugString(), "[2,8]");
+}
+
+TEST(ShapeInferenceTest, UnknownOpsArePermissive) {
+  Graph g;
+  GraphBuilder b(&g);
+  // DynamicStitch has no shape fn; its consumers just see unknown.
+  Output idx = Const(&b, Tensor::Vec<int32_t>({0, 1}));
+  Output data = Const(&b, Tensor::FromVector<float>({1, 2}, TensorShape({2, 1})));
+  Output stitched = ops::DynamicStitch(&b, {idx}, {data});
+  Output after = ops::Square(&b, stitched);
+  ASSERT_TRUE(b.ok());
+  PartialShape s = ShapeOf(g, after);
+  EXPECT_FALSE(s.has_rank());
+}
+
+TEST(ShapeInferenceTest, VariableShapeFromAttr) {
+  Graph g;
+  GraphBuilder b(&g);
+  Output v = ops::Variable(&b, DataType::kFloat, TensorShape({7, 7}), "v");
+  Output read = ops::Identity(&b, v);
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(ShapeOf(g, read).DebugString(), "[7,7]");
+}
+
+TEST(ShapeInferenceTest, XentProducesPerExampleLoss) {
+  Graph g;
+  GraphBuilder b(&g);
+  Output logits =
+      ops::Placeholder(&b, DataType::kFloat, TensorShape({32, 10}), "l");
+  Output labels =
+      ops::Placeholder(&b, DataType::kInt64, TensorShape({32}), "y");
+  Node* xent = ops::SparseSoftmaxCrossEntropyWithLogits(&b, logits, labels);
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(ShapeOf(g, Output(xent, 0)).DebugString(), "[32]");
+  EXPECT_EQ(ShapeOf(g, Output(xent, 1)).DebugString(), "[32,10]");
+}
+
+TEST(ShapeInferenceTest, LoopGraphInfersWithoutCycleTrouble) {
+  Graph g;
+  GraphBuilder b(&g);
+  Output x = Const(&b, 1.0f);
+  Output enter = ops::Enter(&b, x, "f");
+  Node* merge = ops::Merge(&b, {enter, enter});
+  Output cond = ops::LoopCond(&b, ops::Less(&b, Output(merge, 0),
+                                            ops::Enter(&b, Const(&b, 5.0f),
+                                                       "f", true)));
+  Node* sw = ops::Switch(&b, Output(merge, 0), cond);
+  Output exit = ops::Exit(&b, Output(sw, 0));
+  Output next = ops::NextIteration(
+      &b, ops::Add(&b, Output(sw, 1),
+                   ops::Enter(&b, Const(&b, 1.0f), "f", true)));
+  Result<const Edge*> second = merge->input_edge(1);
+  ASSERT_TRUE(second.ok());
+  g.RemoveEdge(second.value());
+  ASSERT_TRUE(g.AddEdge(next.node, 0, merge, 1).ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(ShapeOf(g, exit).DebugString(), "[]");
+}
+
+
+TEST(ShapeInferenceTest, ReductionWithConstAxes) {
+  Graph g;
+  GraphBuilder b(&g);
+  Output m = Const(&b, Tensor(DataType::kFloat, TensorShape({4, 5, 6})));
+  Output keep = ops::Sum(&b, m, ops::ConstVecI32(&b, {1}), /*keep_dims=*/true);
+  Output drop = ops::Sum(&b, m, ops::ConstVecI32(&b, {0, 2}));
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(ShapeOf(g, keep).DebugString(), "[4,1,6]");
+  EXPECT_EQ(ShapeOf(g, drop).DebugString(), "[5]");
+}
+
+TEST(ShapeInferenceTest, PackUnpackSplitTranspose) {
+  Graph g;
+  GraphBuilder b(&g);
+  Output v = Const(&b, Tensor(DataType::kFloat, TensorShape({3, 4})));
+  Output packed = ops::Pack(&b, {v, v}, /*axis=*/1);
+  std::vector<Output> unpacked = ops::Unpack(&b, v, 3, /*axis=*/0);
+  std::vector<Output> split = ops::Split(&b, 1, v, 2);
+  Output transposed = ops::Transpose(&b, v, {1, 0});
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(ShapeOf(g, packed).DebugString(), "[3,2,4]");
+  EXPECT_EQ(ShapeOf(g, unpacked[0]).DebugString(), "[4]");
+  EXPECT_EQ(ShapeOf(g, split[1]).DebugString(), "[3,2]");
+  EXPECT_EQ(ShapeOf(g, transposed).DebugString(), "[4,3]");
+}
+
+TEST(ShapeInferenceTest, UnpackNumMismatchCaught) {
+  Graph g;
+  GraphBuilder b(&g);
+  Output v = Const(&b, Tensor(DataType::kFloat, TensorShape({3, 4})));
+  ops::Unpack(&b, v, 5, /*axis=*/0);  // dim 0 is 3, not 5
+  ASSERT_TRUE(b.ok());
+  EXPECT_FALSE(InferShapes(g).ok());
+}
+
+TEST(ShapeInferenceTest, ArgMaxOneHotSelectAddN) {
+  Graph g;
+  GraphBuilder b(&g);
+  Output m = Const(&b, Tensor(DataType::kFloat, TensorShape({6, 9})));
+  Output arg = ops::ArgMax(&b, m, 1);
+  Output hot = ops::OneHot(&b, arg, 9);
+  Output summed = ops::AddN(&b, {m, m, m});
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(ShapeOf(g, arg).DebugString(), "[6]");
+  EXPECT_EQ(ShapeOf(g, hot).DebugString(), "[6,9]");
+  EXPECT_EQ(ShapeOf(g, summed).DebugString(), "[6,9]");
+}
+
+TEST(ShapeInferenceTest, AddNIncompatibleInputsCaught) {
+  Graph g;
+  GraphBuilder b(&g);
+  Output a = Const(&b, Tensor(DataType::kFloat, TensorShape({2, 2})));
+  Output c = Const(&b, Tensor(DataType::kFloat, TensorShape({4})));
+  // Same element count, different shapes: AddN requires equal shapes.
+  Output r = ops::Reshape(&b, c, {2, 3});  // also provably wrong: 4 -> 6
+  (void)r;
+  ops::AddN(&b, {a, Const(&b, Tensor(DataType::kFloat, TensorShape({2, 3})))});
+  ASSERT_TRUE(b.ok());
+  EXPECT_FALSE(InferShapes(g).ok());
+}
+
+}  // namespace
+}  // namespace tfrepro

@@ -1,0 +1,314 @@
+// Tests for the discrete-event substrate and the cluster simulator:
+// correctness of the event loop, fair sharing, service queueing, and the
+// qualitative properties the paper's figures rest on (contention grows with
+// workers, sync waits on stragglers, backup workers trim the tail).
+
+#include <gtest/gtest.h>
+
+#include "sim/cluster_sim.h"
+#include "sim/cost_model.h"
+#include "sim/des.h"
+
+namespace tfrepro {
+namespace sim {
+namespace {
+
+TEST(SimulatorTest, EventsFireInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.At(2.0, [&]() { order.push_back(2); });
+  sim.At(1.0, [&]() { order.push_back(1); });
+  sim.At(3.0, [&]() { order.push_back(3); });
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(sim.Now(), 3.0);
+}
+
+TEST(SimulatorTest, NestedScheduling) {
+  Simulator sim;
+  double fired_at = -1;
+  sim.At(1.0, [&]() {
+    sim.After(0.5, [&]() { fired_at = sim.Now(); });
+  });
+  sim.Run();
+  EXPECT_DOUBLE_EQ(fired_at, 1.5);
+}
+
+TEST(ServiceQueueTest, JobsSerialize) {
+  Simulator sim;
+  ServiceQueue queue(&sim);
+  std::vector<double> done_times;
+  for (int i = 0; i < 3; ++i) {
+    queue.Enqueue(1.0, [&]() { done_times.push_back(sim.Now()); });
+  }
+  sim.Run();
+  ASSERT_EQ(done_times.size(), 3u);
+  EXPECT_DOUBLE_EQ(done_times[0], 1.0);
+  EXPECT_DOUBLE_EQ(done_times[1], 2.0);
+  EXPECT_DOUBLE_EQ(done_times[2], 3.0);
+}
+
+TEST(NetSimTest, SingleFlowTakesBytesOverBandwidth) {
+  Simulator sim;
+  NetSim net(&sim);
+  int a = net.AddTask(100.0, 100.0);
+  int b = net.AddTask(100.0, 100.0);
+  double done = -1;
+  net.Transfer(a, b, 200.0, /*latency=*/0.5, [&]() { done = sim.Now(); });
+  sim.Run();
+  EXPECT_NEAR(done, 0.5 + 2.0, 1e-9);
+}
+
+TEST(NetSimTest, TwoFlowsShareTheSenderNic) {
+  Simulator sim;
+  NetSim net(&sim);
+  int a = net.AddTask(100.0, 1e9);
+  int b = net.AddTask(1e9, 1e9);
+  int c = net.AddTask(1e9, 1e9);
+  std::vector<double> done;
+  net.Transfer(a, b, 100.0, 0, [&]() { done.push_back(sim.Now()); });
+  net.Transfer(a, c, 100.0, 0, [&]() { done.push_back(sim.Now()); });
+  sim.Run();
+  ASSERT_EQ(done.size(), 2u);
+  // Each flow gets 50 B/s, so both finish at t=2.
+  EXPECT_NEAR(done[0], 2.0, 1e-6);
+  EXPECT_NEAR(done[1], 2.0, 1e-6);
+}
+
+TEST(NetSimTest, ReceiverContentionReleasesBandwidth) {
+  Simulator sim;
+  NetSim net(&sim);
+  int a = net.AddTask(1e9, 1e9);
+  int b = net.AddTask(1e9, 1e9);
+  int c = net.AddTask(1e9, 100.0);  // rx bottleneck
+  std::vector<double> done;
+  net.Transfer(a, c, 100.0, 0, [&]() { done.push_back(sim.Now()); });
+  net.Transfer(b, c, 300.0, 0, [&]() { done.push_back(sim.Now()); });
+  sim.Run();
+  ASSERT_EQ(done.size(), 2u);
+  // Both at 50 B/s until the short one ends at t=2 (100B); the long one has
+  // 200B left, then runs at 100 B/s: ends at t=4.
+  EXPECT_NEAR(done[0], 2.0, 1e-6);
+  EXPECT_NEAR(done[1], 4.0, 1e-6);
+}
+
+TEST(LogNormalTest, MedianApproximatelyCorrect) {
+  LogNormal dist(2.0, 0.3, 42);
+  std::vector<double> samples;
+  for (int i = 0; i < 4000; ++i) samples.push_back(dist.Sample());
+  std::sort(samples.begin(), samples.end());
+  EXPECT_NEAR(samples[2000], 2.0, 0.1);
+  // All positive.
+  EXPECT_GT(samples.front(), 0.0);
+}
+
+TEST(ClusterSimTest, AsyncThroughputScalesUntilPsSaturates) {
+  // With tiny transfers, doubling workers should nearly double aggregate
+  // steps/sec; with PS-bound transfers, it should not.
+  ClusterConfig config;
+  config.num_ps = 2;
+  config.fetch_bytes = 1e3;
+  config.push_bytes = 1e3;
+  config.compute_median_seconds = 0.01;
+  config.mode = ClusterConfig::Mode::kAsync;
+
+  config.num_workers = 1;
+  double rate1 = SimulateCluster(config, 40).steps_per_second;
+  config.num_workers = 4;
+  double rate4 = SimulateCluster(config, 40).steps_per_second;
+  EXPECT_GT(rate4, rate1 * 3.0);
+
+  // Saturate the PS NICs with big transfers.
+  config.fetch_bytes = 50e6;
+  config.push_bytes = 50e6;
+  config.num_workers = 1;
+  double big1 = SimulateCluster(config, 10).steps_per_second;
+  config.num_workers = 16;
+  double big16 = SimulateCluster(config, 10).steps_per_second;
+  EXPECT_LT(big16, big1 * 8.0);  // clearly sublinear under contention
+}
+
+TEST(ClusterSimTest, SyncStepBoundByStraggler) {
+  ClusterConfig config;
+  config.num_workers = 20;
+  config.num_ps = 4;
+  config.fetch_bytes = 1e3;
+  config.push_bytes = 1e3;
+  config.compute_median_seconds = 1.0;
+  config.compute_sigma = 0.3;
+  config.mode = ClusterConfig::Mode::kSync;
+  ClusterStats stats = SimulateCluster(config, 30);
+  ASSERT_EQ(stats.step_seconds.size(), 30u);
+  // A sync step waits for the slowest of 20 log-normal computes: the median
+  // step must be clearly above the median single-worker compute.
+  EXPECT_GT(stats.Median(), 1.25);
+}
+
+TEST(ClusterSimTest, BackupWorkersReduceMedianStep) {
+  ClusterConfig config;
+  config.num_ps = 4;
+  config.fetch_bytes = 1e4;
+  config.push_bytes = 1e4;
+  config.compute_median_seconds = 1.0;
+  config.compute_sigma = 0.3;
+  config.mode = ClusterConfig::Mode::kSync;
+
+  config.num_workers = 20;
+  config.backup_workers = 0;
+  double no_backup = SimulateCluster(config, 40).Median();
+  config.num_workers = 22;  // same required m = 20, 2 backups
+  config.backup_workers = 2;
+  double with_backup = SimulateCluster(config, 40).Median();
+  EXPECT_LT(with_backup, no_backup);
+}
+
+TEST(ClusterSimTest, AsyncFasterPerStepThanSync) {
+  ClusterConfig config;
+  config.num_workers = 25;
+  config.num_ps = 8;
+  config.fetch_bytes = 1e6;
+  config.push_bytes = 1e6;
+  config.compute_median_seconds = 0.5;
+  config.compute_sigma = 0.25;
+
+  config.mode = ClusterConfig::Mode::kAsync;
+  double async_median = SimulateCluster(config, 30).Median();
+  config.mode = ClusterConfig::Mode::kSync;
+  double sync_median = SimulateCluster(config, 30).Median();
+  // §6.3: "synchronous steps are longer than asynchronous steps, because
+  // all workers must wait for the slowest".
+  EXPECT_GT(sync_median, async_median);
+}
+
+TEST(ClusterSimTest, PsComputeOffloadParallelizesAcrossPs) {
+  // Fig 9 shape: adding PS tasks raises throughput when the offloaded
+  // (softmax) work dominates.
+  ClusterConfig config;
+  config.num_workers = 8;
+  config.fetch_bytes = 1e4;
+  config.push_bytes = 1e4;
+  config.compute_median_seconds = 0.05;
+  config.ps_compute_seconds_per_step = 2.0;
+  config.mode = ClusterConfig::Mode::kAsync;
+
+  config.num_ps = 1;
+  double one_ps = SimulateCluster(config, 10).steps_per_second;
+  config.num_ps = 8;
+  double eight_ps = SimulateCluster(config, 10).steps_per_second;
+  EXPECT_GT(eight_ps, one_ps * 4.0);
+}
+
+TEST(ClusterSimTest, DeterministicUnderSeed) {
+  ClusterConfig config;
+  config.num_workers = 5;
+  config.num_ps = 2;
+  config.fetch_bytes = 1e5;
+  config.push_bytes = 1e5;
+  config.compute_median_seconds = 0.1;
+  config.seed = 99;
+  ClusterStats a = SimulateCluster(config, 20);
+  ClusterStats b = SimulateCluster(config, 20);
+  ASSERT_EQ(a.step_seconds.size(), b.step_seconds.size());
+  for (size_t i = 0; i < a.step_seconds.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.step_seconds[i], b.step_seconds[i]);
+  }
+}
+
+
+TEST(ClusterSimTest, Figure6CalibrationInvariants) {
+  // The §6.2 relationships the calibrated substrate must preserve at any
+  // parameter setting: scalar < sparse < dense step times; dense 1GB about
+  // 10x dense 100MB; sparse independent of table size by construction.
+  auto run = [](double bytes, int workers) {
+    ClusterConfig config;
+    config.num_workers = workers;
+    config.num_ps = 16;
+    config.mode = ClusterConfig::Mode::kSync;
+    config.compute_median_seconds = 50e-6;
+    config.fetch_bytes = bytes;
+    config.push_bytes = bytes;
+    config.seed = 3;
+    return SimulateCluster(config, 8).Median();
+  };
+  double scalar = run(16 * 4.0, 1);
+  double sparse = run(32 * 2048 * 4.0, 1);
+  double dense100 = run(100e6, 1);
+  double dense1g = run(1e9, 1);
+  EXPECT_LT(scalar, sparse);
+  EXPECT_LT(sparse, dense100);
+  EXPECT_LT(dense100, dense1g);
+  EXPECT_NEAR(dense1g / dense100, 10.0, 3.0);
+
+  // Contention: 100 workers push the scalar step into the milliseconds.
+  double scalar100 = run(16 * 4.0, 100);
+  EXPECT_GT(scalar100, scalar * 2);
+  EXPECT_LT(scalar100, 0.05);  // still milliseconds, not seconds
+}
+
+TEST(ClusterSimTest, StragglerMixtureWidensTail) {
+  ClusterConfig config;
+  config.num_workers = 30;
+  config.num_ps = 4;
+  config.fetch_bytes = 1e4;
+  config.push_bytes = 1e4;
+  config.compute_median_seconds = 1.0;
+  config.compute_sigma = 0.05;
+  config.mode = ClusterConfig::Mode::kAsync;
+  config.seed = 21;
+  ClusterStats clean = SimulateCluster(config, 20);
+  config.straggler_prob = 0.05;
+  config.straggler_factor = 3.0;
+  ClusterStats heavy = SimulateCluster(config, 20);
+  // Median barely moves; p99 blows up.
+  EXPECT_LT(heavy.Percentile(50), clean.Percentile(50) * 1.3);
+  EXPECT_GT(heavy.Percentile(99), clean.Percentile(99) * 1.8);
+}
+
+TEST(CostModelTest, TensorFlowMatchesTorchAndBeatsCaffe) {
+  // The Table 1 relationships (§6.1).
+  auto device = TitanX();
+  for (auto model : {nn::AlexNet(128), nn::Overfeat(128), nn::OxfordNet(64),
+                     nn::GoogleNet(128)}) {
+    double tf = TrainingStepSeconds(model, device, TensorFlowProfile());
+    double torch = TrainingStepSeconds(model, device, TorchProfile());
+    double caffe = TrainingStepSeconds(model, device, CaffeProfile());
+    EXPECT_NEAR(tf / torch, 1.0, 0.15) << model.name;
+    EXPECT_GT(caffe / tf, 2.0) << model.name;
+  }
+}
+
+TEST(CostModelTest, NeonFastestOnBigConvModels) {
+  auto device = TitanX();
+  for (auto model : {nn::Overfeat(128), nn::OxfordNet(64), nn::GoogleNet(128)}) {
+    double tf = TrainingStepSeconds(model, device, TensorFlowProfile());
+    double neon = TrainingStepSeconds(model, device, NeonProfile());
+    EXPECT_LT(neon, tf) << model.name;
+  }
+}
+
+TEST(CostModelTest, AbsoluteStepTimesNearPaper) {
+  // Within ~35% of the published Table 1 TensorFlow column.
+  auto device = TitanX();
+  auto tf = TensorFlowProfile();
+  EXPECT_NEAR(TrainingStepSeconds(nn::AlexNet(128), device, tf), 0.081,
+              0.081 * 0.35);
+  EXPECT_NEAR(TrainingStepSeconds(nn::Overfeat(128), device, tf), 0.279,
+              0.279 * 0.35);
+  EXPECT_NEAR(TrainingStepSeconds(nn::OxfordNet(64), device, tf), 0.540,
+              0.540 * 0.35);
+  EXPECT_NEAR(TrainingStepSeconds(nn::GoogleNet(128), device, tf), 0.445,
+              0.445 * 0.35);
+}
+
+TEST(CostModelTest, ForwardCheaperThanTraining) {
+  auto model = nn::AlexNet(128);
+  auto device = TitanX();
+  auto tf = TensorFlowProfile();
+  EXPECT_NEAR(TrainingStepSeconds(model, device, tf) /
+                  ForwardStepSeconds(model, device, tf),
+              3.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace sim
+}  // namespace tfrepro

@@ -1,0 +1,87 @@
+#include "core/status.h"
+
+#include <gtest/gtest.h>
+
+namespace tfrepro {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), Code::kOk);
+  EXPECT_EQ(s.message(), "");
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = InvalidArgument("bad shape");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), Code::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad shape");
+  EXPECT_EQ(s.ToString(), "INVALID_ARGUMENT: bad shape");
+}
+
+TEST(StatusTest, PrependAddsContext) {
+  Status s = NotFound("op 'Foo'");
+  s.Prepend("while building node 'n'");
+  EXPECT_EQ(s.message(), "while building node 'n': op 'Foo'");
+  EXPECT_EQ(s.code(), Code::kNotFound);
+}
+
+TEST(StatusTest, PrependOnOkIsNoOp) {
+  Status s;
+  s.Prepend("context");
+  EXPECT_TRUE(s.ok());
+}
+
+TEST(StatusTest, AllConstructorsProduceMatchingCodes) {
+  EXPECT_EQ(InvalidArgument("m").code(), Code::kInvalidArgument);
+  EXPECT_EQ(NotFound("m").code(), Code::kNotFound);
+  EXPECT_EQ(AlreadyExists("m").code(), Code::kAlreadyExists);
+  EXPECT_EQ(FailedPrecondition("m").code(), Code::kFailedPrecondition);
+  EXPECT_EQ(OutOfRange("m").code(), Code::kOutOfRange);
+  EXPECT_EQ(Unimplemented("m").code(), Code::kUnimplemented);
+  EXPECT_EQ(Internal("m").code(), Code::kInternal);
+  EXPECT_EQ(Aborted("m").code(), Code::kAborted);
+  EXPECT_EQ(Cancelled("m").code(), Code::kCancelled);
+  EXPECT_EQ(ResourceExhausted("m").code(), Code::kResourceExhausted);
+  EXPECT_EQ(Unavailable("m").code(), Code::kUnavailable);
+  EXPECT_EQ(DataLoss("m").code(), Code::kDataLoss);
+}
+
+TEST(StatusTest, CopyIsCheapAndEqual) {
+  Status s = Internal("boom");
+  Status t = s;
+  EXPECT_EQ(s, t);
+  EXPECT_EQ(t.message(), "boom");
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = InvalidArgument("nope");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), Code::kInvalidArgument);
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> r = std::string("hello");
+  std::string v = std::move(r).value();
+  EXPECT_EQ(v, "hello");
+}
+
+TEST(StatusTest, ReturnIfErrorMacro) {
+  auto fails = []() -> Status { return InvalidArgument("inner"); };
+  auto outer = [&]() -> Status {
+    TF_RETURN_IF_ERROR(fails());
+    return Internal("unreachable");
+  };
+  EXPECT_EQ(outer().code(), Code::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace tfrepro
