@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_null_sync.dir/bench_fig6_null_sync.cc.o"
+  "CMakeFiles/bench_fig6_null_sync.dir/bench_fig6_null_sync.cc.o.d"
+  "bench_fig6_null_sync"
+  "bench_fig6_null_sync.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_null_sync.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

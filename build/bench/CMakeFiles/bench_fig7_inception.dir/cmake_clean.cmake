@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_inception.dir/bench_fig7_inception.cc.o"
+  "CMakeFiles/bench_fig7_inception.dir/bench_fig7_inception.cc.o.d"
+  "bench_fig7_inception"
+  "bench_fig7_inception.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_inception.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_backup.dir/bench_fig8_backup.cc.o"
+  "CMakeFiles/bench_fig8_backup.dir/bench_fig8_backup.cc.o.d"
+  "bench_fig8_backup"
+  "bench_fig8_backup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_backup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

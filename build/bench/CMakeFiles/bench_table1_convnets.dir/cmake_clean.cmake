@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_convnets.dir/bench_table1_convnets.cc.o"
+  "CMakeFiles/bench_table1_convnets.dir/bench_table1_convnets.cc.o.d"
+  "bench_table1_convnets"
+  "bench_table1_convnets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_convnets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

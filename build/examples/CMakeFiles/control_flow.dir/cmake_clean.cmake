@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/control_flow.dir/control_flow.cpp.o"
+  "CMakeFiles/control_flow.dir/control_flow.cpp.o.d"
+  "control_flow"
+  "control_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/control_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

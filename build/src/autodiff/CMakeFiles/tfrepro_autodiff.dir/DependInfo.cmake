@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/autodiff/array_grad.cc" "src/autodiff/CMakeFiles/tfrepro_autodiff.dir/array_grad.cc.o" "gcc" "src/autodiff/CMakeFiles/tfrepro_autodiff.dir/array_grad.cc.o.d"
+  "/root/repo/src/autodiff/gradients.cc" "src/autodiff/CMakeFiles/tfrepro_autodiff.dir/gradients.cc.o" "gcc" "src/autodiff/CMakeFiles/tfrepro_autodiff.dir/gradients.cc.o.d"
+  "/root/repo/src/autodiff/math_grad.cc" "src/autodiff/CMakeFiles/tfrepro_autodiff.dir/math_grad.cc.o" "gcc" "src/autodiff/CMakeFiles/tfrepro_autodiff.dir/math_grad.cc.o.d"
+  "/root/repo/src/autodiff/nn_grad.cc" "src/autodiff/CMakeFiles/tfrepro_autodiff.dir/nn_grad.cc.o" "gcc" "src/autodiff/CMakeFiles/tfrepro_autodiff.dir/nn_grad.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

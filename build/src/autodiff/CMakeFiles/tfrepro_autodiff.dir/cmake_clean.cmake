@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tfrepro_autodiff.dir/array_grad.cc.o"
+  "CMakeFiles/tfrepro_autodiff.dir/array_grad.cc.o.d"
+  "CMakeFiles/tfrepro_autodiff.dir/gradients.cc.o"
+  "CMakeFiles/tfrepro_autodiff.dir/gradients.cc.o.d"
+  "CMakeFiles/tfrepro_autodiff.dir/math_grad.cc.o"
+  "CMakeFiles/tfrepro_autodiff.dir/math_grad.cc.o.d"
+  "CMakeFiles/tfrepro_autodiff.dir/nn_grad.cc.o"
+  "CMakeFiles/tfrepro_autodiff.dir/nn_grad.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tfrepro_autodiff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

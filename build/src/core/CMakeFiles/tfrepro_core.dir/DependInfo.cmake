@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/random.cc" "src/core/CMakeFiles/tfrepro_core.dir/random.cc.o" "gcc" "src/core/CMakeFiles/tfrepro_core.dir/random.cc.o.d"
+  "/root/repo/src/core/status.cc" "src/core/CMakeFiles/tfrepro_core.dir/status.cc.o" "gcc" "src/core/CMakeFiles/tfrepro_core.dir/status.cc.o.d"
+  "/root/repo/src/core/tensor.cc" "src/core/CMakeFiles/tfrepro_core.dir/tensor.cc.o" "gcc" "src/core/CMakeFiles/tfrepro_core.dir/tensor.cc.o.d"
+  "/root/repo/src/core/tensor_shape.cc" "src/core/CMakeFiles/tfrepro_core.dir/tensor_shape.cc.o" "gcc" "src/core/CMakeFiles/tfrepro_core.dir/tensor_shape.cc.o.d"
+  "/root/repo/src/core/threadpool.cc" "src/core/CMakeFiles/tfrepro_core.dir/threadpool.cc.o" "gcc" "src/core/CMakeFiles/tfrepro_core.dir/threadpool.cc.o.d"
+  "/root/repo/src/core/types.cc" "src/core/CMakeFiles/tfrepro_core.dir/types.cc.o" "gcc" "src/core/CMakeFiles/tfrepro_core.dir/types.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

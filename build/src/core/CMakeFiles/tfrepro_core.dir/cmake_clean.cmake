@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tfrepro_core.dir/random.cc.o"
+  "CMakeFiles/tfrepro_core.dir/random.cc.o.d"
+  "CMakeFiles/tfrepro_core.dir/status.cc.o"
+  "CMakeFiles/tfrepro_core.dir/status.cc.o.d"
+  "CMakeFiles/tfrepro_core.dir/tensor.cc.o"
+  "CMakeFiles/tfrepro_core.dir/tensor.cc.o.d"
+  "CMakeFiles/tfrepro_core.dir/tensor_shape.cc.o"
+  "CMakeFiles/tfrepro_core.dir/tensor_shape.cc.o.d"
+  "CMakeFiles/tfrepro_core.dir/threadpool.cc.o"
+  "CMakeFiles/tfrepro_core.dir/threadpool.cc.o.d"
+  "CMakeFiles/tfrepro_core.dir/types.cc.o"
+  "CMakeFiles/tfrepro_core.dir/types.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tfrepro_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

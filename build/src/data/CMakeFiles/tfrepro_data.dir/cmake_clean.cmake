@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tfrepro_data.dir/record_file.cc.o"
+  "CMakeFiles/tfrepro_data.dir/record_file.cc.o.d"
+  "CMakeFiles/tfrepro_data.dir/synthetic.cc.o"
+  "CMakeFiles/tfrepro_data.dir/synthetic.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tfrepro_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

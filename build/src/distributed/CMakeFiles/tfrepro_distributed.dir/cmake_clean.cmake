@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tfrepro_distributed.dir/cluster.cc.o"
+  "CMakeFiles/tfrepro_distributed.dir/cluster.cc.o.d"
+  "CMakeFiles/tfrepro_distributed.dir/master.cc.o"
+  "CMakeFiles/tfrepro_distributed.dir/master.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tfrepro_distributed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/attr_value.cc" "src/graph/CMakeFiles/tfrepro_graph.dir/attr_value.cc.o" "gcc" "src/graph/CMakeFiles/tfrepro_graph.dir/attr_value.cc.o.d"
+  "/root/repo/src/graph/control_flow_builder.cc" "src/graph/CMakeFiles/tfrepro_graph.dir/control_flow_builder.cc.o" "gcc" "src/graph/CMakeFiles/tfrepro_graph.dir/control_flow_builder.cc.o.d"
+  "/root/repo/src/graph/dot.cc" "src/graph/CMakeFiles/tfrepro_graph.dir/dot.cc.o" "gcc" "src/graph/CMakeFiles/tfrepro_graph.dir/dot.cc.o.d"
+  "/root/repo/src/graph/graph.cc" "src/graph/CMakeFiles/tfrepro_graph.dir/graph.cc.o" "gcc" "src/graph/CMakeFiles/tfrepro_graph.dir/graph.cc.o.d"
+  "/root/repo/src/graph/graph_builder.cc" "src/graph/CMakeFiles/tfrepro_graph.dir/graph_builder.cc.o" "gcc" "src/graph/CMakeFiles/tfrepro_graph.dir/graph_builder.cc.o.d"
+  "/root/repo/src/graph/op_def.cc" "src/graph/CMakeFiles/tfrepro_graph.dir/op_def.cc.o" "gcc" "src/graph/CMakeFiles/tfrepro_graph.dir/op_def.cc.o.d"
+  "/root/repo/src/graph/op_registry.cc" "src/graph/CMakeFiles/tfrepro_graph.dir/op_registry.cc.o" "gcc" "src/graph/CMakeFiles/tfrepro_graph.dir/op_registry.cc.o.d"
+  "/root/repo/src/graph/ops.cc" "src/graph/CMakeFiles/tfrepro_graph.dir/ops.cc.o" "gcc" "src/graph/CMakeFiles/tfrepro_graph.dir/ops.cc.o.d"
+  "/root/repo/src/graph/shape_inference.cc" "src/graph/CMakeFiles/tfrepro_graph.dir/shape_inference.cc.o" "gcc" "src/graph/CMakeFiles/tfrepro_graph.dir/shape_inference.cc.o.d"
+  "/root/repo/src/graph/standard_ops.cc" "src/graph/CMakeFiles/tfrepro_graph.dir/standard_ops.cc.o" "gcc" "src/graph/CMakeFiles/tfrepro_graph.dir/standard_ops.cc.o.d"
+  "/root/repo/src/graph/subgraph.cc" "src/graph/CMakeFiles/tfrepro_graph.dir/subgraph.cc.o" "gcc" "src/graph/CMakeFiles/tfrepro_graph.dir/subgraph.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

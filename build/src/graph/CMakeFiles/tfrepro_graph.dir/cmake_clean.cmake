@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tfrepro_graph.dir/attr_value.cc.o"
+  "CMakeFiles/tfrepro_graph.dir/attr_value.cc.o.d"
+  "CMakeFiles/tfrepro_graph.dir/control_flow_builder.cc.o"
+  "CMakeFiles/tfrepro_graph.dir/control_flow_builder.cc.o.d"
+  "CMakeFiles/tfrepro_graph.dir/dot.cc.o"
+  "CMakeFiles/tfrepro_graph.dir/dot.cc.o.d"
+  "CMakeFiles/tfrepro_graph.dir/graph.cc.o"
+  "CMakeFiles/tfrepro_graph.dir/graph.cc.o.d"
+  "CMakeFiles/tfrepro_graph.dir/graph_builder.cc.o"
+  "CMakeFiles/tfrepro_graph.dir/graph_builder.cc.o.d"
+  "CMakeFiles/tfrepro_graph.dir/op_def.cc.o"
+  "CMakeFiles/tfrepro_graph.dir/op_def.cc.o.d"
+  "CMakeFiles/tfrepro_graph.dir/op_registry.cc.o"
+  "CMakeFiles/tfrepro_graph.dir/op_registry.cc.o.d"
+  "CMakeFiles/tfrepro_graph.dir/ops.cc.o"
+  "CMakeFiles/tfrepro_graph.dir/ops.cc.o.d"
+  "CMakeFiles/tfrepro_graph.dir/shape_inference.cc.o"
+  "CMakeFiles/tfrepro_graph.dir/shape_inference.cc.o.d"
+  "CMakeFiles/tfrepro_graph.dir/standard_ops.cc.o"
+  "CMakeFiles/tfrepro_graph.dir/standard_ops.cc.o.d"
+  "CMakeFiles/tfrepro_graph.dir/subgraph.cc.o"
+  "CMakeFiles/tfrepro_graph.dir/subgraph.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tfrepro_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

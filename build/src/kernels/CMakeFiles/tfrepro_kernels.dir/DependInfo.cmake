@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kernels/array_ops.cc" "src/kernels/CMakeFiles/tfrepro_kernels.dir/array_ops.cc.o" "gcc" "src/kernels/CMakeFiles/tfrepro_kernels.dir/array_ops.cc.o.d"
+  "/root/repo/src/kernels/broadcast.cc" "src/kernels/CMakeFiles/tfrepro_kernels.dir/broadcast.cc.o" "gcc" "src/kernels/CMakeFiles/tfrepro_kernels.dir/broadcast.cc.o.d"
+  "/root/repo/src/kernels/checkpoint_format.cc" "src/kernels/CMakeFiles/tfrepro_kernels.dir/checkpoint_format.cc.o" "gcc" "src/kernels/CMakeFiles/tfrepro_kernels.dir/checkpoint_format.cc.o.d"
+  "/root/repo/src/kernels/constant_ops.cc" "src/kernels/CMakeFiles/tfrepro_kernels.dir/constant_ops.cc.o" "gcc" "src/kernels/CMakeFiles/tfrepro_kernels.dir/constant_ops.cc.o.d"
+  "/root/repo/src/kernels/control_flow_ops.cc" "src/kernels/CMakeFiles/tfrepro_kernels.dir/control_flow_ops.cc.o" "gcc" "src/kernels/CMakeFiles/tfrepro_kernels.dir/control_flow_ops.cc.o.d"
+  "/root/repo/src/kernels/gather_ops.cc" "src/kernels/CMakeFiles/tfrepro_kernels.dir/gather_ops.cc.o" "gcc" "src/kernels/CMakeFiles/tfrepro_kernels.dir/gather_ops.cc.o.d"
+  "/root/repo/src/kernels/io_ops.cc" "src/kernels/CMakeFiles/tfrepro_kernels.dir/io_ops.cc.o" "gcc" "src/kernels/CMakeFiles/tfrepro_kernels.dir/io_ops.cc.o.d"
+  "/root/repo/src/kernels/math_ops.cc" "src/kernels/CMakeFiles/tfrepro_kernels.dir/math_ops.cc.o" "gcc" "src/kernels/CMakeFiles/tfrepro_kernels.dir/math_ops.cc.o.d"
+  "/root/repo/src/kernels/matmul_ops.cc" "src/kernels/CMakeFiles/tfrepro_kernels.dir/matmul_ops.cc.o" "gcc" "src/kernels/CMakeFiles/tfrepro_kernels.dir/matmul_ops.cc.o.d"
+  "/root/repo/src/kernels/nn_ops.cc" "src/kernels/CMakeFiles/tfrepro_kernels.dir/nn_ops.cc.o" "gcc" "src/kernels/CMakeFiles/tfrepro_kernels.dir/nn_ops.cc.o.d"
+  "/root/repo/src/kernels/quantization_ops.cc" "src/kernels/CMakeFiles/tfrepro_kernels.dir/quantization_ops.cc.o" "gcc" "src/kernels/CMakeFiles/tfrepro_kernels.dir/quantization_ops.cc.o.d"
+  "/root/repo/src/kernels/queue.cc" "src/kernels/CMakeFiles/tfrepro_kernels.dir/queue.cc.o" "gcc" "src/kernels/CMakeFiles/tfrepro_kernels.dir/queue.cc.o.d"
+  "/root/repo/src/kernels/queue_ops.cc" "src/kernels/CMakeFiles/tfrepro_kernels.dir/queue_ops.cc.o" "gcc" "src/kernels/CMakeFiles/tfrepro_kernels.dir/queue_ops.cc.o.d"
+  "/root/repo/src/kernels/random_ops.cc" "src/kernels/CMakeFiles/tfrepro_kernels.dir/random_ops.cc.o" "gcc" "src/kernels/CMakeFiles/tfrepro_kernels.dir/random_ops.cc.o.d"
+  "/root/repo/src/kernels/reduction_ops.cc" "src/kernels/CMakeFiles/tfrepro_kernels.dir/reduction_ops.cc.o" "gcc" "src/kernels/CMakeFiles/tfrepro_kernels.dir/reduction_ops.cc.o.d"
+  "/root/repo/src/kernels/sendrecv_ops.cc" "src/kernels/CMakeFiles/tfrepro_kernels.dir/sendrecv_ops.cc.o" "gcc" "src/kernels/CMakeFiles/tfrepro_kernels.dir/sendrecv_ops.cc.o.d"
+  "/root/repo/src/kernels/state_ops.cc" "src/kernels/CMakeFiles/tfrepro_kernels.dir/state_ops.cc.o" "gcc" "src/kernels/CMakeFiles/tfrepro_kernels.dir/state_ops.cc.o.d"
+  "/root/repo/src/kernels/training_ops.cc" "src/kernels/CMakeFiles/tfrepro_kernels.dir/training_ops.cc.o" "gcc" "src/kernels/CMakeFiles/tfrepro_kernels.dir/training_ops.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/build_model.cc" "src/nn/CMakeFiles/tfrepro_nn.dir/build_model.cc.o" "gcc" "src/nn/CMakeFiles/tfrepro_nn.dir/build_model.cc.o.d"
+  "/root/repo/src/nn/embedding.cc" "src/nn/CMakeFiles/tfrepro_nn.dir/embedding.cc.o" "gcc" "src/nn/CMakeFiles/tfrepro_nn.dir/embedding.cc.o.d"
+  "/root/repo/src/nn/layers.cc" "src/nn/CMakeFiles/tfrepro_nn.dir/layers.cc.o" "gcc" "src/nn/CMakeFiles/tfrepro_nn.dir/layers.cc.o.d"
+  "/root/repo/src/nn/model_zoo.cc" "src/nn/CMakeFiles/tfrepro_nn.dir/model_zoo.cc.o" "gcc" "src/nn/CMakeFiles/tfrepro_nn.dir/model_zoo.cc.o.d"
+  "/root/repo/src/nn/rnn.cc" "src/nn/CMakeFiles/tfrepro_nn.dir/rnn.cc.o" "gcc" "src/nn/CMakeFiles/tfrepro_nn.dir/rnn.cc.o.d"
+  "/root/repo/src/nn/softmax.cc" "src/nn/CMakeFiles/tfrepro_nn.dir/softmax.cc.o" "gcc" "src/nn/CMakeFiles/tfrepro_nn.dir/softmax.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tfrepro_nn.dir/build_model.cc.o"
+  "CMakeFiles/tfrepro_nn.dir/build_model.cc.o.d"
+  "CMakeFiles/tfrepro_nn.dir/embedding.cc.o"
+  "CMakeFiles/tfrepro_nn.dir/embedding.cc.o.d"
+  "CMakeFiles/tfrepro_nn.dir/layers.cc.o"
+  "CMakeFiles/tfrepro_nn.dir/layers.cc.o.d"
+  "CMakeFiles/tfrepro_nn.dir/model_zoo.cc.o"
+  "CMakeFiles/tfrepro_nn.dir/model_zoo.cc.o.d"
+  "CMakeFiles/tfrepro_nn.dir/rnn.cc.o"
+  "CMakeFiles/tfrepro_nn.dir/rnn.cc.o.d"
+  "CMakeFiles/tfrepro_nn.dir/softmax.cc.o"
+  "CMakeFiles/tfrepro_nn.dir/softmax.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tfrepro_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

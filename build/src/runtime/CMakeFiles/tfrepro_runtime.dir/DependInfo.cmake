@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/runtime/control_flow_info.cc" "src/runtime/CMakeFiles/tfrepro_runtime.dir/control_flow_info.cc.o" "gcc" "src/runtime/CMakeFiles/tfrepro_runtime.dir/control_flow_info.cc.o.d"
+  "/root/repo/src/runtime/device.cc" "src/runtime/CMakeFiles/tfrepro_runtime.dir/device.cc.o" "gcc" "src/runtime/CMakeFiles/tfrepro_runtime.dir/device.cc.o.d"
+  "/root/repo/src/runtime/executor.cc" "src/runtime/CMakeFiles/tfrepro_runtime.dir/executor.cc.o" "gcc" "src/runtime/CMakeFiles/tfrepro_runtime.dir/executor.cc.o.d"
+  "/root/repo/src/runtime/graph_optimizer.cc" "src/runtime/CMakeFiles/tfrepro_runtime.dir/graph_optimizer.cc.o" "gcc" "src/runtime/CMakeFiles/tfrepro_runtime.dir/graph_optimizer.cc.o.d"
+  "/root/repo/src/runtime/kernel.cc" "src/runtime/CMakeFiles/tfrepro_runtime.dir/kernel.cc.o" "gcc" "src/runtime/CMakeFiles/tfrepro_runtime.dir/kernel.cc.o.d"
+  "/root/repo/src/runtime/partition.cc" "src/runtime/CMakeFiles/tfrepro_runtime.dir/partition.cc.o" "gcc" "src/runtime/CMakeFiles/tfrepro_runtime.dir/partition.cc.o.d"
+  "/root/repo/src/runtime/placer.cc" "src/runtime/CMakeFiles/tfrepro_runtime.dir/placer.cc.o" "gcc" "src/runtime/CMakeFiles/tfrepro_runtime.dir/placer.cc.o.d"
+  "/root/repo/src/runtime/rendezvous.cc" "src/runtime/CMakeFiles/tfrepro_runtime.dir/rendezvous.cc.o" "gcc" "src/runtime/CMakeFiles/tfrepro_runtime.dir/rendezvous.cc.o.d"
+  "/root/repo/src/runtime/resource_mgr.cc" "src/runtime/CMakeFiles/tfrepro_runtime.dir/resource_mgr.cc.o" "gcc" "src/runtime/CMakeFiles/tfrepro_runtime.dir/resource_mgr.cc.o.d"
+  "/root/repo/src/runtime/session.cc" "src/runtime/CMakeFiles/tfrepro_runtime.dir/session.cc.o" "gcc" "src/runtime/CMakeFiles/tfrepro_runtime.dir/session.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

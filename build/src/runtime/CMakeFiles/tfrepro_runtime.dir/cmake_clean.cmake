@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tfrepro_runtime.dir/control_flow_info.cc.o"
+  "CMakeFiles/tfrepro_runtime.dir/control_flow_info.cc.o.d"
+  "CMakeFiles/tfrepro_runtime.dir/device.cc.o"
+  "CMakeFiles/tfrepro_runtime.dir/device.cc.o.d"
+  "CMakeFiles/tfrepro_runtime.dir/executor.cc.o"
+  "CMakeFiles/tfrepro_runtime.dir/executor.cc.o.d"
+  "CMakeFiles/tfrepro_runtime.dir/graph_optimizer.cc.o"
+  "CMakeFiles/tfrepro_runtime.dir/graph_optimizer.cc.o.d"
+  "CMakeFiles/tfrepro_runtime.dir/kernel.cc.o"
+  "CMakeFiles/tfrepro_runtime.dir/kernel.cc.o.d"
+  "CMakeFiles/tfrepro_runtime.dir/partition.cc.o"
+  "CMakeFiles/tfrepro_runtime.dir/partition.cc.o.d"
+  "CMakeFiles/tfrepro_runtime.dir/placer.cc.o"
+  "CMakeFiles/tfrepro_runtime.dir/placer.cc.o.d"
+  "CMakeFiles/tfrepro_runtime.dir/rendezvous.cc.o"
+  "CMakeFiles/tfrepro_runtime.dir/rendezvous.cc.o.d"
+  "CMakeFiles/tfrepro_runtime.dir/resource_mgr.cc.o"
+  "CMakeFiles/tfrepro_runtime.dir/resource_mgr.cc.o.d"
+  "CMakeFiles/tfrepro_runtime.dir/session.cc.o"
+  "CMakeFiles/tfrepro_runtime.dir/session.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tfrepro_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

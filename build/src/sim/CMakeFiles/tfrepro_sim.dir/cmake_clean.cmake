@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tfrepro_sim.dir/cluster_sim.cc.o"
+  "CMakeFiles/tfrepro_sim.dir/cluster_sim.cc.o.d"
+  "CMakeFiles/tfrepro_sim.dir/cost_model.cc.o"
+  "CMakeFiles/tfrepro_sim.dir/cost_model.cc.o.d"
+  "CMakeFiles/tfrepro_sim.dir/des.cc.o"
+  "CMakeFiles/tfrepro_sim.dir/des.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tfrepro_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/train/coordinator.cc" "src/train/CMakeFiles/tfrepro_train.dir/coordinator.cc.o" "gcc" "src/train/CMakeFiles/tfrepro_train.dir/coordinator.cc.o.d"
+  "/root/repo/src/train/device_setter.cc" "src/train/CMakeFiles/tfrepro_train.dir/device_setter.cc.o" "gcc" "src/train/CMakeFiles/tfrepro_train.dir/device_setter.cc.o.d"
+  "/root/repo/src/train/optimizer.cc" "src/train/CMakeFiles/tfrepro_train.dir/optimizer.cc.o" "gcc" "src/train/CMakeFiles/tfrepro_train.dir/optimizer.cc.o.d"
+  "/root/repo/src/train/saver.cc" "src/train/CMakeFiles/tfrepro_train.dir/saver.cc.o" "gcc" "src/train/CMakeFiles/tfrepro_train.dir/saver.cc.o.d"
+  "/root/repo/src/train/sync_replicas.cc" "src/train/CMakeFiles/tfrepro_train.dir/sync_replicas.cc.o" "gcc" "src/train/CMakeFiles/tfrepro_train.dir/sync_replicas.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tfrepro_train.dir/coordinator.cc.o"
+  "CMakeFiles/tfrepro_train.dir/coordinator.cc.o.d"
+  "CMakeFiles/tfrepro_train.dir/device_setter.cc.o"
+  "CMakeFiles/tfrepro_train.dir/device_setter.cc.o.d"
+  "CMakeFiles/tfrepro_train.dir/optimizer.cc.o"
+  "CMakeFiles/tfrepro_train.dir/optimizer.cc.o.d"
+  "CMakeFiles/tfrepro_train.dir/saver.cc.o"
+  "CMakeFiles/tfrepro_train.dir/saver.cc.o.d"
+  "CMakeFiles/tfrepro_train.dir/sync_replicas.cc.o"
+  "CMakeFiles/tfrepro_train.dir/sync_replicas.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tfrepro_train.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

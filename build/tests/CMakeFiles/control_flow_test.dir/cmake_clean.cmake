@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/control_flow_test.dir/control_flow_test.cc.o"
+  "CMakeFiles/control_flow_test.dir/control_flow_test.cc.o.d"
+  "control_flow_test"
+  "control_flow_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/control_flow_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gradients_test.dir/gradients_test.cc.o"
+  "CMakeFiles/gradients_test.dir/gradients_test.cc.o.d"
+  "gradients_test"
+  "gradients_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gradients_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

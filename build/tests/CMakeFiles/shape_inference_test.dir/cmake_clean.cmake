@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shape_inference_test.dir/shape_inference_test.cc.o"
+  "CMakeFiles/shape_inference_test.dir/shape_inference_test.cc.o.d"
+  "shape_inference_test"
+  "shape_inference_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shape_inference_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
