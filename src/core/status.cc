@@ -103,5 +103,8 @@ Status Unavailable(const std::string& message) {
 Status DataLoss(const std::string& message) {
   return Status(Code::kDataLoss, message);
 }
+Status DeadlineExceeded(const std::string& message) {
+  return Status(Code::kDeadlineExceeded, message);
+}
 
 }  // namespace tfrepro

@@ -52,6 +52,19 @@ class Status {
   // Appends context to an error message; no-op on OK statuses.
   Status& Prepend(const std::string& context);
 
+  // Canonical per-code predicates for the failure-handling paths.
+  bool IsAborted() const { return code() == Code::kAborted; }
+  bool IsUnavailable() const { return code() == Code::kUnavailable; }
+  bool IsDeadlineExceeded() const { return code() == Code::kDeadlineExceeded; }
+  bool IsCancelled() const { return code() == Code::kCancelled; }
+
+  // True for the transient failure codes a distributed step may retry
+  // (paper §4.3: execution is aborted and restarted on failure):
+  // Aborted, Unavailable, DeadlineExceeded.
+  bool IsRetryable() const {
+    return IsAborted() || IsUnavailable() || IsDeadlineExceeded();
+  }
+
   std::string ToString() const;
 
   bool operator==(const Status& other) const {
@@ -81,6 +94,7 @@ Status Cancelled(const std::string& message);
 Status ResourceExhausted(const std::string& message);
 Status Unavailable(const std::string& message);
 Status DataLoss(const std::string& message);
+Status DeadlineExceeded(const std::string& message);
 
 // Result<T> is a Status plus, on success, a value of type T.
 template <typename T>

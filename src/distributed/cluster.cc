@@ -3,56 +3,44 @@
 #include <chrono>
 #include <thread>
 
+#include "distributed/fault_injector.h"
+
 namespace tfrepro {
 namespace distributed {
 
-namespace {
-
-// Keys look like "<send_device>;<recv_device>;<name>;<iter>".
-bool IsCrossTask(const std::string& key) {
-  size_t first = key.find(';');
-  if (first == std::string::npos) return false;
-  size_t second = key.find(';', first + 1);
-  if (second == std::string::npos) return false;
-  std::string send_dev = key.substr(0, first);
-  std::string recv_dev = key.substr(first + 1, second - first - 1);
-  // Same task iff the "/job:X/task:N" prefixes match.
-  auto task_prefix = [](const std::string& dev) {
-    size_t pos = dev.find("/device:");
-    return pos == std::string::npos ? dev : dev.substr(0, pos);
-  };
-  return task_prefix(send_dev) != task_prefix(recv_dev);
-}
-
-}  // namespace
-
 Status ThrottledRendezvous::Send(const std::string& key, const Tensor& value,
                                  bool is_dead) {
-  double delay = IsCrossTask(key) ? model_.TransferSeconds(value.TotalBytes())
-                                  : 0.0;
+  double delay = IsCrossTaskKey(key)
+                     ? model_.TransferSeconds(value.TotalBytes())
+                     : 0.0;
   if (delay <= 0.0) {
-    return inner_.Send(key, value, is_dead);
+    return inner_->Send(key, value, is_dead);
   }
-  // Deliver after the modeled wire time, off a timer thread.
-  timer_pool_->Schedule([this, key, value, is_dead, delay]() {
+  // Deliver after the modeled wire time, off a timer thread. The lambda
+  // shares ownership of the inner rendezvous: an aborted step can destroy
+  // this wrapper while a delayed delivery is still sleeping.
+  timer_pool_->Schedule([inner = inner_, key, value, is_dead, delay]() {
     std::this_thread::sleep_for(std::chrono::duration<double>(delay));
-    (void)inner_.Send(key, value, is_dead);
+    (void)inner->Send(key, value, is_dead);
   });
   return Status::OK();
 }
 
 void ThrottledRendezvous::RecvAsync(const std::string& key,
                                     DoneCallback done) {
-  inner_.RecvAsync(key, std::move(done));
+  inner_->RecvAsync(key, std::move(done));
 }
 
 void ThrottledRendezvous::StartAbort(const Status& status) {
-  inner_.StartAbort(status);
+  inner_->StartAbort(status);
 }
 
 TaskWorker::TaskWorker(const std::string& job, int task_index, int num_threads,
-                       int num_devices)
-    : job_(job), task_index_(task_index), pool_("worker", num_threads) {
+                       int num_devices, FaultInjector* injector)
+    : job_(job),
+      task_index_(task_index),
+      injector_(injector),
+      pool_("worker", num_threads) {
   for (int i = 0; i < num_devices; ++i) {
     device_mgr_.AddDevice(NewCpuDevice(job, task_index, i, &pool_));
   }
@@ -76,6 +64,42 @@ Status TaskWorker::RegisterSubgraph(const std::string& handle,
 void TaskWorker::RunSubgraphsAsync(const std::string& handle,
                                    const Executor::Args& args,
                                    std::function<void(Status)> done) {
+  double delay_seconds = 0.0;
+  if (injector_ != nullptr) {
+    FaultInjector::Decision decision = injector_->OnDispatch(task_name());
+    switch (decision.action) {
+      case FaultInjector::Action::kKill:
+        // A dead process: the dispatch is refused immediately, like a
+        // connection error. The master treats Unavailable as retryable.
+        done(Unavailable("task " + task_name() + " is down"));
+        return;
+      case FaultInjector::Action::kHang:
+        // A hung process: no response, ever. The callback is parked (so
+        // whatever step state it owns stays alive) and only the master's
+        // step deadline can unblock the step.
+        injector_->ParkHung(task_name(), std::move(done));
+        return;
+      case FaultInjector::Action::kProceed:
+        delay_seconds = decision.delay_seconds;
+        break;
+    }
+  }
+  if (delay_seconds > 0.0) {
+    // Straggler: run the whole dispatch late, off a pool thread.
+    pool_.Schedule([this, handle, args, done = std::move(done),
+                    delay_seconds]() mutable {
+      std::this_thread::sleep_for(
+          std::chrono::duration<double>(delay_seconds));
+      RunSubgraphsNow(handle, args, std::move(done));
+    });
+    return;
+  }
+  RunSubgraphsNow(handle, args, std::move(done));
+}
+
+void TaskWorker::RunSubgraphsNow(const std::string& handle,
+                                 const Executor::Args& args,
+                                 std::function<void(Status)> done) {
   std::vector<Executor*> executors;
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -118,13 +142,32 @@ bool TaskWorker::HasSubgraphs(const std::string& handle) const {
   return subgraphs_.count(handle) > 0;
 }
 
+void TaskWorker::Reset() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    // Destroy executors before wiping the device kernel caches: executors
+    // hold raw pointers to segment-cached stateful kernels.
+    subgraphs_.clear();
+    ++incarnation_;
+  }
+  for (Device* device : device_mgr_.ListDevices()) {
+    device->ResetState();
+  }
+}
+
+int64_t TaskWorker::incarnation() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return incarnation_;
+}
+
 InProcessCluster::InProcessCluster(const ClusterSpec& spec,
                                    const Options& options)
-    : spec_(spec) {
+    : spec_(spec), fault_injector_(options.fault_injector) {
   for (const auto& [job, count] : spec.jobs) {
     for (int i = 0; i < count; ++i) {
       workers_.push_back(std::make_unique<TaskWorker>(
-          job, i, options.threads_per_task, options.devices_per_task));
+          job, i, options.threads_per_task, options.devices_per_task,
+          options.fault_injector));
     }
   }
 }
@@ -152,6 +195,16 @@ Result<TaskWorker*> InProcessCluster::worker(const std::string& job,
   }
   return NotFound("no task /job:" + job + "/task:" +
                   std::to_string(task_index) + " in cluster");
+}
+
+Status InProcessCluster::RestartTask(const std::string& job, int task_index) {
+  Result<TaskWorker*> w = worker(job, task_index);
+  TF_RETURN_IF_ERROR(w.status());
+  w.value()->Reset();
+  if (fault_injector_ != nullptr) {
+    fault_injector_->MarkRestarted(w.value()->task_name());
+  }
+  return Status::OK();
 }
 
 std::vector<TaskWorker*> InProcessCluster::workers() const {

@@ -23,6 +23,8 @@
 namespace tfrepro {
 namespace distributed {
 
+class FaultInjector;
+
 // Jobs and their task counts, e.g. {{"ps", 2}, {"worker", 4}}.
 struct ClusterSpec {
   std::map<std::string, int> jobs;
@@ -58,14 +60,16 @@ class ThrottledRendezvous : public Rendezvous {
  private:
   NetworkModel model_;
   ThreadPool* timer_pool_;
-  LocalRendezvous inner_;
+  // Shared with in-flight delayed deliveries, which may outlive the wrapper
+  // when a step is aborted mid-transfer.
+  std::shared_ptr<LocalRendezvous> inner_ = std::make_shared<LocalRendezvous>();
 };
 
 // One task of the cluster: devices + threadpool + registered subgraphs.
 class TaskWorker {
  public:
   TaskWorker(const std::string& job, int task_index, int num_threads,
-             int num_devices);
+             int num_devices, FaultInjector* injector = nullptr);
 
   const std::string& job() const { return job_; }
   int task_index() const { return task_index_; }
@@ -92,9 +96,25 @@ class TaskWorker {
 
   bool HasSubgraphs(const std::string& handle) const;
 
+  // Wipes every registered subgraph/executor and all device state (cached
+  // kernels, resources) — the task comes back as a fresh process with empty
+  // memory. The master re-registers subgraphs and the recovery hook
+  // restores variables from a checkpoint (§4.3). Must not race with
+  // in-flight steps on this task. Bumps incarnation().
+  void Reset();
+
+  // Incremented by each Reset; lets the master distinguish "the task I
+  // registered subgraphs on" from "its restarted successor".
+  int64_t incarnation() const;
+
  private:
+  // The dispatch body, after fault-injection decisions are resolved.
+  void RunSubgraphsNow(const std::string& handle, const Executor::Args& args,
+                       std::function<void(Status)> done);
+
   std::string job_;
   int task_index_;
+  FaultInjector* injector_;
   ThreadPool pool_;
   DeviceMgr device_mgr_;
   mutable std::mutex mu_;
@@ -103,6 +123,7 @@ class TaskWorker {
     std::unique_ptr<Executor> executor;
   };
   std::map<std::string, std::vector<RegisteredGraph>> subgraphs_;
+  int64_t incarnation_ = 1;
 };
 
 // Owns every task's worker.
@@ -111,6 +132,9 @@ class InProcessCluster {
   struct Options {
     int threads_per_task = 2;
     int devices_per_task = 1;
+    // Optional fault injector consulted on every step dispatch and
+    // cross-task transfer (not owned; must outlive the cluster).
+    FaultInjector* fault_injector = nullptr;
   };
 
   static Result<std::unique_ptr<InProcessCluster>> Create(
@@ -125,10 +149,17 @@ class InProcessCluster {
   std::vector<Device*> all_devices() const;
 
   const ClusterSpec& spec() const { return spec_; }
+  FaultInjector* fault_injector() const { return fault_injector_; }
+
+  // Restarts a (killed) task in place: wipes its subgraphs and device state
+  // and marks it healthy in the fault injector. The TaskWorker object —
+  // and every pointer to it — stays valid; only its state is reborn.
+  Status RestartTask(const std::string& job, int task_index);
 
  private:
   InProcessCluster(const ClusterSpec& spec, const Options& options);
   ClusterSpec spec_;
+  FaultInjector* fault_injector_ = nullptr;
   std::vector<std::unique_ptr<TaskWorker>> workers_;
 };
 

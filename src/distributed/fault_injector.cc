@@ -1,0 +1,178 @@
+#include "distributed/fault_injector.h"
+
+#include <sstream>
+
+namespace tfrepro {
+namespace distributed {
+
+bool IsCrossTaskKey(const std::string& key) {
+  size_t first = key.find(';');
+  if (first == std::string::npos) return false;
+  size_t second = key.find(';', first + 1);
+  if (second == std::string::npos) return false;
+  std::string send_dev = key.substr(0, first);
+  std::string recv_dev = key.substr(first + 1, second - first - 1);
+  // Same task iff the "/job:X/task:N" prefixes match.
+  auto task_prefix = [](const std::string& dev) {
+    size_t pos = dev.find("/device:");
+    return pos == std::string::npos ? dev : dev.substr(0, pos);
+  };
+  return task_prefix(send_dev) != task_prefix(recv_dev);
+}
+
+FaultInjector::FaultInjector(uint64_t seed) : rng_(seed) {}
+
+void FaultInjector::KillTaskAtDispatch(const std::string& task, int64_t nth) {
+  std::lock_guard<std::mutex> lock(mu_);
+  kill_at_[task].insert(nth);
+}
+
+void FaultInjector::HangTaskAtDispatch(const std::string& task, int64_t nth) {
+  std::lock_guard<std::mutex> lock(mu_);
+  hang_at_[task].insert(nth);
+}
+
+void FaultInjector::DelayTask(const std::string& task, double seconds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (seconds <= 0.0) {
+    delays_.erase(task);
+  } else {
+    delays_[task] = seconds;
+  }
+}
+
+void FaultInjector::DropNthTransfer(int64_t nth) {
+  std::lock_guard<std::mutex> lock(mu_);
+  drop_transfer_at_.insert(nth);
+}
+
+void FaultInjector::KillRandomly(double probability) {
+  std::lock_guard<std::mutex> lock(mu_);
+  kill_probability_ = probability;
+}
+
+FaultInjector::Decision FaultInjector::OnDispatch(const std::string& task) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (down_.count(task) > 0) {
+    // A dead task refuses every dispatch until restarted; this is the
+    // "connection refused" fast path, not a new kill.
+    return Decision{Action::kKill, 0.0};
+  }
+  int64_t n = ++dispatch_counts_[task];
+  auto scripted_kill = kill_at_.find(task);
+  bool kill = scripted_kill != kill_at_.end() &&
+              scripted_kill->second.count(n) > 0;
+  if (!kill && kill_probability_ > 0.0) {
+    kill = rng_.UniformDouble() < kill_probability_;
+  }
+  if (kill) {
+    down_.insert(task);
+    ++kills_;
+    log_.push_back("kill " + task + " @dispatch " + std::to_string(n));
+    return Decision{Action::kKill, 0.0};
+  }
+  auto scripted_hang = hang_at_.find(task);
+  if (scripted_hang != hang_at_.end() && scripted_hang->second.count(n) > 0) {
+    ++hangs_;
+    log_.push_back("hang " + task + " @dispatch " + std::to_string(n));
+    return Decision{Action::kHang, 0.0};
+  }
+  Decision d;
+  auto delay = delays_.find(task);
+  if (delay != delays_.end()) {
+    d.delay_seconds = delay->second;
+    log_.push_back("delay " + task + " @dispatch " + std::to_string(n));
+  }
+  return d;
+}
+
+bool FaultInjector::OnTransfer(const std::string& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  int64_t n = ++transfer_count_;
+  if (drop_transfer_at_.count(n) > 0) {
+    ++dropped_transfers_;
+    log_.push_back("drop transfer " + std::to_string(n) + " (" + key + ")");
+    return true;
+  }
+  return false;
+}
+
+void FaultInjector::ParkHung(const std::string& task,
+                             std::function<void(Status)> done) {
+  std::lock_guard<std::mutex> lock(mu_);
+  parked_[task].push_back(std::move(done));
+}
+
+bool FaultInjector::IsDown(const std::string& task) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return down_.count(task) > 0;
+}
+
+std::vector<std::string> FaultInjector::DownTasks() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return std::vector<std::string>(down_.begin(), down_.end());
+}
+
+void FaultInjector::MarkRestarted(const std::string& task) {
+  std::vector<std::function<void(Status)>> dropped;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    down_.erase(task);
+    auto it = parked_.find(task);
+    if (it != parked_.end()) {
+      dropped.swap(it->second);
+      parked_.erase(it);
+    }
+    log_.push_back("restart " + task);
+  }
+  // `dropped` destructs outside the lock, releasing any step state the hung
+  // callbacks kept alive.
+}
+
+int64_t FaultInjector::kills() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return kills_;
+}
+
+int64_t FaultInjector::hangs() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return hangs_;
+}
+
+int64_t FaultInjector::dropped_transfers() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dropped_transfers_;
+}
+
+int64_t FaultInjector::dispatches(const std::string& task) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = dispatch_counts_.find(task);
+  return it == dispatch_counts_.end() ? 0 : it->second;
+}
+
+std::vector<std::string> FaultInjector::DecisionLog() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return log_;
+}
+
+Status FaultInjectingRendezvous::Send(const std::string& key,
+                                      const Tensor& value, bool is_dead) {
+  if (IsCrossTaskKey(key) && injector_->OnTransfer(key)) {
+    // Swallow the transfer: the matching Recv never fires, as if the
+    // message were lost on the wire. The step deadline is the only cure.
+    return Status::OK();
+  }
+  return base_->Send(key, value, is_dead);
+}
+
+void FaultInjectingRendezvous::RecvAsync(const std::string& key,
+                                         DoneCallback done) {
+  base_->RecvAsync(key, std::move(done));
+}
+
+void FaultInjectingRendezvous::StartAbort(const Status& status) {
+  base_->StartAbort(status);
+}
+
+}  // namespace distributed
+}  // namespace tfrepro

@@ -1,0 +1,151 @@
+// Fault injection for the in-process distributed runtime (paper §4.3: "many
+// failures or pre-emptions ... a training run using 10,000 hours of
+// non-dedicated compute can expect to experience a failure"). The injector
+// is the single source of truth for scripted and random failures:
+//
+//   * kill a named task at its Nth step dispatch — the task responds
+//     Unavailable until InProcessCluster::RestartTask brings it back;
+//   * hang a named task at its Nth dispatch — the task never responds, so
+//     only the master's step deadline can unblock the step;
+//   * delay every dispatch to a task (a straggler, §4.4);
+//   * drop the Nth cross-task tensor transfer — the receiving Recv blocks
+//     forever, again exercising the deadline path;
+//   * kill tasks at random with a seeded per-dispatch probability.
+//
+// All decisions are deterministic: scripted faults fire on exact per-task
+// dispatch / global transfer counts, and random kills draw from a Philox
+// stream seeded at construction, so the same seed and the same sequence of
+// runtime events replays the same failure schedule (see DecisionLog).
+//
+// The runtime hooks are TaskWorker::RunSubgraphsAsync (OnDispatch) and
+// FaultInjectingRendezvous::Send (OnTransfer); the master consults IsDown
+// for health checks and MarkRestarted fires on task restart.
+
+#ifndef TFREPRO_DISTRIBUTED_FAULT_INJECTOR_H_
+#define TFREPRO_DISTRIBUTED_FAULT_INJECTOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/random.h"
+#include "core/status.h"
+#include "runtime/rendezvous.h"
+
+namespace tfrepro {
+namespace distributed {
+
+// True when a rendezvous key "<send_dev>;<recv_dev>;..." crosses tasks
+// (the "/job:X/task:N" prefixes differ).
+bool IsCrossTaskKey(const std::string& key);
+
+class FaultInjector {
+ public:
+  explicit FaultInjector(uint64_t seed = 0);
+
+  enum class Action { kProceed, kKill, kHang };
+  struct Decision {
+    Action action = Action::kProceed;
+    double delay_seconds = 0.0;
+  };
+
+  // --- Scripting (test-side; all counts are 1-based) ---
+
+  // Kills `task` when it receives its `nth` step dispatch; it stays down
+  // (every later dispatch fails fast) until MarkRestarted.
+  void KillTaskAtDispatch(const std::string& task, int64_t nth);
+
+  // Hangs `task` at its `nth` dispatch: the dispatch never completes and
+  // never fails — the master's deadline must fire. Later dispatches proceed.
+  void HangTaskAtDispatch(const std::string& task, int64_t nth);
+
+  // Delays every dispatch to `task` by `seconds` (0 clears the delay).
+  void DelayTask(const std::string& task, double seconds);
+
+  // Drops the `nth` cross-task transfer observed by OnTransfer.
+  void DropNthTransfer(int64_t nth);
+
+  // Kills the dispatched-to task with probability `p` per dispatch, drawn
+  // from the seeded Philox stream (deterministic given the event sequence).
+  void KillRandomly(double probability);
+
+  // --- Runtime hooks ---
+
+  // Consulted by TaskWorker before running a step's subgraphs.
+  Decision OnDispatch(const std::string& task);
+
+  // Consulted per cross-task Send; true means "drop this transfer".
+  bool OnTransfer(const std::string& key);
+
+  // Parks the done-callback of a hung dispatch. The callback is never
+  // invoked; it is dropped (releasing whatever step state it keeps alive)
+  // when the task restarts or the injector is destroyed.
+  void ParkHung(const std::string& task, std::function<void(Status)> done);
+
+  // --- Health & recovery ---
+
+  bool IsDown(const std::string& task) const;
+  std::vector<std::string> DownTasks() const;
+
+  // Marks a task healthy again and drops its parked hung callbacks; called
+  // by InProcessCluster::RestartTask.
+  void MarkRestarted(const std::string& task);
+
+  // --- Introspection (tests) ---
+
+  int64_t kills() const;
+  int64_t hangs() const;
+  int64_t dropped_transfers() const;
+  int64_t dispatches(const std::string& task) const;
+
+  // One line per non-trivial decision, in event order — two injectors with
+  // the same seed and the same event sequence produce identical logs.
+  std::vector<std::string> DecisionLog() const;
+
+ private:
+  mutable std::mutex mu_;
+  PhiloxRandom rng_;
+  double kill_probability_ = 0.0;
+
+  std::map<std::string, int64_t> dispatch_counts_;
+  std::map<std::string, std::set<int64_t>> kill_at_;
+  std::map<std::string, std::set<int64_t>> hang_at_;
+  std::map<std::string, double> delays_;
+  std::set<std::string> down_;
+  std::set<int64_t> drop_transfer_at_;
+  int64_t transfer_count_ = 0;
+
+  int64_t kills_ = 0;
+  int64_t hangs_ = 0;
+  int64_t dropped_transfers_ = 0;
+  std::vector<std::string> log_;
+  std::map<std::string, std::vector<std::function<void(Status)>>> parked_;
+};
+
+// Wraps a step's rendezvous, dropping cross-task transfers the injector
+// says to drop. Local (same-task) transfers always pass through.
+class FaultInjectingRendezvous : public Rendezvous {
+ public:
+  FaultInjectingRendezvous(FaultInjector* injector,
+                           std::unique_ptr<Rendezvous> base)
+      : injector_(injector), base_(std::move(base)) {}
+
+  Status Send(const std::string& key, const Tensor& value,
+              bool is_dead) override;
+  void RecvAsync(const std::string& key, DoneCallback done) override;
+  void StartAbort(const Status& status) override;
+
+ private:
+  FaultInjector* injector_;
+  std::unique_ptr<Rendezvous> base_;
+};
+
+}  // namespace distributed
+}  // namespace tfrepro
+
+#endif  // TFREPRO_DISTRIBUTED_FAULT_INJECTOR_H_

@@ -1,9 +1,13 @@
 #include "distributed/master.h"
 
+#include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <sstream>
+#include <thread>
 
+#include "distributed/fault_injector.h"
 #include "graph/subgraph.h"
 #include "runtime/partition.h"
 #include "runtime/placer.h"
@@ -40,6 +44,16 @@ Result<std::unique_ptr<MasterSession>> MasterSession::Create(
   }
   return std::unique_ptr<MasterSession>(
       new MasterSession(graph, cluster, options));
+}
+
+void MasterSession::set_recovery_handler(std::function<Status()> handler) {
+  std::lock_guard<std::mutex> lock(recovery_mu_);
+  recovery_handler_ = std::move(handler);
+}
+
+MasterSession::RunStats MasterSession::stats() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  return stats_;
 }
 
 Result<MasterSession::CompiledStep*> MasterSession::GetOrCompile(
@@ -82,15 +96,214 @@ Result<MasterSession::CompiledStep*> MasterSession::GetOrCompile(
     Result<TaskWorker*> worker =
         cluster_->worker(task.value().first, task.value().second);
     TF_RETURN_IF_ERROR(worker.status());
+    // The worker gets a clone; the master retains the original so it can
+    // re-register the subgraph after a task restart (§4.3 recovery).
     TF_RETURN_IF_ERROR(worker.value()->RegisterSubgraph(
-        step->handle, session_prefix_, std::move(part), device_name));
+        step->handle, session_prefix_, part->Clone(), device_name));
     participating.insert(worker.value());
+    step->partitions.push_back(
+        PartitionRecord{worker.value(), device_name, std::move(part)});
   }
   step->participating.assign(participating.begin(), participating.end());
 
   CompiledStep* raw = step.get();
   compiled_[key] = std::move(step);
   return raw;
+}
+
+Status MasterSession::EnsureRegistered(CompiledStep* step) {
+  // Serialized so concurrent Runs cannot double-register after a restart.
+  std::lock_guard<std::mutex> lock(register_mu_);
+  for (TaskWorker* worker : step->participating) {
+    if (worker->HasSubgraphs(step->handle)) continue;
+    for (const PartitionRecord& rec : step->partitions) {
+      if (rec.worker != worker) continue;
+      TF_RETURN_IF_ERROR(worker->RegisterSubgraph(
+          step->handle, session_prefix_, rec.graph->Clone(),
+          rec.device_name));
+      std::lock_guard<std::mutex> slock(stats_mu_);
+      ++stats_.reregistrations;
+    }
+  }
+  return Status::OK();
+}
+
+Status MasterSession::RunOnce(CompiledStep* step,
+                              const std::vector<Tensor>& feed_tensors,
+                              const std::vector<std::string>& fetches,
+                              std::vector<Tensor>* outputs) {
+  FaultInjector* injector = cluster_->fault_injector();
+  if (injector != nullptr) {
+    // Fail fast instead of dispatching to a task known to be down.
+    for (TaskWorker* worker : step->participating) {
+      if (injector->IsDown(worker->task_name())) {
+        return Unavailable("task " + worker->task_name() + " is down");
+      }
+    }
+  }
+  TF_RETURN_IF_ERROR(EnsureRegistered(step));
+
+  // All per-step state lives in one shared block owned jointly by this
+  // frame and every participating task's done-callback. When the deadline
+  // expires, Run returns while stragglers may still be executing: the
+  // block must outlive them, so nothing per-step lives on this stack.
+  struct StepState {
+    StepState(std::vector<Tensor> feeds, int num_fetches)
+        : call_frame(std::move(feeds), num_fetches) {}
+    CallFrame call_frame;
+    CancellationManager cancellation;
+    std::unique_ptr<Rendezvous> rendezvous;
+    std::mutex mu;
+    std::condition_variable cv;
+    size_t remaining = 0;
+    Status status;
+    bool abort_sent = false;
+  };
+  auto state = std::make_shared<StepState>(feed_tensors,
+                                           static_cast<int>(fetches.size()));
+
+  std::unique_ptr<Rendezvous> rendezvous;
+  if (options_.use_network_model) {
+    rendezvous =
+        std::make_unique<ThrottledRendezvous>(options_.network, &timer_pool_);
+  } else {
+    rendezvous = std::make_unique<LocalRendezvous>();
+  }
+  if (injector != nullptr) {
+    rendezvous = std::make_unique<FaultInjectingRendezvous>(
+        injector, std::move(rendezvous));
+  }
+  state->rendezvous = std::move(rendezvous);
+
+  Executor::Args args;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    args.step_id = next_step_id_++;
+  }
+  args.rendezvous = state->rendezvous.get();
+  args.call_frame = &state->call_frame;
+  args.cancellation = &state->cancellation;
+
+  // One message per participating task (§3.3). The callback captures only
+  // `state` — never `this` — because a parked (hung) callback can outlive
+  // both this call and the session.
+  state->remaining = step->participating.size();
+  for (TaskWorker* worker : step->participating) {
+    worker->RunSubgraphsAsync(step->handle, args, [state](const Status& s) {
+      bool fan_abort = false;
+      {
+        std::lock_guard<std::mutex> lock(state->mu);
+        if (state->status.ok() && !s.ok()) {
+          state->status = s;
+          if (!state->abort_sent) {
+            state->abort_sent = true;
+            fan_abort = true;
+          }
+        }
+        if (--state->remaining == 0) state->cv.notify_all();
+      }
+      if (fan_abort) {
+        // First failure: abort the whole step everywhere (§4.3 — "the
+        // entire graph execution is aborted"), unblocking every pending
+        // Recv and cancellable op on the other tasks.
+        state->rendezvous->StartAbort(s);
+        state->cancellation.StartCancel();
+      }
+    });
+  }
+
+  bool abort_was_sent = false;
+  {
+    std::unique_lock<std::mutex> lock(state->mu);
+    auto all_done = [&state]() { return state->remaining == 0; };
+    if (options_.step_deadline_seconds > 0.0) {
+      if (!state->cv.wait_for(
+              lock,
+              std::chrono::duration<double>(options_.step_deadline_seconds),
+              all_done)) {
+        // Deadline fired with tasks still outstanding (hung task, lost
+        // transfer, or a straggler beyond the budget). Abort and return
+        // without waiting for the unresponsive tasks.
+        Status deadline = DeadlineExceeded(
+            "step " + std::to_string(args.step_id) +
+            " did not complete within " +
+            std::to_string(options_.step_deadline_seconds) + "s");
+        bool fan_abort = !state->abort_sent;
+        state->abort_sent = true;
+        if (state->status.ok()) state->status = deadline;
+        lock.unlock();
+        if (fan_abort) {
+          state->rendezvous->StartAbort(deadline);
+          state->cancellation.StartCancel();
+        }
+        {
+          std::lock_guard<std::mutex> slock(stats_mu_);
+          ++stats_.deadline_expirations;
+          if (fan_abort) ++stats_.aborts_fanned_out;
+        }
+        return deadline;
+      }
+    } else {
+      state->cv.wait(lock, all_done);
+    }
+    abort_was_sent = state->abort_sent;
+  }
+  if (abort_was_sent) {
+    std::lock_guard<std::mutex> slock(stats_mu_);
+    ++stats_.aborts_fanned_out;
+  }
+
+  Status step_status;
+  {
+    std::lock_guard<std::mutex> lock(state->mu);
+    step_status = state->status;
+  }
+  TF_RETURN_IF_ERROR(step_status);
+
+  if (outputs != nullptr) {
+    *outputs = state->call_frame.fetches();
+    for (size_t i = 0; i < outputs->size(); ++i) {
+      if (!(*outputs)[i].IsInitialized()) {
+        return InvalidArgument("fetch '" + fetches[i] +
+                               "' produced no value (dead tensor)");
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status MasterSession::PrepareRetry(CompiledStep* step) {
+  FaultInjector* injector = cluster_->fault_injector();
+  bool restarted = false;
+  if (injector != nullptr) {
+    for (TaskWorker* worker : step->participating) {
+      if (!injector->IsDown(worker->task_name())) continue;
+      if (!options_.restart_failed_tasks) {
+        return Unavailable("task " + worker->task_name() +
+                           " is down and restart_failed_tasks is off");
+      }
+      TF_RETURN_IF_ERROR(
+          cluster_->RestartTask(worker->job(), worker->task_index()));
+      restarted = true;
+      std::lock_guard<std::mutex> slock(stats_mu_);
+      ++stats_.restarts;
+    }
+  }
+  if (restarted) {
+    std::function<Status()> handler;
+    {
+      std::lock_guard<std::mutex> lock(recovery_mu_);
+      handler = recovery_handler_;
+    }
+    if (handler) {
+      // Typically restores the last checkpoint (CheckpointPolicy::Recover)
+      // by running restore subgraphs through this same session.
+      TF_RETURN_IF_ERROR(handler());
+      std::lock_guard<std::mutex> slock(stats_mu_);
+      ++stats_.recoveries;
+    }
+  }
+  return Status::OK();
 }
 
 Status MasterSession::Run(
@@ -107,54 +320,25 @@ Status MasterSession::Run(
   Result<CompiledStep*> step = GetOrCompile(feed_names, fetches, targets);
   TF_RETURN_IF_ERROR(step.status());
 
-  CallFrame call_frame(std::move(feed_tensors),
-                       static_cast<int>(fetches.size()));
-  CancellationManager cancellation;
-  std::unique_ptr<Rendezvous> rendezvous;
-  if (options_.use_network_model) {
-    rendezvous =
-        std::make_unique<ThrottledRendezvous>(options_.network, &timer_pool_);
-  } else {
-    rendezvous = std::make_unique<LocalRendezvous>();
-  }
-
-  Executor::Args args;
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    args.step_id = next_step_id_++;
-  }
-  args.rendezvous = rendezvous.get();
-  args.call_frame = &call_frame;
-  args.cancellation = &cancellation;
-
-  // One message per participating task (§3.3).
-  std::mutex done_mu;
-  std::condition_variable done_cv;
-  size_t remaining = step.value()->participating.size();
-  Status step_status;
-  for (TaskWorker* worker : step.value()->participating) {
-    worker->RunSubgraphsAsync(step.value()->handle, args, [&](const Status& s) {
-      std::lock_guard<std::mutex> lock(done_mu);
-      if (step_status.ok() && !s.ok()) step_status = s;
-      if (--remaining == 0) done_cv.notify_all();
-    });
-  }
-  {
-    std::unique_lock<std::mutex> lock(done_mu);
-    done_cv.wait(lock, [&]() { return remaining == 0; });
-  }
-  TF_RETURN_IF_ERROR(step_status);
-
-  if (outputs != nullptr) {
-    *outputs = call_frame.fetches();
-    for (size_t i = 0; i < outputs->size(); ++i) {
-      if (!(*outputs)[i].IsInitialized()) {
-        return InvalidArgument("fetch '" + fetches[i] +
-                               "' produced no value (dead tensor)");
-      }
+  // Retry loop with capped exponential backoff (§4.3: abort-and-restart
+  // for the transient failure codes). Non-retryable errors surface
+  // immediately.
+  double backoff = options_.retry_backoff_initial_seconds;
+  for (int attempt = 0;; ++attempt) {
+    Status s = RunOnce(step.value(), feed_tensors, fetches, outputs);
+    if (s.ok() || !s.IsRetryable() || attempt >= options_.max_step_retries) {
+      return s;
     }
+    {
+      std::lock_guard<std::mutex> slock(stats_mu_);
+      ++stats_.retries;
+    }
+    if (backoff > 0.0) {
+      std::this_thread::sleep_for(std::chrono::duration<double>(backoff));
+      backoff = std::min(backoff * 2.0, options_.retry_backoff_max_seconds);
+    }
+    TF_RETURN_IF_ERROR(PrepareRetry(step.value()));
   }
-  return Status::OK();
 }
 
 }  // namespace distributed

@@ -4,10 +4,27 @@
 // participating device, and caches these subgraphs so that they may be
 // re-used in subsequent steps" — then coordinates each step with one
 // RunSubgraphs call per participating task.
+//
+// Fault tolerance (paper §4.3): "when a failure is detected, the entire
+// graph execution is aborted and restarted from scratch." The master
+// implements the failure paths on top of the in-process cluster:
+//   * a per-step deadline so a hung task or a lost transfer cannot
+//     deadlock Run forever;
+//   * abort fan-out — the first task failure (or deadline expiry) aborts
+//     the step's rendezvous and cancellation manager, unblocking every
+//     other participating task;
+//   * step retry with capped exponential backoff for the retryable codes
+//     (Aborted / Unavailable / DeadlineExceeded);
+//   * task restart before a retry: a dead task is rebuilt in place, its
+//     cached subgraphs re-registered from the master's retained partitions,
+//     and a user-supplied recovery handler (typically
+//     train::CheckpointPolicy::Recover) restores variables from the last
+//     checkpoint so training resumes where it left off.
 
 #ifndef TFREPRO_DISTRIBUTED_MASTER_H_
 #define TFREPRO_DISTRIBUTED_MASTER_H_
 
+#include <functional>
 #include <map>
 #include <memory>
 #include <string>
@@ -27,6 +44,35 @@ class MasterSession {
     // Optional wire model applied to cross-task transfers.
     NetworkModel network;
     bool use_network_model = false;
+
+    // Per-step deadline in seconds; 0 = wait forever (the pre-fault-
+    // tolerance behaviour). When the deadline fires the step's rendezvous
+    // is aborted, pending work is cancelled, and Run returns
+    // DeadlineExceeded.
+    double step_deadline_seconds = 0.0;
+
+    // Number of times a step is retried after a retryable failure
+    // (Aborted / Unavailable / DeadlineExceeded). 0 = fail fast.
+    int max_step_retries = 0;
+
+    // Capped exponential backoff between retries.
+    double retry_backoff_initial_seconds = 0.001;
+    double retry_backoff_max_seconds = 0.25;
+
+    // When true, a retry first restarts every participating task the fault
+    // injector reports as down (wiping its state), re-registers its
+    // subgraphs, and invokes the recovery handler.
+    bool restart_failed_tasks = false;
+  };
+
+  // Counters for the failure paths, for tests and monitoring.
+  struct RunStats {
+    int64_t retries = 0;
+    int64_t restarts = 0;
+    int64_t deadline_expirations = 0;
+    int64_t aborts_fanned_out = 0;
+    int64_t recoveries = 0;
+    int64_t reregistrations = 0;
   };
 
   // Clones `graph`; the cluster must outlive the session.
@@ -37,7 +83,8 @@ class MasterSession {
     return Create(graph, cluster, Options{});
   }
 
-  // Runs one distributed step (same contract as DirectSession::Run).
+  // Runs one distributed step (same contract as DirectSession::Run),
+  // retrying per Options on retryable failures.
   Status Run(const std::vector<std::pair<std::string, Tensor>>& feeds,
              const std::vector<std::string>& fetches,
              const std::vector<std::string>& targets,
@@ -48,19 +95,52 @@ class MasterSession {
     return Run({}, fetches, {}, outputs);
   }
 
+  // Installs the hook invoked after one or more tasks were restarted,
+  // before the failed step is retried. Typical use: restore the latest
+  // checkpoint (train::CheckpointPolicy::Recover). The handler may call
+  // Run on this session (e.g. to run restore ops).
+  void set_recovery_handler(std::function<Status()> handler);
+
+  RunStats stats() const;
+
  private:
   MasterSession(const Graph& graph, InProcessCluster* cluster,
                 const Options& options);
 
+  // One partition retained by the master so it can re-register a restarted
+  // task's subgraphs (the worker's copy dies with the task).
+  struct PartitionRecord {
+    TaskWorker* worker;
+    std::string device_name;
+    std::unique_ptr<Graph> graph;
+  };
+
   struct CompiledStep {
     std::string handle;
     std::vector<TaskWorker*> participating;
+    std::vector<PartitionRecord> partitions;
   };
 
   Result<CompiledStep*> GetOrCompile(
       const std::vector<std::string>& feed_names,
       const std::vector<std::string>& fetches,
       const std::vector<std::string>& targets);
+
+  // Re-registers subgraphs on any participating task that lost them to a
+  // restart (detected via HasSubgraphs).
+  Status EnsureRegistered(CompiledStep* step);
+
+  // One dispatch round: health check, register-if-needed, fan out one
+  // message per participating task, wait (bounded by the deadline), fan
+  // abort out on first failure.
+  Status RunOnce(CompiledStep* step, const std::vector<Tensor>& feed_tensors,
+                 const std::vector<std::string>& fetches,
+                 std::vector<Tensor>* outputs);
+
+  // Before a retry: restart dead tasks (if configured) and run the
+  // recovery handler. Returns non-OK when the failure is not recoverable
+  // under the current options.
+  Status PrepareRetry(CompiledStep* step);
 
   Options options_;
   InProcessCluster* cluster_;
@@ -72,6 +152,15 @@ class MasterSession {
   std::map<std::string, std::unique_ptr<CompiledStep>> compiled_;
   int64_t next_step_id_ = 1;
   int64_t next_handle_ = 0;
+
+  // Serializes post-restart re-registration across concurrent Runs.
+  std::mutex register_mu_;
+
+  std::mutex recovery_mu_;
+  std::function<Status()> recovery_handler_;
+
+  mutable std::mutex stats_mu_;
+  RunStats stats_;
 };
 
 }  // namespace distributed

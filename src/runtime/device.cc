@@ -150,6 +150,14 @@ void Device::ClearSegment(const std::string& segment) {
   segments_.erase(segment);
 }
 
+void Device::ResetState() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    segments_.clear();
+  }
+  resource_mgr_.Clear();
+}
+
 void DeviceMgr::AddDevice(std::unique_ptr<Device> device) {
   devices_.push_back(std::move(device));
 }

@@ -76,6 +76,13 @@ class Device {
   // Drops all cached kernels for a segment (when a session closes).
   void ClearSegment(const std::string& segment);
 
+  // Drops every cached kernel and every named resource — the device comes
+  // back as if freshly constructed. Models a task-process restart (paper
+  // §4.3): all in-memory state (variables, queues) is lost and must be
+  // restored from a checkpoint. Callers must ensure no executor holding
+  // kernels from this device is still running.
+  void ResetState();
+
  private:
   std::string name_;
   std::string type_;

@@ -4,11 +4,16 @@ namespace tfrepro {
 namespace train {
 
 void Coordinator::RequestStop(const Status& status) {
+  std::vector<std::function<void()>> callbacks;
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (status_.ok() && !status.ok()) status_ = status;
+    callbacks.swap(on_stop_);
   }
   stop_requested_.store(true);
+  // Outside the lock: callbacks typically run a session step (queue close
+  // with cancel_pending) and may take arbitrary time.
+  for (auto& callback : callbacks) callback();
 }
 
 void Coordinator::Join() {
@@ -27,6 +32,17 @@ void Coordinator::RegisterThread(std::thread thread) {
   threads_.push_back(std::move(thread));
 }
 
+void Coordinator::RegisterOnStop(std::function<void()> callback) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!stop_requested_.load()) {
+      on_stop_.push_back(std::move(callback));
+      return;
+    }
+  }
+  callback();  // stop already requested: fire immediately
+}
+
 Status Coordinator::status() const {
   std::lock_guard<std::mutex> lock(mu_);
   return status_;
@@ -34,6 +50,15 @@ Status Coordinator::status() const {
 
 void QueueRunner::Start(DirectSession* session, Coordinator* coord,
                         int num_threads) {
+  // On stop, close the queue (cancelling pending enqueues when a cancel op
+  // was provided) so enqueue threads blocked on a full queue fail out and
+  // Join() cannot hang.
+  const std::string stop_op = cancel_op_.empty() ? close_op_ : cancel_op_;
+  if (!stop_op.empty()) {
+    coord->RegisterOnStop([session, stop_op]() {
+      (void)session->Run({}, {}, {stop_op}, nullptr);
+    });
+  }
   for (int i = 0; i < num_threads; ++i) {
     coord->RegisterThread(std::thread([this, session, coord]() {
       while (!coord->ShouldStop()) {

@@ -8,6 +8,7 @@
 #define TFREPRO_TRAIN_COORDINATOR_H_
 
 #include <atomic>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -23,6 +24,10 @@ namespace train {
 class Coordinator {
  public:
   // Signals all participants to stop; the first non-OK status is kept.
+  // Runs every registered on-stop callback (once) so blocked queue
+  // operations are aborted — without this, a runner thread parked on a
+  // full queue's enqueue would never observe ShouldStop and Join would
+  // hang forever.
   void RequestStop(const Status& status = Status::OK());
   bool ShouldStop() const { return stop_requested_.load(); }
 
@@ -31,6 +36,12 @@ class Coordinator {
 
   void RegisterThread(std::thread thread);
 
+  // Registers a callback invoked exactly once when stop is requested
+  // (immediately, if stop was already requested). QueueRunner uses this to
+  // close its queue with cancel_pending_enqueues so blocked enqueues fail
+  // out instead of waiting forever.
+  void RegisterOnStop(std::function<void()> callback);
+
   Status status() const;
 
  private:
@@ -38,15 +49,22 @@ class Coordinator {
   mutable std::mutex mu_;
   Status status_;
   std::vector<std::thread> threads_;
+  std::vector<std::function<void()>> on_stop_;
 };
 
 class QueueRunner {
  public:
   // `enqueue_op`: the node name of a QueueEnqueue(Many) op to run
-  // repeatedly; `close_op`: node name of a QueueClose op to run on stop
-  // (may be empty).
-  QueueRunner(std::string enqueue_op, std::string close_op = "")
-      : enqueue_op_(std::move(enqueue_op)), close_op_(std::move(close_op)) {}
+  // repeatedly; `close_op`: node name of a QueueClose op to run on clean
+  // end-of-input (may be empty); `cancel_op`: node name of a QueueClose op
+  // built with cancel_pending_enqueues=true, run when the coordinator
+  // requests a stop so enqueues blocked on a full queue abort instead of
+  // wedging their runner thread (falls back to `close_op` when empty).
+  QueueRunner(std::string enqueue_op, std::string close_op = "",
+              std::string cancel_op = "")
+      : enqueue_op_(std::move(enqueue_op)),
+        close_op_(std::move(close_op)),
+        cancel_op_(std::move(cancel_op)) {}
 
   // Spawns `num_threads` threads running the enqueue op until the
   // coordinator stops or the op fails. Cancelled/Aborted (queue closed) are
@@ -56,6 +74,7 @@ class QueueRunner {
  private:
   std::string enqueue_op_;
   std::string close_op_;
+  std::string cancel_op_;
 };
 
 }  // namespace train

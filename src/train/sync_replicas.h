@@ -52,6 +52,14 @@ class SyncReplicas {
   // once after variable initialization.
   Node* token_seed_op() const { return token_seed_op_; }
 
+  // n replicas / m required. With m < n the n-m slowest (or failed)
+  // workers are backup workers: the chief's update proceeds on the first m
+  // gradient sets, so losing up to n-m workers mid-step cannot stall a
+  // synchronous update (§4.4, Figure 4c) — the fault-tolerance tests kill
+  // one of n=4 workers and verify the m=3 step still completes.
+  int num_workers() const { return num_workers_; }
+  int num_required() const { return num_required_; }
+
  private:
   GraphBuilder* b_;
   Optimizer* optimizer_;

@@ -5,7 +5,9 @@
 #include <gtest/gtest.h>
 
 #include <chrono>
+#include <condition_variable>
 #include <fstream>
+#include <mutex>
 #include <thread>
 
 #include "distributed/master.h"
@@ -353,6 +355,79 @@ TEST(ThrottledRendezvousTest, BandwidthModelDelaysBySize) {
                                           start)
                 .count();
   EXPECT_LT(elapsed, 0.05);
+}
+
+TEST(ThrottledRendezvousTest, AbortUnblocksDelayedTransfer) {
+  // The delayed delivery is in flight when the abort lands: the waiting
+  // Recv must fail with the abort status well before the modeled latency.
+  ThreadPool pool("timer", 2);
+  distributed::NetworkModel model;
+  model.latency_seconds = 1.0;  // far beyond the abort's arrival
+  distributed::ThrottledRendezvous rendezvous(model, &pool);
+
+  std::string key = RendezvousKey("/job:a/task:0/device:CPU:0",
+                                  "/job:b/task:0/device:CPU:0", "t", 0);
+  TF_CHECK_OK(rendezvous.Send(key, Tensor::Scalar(1.0f), false));
+
+  std::mutex mu;
+  std::condition_variable cv;
+  bool done = false;
+  Status recv_status;
+  rendezvous.RecvAsync(key, [&](const Status& s, const Tensor&, bool) {
+    std::lock_guard<std::mutex> lock(mu);
+    recv_status = s;
+    done = true;
+    cv.notify_all();
+  });
+
+  auto start = std::chrono::steady_clock::now();
+  rendezvous.StartAbort(Aborted("step failed elsewhere"));
+  {
+    std::unique_lock<std::mutex> lock(mu);
+    ASSERT_TRUE(cv.wait_for(lock, std::chrono::seconds(3),
+                            [&] { return done; }));
+  }
+  double elapsed = std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - start)
+                       .count();
+  EXPECT_LT(elapsed, 0.9);  // did not wait out the modeled latency
+  EXPECT_TRUE(recv_status.IsAborted()) << recv_status;
+}
+
+TEST(ThrottledRendezvousTest, AbortBeforeRecvFailsFast) {
+  ThreadPool pool("timer", 1);
+  distributed::ThrottledRendezvous rendezvous(distributed::NetworkModel{},
+                                              &pool);
+  rendezvous.StartAbort(Unavailable("task down"));
+  Tensor value;
+  bool is_dead = false;
+  Status s = rendezvous.Recv("some;key;t;0", &value, &is_dead);
+  EXPECT_TRUE(s.IsUnavailable()) << s;
+  // Sends after the abort are rejected too.
+  EXPECT_FALSE(rendezvous.Send("some;key;u;0", Tensor::Scalar(1.0f), false)
+                   .ok());
+}
+
+TEST(ThrottledRendezvousTest, DoubleAbortKeepsFirstStatus) {
+  ThreadPool pool("timer", 1);
+  distributed::ThrottledRendezvous rendezvous(distributed::NetworkModel{},
+                                              &pool);
+  rendezvous.StartAbort(Aborted("first"));
+  rendezvous.StartAbort(Unavailable("second"));
+  Tensor value;
+  bool is_dead = false;
+  Status s = rendezvous.Recv("k;k;t;0", &value, &is_dead);
+  EXPECT_TRUE(s.IsAborted()) << s;
+}
+
+TEST(LocalRendezvousAbortTest, DoubleAbortKeepsFirstStatus) {
+  LocalRendezvous rendezvous;
+  rendezvous.StartAbort(Aborted("first"));
+  rendezvous.StartAbort(Unavailable("second"));
+  Tensor value;
+  bool is_dead = false;
+  Status s = rendezvous.Recv("k", &value, &is_dead);
+  EXPECT_TRUE(s.IsAborted()) << s;
 }
 
 

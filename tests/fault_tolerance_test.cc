@@ -1,0 +1,482 @@
+// Fault-tolerance tests (paper §4.3–§4.4): injected task kills, hangs, and
+// lost transfers against the distributed runtime's deadline / abort / retry
+// / checkpoint-recovery machinery.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cmath>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "distributed/fault_injector.h"
+#include "distributed/master.h"
+#include "graph/ops.h"
+#include "train/checkpoint_policy.h"
+#include "train/optimizer.h"
+#include "train/saver.h"
+#include "train/sync_replicas.h"
+
+namespace tfrepro {
+namespace {
+
+using distributed::ClusterSpec;
+using distributed::FaultInjector;
+using distributed::InProcessCluster;
+using distributed::MasterSession;
+using ops::Const;
+using train::GradAndVar;
+
+ClusterSpec PsWorkerSpec(int ps, int workers) {
+  ClusterSpec spec;
+  spec.jobs["ps"] = ps;
+  spec.jobs["worker"] = workers;
+  return spec;
+}
+
+Result<std::unique_ptr<InProcessCluster>> ClusterWithInjector(
+    int ps, int workers, FaultInjector* injector) {
+  InProcessCluster::Options options;
+  options.fault_injector = injector;
+  return InProcessCluster::Create(PsWorkerSpec(ps, workers), options);
+}
+
+double SecondsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+// Fresh (empty) checkpoint directory for one test.
+std::string CheckpointPrefix(const std::string& test_name) {
+  std::string dir = ::testing::TempDir() + "/" + test_name;
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir + "/model";
+}
+
+TEST(FaultInjectorTest, ScriptedKillHangDelayAndRestart) {
+  FaultInjector injector;
+  const std::string ps = "/job:ps/task:0";
+  const std::string worker = "/job:worker/task:1";
+
+  injector.KillTaskAtDispatch(ps, 2);
+  EXPECT_EQ(injector.OnDispatch(ps).action, FaultInjector::Action::kProceed);
+  EXPECT_EQ(injector.OnDispatch(ps).action, FaultInjector::Action::kKill);
+  EXPECT_TRUE(injector.IsDown(ps));
+  EXPECT_EQ(injector.kills(), 1);
+  // A dead task refuses every dispatch, but that is not a new kill.
+  EXPECT_EQ(injector.OnDispatch(ps).action, FaultInjector::Action::kKill);
+  EXPECT_EQ(injector.kills(), 1);
+  EXPECT_EQ(injector.DownTasks(), std::vector<std::string>({ps}));
+
+  injector.MarkRestarted(ps);
+  EXPECT_FALSE(injector.IsDown(ps));
+  EXPECT_EQ(injector.OnDispatch(ps).action, FaultInjector::Action::kProceed);
+
+  // Hangs are one-shot: only the scripted dispatch hangs.
+  injector.HangTaskAtDispatch(worker, 1);
+  EXPECT_EQ(injector.OnDispatch(worker).action,
+            FaultInjector::Action::kHang);
+  EXPECT_EQ(injector.OnDispatch(worker).action,
+            FaultInjector::Action::kProceed);
+  EXPECT_EQ(injector.hangs(), 1);
+
+  injector.DelayTask(worker, 0.25);
+  FaultInjector::Decision d = injector.OnDispatch(worker);
+  EXPECT_EQ(d.action, FaultInjector::Action::kProceed);
+  EXPECT_DOUBLE_EQ(d.delay_seconds, 0.25);
+  injector.DelayTask(worker, 0.0);
+  EXPECT_DOUBLE_EQ(injector.OnDispatch(worker).delay_seconds, 0.0);
+
+  // Transfer drops are counted globally, 1-based.
+  injector.DropNthTransfer(2);
+  EXPECT_FALSE(injector.OnTransfer("a;b;t1;0"));
+  EXPECT_TRUE(injector.OnTransfer("a;b;t2;0"));
+  EXPECT_FALSE(injector.OnTransfer("a;b;t3;0"));
+  EXPECT_EQ(injector.dropped_transfers(), 1);
+}
+
+TEST(FaultInjectorTest, SameSeedSameFailureSchedule) {
+  // The acceptance bar for determinism: identical seed + identical event
+  // sequence => identical decision log.
+  auto replay = [](uint64_t seed) {
+    FaultInjector injector(seed);
+    injector.KillRandomly(0.3);
+    injector.DropNthTransfer(3);
+    for (int i = 0; i < 40; ++i) {
+      injector.OnDispatch("/job:worker/task:" + std::to_string(i % 3));
+      if (i % 4 == 0) {
+        injector.OnTransfer("a;b;t" + std::to_string(i) + ";0");
+      }
+    }
+    return injector.DecisionLog();
+  };
+  std::vector<std::string> log = replay(42);
+  EXPECT_EQ(log, replay(42));
+  // With p=0.3 over 40 dispatches the schedule is all but guaranteed to
+  // contain at least one kill; an empty log would mean the seed is ignored.
+  EXPECT_FALSE(log.empty());
+}
+
+TEST(FaultInjectorTest, CrossTaskKeyDetection) {
+  using distributed::IsCrossTaskKey;
+  EXPECT_TRUE(IsCrossTaskKey(
+      "/job:ps/task:0/device:CPU:0;/job:worker/task:0/device:CPU:0;w:0;0"));
+  EXPECT_TRUE(IsCrossTaskKey(
+      "/job:worker/task:0/device:CPU:0;/job:worker/task:1/device:CPU:0;g;0"));
+  EXPECT_FALSE(IsCrossTaskKey(
+      "/job:ps/task:0/device:CPU:0;/job:ps/task:0/device:CPU:1;w:0;0"));
+  EXPECT_FALSE(IsCrossTaskKey("not-a-key"));
+}
+
+// The headline scenario: a PS task is killed mid-training. The step aborts
+// with a retryable error, the master restarts the task, re-registers its
+// subgraphs, restores the last checkpoint, and retries — and because SGD
+// here is deterministic, training lands on exactly the value an
+// uninterrupted run produces.
+TEST(FaultToleranceTest, KilledPsTaskRecoversFromCheckpointAndResumes) {
+  FaultInjector injector;
+  auto cluster = ClusterWithInjector(1, 1, &injector);
+  ASSERT_TRUE(cluster.ok()) << cluster.status();
+
+  Graph g;
+  GraphBuilder b(&g);
+  Output w;
+  Output init;
+  {
+    GraphBuilder::DeviceScope scope(&b, "/job:ps/task:0");
+    w = ops::Variable(&b, DataType::kFloat, TensorShape({2}), "w");
+    init = ops::Assign(&b, w, Const(&b, Tensor::Vec<float>({4, -4})));
+  }
+  Output loss;
+  Result<Node*> train_op = Internal("unset");
+  train::GradientDescentOptimizer opt(0.25f);
+  {
+    GraphBuilder::DeviceScope scope(&b, "/job:worker/task:0");
+    loss = ops::SumAll(&b, ops::Square(&b, w));
+    train_op = opt.Minimize(&b, loss, {w}, "train");
+  }
+  ASSERT_TRUE(train_op.ok()) << train_op.status();
+  train::Saver saver(&b, {w});
+  ASSERT_TRUE(b.ok()) << b.status();
+
+  MasterSession::Options options;
+  options.max_step_retries = 3;
+  options.restart_failed_tasks = true;
+  options.retry_backoff_initial_seconds = 1e-4;
+  auto session = MasterSession::Create(g, cluster.value().get(), options);
+  ASSERT_TRUE(session.ok()) << session.status();
+  MasterSession* sess = session.value().get();
+
+  train::CheckpointPolicy policy(&saver, CheckpointPrefix("ft_ps_kill"),
+                                 /*save_every_n_steps=*/1);
+  sess->set_recovery_handler([&] { return policy.Recover(sess); });
+
+  TF_CHECK_OK(sess->Run({}, {}, {init.node->name()}, nullptr));
+  constexpr int kSteps = 30;
+  constexpr int kKillBeforeStep = 11;
+  for (int step = 1; step <= kSteps; ++step) {
+    if (step == kKillBeforeStep) {
+      // Kill the PS on its next dispatch — i.e. during this train step.
+      injector.KillTaskAtDispatch("/job:ps/task:0",
+                                  injector.dispatches("/job:ps/task:0") + 1);
+    }
+    TF_CHECK_OK(sess->Run({}, {}, {train_op.value()->name()}, nullptr));
+    TF_CHECK_OK(policy.AfterStep(sess, step));
+  }
+
+  EXPECT_EQ(injector.kills(), 1);
+  MasterSession::RunStats stats = sess->stats();
+  EXPECT_GE(stats.retries, 1);
+  EXPECT_EQ(stats.restarts, 1);
+  EXPECT_GE(stats.reregistrations, 1);
+  EXPECT_EQ(stats.recoveries, 1);
+  EXPECT_GE(stats.aborts_fanned_out, 1);
+  EXPECT_EQ(policy.recoveries(), 1);
+  // The failure hit after step 10's checkpoint; recovery restored it.
+  EXPECT_EQ(policy.last_restored_step(), kKillBeforeStep - 1);
+
+  // w halves each step (lr 0.25 on sum(w^2)), all in exact powers of two,
+  // so the recovered trajectory must equal the uninterrupted one exactly.
+  std::vector<Tensor> out;
+  TF_CHECK_OK(sess->Run({loss.name()}, &out));
+  const float expected = 2.0f * std::ldexp(4.0f, -kSteps) *
+                         std::ldexp(4.0f, -kSteps);
+  EXPECT_EQ(*out[0].data<float>(), expected);
+}
+
+// Without restart_failed_tasks, a kill surfaces as Unavailable even when
+// retries are allowed — the master refuses to retry into a dead task.
+TEST(FaultToleranceTest, KillWithoutRestartSurfacesUnavailable) {
+  FaultInjector injector;
+  auto cluster = ClusterWithInjector(1, 1, &injector);
+  ASSERT_TRUE(cluster.ok());
+
+  Graph g;
+  GraphBuilder b(&g);
+  Output on_ps;
+  {
+    GraphBuilder::DeviceScope scope(&b, "/job:ps/task:0");
+    on_ps = ops::Mul(&b, Const(&b, 6.0f), Const(&b, 7.0f));
+  }
+  Output on_worker;
+  {
+    GraphBuilder::DeviceScope scope(&b, "/job:worker/task:0");
+    on_worker = ops::Add(&b, on_ps, Const(&b, 0.5f));
+  }
+  ASSERT_TRUE(b.ok()) << b.status();
+
+  MasterSession::Options options;
+  options.max_step_retries = 2;
+  options.retry_backoff_initial_seconds = 1e-4;
+  auto session = MasterSession::Create(g, cluster.value().get(), options);
+  ASSERT_TRUE(session.ok());
+
+  injector.KillTaskAtDispatch("/job:ps/task:0", 1);
+  std::vector<Tensor> out;
+  Status s = session.value()->Run({on_worker.name()}, &out);
+  EXPECT_TRUE(s.IsUnavailable()) << s;
+
+  // After an explicit restart the same session works again.
+  TF_CHECK_OK(cluster.value()->RestartTask("ps", 0));
+  TF_CHECK_OK(session.value()->Run({on_worker.name()}, &out));
+  EXPECT_FLOAT_EQ(*out[0].data<float>(), 42.5f);
+}
+
+// A hung task never answers its dispatch: only the step deadline can
+// unblock the master. The step must fail with DeadlineExceeded promptly
+// instead of deadlocking, and the session must stay usable.
+TEST(FaultToleranceTest, HungTaskTripsDeadlineInsteadOfDeadlocking) {
+  FaultInjector injector;
+  auto cluster = ClusterWithInjector(1, 1, &injector);
+  ASSERT_TRUE(cluster.ok());
+
+  Graph g;
+  GraphBuilder b(&g);
+  Output on_ps;
+  {
+    GraphBuilder::DeviceScope scope(&b, "/job:ps/task:0");
+    on_ps = ops::Mul(&b, Const(&b, 6.0f), Const(&b, 7.0f));
+  }
+  Output on_worker;
+  {
+    GraphBuilder::DeviceScope scope(&b, "/job:worker/task:0");
+    on_worker = ops::Add(&b, on_ps, Const(&b, 0.5f));
+  }
+  ASSERT_TRUE(b.ok()) << b.status();
+
+  MasterSession::Options options;
+  options.step_deadline_seconds = 0.3;
+  auto session = MasterSession::Create(g, cluster.value().get(), options);
+  ASSERT_TRUE(session.ok());
+
+  injector.HangTaskAtDispatch("/job:worker/task:0", 1);
+  auto start = std::chrono::steady_clock::now();
+  std::vector<Tensor> out;
+  Status s = session.value()->Run({on_worker.name()}, &out);
+  EXPECT_TRUE(s.IsDeadlineExceeded()) << s;
+  EXPECT_LT(SecondsSince(start), 10.0);
+  EXPECT_EQ(injector.hangs(), 1);
+  EXPECT_EQ(session.value()->stats().deadline_expirations, 1);
+
+  // The hang was one-shot; a fresh step completes normally.
+  TF_CHECK_OK(session.value()->Run({on_worker.name()}, &out));
+  EXPECT_FLOAT_EQ(*out[0].data<float>(), 42.5f);
+}
+
+// DeadlineExceeded is retryable: with retries configured, a one-shot hang
+// is absorbed and Run succeeds.
+TEST(FaultToleranceTest, DeadlineRetryAbsorbsHungStep) {
+  FaultInjector injector;
+  auto cluster = ClusterWithInjector(1, 1, &injector);
+  ASSERT_TRUE(cluster.ok());
+
+  Graph g;
+  GraphBuilder b(&g);
+  Output on_ps;
+  {
+    GraphBuilder::DeviceScope scope(&b, "/job:ps/task:0");
+    on_ps = ops::Mul(&b, Const(&b, 2.0f), Const(&b, 3.0f));
+  }
+  Output on_worker;
+  {
+    GraphBuilder::DeviceScope scope(&b, "/job:worker/task:0");
+    on_worker = ops::Add(&b, on_ps, Const(&b, 1.0f));
+  }
+  ASSERT_TRUE(b.ok()) << b.status();
+
+  MasterSession::Options options;
+  options.step_deadline_seconds = 0.2;
+  options.max_step_retries = 2;
+  options.retry_backoff_initial_seconds = 1e-4;
+  auto session = MasterSession::Create(g, cluster.value().get(), options);
+  ASSERT_TRUE(session.ok());
+
+  injector.HangTaskAtDispatch("/job:worker/task:0", 1);
+  std::vector<Tensor> out;
+  TF_CHECK_OK(session.value()->Run({on_worker.name()}, &out));
+  EXPECT_FLOAT_EQ(*out[0].data<float>(), 7.0f);
+  MasterSession::RunStats stats = session.value()->stats();
+  EXPECT_EQ(stats.deadline_expirations, 1);
+  EXPECT_EQ(stats.retries, 1);
+}
+
+// A lost cross-task transfer leaves the receiving Recv blocked forever;
+// the deadline detects it and the retry re-sends.
+TEST(FaultToleranceTest, DroppedTransferTripsDeadlineThenRetrySucceeds) {
+  FaultInjector injector;
+  auto cluster = ClusterWithInjector(1, 1, &injector);
+  ASSERT_TRUE(cluster.ok());
+
+  Graph g;
+  GraphBuilder b(&g);
+  Output v;
+  Output init;
+  {
+    GraphBuilder::DeviceScope scope(&b, "/job:ps/task:0");
+    v = ops::Variable(&b, DataType::kFloat, TensorShape(), "v");
+    init = ops::Assign(&b, v, Const(&b, 42.0f));
+  }
+  Output y;
+  {
+    GraphBuilder::DeviceScope scope(&b, "/job:worker/task:0");
+    y = ops::Add(&b, v, Const(&b, 0.5f));
+  }
+  ASSERT_TRUE(b.ok()) << b.status();
+
+  MasterSession::Options options;
+  options.step_deadline_seconds = 0.2;
+  options.max_step_retries = 2;
+  options.retry_backoff_initial_seconds = 1e-4;
+  auto session = MasterSession::Create(g, cluster.value().get(), options);
+  ASSERT_TRUE(session.ok());
+
+  // Init runs entirely on the PS: no cross-task transfer. The first
+  // transfer is v's trip to the worker in the fetch step — drop it.
+  TF_CHECK_OK(session.value()->Run({}, {}, {init.node->name()}, nullptr));
+  injector.DropNthTransfer(1);
+
+  std::vector<Tensor> out;
+  TF_CHECK_OK(session.value()->Run({y.name()}, &out));
+  EXPECT_FLOAT_EQ(*out[0].data<float>(), 42.5f);
+  EXPECT_EQ(injector.dropped_transfers(), 1);
+  MasterSession::RunStats stats = session.value()->stats();
+  EXPECT_GE(stats.deadline_expirations, 1);
+  EXPECT_GE(stats.retries, 1);
+}
+
+// §4.4 Figure 4c: n=4 workers, m=3 required. One worker is killed before
+// its step; the other three contribute and the chief update completes —
+// losing up to n-m workers cannot stall a synchronous step.
+TEST(FaultToleranceTest, BackupWorkersAbsorbKilledWorker) {
+  constexpr int kWorkers = 4;
+  constexpr int kRequired = 3;
+  FaultInjector injector;
+  auto cluster = ClusterWithInjector(1, kWorkers, &injector);
+  ASSERT_TRUE(cluster.ok());
+
+  Graph g;
+  GraphBuilder b(&g);
+  Output w;
+  Output init;
+  train::GradientDescentOptimizer opt(1.0f);
+  std::unique_ptr<train::SyncReplicas> sync;
+  {
+    GraphBuilder::DeviceScope scope(&b, "/job:ps/task:0");
+    w = ops::Variable(&b, DataType::kFloat, TensorShape(), "w");
+    init = ops::Assign(&b, w, Const(&b, 6.0f));
+    // Queues (gradient + token) land on the PS: the coordination device.
+    sync = std::make_unique<train::SyncReplicas>(&b, &opt, kWorkers,
+                                                 kRequired);
+  }
+  EXPECT_EQ(sync->num_workers(), kWorkers);
+  EXPECT_EQ(sync->num_required(), kRequired);
+
+  std::vector<Node*> worker_steps;
+  for (int i = 0; i < kWorkers; ++i) {
+    GraphBuilder::DeviceScope scope(&b, "/job:worker/task:" +
+                                            std::to_string(i));
+    std::vector<GradAndVar> gvs = {GradAndVar{Const(&b, 2.0f), w}};
+    Result<Node*> step = sync->AddWorkerStep(gvs);
+    ASSERT_TRUE(step.ok()) << step.status();
+    worker_steps.push_back(step.value());
+  }
+  Result<Node*> chief = Internal("unset");
+  {
+    GraphBuilder::DeviceScope scope(&b, "/job:ps/task:0");
+    chief = sync->BuildChiefUpdate();
+  }
+  ASSERT_TRUE(chief.ok()) << chief.status();
+  ASSERT_TRUE(b.ok()) << b.status();
+
+  auto session = MasterSession::Create(g, cluster.value().get());
+  ASSERT_TRUE(session.ok()) << session.status();
+  MasterSession* sess = session.value().get();
+  TF_CHECK_OK(sess->Run({}, {}, {init.node->name()}, nullptr));
+  TF_CHECK_OK(sess->Run({}, {}, {sync->token_seed_op()->name()}, nullptr));
+
+  // Worker 3 dies on its first (and only) step dispatch.
+  injector.KillTaskAtDispatch("/job:worker/task:3", 1);
+
+  std::vector<Status> statuses(kWorkers, Status::OK());
+  std::vector<std::thread> threads;
+  for (int i = 0; i < kWorkers; ++i) {
+    threads.emplace_back([&, i]() {
+      statuses[i] = sess->Run({}, {}, {worker_steps[i]->name()}, nullptr);
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (int i = 0; i < kWorkers - 1; ++i) {
+    EXPECT_TRUE(statuses[i].ok()) << i << ": " << statuses[i];
+  }
+  EXPECT_FALSE(statuses[kWorkers - 1].ok());
+  EXPECT_TRUE(statuses[kWorkers - 1].IsRetryable())
+      << statuses[kWorkers - 1];
+
+  // The chief needs only the first m=3 gradient sets, all present.
+  TF_CHECK_OK(sess->Run({}, {}, {chief.value()->name()}, nullptr));
+  std::vector<Tensor> out;
+  TF_CHECK_OK(sess->Run({w.name()}, &out));
+  EXPECT_FLOAT_EQ(*out[0].data<float>(), 4.0f);  // 6 - mean(2,2,2) * 1.0
+}
+
+// A straggler delayed below the deadline slows the step but does not fail
+// it (the §4.4 backup-worker motivation, at the dispatch level).
+TEST(FaultToleranceTest, DelayedTaskSlowsButCompletesStep) {
+  FaultInjector injector;
+  auto cluster = ClusterWithInjector(1, 1, &injector);
+  ASSERT_TRUE(cluster.ok());
+
+  Graph g;
+  GraphBuilder b(&g);
+  Output on_ps;
+  {
+    GraphBuilder::DeviceScope scope(&b, "/job:ps/task:0");
+    on_ps = ops::Mul(&b, Const(&b, 6.0f), Const(&b, 7.0f));
+  }
+  Output on_worker;
+  {
+    GraphBuilder::DeviceScope scope(&b, "/job:worker/task:0");
+    on_worker = ops::Add(&b, on_ps, Const(&b, 0.5f));
+  }
+  ASSERT_TRUE(b.ok()) << b.status();
+
+  MasterSession::Options options;
+  options.step_deadline_seconds = 5.0;
+  auto session = MasterSession::Create(g, cluster.value().get(), options);
+  ASSERT_TRUE(session.ok());
+
+  injector.DelayTask("/job:worker/task:0", 0.15);
+  auto start = std::chrono::steady_clock::now();
+  std::vector<Tensor> out;
+  TF_CHECK_OK(session.value()->Run({on_worker.name()}, &out));
+  EXPECT_GE(SecondsSince(start), 0.14);
+  EXPECT_FLOAT_EQ(*out[0].data<float>(), 42.5f);
+  EXPECT_EQ(session.value()->stats().deadline_expirations, 0);
+}
+
+}  // namespace
+}  // namespace tfrepro

@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include <condition_variable>
 #include <set>
 #include <thread>
 

@@ -49,6 +49,35 @@ TEST(StatusTest, AllConstructorsProduceMatchingCodes) {
   EXPECT_EQ(DataLoss("m").code(), Code::kDataLoss);
 }
 
+TEST(StatusTest, RetryablePredicates) {
+  EXPECT_TRUE(Aborted("m").IsAborted());
+  EXPECT_TRUE(Unavailable("m").IsUnavailable());
+  EXPECT_TRUE(DeadlineExceeded("m").IsDeadlineExceeded());
+  EXPECT_TRUE(Cancelled("m").IsCancelled());
+  EXPECT_EQ(DeadlineExceeded("m").code(), Code::kDeadlineExceeded);
+
+  // Exactly Aborted/Unavailable/DeadlineExceeded are retryable.
+  EXPECT_TRUE(Aborted("m").IsRetryable());
+  EXPECT_TRUE(Unavailable("m").IsRetryable());
+  EXPECT_TRUE(DeadlineExceeded("m").IsRetryable());
+  EXPECT_FALSE(Status::OK().IsRetryable());
+  EXPECT_FALSE(Cancelled("m").IsRetryable());
+  EXPECT_FALSE(InvalidArgument("m").IsRetryable());
+  EXPECT_FALSE(NotFound("m").IsRetryable());
+  EXPECT_FALSE(FailedPrecondition("m").IsRetryable());
+  EXPECT_FALSE(Internal("m").IsRetryable());
+  EXPECT_FALSE(DataLoss("m").IsRetryable());
+}
+
+TEST(StatusTest, PredicatesFalseOnOtherCodes) {
+  Status s = Internal("m");
+  EXPECT_FALSE(s.IsAborted());
+  EXPECT_FALSE(s.IsUnavailable());
+  EXPECT_FALSE(s.IsDeadlineExceeded());
+  EXPECT_FALSE(s.IsCancelled());
+  EXPECT_FALSE(Status::OK().IsAborted());
+}
+
 TEST(StatusTest, CopyIsCheapAndEqual) {
   Status s = Internal("boom");
   Status t = s;

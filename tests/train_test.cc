@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cmath>
 #include <filesystem>
 #include <fstream>
@@ -219,6 +220,32 @@ TEST(CoordinatorTest, QueueRunnerFeedsPipeline) {
   // Unblock any producer waiting on the full queue.
   TF_CHECK_OK(session.value()->Run({}, {}, {close_q->name()}, nullptr));
   coord.Join();
+  EXPECT_TRUE(coord.status().ok()) << coord.status();
+}
+
+TEST(CoordinatorTest, RequestStopAbortsBlockedEnqueue) {
+  // A runner wedged on a full queue's enqueue: RequestStop must run the
+  // runner's cancel op (QueueClose with cancel_pending_enqueues) so the
+  // blocked enqueue aborts and Join returns instead of hanging forever.
+  Graph g;
+  GraphBuilder b(&g);
+  Output q = ops::FIFOQueue(&b, {DataType::kFloat}, /*capacity=*/1);
+  Node* enqueue = ops::QueueEnqueue(&b, q, {Const(&b, 1.0f)});
+  Node* cancel = ops::QueueClose(&b, q, /*cancel_pending=*/true);
+  ASSERT_TRUE(b.ok()) << b.status();
+
+  auto session = DirectSession::Create(g);
+  train::Coordinator coord;
+  train::QueueRunner runner(enqueue->name(), /*close_op=*/"",
+                            /*cancel_op=*/cancel->name());
+  runner.Start(session.value().get(), &coord, /*num_threads=*/1);
+
+  // Give the runner time to fill the queue (capacity 1) and block on the
+  // second enqueue. No consumer ever dequeues.
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+
+  coord.RequestStop();
+  coord.Join();  // must return — the cancel op aborted the pending enqueue
   EXPECT_TRUE(coord.status().ok()) << coord.status();
 }
 
