@@ -4,6 +4,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_json_gbench.h"
 #include "graph/ops.h"
 #include "runtime/session.h"
 
@@ -123,7 +124,42 @@ void BM_FeedFetch(benchmark::State& state) {
 }
 BENCHMARK(BM_FeedFetch)->Arg(16)->Arg(16384);
 
+// A traced step through the same graphs, for the tracing-overhead check
+// (compare against BM_NullOpDispatch: disabled tracing must stay within
+// noise, enabled tracing pays for timestamps + event records).
+void BM_NullOpDispatchTraced(benchmark::State& state) {
+  const int num_ops = static_cast<int>(state.range(0));
+  Graph g;
+  GraphBuilder b(&g);
+  Node* root = b.Op("NoOp").Name("root").FinalizeNode();
+  std::vector<Output> all;
+  for (int i = 0; i < num_ops; ++i) {
+    Node* n = b.Op("NoOp").ControlInput(root).FinalizeNode();
+    all.emplace_back(n, 0);
+  }
+  Node* sink = ops::Group(&b, all, "sink");
+  TF_CHECK_OK(b.status());
+  SessionOptions options;
+  options.num_threads = 2;
+  options.optimizer.do_cse = false;
+  auto session = DirectSession::Create(g, options);
+  TF_CHECK_OK(session.status());
+  RunOptions run_options;
+  run_options.trace = true;
+  RunMetadata metadata;
+  TF_CHECK_OK(session.value()->Run(run_options, {}, {}, {sink->name()},
+                                   nullptr, &metadata));
+  for (auto _ : state) {
+    TF_CHECK_OK(session.value()->Run(run_options, {}, {}, {sink->name()},
+                                     nullptr, &metadata));
+  }
+  state.SetItemsProcessed(state.iterations() * (num_ops + 2));
+}
+BENCHMARK(BM_NullOpDispatchTraced)->Arg(1000);
+
 }  // namespace
 }  // namespace tfrepro
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return tfrepro::bench::RunGBenchWithJson("bench_executor", argc, argv);
+}

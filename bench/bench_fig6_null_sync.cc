@@ -16,6 +16,7 @@
 #include <cstdio>
 #include <vector>
 
+#include "bench_json.h"
 #include "sim/cluster_sim.h"
 
 namespace tfrepro {
@@ -38,7 +39,7 @@ struct Curve {
   double push_bytes;
 };
 
-int Run() {
+int Run(bench::BenchReport* report) {
   const std::vector<int> worker_counts = {1, 2, 5, 10, 25, 50, 100};
   // Sparse: 32 random rows of a 2048-float embedding (same for 1GB / 16GB —
   // the access size is independent of the table size, which is the point).
@@ -68,6 +69,9 @@ int Run() {
       double median_ms = stats.Median() * 1000;
       double batches_per_sec = 1000.0 / median_ms;
       std::printf(" %7.4gms/%5.3g", median_ms, batches_per_sec);
+      report->Add(std::string("fig6/") + curve.name + "/workers:" +
+                      std::to_string(w),
+                  median_ms, batches_per_sec);
     }
     std::printf("\n");
   }
@@ -77,10 +81,13 @@ int Run() {
   std::printf("  Dense 100M: 147 ms @ 1 -> 613 ms @ 100\n");
   std::printf("  Dense 1GB:  1.01 s @ 1 -> 7.16 s @ 100\n");
   std::printf("  Sparse:     5-20 ms, flat in embedding size\n");
-  return 0;
+  return report->WriteIfRequested();
 }
 
 }  // namespace
 }  // namespace tfrepro
 
-int main() { return tfrepro::Run(); }
+int main(int argc, char** argv) {
+  tfrepro::bench::BenchReport report("fig6_null_sync", &argc, argv);
+  return tfrepro::Run(&report);
+}

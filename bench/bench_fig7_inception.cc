@@ -14,6 +14,7 @@
 #include <cstdio>
 #include <vector>
 
+#include "bench_json.h"
 #include "nn/model_zoo.h"
 #include "sim/cluster_sim.h"
 #include "sim/cost_model.h"
@@ -56,7 +57,7 @@ sim::ClusterConfig InceptionConfig(int workers, bool sync) {
   return config;
 }
 
-int Run() {
+int Run(bench::BenchReport* report) {
   const std::vector<int> worker_counts = {25, 50, 100, 200};
 
   {
@@ -80,6 +81,12 @@ int Run() {
     // A sync step produces one batch per (non-backup) worker.
     double sync_images = sync.steps_per_second * kBatch * w;
     std::printf("%-14d %12.0f %12.0f\n", w, async_images, sync_images);
+    report->Add("fig7/async/workers:" + std::to_string(w),
+                async.Percentile(50) * 1000, async.steps_per_second,
+                {{"images_per_s", async_images}, {"p99_s", async.Percentile(99)}});
+    report->Add("fig7/sync/workers:" + std::to_string(w),
+                sync.Percentile(50) * 1000, sync.steps_per_second,
+                {{"images_per_s", sync_images}, {"p99_s", sync.Percentile(99)}});
     async_stats.push_back(std::move(async));
     sync_stats.push_back(std::move(sync));
   }
@@ -110,10 +117,13 @@ int Run() {
                 worker_counts[i],
                 sync_stats[i].Percentile(50) / async_stats[i].Percentile(50));
   }
-  return 0;
+  return report->WriteIfRequested();
 }
 
 }  // namespace
 }  // namespace tfrepro
 
-int main() { return tfrepro::Run(); }
+int main(int argc, char** argv) {
+  tfrepro::bench::BenchReport report("fig7_inception", &argc, argv);
+  return tfrepro::Run(&report);
+}

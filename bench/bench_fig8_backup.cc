@@ -11,6 +11,7 @@
 #include <cstdio>
 #include <vector>
 
+#include "bench_json.h"
 #include "nn/model_zoo.h"
 #include "sim/cluster_sim.h"
 #include "sim/cost_model.h"
@@ -21,7 +22,7 @@ namespace {
 constexpr int kRequiredWorkers = 50;
 constexpr int kSimSteps = 120;
 
-int Run() {
+int Run(bench::BenchReport* report) {
   nn::ModelSpec model = nn::InceptionV3(32);
   sim::FrameworkProfile k40_era = sim::TensorFlowProfile();
   k40_era.conv_emax = 1.4;
@@ -57,6 +58,8 @@ int Run() {
         (medians[0] / medians[b]) *
         (static_cast<double>(kRequiredWorkers) / (kRequiredWorkers + b));
     std::printf("%-8d %14.2f %20.3f\n", b, medians[b], normalized);
+    report->Add("fig8/backups:" + std::to_string(b), medians[b] * 1000,
+                1.0 / medians[b], {{"normalized_speedup", normalized}});
   }
 
   // Locate the extremes for the headline claims.
@@ -79,10 +82,13 @@ int Run() {
       best_step, best_norm);
   std::printf("Median step improvement b=0 -> best: %.0f%% (paper ~15%%).\n",
               100.0 * (1.0 - medians[best_step] / medians[0]));
-  return 0;
+  return report->WriteIfRequested();
 }
 
 }  // namespace
 }  // namespace tfrepro
 
-int main() { return tfrepro::Run(); }
+int main(int argc, char** argv) {
+  tfrepro::bench::BenchReport report("fig8_backup", &argc, argv);
+  return tfrepro::Run(&report);
+}

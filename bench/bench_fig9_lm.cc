@@ -15,6 +15,7 @@
 #include <cstdio>
 #include <vector>
 
+#include "bench_json.h"
 #include "nn/model_zoo.h"
 #include "sim/cluster_sim.h"
 #include "sim/cost_model.h"
@@ -70,7 +71,7 @@ sim::ClusterConfig LmConfig(int workers, int ps, bool sampled) {
   return config;
 }
 
-int Run() {
+int Run(bench::BenchReport* report) {
   const std::vector<int> ps_counts = {1, 2, 4, 8, 16, 32};
   const std::vector<int> worker_counts = {256, 32, 4};
 
@@ -105,6 +106,11 @@ int Run() {
             sim::SimulateCluster(LmConfig(workers, ps, sampled), steps);
         double words_per_sec = stats.steps_per_second * kWordsPerStep;
         std::printf(" %9.3g", words_per_sec);
+        report->Add("fig9/workers:" + std::to_string(workers) + "/" +
+                        (sampled ? "sampled" : "full") + "/ps:" +
+                        std::to_string(ps),
+                    stats.Median() * 1000, stats.steps_per_second,
+                    {{"words_per_s", words_per_sec}});
       }
       std::printf("\n");
     }
@@ -115,10 +121,13 @@ int Run() {
       "parallelized);\nsampled softmax above full softmax at every point; "
       "curves flatten when the\nLSTM computation dominates; adding the 2nd "
       "PS task helps more than going 4->32 workers.\n");
-  return 0;
+  return report->WriteIfRequested();
 }
 
 }  // namespace
 }  // namespace tfrepro
 
-int main() { return tfrepro::Run(); }
+int main(int argc, char** argv) {
+  tfrepro::bench::BenchReport report("fig9_lm", &argc, argv);
+  return tfrepro::Run(&report);
+}

@@ -1,0 +1,56 @@
+// --json support for the google-benchmark binaries: a console reporter
+// that also captures every run into a BenchReport, so `--json <path>`
+// produces the same report shape as the figure benches (rows + metrics
+// snapshot) while the normal console output is unchanged.
+
+#ifndef TFREPRO_BENCH_BENCH_JSON_GBENCH_H_
+#define TFREPRO_BENCH_BENCH_JSON_GBENCH_H_
+
+#include <benchmark/benchmark.h>
+
+#include "bench_json.h"
+
+namespace tfrepro {
+namespace bench {
+
+class JsonCaptureReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit JsonCaptureReporter(BenchReport* report) : report_(report) {}
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      BenchRow row;
+      row.name = run.benchmark_name();
+      const double per_iter_s =
+          run.iterations > 0
+              ? run.real_accumulated_time / static_cast<double>(run.iterations)
+              : 0.0;
+      row.wall_ms = per_iter_s * 1000.0;
+      row.steps_per_s = per_iter_s > 0.0 ? 1.0 / per_iter_s : 0.0;
+      for (const auto& [name, counter] : run.counters) {
+        row.extras[name] = static_cast<double>(counter);
+      }
+      report_->Add(std::move(row));
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+ private:
+  BenchReport* report_;
+};
+
+// Drop-in replacement for BENCHMARK_MAIN()'s body that honours --json.
+inline int RunGBenchWithJson(const char* bench_name, int argc, char** argv) {
+  BenchReport report(bench_name, &argc, argv);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  JsonCaptureReporter reporter(&report);
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  return report.WriteIfRequested();
+}
+
+}  // namespace bench
+}  // namespace tfrepro
+
+#endif  // TFREPRO_BENCH_BENCH_JSON_GBENCH_H_

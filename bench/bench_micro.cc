@@ -4,6 +4,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_json_gbench.h"
 #include "core/random.h"
 #include "graph/ops.h"
 #include "kernels/queue.h"
@@ -203,4 +204,6 @@ BENCHMARK(BM_PhiloxGeneration);
 }  // namespace
 }  // namespace tfrepro
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return tfrepro::bench::RunGBenchWithJson("bench_micro", argc, argv);
+}

@@ -12,6 +12,7 @@
 #include <cstdio>
 #include <vector>
 
+#include "bench_json.h"
 #include "nn/model_zoo.h"
 #include "sim/cost_model.h"
 
@@ -30,7 +31,7 @@ constexpr PaperRow kPaper[] = {
     {"TensorFlow", 81, 279, 540, 445},
 };
 
-int Run() {
+int Run(bench::BenchReport* report) {
   std::vector<nn::ModelSpec> models = {nn::AlexNet(128), nn::Overfeat(128),
                                        nn::OxfordNet(64), nn::GoogleNet(128)};
   std::vector<sim::FrameworkProfile> frameworks = {
@@ -58,6 +59,8 @@ int Run() {
       double ms =
           1000 * sim::TrainingStepSeconds(models[m], device, frameworks[f]);
       std::printf(" %8.0fms %8.0fms", ms, paper[m]);
+      report->Add("table1/" + frameworks[f].name + "/" + models[m].name, ms,
+                  1000.0 / ms, {{"paper_ms", paper[m]}});
     }
     std::printf("\n");
   }
@@ -83,10 +86,13 @@ int Run() {
         (m == 0 ? 87.0 / 81 : m == 1 ? 211.0 / 279 : m == 2 ? 320.0 / 540
                                                             : 270.0 / 445));
   }
-  return 0;
+  return report->WriteIfRequested();
 }
 
 }  // namespace
 }  // namespace tfrepro
 
-int main() { return tfrepro::Run(); }
+int main(int argc, char** argv) {
+  tfrepro::bench::BenchReport report("table1_convnets", &argc, argv);
+  return tfrepro::Run(&report);
+}

@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# Tier-1 verify plus a ThreadSanitizer pass over the concurrency-heavy
+# observability tests (DESIGN.md §8).
+#
+#   scripts/check.sh            # full: tier-1 build+ctest, then TSan subset
+#   scripts/check.sh --tsan-only
+#
+# The TSan build lives in build-tsan/ so it never pollutes the regular
+# build/ tree.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS="$(nproc)"
+TSAN_TESTS=(metrics_test tracing_test fault_tolerance_test queue_test)
+
+run_tier1() {
+  echo "== tier-1: configure + build + ctest =="
+  cmake -B build -S .
+  cmake --build build -j "$JOBS"
+  (cd build && ctest --output-on-failure -j "$JOBS")
+}
+
+run_tsan() {
+  echo "== TSan (TFREPRO_SANITIZE=thread): ${TSAN_TESTS[*]} =="
+  cmake -B build-tsan -S . -DTFREPRO_SANITIZE=thread
+  cmake --build build-tsan -j "$JOBS" --target "${TSAN_TESTS[@]}"
+  for t in "${TSAN_TESTS[@]}"; do
+    echo "-- $t (tsan)"
+    "build-tsan/tests/$t"
+  done
+}
+
+if [[ "${1:-}" == "--tsan-only" ]]; then
+  run_tsan
+else
+  run_tier1
+  run_tsan
+fi
+echo "check.sh: all green"

@@ -6,7 +6,11 @@ namespace tfrepro {
 
 ThreadPool::ThreadPool(const std::string& name, int num_threads) {
   assert(num_threads >= 1);
-  (void)name;
+  metrics::Registry* reg = metrics::Registry::Global();
+  const metrics::TagMap tags{{"pool", name}};
+  tasks_metric_ = reg->GetCounter("threadpool.tasks", tags);
+  queue_depth_metric_ = reg->GetGauge("threadpool.queue_depth", tags);
+  task_wait_ms_metric_ = reg->GetHistogram("threadpool.task_wait_ms", {}, tags);
   threads_.reserve(num_threads);
   for (int i = 0; i < num_threads; ++i) {
     threads_.emplace_back([this]() { WorkerLoop(); });
@@ -17,6 +21,10 @@ ThreadPool::~ThreadPool() {
   {
     std::lock_guard<std::mutex> lock(mu_);
     shutdown_ = true;
+    if (tasks_unflushed_ > 0) {
+      tasks_metric_->Increment(tasks_unflushed_);
+      tasks_unflushed_ = 0;
+    }
   }
   work_cv_.notify_all();
   for (std::thread& t : threads_) {
@@ -28,7 +36,21 @@ void ThreadPool::Schedule(std::function<void()> fn) {
   {
     std::lock_guard<std::mutex> lock(mu_);
     assert(!shutdown_);
-    queue_.push_back(std::move(fn));
+    Task task{std::move(fn), /*enqueue_micros=*/0};
+    // Wait time and queue depth are sampled 1-in-64: a clock read plus a
+    // shared histogram update per task measurably slows the executor's
+    // fan-out path, and the sampled distribution is just as useful.
+    ++tasks_unflushed_;
+    if ((sample_counter_++ & (kSampleEvery - 1)) == 0) {
+      task.enqueue_micros = metrics::NowMicros();
+      queue_depth_metric_->Set(static_cast<int64_t>(queue_.size()) + 1);
+      // The task counter is batched onto sample ticks too: even a relaxed
+      // fetch_add per task ping-pongs the counter's cache line between
+      // every worker scheduling downstream nodes.
+      tasks_metric_->Increment(tasks_unflushed_);
+      tasks_unflushed_ = 0;
+    }
+    queue_.push_back(std::move(task));
   }
   work_cv_.notify_one();
 }
@@ -36,22 +58,34 @@ void ThreadPool::Schedule(std::function<void()> fn) {
 void ThreadPool::WaitIdle() {
   std::unique_lock<std::mutex> lock(mu_);
   idle_cv_.wait(lock, [this]() { return queue_.empty() && active_ == 0; });
+  if (tasks_unflushed_ > 0) {
+    tasks_metric_->Increment(tasks_unflushed_);
+    tasks_unflushed_ = 0;
+  }
 }
 
 void ThreadPool::WorkerLoop() {
   for (;;) {
-    std::function<void()> fn;
+    Task task;
     {
       std::unique_lock<std::mutex> lock(mu_);
       work_cv_.wait(lock, [this]() { return shutdown_ || !queue_.empty(); });
       if (queue_.empty()) {
         return;  // shutdown
       }
-      fn = std::move(queue_.front());
+      task = std::move(queue_.front());
       queue_.pop_front();
       ++active_;
+      if (task.enqueue_micros != 0) {  // sampled in Schedule
+        queue_depth_metric_->Set(static_cast<int64_t>(queue_.size()));
+      }
     }
-    fn();
+    if (task.enqueue_micros != 0) {
+      task_wait_ms_metric_->Record(
+          static_cast<double>(metrics::NowMicros() - task.enqueue_micros) /
+          1000.0);
+    }
+    task.fn();
     {
       std::lock_guard<std::mutex> lock(mu_);
       --active_;

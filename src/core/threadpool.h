@@ -13,6 +13,8 @@
 #include <thread>
 #include <vector>
 
+#include "core/metrics.h"
+
 namespace tfrepro {
 
 class ThreadPool {
@@ -33,12 +35,27 @@ class ThreadPool {
   void WaitIdle();
 
  private:
+  struct Task {
+    std::function<void()> fn;
+    int64_t enqueue_micros = 0;
+  };
+
   void WorkerLoop();
+
+  // Registry instruments tagged {"pool", name}. Wait time and queue depth
+  // are sampled (1 task in kSampleEvery) — per-task clock reads and shared
+  // histogram updates are too hot for the executor's fan-out path.
+  static constexpr int64_t kSampleEvery = 64;  // power of two
+  metrics::Counter* tasks_metric_;
+  metrics::Gauge* queue_depth_metric_;
+  metrics::Histogram* task_wait_ms_metric_;
+  int64_t sample_counter_ = 0;   // guarded by mu_
+  int64_t tasks_unflushed_ = 0;  // guarded by mu_; flushed on sample ticks
 
   std::mutex mu_;
   std::condition_variable work_cv_;
   std::condition_variable idle_cv_;
-  std::deque<std::function<void()>> queue_;
+  std::deque<Task> queue_;
   std::vector<std::thread> threads_;
   int active_ = 0;
   bool shutdown_ = false;

@@ -2,6 +2,9 @@
 
 #include <sstream>
 
+#include "core/metrics.h"
+#include "runtime/tracing.h"
+
 namespace tfrepro {
 namespace distributed {
 
@@ -21,6 +24,17 @@ bool IsCrossTaskKey(const std::string& key) {
 }
 
 FaultInjector::FaultInjector(uint64_t seed) : rng_(seed) {}
+
+void FaultInjector::RecordInjectedLocked(const std::string& kind,
+                                         const std::string& task,
+                                         int64_t index) {
+  events_.push_back(InjectedEvent{kind, task, index, metrics::NowMicros()});
+  metrics::Registry::Global()
+      ->GetCounter("fault.injected", {{"kind", kind}})
+      ->Increment();
+  RecordGlobalInstant("fault." + kind, task,
+                      {{"index", std::to_string(index)}});
+}
 
 void FaultInjector::KillTaskAtDispatch(const std::string& task, int64_t nth) {
   std::lock_guard<std::mutex> lock(mu_);
@@ -69,12 +83,14 @@ FaultInjector::Decision FaultInjector::OnDispatch(const std::string& task) {
     down_.insert(task);
     ++kills_;
     log_.push_back("kill " + task + " @dispatch " + std::to_string(n));
+    RecordInjectedLocked("kill", task, n);
     return Decision{Action::kKill, 0.0};
   }
   auto scripted_hang = hang_at_.find(task);
   if (scripted_hang != hang_at_.end() && scripted_hang->second.count(n) > 0) {
     ++hangs_;
     log_.push_back("hang " + task + " @dispatch " + std::to_string(n));
+    RecordInjectedLocked("hang", task, n);
     return Decision{Action::kHang, 0.0};
   }
   Decision d;
@@ -92,6 +108,7 @@ bool FaultInjector::OnTransfer(const std::string& key) {
   if (drop_transfer_at_.count(n) > 0) {
     ++dropped_transfers_;
     log_.push_back("drop transfer " + std::to_string(n) + " (" + key + ")");
+    RecordInjectedLocked("drop_transfer", key, n);
     return true;
   }
   return false;
@@ -124,6 +141,7 @@ void FaultInjector::MarkRestarted(const std::string& task) {
       parked_.erase(it);
     }
     log_.push_back("restart " + task);
+    RecordInjectedLocked("restart", task, 0);
   }
   // `dropped` destructs outside the lock, releasing any step state the hung
   // callbacks kept alive.
@@ -153,6 +171,12 @@ int64_t FaultInjector::dispatches(const std::string& task) const {
 std::vector<std::string> FaultInjector::DecisionLog() const {
   std::lock_guard<std::mutex> lock(mu_);
   return log_;
+}
+
+std::vector<FaultInjector::InjectedEvent> FaultInjector::injected_events()
+    const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_;
 }
 
 Status FaultInjectingRendezvous::Send(const std::string& key,

@@ -107,7 +107,24 @@ class FaultInjector {
   // the same seed and the same event sequence produce identical logs.
   std::vector<std::string> DecisionLog() const;
 
+  // One structured record per injected fault, in event order. Each is also
+  // counted on the global registry ("fault.injected" tagged by kind) and
+  // fanned out to live trace collectors as an instant event, so injected
+  // faults appear inline on a step's timeline.
+  struct InjectedEvent {
+    std::string kind;  // "kill" | "hang" | "drop_transfer" | "restart"
+    std::string task;  // rendezvous key for drop_transfer
+    int64_t index = 0;  // per-task dispatch count, or global transfer count
+    int64_t micros = 0;
+  };
+  std::vector<InjectedEvent> injected_events() const;
+
  private:
+  // Appends to events_, bumps the registry counter, and emits a trace
+  // instant. Must hold mu_.
+  void RecordInjectedLocked(const std::string& kind, const std::string& task,
+                            int64_t index);
+
   mutable std::mutex mu_;
   PhiloxRandom rng_;
   double kill_probability_ = 0.0;
@@ -124,6 +141,7 @@ class FaultInjector {
   int64_t hangs_ = 0;
   int64_t dropped_transfers_ = 0;
   std::vector<std::string> log_;
+  std::vector<InjectedEvent> events_;
   std::map<std::string, std::vector<std::function<void(Status)>>> parked_;
 };
 

@@ -35,7 +35,20 @@ MasterSession::MasterSession(const Graph& graph, InProcessCluster* cluster,
       cluster_(cluster),
       graph_(graph.Clone()),
       session_prefix_("master_" + std::to_string(next_master_id++)),
-      timer_pool_("net_timer", 2) {}
+      timer_pool_("net_timer", 2) {
+  metrics::Registry* reg = metrics::Registry::Global();
+  const metrics::TagMap tags{{"session", session_prefix_}};
+  counters_.steps = reg->GetCounter("master.steps", tags);
+  counters_.retries = reg->GetCounter("master.retries", tags);
+  counters_.restarts = reg->GetCounter("master.restarts", tags);
+  counters_.deadline_expirations =
+      reg->GetCounter("master.deadline_expirations", tags);
+  counters_.aborts_fanned_out =
+      reg->GetCounter("master.aborts_fanned_out", tags);
+  counters_.recoveries = reg->GetCounter("master.recoveries", tags);
+  counters_.reregistrations = reg->GetCounter("master.reregistrations", tags);
+  counters_.step_ms = reg->GetHistogram("master.step_ms", {}, tags);
+}
 
 Result<std::unique_ptr<MasterSession>> MasterSession::Create(
     const Graph& graph, InProcessCluster* cluster, const Options& options) {
@@ -52,8 +65,14 @@ void MasterSession::set_recovery_handler(std::function<Status()> handler) {
 }
 
 MasterSession::RunStats MasterSession::stats() const {
-  std::lock_guard<std::mutex> lock(stats_mu_);
-  return stats_;
+  RunStats s;
+  s.retries = counters_.retries->value();
+  s.restarts = counters_.restarts->value();
+  s.deadline_expirations = counters_.deadline_expirations->value();
+  s.aborts_fanned_out = counters_.aborts_fanned_out->value();
+  s.recoveries = counters_.recoveries->value();
+  s.reregistrations = counters_.reregistrations->value();
+  return s;
 }
 
 Result<MasterSession::CompiledStep*> MasterSession::GetOrCompile(
@@ -121,8 +140,7 @@ Status MasterSession::EnsureRegistered(CompiledStep* step) {
       TF_RETURN_IF_ERROR(worker->RegisterSubgraph(
           step->handle, session_prefix_, rec.graph->Clone(),
           rec.device_name));
-      std::lock_guard<std::mutex> slock(stats_mu_);
-      ++stats_.reregistrations;
+      counters_.reregistrations->Increment();
     }
   }
   return Status::OK();
@@ -131,7 +149,9 @@ Status MasterSession::EnsureRegistered(CompiledStep* step) {
 Status MasterSession::RunOnce(CompiledStep* step,
                               const std::vector<Tensor>& feed_tensors,
                               const std::vector<std::string>& fetches,
-                              std::vector<Tensor>* outputs) {
+                              std::vector<Tensor>* outputs,
+                              const std::shared_ptr<TraceCollector>& trace,
+                              int64_t* step_id_out) {
   FaultInjector* injector = cluster_->fault_injector();
   if (injector != nullptr) {
     // Fail fast instead of dispatching to a task known to be down.
@@ -153,6 +173,9 @@ Status MasterSession::RunOnce(CompiledStep* step,
     CallFrame call_frame;
     CancellationManager cancellation;
     std::unique_ptr<Rendezvous> rendezvous;
+    // Keeps the step's collector alive for straggler kernels that record
+    // events after a deadline already returned this Run call.
+    std::shared_ptr<TraceCollector> trace;
     std::mutex mu;
     std::condition_variable cv;
     size_t remaining = 0;
@@ -161,6 +184,7 @@ Status MasterSession::RunOnce(CompiledStep* step,
   };
   auto state = std::make_shared<StepState>(feed_tensors,
                                            static_cast<int>(fetches.size()));
+  state->trace = trace;
 
   std::unique_ptr<Rendezvous> rendezvous;
   if (options_.use_network_model) {
@@ -180,9 +204,12 @@ Status MasterSession::RunOnce(CompiledStep* step,
     std::lock_guard<std::mutex> lock(mu_);
     args.step_id = next_step_id_++;
   }
+  if (step_id_out != nullptr) *step_id_out = args.step_id;
   args.rendezvous = state->rendezvous.get();
   args.call_frame = &state->call_frame;
   args.cancellation = &state->cancellation;
+  args.trace = state->trace.get();
+  const int64_t step_start_micros = metrics::NowMicros();
 
   // One message per participating task (§3.3). The callback captures only
   // `state` — never `this` — because a parked (hung) callback can outlive
@@ -236,11 +263,12 @@ Status MasterSession::RunOnce(CompiledStep* step,
           state->rendezvous->StartAbort(deadline);
           state->cancellation.StartCancel();
         }
-        {
-          std::lock_guard<std::mutex> slock(stats_mu_);
-          ++stats_.deadline_expirations;
-          if (fan_abort) ++stats_.aborts_fanned_out;
-        }
+        counters_.deadline_expirations->Increment();
+        if (fan_abort) counters_.aborts_fanned_out->Increment();
+        RecordGlobalInstant(
+            "master.deadline_expired", /*scope=*/"",
+            {{"session", session_prefix_},
+             {"step_id", std::to_string(args.step_id)}});
         return deadline;
       }
     } else {
@@ -248,16 +276,16 @@ Status MasterSession::RunOnce(CompiledStep* step,
     }
     abort_was_sent = state->abort_sent;
   }
-  if (abort_was_sent) {
-    std::lock_guard<std::mutex> slock(stats_mu_);
-    ++stats_.aborts_fanned_out;
-  }
+  if (abort_was_sent) counters_.aborts_fanned_out->Increment();
 
   Status step_status;
   {
     std::lock_guard<std::mutex> lock(state->mu);
     step_status = state->status;
   }
+  counters_.steps->Increment();
+  counters_.step_ms->Record(
+      static_cast<double>(metrics::NowMicros() - step_start_micros) / 1000.0);
   TF_RETURN_IF_ERROR(step_status);
 
   if (outputs != nullptr) {
@@ -285,8 +313,9 @@ Status MasterSession::PrepareRetry(CompiledStep* step) {
       TF_RETURN_IF_ERROR(
           cluster_->RestartTask(worker->job(), worker->task_index()));
       restarted = true;
-      std::lock_guard<std::mutex> slock(stats_mu_);
-      ++stats_.restarts;
+      counters_.restarts->Increment();
+      RecordGlobalInstant("master.task_restarted", worker->task_name(),
+                          {{"session", session_prefix_}});
     }
   }
   if (restarted) {
@@ -299,17 +328,18 @@ Status MasterSession::PrepareRetry(CompiledStep* step) {
       // Typically restores the last checkpoint (CheckpointPolicy::Recover)
       // by running restore subgraphs through this same session.
       TF_RETURN_IF_ERROR(handler());
-      std::lock_guard<std::mutex> slock(stats_mu_);
-      ++stats_.recoveries;
+      counters_.recoveries->Increment();
     }
   }
   return Status::OK();
 }
 
 Status MasterSession::Run(
+    const RunOptions& run_options,
     const std::vector<std::pair<std::string, Tensor>>& feeds,
     const std::vector<std::string>& fetches,
-    const std::vector<std::string>& targets, std::vector<Tensor>* outputs) {
+    const std::vector<std::string>& targets, std::vector<Tensor>* outputs,
+    RunMetadata* metadata) {
   std::vector<std::string> feed_names;
   std::vector<Tensor> feed_tensors;
   for (const auto& [name, tensor] : feeds) {
@@ -320,19 +350,37 @@ Status MasterSession::Run(
   Result<CompiledStep*> step = GetOrCompile(feed_names, fetches, targets);
   TF_RETURN_IF_ERROR(step.status());
 
+  // Shared (not unique) so straggler callbacks past a deadline can hold it
+  // via the step state after this frame returns.
+  std::shared_ptr<TraceCollector> trace;
+  if (run_options.trace) {
+    trace = std::make_shared<TraceCollector>(/*capture_global_events=*/true);
+  }
+
   // Retry loop with capped exponential backoff (§4.3: abort-and-restart
   // for the transient failure codes). Non-retryable errors surface
   // immediately.
   double backoff = options_.retry_backoff_initial_seconds;
   for (int attempt = 0;; ++attempt) {
-    Status s = RunOnce(step.value(), feed_tensors, fetches, outputs);
+    int64_t step_id = 0;
+    Status s =
+        RunOnce(step.value(), feed_tensors, fetches, outputs, trace, &step_id);
     if (s.ok() || !s.IsRetryable() || attempt >= options_.max_step_retries) {
+      if (metadata != nullptr && trace != nullptr) {
+        metadata->step_stats = trace->Consume(step_id);
+      }
       return s;
     }
-    {
-      std::lock_guard<std::mutex> slock(stats_mu_);
-      ++stats_.retries;
+    counters_.retries->Increment();
+    if (trace != nullptr) {
+      // Drop the aborted attempt's events; the returned trace describes the
+      // final attempt (plus retry/fault markers recorded from here on).
+      trace->Consume(step_id);
     }
+    RecordGlobalInstant("master.retry", /*scope=*/"",
+                        {{"session", session_prefix_},
+                         {"attempt", std::to_string(attempt + 1)},
+                         {"error", s.message()}});
     if (backoff > 0.0) {
       std::this_thread::sleep_for(std::chrono::duration<double>(backoff));
       backoff = std::min(backoff * 2.0, options_.retry_backoff_max_seconds);

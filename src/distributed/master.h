@@ -30,9 +30,11 @@
 #include <string>
 #include <vector>
 
+#include "core/metrics.h"
 #include "distributed/cluster.h"
 #include "graph/graph.h"
 #include "runtime/graph_optimizer.h"
+#include "runtime/tracing.h"
 
 namespace tfrepro {
 namespace distributed {
@@ -65,7 +67,9 @@ class MasterSession {
     bool restart_failed_tasks = false;
   };
 
-  // Counters for the failure paths, for tests and monitoring.
+  // Counters for the failure paths, for tests and monitoring. Backed by
+  // per-session metrics::Registry counters ("master.*" tagged with this
+  // session's prefix); stats() reads them back into this struct.
   struct RunStats {
     int64_t retries = 0;
     int64_t restarts = 0;
@@ -84,11 +88,22 @@ class MasterSession {
   }
 
   // Runs one distributed step (same contract as DirectSession::Run),
-  // retrying per Options on retryable failures.
+  // retrying per Options on retryable failures. With run_options.trace,
+  // metadata->step_stats carries per-node events from every participating
+  // task plus cross-task transfer events and any injected-fault markers
+  // (events are from the final attempt when the step was retried).
+  Status Run(const RunOptions& run_options,
+             const std::vector<std::pair<std::string, Tensor>>& feeds,
+             const std::vector<std::string>& fetches,
+             const std::vector<std::string>& targets,
+             std::vector<Tensor>* outputs, RunMetadata* metadata);
+
   Status Run(const std::vector<std::pair<std::string, Tensor>>& feeds,
              const std::vector<std::string>& fetches,
              const std::vector<std::string>& targets,
-             std::vector<Tensor>* outputs);
+             std::vector<Tensor>* outputs) {
+    return Run(RunOptions(), feeds, fetches, targets, outputs, nullptr);
+  }
 
   Status Run(const std::vector<std::string>& fetches,
              std::vector<Tensor>* outputs) {
@@ -132,10 +147,14 @@ class MasterSession {
 
   // One dispatch round: health check, register-if-needed, fan out one
   // message per participating task, wait (bounded by the deadline), fan
-  // abort out on first failure.
+  // abort out on first failure. `trace` may be null; when set it is shared
+  // into the step state so straggler callbacks past a deadline can still
+  // record into it safely.
   Status RunOnce(CompiledStep* step, const std::vector<Tensor>& feed_tensors,
                  const std::vector<std::string>& fetches,
-                 std::vector<Tensor>* outputs);
+                 std::vector<Tensor>* outputs,
+                 const std::shared_ptr<TraceCollector>& trace,
+                 int64_t* step_id_out);
 
   // Before a retry: restart dead tasks (if configured) and run the
   // recovery handler. Returns non-OK when the failure is not recoverable
@@ -159,8 +178,20 @@ class MasterSession {
   std::mutex recovery_mu_;
   std::function<Status()> recovery_handler_;
 
-  mutable std::mutex stats_mu_;
-  RunStats stats_;
+  // Failure-path instruments on the global registry, tagged with
+  // session_prefix_ so concurrent sessions stay separable. stats()
+  // assembles RunStats from these.
+  struct Counters {
+    metrics::Counter* steps = nullptr;
+    metrics::Counter* retries = nullptr;
+    metrics::Counter* restarts = nullptr;
+    metrics::Counter* deadline_expirations = nullptr;
+    metrics::Counter* aborts_fanned_out = nullptr;
+    metrics::Counter* recoveries = nullptr;
+    metrics::Counter* reregistrations = nullptr;
+    metrics::Histogram* step_ms = nullptr;
+  };
+  Counters counters_;
 };
 
 }  // namespace distributed

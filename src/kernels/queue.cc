@@ -1,8 +1,35 @@
 #include "kernels/queue.h"
 
+#include "core/metrics.h"
 #include "runtime/device.h"
 
 namespace tfrepro {
+
+namespace {
+// Process-wide queue instruments ("queue.occupancy" is the total element
+// count across every live queue, maintained by +/- deltas).
+struct QueueMetrics {
+  metrics::Counter* enqueues;
+  metrics::Counter* dequeues;
+  metrics::Gauge* occupancy;
+  metrics::Histogram* enqueue_block_ms;
+  metrics::Histogram* dequeue_block_ms;
+};
+
+const QueueMetrics& GetQueueMetrics() {
+  static QueueMetrics m = []() {
+    metrics::Registry* r = metrics::Registry::Global();
+    return QueueMetrics{
+        r->GetCounter("queue.enqueues"),
+        r->GetCounter("queue.dequeues"),
+        r->GetGauge("queue.occupancy"),
+        r->GetHistogram("queue.enqueue_block_ms"),
+        r->GetHistogram("queue.dequeue_block_ms"),
+    };
+  }();
+  return m;
+}
+}  // namespace
 
 QueueResource::QueueResource(DataTypeVector component_types, int64_t capacity,
                              int64_t min_after_dequeue, uint64_t seed,
@@ -12,6 +39,12 @@ QueueResource::QueueResource(DataTypeVector component_types, int64_t capacity,
       min_after_dequeue_(min_after_dequeue),
       shuffle_(shuffle),
       rng_(seed) {}
+
+QueueResource::~QueueResource() {
+  // Elements still buffered at destruction leave the process-wide
+  // occupancy gauge, same as if they had been dequeued.
+  GetQueueMetrics().occupancy->Add(-static_cast<int64_t>(buffer_.size()));
+}
 
 void QueueResource::TryEnqueue(Tuple tuple, CancellationManager* cm,
                                EnqueueCallback done) {
@@ -25,6 +58,7 @@ void QueueResource::TryEnqueue(Tuple tuple, CancellationManager* cm,
       EnqueueWaiter w;
       w.id = next_waiter_id_++;
       w.tuple = std::move(tuple);
+      w.wait_start_micros = metrics::NowMicros();
       w.done = std::move(done);
       w.cm = cm;
       w.has_token = false;
@@ -57,6 +91,7 @@ void QueueResource::TryDequeue(int64_t n, bool batched,
     w.id = next_waiter_id_++;
     w.n = n;
     w.batched = batched;
+    w.wait_start_micros = metrics::NowMicros();
     w.done = std::move(done);
     w.cm = cm;
     w.has_token = false;
@@ -86,6 +121,7 @@ QueueResource::Tuple QueueResource::PopOneLocked() {
   }
   Tuple t = std::move(buffer_[index]);
   buffer_.erase(buffer_.begin() + index);
+  GetQueueMetrics().occupancy->Add(-1);
   return t;
 }
 
@@ -126,6 +162,11 @@ void QueueResource::SatisfyLocked(std::vector<std::function<void()>>* actions) {
       EnqueueWaiter w = std::move(enqueue_waiters_.front());
       enqueue_waiters_.pop_front();
       buffer_.push_back(std::move(w.tuple));
+      GetQueueMetrics().enqueues->Increment();
+      GetQueueMetrics().occupancy->Add(1);
+      GetQueueMetrics().enqueue_block_ms->Record(
+          static_cast<double>(metrics::NowMicros() - w.wait_start_micros) /
+          1000.0);
       if (w.has_token) w.cm->DeregisterCallback(w.token);
       actions->push_back([done = std::move(w.done)]() { done(Status::OK()); });
       progress = true;
@@ -145,6 +186,11 @@ void QueueResource::SatisfyLocked(std::vector<std::function<void()>>* actions) {
     if (static_cast<int64_t>(w.rows.size()) == w.n) {
       DequeueWaiter ready = std::move(dequeue_waiters_.front());
       dequeue_waiters_.pop_front();
+      GetQueueMetrics().dequeues->Increment(ready.n);
+      GetQueueMetrics().dequeue_block_ms->Record(
+          static_cast<double>(metrics::NowMicros() -
+                              ready.wait_start_micros) /
+          1000.0);
       if (ready.has_token) ready.cm->DeregisterCallback(ready.token);
       Tuple result = ready.batched ? StackRows(ready.rows)
                                    : std::move(ready.rows[0]);
@@ -235,7 +281,10 @@ void QueueResource::CancelDequeue(int64_t id) {
       }
     }
     // Return partially-collected rows to the buffer.
-    for (auto& row : rows) buffer_.push_front(std::move(row));
+    for (auto& row : rows) {
+      buffer_.push_front(std::move(row));
+      GetQueueMetrics().occupancy->Add(1);
+    }
   }
   if (done) done(Cancelled("dequeue was cancelled"), Tuple());
 }

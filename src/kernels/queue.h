@@ -32,6 +32,7 @@ class QueueResource : public ResourceBase {
 
   QueueResource(DataTypeVector component_types, int64_t capacity,
                 int64_t min_after_dequeue, uint64_t seed, bool shuffle);
+  ~QueueResource() override;
 
   // Attempts to push one tuple; `done` fires when space was available (or
   // on close/cancellation). `cm` may be null.
@@ -59,11 +60,13 @@ class QueueResource : public ResourceBase {
     CancellationManager* cm;
     CancellationManager::Token token;
     bool has_token;
+    int64_t wait_start_micros = 0;
   };
   struct DequeueWaiter {
     int64_t id;
     int64_t n;
     bool batched;
+    int64_t wait_start_micros = 0;
     Tuple accum;  // partially-stacked components (rows collected so far)
     std::vector<Tuple> rows;
     DequeueCallback done;

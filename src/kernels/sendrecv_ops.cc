@@ -1,58 +1,95 @@
 // _Send/_Recv kernels (paper §3.3): partitions meet at a rendezvous key.
 // Send fires as soon as its input is available (even dead — the deadness
 // bit must cross device boundaries, §3.4); Recv is asynchronous so blocked
-// receives never occupy a pool thread.
+// receives never occupy a pool thread. When the step is traced, each kernel
+// records a TransferStats event (tensor name, endpoints, bytes, and the
+// Recv wait interval) into the step's TraceCollector.
 
+#include "core/metrics.h"
 #include "runtime/kernel.h"
+#include "runtime/tracing.h"
 
 namespace tfrepro {
 namespace {
 
-std::string KeyFromAttrs(OpKernelConstruction* ctx) {
+struct SendRecvAttrs {
   std::string tensor_name;
   std::string send_device;
   std::string recv_device;
-  ctx->SetStatus(ctx->GetStringAttr("tensor_name", &tensor_name));
-  ctx->SetStatus(ctx->GetStringAttr("send_device", &send_device));
-  ctx->SetStatus(ctx->GetStringAttr("recv_device", &recv_device));
-  return send_device + ";" + recv_device + ";" + tensor_name;
+
+  std::string BaseKey() const {
+    return send_device + ";" + recv_device + ";" + tensor_name;
+  }
+};
+
+SendRecvAttrs AttrsFromConstruction(OpKernelConstruction* ctx) {
+  SendRecvAttrs attrs;
+  ctx->SetStatus(ctx->GetStringAttr("tensor_name", &attrs.tensor_name));
+  ctx->SetStatus(ctx->GetStringAttr("send_device", &attrs.send_device));
+  ctx->SetStatus(ctx->GetStringAttr("recv_device", &attrs.recv_device));
+  return attrs;
 }
 
 class SendOp : public OpKernel {
  public:
   explicit SendOp(OpKernelConstruction* ctx)
-      : OpKernel(ctx), base_key_(KeyFromAttrs(ctx)) {}
+      : OpKernel(ctx), attrs_(AttrsFromConstruction(ctx)) {}
 
   void Compute(OpKernelContext* ctx) override {
     OP_REQUIRES(ctx, ctx->rendezvous() != nullptr,
                 Internal("_Send executed without a rendezvous"));
-    std::string key = base_key_ + ";" + std::to_string(ctx->frame_iter());
+    std::string key = attrs_.BaseKey() + ";" + std::to_string(ctx->frame_iter());
     bool is_dead = ctx->is_input_dead();
     Tensor value = is_dead ? Tensor() : ctx->input(0);
+    if (ctx->trace() != nullptr) {
+      TransferStats stats;
+      stats.kind = TransferStats::Kind::kSend;
+      stats.tensor_name = attrs_.tensor_name;
+      stats.send_device = attrs_.send_device;
+      stats.recv_device = attrs_.recv_device;
+      stats.bytes = is_dead ? 0 : static_cast<int64_t>(value.TotalBytes());
+      stats.send_micros = metrics::NowMicros();
+      ctx->trace()->RecordTransfer(std::move(stats));
+    }
     OP_REQUIRES_OK(ctx, ctx->rendezvous()->Send(key, value, is_dead));
   }
   bool IsExpensive() const override { return false; }
 
  private:
-  std::string base_key_;
+  SendRecvAttrs attrs_;
 };
 REGISTER_KERNEL("_Send", kDeviceCpu, SendOp);
 
 class RecvOp : public AsyncOpKernel {
  public:
   explicit RecvOp(OpKernelConstruction* ctx)
-      : AsyncOpKernel(ctx), base_key_(KeyFromAttrs(ctx)) {}
+      : AsyncOpKernel(ctx), attrs_(AttrsFromConstruction(ctx)) {}
 
   void ComputeAsync(OpKernelContext* ctx, DoneCallback done) override {
     OP_REQUIRES_ASYNC(ctx, ctx->rendezvous() != nullptr,
                       Internal("_Recv executed without a rendezvous"), done);
-    std::string key = base_key_ + ";" + std::to_string(ctx->frame_iter());
+    std::string key = attrs_.BaseKey() + ";" + std::to_string(ctx->frame_iter());
+    const int64_t recv_start =
+        ctx->trace() != nullptr ? metrics::NowMicros() : 0;
     ctx->rendezvous()->RecvAsync(
-        key, [ctx, done](const Status& s, const Tensor& value, bool is_dead) {
+        key, [this, ctx, done, recv_start](const Status& s,
+                                           const Tensor& value, bool is_dead) {
           if (!s.ok()) {
             ctx->SetStatus(s);
           } else if (!is_dead) {
             ctx->set_output(0, value);
+          }
+          if (s.ok() && ctx->trace() != nullptr) {
+            TransferStats stats;
+            stats.kind = TransferStats::Kind::kRecv;
+            stats.tensor_name = attrs_.tensor_name;
+            stats.send_device = attrs_.send_device;
+            stats.recv_device = attrs_.recv_device;
+            stats.bytes =
+                is_dead ? 0 : static_cast<int64_t>(value.TotalBytes());
+            stats.recv_start_micros = recv_start;
+            stats.recv_end_micros = metrics::NowMicros();
+            ctx->trace()->RecordTransfer(std::move(stats));
           }
           // Dead: leave the output unset; the executor propagates deadness.
           done();
@@ -60,7 +97,7 @@ class RecvOp : public AsyncOpKernel {
   }
 
  private:
-  std::string base_key_;
+  SendRecvAttrs attrs_;
 };
 REGISTER_KERNEL("_Recv", kDeviceCpu, RecvOp);
 

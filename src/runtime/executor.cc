@@ -8,9 +8,40 @@
 #include <mutex>
 #include <set>
 
+#include "core/metrics.h"
 #include "runtime/control_flow_info.h"
+#include "runtime/tracing.h"
 
 namespace tfrepro {
+
+namespace {
+
+// Process-wide executor instruments, resolved once. Per-node tallies are
+// accumulated in the per-step state (under its existing mutex) and flushed
+// here at step end, so the hot path adds no atomics of its own.
+struct ExecutorMetrics {
+  metrics::Counter* nodes_executed;
+  metrics::Counter* nodes_dead;
+  metrics::Counter* ops_scheduled;
+  metrics::Counter* steps;
+  metrics::Gauge* ready_queue_depth;
+};
+
+const ExecutorMetrics& GetExecutorMetrics() {
+  static ExecutorMetrics m = []() {
+    metrics::Registry* r = metrics::Registry::Global();
+    return ExecutorMetrics{
+        r->GetCounter("executor.nodes_executed"),
+        r->GetCounter("executor.nodes_dead"),
+        r->GetCounter("executor.ops_scheduled"),
+        r->GetCounter("executor.steps"),
+        r->GetGauge("executor.ready_queue_depth"),
+    };
+  }();
+  return m;
+}
+
+}  // namespace
 
 // Static, per-node scheduling metadata precomputed at executor creation.
 struct ExecutorNodeItem {
@@ -126,6 +157,8 @@ struct TaggedNode {
   FrameState* frame = nullptr;
   int64_t iter = 0;
   bool is_dead = false;
+  // Timestamp of the push onto the ready set; 0 when tracing is off.
+  int64_t scheduled_micros = 0;
 };
 
 // Per-step mutable state. Deletes itself when the step finishes.
@@ -147,6 +180,7 @@ class ExecutorState {
         PushReady(&ready, TaggedNode{id, &root_, 0, false});
       }
       outstanding_ += static_cast<int64_t>(ready.size());
+      stat_ops_scheduled_ += static_cast<int64_t>(ready.size());
     }
     if (ready.empty()) {
       Finish();
@@ -204,31 +238,46 @@ class ExecutorState {
     params.step_id = args_.step_id;
     params.frame_iter = FrameIterId(tagged.frame, tagged.iter);
     params.is_input_dead = any_input_dead;
+    params.trace = args_.trace;
 
+    const int64_t start_micros =
+        args_.trace != nullptr ? metrics::NowMicros() : 0;
     OpKernel* kernel = item.kernel;
     if (kernel->IsAsync()) {
       // The context must outlive this stack frame.
       auto* ctx = new OpKernelContext(params, std::move(inputs),
                                       item.node->num_outputs());
-      kernel->ComputeAsync(ctx, [this, tagged, ctx]() {
-        CompleteKernel(tagged, ctx, /*local=*/nullptr);
+      kernel->ComputeAsync(ctx, [this, tagged, ctx, start_micros]() {
+        CompleteKernel(tagged, ctx, start_micros, /*local=*/nullptr);
         delete ctx;
       });
     } else {
       OpKernelContext ctx(params, std::move(inputs), item.node->num_outputs());
       kernel->Compute(&ctx);
-      CompleteKernel(tagged, &ctx, local);
+      CompleteKernel(tagged, &ctx, start_micros, local);
     }
   }
 
   void CompleteKernel(const TaggedNode& tagged, OpKernelContext* ctx,
-                      std::deque<TaggedNode>* local) {
+                      int64_t start_micros, std::deque<TaggedNode>* local) {
     const ExecutorNodeItem& item = impl_.items[tagged.node_id];
+    if (args_.trace != nullptr) {
+      NodeExecStats stats;
+      stats.node_name = item.node->name();
+      stats.op = item.node->op();
+      stats.device = impl_.device->name();
+      stats.scheduled_micros = tagged.scheduled_micros;
+      stats.start_micros = start_micros;
+      stats.end_micros = metrics::NowMicros();
+      args_.trace->RecordNode(std::move(stats));
+    }
     std::vector<Entry> outputs(std::max(1, item.node->num_outputs()));
     if (!ctx->status().ok()) {
+      // Annotate the failing node so errors correlate with trace rows:
+      // "{op_type} '{node_name}' on {device}: {message}".
       RecordError(Status(ctx->status())
-                      .Prepend("node '" + item.node->name() + "' (" +
-                               item.node->op() + ")"));
+                      .Prepend(item.node->op() + " '" + item.node->name() +
+                               "' on " + impl_.device->name()));
       for (Entry& e : outputs) e.state = Entry::State::kDead;
       NodeDone(tagged, &outputs, /*node_dead=*/true, local);
       return;
@@ -260,6 +309,20 @@ class ExecutorState {
         CheckFrameDone(entered_child, &ready);
       }
       outstanding_ += static_cast<int64_t>(ready.size());
+      // Per-step tallies, flushed to the metrics registry in Finish(); the
+      // gauge tracks in-flight nodes as a ready-queue depth proxy.
+      if (node_dead) {
+        ++stat_nodes_dead_;
+      } else {
+        ++stat_nodes_executed_;
+      }
+      stat_ops_scheduled_ += static_cast<int64_t>(ready.size());
+      // The live depth gauge is only worth the shared-cache-line traffic on
+      // traced steps; untraced runs read it from the per-step flush.
+      if (args_.trace != nullptr && !ready.empty()) {
+        GetExecutorMetrics().ready_queue_depth->Set(
+            outstanding_.load(std::memory_order_relaxed));
+      }
     }
     Distribute(std::move(ready), local);
     if (--outstanding_ == 0) {
@@ -288,6 +351,7 @@ class ExecutorState {
   // frame.
   void PushReady(std::deque<TaggedNode>* ready, TaggedNode t) {
     ++t.frame->outstanding_ops;
+    if (args_.trace != nullptr) t.scheduled_micros = metrics::NowMicros();
     ready->push_back(t);
   }
 
@@ -534,6 +598,15 @@ class ExecutorState {
     {
       std::lock_guard<std::mutex> lock(mu_);
       status = status_;
+      const ExecutorMetrics& m = GetExecutorMetrics();
+      if (stat_nodes_executed_ > 0) {
+        m.nodes_executed->Increment(stat_nodes_executed_);
+      }
+      if (stat_nodes_dead_ > 0) m.nodes_dead->Increment(stat_nodes_dead_);
+      if (stat_ops_scheduled_ > 0) {
+        m.ops_scheduled->Increment(stat_ops_scheduled_);
+      }
+      m.steps->Increment();
     }
     std::function<void(Status)> done = std::move(done_);
     delete this;
@@ -560,6 +633,10 @@ class ExecutorState {
   FrameState root_;
   std::map<FrameKey, std::unique_ptr<FrameState>> frames_;
   std::atomic<int64_t> outstanding_{0};
+  // Per-step metric tallies; guarded by mu_, flushed in Finish().
+  int64_t stat_nodes_executed_ = 0;
+  int64_t stat_nodes_dead_ = 0;
+  int64_t stat_ops_scheduled_ = 0;
 };
 
 }  // namespace

@@ -28,6 +28,8 @@
 
 namespace tfrepro {
 
+class TraceCollector;
+
 class Executor {
  public:
   struct Args {
@@ -35,6 +37,10 @@ class Executor {
     Rendezvous* rendezvous = nullptr;
     CallFrame* call_frame = nullptr;
     CancellationManager* cancellation = nullptr;
+    // When set, every executed node is recorded as a NodeExecStats (and
+    // Send/Recv kernels record transfer events). Null = tracing off: the
+    // executor takes no timestamps and allocates nothing for tracing.
+    TraceCollector* trace = nullptr;
   };
 
   // Creates an executor for `graph` (a partition fully assigned to

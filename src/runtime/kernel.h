@@ -23,6 +23,7 @@ namespace tfrepro {
 
 class Device;
 class OpKernelContext;
+class TraceCollector;
 
 // A tensor flowing between kernels: either a value, or a reference to a
 // mutable buffer guarded by a mutex (paper §3.1, stateful operations).
@@ -168,6 +169,9 @@ class OpKernelContext {
     // True when at least one input is dead; _Send kernels forward this bit
     // across device boundaries (paper §3.4).
     bool is_input_dead = false;
+    // Per-step trace sink (null when tracing is off). Send/Recv kernels
+    // record transfer events here.
+    TraceCollector* trace = nullptr;
   };
 
   OpKernelContext(Params params, std::vector<TensorValue> inputs,
@@ -224,6 +228,7 @@ class OpKernelContext {
   int64_t step_id() const { return params_.step_id; }
   int64_t frame_iter() const { return params_.frame_iter; }
   bool is_input_dead() const { return params_.is_input_dead; }
+  TraceCollector* trace() const { return params_.trace; }
 
  private:
   Params params_;

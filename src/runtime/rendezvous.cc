@@ -3,7 +3,37 @@
 #include <condition_variable>
 #include <vector>
 
+#include "core/metrics.h"
+
 namespace tfrepro {
+
+namespace {
+
+// Process-wide rendezvous instruments (DESIGN.md §8): send/recv counts,
+// bytes moved, and how long blocked Recvs waited for their value.
+struct RendezvousMetrics {
+  metrics::Counter* sends;
+  metrics::Counter* recvs;
+  metrics::Counter* bytes_sent;
+  metrics::Counter* recvs_blocked;
+  metrics::Histogram* recv_wait_ms;
+};
+
+const RendezvousMetrics& GetRendezvousMetrics() {
+  static RendezvousMetrics m = []() {
+    metrics::Registry* r = metrics::Registry::Global();
+    return RendezvousMetrics{
+        r->GetCounter("rendezvous.sends"),
+        r->GetCounter("rendezvous.recvs"),
+        r->GetCounter("rendezvous.bytes_sent"),
+        r->GetCounter("rendezvous.recvs_blocked"),
+        r->GetHistogram("rendezvous.recv_wait_ms"),
+    };
+  }();
+  return m;
+}
+
+}  // namespace
 
 std::string RendezvousKey(const std::string& send_device,
                           const std::string& recv_device,
@@ -32,7 +62,11 @@ Status Rendezvous::Recv(const std::string& key, Tensor* value, bool* is_dead) {
 
 Status LocalRendezvous::Send(const std::string& key, const Tensor& value,
                              bool is_dead) {
-  DoneCallback waiter;
+  const RendezvousMetrics& m = GetRendezvousMetrics();
+  m.sends->Increment();
+  if (!is_dead) m.bytes_sent->Increment(value.TotalBytes());
+  Waiter waiter;
+  bool have_waiter = false;
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (!aborted_.ok()) return aborted_;
@@ -41,16 +75,21 @@ Status LocalRendezvous::Send(const std::string& key, const Tensor& value,
       waiter = std::move(wit->second.front());
       wit->second.pop_front();
       if (wit->second.empty()) waiting_.erase(wit);
+      have_waiter = true;
     } else {
       ready_[key].push_back(Item{value, is_dead});
       return Status::OK();
     }
   }
-  waiter(Status::OK(), value, is_dead);
+  m.recv_wait_ms->Record(
+      static_cast<double>(metrics::NowMicros() - waiter.wait_start_micros) /
+      1000.0);
+  waiter.done(Status::OK(), value, is_dead);
   return Status::OK();
 }
 
 void LocalRendezvous::RecvAsync(const std::string& key, DoneCallback done) {
+  GetRendezvousMetrics().recvs->Increment();
   Item item;
   {
     std::unique_lock<std::mutex> lock(mu_);
@@ -62,7 +101,9 @@ void LocalRendezvous::RecvAsync(const std::string& key, DoneCallback done) {
     }
     auto rit = ready_.find(key);
     if (rit == ready_.end() || rit->second.empty()) {
-      waiting_[key].push_back(std::move(done));
+      GetRendezvousMetrics().recvs_blocked->Increment();
+      waiting_[key].push_back(
+          Waiter{std::move(done), metrics::NowMicros()});
       return;
     }
     item = std::move(rit->second.front());
@@ -79,7 +120,7 @@ void LocalRendezvous::StartAbort(const Status& status) {
     if (!aborted_.ok()) return;  // already aborted
     aborted_ = status.ok() ? Cancelled("rendezvous aborted") : status;
     for (auto& [key, queue] : waiting_) {
-      for (DoneCallback& cb : queue) waiters.push_back(std::move(cb));
+      for (Waiter& w : queue) waiters.push_back(std::move(w.done));
     }
     waiting_.clear();
     ready_.clear();

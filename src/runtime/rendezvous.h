@@ -65,10 +65,16 @@ class LocalRendezvous : public Rendezvous {
     Tensor value;
     bool is_dead = false;
   };
+  // A parked Recv, stamped so the blocked time can be recorded when the
+  // matching Send arrives (metrics: rendezvous.recv_wait_ms).
+  struct Waiter {
+    DoneCallback done;
+    int64_t wait_start_micros = 0;
+  };
   std::mutex mu_;
   Status aborted_;
   std::map<std::string, std::deque<Item>> ready_;
-  std::map<std::string, std::deque<DoneCallback>> waiting_;
+  std::map<std::string, std::deque<Waiter>> waiting_;
 };
 
 }  // namespace tfrepro

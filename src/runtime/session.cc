@@ -4,6 +4,7 @@
 #include <condition_variable>
 #include <sstream>
 
+#include "core/metrics.h"
 #include "graph/shape_inference.h"
 #include "graph/subgraph.h"
 #include "runtime/partition.h"
@@ -13,6 +14,24 @@ namespace tfrepro {
 
 namespace {
 std::atomic<int64_t> next_session_id{1};
+
+struct SessionMetrics {
+  metrics::Counter* steps;
+  metrics::Counter* traced_steps;
+  metrics::Histogram* step_ms;
+};
+
+const SessionMetrics& GetSessionMetrics() {
+  static SessionMetrics m = []() {
+    metrics::Registry* r = metrics::Registry::Global();
+    return SessionMetrics{
+        r->GetCounter("session.steps"),
+        r->GetCounter("session.traced_steps"),
+        r->GetHistogram("session.step_ms"),
+    };
+  }();
+  return m;
+}
 }  // namespace
 
 DirectSession::DirectSession(const Graph& graph, const SessionOptions& options)
@@ -91,9 +110,11 @@ Result<DirectSession::ExecutorsAndGraphs*> DirectSession::GetOrCreateExecutors(
 }
 
 Status DirectSession::Run(
+    const RunOptions& run_options,
     const std::vector<std::pair<std::string, Tensor>>& feeds,
     const std::vector<std::string>& fetches,
-    const std::vector<std::string>& targets, std::vector<Tensor>* outputs) {
+    const std::vector<std::string>& targets, std::vector<Tensor>* outputs,
+    RunMetadata* metadata) {
   std::vector<std::string> feed_names;
   std::vector<Tensor> feed_tensors;
   feed_names.reserve(feeds.size());
@@ -110,6 +131,11 @@ Status DirectSession::Run(
                        static_cast<int>(fetches.size()));
   LocalRendezvous rendezvous;
   CancellationManager cancellation;
+  std::unique_ptr<TraceCollector> trace;
+  if (run_options.trace) {
+    trace = std::make_unique<TraceCollector>(/*capture_global_events=*/true);
+    GetSessionMetrics().traced_steps->Increment();
+  }
 
   int64_t step_id;
   {
@@ -122,9 +148,11 @@ Status DirectSession::Run(
   args.rendezvous = &rendezvous;
   args.call_frame = &call_frame;
   args.cancellation = &cancellation;
+  args.trace = trace.get();
 
   // Run all per-device executors concurrently; the step completes when
   // every partition completes.
+  const int64_t step_start_micros = metrics::NowMicros();
   std::mutex done_mu;
   std::condition_variable done_cv;
   size_t remaining = entry.value()->executors.size();
@@ -139,6 +167,12 @@ Status DirectSession::Run(
   {
     std::unique_lock<std::mutex> lock(done_mu);
     done_cv.wait(lock, [&]() { return remaining == 0; });
+  }
+  GetSessionMetrics().steps->Increment();
+  GetSessionMetrics().step_ms->Record(
+      static_cast<double>(metrics::NowMicros() - step_start_micros) / 1000.0);
+  if (metadata != nullptr && trace != nullptr) {
+    metadata->step_stats = trace->Consume(step_id);
   }
   TF_RETURN_IF_ERROR(step_status);
 

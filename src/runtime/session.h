@@ -21,6 +21,7 @@
 #include "runtime/device.h"
 #include "runtime/executor.h"
 #include "runtime/graph_optimizer.h"
+#include "runtime/tracing.h"
 
 namespace tfrepro {
 
@@ -46,10 +47,20 @@ class DirectSession {
 
   // Runs one step: feeds[i] supplies the tensor named feed_names[i], the
   // fetched tensors are returned in `outputs` (same order as fetches).
+  // With run_options.trace set, per-node and transfer events are returned
+  // in metadata->step_stats (see runtime/tracing.h).
+  Status Run(const RunOptions& run_options,
+             const std::vector<std::pair<std::string, Tensor>>& feeds,
+             const std::vector<std::string>& fetches,
+             const std::vector<std::string>& targets,
+             std::vector<Tensor>* outputs, RunMetadata* metadata);
+
   Status Run(const std::vector<std::pair<std::string, Tensor>>& feeds,
              const std::vector<std::string>& fetches,
              const std::vector<std::string>& targets,
-             std::vector<Tensor>* outputs);
+             std::vector<Tensor>* outputs) {
+    return Run(RunOptions(), feeds, fetches, targets, outputs, nullptr);
+  }
 
   // Convenience: no feeds/targets.
   Status Run(const std::vector<std::string>& fetches,

@@ -1,0 +1,251 @@
+#include "runtime/tracing.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <set>
+#include <sstream>
+
+#include "core/metrics.h"
+
+namespace tfrepro {
+
+namespace {
+
+// Live collectors subscribed to global instant events. Guarded by a mutex:
+// global instants (faults, retries) are rare, so contention is irrelevant;
+// the common case — no live subscriber — is one lock/unlock.
+std::mutex* GlobalSinkMu() {
+  static std::mutex* mu = new std::mutex();
+  return mu;
+}
+std::vector<TraceCollector*>* GlobalSinks() {
+  static auto* sinks = new std::vector<TraceCollector*>();
+  return sinks;
+}
+
+void AppendJsonString(std::ostringstream* os, const std::string& s) {
+  *os << '"';
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        *os << "\\\"";
+        break;
+      case '\\':
+        *os << "\\\\";
+        break;
+      case '\n':
+        *os << "\\n";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *os << buf;
+        } else {
+          *os << c;
+        }
+    }
+  }
+  *os << '"';
+}
+
+// "/job:worker/task:0/device:CPU:0" -> "/job:worker/task:0". Device-less
+// scopes pass through unchanged.
+std::string TaskOfDevice(const std::string& device) {
+  size_t pos = device.find("/device:");
+  if (pos == std::string::npos || pos == 0) return device;
+  return device.substr(0, pos);
+}
+
+}  // namespace
+
+TraceCollector::TraceCollector(bool capture_global_events)
+    : capture_global_events_(capture_global_events) {
+  if (capture_global_events_) {
+    std::lock_guard<std::mutex> lock(*GlobalSinkMu());
+    GlobalSinks()->push_back(this);
+  }
+}
+
+TraceCollector::~TraceCollector() {
+  if (capture_global_events_) {
+    std::lock_guard<std::mutex> lock(*GlobalSinkMu());
+    auto* sinks = GlobalSinks();
+    sinks->erase(std::remove(sinks->begin(), sinks->end(), this),
+                 sinks->end());
+  }
+}
+
+void TraceCollector::RecordNode(NodeExecStats stats) {
+  std::lock_guard<std::mutex> lock(mu_);
+  stats_.nodes.push_back(std::move(stats));
+}
+
+void TraceCollector::RecordTransfer(TransferStats stats) {
+  std::lock_guard<std::mutex> lock(mu_);
+  stats_.transfers.push_back(std::move(stats));
+}
+
+void TraceCollector::RecordInstant(InstantEvent event) {
+  std::lock_guard<std::mutex> lock(mu_);
+  stats_.instants.push_back(std::move(event));
+}
+
+StepStats TraceCollector::Consume(int64_t step_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  StepStats out = std::move(stats_);
+  stats_ = StepStats();
+  out.step_id = step_id;
+  return out;
+}
+
+void RecordGlobalInstant(const std::string& name, const std::string& scope,
+                         std::map<std::string, std::string> args) {
+  InstantEvent event;
+  event.name = name;
+  event.scope = scope;
+  event.micros = metrics::NowMicros();
+  event.args = std::move(args);
+  std::lock_guard<std::mutex> lock(*GlobalSinkMu());
+  for (TraceCollector* sink : *GlobalSinks()) {
+    sink->RecordInstant(event);
+  }
+}
+
+std::string StepStats::ToChromeTraceJson() const {
+  // Assign a pid per task and a tid per device (tid 0 per task is reserved
+  // for the "transfers" row so Send/Recv activity reads as its own lane).
+  std::map<std::string, int> task_pid;
+  std::map<std::string, int> device_tid;
+  auto pid_of_task = [&task_pid](const std::string& task) {
+    auto it = task_pid.find(task);
+    if (it != task_pid.end()) return it->second;
+    int pid = static_cast<int>(task_pid.size()) + 1;
+    task_pid[task] = pid;
+    return pid;
+  };
+  auto tid_of_device = [&device_tid](const std::string& device) {
+    auto it = device_tid.find(device);
+    if (it != device_tid.end()) return it->second;
+    int tid = static_cast<int>(device_tid.size()) + 1;
+    device_tid[device] = tid;
+    return tid;
+  };
+
+  int64_t base = INT64_MAX;
+  for (const NodeExecStats& n : nodes) {
+    base = std::min(base, n.scheduled_micros);
+  }
+  for (const TransferStats& t : transfers) {
+    if (t.send_micros > 0) base = std::min(base, t.send_micros);
+    if (t.recv_start_micros > 0) base = std::min(base, t.recv_start_micros);
+  }
+  for (const InstantEvent& i : instants) base = std::min(base, i.micros);
+  if (base == INT64_MAX) base = 0;
+
+  std::ostringstream os;
+  os << "{\"traceEvents\":[";
+  bool first = true;
+  auto sep = [&os, &first]() {
+    if (!first) os << ",";
+    first = false;
+  };
+
+  for (const NodeExecStats& n : nodes) {
+    sep();
+    int pid = pid_of_task(TaskOfDevice(n.device));
+    int tid = tid_of_device(n.device);
+    int64_t dur = std::max<int64_t>(n.end_micros - n.start_micros, 1);
+    os << "{\"ph\":\"X\",\"pid\":" << pid << ",\"tid\":" << tid
+       << ",\"ts\":" << (n.start_micros - base) << ",\"dur\":" << dur
+       << ",\"cat\":\"op\",\"name\":";
+    AppendJsonString(&os, n.op);
+    os << ",\"args\":{\"node\":";
+    AppendJsonString(&os, n.node_name);
+    os << ",\"ready_wait_us\":" << (n.start_micros - n.scheduled_micros)
+       << "}}";
+  }
+
+  for (const TransferStats& t : transfers) {
+    sep();
+    if (t.kind == TransferStats::Kind::kSend) {
+      int pid = pid_of_task(TaskOfDevice(t.send_device));
+      os << "{\"ph\":\"i\",\"s\":\"t\",\"pid\":" << pid << ",\"tid\":0"
+         << ",\"ts\":" << (t.send_micros - base) << ",\"cat\":\"transfer\""
+         << ",\"name\":";
+      AppendJsonString(&os, "Send " + t.tensor_name);
+    } else {
+      int pid = pid_of_task(TaskOfDevice(t.recv_device));
+      int64_t dur =
+          std::max<int64_t>(t.recv_end_micros - t.recv_start_micros, 1);
+      os << "{\"ph\":\"X\",\"pid\":" << pid << ",\"tid\":0"
+         << ",\"ts\":" << (t.recv_start_micros - base) << ",\"dur\":" << dur
+         << ",\"cat\":\"transfer\",\"name\":";
+      AppendJsonString(&os, "Recv " + t.tensor_name);
+    }
+    os << ",\"args\":{\"bytes\":" << t.bytes << ",\"from\":";
+    AppendJsonString(&os, t.send_device);
+    os << ",\"to\":";
+    AppendJsonString(&os, t.recv_device);
+    os << "}}";
+  }
+
+  for (const InstantEvent& i : instants) {
+    sep();
+    os << "{\"ph\":\"i\",\"s\":\"" << (i.scope.empty() ? 'g' : 'p')
+       << "\",\"pid\":" << (i.scope.empty() ? 0 : pid_of_task(i.scope))
+       << ",\"ts\":" << (i.micros - base) << ",\"cat\":\"marker\""
+       << ",\"name\":";
+    AppendJsonString(&os, i.name);
+    os << ",\"args\":{";
+    bool first_arg = true;
+    for (const auto& [k, v] : i.args) {
+      if (!first_arg) os << ",";
+      first_arg = false;
+      AppendJsonString(&os, k);
+      os << ":";
+      AppendJsonString(&os, v);
+    }
+    os << "}}";
+  }
+
+  // Name the rows. pid 0 hosts global markers when present.
+  for (const auto& [task, pid] : task_pid) {
+    sep();
+    os << "{\"ph\":\"M\",\"pid\":" << pid
+       << ",\"name\":\"process_name\",\"args\":{\"name\":";
+    AppendJsonString(&os, task);
+    os << "}}";
+    sep();
+    os << "{\"ph\":\"M\",\"pid\":" << pid << ",\"tid\":0"
+       << ",\"name\":\"thread_name\",\"args\":{\"name\":\"transfers\"}}";
+  }
+  for (const auto& [device, tid] : device_tid) {
+    sep();
+    os << "{\"ph\":\"M\",\"pid\":" << pid_of_task(TaskOfDevice(device))
+       << ",\"tid\":" << tid
+       << ",\"name\":\"thread_name\",\"args\":{\"name\":";
+    AppendJsonString(&os, device);
+    os << "}}";
+  }
+
+  os << "],\"displayTimeUnit\":\"ms\",\"metadata\":{\"step_id\":" << step_id
+     << "}}";
+  return os.str();
+}
+
+Status StepStats::WriteChromeTrace(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out.is_open()) {
+    return InvalidArgument("cannot open trace output file '" + path + "'");
+  }
+  out << ToChromeTraceJson();
+  out.close();
+  if (!out) {
+    return DataLoss("failed writing trace to '" + path + "'");
+  }
+  return Status::OK();
+}
+
+}  // namespace tfrepro

@@ -1,5 +1,7 @@
 #include "train/coordinator.h"
 
+#include "core/metrics.h"
+
 namespace tfrepro {
 namespace train {
 
@@ -59,8 +61,13 @@ void QueueRunner::Start(DirectSession* session, Coordinator* coord,
       (void)session->Run({}, {}, {stop_op}, nullptr);
     });
   }
+  metrics::Counter* iterations = metrics::Registry::Global()->GetCounter(
+      "queue_runner.iterations", {{"op", enqueue_op_}});
+  metrics::Counter* errors = metrics::Registry::Global()->GetCounter(
+      "queue_runner.errors", {{"op", enqueue_op_}});
   for (int i = 0; i < num_threads; ++i) {
-    coord->RegisterThread(std::thread([this, session, coord]() {
+    coord->RegisterThread(
+        std::thread([this, session, coord, iterations, errors]() {
       while (!coord->ShouldStop()) {
         Status s = session->Run({}, {}, {enqueue_op_}, nullptr);
         if (!s.ok()) {
@@ -68,9 +75,11 @@ void QueueRunner::Start(DirectSession* session, Coordinator* coord,
               s.code() == Code::kOutOfRange) {
             break;  // queue closed: clean shutdown
           }
+          errors->Increment();
           coord->RequestStop(s);
           break;
         }
+        iterations->Increment();
       }
       if (!close_op_.empty()) {
         // Best-effort close so consumers observe end-of-input.
