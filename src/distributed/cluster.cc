@@ -97,6 +97,35 @@ void TaskWorker::RunSubgraphsAsync(const std::string& handle,
   RunSubgraphsNow(handle, args, std::move(done));
 }
 
+void TaskWorker::PingAsync(std::function<void(Status)> done) {
+  if (injector_ != nullptr) {
+    FaultInjector::Decision decision = injector_->OnProbe(task_name());
+    switch (decision.action) {
+      case FaultInjector::Action::kKill:
+        done(Unavailable("task " + task_name() + " refused probe"));
+        return;
+      case FaultInjector::Action::kHang:
+        // Park the probe callback like a hung dispatch: it never fires and
+        // is only released when the task restarts or the injector dies. The
+        // prober's own timeout path must cope.
+        injector_->ParkHung(task_name(), std::move(done));
+        return;
+      case FaultInjector::Action::kProceed:
+        if (decision.delay_seconds > 0.0) {
+          pool_.Schedule([done = std::move(done),
+                          delay = decision.delay_seconds]() {
+            std::this_thread::sleep_for(std::chrono::duration<double>(delay));
+            done(Status::OK());
+          });
+          return;
+        }
+        break;
+    }
+  }
+  // Answer off a pool thread, like a real RPC response.
+  pool_.Schedule([done = std::move(done)]() { done(Status::OK()); });
+}
+
 void TaskWorker::RunSubgraphsNow(const std::string& handle,
                                  const Executor::Args& args,
                                  std::function<void(Status)> done) {

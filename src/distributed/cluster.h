@@ -94,6 +94,13 @@ class TaskWorker {
   void RunSubgraphsAsync(const std::string& handle, const Executor::Args& args,
                          std::function<void(Status)> done);
 
+  // Liveness probe (paper §4.3 health monitoring), answered through the same
+  // in-process transport as a dispatch so the fault injector applies: a dead
+  // task refuses the probe, a scripted probe hang parks `done` forever (the
+  // prober must time out on its own), and a per-task delay slows the answer.
+  // `done` may fire from a worker pool thread — or never.
+  void PingAsync(std::function<void(Status)> done);
+
   bool HasSubgraphs(const std::string& handle) const;
 
   // Wipes every registered subgraph/executor and all device state (cached

@@ -65,6 +65,20 @@ void FaultInjector::KillRandomly(double probability) {
   kill_probability_ = probability;
 }
 
+void FaultInjector::KillTaskNow(const std::string& task) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (down_.count(task) > 0) return;
+  down_.insert(task);
+  ++kills_;
+  log_.push_back("kill " + task + " (idle)");
+  RecordInjectedLocked("kill", task, 0);
+}
+
+void FaultInjector::HangProbeAt(const std::string& task, int64_t nth) {
+  std::lock_guard<std::mutex> lock(mu_);
+  hang_probe_at_[task].insert(nth);
+}
+
 FaultInjector::Decision FaultInjector::OnDispatch(const std::string& task) {
   std::lock_guard<std::mutex> lock(mu_);
   if (down_.count(task) > 0) {
@@ -99,6 +113,25 @@ FaultInjector::Decision FaultInjector::OnDispatch(const std::string& task) {
     d.delay_seconds = delay->second;
     log_.push_back("delay " + task + " @dispatch " + std::to_string(n));
   }
+  return d;
+}
+
+FaultInjector::Decision FaultInjector::OnProbe(const std::string& task) {
+  std::lock_guard<std::mutex> lock(mu_);
+  int64_t n = ++probe_counts_[task];
+  if (down_.count(task) > 0) {
+    // A dead process refuses the probe outright (connection refused); the
+    // prober counts it as a miss without waiting out the timeout.
+    return Decision{Action::kKill, 0.0};
+  }
+  auto scripted = hang_probe_at_.find(task);
+  if (scripted != hang_probe_at_.end() && scripted->second.count(n) > 0) {
+    log_.push_back("hang_probe " + task + " @probe " + std::to_string(n));
+    return Decision{Action::kHang, 0.0};
+  }
+  Decision d;
+  auto delay = delays_.find(task);
+  if (delay != delays_.end()) d.delay_seconds = delay->second;
   return d;
 }
 
@@ -166,6 +199,17 @@ int64_t FaultInjector::dispatches(const std::string& task) const {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = dispatch_counts_.find(task);
   return it == dispatch_counts_.end() ? 0 : it->second;
+}
+
+int64_t FaultInjector::probes(const std::string& task) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = probe_counts_.find(task);
+  return it == probe_counts_.end() ? 0 : it->second;
+}
+
+int64_t FaultInjector::transfers() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return transfer_count_;
 }
 
 std::vector<std::string> FaultInjector::DecisionLog() const {

@@ -74,10 +74,27 @@ class FaultInjector {
   // from the seeded Philox stream (deterministic given the event sequence).
   void KillRandomly(double probability);
 
+  // Kills `task` immediately — even while the cluster is idle, with no step
+  // touching it. Only a liveness probe (or the next dispatch) can notice;
+  // this is the scenario the master's health prober exists for.
+  void KillTaskNow(const std::string& task);
+
+  // Hangs `task`'s `nth` health probe (1-based, counted separately from
+  // dispatches so probes never perturb a scripted dispatch schedule). The
+  // probe callback is parked exactly like a hung dispatch: it never fires,
+  // and the prober's own timeout is the only way past it.
+  void HangProbeAt(const std::string& task, int64_t nth);
+
   // --- Runtime hooks ---
 
   // Consulted by TaskWorker before running a step's subgraphs.
   Decision OnDispatch(const std::string& task);
+
+  // Consulted by TaskWorker::PingAsync for each health probe. Dead tasks
+  // refuse the probe, scripted probe hangs park it, and per-task dispatch
+  // delays apply to probes too (a straggling task answers probes late).
+  // Probes are counted on their own stream (see probes()).
+  Decision OnProbe(const std::string& task);
 
   // Consulted per cross-task Send; true means "drop this transfer".
   bool OnTransfer(const std::string& key);
@@ -102,6 +119,8 @@ class FaultInjector {
   int64_t hangs() const;
   int64_t dropped_transfers() const;
   int64_t dispatches(const std::string& task) const;
+  int64_t probes(const std::string& task) const;
+  int64_t transfers() const;
 
   // One line per non-trivial decision, in event order — two injectors with
   // the same seed and the same event sequence produce identical logs.
@@ -130,8 +149,10 @@ class FaultInjector {
   double kill_probability_ = 0.0;
 
   std::map<std::string, int64_t> dispatch_counts_;
+  std::map<std::string, int64_t> probe_counts_;
   std::map<std::string, std::set<int64_t>> kill_at_;
   std::map<std::string, std::set<int64_t>> hang_at_;
+  std::map<std::string, std::set<int64_t>> hang_probe_at_;
   std::map<std::string, double> delays_;
   std::set<std::string> down_;
   std::set<int64_t> drop_transfer_at_;

@@ -1,0 +1,128 @@
+#include "distributed/health_prober.h"
+
+#include <chrono>
+#include <vector>
+
+#include "core/metrics.h"
+#include "runtime/tracing.h"
+
+namespace tfrepro {
+namespace distributed {
+
+HealthProber::HealthProber(InProcessCluster* cluster, const Options& options,
+                           std::string session,
+                           std::function<void(TaskWorker*)> on_dead)
+    : cluster_(cluster),
+      options_(options),
+      session_(std::move(session)),
+      on_dead_(std::move(on_dead)) {
+  if (options_.timeout_seconds <= 0.0) {
+    options_.timeout_seconds = options_.interval_seconds;
+  }
+  if (options_.miss_threshold < 1) options_.miss_threshold = 1;
+  thread_ = std::thread([this]() { Loop(); });
+}
+
+HealthProber::~HealthProber() { Stop(); }
+
+void HealthProber::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) {
+      // Already stopped; just make sure the thread is reaped.
+    }
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+}
+
+int HealthProber::misses(const std::string& task) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = misses_.find(task);
+  return it == misses_.end() ? 0 : it->second;
+}
+
+void HealthProber::Loop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!stopping_) {
+    if (cv_.wait_for(
+            lock, std::chrono::duration<double>(options_.interval_seconds),
+            [this]() { return stopping_; })) {
+      return;
+    }
+    lock.unlock();
+    ProbeRound();
+    lock.lock();
+  }
+}
+
+void HealthProber::ProbeRound() {
+  // One shared block per round, jointly owned by this frame and every
+  // probe's done-callback: a parked (hung) probe callback may outlive the
+  // round — and even the prober — so results can never live on this stack.
+  struct RoundState {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::map<std::string, Status> answered;
+    size_t outstanding = 0;
+  };
+  auto state = std::make_shared<RoundState>();
+
+  std::vector<TaskWorker*> workers = cluster_->workers();
+  metrics::Registry* reg = metrics::Registry::Global();
+  state->outstanding = workers.size();
+  for (TaskWorker* worker : workers) {
+    const std::string task = worker->task_name();
+    reg->GetCounter("health.probe_sent", {{"session", session_}, {"task", task}})
+        ->Increment();
+    worker->PingAsync([state, task](Status s) {
+      std::lock_guard<std::mutex> lock(state->mu);
+      state->answered[task] = std::move(s);
+      if (--state->outstanding == 0) state->cv.notify_all();
+    });
+  }
+
+  // The probe's own timeout path: wait for answers, then judge each task on
+  // what arrived. A parked callback simply never shows up in `answered`.
+  std::map<std::string, Status> answered;
+  {
+    std::unique_lock<std::mutex> lock(state->mu);
+    state->cv.wait_for(lock,
+                       std::chrono::duration<double>(options_.timeout_seconds),
+                       [&state]() { return state->outstanding == 0; });
+    answered = state->answered;
+  }
+
+  for (TaskWorker* worker : workers) {
+    const std::string task = worker->task_name();
+    const metrics::TagMap tags{{"session", session_}, {"task", task}};
+    auto it = answered.find(task);
+    const bool ok = it != answered.end() && it->second.ok();
+    bool declare_dead = false;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (stopping_) return;
+      if (ok) {
+        misses_[task] = 0;
+      } else {
+        declare_dead = ++misses_[task] >= options_.miss_threshold;
+      }
+    }
+    if (ok) {
+      reg->GetCounter("health.probe_ok", tags)->Increment();
+      continue;
+    }
+    reg->GetCounter("health.probe_miss", tags)->Increment();
+    if (declare_dead) {
+      reg->GetCounter("health.probe_dead_marked", tags)->Increment();
+      RecordGlobalInstant("health.task_dead", task,
+                          {{"session", session_},
+                           {"misses", std::to_string(misses(task))}});
+      if (on_dead_) on_dead_(worker);
+    }
+  }
+}
+
+}  // namespace distributed
+}  // namespace tfrepro

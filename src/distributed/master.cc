@@ -4,6 +4,7 @@
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
+#include <set>
 #include <sstream>
 #include <thread>
 
@@ -27,15 +28,42 @@ Result<std::pair<std::string, int>> TaskOfDevice(const std::string& device) {
   }
   return std::make_pair(parsed.value().job, parsed.value().task);
 }
+
+// Cache key for a compiled step signature. Stable across master
+// incarnations, so durable-state replay finds the same slots.
+std::string CompileKey(const std::vector<std::string>& feed_names,
+                       const std::vector<std::string>& fetches,
+                       const std::vector<std::string>& targets) {
+  std::ostringstream key_os;
+  for (const auto& f : feed_names) key_os << f << ",";
+  key_os << "|";
+  for (const auto& f : fetches) key_os << f << ",";
+  key_os << "|";
+  for (const auto& t : targets) key_os << t << ",";
+  return key_os.str();
+}
 }  // namespace
 
 MasterSession::MasterSession(const Graph& graph, InProcessCluster* cluster,
-                             const Options& options)
+                             const Options& options,
+                             const MasterState* restored)
     : options_(options),
       cluster_(cluster),
       graph_(graph.Clone()),
-      session_prefix_("master_" + std::to_string(next_master_id++)),
+      session_prefix_(restored != nullptr
+                          ? restored->session_prefix
+                          : "master_" + std::to_string(next_master_id++)),
       timer_pool_("net_timer", 2) {
+  if (restored != nullptr) {
+    next_handle_ = restored->next_handle;
+    // Step ids tag gradients for staleness; the watermark keeps them
+    // monotonic across incarnations so this master's steps are not judged
+    // stale against floors the previous incarnation left on the PS tasks.
+    next_step_id_ = restored->step_watermark + 1;
+    ckpt_prefix_ = restored->checkpoint_prefix;
+    ckpt_step_ = restored->checkpoint_step;
+    auto_recover_pending_ = restored->has_checkpoint();
+  }
   metrics::Registry* reg = metrics::Registry::Global();
   const metrics::TagMap tags{{"session", session_prefix_}};
   counters_.steps = reg->GetCounter("master.steps", tags);
@@ -47,7 +75,17 @@ MasterSession::MasterSession(const Graph& graph, InProcessCluster* cluster,
       reg->GetCounter("master.aborts_fanned_out", tags);
   counters_.recoveries = reg->GetCounter("master.recoveries", tags);
   counters_.reregistrations = reg->GetCounter("master.reregistrations", tags);
+  counters_.prober_restarts = reg->GetCounter("master.prober_restarts", tags);
+  counters_.state_recompiles =
+      reg->GetCounter("master.state_recompiles", tags);
+  counters_.partition_reuses =
+      reg->GetCounter("master.partition_reuses", tags);
   counters_.step_ms = reg->GetHistogram("master.step_ms", {}, tags);
+}
+
+MasterSession::~MasterSession() {
+  // Stop the prober first: its thread calls back into this session.
+  if (prober_ != nullptr) prober_->Stop();
 }
 
 Result<std::unique_ptr<MasterSession>> MasterSession::Create(
@@ -55,13 +93,98 @@ Result<std::unique_ptr<MasterSession>> MasterSession::Create(
   if (cluster == nullptr) {
     return InvalidArgument("null cluster");
   }
-  return std::unique_ptr<MasterSession>(
-      new MasterSession(graph, cluster, options));
+  MasterState restored;
+  const MasterState* restored_ptr = nullptr;
+  if (!options.state_path.empty()) {
+    Result<MasterState> loaded = LoadMasterState(options.state_path);
+    if (loaded.ok()) {
+      restored = std::move(loaded.value());
+      restored_ptr = &restored;
+    } else if (loaded.status().code() != Code::kNotFound) {
+      return loaded.status();  // corrupt log: surface, don't silently reset
+    }
+  }
+  std::unique_ptr<MasterSession> session(
+      new MasterSession(graph, cluster, options, restored_ptr));
+  TF_RETURN_IF_ERROR(session->InitDurableState(restored_ptr));
+  if (options.health_probe_interval_seconds > 0.0) {
+    HealthProber::Options popts;
+    popts.interval_seconds = options.health_probe_interval_seconds;
+    popts.timeout_seconds = options.health_probe_timeout_seconds;
+    popts.miss_threshold = options.health_probe_miss_threshold;
+    MasterSession* raw = session.get();
+    session->prober_ = std::make_unique<HealthProber>(
+        cluster, popts, raw->session_prefix_,
+        [raw](TaskWorker* worker) { raw->HandleDeadTask(worker); });
+  }
+  return session;
+}
+
+Status MasterSession::InitDurableState(const MasterState* restored) {
+  if (options_.state_path.empty()) return Status::OK();
+  Result<std::unique_ptr<MasterStateLog>> log =
+      MasterStateLog::Open(options_.state_path, session_prefix_);
+  TF_RETURN_IF_ERROR(log.status());
+  state_log_ = std::move(log.value());
+  if (restored == nullptr) return Status::OK();
+
+  // Rebuild the compiled-step cache by recompiling each logged signature
+  // under its original handle. Workers that survived the master still hold
+  // their registrations under those handles and are re-adopted rather than
+  // re-registered (see CompileLocked).
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const CompiledSignature& sig : restored->compiled) {
+    const std::string key = CompileKey(sig.feeds, sig.fetches, sig.targets);
+    if (compiled_.find(key) != compiled_.end()) continue;
+    Result<CompiledStep*> step =
+        CompileLocked(key, sig.feeds, sig.fetches, sig.targets, sig.handle);
+    TF_RETURN_IF_ERROR(step.status());
+    counters_.state_recompiles->Increment();
+  }
+  if (!restored->compiled.empty()) {
+    RecordGlobalInstant(
+        "master.state_restored", /*scope=*/"",
+        {{"session", session_prefix_},
+         {"signatures", std::to_string(restored->compiled.size())},
+         {"step_watermark", std::to_string(restored->step_watermark)}});
+  }
+  return Status::OK();
 }
 
 void MasterSession::set_recovery_handler(std::function<Status()> handler) {
-  std::lock_guard<std::mutex> lock(recovery_mu_);
-  recovery_handler_ = std::move(handler);
+  bool auto_recover = false;
+  {
+    std::lock_guard<std::mutex> lock(recovery_mu_);
+    recovery_handler_ = std::move(handler);
+    auto_recover = auto_recover_pending_ && recovery_handler_ != nullptr;
+    if (auto_recover) auto_recover_pending_ = false;
+  }
+  if (auto_recover) {
+    // Durable state says a checkpoint exists and this incarnation has not
+    // restored it: resume from it now, without further client involvement.
+    Status s = RunRecoveryHandler();
+    RecordGlobalInstant("master.auto_recovered", /*scope=*/"",
+                        {{"session", session_prefix_},
+                         {"checkpoint_step",
+                          std::to_string(last_checkpoint_step())},
+                         {"status", s.ok() ? "OK" : s.message()}});
+  }
+}
+
+void MasterSession::NoteCheckpoint(const std::string& prefix, int64_t step) {
+  {
+    std::lock_guard<std::mutex> lock(ckpt_mu_);
+    ckpt_prefix_ = prefix;
+    ckpt_step_ = step;
+  }
+  if (state_log_ != nullptr) {
+    (void)state_log_->AppendCheckpoint(prefix, step);
+  }
+}
+
+int64_t MasterSession::last_checkpoint_step() const {
+  std::lock_guard<std::mutex> lock(ckpt_mu_);
+  return ckpt_step_;
 }
 
 MasterSession::RunStats MasterSession::stats() const {
@@ -72,6 +195,9 @@ MasterSession::RunStats MasterSession::stats() const {
   s.aborts_fanned_out = counters_.aborts_fanned_out->value();
   s.recoveries = counters_.recoveries->value();
   s.reregistrations = counters_.reregistrations->value();
+  s.prober_restarts = counters_.prober_restarts->value();
+  s.state_recompiles = counters_.state_recompiles->value();
+  s.partition_reuses = counters_.partition_reuses->value();
   return s;
 }
 
@@ -79,20 +205,33 @@ Result<MasterSession::CompiledStep*> MasterSession::GetOrCompile(
     const std::vector<std::string>& feed_names,
     const std::vector<std::string>& fetches,
     const std::vector<std::string>& targets) {
-  std::ostringstream key_os;
-  for (const auto& f : feed_names) key_os << f << ",";
-  key_os << "|";
-  for (const auto& f : fetches) key_os << f << ",";
-  key_os << "|";
-  for (const auto& t : targets) key_os << t << ",";
-  std::string key = key_os.str();
+  const std::string key = CompileKey(feed_names, fetches, targets);
 
   std::lock_guard<std::mutex> lock(mu_);
   auto it = compiled_.find(key);
   if (it != compiled_.end()) {
     return it->second.get();
   }
+  const std::string handle =
+      session_prefix_ + "_g" + std::to_string(next_handle_++);
+  Result<CompiledStep*> step =
+      CompileLocked(key, feed_names, fetches, targets, handle);
+  TF_RETURN_IF_ERROR(step.status());
+  if (state_log_ != nullptr) {
+    CompiledSignature sig;
+    sig.handle = handle;
+    sig.feeds = feed_names;
+    sig.fetches = fetches;
+    sig.targets = targets;
+    TF_RETURN_IF_ERROR(state_log_->AppendCompiled(sig));
+  }
+  return step;
+}
 
+Result<MasterSession::CompiledStep*> MasterSession::CompileLocked(
+    const std::string& key, const std::vector<std::string>& feed_names,
+    const std::vector<std::string>& fetches,
+    const std::vector<std::string>& targets, const std::string& handle) {
   // Prune (§3.2), place across every device in the cluster (§3.3),
   // optimize (§5), partition with Send/Recv insertion (§3.3).
   std::unique_ptr<Graph> client_graph = graph_->Clone();
@@ -107,21 +246,33 @@ Result<MasterSession::CompiledStep*> MasterSession::GetOrCompile(
   TF_RETURN_IF_ERROR(partitions.status());
 
   auto step = std::make_unique<CompiledStep>();
-  step->handle = session_prefix_ + "_g" + std::to_string(next_handle_++);
+  step->handle = handle;
   std::set<TaskWorker*> participating;
+  // A restarted master recompiling from its durable log finds surviving
+  // workers still registered under the same handle: re-adopt those
+  // registrations instead of re-registering.
+  std::map<TaskWorker*, bool> holds_handle;
   for (auto& [device_name, part] : partitions.value()) {
     Result<std::pair<std::string, int>> task = TaskOfDevice(device_name);
     TF_RETURN_IF_ERROR(task.status());
     Result<TaskWorker*> worker =
         cluster_->worker(task.value().first, task.value().second);
     TF_RETURN_IF_ERROR(worker.status());
-    // The worker gets a clone; the master retains the original so it can
-    // re-register the subgraph after a task restart (§4.3 recovery).
-    TF_RETURN_IF_ERROR(worker.value()->RegisterSubgraph(
-        step->handle, session_prefix_, part->Clone(), device_name));
-    participating.insert(worker.value());
+    TaskWorker* w = worker.value();
+    auto [held, inserted] = holds_handle.emplace(w, false);
+    if (inserted) held->second = w->HasSubgraphs(handle);
+    if (held->second) {
+      counters_.partition_reuses->Increment();
+    } else {
+      // The worker gets a clone; the master retains the original so it can
+      // re-register the subgraph after a task restart (§4.3 recovery).
+      TF_RETURN_IF_ERROR(
+          w->RegisterSubgraph(handle, session_prefix_, part->Clone(),
+                              device_name));
+    }
+    participating.insert(w);
     step->partitions.push_back(
-        PartitionRecord{worker.value(), device_name, std::move(part)});
+        PartitionRecord{w, device_name, std::move(part)});
   }
   step->participating.assign(participating.begin(), participating.end());
 
@@ -146,12 +297,100 @@ Status MasterSession::EnsureRegistered(CompiledStep* step) {
   return Status::OK();
 }
 
+void MasterSession::HandleDeadTask(TaskWorker* worker) {
+  if (!options_.restart_failed_tasks) return;
+  {
+    std::lock_guard<std::mutex> gate(restart_gate_);
+    if (restarting_ || in_flight_.load() > 0) {
+      // A step is mid-flight; its own failure path (deadline → abort →
+      // retry → PrepareRetry) owns recovery. The prober fires again next
+      // round if the task stays dead.
+      return;
+    }
+    restarting_ = true;
+    restarting_thread_ = std::this_thread::get_id();
+  }
+
+  Status s = cluster_->RestartTask(worker->job(), worker->task_index());
+  if (s.ok()) {
+    counters_.restarts->Increment();
+    counters_.prober_restarts->Increment();
+    RecordGlobalInstant("master.task_restarted", worker->task_name(),
+                        {{"session", session_prefix_}, {"by", "prober"}});
+    // Re-register the rebuilt task's subgraphs for every compiled step it
+    // participates in, then restore state — all while the gate holds new
+    // client Runs back, so the next Run lands on a healthy cluster.
+    std::vector<CompiledStep*> steps;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      for (auto& [key, compiled] : compiled_) steps.push_back(compiled.get());
+    }
+    for (CompiledStep* step : steps) {
+      if (std::find(step->participating.begin(), step->participating.end(),
+                    worker) == step->participating.end()) {
+        continue;
+      }
+      Status rs = EnsureRegistered(step);
+      if (!rs.ok()) {
+        s = rs;
+        break;
+      }
+    }
+    if (s.ok()) {
+      // May call Run on this session; the prober thread passes the gate
+      // via the restarting_thread_ check.
+      s = RunRecoveryHandler();
+    }
+  }
+  if (!s.ok()) {
+    RecordGlobalInstant("master.prober_restart_failed", worker->task_name(),
+                        {{"session", session_prefix_},
+                         {"error", s.message()}});
+  }
+  {
+    std::lock_guard<std::mutex> gate(restart_gate_);
+    restarting_ = false;
+  }
+  restart_cv_.notify_all();
+}
+
+Status MasterSession::RunRecoveryHandler() {
+  std::function<Status()> handler;
+  {
+    std::lock_guard<std::mutex> lock(recovery_mu_);
+    handler = recovery_handler_;
+  }
+  if (!handler) return Status::OK();
+  // Typically restores the last checkpoint (CheckpointPolicy::Recover) by
+  // running restore subgraphs through this same session.
+  TF_RETURN_IF_ERROR(handler());
+  counters_.recoveries->Increment();
+  return Status::OK();
+}
+
 Status MasterSession::RunOnce(CompiledStep* step,
                               const std::vector<Tensor>& feed_tensors,
                               const std::vector<std::string>& fetches,
                               std::vector<Tensor>* outputs,
                               const std::shared_ptr<TraceCollector>& trace,
                               int64_t* step_id_out) {
+  // Hold new steps back while a prober-initiated restart + recovery is in
+  // progress (the prober thread's own recovery Runs pass), and mark this
+  // step in flight so the prober defers to the in-step failure path.
+  struct InFlight {
+    explicit InFlight(MasterSession* session) : session_(session) {
+      std::unique_lock<std::mutex> gate(session_->restart_gate_);
+      session_->restart_cv_.wait(gate, [this]() {
+        return !session_->restarting_ ||
+               session_->restarting_thread_ == std::this_thread::get_id();
+      });
+      session_->in_flight_.fetch_add(1);
+    }
+    ~InFlight() { session_->in_flight_.fetch_sub(1); }
+    MasterSession* session_;
+  };
+  InFlight in_flight_guard(this);
+
   FaultInjector* injector = cluster_->fault_injector();
   if (injector != nullptr) {
     // Fail fast instead of dispatching to a task known to be down.
@@ -205,6 +444,11 @@ Status MasterSession::RunOnce(CompiledStep* step,
     args.step_id = next_step_id_++;
   }
   if (step_id_out != nullptr) *step_id_out = args.step_id;
+  if (state_log_ != nullptr) {
+    // Persist the watermark before dispatch: once a task may have seen this
+    // step id, a successor master must never issue it again.
+    TF_RETURN_IF_ERROR(state_log_->AppendStep(args.step_id));
+  }
   args.rendezvous = state->rendezvous.get();
   args.call_frame = &state->call_frame;
   args.cancellation = &state->cancellation;
@@ -302,7 +546,6 @@ Status MasterSession::RunOnce(CompiledStep* step,
 
 Status MasterSession::PrepareRetry(CompiledStep* step) {
   FaultInjector* injector = cluster_->fault_injector();
-  bool restarted = false;
   if (injector != nullptr) {
     for (TaskWorker* worker : step->participating) {
       if (!injector->IsDown(worker->task_name())) continue;
@@ -312,26 +555,18 @@ Status MasterSession::PrepareRetry(CompiledStep* step) {
       }
       TF_RETURN_IF_ERROR(
           cluster_->RestartTask(worker->job(), worker->task_index()));
-      restarted = true;
       counters_.restarts->Increment();
       RecordGlobalInstant("master.task_restarted", worker->task_name(),
                           {{"session", session_prefix_}});
     }
   }
-  if (restarted) {
-    std::function<Status()> handler;
-    {
-      std::lock_guard<std::mutex> lock(recovery_mu_);
-      handler = recovery_handler_;
-    }
-    if (handler) {
-      // Typically restores the last checkpoint (CheckpointPolicy::Recover)
-      // by running restore subgraphs through this same session.
-      TF_RETURN_IF_ERROR(handler());
-      counters_.recoveries->Increment();
-    }
-  }
-  return Status::OK();
+  // §4.3: a failed step is "aborted and restarted from the last checkpoint"
+  // — recovery runs on EVERY retry, not only after a task restart. An
+  // aborted attempt may have partially committed (a variable updated before
+  // the abort reached its task); re-executing on top of that state would
+  // compound the update. Restoring first makes the retry exactly-once.
+  // No-op when no recovery handler is installed.
+  return RunRecoveryHandler();
 }
 
 Status MasterSession::Run(

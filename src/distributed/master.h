@@ -19,19 +19,34 @@
 //     cached subgraphs re-registered from the master's retained partitions,
 //     and a user-supplied recovery handler (typically
 //     train::CheckpointPolicy::Recover) restores variables from the last
-//     checkpoint so training resumes where it left off.
+//     checkpoint so training resumes where it left off;
+//   * proactive liveness monitoring (health_probe_* options): a background
+//     HealthProber pings every task between steps; after K missed probes
+//     the dead task is restarted, its subgraphs re-registered, and the
+//     recovery handler run — so the next Run succeeds on its first attempt
+//     instead of discovering the corpse mid-step;
+//   * durable master state (state_path option): compiled-step signatures,
+//     the step-id watermark, and the latest noted checkpoint are logged so
+//     a restarted MasterSession rebuilds its subgraph cache (re-adopting
+//     registrations still alive on the workers) and auto-resumes from the
+//     last checkpoint when the recovery handler is installed.
 
 #ifndef TFREPRO_DISTRIBUTED_MASTER_H_
 #define TFREPRO_DISTRIBUTED_MASTER_H_
 
+#include <atomic>
+#include <condition_variable>
 #include <functional>
 #include <map>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/metrics.h"
 #include "distributed/cluster.h"
+#include "distributed/health_prober.h"
+#include "distributed/master_state.h"
 #include "graph/graph.h"
 #include "runtime/graph_optimizer.h"
 #include "runtime/tracing.h"
@@ -63,8 +78,29 @@ class MasterSession {
 
     // When true, a retry first restarts every participating task the fault
     // injector reports as down (wiping its state), re-registers its
-    // subgraphs, and invokes the recovery handler.
+    // subgraphs, and invokes the recovery handler. The health prober's
+    // proactive restarts are gated on this too.
     bool restart_failed_tasks = false;
+
+    // Liveness monitoring (§4.3). interval > 0 starts a HealthProber that
+    // pings every task through the in-process transport and, after
+    // `health_probe_miss_threshold` consecutive misses, restarts the task,
+    // re-registers its subgraphs, and runs the recovery handler — all
+    // between steps, so the next Run never trips over the failure.
+    double health_probe_interval_seconds = 0.0;
+    // Per-probe answer timeout; 0 = same as the interval. A hung task parks
+    // the probe callback forever, so this timeout is the only exit.
+    double health_probe_timeout_seconds = 0.0;
+    int health_probe_miss_threshold = 3;
+
+    // Durable master state log file; empty = keep state in memory only.
+    // With a path set, a new MasterSession created against an existing log
+    // adopts the previous incarnation's identity: same session prefix and
+    // subgraph handles (re-using registrations still alive on the workers),
+    // a step-id watermark so step tags stay monotonic, and the latest noted
+    // checkpoint (see NoteCheckpoint), which is restored automatically as
+    // soon as a recovery handler is installed.
+    std::string state_path;
   };
 
   // Counters for the failure paths, for tests and monitoring. Backed by
@@ -77,6 +113,13 @@ class MasterSession {
     int64_t aborts_fanned_out = 0;
     int64_t recoveries = 0;
     int64_t reregistrations = 0;
+    // Restarts initiated by the health prober (subset of `restarts`).
+    int64_t prober_restarts = 0;
+    // Compiled signatures rebuilt from the durable state log at Create.
+    int64_t state_recompiles = 0;
+    // Per-task registrations skipped because the worker still held the
+    // subgraphs under this handle (master restart re-adopting them).
+    int64_t partition_reuses = 0;
   };
 
   // Clones `graph`; the cluster must outlive the session.
@@ -111,16 +154,36 @@ class MasterSession {
   }
 
   // Installs the hook invoked after one or more tasks were restarted,
-  // before the failed step is retried. Typical use: restore the latest
-  // checkpoint (train::CheckpointPolicy::Recover). The handler may call
-  // Run on this session (e.g. to run restore ops).
+  // before the failed step is retried (and by the health prober after a
+  // proactive restart). Typical use: restore the latest checkpoint
+  // (train::CheckpointPolicy::Recover). The handler may call Run on this
+  // session (e.g. to run restore ops). When this session was created from
+  // a durable state log that notes a checkpoint, installing the handler
+  // immediately runs it once — the restarted master resumes from the last
+  // checkpoint without further client involvement.
   void set_recovery_handler(std::function<Status()> handler);
+
+  // Records "the latest durable checkpoint is <prefix>-<step>" (called by
+  // train::CheckpointPolicy::AfterStep). Persisted to the state log so a
+  // restarted master knows where to resume.
+  void NoteCheckpoint(const std::string& prefix, int64_t step);
+
+  // Latest checkpoint step noted (or restored from the state log); -1 when
+  // none.
+  int64_t last_checkpoint_step() const;
 
   RunStats stats() const;
 
+  // This session's metrics tag value ("master.*" and "health.*" counters
+  // are tagged {"session", session_prefix()}). Stable across master
+  // incarnations sharing one durable state log.
+  const std::string& session_prefix() const { return session_prefix_; }
+
+  ~MasterSession();
+
  private:
   MasterSession(const Graph& graph, InProcessCluster* cluster,
-                const Options& options);
+                const Options& options, const MasterState* restored);
 
   // One partition retained by the master so it can re-register a restarted
   // task's subgraphs (the worker's copy dies with the task).
@@ -141,9 +204,31 @@ class MasterSession {
       const std::vector<std::string>& fetches,
       const std::vector<std::string>& targets);
 
+  // Prune/place/partition `graph_` for the signature and register the
+  // partitions under `handle`, skipping workers that already hold subgraphs
+  // for it (a restarted master re-adopting live registrations). Inserts the
+  // result into compiled_[key]. Must hold mu_.
+  Result<CompiledStep*> CompileLocked(const std::string& key,
+                                      const std::vector<std::string>& feeds,
+                                      const std::vector<std::string>& fetches,
+                                      const std::vector<std::string>& targets,
+                                      const std::string& handle);
+
+  // Opens the state log and replays `restored` (recompiling each logged
+  // signature with its original handle). No-op without options_.state_path.
+  Status InitDurableState(const MasterState* restored);
+
   // Re-registers subgraphs on any participating task that lost them to a
   // restart (detected via HasSubgraphs).
   Status EnsureRegistered(CompiledStep* step);
+
+  // Prober verdict: `worker` missed K consecutive probes. Restarts it and
+  // re-registers its subgraphs (when restart_failed_tasks allows and no
+  // step is in flight), then runs the recovery handler.
+  void HandleDeadTask(TaskWorker* worker);
+
+  // Invokes the installed recovery handler, if any, counting the recovery.
+  Status RunRecoveryHandler();
 
   // One dispatch round: health check, register-if-needed, fan out one
   // message per participating task, wait (bounded by the deadline), fan
@@ -175,8 +260,29 @@ class MasterSession {
   // Serializes post-restart re-registration across concurrent Runs.
   std::mutex register_mu_;
 
+  // Coordinates the prober's restart-while-idle path with step dispatch:
+  // while a prober-initiated restart + recovery is in progress, new Runs
+  // wait at the gate (except the prober thread's own recovery Runs, which
+  // pass via the thread-id check); conversely HandleDeadTask skips
+  // restarting while steps are in flight — the in-step failure path owns
+  // recovery then.
+  std::mutex restart_gate_;
+  std::condition_variable restart_cv_;
+  bool restarting_ = false;
+  std::thread::id restarting_thread_;
+  std::atomic<int64_t> in_flight_{0};
+
   std::mutex recovery_mu_;
   std::function<Status()> recovery_handler_;
+  // True when durable state noted a checkpoint that has not been restored
+  // yet; set_recovery_handler consumes it. Guarded by recovery_mu_.
+  bool auto_recover_pending_ = false;
+
+  mutable std::mutex ckpt_mu_;
+  std::string ckpt_prefix_;
+  int64_t ckpt_step_ = -1;
+
+  std::unique_ptr<MasterStateLog> state_log_;
 
   // Failure-path instruments on the global registry, tagged with
   // session_prefix_ so concurrent sessions stay separable. stats()
@@ -189,9 +295,16 @@ class MasterSession {
     metrics::Counter* aborts_fanned_out = nullptr;
     metrics::Counter* recoveries = nullptr;
     metrics::Counter* reregistrations = nullptr;
+    metrics::Counter* prober_restarts = nullptr;
+    metrics::Counter* state_recompiles = nullptr;
+    metrics::Counter* partition_reuses = nullptr;
     metrics::Histogram* step_ms = nullptr;
   };
   Counters counters_;
+
+  // Declared last so it is destroyed first: the prober thread may call
+  // HandleDeadTask, which touches everything above.
+  std::unique_ptr<HealthProber> prober_;
 };
 
 }  // namespace distributed

@@ -1,0 +1,126 @@
+#include "distributed/master_state.h"
+
+#include <filesystem>
+#include <sstream>
+
+namespace tfrepro {
+namespace distributed {
+
+namespace {
+
+// Reads `count` whitespace-separated names into `out`; false on underrun.
+bool ReadNames(std::istringstream* is, std::vector<std::string>* out) {
+  size_t count = 0;
+  if (!(*is >> count)) return false;
+  out->clear();
+  for (size_t i = 0; i < count; ++i) {
+    std::string name;
+    if (!(*is >> name)) return false;
+    out->push_back(std::move(name));
+  }
+  return true;
+}
+
+void WriteNames(std::ostringstream* os, const std::vector<std::string>& names) {
+  *os << " " << names.size();
+  for (const std::string& n : names) *os << " " << n;
+}
+
+}  // namespace
+
+Result<MasterState> LoadMasterState(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return NotFound("no master state log at '" + path + "'");
+  }
+  MasterState state;
+  std::string line;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty()) continue;
+    std::istringstream is(line);
+    std::string kind;
+    is >> kind;
+    bool ok = true;
+    if (kind == "prefix") {
+      ok = static_cast<bool>(is >> state.session_prefix);
+    } else if (kind == "compiled") {
+      CompiledSignature sig;
+      ok = static_cast<bool>(is >> sig.handle) &&
+           ReadNames(&is, &sig.feeds) && ReadNames(&is, &sig.fetches) &&
+           ReadNames(&is, &sig.targets);
+      if (ok) {
+        state.compiled.push_back(std::move(sig));
+        state.next_handle = static_cast<int64_t>(state.compiled.size());
+      }
+    } else if (kind == "step") {
+      int64_t id = 0;
+      ok = static_cast<bool>(is >> id);
+      if (ok && id > state.step_watermark) state.step_watermark = id;
+    } else if (kind == "ckpt") {
+      ok = static_cast<bool>(is >> state.checkpoint_step >>
+                             state.checkpoint_prefix);
+    } else {
+      ok = false;  // unknown record kind
+    }
+    if (!ok) {
+      return DataLoss("master state log '" + path + "' corrupt at line " +
+                      std::to_string(lineno) + ": " + line);
+    }
+  }
+  if (state.session_prefix.empty()) {
+    return DataLoss("master state log '" + path + "' has no prefix record");
+  }
+  return state;
+}
+
+MasterStateLog::MasterStateLog(const std::string& path) : path_(path) {}
+
+Result<std::unique_ptr<MasterStateLog>> MasterStateLog::Open(
+    const std::string& path, const std::string& session_prefix) {
+  std::filesystem::path dir = std::filesystem::path(path).parent_path();
+  std::error_code ec;
+  if (!dir.empty()) std::filesystem::create_directories(dir, ec);
+  const bool fresh = !std::filesystem::exists(path);
+  std::unique_ptr<MasterStateLog> log(new MasterStateLog(path));
+  log->out_.open(path, std::ios::app);
+  if (!log->out_) {
+    return Internal("cannot open master state log '" + path + "'");
+  }
+  if (fresh) {
+    TF_RETURN_IF_ERROR(log->AppendLine("prefix " + session_prefix));
+  }
+  return log;
+}
+
+Status MasterStateLog::AppendLine(const std::string& line) {
+  std::lock_guard<std::mutex> lock(mu_);
+  out_ << line << "\n";
+  out_.flush();
+  if (!out_) {
+    return Internal("write to master state log '" + path_ + "' failed");
+  }
+  return Status::OK();
+}
+
+Status MasterStateLog::AppendCompiled(const CompiledSignature& sig) {
+  std::ostringstream os;
+  os << "compiled " << sig.handle;
+  WriteNames(&os, sig.feeds);
+  WriteNames(&os, sig.fetches);
+  WriteNames(&os, sig.targets);
+  return AppendLine(os.str());
+}
+
+Status MasterStateLog::AppendStep(int64_t step_id) {
+  return AppendLine("step " + std::to_string(step_id));
+}
+
+Status MasterStateLog::AppendCheckpoint(const std::string& prefix,
+                                        int64_t step) {
+  return AppendLine("ckpt " + std::to_string(step) + " " + prefix);
+}
+
+}  // namespace distributed
+}  // namespace tfrepro

@@ -553,6 +553,8 @@ Node* Group(GraphBuilder* b, const std::vector<Output>& deps,
   return nb.FinalizeNode();
 }
 
+Output StepId(GraphBuilder* b) { return b->Op("StepId").Finalize(); }
+
 Output FIFOQueue(GraphBuilder* b, const DataTypeVector& component_types,
                  int64_t capacity, const std::string& shared_name) {
   return b->Op("FIFOQueue")
@@ -613,6 +615,20 @@ std::vector<Output> QueueDequeue(GraphBuilder* b, Output handle,
 std::vector<Output> QueueDequeueMany(GraphBuilder* b, Output handle, Output n,
                                      const DataTypeVector& component_types) {
   Node* node = b->Op("QueueDequeueMany")
+                   .Input(handle)
+                   .Input(n)
+                   .Attr("component_types", component_types)
+                   .FinalizeNode();
+  std::vector<Output> outs;
+  for (size_t i = 0; i < component_types.size(); ++i) {
+    outs.emplace_back(node, node == nullptr ? 0 : static_cast<int>(i));
+  }
+  return outs;
+}
+std::vector<Output> QueueDequeueFreshMany(
+    GraphBuilder* b, Output handle, Output n,
+    const DataTypeVector& component_types) {
+  Node* node = b->Op("QueueDequeueFreshMany")
                    .Input(handle)
                    .Input(n)
                    .Attr("component_types", component_types)

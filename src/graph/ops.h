@@ -156,6 +156,10 @@ Output StopGradient(GraphBuilder* b, Output x);
 Node* Group(GraphBuilder* b, const std::vector<Output>& deps,
             const std::string& name = "");
 
+// The issuing master's step id as an int64 scalar (stateful: never folded).
+// Tags gradients for the sync-replica staleness filter (§4.4).
+Output StepId(GraphBuilder* b);
+
 // --- Queues (§3.1) ---
 Output FIFOQueue(GraphBuilder* b, const DataTypeVector& component_types,
                  int64_t capacity, const std::string& shared_name = "");
@@ -171,6 +175,13 @@ std::vector<Output> QueueDequeue(GraphBuilder* b, Output handle,
                                  const DataTypeVector& component_types);
 std::vector<Output> QueueDequeueMany(GraphBuilder* b, Output handle, Output n,
                                      const DataTypeVector& component_types);
+// Like QueueDequeueMany, but component 0 of each tuple must be an int64
+// step tag (see StepId): tuples tagged older than the queue's stale floor
+// are dropped, and once `n` fresh tuples are collected the floor advances
+// past the calling step's id (§4.4 staleness filter for sync replicas).
+std::vector<Output> QueueDequeueFreshMany(GraphBuilder* b, Output handle,
+                                          Output n,
+                                          const DataTypeVector& component_types);
 Output QueueSize(GraphBuilder* b, Output handle);
 Node* QueueClose(GraphBuilder* b, Output handle,
                  bool cancel_pending_enqueues = false);

@@ -637,6 +637,13 @@ REGISTER_OP("_Recv")
     .Attr("recv_device: string")
     .SetIsStateful();
 
+// The issuing master's step id, as an int64 scalar. Stateful so the
+// optimizer never folds or CSEs it: the value changes every step. Used to
+// tag gradients for the synchronous-replica staleness filter (§4.4).
+REGISTER_OP("StepId")
+    .Output("step_id: int64")
+    .SetIsStateful();
+
 // ---------------------------------------------------------------------------
 // Queues (paper §3.1: FIFOQueue etc. provide coordination and backpressure).
 // ---------------------------------------------------------------------------
@@ -676,6 +683,19 @@ REGISTER_OP("QueueDequeue")
     .SetIsStateful();
 
 REGISTER_OP("QueueDequeueMany")
+    .Input("handle: Ref(string)")
+    .Input("n: int32")
+    .Output("components: component_types")
+    .Attr("component_types: list(type)")
+    .SetIsStateful();
+
+// Dequeues `n` tuples whose leading component — an int64 step tag written
+// by the producer (see StepId) — is not older than the queue's stale
+// floor; older tuples are dropped and counted (grad.stale_dropped). After
+// `n` fresh tuples are collected the floor advances past the caller's own
+// step id, superseding every tag issued at or before this step (§4.4
+// "first m of n" synchronous replicas).
+REGISTER_OP("QueueDequeueFreshMany")
     .Input("handle: Ref(string)")
     .Input("n: int32")
     .Output("components: component_types")

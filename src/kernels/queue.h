@@ -50,6 +50,23 @@ class QueueResource : public ResourceBase {
 
   const DataTypeVector& component_types() const { return component_types_; }
 
+  // Staleness floor for step-tagged tuples (§4.4): tuples whose leading
+  // int64 tag is below the floor are superseded. Maintained by
+  // QueueDequeueFreshMany; lives on the queue so it survives across steps
+  // (and across master incarnations, as long as the PS task does).
+  int64_t stale_floor() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return stale_floor_;
+  }
+  void set_stale_floor(int64_t floor) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (floor > stale_floor_) stale_floor_ = floor;
+  }
+
+  // Stacks `rows` (same-shape tuples) along a new leading dimension —
+  // exposed for kernels that collect rows one at a time (DequeueFreshMany).
+  static Tuple StackRows(const std::vector<Tuple>& rows);
+
   std::string DebugString() const override;
 
  private:
@@ -79,7 +96,6 @@ class QueueResource : public ResourceBase {
   // the lock. Must hold mu_.
   void SatisfyLocked(std::vector<std::function<void()>>* actions);
   Tuple PopOneLocked();
-  static Tuple StackRows(const std::vector<Tuple>& rows);
 
   void CancelEnqueue(int64_t id);
   void CancelDequeue(int64_t id);
@@ -97,6 +113,7 @@ class QueueResource : public ResourceBase {
   bool closed_ = false;
   bool cancel_pending_ = false;
   int64_t next_waiter_id_ = 0;
+  int64_t stale_floor_ = 0;
 };
 
 // Looks up the queue named by a handle tensor (as produced by queue ops) in

@@ -1,8 +1,11 @@
 // Queue kernels: FIFOQueue / RandomShuffleQueue creation, enqueue, dequeue
-// (single and batched), size, and close (paper §3.1, §4.4).
+// (single, batched, and staleness-filtered), size, and close (paper §3.1,
+// §4.4).
 
+#include "core/metrics.h"
 #include "kernels/queue.h"
 #include "runtime/device.h"
+#include "runtime/tracing.h"
 
 namespace tfrepro {
 namespace {
@@ -187,6 +190,96 @@ class QueueDequeueManyOp : public AsyncOpKernel {
   }
 };
 REGISTER_KERNEL("QueueDequeueMany", kDeviceCpu, QueueDequeueManyOp);
+
+// Staleness-filtered batched dequeue (§4.4 "first m of n"): component 0 of
+// every tuple is an int64 step tag stamped by the producer (StepId).
+// Tuples tagged below the queue's stale floor were produced for a step
+// that has since been superseded — they are dropped (grad.stale_dropped)
+// instead of aggregated. After `n` fresh tuples are collected the floor
+// advances to the calling step's id, so a delayed worker's gradient from
+// an earlier step can never contaminate a later aggregate.
+class QueueDequeueFreshManyOp : public AsyncOpKernel {
+ public:
+  using AsyncOpKernel::AsyncOpKernel;
+  void ComputeAsync(OpKernelContext* ctx, DoneCallback done) override {
+    Result<std::shared_ptr<QueueResource>> queue = LookupQueue(ctx, 0);
+    OP_REQUIRES_OK_ASYNC(ctx, queue.status(), done);
+    int32_t n = *ctx->input(1).data<int32_t>();
+    OP_REQUIRES_ASYNC(
+        ctx, n >= 1, InvalidArgument("DequeueFreshMany count must be >= 1"),
+        done);
+    auto state = std::make_shared<FreshState>();
+    state->ctx = ctx;
+    state->done = std::move(done);
+    state->queue = queue.value();
+    state->n = n;
+    DequeueNext(state);
+  }
+
+ private:
+  struct FreshState {
+    OpKernelContext* ctx;
+    DoneCallback done;
+    std::shared_ptr<QueueResource> queue;
+    int64_t n = 0;
+    std::vector<QueueResource::Tuple> rows;
+  };
+
+  // Pulls tuples one at a time so stale ones can be discarded between
+  // pulls; a blocked pull parks in the queue, never on a pool thread.
+  void DequeueNext(std::shared_ptr<FreshState> state) {
+    QueueResource* queue = state->queue.get();
+    queue->TryDequeue(
+        1, /*batched=*/false, state->ctx->cancellation(),
+        [this, state](const Status& s, const QueueResource::Tuple& tuple) {
+          OpKernelContext* ctx = state->ctx;
+          if (!s.ok()) {
+            ctx->SetStatus(s);
+            state->done();
+            return;
+          }
+          if (tuple.empty() || tuple[0].dtype() != DataType::kInt64 ||
+              tuple[0].num_elements() != 1) {
+            ctx->SetStatus(InvalidArgument(
+                "QueueDequeueFreshMany requires an int64 scalar step tag "
+                "as tuple component 0"));
+            state->done();
+            return;
+          }
+          const int64_t tag = *tuple[0].data<int64_t>();
+          const int64_t floor = state->queue->stale_floor();
+          if (tag < floor) {
+            metrics::Registry::Global()
+                ->GetCounter("grad.stale_dropped")
+                ->Increment();
+            RecordGlobalInstant("grad.stale_dropped", name(),
+                                {{"tag", std::to_string(tag)},
+                                 {"floor", std::to_string(floor)},
+                                 {"step_id",
+                                  std::to_string(ctx->step_id())}});
+            DequeueNext(state);
+            return;
+          }
+          state->rows.push_back(tuple);
+          if (static_cast<int64_t>(state->rows.size()) < state->n) {
+            DequeueNext(state);
+            return;
+          }
+          // n fresh tuples collected: this step's aggregate is committed,
+          // so every tag issued at or before this step — including a
+          // delayed backup worker's contribution to *this* step that
+          // arrives after the cut — is now superseded.
+          state->queue->set_stale_floor(ctx->step_id() + 1);
+          QueueResource::Tuple stacked =
+              QueueResource::StackRows(state->rows);
+          for (size_t i = 0; i < stacked.size(); ++i) {
+            ctx->set_output(static_cast<int>(i), stacked[i]);
+          }
+          state->done();
+        });
+  }
+};
+REGISTER_KERNEL("QueueDequeueFreshMany", kDeviceCpu, QueueDequeueFreshManyOp);
 
 class QueueSizeOp : public OpKernel {
  public:

@@ -4,6 +4,13 @@
 // receives never occupy a pool thread. When the step is traced, each kernel
 // records a TransferStats event (tensor name, endpoints, bytes, and the
 // Recv wait interval) into the step's TraceCollector.
+//
+// Keys carry the issuing step id (";s<id>" suffix): the id is assigned by
+// the master when the step is dispatched, so a delayed task's sends are
+// stamped with the step that issued them — the tag the synchronous-replica
+// staleness filter (QueueDequeueFreshMany) uses to drop superseded
+// gradients (paper §4.4, "first m of n"). StepId exposes the same id as a
+// graph value.
 
 #include "core/metrics.h"
 #include "runtime/kernel.h"
@@ -19,6 +26,16 @@ struct SendRecvAttrs {
 
   std::string BaseKey() const {
     return send_device + ";" + recv_device + ";" + tensor_name;
+  }
+
+  // Full key for one value: base + frame/iteration + issuing step id. Send
+  // and Recv of a pair compute identical keys because the master hands the
+  // same step id to every participating task. IsCrossTaskKey only inspects
+  // the device components, so the extra suffix is transparent to the fault
+  // injector and the network model.
+  std::string Key(OpKernelContext* ctx) const {
+    return BaseKey() + ";" + std::to_string(ctx->frame_iter()) + ";s" +
+           std::to_string(ctx->step_id());
   }
 };
 
@@ -38,7 +55,7 @@ class SendOp : public OpKernel {
   void Compute(OpKernelContext* ctx) override {
     OP_REQUIRES(ctx, ctx->rendezvous() != nullptr,
                 Internal("_Send executed without a rendezvous"));
-    std::string key = attrs_.BaseKey() + ";" + std::to_string(ctx->frame_iter());
+    std::string key = attrs_.Key(ctx);
     bool is_dead = ctx->is_input_dead();
     Tensor value = is_dead ? Tensor() : ctx->input(0);
     if (ctx->trace() != nullptr) {
@@ -68,7 +85,7 @@ class RecvOp : public AsyncOpKernel {
   void ComputeAsync(OpKernelContext* ctx, DoneCallback done) override {
     OP_REQUIRES_ASYNC(ctx, ctx->rendezvous() != nullptr,
                       Internal("_Recv executed without a rendezvous"), done);
-    std::string key = attrs_.BaseKey() + ";" + std::to_string(ctx->frame_iter());
+    std::string key = attrs_.Key(ctx);
     const int64_t recv_start =
         ctx->trace() != nullptr ? metrics::NowMicros() : 0;
     ctx->rendezvous()->RecvAsync(
@@ -100,6 +117,20 @@ class RecvOp : public AsyncOpKernel {
   SendRecvAttrs attrs_;
 };
 REGISTER_KERNEL("_Recv", kDeviceCpu, RecvOp);
+
+// Emits the issuing master's step id as an int64 scalar. Stateful (so the
+// optimizer neither folds nor merges it) but trivially cheap; sync replicas
+// use it to tag gradients with the step that produced them.
+class StepIdOp : public OpKernel {
+ public:
+  explicit StepIdOp(OpKernelConstruction* ctx) : OpKernel(ctx) {}
+
+  void Compute(OpKernelContext* ctx) override {
+    ctx->set_output(0, Tensor::Scalar(ctx->step_id()));
+  }
+  bool IsExpensive() const override { return false; }
+};
+REGISTER_KERNEL("StepId", kDeviceCpu, StepIdOp);
 
 }  // namespace
 }  // namespace tfrepro

@@ -17,6 +17,11 @@ struct RendezvousMetrics {
   metrics::Counter* bytes_sent;
   metrics::Counter* recvs_blocked;
   metrics::Histogram* recv_wait_ms;
+  // Entries currently buffered across all live LocalRendezvous objects.
+  // Both read 0 once every step's rendezvous has been destroyed; a non-zero
+  // steady-state value is a leak (chaos_test asserts on these).
+  metrics::Gauge* live_items;
+  metrics::Gauge* live_waiters;
 };
 
 const RendezvousMetrics& GetRendezvousMetrics() {
@@ -28,6 +33,8 @@ const RendezvousMetrics& GetRendezvousMetrics() {
         r->GetCounter("rendezvous.bytes_sent"),
         r->GetCounter("rendezvous.recvs_blocked"),
         r->GetHistogram("rendezvous.recv_wait_ms"),
+        r->GetGauge("rendezvous.live_items"),
+        r->GetGauge("rendezvous.live_waiters"),
     };
   }();
   return m;
@@ -78,9 +85,11 @@ Status LocalRendezvous::Send(const std::string& key, const Tensor& value,
       have_waiter = true;
     } else {
       ready_[key].push_back(Item{value, is_dead});
+      m.live_items->Add(1);
       return Status::OK();
     }
   }
+  m.live_waiters->Add(-1);
   m.recv_wait_ms->Record(
       static_cast<double>(metrics::NowMicros() - waiter.wait_start_micros) /
       1000.0);
@@ -102,6 +111,7 @@ void LocalRendezvous::RecvAsync(const std::string& key, DoneCallback done) {
     auto rit = ready_.find(key);
     if (rit == ready_.end() || rit->second.empty()) {
       GetRendezvousMetrics().recvs_blocked->Increment();
+      GetRendezvousMetrics().live_waiters->Add(1);
       waiting_[key].push_back(
           Waiter{std::move(done), metrics::NowMicros()});
       return;
@@ -109,11 +119,13 @@ void LocalRendezvous::RecvAsync(const std::string& key, DoneCallback done) {
     item = std::move(rit->second.front());
     rit->second.pop_front();
     if (rit->second.empty()) ready_.erase(rit);
+    GetRendezvousMetrics().live_items->Add(-1);
   }
   done(Status::OK(), item.value, item.is_dead);
 }
 
 void LocalRendezvous::StartAbort(const Status& status) {
+  const RendezvousMetrics& m = GetRendezvousMetrics();
   std::vector<DoneCallback> waiters;
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -122,12 +134,35 @@ void LocalRendezvous::StartAbort(const Status& status) {
     for (auto& [key, queue] : waiting_) {
       for (Waiter& w : queue) waiters.push_back(std::move(w.done));
     }
+    int64_t items = 0;
+    for (const auto& [key, queue] : ready_) {
+      items += static_cast<int64_t>(queue.size());
+    }
+    m.live_items->Add(-items);
     waiting_.clear();
     ready_.clear();
   }
+  m.live_waiters->Add(-static_cast<int64_t>(waiters.size()));
   for (DoneCallback& cb : waiters) {
     cb(aborted_, Tensor(), false);
   }
+}
+
+LocalRendezvous::~LocalRendezvous() {
+  // Drop whatever is still buffered (e.g. a Send whose Recv was pruned, or
+  // a Recv parked when the step died) so the live-entry gauges balance.
+  const RendezvousMetrics& m = GetRendezvousMetrics();
+  std::lock_guard<std::mutex> lock(mu_);
+  int64_t items = 0;
+  for (const auto& [key, queue] : ready_) {
+    items += static_cast<int64_t>(queue.size());
+  }
+  int64_t waiters = 0;
+  for (const auto& [key, queue] : waiting_) {
+    waiters += static_cast<int64_t>(queue.size());
+  }
+  m.live_items->Add(-items);
+  m.live_waiters->Add(-waiters);
 }
 
 }  // namespace tfrepro

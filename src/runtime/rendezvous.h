@@ -55,6 +55,12 @@ class Rendezvous {
 // matching Recv arrives (or vice versa).
 class LocalRendezvous : public Rendezvous {
  public:
+  // Releases any entries still buffered, keeping the process-wide
+  // rendezvous.live_items / rendezvous.live_waiters gauges balanced — after
+  // every step's rendezvous is destroyed both gauges read 0, so a non-zero
+  // value is a leaked entry (chaos_test asserts this).
+  ~LocalRendezvous() override;
+
   Status Send(const std::string& key, const Tensor& value,
               bool is_dead) override;
   void RecvAsync(const std::string& key, DoneCallback done) override;

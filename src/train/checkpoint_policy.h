@@ -19,11 +19,34 @@
 
 #include <mutex>
 #include <string>
+#include <type_traits>
+#include <utility>
 
 #include "train/saver.h"
 
 namespace tfrepro {
 namespace train {
+
+namespace internal {
+// Detects sessions that track checkpoint progress durably
+// (distributed::MasterSession::NoteCheckpoint); other session types
+// (DirectSession) are simply not notified.
+template <typename Session, typename = void>
+struct HasNoteCheckpoint : std::false_type {};
+template <typename Session>
+struct HasNoteCheckpoint<
+    Session, std::void_t<decltype(std::declval<Session*>()->NoteCheckpoint(
+                 std::declval<const std::string&>(), int64_t{0}))>>
+    : std::true_type {};
+
+template <typename Session>
+void MaybeNoteCheckpoint(Session* session, const std::string& prefix,
+                         int64_t step) {
+  if constexpr (HasNoteCheckpoint<Session>::value) {
+    session->NoteCheckpoint(prefix, step);
+  }
+}
+}  // namespace internal
 
 class CheckpointPolicy {
  public:
@@ -40,6 +63,9 @@ class CheckpointPolicy {
     }
     Result<std::string> base = saver_->Save(session, prefix_, step);
     TF_RETURN_IF_ERROR(base.status());
+    // Sessions with durable master state record the new checkpoint so a
+    // restarted master resumes from it without client help.
+    internal::MaybeNoteCheckpoint(session, prefix_, step);
     std::lock_guard<std::mutex> lock(mu_);
     last_saved_step_ = step;
     return Status::OK();

@@ -4,11 +4,13 @@ namespace tfrepro {
 namespace train {
 
 SyncReplicas::SyncReplicas(GraphBuilder* b, Optimizer* optimizer,
-                           int num_workers, int num_required)
+                           int num_workers, int num_required,
+                           bool drop_stale_gradients)
     : b_(b),
       optimizer_(optimizer),
       num_workers_(num_workers),
-      num_required_(num_required) {
+      num_required_(num_required),
+      drop_stale_gradients_(drop_stale_gradients) {
   // All coordination queues (and the ops touching their ref handles) live
   // on one task — the device active when the SyncReplicas is constructed.
   coordination_device_ = b->default_device();
@@ -33,8 +35,13 @@ Result<Node*> SyncReplicas::AddWorkerStep(
   if (grad_queues_.empty()) {
     for (const GradAndVar& gv : grads_and_vars) {
       vars_.push_back(gv.var);
+      // With stale dropping each tuple carries its issuing step id as a
+      // leading int64 tag, consumed by the chief's staleness filter.
+      DataTypeVector components;
+      if (drop_stale_gradients_) components.push_back(DataType::kInt64);
+      components.push_back(BaseType(gv.grad.dtype()));
       Output queue = ops::FIFOQueue(
-          b_, {BaseType(gv.grad.dtype())}, /*capacity=*/-1,
+          b_, components, /*capacity=*/-1,
           b_->graph()->NewName("sync_grad_queue"));
       if (queue.valid()) {
         queue.node->set_requested_device(coordination_device_);
@@ -48,10 +55,18 @@ Result<Node*> SyncReplicas::AddWorkerStep(
 
   // Enqueue each gradient, then dequeue one token (gated on the enqueues so
   // the token wait happens after this worker contributed).
+  //
+  // The tag node lives on this worker (the builder's current device), so
+  // the tag travels to the coordination task alongside the gradient via
+  // step-id-stamped Send/Recv keys.
+  Output tag;
+  if (drop_stale_gradients_) tag = ops::StepId(b_);
   std::vector<Output> enqueues;
   for (size_t i = 0; i < grads_and_vars.size(); ++i) {
-    Node* enq = ops::QueueEnqueue(b_, grad_queues_[i],
-                                  {grads_and_vars[i].grad});
+    std::vector<Output> components;
+    if (drop_stale_gradients_) components.push_back(tag);
+    components.push_back(grads_and_vars[i].grad);
+    Node* enq = ops::QueueEnqueue(b_, grad_queues_[i], components);
     if (enq != nullptr) {
       enq->set_requested_device(coordination_device_);
       enqueues.emplace_back(enq, 0);
@@ -74,16 +89,28 @@ Result<Node*> SyncReplicas::BuildChiefUpdate() {
     return FailedPrecondition("AddWorkerStep must be called first");
   }
   // Dequeue the first m gradient sets per variable, average, apply
-  // (Figure 4b/4c: the aggregation takes the first m of n updates).
+  // (Figure 4b/4c: the aggregation takes the first m of n updates). With
+  // stale dropping, the filtered dequeue discards gradients from
+  // superseded steps before counting toward m.
   std::vector<GradAndVar> averaged;
   Output m = ops::Const(b_, static_cast<int32_t>(num_required_));
   for (size_t i = 0; i < grad_queues_.size(); ++i) {
-    std::vector<Output> batch = ops::QueueDequeueMany(
-        b_, grad_queues_[i], m, {BaseType(vars_[i].dtype())});
+    std::vector<Output> batch;
+    Output grads;
+    if (drop_stale_gradients_) {
+      batch = ops::QueueDequeueFreshMany(
+          b_, grad_queues_[i], m,
+          {DataType::kInt64, BaseType(vars_[i].dtype())});
+      grads = batch[1];
+    } else {
+      batch = ops::QueueDequeueMany(b_, grad_queues_[i], m,
+                                    {BaseType(vars_[i].dtype())});
+      grads = batch[0];
+    }
     if (batch[0].valid()) {
       batch[0].node->set_requested_device(coordination_device_);
     }
-    Output mean = ops::Mean(b_, batch[0], ops::ConstVecI32(b_, {0}));
+    Output mean = ops::Mean(b_, grads, ops::ConstVecI32(b_, {0}));
     averaged.push_back(GradAndVar{mean, vars_[i]});
   }
   Result<Node*> apply = optimizer_->ApplyGradients(b_, averaged);

@@ -13,10 +13,20 @@
 //   * a token queue each worker blocks on before its next step, so all
 //     workers read the same parameter version.
 //
-// With backup workers the n-m late gradients stay queued and are consumed
-// by the next chief step; the production system drops them by tagging each
-// gradient with its step. The staleness effect on throughput is what the
-// cluster simulator (src/sim) measures for Figure 8.
+// With backup workers, two staleness disciplines are available:
+//   * drop_stale_gradients == true (the paper's semantics): every gradient
+//     is enqueued as a (StepId tag, gradient) pair and the chief dequeues
+//     with QueueDequeueFreshMany, which discards tuples from superseded
+//     steps — a delayed worker's gradient for step s is dropped (and
+//     counted in grad.stale_dropped) once step s+1 commits. This assumes
+//     all replicas' contributions to one update share one issuing step id,
+//     i.e. the whole training step is a single (distributed) Run.
+//   * drop_stale_gradients == false: the n-m late gradients stay queued
+//     and are consumed by the next chief step. This is the right mode when
+//     worker replicas free-run as independent Runs (each with its own step
+//     id), where strict dropping would starve the chief.
+// The staleness effect on throughput is what the cluster simulator
+// (src/sim) measures for Figure 8.
 
 #ifndef TFREPRO_TRAIN_SYNC_REPLICAS_H_
 #define TFREPRO_TRAIN_SYNC_REPLICAS_H_
@@ -35,8 +45,10 @@ class SyncReplicas {
  public:
   // `num_workers` = n replicas; `num_required` = m gradient sets to
   // aggregate per update (m <= n; n - m backup workers).
+  // `drop_stale_gradients` selects the staleness discipline (see above);
+  // enable it when all replicas run inside one distributed step.
   SyncReplicas(GraphBuilder* b, Optimizer* optimizer, int num_workers,
-               int num_required);
+               int num_required, bool drop_stale_gradients = false);
 
   // Builds the per-worker step: enqueue this replica's gradients, then
   // block on the token queue. Returns the node to use as the worker's run
@@ -59,12 +71,14 @@ class SyncReplicas {
   // one of n=4 workers and verify the m=3 step still completes.
   int num_workers() const { return num_workers_; }
   int num_required() const { return num_required_; }
+  bool drop_stale_gradients() const { return drop_stale_gradients_; }
 
  private:
   GraphBuilder* b_;
   Optimizer* optimizer_;
   int num_workers_;
   int num_required_;
+  bool drop_stale_gradients_;
   std::vector<Output> grad_queues_;  // one per variable
   std::vector<Output> vars_;
   Output token_queue_;

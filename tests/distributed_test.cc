@@ -7,23 +7,29 @@
 #include <chrono>
 #include <condition_variable>
 #include <fstream>
+#include <memory>
 #include <mutex>
 #include <thread>
 
+#include "core/metrics.h"
+#include "distributed/fault_injector.h"
 #include "distributed/master.h"
 #include "graph/ops.h"
 #include "nn/embedding.h"
 #include "nn/layers.h"
 #include "train/optimizer.h"
 #include "train/saver.h"
+#include "train/sync_replicas.h"
 
 namespace tfrepro {
 namespace {
 
 using distributed::ClusterSpec;
+using distributed::FaultInjector;
 using distributed::InProcessCluster;
 using distributed::MasterSession;
 using ops::Const;
+using train::GradAndVar;
 
 ClusterSpec PsWorkerSpec(int ps, int workers) {
   ClusterSpec spec;
@@ -477,6 +483,87 @@ TEST(MasterSessionTest, PerTaskSaverRoundTrip) {
   Result<std::string> latest = train::Saver::LatestCheckpoint(prefix);
   ASSERT_TRUE(latest.ok()) << latest.status();
   EXPECT_NE(latest.value().find("per_task_ckpt-7"), std::string::npos);
+}
+
+TEST(MasterSessionTest, StaleBackupGradientIsDroppedNotAggregated) {
+  // §4.4 "first m of n" with real staleness protection: n=4 replicas, m=3
+  // required, and the whole training step is ONE distributed Run so every
+  // replica's gradient carries the same issuing step id. Worker 3 is
+  // delayed, so each step it is deterministically the straggler: its
+  // (poisoned) gradient lands after the chief already aggregated the first
+  // m fresh ones and stays queued. At the next step that leftover's tag is
+  // below the advanced stale floor and QueueDequeueFreshMany discards it —
+  // the poison value must never reach the variable.
+  FaultInjector injector;
+  InProcessCluster::Options copts;
+  copts.fault_injector = &injector;
+  auto cluster = InProcessCluster::Create(PsWorkerSpec(1, 4), copts);
+  ASSERT_TRUE(cluster.ok()) << cluster.status();
+
+  constexpr int kWorkers = 4;
+  constexpr int kRequired = 3;
+  Graph g;
+  GraphBuilder b(&g);
+  Output v;
+  Output init;
+  train::GradientDescentOptimizer opt(1.0f);
+  std::unique_ptr<train::SyncReplicas> sync;
+  {
+    GraphBuilder::DeviceScope scope(&b, "/job:ps/task:0");
+    v = ops::Variable(&b, DataType::kFloat, TensorShape(), "v");
+    init = ops::Assign(&b, v, Const(&b, 0.0f));
+    sync = std::make_unique<train::SyncReplicas>(
+        &b, &opt, kWorkers, kRequired, /*drop_stale_gradients=*/true);
+  }
+  EXPECT_TRUE(sync->drop_stale_gradients());
+
+  std::vector<Node*> worker_steps;
+  for (int i = 0; i < kWorkers; ++i) {
+    GraphBuilder::DeviceScope scope(&b, "/job:worker/task:" +
+                                            std::to_string(i));
+    // The straggler's gradient is poisoned: if a stale one were ever
+    // aggregated the trajectory below would be visibly wrong.
+    const float grad = (i == kWorkers - 1) ? 300.0f : 3.0f;
+    Result<Node*> step = sync->AddWorkerStep({GradAndVar{Const(&b, grad), v}});
+    ASSERT_TRUE(step.ok()) << step.status();
+    worker_steps.push_back(step.value());
+  }
+  Result<Node*> chief = Internal("unset");
+  {
+    GraphBuilder::DeviceScope scope(&b, "/job:ps/task:0");
+    chief = sync->BuildChiefUpdate();
+  }
+  ASSERT_TRUE(chief.ok()) << chief.status();
+  ASSERT_TRUE(b.ok()) << b.status();
+
+  auto session = MasterSession::Create(g, cluster.value().get());
+  ASSERT_TRUE(session.ok()) << session.status();
+  MasterSession* sess = session.value().get();
+  TF_CHECK_OK(sess->Run({}, {}, {init.node->name()}, nullptr));
+  TF_CHECK_OK(sess->Run({}, {}, {sync->token_seed_op()->name()}, nullptr));
+
+  injector.DelayTask("/job:worker/task:3", 0.1);
+  metrics::Counter* dropped =
+      metrics::Registry::Global()->GetCounter("grad.stale_dropped");
+  const int64_t dropped_before = dropped->value();
+
+  constexpr int kSteps = 5;
+  std::vector<std::string> step_targets;
+  for (Node* wstep : worker_steps) step_targets.push_back(wstep->name());
+  step_targets.push_back(chief.value()->name());
+  for (int s = 0; s < kSteps; ++s) {
+    TF_CHECK_OK(sess->Run({}, {}, step_targets, nullptr));
+  }
+
+  // Every committed update averaged m fresh gradients of 3.0 — if any
+  // stale 300.0 had been aggregated, v would be off by >= 99 somewhere.
+  std::vector<Tensor> out;
+  TF_CHECK_OK(sess->Run({v.name()}, &out));
+  EXPECT_FLOAT_EQ(*out[0].data<float>(), -3.0f * kSteps);
+
+  // Steps 2..N each dequeued (and discarded) the previous step's leftover
+  // straggler gradient: its tag is below the floor advanced at commit.
+  EXPECT_EQ(dropped->value() - dropped_before, kSteps - 1);
 }
 
 }  // namespace

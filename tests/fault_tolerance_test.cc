@@ -1,15 +1,19 @@
 // Fault-tolerance tests (paper §4.3–§4.4): injected task kills, hangs, and
 // lost transfers against the distributed runtime's deadline / abort / retry
-// / checkpoint-recovery machinery.
+// / checkpoint-recovery machinery, the health prober's proactive detection,
+// and durable master recovery.
 
 #include <gtest/gtest.h>
 
 #include <chrono>
 #include <cmath>
 #include <filesystem>
+#include <functional>
 #include <string>
 #include <thread>
 #include <vector>
+
+#include "core/metrics.h"
 
 #include "distributed/fault_injector.h"
 #include "distributed/master.h"
@@ -55,6 +59,16 @@ std::string CheckpointPrefix(const std::string& test_name) {
   std::filesystem::remove_all(dir);
   std::filesystem::create_directories(dir);
   return dir + "/model";
+}
+
+// Polls `cond` (with a final re-check) for up to `timeout_s` seconds.
+bool WaitFor(const std::function<bool()>& cond, double timeout_s) {
+  auto start = std::chrono::steady_clock::now();
+  while (SecondsSince(start) < timeout_s) {
+    if (cond()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  return cond();
 }
 
 TEST(FaultInjectorTest, ScriptedKillHangDelayAndRestart) {
@@ -476,6 +490,285 @@ TEST(FaultToleranceTest, DelayedTaskSlowsButCompletesStep) {
   EXPECT_GE(SecondsSince(start), 0.14);
   EXPECT_FLOAT_EQ(*out[0].data<float>(), 42.5f);
   EXPECT_EQ(session.value()->stats().deadline_expirations, 0);
+}
+
+// Probe decisions use their own counters: scripted Nth-dispatch faults must
+// not be perturbed by background probe traffic, and probe hangs are
+// scripted against the probe sequence.
+TEST(FaultInjectorTest, ProbeDecisionsSeparateFromDispatches) {
+  FaultInjector injector;
+  const std::string ps = "/job:ps/task:0";
+
+  EXPECT_EQ(injector.OnProbe(ps).action, FaultInjector::Action::kProceed);
+  EXPECT_EQ(injector.probes(ps), 1);
+  EXPECT_EQ(injector.dispatches(ps), 0);
+
+  injector.HangProbeAt(ps, injector.probes(ps) + 1);
+  EXPECT_EQ(injector.OnProbe(ps).action, FaultInjector::Action::kHang);
+  EXPECT_EQ(injector.OnProbe(ps).action, FaultInjector::Action::kProceed);
+
+  // An idle kill (no dispatch involved) downs the task; probes then refuse.
+  injector.KillTaskNow(ps);
+  EXPECT_TRUE(injector.IsDown(ps));
+  EXPECT_EQ(injector.kills(), 1);
+  injector.KillTaskNow(ps);  // idempotent
+  EXPECT_EQ(injector.kills(), 1);
+  EXPECT_EQ(injector.OnProbe(ps).action, FaultInjector::Action::kKill);
+  injector.MarkRestarted(ps);
+  EXPECT_EQ(injector.OnProbe(ps).action, FaultInjector::Action::kProceed);
+}
+
+// The §4.3 acceptance scenario for proactive liveness monitoring: a worker
+// is killed while the cluster is idle. The prober detects it within
+// K * interval, restarts it, re-registers its subgraphs, and runs the
+// recovery handler — all before the client's next Run, which therefore
+// succeeds on its first attempt (no in-step retry).
+TEST(HealthProberTest, IdleKilledWorkerRestartedBeforeNextRun) {
+  FaultInjector injector;
+  auto cluster = ClusterWithInjector(1, 1, &injector);
+  ASSERT_TRUE(cluster.ok()) << cluster.status();
+
+  Graph g;
+  GraphBuilder b(&g);
+  Output w;
+  Output init;
+  {
+    GraphBuilder::DeviceScope scope(&b, "/job:ps/task:0");
+    w = ops::Variable(&b, DataType::kFloat, TensorShape({2}), "w");
+    init = ops::Assign(&b, w, Const(&b, Tensor::Vec<float>({4, -4})));
+  }
+  Output loss;
+  Result<Node*> train_op = Internal("unset");
+  train::GradientDescentOptimizer opt(0.25f);
+  {
+    GraphBuilder::DeviceScope scope(&b, "/job:worker/task:0");
+    loss = ops::SumAll(&b, ops::Square(&b, w));
+    train_op = opt.Minimize(&b, loss, {w}, "train");
+  }
+  ASSERT_TRUE(train_op.ok()) << train_op.status();
+  train::Saver saver(&b, {w});
+  ASSERT_TRUE(b.ok()) << b.status();
+
+  MasterSession::Options options;
+  options.max_step_retries = 3;
+  options.restart_failed_tasks = true;
+  options.retry_backoff_initial_seconds = 1e-4;
+  options.health_probe_interval_seconds = 0.02;
+  options.health_probe_miss_threshold = 3;
+  auto session = MasterSession::Create(g, cluster.value().get(), options);
+  ASSERT_TRUE(session.ok()) << session.status();
+  MasterSession* sess = session.value().get();
+
+  train::CheckpointPolicy policy(&saver, CheckpointPrefix("ft_idle_kill"),
+                                 /*save_every_n_steps=*/1);
+  sess->set_recovery_handler([&] { return policy.Recover(sess); });
+
+  TF_CHECK_OK(sess->Run({}, {}, {init.node->name()}, nullptr));
+  constexpr int kSteps = 20;
+  constexpr int kKillAfterStep = 10;
+  for (int step = 1; step <= kKillAfterStep; ++step) {
+    TF_CHECK_OK(sess->Run({}, {}, {train_op.value()->name()}, nullptr));
+    TF_CHECK_OK(policy.AfterStep(sess, step));
+  }
+
+  // Kill the worker while no step is in flight. No Run happens until the
+  // prober has noticed on its own.
+  injector.KillTaskNow("/job:worker/task:0");
+  ASSERT_TRUE(WaitFor([&] { return sess->stats().prober_restarts >= 1; },
+                      /*timeout_s=*/10.0))
+      << "prober never restarted the killed worker";
+
+  for (int step = kKillAfterStep + 1; step <= kSteps; ++step) {
+    TF_CHECK_OK(sess->Run({}, {}, {train_op.value()->name()}, nullptr));
+    TF_CHECK_OK(policy.AfterStep(sess, step));
+  }
+
+  MasterSession::RunStats stats = sess->stats();
+  // The failure was handled entirely between steps: every Run (including
+  // the first one after the kill) succeeded on its first attempt.
+  EXPECT_EQ(stats.retries, 0);
+  EXPECT_GE(stats.prober_restarts, 1);
+  EXPECT_GE(stats.restarts, 1);
+  EXPECT_GE(stats.reregistrations, 1);
+  EXPECT_GE(stats.recoveries, 1);
+  EXPECT_GE(policy.recoveries(), 1);
+
+  // The prober's view: at least K missed probes before the verdict, and a
+  // dead-marking for the worker.
+  metrics::Registry* reg = metrics::Registry::Global();
+  const metrics::TagMap tags{{"session", sess->session_prefix()},
+                             {"task", "/job:worker/task:0"}};
+  EXPECT_GE(reg->GetCounter("health.probe_miss", tags)->value(), 3);
+  EXPECT_GE(reg->GetCounter("health.probe_dead_marked", tags)->value(), 1);
+
+  // Deterministic SGD: the recovered trajectory equals the uninterrupted
+  // one exactly (w halves each step, all powers of two).
+  std::vector<Tensor> out;
+  TF_CHECK_OK(sess->Run({loss.name()}, &out));
+  const float expected = 2.0f * std::ldexp(4.0f, -kSteps) *
+                         std::ldexp(4.0f, -kSteps);
+  EXPECT_EQ(*out[0].data<float>(), expected);
+}
+
+// Regression: a hung probe parks its callback forever, so the prober's own
+// per-probe timeout is the only exit. Two hung probes (below the K=3
+// threshold, then a success) must neither pin the prober thread — probes
+// to the other task keep landing throughout — nor falsely mark the hung
+// task dead.
+TEST(HealthProberTest, HungProbeTimesOutWithoutFalseDeadMark) {
+  FaultInjector injector;
+  auto cluster = ClusterWithInjector(1, 1, &injector);
+  ASSERT_TRUE(cluster.ok()) << cluster.status();
+
+  Graph g;
+  GraphBuilder b(&g);
+  Output on_ps;
+  {
+    GraphBuilder::DeviceScope scope(&b, "/job:ps/task:0");
+    on_ps = ops::Mul(&b, Const(&b, 6.0f), Const(&b, 7.0f));
+  }
+  Output on_worker;
+  {
+    GraphBuilder::DeviceScope scope(&b, "/job:worker/task:0");
+    on_worker = ops::Add(&b, on_ps, Const(&b, 0.5f));
+  }
+  ASSERT_TRUE(b.ok()) << b.status();
+
+  MasterSession::Options options;
+  options.restart_failed_tasks = true;
+  options.health_probe_interval_seconds = 0.02;
+  options.health_probe_miss_threshold = 3;
+  auto session = MasterSession::Create(g, cluster.value().get(), options);
+  ASSERT_TRUE(session.ok()) << session.status();
+  MasterSession* sess = session.value().get();
+
+  const std::string ps = "/job:ps/task:0";
+  injector.HangProbeAt(ps, injector.probes(ps) + 1);
+  injector.HangProbeAt(ps, injector.probes(ps) + 2);
+
+  // While the PS probes are parked, worker probes must keep succeeding —
+  // the prober thread is not pinned behind the hung callbacks.
+  metrics::Registry* reg = metrics::Registry::Global();
+  metrics::Counter* worker_ok = reg->GetCounter(
+      "health.probe_ok",
+      {{"session", sess->session_prefix()}, {"task", "/job:worker/task:0"}});
+  const int64_t ok_before = worker_ok->value();
+  ASSERT_TRUE(WaitFor([&] { return worker_ok->value() >= ok_before + 5; },
+                      /*timeout_s=*/10.0))
+      << "prober thread appears pinned by the hung probe";
+
+  // Two misses stayed below the threshold and a later probe succeeded, so
+  // the PS was never marked dead, let alone restarted.
+  metrics::Counter* ps_dead = reg->GetCounter(
+      "health.probe_dead_marked",
+      {{"session", sess->session_prefix()}, {"task", ps}});
+  EXPECT_EQ(ps_dead->value(), 0);
+  EXPECT_EQ(sess->stats().prober_restarts, 0);
+  EXPECT_EQ(sess->stats().restarts, 0);
+
+  // The session is fully usable.
+  std::vector<Tensor> out;
+  TF_CHECK_OK(sess->Run({on_worker.name()}, &out));
+  EXPECT_FLOAT_EQ(*out[0].data<float>(), 42.5f);
+  EXPECT_EQ(sess->stats().retries, 0);
+}
+
+// §4.3 durable master recovery: the master process dies between steps; a
+// new MasterSession created against the same cluster from the same state
+// log adopts the previous incarnation's identity (prefix, handles, step
+// watermark, last checkpoint), re-adopts the registrations still alive on
+// the workers, auto-restores the checkpoint as soon as the recovery
+// handler is installed, and resumes training with no client replay and no
+// in-step retries.
+TEST(FaultToleranceTest, RestartedMasterResumesFromDurableState) {
+  FaultInjector injector;
+  auto cluster = ClusterWithInjector(1, 1, &injector);
+  ASSERT_TRUE(cluster.ok()) << cluster.status();
+
+  Graph g;
+  GraphBuilder b(&g);
+  Output w;
+  Output init;
+  {
+    GraphBuilder::DeviceScope scope(&b, "/job:ps/task:0");
+    w = ops::Variable(&b, DataType::kFloat, TensorShape({2}), "w");
+    init = ops::Assign(&b, w, Const(&b, Tensor::Vec<float>({4, -4})));
+  }
+  Output loss;
+  Result<Node*> train_op = Internal("unset");
+  train::GradientDescentOptimizer opt(0.25f);
+  {
+    GraphBuilder::DeviceScope scope(&b, "/job:worker/task:0");
+    loss = ops::SumAll(&b, ops::Square(&b, w));
+    train_op = opt.Minimize(&b, loss, {w}, "train");
+  }
+  ASSERT_TRUE(train_op.ok()) << train_op.status();
+  train::Saver saver(&b, {w});
+  ASSERT_TRUE(b.ok()) << b.status();
+
+  const std::string ckpt_prefix = CheckpointPrefix("ft_master_restart");
+  const std::string state_path =
+      std::filesystem::path(ckpt_prefix).parent_path() / "master.state";
+
+  MasterSession::Options options;
+  options.max_step_retries = 3;
+  options.restart_failed_tasks = true;
+  options.retry_backoff_initial_seconds = 1e-4;
+  options.state_path = state_path;
+
+  constexpr int kSteps = 24;
+  constexpr int kDieAfterStep = 12;
+
+  // --- First incarnation: train halfway, then "die" (destruction). ---
+  {
+    auto session = MasterSession::Create(g, cluster.value().get(), options);
+    ASSERT_TRUE(session.ok()) << session.status();
+    MasterSession* sess = session.value().get();
+    train::CheckpointPolicy policy(&saver, ckpt_prefix,
+                                   /*save_every_n_steps=*/1);
+    sess->set_recovery_handler([&] { return policy.Recover(sess); });
+
+    TF_CHECK_OK(sess->Run({}, {}, {init.node->name()}, nullptr));
+    for (int step = 1; step <= kDieAfterStep; ++step) {
+      TF_CHECK_OK(sess->Run({}, {}, {train_op.value()->name()}, nullptr));
+      TF_CHECK_OK(policy.AfterStep(sess, step));
+    }
+    EXPECT_EQ(sess->last_checkpoint_step(), kDieAfterStep);
+  }
+
+  // --- Second incarnation: same state log, same (surviving) cluster. ---
+  auto session = MasterSession::Create(g, cluster.value().get(), options);
+  ASSERT_TRUE(session.ok()) << session.status();
+  MasterSession* sess = session.value().get();
+
+  // Durable state restored the checkpoint knowledge and the compiled-step
+  // cache; the workers' live registrations were re-adopted, not rebuilt.
+  EXPECT_EQ(sess->last_checkpoint_step(), kDieAfterStep);
+  MasterSession::RunStats stats = sess->stats();
+  EXPECT_GE(stats.state_recompiles, 2);  // at least init + train signatures
+  EXPECT_GE(stats.partition_reuses, 1);
+
+  // Installing the recovery handler triggers the auto-restore: no client
+  // code asked for recovery explicitly.
+  train::CheckpointPolicy policy(&saver, ckpt_prefix,
+                                 /*save_every_n_steps=*/1);
+  sess->set_recovery_handler([&] { return policy.Recover(sess); });
+  EXPECT_EQ(policy.recoveries(), 1);
+  EXPECT_EQ(policy.last_restored_step(), kDieAfterStep);
+
+  for (int step = kDieAfterStep + 1; step <= kSteps; ++step) {
+    TF_CHECK_OK(sess->Run({}, {}, {train_op.value()->name()}, nullptr));
+    TF_CHECK_OK(policy.AfterStep(sess, step));
+  }
+
+  // The resumed trajectory is exactly the uninterrupted one.
+  std::vector<Tensor> out;
+  TF_CHECK_OK(sess->Run({loss.name()}, &out));
+  const float expected = 2.0f * std::ldexp(4.0f, -kSteps) *
+                         std::ldexp(4.0f, -kSteps);
+  EXPECT_EQ(*out[0].data<float>(), expected);
+  EXPECT_EQ(sess->stats().retries, 0);
+  EXPECT_EQ(sess->last_checkpoint_step(), kSteps);
 }
 
 }  // namespace
