@@ -43,6 +43,38 @@ void BM_NullOpDispatch(benchmark::State& state) {
 }
 BENCHMARK(BM_NullOpDispatch)->Arg(100)->Arg(1000)->Arg(10000);
 
+// The same wide fan-out on a 4-thread pool — the hot-path scaling target
+// (DESIGN.md §9): with the sharded rendezvous, lock-split executor state,
+// and work-stealing pool, adding threads must not collapse throughput onto
+// one contended lock.
+void BM_NullOpDispatchWide(benchmark::State& state) {
+  const int num_ops = static_cast<int>(state.range(0));
+  Graph g;
+  GraphBuilder b(&g);
+  Node* root = b.Op("NoOp").Name("root").FinalizeNode();
+  std::vector<Output> all;
+  for (int i = 0; i < num_ops; ++i) {
+    Node* n = b.Op("NoOp").ControlInput(root).FinalizeNode();
+    all.emplace_back(n, 0);
+  }
+  Node* sink = ops::Group(&b, all, "sink");
+  TF_CHECK_OK(b.status());
+  SessionOptions options;
+  options.num_threads = 4;
+  options.optimizer.do_cse = false;
+  auto session = DirectSession::Create(g, options);
+  TF_CHECK_OK(session.status());
+  TF_CHECK_OK(session.value()->Run({}, {}, {sink->name()}, nullptr));
+  for (auto _ : state) {
+    TF_CHECK_OK(session.value()->Run({}, {}, {sink->name()}, nullptr));
+  }
+  state.SetItemsProcessed(state.iterations() * (num_ops + 2));
+  state.counters["null_ops_per_sec"] = benchmark::Counter(
+      static_cast<double>(state.iterations() * (num_ops + 2)),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_NullOpDispatchWide)->Arg(1000)->Arg(10000);
+
 // A deep chain exercises the inline tail-call path.
 void BM_NullOpChain(benchmark::State& state) {
   const int depth = static_cast<int>(state.range(0));

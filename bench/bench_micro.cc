@@ -55,6 +55,35 @@ void BM_RendezvousSendRecv(benchmark::State& state) {
 }
 BENCHMARK(BM_RendezvousSendRecv);
 
+// Contended variant: N threads share one rendezvous, each ping-ponging on
+// its own key stream. Keys hash across the 16 shard buckets (DESIGN.md §9),
+// so threads rarely collide on a shard mutex; before sharding every
+// operation serialized on a single table lock.
+void BM_RendezvousSendRecvContended(benchmark::State& state) {
+  static LocalRendezvous* rendezvous = nullptr;
+  if (state.thread_index() == 0) {
+    rendezvous = new LocalRendezvous();
+  }
+  Tensor value = Tensor::Scalar(1.0f);
+  const std::string prefix = "t" + std::to_string(state.thread_index()) + ";k";
+  int64_t i = 0;
+  for (auto _ : state) {
+    std::string key = prefix + std::to_string(i++);
+    const uint64_t hash = Rendezvous::KeyHash(key);
+    TF_CHECK_OK(rendezvous->Send(key, hash, value, false));
+    rendezvous->RecvAsync(key, hash,
+                          [](const Status& s, const Tensor&, bool) {
+                            TF_CHECK_OK(s);
+                          });
+  }
+  state.SetItemsProcessed(state.iterations());
+  if (state.thread_index() == 0) {
+    delete rendezvous;
+    rendezvous = nullptr;
+  }
+}
+BENCHMARK(BM_RendezvousSendRecvContended)->Threads(2)->Threads(4);
+
 void BM_QueueEnqueueDequeue(benchmark::State& state) {
   QueueResource queue({DataType::kFloat}, /*capacity=*/-1,
                       /*min_after_dequeue=*/0, /*seed=*/1, /*shuffle=*/false);

@@ -1,9 +1,11 @@
 #!/usr/bin/env bash
 # Tier-1 verify plus a ThreadSanitizer pass over the concurrency-heavy
-# observability tests (DESIGN.md §8).
+# tests (DESIGN.md §8, §9) and a bench smoke against the committed
+# hot-path baseline.
 #
-#   scripts/check.sh            # full: tier-1 build+ctest, then TSan subset
+#   scripts/check.sh              # full: tier-1 build+ctest, TSan subset, bench smoke
 #   scripts/check.sh --tsan-only
+#   scripts/check.sh --bench-only
 #
 # The TSan build lives in build-tsan/ so it never pollutes the regular
 # build/ tree.
@@ -12,7 +14,8 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 JOBS="$(nproc)"
-TSAN_TESTS=(metrics_test tracing_test fault_tolerance_test queue_test chaos_test)
+TSAN_TESTS=(metrics_test tracing_test fault_tolerance_test queue_test
+            threadpool_test rendezvous_stress_test chaos_test)
 # Three chaos seeds under TSan keep the pass under a few minutes; the full
 # five-seed sweep runs in the regular tier-1 ctest.
 declare -A TSAN_FILTER=(
@@ -36,10 +39,52 @@ run_tsan() {
   done
 }
 
-if [[ "${1:-}" == "--tsan-only" ]]; then
-  run_tsan
-else
-  run_tier1
-  run_tsan
-fi
+# Bench smoke: re-run bench_executor and fail if null-step latency
+# (BM_CachedStepOverhead) regressed >25% against the committed "after"
+# baseline in BENCH_executor.json. A generous bound — this is a tripwire
+# for "someone re-introduced a lock on the hot path", not a precision
+# benchmark; CI containers are noisy.
+run_bench_smoke() {
+  echo "== bench smoke: BM_CachedStepOverhead vs BENCH_executor.json =="
+  cmake --build build -j "$JOBS" --target bench_executor
+  local fresh=/tmp/bench_smoke_executor.json
+  ./build/bench/bench_executor --json "$fresh" \
+      --benchmark_filter='BM_CachedStepOverhead' --benchmark_min_time=0.2
+  python3 - "$fresh" BENCH_executor.json <<'PYEOF'
+import json, sys
+
+fresh = json.load(open(sys.argv[1]))
+baseline = json.load(open(sys.argv[2]))
+
+def wall_ms(doc, name):
+    for r in doc["results"]:
+        if r["name"] == name:
+            return r["wall_ms"]
+    raise SystemExit(f"bench smoke: {name} missing from results")
+
+new = wall_ms(fresh, "BM_CachedStepOverhead")
+old = wall_ms(baseline["after"], "BM_CachedStepOverhead")
+ratio = new / old
+print(f"bench smoke: null-step latency {new*1e6:.0f}ns vs baseline "
+      f"{old*1e6:.0f}ns ({ratio:.2f}x)")
+if ratio > 1.25:
+    raise SystemExit("bench smoke FAILED: null-step latency regressed "
+                     f">25% ({ratio:.2f}x)")
+print("bench smoke: ok")
+PYEOF
+}
+
+case "${1:-}" in
+  --tsan-only)
+    run_tsan
+    ;;
+  --bench-only)
+    run_bench_smoke
+    ;;
+  *)
+    run_tier1
+    run_tsan
+    run_bench_smoke
+    ;;
+esac
 echo "check.sh: all green"

@@ -10,25 +10,36 @@ namespace distributed {
 
 Status ThrottledRendezvous::Send(const std::string& key, const Tensor& value,
                                  bool is_dead) {
+  return Send(key, KeyHash(key), value, is_dead);
+}
+
+Status ThrottledRendezvous::Send(const std::string& key, uint64_t key_hash,
+                                 const Tensor& value, bool is_dead) {
   double delay = IsCrossTaskKey(key)
                      ? model_.TransferSeconds(value.TotalBytes())
                      : 0.0;
   if (delay <= 0.0) {
-    return inner_->Send(key, value, is_dead);
+    return inner_->Send(key, key_hash, value, is_dead);
   }
   // Deliver after the modeled wire time, off a timer thread. The lambda
   // shares ownership of the inner rendezvous: an aborted step can destroy
   // this wrapper while a delayed delivery is still sleeping.
-  timer_pool_->Schedule([inner = inner_, key, value, is_dead, delay]() {
+  timer_pool_->Schedule([inner = inner_, key, key_hash, value, is_dead,
+                         delay]() {
     std::this_thread::sleep_for(std::chrono::duration<double>(delay));
-    (void)inner->Send(key, value, is_dead);
+    (void)inner->Send(key, key_hash, value, is_dead);
   });
   return Status::OK();
 }
 
 void ThrottledRendezvous::RecvAsync(const std::string& key,
                                     DoneCallback done) {
-  inner_->RecvAsync(key, std::move(done));
+  RecvAsync(key, KeyHash(key), std::move(done));
+}
+
+void ThrottledRendezvous::RecvAsync(const std::string& key, uint64_t key_hash,
+                                    DoneCallback done) {
+  inner_->RecvAsync(key, key_hash, std::move(done));
 }
 
 void ThrottledRendezvous::StartAbort(const Status& status) {

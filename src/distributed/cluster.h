@@ -55,6 +55,12 @@ class ThrottledRendezvous : public Rendezvous {
   Status Send(const std::string& key, const Tensor& value,
               bool is_dead) override;
   void RecvAsync(const std::string& key, DoneCallback done) override;
+  // Hashed variants keep the caller's precomputed key hash flowing through
+  // to the sharded inner rendezvous.
+  Status Send(const std::string& key, uint64_t key_hash, const Tensor& value,
+              bool is_dead) override;
+  void RecvAsync(const std::string& key, uint64_t key_hash,
+                 DoneCallback done) override;
   void StartAbort(const Status& status) override;
 
  private:

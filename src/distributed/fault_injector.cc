@@ -225,17 +225,29 @@ std::vector<FaultInjector::InjectedEvent> FaultInjector::injected_events()
 
 Status FaultInjectingRendezvous::Send(const std::string& key,
                                       const Tensor& value, bool is_dead) {
+  return Send(key, KeyHash(key), value, is_dead);
+}
+
+Status FaultInjectingRendezvous::Send(const std::string& key,
+                                      uint64_t key_hash, const Tensor& value,
+                                      bool is_dead) {
   if (IsCrossTaskKey(key) && injector_->OnTransfer(key)) {
     // Swallow the transfer: the matching Recv never fires, as if the
     // message were lost on the wire. The step deadline is the only cure.
     return Status::OK();
   }
-  return base_->Send(key, value, is_dead);
+  return base_->Send(key, key_hash, value, is_dead);
 }
 
 void FaultInjectingRendezvous::RecvAsync(const std::string& key,
                                          DoneCallback done) {
-  base_->RecvAsync(key, std::move(done));
+  RecvAsync(key, KeyHash(key), std::move(done));
+}
+
+void FaultInjectingRendezvous::RecvAsync(const std::string& key,
+                                         uint64_t key_hash,
+                                         DoneCallback done) {
+  base_->RecvAsync(key, key_hash, std::move(done));
 }
 
 void FaultInjectingRendezvous::StartAbort(const Status& status) {

@@ -56,6 +56,9 @@ class SendOp : public OpKernel {
     OP_REQUIRES(ctx, ctx->rendezvous() != nullptr,
                 Internal("_Send executed without a rendezvous"));
     std::string key = attrs_.Key(ctx);
+    // Hash once here; the sharded rendezvous (and any wrapper in between)
+    // reuses it for bucket selection instead of rehashing.
+    const uint64_t key_hash = Rendezvous::KeyHash(key);
     bool is_dead = ctx->is_input_dead();
     Tensor value = is_dead ? Tensor() : ctx->input(0);
     if (ctx->trace() != nullptr) {
@@ -68,7 +71,7 @@ class SendOp : public OpKernel {
       stats.send_micros = metrics::NowMicros();
       ctx->trace()->RecordTransfer(std::move(stats));
     }
-    OP_REQUIRES_OK(ctx, ctx->rendezvous()->Send(key, value, is_dead));
+    OP_REQUIRES_OK(ctx, ctx->rendezvous()->Send(key, key_hash, value, is_dead));
   }
   bool IsExpensive() const override { return false; }
 
@@ -86,10 +89,12 @@ class RecvOp : public AsyncOpKernel {
     OP_REQUIRES_ASYNC(ctx, ctx->rendezvous() != nullptr,
                       Internal("_Recv executed without a rendezvous"), done);
     std::string key = attrs_.Key(ctx);
+    const uint64_t key_hash = Rendezvous::KeyHash(key);
     const int64_t recv_start =
         ctx->trace() != nullptr ? metrics::NowMicros() : 0;
     ctx->rendezvous()->RecvAsync(
-        key, [this, ctx, done, recv_start](const Status& s,
+        key, key_hash,
+        [this, ctx, done, recv_start](const Status& s,
                                            const Tensor& value, bool is_dead) {
           if (!s.ok()) {
             ctx->SetStatus(s);

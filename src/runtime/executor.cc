@@ -3,7 +3,6 @@
 #include <atomic>
 #include <cassert>
 #include <condition_variable>
-#include <deque>
 #include <map>
 #include <mutex>
 #include <set>
@@ -17,8 +16,8 @@ namespace tfrepro {
 namespace {
 
 // Process-wide executor instruments, resolved once. Per-node tallies are
-// accumulated in the per-step state (under its existing mutex) and flushed
-// here at step end, so the hot path adds no atomics of its own.
+// accumulated in the per-step state (relaxed per-step atomics) and flushed
+// here at step end, so the hot path never touches the shared registry.
 struct ExecutorMetrics {
   metrics::Counter* nodes_executed;
   metrics::Counter* nodes_dead;
@@ -108,24 +107,42 @@ struct Entry {
   TensorValue val;
 };
 
+// Per-iteration arrival state. The hot-path fields are lock-free
+// (DESIGN.md §9): each input slot is written by exactly one producer edge
+// before that producer's release-decrement of the consumer's pending count,
+// and gathered by the consumer only after the count hit zero, so entries
+// need no lock. Merge nodes are the exception — several producers race on
+// one node's arrival state — and take this iteration's merge_mu.
 struct IterationState {
   explicit IterationState(const Executor::Impl& impl)
       : entries(impl.total_input_slots),
-        pending(impl.num_nodes),
-        dead_count(impl.num_nodes, 0),
+        pending(new std::atomic<int>[impl.num_nodes]),
+        dead_count(new std::atomic<int>[impl.num_nodes]),
         merge_live(impl.num_nodes, false) {
     for (int i = 0; i < impl.num_nodes; ++i) {
-      pending[i] = impl.items[i].initial_pending;
+      pending[i].store(impl.items[i].initial_pending,
+                       std::memory_order_relaxed);
+      dead_count[i].store(0, std::memory_order_relaxed);
     }
   }
   std::vector<Entry> entries;
-  std::vector<int> pending;
-  std::vector<int> dead_count;
-  std::vector<bool> merge_live;  // merge already received its live value
+  std::unique_ptr<std::atomic<int>[]> pending;
+  std::unique_ptr<std::atomic<int>[]> dead_count;
+  std::vector<bool> merge_live;  // merge already received its live value;
+                                 // guarded by merge_mu
+  // Serializes merge arrival/readiness updates (and merge input gathering)
+  // for this iteration only; plain nodes never touch it.
+  std::mutex merge_mu;
 };
 
 struct FrameState {
   std::string name;
+  // Unique per frame instance within a step, assigned at creation (root is
+  // 0); FrameIterId mixes the iteration into the low bits reversibly, so
+  // two distinct (frame, iteration) pairs can never produce the same
+  // rendezvous-key scope (the old string-hash scheme could collide and
+  // cross-deliver loop-state tensors).
+  uint64_t frame_id = 0;
   FrameState* parent = nullptr;
   int64_t parent_iter = 0;
   std::vector<std::unique_ptr<IterationState>> iterations;
@@ -144,19 +161,26 @@ struct FrameState {
   // still live. At that point its never-fired Exits propagate dead values
   // to the parent (this is how deadness crosses a loop that never ran, and
   // how early-iteration dead Exits are withheld until the loop finishes).
-  int outstanding_ops = 0;
+  //
+  // outstanding_ops is atomic so the lock-free fast path can retire nodes;
+  // the remaining fields only change under the step-global mu_.
+  std::atomic<int64_t> outstanding_ops{0};
   int live_children = 0;
   int enters_arrived = 0;
   bool done = false;
   std::set<int> exits_fired_live;
 };
 
-// A node scheduled to run in a particular frame/iteration.
+// A node scheduled to run in a particular frame/iteration. Carries the
+// iteration's state pointer so the hot path never takes a lock to look the
+// iteration up again (IterationStates are heap-allocated and live until the
+// step finishes, so the pointer stays valid).
 struct TaggedNode {
   int node_id = 0;
   FrameState* frame = nullptr;
   int64_t iter = 0;
   bool is_dead = false;
+  IterationState* iter_state = nullptr;
   // Timestamp of the push onto the ready set; 0 when tracing is off.
   int64_t scheduled_micros = 0;
 };
@@ -173,15 +197,15 @@ class ExecutorState {
   }
 
   void RunAsync() {
-    std::deque<TaggedNode> ready;
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      for (int id : impl_.initial_ready) {
-        PushReady(&ready, TaggedNode{id, &root_, 0, false});
-      }
-      outstanding_ += static_cast<int64_t>(ready.size());
-      stat_ops_scheduled_ += static_cast<int64_t>(ready.size());
+    std::vector<TaggedNode> ready;
+    IterationState* root_iter = root_.iterations[0].get();
+    for (int id : impl_.initial_ready) {
+      PushReady(&ready, TaggedNode{id, &root_, 0, false, root_iter});
     }
+    outstanding_.fetch_add(static_cast<int64_t>(ready.size()),
+                           std::memory_order_relaxed);
+    stat_ops_scheduled_.fetch_add(static_cast<int64_t>(ready.size()),
+                                  std::memory_order_relaxed);
     if (ready.empty()) {
       Finish();
       return;
@@ -191,19 +215,26 @@ class ExecutorState {
 
  private:
   // Runs tagged nodes from a local queue until it drains; newly-ready nodes
-  // are pushed here (one at a time) to avoid both pool round-trips and
-  // unbounded recursion on long chains and loops.
+  // are pushed here to avoid both pool round-trips and unbounded recursion
+  // on long chains and loops.
   void ProcessLoop(TaggedNode first) {
-    std::deque<TaggedNode> local;
+    std::vector<TaggedNode> local;
     local.push_back(first);
+    ProcessQueue(std::move(local));
+  }
+
+  void ProcessQueue(std::vector<TaggedNode> local) {
+    // LIFO: depth-first keeps the working set hot, and a vector costs no
+    // allocation until something is actually pushed (a deque allocates its
+    // first chunk on construction — measurable at one queue per NodeDone).
     while (!local.empty()) {
-      TaggedNode t = local.front();
-      local.pop_front();
+      TaggedNode t = local.back();
+      local.pop_back();
       Process(t, &local);
     }
   }
 
-  void Process(const TaggedNode& tagged, std::deque<TaggedNode>* local) {
+  void Process(const TaggedNode& tagged, std::vector<TaggedNode>* local) {
     const ExecutorNodeItem& item = impl_.items[tagged.node_id];
 
     if (tagged.is_dead && !item.is_transfer) {
@@ -214,12 +245,16 @@ class ExecutorState {
       return;
     }
 
-    // Gather inputs from the iteration's entry table.
+    // Gather inputs from the iteration's entry table. No lock: every slot
+    // was written by its single producer before the release-decrement that
+    // made this node ready, and this thread's acquire on that count (or the
+    // pool handoff) ordered the writes before us. Merges are the exception:
+    // a late dead arrival may still be writing a losing slot, so merge
+    // gathering synchronizes with arrivals on the iteration's merge_mu.
     std::vector<TensorValue> inputs(item.num_inputs);
     bool any_input_dead = false;
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      IterationState* iter_state = GetIteration(tagged.frame, tagged.iter);
+    IterationState* iter_state = tagged.iter_state;
+    auto gather = [&]() {
       for (int i = 0; i < item.num_inputs; ++i) {
         Entry& e = iter_state->entries[item.input_base + i];
         if (e.state == Entry::State::kHasValue) {
@@ -228,6 +263,12 @@ class ExecutorState {
           any_input_dead = true;  // dead or never produced (merge slots)
         }
       }
+    };
+    if (item.is_merge) {
+      std::lock_guard<std::mutex> lock(iter_state->merge_mu);
+      gather();
+    } else {
+      gather();
     }
 
     OpKernelContext::Params params;
@@ -259,7 +300,7 @@ class ExecutorState {
   }
 
   void CompleteKernel(const TaggedNode& tagged, OpKernelContext* ctx,
-                      int64_t start_micros, std::deque<TaggedNode>* local) {
+                      int64_t start_micros, std::vector<TaggedNode>* local) {
     const ExecutorNodeItem& item = impl_.items[tagged.node_id];
     if (args_.trace != nullptr) {
       NodeExecStats stats;
@@ -297,67 +338,111 @@ class ExecutorState {
   // Delivers outputs, updates frame accounting, schedules newly-ready
   // nodes, retires this node.
   void NodeDone(const TaggedNode& tagged, std::vector<Entry>* outputs,
-                bool node_dead, std::deque<TaggedNode>* local) {
-    std::deque<TaggedNode> ready;
-    {
+                bool node_dead, std::vector<TaggedNode>* local) {
+    const ExecutorNodeItem& item = impl_.items[tagged.node_id];
+    std::vector<TaggedNode> ready;
+    if (!item.is_enter && !item.is_exit && !item.is_next_iteration) {
+      // Fast path (the vast majority of nodes): outputs stay inside this
+      // frame/iteration, so delivery runs on per-iteration atomics (plus
+      // merge_mu for merge consumers) without the step-global lock. The
+      // frame-quiescence check is only taken when this was the frame's last
+      // outstanding op — successors were counted in before our decrement,
+      // so the count cannot dip to zero while work remains.
+      DeliverToEdges(tagged.node_id, tagged.frame, tagged.iter,
+                     tagged.iter_state, outputs, node_dead, &ready);
+      int64_t prev = tagged.frame->outstanding_ops.fetch_sub(
+          1, std::memory_order_acq_rel);
+      if (prev == 1 && tagged.frame != &root_) {
+        std::lock_guard<std::mutex> lock(mu_);
+        CheckFrameDone(tagged.frame, &ready);
+      }
+    } else {
+      // Slow path: frame-crossing nodes (Enter/Exit/NextIteration) mutate
+      // the frame table and completion accounting under the step lock.
       std::lock_guard<std::mutex> lock(mu_);
       FrameState* entered_child = nullptr;
       Propagate(tagged, outputs, node_dead, &ready, &entered_child);
-      --tagged.frame->outstanding_ops;
+      tagged.frame->outstanding_ops.fetch_sub(1, std::memory_order_acq_rel);
       CheckFrameDone(tagged.frame, &ready);
       if (entered_child != nullptr) {
         CheckFrameDone(entered_child, &ready);
       }
-      outstanding_ += static_cast<int64_t>(ready.size());
-      // Per-step tallies, flushed to the metrics registry in Finish(); the
-      // gauge tracks in-flight nodes as a ready-queue depth proxy.
-      if (node_dead) {
-        ++stat_nodes_dead_;
-      } else {
-        ++stat_nodes_executed_;
-      }
-      stat_ops_scheduled_ += static_cast<int64_t>(ready.size());
+    }
+    // Per-step tallies, flushed to the metrics registry in Finish(); the
+    // gauge tracks in-flight nodes as a ready-queue depth proxy.
+    if (node_dead) {
+      stat_nodes_dead_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      stat_nodes_executed_.fetch_add(1, std::memory_order_relaxed);
+    }
+    if (!ready.empty()) {
+      outstanding_.fetch_add(static_cast<int64_t>(ready.size()),
+                             std::memory_order_relaxed);
+      stat_ops_scheduled_.fetch_add(static_cast<int64_t>(ready.size()),
+                                    std::memory_order_relaxed);
       // The live depth gauge is only worth the shared-cache-line traffic on
       // traced steps; untraced runs read it from the per-step flush.
-      if (args_.trace != nullptr && !ready.empty()) {
+      if (args_.trace != nullptr) {
         GetExecutorMetrics().ready_queue_depth->Set(
             outstanding_.load(std::memory_order_relaxed));
       }
     }
     Distribute(std::move(ready), local);
-    if (--outstanding_ == 0) {
+    if (outstanding_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
       Finish();
     }
   }
 
-  // Keeps one ready node for the current thread (via `local`, or a fresh
-  // ProcessLoop when called from an async completion) and hands the rest to
-  // the pool.
-  void Distribute(std::deque<TaggedNode> ready, std::deque<TaggedNode>* local) {
+  // Schedules newly-ready nodes. Inexpensive kernels (control flow, NoOp,
+  // Send/Recv dispatch — IsExpensive() == false) stay on the current thread:
+  // a pool round-trip costs more than running them. Expensive kernels fan
+  // out to the pool, batched so a wide front pays one wakeup, except one
+  // kept local when nothing cheap remains here.
+  void Distribute(std::vector<TaggedNode> ready, std::vector<TaggedNode>* local) {
     if (ready.empty()) return;
-    TaggedNode keep = ready.front();
-    ready.pop_front();
-    for (const TaggedNode& t : ready) {
+    std::vector<TaggedNode> keep;
+    std::vector<TaggedNode> expensive;
+    for (TaggedNode& t : ready) {
+      if (impl_.items[t.node_id].kernel->IsExpensive()) {
+        expensive.push_back(t);
+      } else {
+        keep.push_back(t);
+      }
+    }
+    if (keep.empty()) {
+      keep.push_back(expensive.back());
+      expensive.pop_back();
+    }
+    if (expensive.size() == 1) {
+      TaggedNode t = expensive[0];
       impl_.device->pool()->Schedule([this, t]() { ProcessLoop(t); });
+    } else if (!expensive.empty()) {
+      std::vector<std::function<void()>> batch;
+      batch.reserve(expensive.size());
+      for (const TaggedNode& t : expensive) {
+        batch.push_back([this, t]() { ProcessLoop(t); });
+      }
+      impl_.device->pool()->ScheduleBatch(std::move(batch));
     }
     if (local != nullptr) {
-      local->push_back(keep);
+      for (TaggedNode& t : keep) local->push_back(t);
     } else {
-      ProcessLoop(keep);
+      ProcessQueue(std::move(keep));
     }
   }
 
-  // Must hold mu_. Adds a node to the ready set, counting it against its
-  // frame.
-  void PushReady(std::deque<TaggedNode>* ready, TaggedNode t) {
-    ++t.frame->outstanding_ops;
+  // Adds a node to the ready set, counting it against its frame. Safe with
+  // or without mu_: outstanding_ops is atomic, and the caller's own not-yet-
+  // retired op holds the frame's count above zero until after this push.
+  void PushReady(std::vector<TaggedNode>* ready, TaggedNode t) {
+    t.frame->outstanding_ops.fetch_add(1, std::memory_order_relaxed);
     if (args_.trace != nullptr) t.scheduled_micros = metrics::NowMicros();
     ready->push_back(t);
   }
 
   // Must hold mu_.
   void Propagate(const TaggedNode& tagged, std::vector<Entry>* outputs,
-                 bool node_dead, std::deque<TaggedNode>* ready,
+                 bool node_dead, std::vector<TaggedNode>* ready,
                  FrameState** entered_child) {
     const ExecutorNodeItem& item = impl_.items[tagged.node_id];
 
@@ -406,61 +491,98 @@ class ExecutorState {
       EnsureIteration(tagged.frame, dst_iter, ready);
     }
 
-    DeliverToEdges(tagged.node_id, dst_frame, dst_iter, outputs, node_dead,
+    DeliverToEdges(tagged.node_id, dst_frame, dst_iter,
+                   GetIteration(dst_frame, dst_iter), outputs, node_dead,
                    ready);
   }
 
-  // Must hold mu_. Delivers `outputs` of node `node_id` along its out edges
-  // into (dst_frame, dst_iter).
+  // Delivers `outputs` of node `node_id` along its out edges into
+  // (dst_frame, dst_iter). Lock-free for plain destinations: the entry-slot
+  // write happens before this producer's acq_rel decrement of the
+  // consumer's pending count, and the decrement that observes the count
+  // hitting zero synchronizes with every earlier producer's release (the
+  // classic refcount pattern), so the firing thread sees all slots. Merge
+  // destinations serialize on the iteration's merge_mu because several
+  // producers mutate one merge's arrival state. Callers on the slow path
+  // hold mu_; lock order is always mu_ -> merge_mu, never the reverse.
   void DeliverToEdges(int node_id, FrameState* dst_frame, int64_t dst_iter,
-                      std::vector<Entry>* outputs, bool node_dead,
-                      std::deque<TaggedNode>* ready) {
-    IterationState* iter_state = GetIteration(dst_frame, dst_iter);
+                      IterationState* iter_state, std::vector<Entry>* outputs,
+                      bool node_dead, std::vector<TaggedNode>* ready) {
+    const ExecutorNodeItem& src_item = impl_.items[node_id];
+    (void)src_item;
 
     for (const ExecutorOutEdge& e : impl_.out_edges[node_id]) {
+      // Zero-output audit: dead-node execution sizes `outputs` as
+      // max(1, num_outputs), so a zero-output node carries one phantom
+      // entry. It is only ever read through (*outputs)[0] on the
+      // Exit/NextIteration paths (both have exactly one output by op
+      // schema); a data edge can never index it because graph construction
+      // guarantees src_output < num_outputs. Keep the invariant checked.
+      assert(e.src_output == kControlSlot ||
+             e.src_output < src_item.node->num_outputs());
       const ExecutorNodeItem& dst = impl_.items[e.dst_id];
       bool dst_ready = false;
       bool dst_dead = false;
 
-      if (e.src_output == kControlSlot) {
-        // Control edges carry completion, plus deadness of the node itself
-        // (not of any particular data output) to non-merges.
-        if (dst.is_merge) {
-          iter_state->pending[e.dst_id] -= 2;
-          dst_ready = MergeReady(dst, iter_state, dst_iter, &dst_dead);
+      if (dst.is_merge) {
+        std::lock_guard<std::mutex> lock(iter_state->merge_mu);
+        if (e.src_output == kControlSlot) {
+          // Control edges carry completion (deadness of the source does not
+          // kill a merge; merges fire on their first live data input).
+          iter_state->pending[e.dst_id].fetch_sub(2,
+                                                  std::memory_order_relaxed);
         } else {
-          if (node_dead) ++iter_state->dead_count[e.dst_id];
-          dst_ready = (--iter_state->pending[e.dst_id] == 0);
-          dst_dead = iter_state->dead_count[e.dst_id] > 0;
+          const Entry& out = (*outputs)[e.src_output];
+          int slot = dst.input_base + e.dst_input;
+          if (out.state == Entry::State::kHasValue) {
+            iter_state->entries[slot] = out;
+            iter_state->merge_live[e.dst_id] = true;
+            iter_state->pending[e.dst_id].fetch_sub(
+                1, std::memory_order_relaxed);
+          } else {
+            iter_state->entries[slot].state = Entry::State::kDead;
+            iter_state->dead_count[e.dst_id].fetch_add(
+                1, std::memory_order_relaxed);
+          }
+        }
+        dst_ready = MergeReady(dst, iter_state, dst_iter, &dst_dead);
+        if (dst_ready) {
+          // Sentinel so the merge cannot fire a second time this iteration.
+          iter_state->pending[e.dst_id].store(-1, std::memory_order_relaxed);
+        }
+      } else if (e.src_output == kControlSlot) {
+        // Control edges carry completion, plus deadness of the node itself
+        // (not of any particular data output).
+        if (node_dead) {
+          iter_state->dead_count[e.dst_id].fetch_add(
+              1, std::memory_order_relaxed);
+        }
+        dst_ready = iter_state->pending[e.dst_id].fetch_sub(
+                        1, std::memory_order_acq_rel) == 1;
+        if (dst_ready) {
+          dst_dead = iter_state->dead_count[e.dst_id].load(
+                         std::memory_order_relaxed) > 0;
         }
       } else {
         const Entry& out = (*outputs)[e.src_output];
         int slot = dst.input_base + e.dst_input;
-        if (dst.is_merge) {
-          if (out.state == Entry::State::kHasValue) {
-            iter_state->entries[slot] = out;
-            iter_state->merge_live[e.dst_id] = true;
-            iter_state->pending[e.dst_id] -= 1;
-          } else {
-            iter_state->entries[slot].state = Entry::State::kDead;
-            ++iter_state->dead_count[e.dst_id];
-          }
-          dst_ready = MergeReady(dst, iter_state, dst_iter, &dst_dead);
-        } else {
-          iter_state->entries[slot] = out;
-          if (out.state != Entry::State::kHasValue) {
-            iter_state->entries[slot].state = Entry::State::kDead;
-            ++iter_state->dead_count[e.dst_id];
-          }
-          dst_ready = (--iter_state->pending[e.dst_id] == 0);
-          dst_dead = iter_state->dead_count[e.dst_id] > 0;
+        iter_state->entries[slot] = out;
+        if (out.state != Entry::State::kHasValue) {
+          iter_state->entries[slot].state = Entry::State::kDead;
+          iter_state->dead_count[e.dst_id].fetch_add(
+              1, std::memory_order_relaxed);
+        }
+        dst_ready = iter_state->pending[e.dst_id].fetch_sub(
+                        1, std::memory_order_acq_rel) == 1;
+        if (dst_ready) {
+          dst_dead = iter_state->dead_count[e.dst_id].load(
+                         std::memory_order_relaxed) > 0;
         }
       }
 
       if (dst_ready) {
-        // Sentinel so a merge cannot fire a second time this iteration.
-        iter_state->pending[e.dst_id] = -1;
-        PushReady(ready, TaggedNode{e.dst_id, dst_frame, dst_iter, dst_dead});
+        PushReady(ready, TaggedNode{e.dst_id, dst_frame, dst_iter, dst_dead,
+                                    iter_state});
       }
     }
   }
@@ -473,9 +595,11 @@ class ExecutorState {
   // Dead fire: pending == 1, no live value, and every data input that can
   // arrive this iteration (forward edges at iteration 0, back edges later)
   // has arrived dead.
+  // Must hold iter_state->merge_mu.
   bool MergeReady(const ExecutorNodeItem& dst, IterationState* iter_state,
                   int64_t iter, bool* dst_dead) {
-    int pending = iter_state->pending[dst.node->id()];
+    int pending =
+        iter_state->pending[dst.node->id()].load(std::memory_order_relaxed);
     if (pending < 0) return false;  // already fired
     int expected =
         iter == 0 ? dst.num_forward_data_inputs : dst.num_back_data_inputs;
@@ -484,7 +608,9 @@ class ExecutorState {
       return true;
     }
     if (pending == 1 && !iter_state->merge_live[dst.node->id()] &&
-        expected > 0 && iter_state->dead_count[dst.node->id()] >= expected) {
+        expected > 0 &&
+        iter_state->dead_count[dst.node->id()].load(
+            std::memory_order_relaxed) >= expected) {
       *dst_dead = true;
       return true;
     }
@@ -493,14 +619,15 @@ class ExecutorState {
 
   // Must hold mu_. Fires dead Exits and retires the frame once it can make
   // no further progress; cascades to the parent.
-  void CheckFrameDone(FrameState* frame, std::deque<TaggedNode>* ready) {
+  void CheckFrameDone(FrameState* frame, std::vector<TaggedNode>* ready) {
     while (frame != nullptr && frame != &root_ && !frame->done) {
       auto enters = impl_.enters_per_frame.find(frame->name);
       int expected_enters = enters == impl_.enters_per_frame.end()
                                 ? 0
                                 : enters->second;
       if (frame->enters_arrived < expected_enters ||
-          frame->outstanding_ops > 0 || frame->live_children > 0) {
+          frame->outstanding_ops.load(std::memory_order_acquire) > 0 ||
+          frame->live_children > 0) {
         return;
       }
       frame->done = true;
@@ -511,8 +638,9 @@ class ExecutorState {
           std::vector<Entry> dead(std::max(
               1, impl_.items[exit_id].node->num_outputs()));
           for (Entry& e : dead) e.state = Entry::State::kDead;
-          DeliverToEdges(exit_id, frame->parent, frame->parent_iter, &dead,
-                         /*node_dead=*/true, ready);
+          DeliverToEdges(exit_id, frame->parent, frame->parent_iter,
+                         GetIteration(frame->parent, frame->parent_iter),
+                         &dead, /*node_dead=*/true, ready);
         }
       }
       FrameState* parent = frame->parent;
@@ -531,6 +659,7 @@ class ExecutorState {
     if (it != frames_.end()) return it->second.get();
     auto frame = std::make_unique<FrameState>();
     frame->name = name;
+    frame->frame_id = next_frame_id_++;
     frame->parent = parent;
     frame->parent_iter = iter;
     frame->iterations.push_back(std::make_unique<IterationState>(impl_));
@@ -542,7 +671,7 @@ class ExecutorState {
 
   // Must hold mu_.
   void EnsureIteration(FrameState* frame, int64_t iter,
-                       std::deque<TaggedNode>* ready) {
+                       std::vector<TaggedNode>* ready) {
     while (static_cast<int64_t>(frame->iterations.size()) <= iter) {
       frame->iterations.push_back(std::make_unique<IterationState>(impl_));
       IterationState* is = frame->iterations.back().get();
@@ -550,9 +679,9 @@ class ExecutorState {
       // Re-deliver loop invariants into the new iteration.
       for (const FrameState::ConstantEntry& ce : frame->constants) {
         is->entries[ce.dst_slot] = ce.entry;
-        if (--is->pending[ce.dst_id] == 0) {
-          is->pending[ce.dst_id] = -1;
-          PushReady(ready, TaggedNode{ce.dst_id, frame, new_iter, false});
+        if (is->pending[ce.dst_id].fetch_sub(1, std::memory_order_acq_rel) ==
+            1) {
+          PushReady(ready, TaggedNode{ce.dst_id, frame, new_iter, false, is});
         }
       }
     }
@@ -564,18 +693,21 @@ class ExecutorState {
     return frame->iterations[iter].get();
   }
 
-  int64_t FrameIterId(FrameState* frame, int64_t iter) const {
-    // A stable id scoping rendezvous keys per frame/iteration (paper §3.4:
-    // distributed loop state). Root frame iteration 0 hashes to 0 so plain
-    // Send/Recv keys stay simple.
-    int64_t h = iter;
-    const FrameState* f = frame;
-    while (f != nullptr) {
-      for (char c : f->name) h = h * 131 + c;
-      if (f->parent != nullptr) h = h * 1000003 + f->parent_iter;
-      f = f->parent;
-    }
-    return h;
+  // A stable id scoping rendezvous keys per frame/iteration (paper §3.4:
+  // distributed loop state). The frame's creation-order id occupies the
+  // high 32 bits and the iteration the low 32, so distinct
+  // (frame, iteration) pairs can never alias — the previous scheme hashed
+  // the frame-name chain with h = h*131 + c, which collides on adversarial
+  // names (e.g. "a" vs "\0a") and would cross-deliver loop-state tensors
+  // between unrelated frames. Root frame iteration 0 stays 0, keeping plain
+  // Send/Recv keys simple. Ids are assigned per-executor; that is safe for
+  // cross-executor key matching because the partitioner places each loop on
+  // a single device, so a frame's Send/Recv pairs share one executor.
+  int64_t FrameIterId(const FrameState* frame, int64_t iter) const {
+    assert(iter >= 0 && iter < (int64_t{1} << 32) &&
+           "iteration overflows the 32-bit field of the frame/iter id");
+    return static_cast<int64_t>((frame->frame_id << 32) |
+                                static_cast<uint64_t>(iter));
   }
 
   void RecordError(const Status& status) {
@@ -598,16 +730,15 @@ class ExecutorState {
     {
       std::lock_guard<std::mutex> lock(mu_);
       status = status_;
-      const ExecutorMetrics& m = GetExecutorMetrics();
-      if (stat_nodes_executed_ > 0) {
-        m.nodes_executed->Increment(stat_nodes_executed_);
-      }
-      if (stat_nodes_dead_ > 0) m.nodes_dead->Increment(stat_nodes_dead_);
-      if (stat_ops_scheduled_ > 0) {
-        m.ops_scheduled->Increment(stat_ops_scheduled_);
-      }
-      m.steps->Increment();
     }
+    const ExecutorMetrics& m = GetExecutorMetrics();
+    int64_t executed = stat_nodes_executed_.load(std::memory_order_relaxed);
+    int64_t dead = stat_nodes_dead_.load(std::memory_order_relaxed);
+    int64_t scheduled = stat_ops_scheduled_.load(std::memory_order_relaxed);
+    if (executed > 0) m.nodes_executed->Increment(executed);
+    if (dead > 0) m.nodes_dead->Increment(dead);
+    if (scheduled > 0) m.ops_scheduled->Increment(scheduled);
+    m.steps->Increment();
     std::function<void(Status)> done = std::move(done_);
     delete this;
     done(status);
@@ -628,15 +759,20 @@ class ExecutorState {
   Executor::Args args_;
   std::function<void(Status)> done_;
 
+  // Step-global lock. Guards the frame table (frames_, frame creation and
+  // teardown fields), error recording, and the slow-path control-flow
+  // transitions; the per-node hot path never takes it (DESIGN.md §9).
   std::mutex mu_;
   Status status_;
   FrameState root_;
   std::map<FrameKey, std::unique_ptr<FrameState>> frames_;
+  // Next child-frame id; guarded by mu_ (root is 0, children start at 1).
+  uint64_t next_frame_id_ = 1;
   std::atomic<int64_t> outstanding_{0};
-  // Per-step metric tallies; guarded by mu_, flushed in Finish().
-  int64_t stat_nodes_executed_ = 0;
-  int64_t stat_nodes_dead_ = 0;
-  int64_t stat_ops_scheduled_ = 0;
+  // Per-step metric tallies (relaxed), flushed once in Finish().
+  std::atomic<int64_t> stat_nodes_executed_{0};
+  std::atomic<int64_t> stat_nodes_dead_{0};
+  std::atomic<int64_t> stat_ops_scheduled_{0};
 };
 
 }  // namespace

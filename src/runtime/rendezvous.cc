@@ -69,22 +69,30 @@ Status Rendezvous::Recv(const std::string& key, Tensor* value, bool* is_dead) {
 
 Status LocalRendezvous::Send(const std::string& key, const Tensor& value,
                              bool is_dead) {
+  return Send(key, KeyHash(key), value, is_dead);
+}
+
+void LocalRendezvous::RecvAsync(const std::string& key, DoneCallback done) {
+  RecvAsync(key, KeyHash(key), std::move(done));
+}
+
+Status LocalRendezvous::Send(const std::string& key, uint64_t key_hash,
+                             const Tensor& value, bool is_dead) {
   const RendezvousMetrics& m = GetRendezvousMetrics();
   m.sends->Increment();
   if (!is_dead) m.bytes_sent->Increment(value.TotalBytes());
+  Shard& s = shard(key_hash);
   Waiter waiter;
-  bool have_waiter = false;
   {
-    std::lock_guard<std::mutex> lock(mu_);
-    if (!aborted_.ok()) return aborted_;
-    auto wit = waiting_.find(key);
-    if (wit != waiting_.end() && !wit->second.empty()) {
+    std::lock_guard<std::mutex> lock(s.mu);
+    if (!s.aborted.ok()) return s.aborted;
+    auto wit = s.waiting.find(key);
+    if (wit != s.waiting.end() && !wit->second.empty()) {
       waiter = std::move(wit->second.front());
       wit->second.pop_front();
-      if (wit->second.empty()) waiting_.erase(wit);
-      have_waiter = true;
+      if (wit->second.empty()) s.waiting.erase(wit);
     } else {
-      ready_[key].push_back(Item{value, is_dead});
+      s.ready[key].push_back(Item{value, is_dead});
       m.live_items->Add(1);
       return Status::OK();
     }
@@ -97,54 +105,66 @@ Status LocalRendezvous::Send(const std::string& key, const Tensor& value,
   return Status::OK();
 }
 
-void LocalRendezvous::RecvAsync(const std::string& key, DoneCallback done) {
+void LocalRendezvous::RecvAsync(const std::string& key, uint64_t key_hash,
+                                DoneCallback done) {
   GetRendezvousMetrics().recvs->Increment();
+  Shard& s = shard(key_hash);
   Item item;
   {
-    std::unique_lock<std::mutex> lock(mu_);
-    if (!aborted_.ok()) {
-      Status aborted = aborted_;
+    std::unique_lock<std::mutex> lock(s.mu);
+    if (!s.aborted.ok()) {
+      Status aborted = s.aborted;
       lock.unlock();
       done(aborted, Tensor(), false);
       return;
     }
-    auto rit = ready_.find(key);
-    if (rit == ready_.end() || rit->second.empty()) {
+    auto rit = s.ready.find(key);
+    if (rit == s.ready.end() || rit->second.empty()) {
       GetRendezvousMetrics().recvs_blocked->Increment();
       GetRendezvousMetrics().live_waiters->Add(1);
-      waiting_[key].push_back(
-          Waiter{std::move(done), metrics::NowMicros()});
+      s.waiting[key].push_back(Waiter{std::move(done), metrics::NowMicros()});
       return;
     }
     item = std::move(rit->second.front());
     rit->second.pop_front();
-    if (rit->second.empty()) ready_.erase(rit);
+    if (rit->second.empty()) s.ready.erase(rit);
     GetRendezvousMetrics().live_items->Add(-1);
   }
   done(Status::OK(), item.value, item.is_dead);
 }
 
 void LocalRendezvous::StartAbort(const Status& status) {
-  const RendezvousMetrics& m = GetRendezvousMetrics();
-  std::vector<DoneCallback> waiters;
   {
-    std::lock_guard<std::mutex> lock(mu_);
-    if (!aborted_.ok()) return;  // already aborted
-    aborted_ = status.ok() ? Cancelled("rendezvous aborted") : status;
-    for (auto& [key, queue] : waiting_) {
+    std::lock_guard<std::mutex> lock(abort_mu_);
+    if (abort_started_) return;  // already aborted
+    abort_started_ = true;
+  }
+  const Status aborted =
+      status.ok() ? Cancelled("rendezvous aborted") : status;
+  const RendezvousMetrics& m = GetRendezvousMetrics();
+  // Fan the abort out shard by shard: mark the shard so future Send/Recv
+  // fail fast, drop buffered items, and collect parked waiters to fire
+  // outside the shard lock.
+  std::vector<DoneCallback> waiters;
+  for (Shard& s : shards_) {
+    std::lock_guard<std::mutex> lock(s.mu);
+    s.aborted = aborted;
+    for (auto& [key, queue] : s.waiting) {
       for (Waiter& w : queue) waiters.push_back(std::move(w.done));
     }
     int64_t items = 0;
-    for (const auto& [key, queue] : ready_) {
+    for (const auto& [key, queue] : s.ready) {
       items += static_cast<int64_t>(queue.size());
     }
-    m.live_items->Add(-items);
-    waiting_.clear();
-    ready_.clear();
+    if (items > 0) m.live_items->Add(-items);
+    s.waiting.clear();
+    s.ready.clear();
   }
-  m.live_waiters->Add(-static_cast<int64_t>(waiters.size()));
+  if (!waiters.empty()) {
+    m.live_waiters->Add(-static_cast<int64_t>(waiters.size()));
+  }
   for (DoneCallback& cb : waiters) {
-    cb(aborted_, Tensor(), false);
+    cb(aborted, Tensor(), false);
   }
 }
 
@@ -152,17 +172,19 @@ LocalRendezvous::~LocalRendezvous() {
   // Drop whatever is still buffered (e.g. a Send whose Recv was pruned, or
   // a Recv parked when the step died) so the live-entry gauges balance.
   const RendezvousMetrics& m = GetRendezvousMetrics();
-  std::lock_guard<std::mutex> lock(mu_);
   int64_t items = 0;
-  for (const auto& [key, queue] : ready_) {
-    items += static_cast<int64_t>(queue.size());
-  }
   int64_t waiters = 0;
-  for (const auto& [key, queue] : waiting_) {
-    waiters += static_cast<int64_t>(queue.size());
+  for (Shard& s : shards_) {
+    std::lock_guard<std::mutex> lock(s.mu);
+    for (const auto& [key, queue] : s.ready) {
+      items += static_cast<int64_t>(queue.size());
+    }
+    for (const auto& [key, queue] : s.waiting) {
+      waiters += static_cast<int64_t>(queue.size());
+    }
   }
-  m.live_items->Add(-items);
-  m.live_waiters->Add(-waiters);
+  if (items != 0) m.live_items->Add(-items);
+  if (waiters != 0) m.live_waiters->Add(-waiters);
 }
 
 }  // namespace tfrepro

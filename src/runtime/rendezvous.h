@@ -10,12 +10,13 @@
 #ifndef TFREPRO_RUNTIME_RENDEZVOUS_H_
 #define TFREPRO_RUNTIME_RENDEZVOUS_H_
 
+#include <cstdint>
 #include <deque>
 #include <functional>
-#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <unordered_map>
 
 #include "core/status.h"
 #include "core/tensor.h"
@@ -39,9 +40,30 @@ class Rendezvous {
 
   virtual ~Rendezvous() = default;
 
+  // Hash used for shard selection in bucketed implementations. Send/Recv
+  // call sites compute it once per operation and pass it through the hashed
+  // overloads below, so wrappers and the sharded table never rehash the key.
+  static uint64_t KeyHash(const std::string& key) {
+    return static_cast<uint64_t>(std::hash<std::string>{}(key));
+  }
+
   virtual Status Send(const std::string& key, const Tensor& value,
                       bool is_dead) = 0;
   virtual void RecvAsync(const std::string& key, DoneCallback done) = 0;
+
+  // Hashed variants with `key_hash == KeyHash(key)` precomputed by the
+  // caller. The defaults discard the hash and forward to the plain
+  // virtuals, so wrappers that only intercept those stay correct.
+  virtual Status Send(const std::string& key, uint64_t key_hash,
+                      const Tensor& value, bool is_dead) {
+    (void)key_hash;
+    return Send(key, value, is_dead);
+  }
+  virtual void RecvAsync(const std::string& key, uint64_t key_hash,
+                         DoneCallback done) {
+    (void)key_hash;
+    RecvAsync(key, std::move(done));
+  }
 
   // Aborts all pending and future operations with `status` (used to unblock
   // Recv when a step fails elsewhere).
@@ -53,6 +75,10 @@ class Rendezvous {
 
 // In-process rendezvous used within one task: values are buffered until the
 // matching Recv arrives (or vice versa).
+//
+// The table is sharded into kNumShards hash-indexed buckets, each with its
+// own mutex and maps (DESIGN.md §9), so concurrent Send/Recv across keys no
+// longer serialize on one lock. An abort fans out across every shard.
 class LocalRendezvous : public Rendezvous {
  public:
   // Releases any entries still buffered, keeping the process-wide
@@ -64,9 +90,15 @@ class LocalRendezvous : public Rendezvous {
   Status Send(const std::string& key, const Tensor& value,
               bool is_dead) override;
   void RecvAsync(const std::string& key, DoneCallback done) override;
+  Status Send(const std::string& key, uint64_t key_hash, const Tensor& value,
+              bool is_dead) override;
+  void RecvAsync(const std::string& key, uint64_t key_hash,
+                 DoneCallback done) override;
   void StartAbort(const Status& status) override;
 
  private:
+  static constexpr int kNumShards = 16;  // power of two
+
   struct Item {
     Tensor value;
     bool is_dead = false;
@@ -77,10 +109,24 @@ class LocalRendezvous : public Rendezvous {
     DoneCallback done;
     int64_t wait_start_micros = 0;
   };
-  std::mutex mu_;
-  Status aborted_;
-  std::map<std::string, std::deque<Item>> ready_;
-  std::map<std::string, std::deque<Waiter>> waiting_;
+  // One hash bucket of the key space. `aborted` is replicated per shard so
+  // the Send/Recv hot path checks and updates only its own bucket's lock.
+  struct Shard {
+    std::mutex mu;
+    Status aborted;
+    std::unordered_map<std::string, std::deque<Item>> ready;
+    std::unordered_map<std::string, std::deque<Waiter>> waiting;
+  };
+
+  Shard& shard(uint64_t key_hash) {
+    return shards_[key_hash & (kNumShards - 1)];
+  }
+
+  Shard shards_[kNumShards];
+  // Serializes StartAbort calls only (first-abort-wins); never taken by
+  // Send/Recv.
+  std::mutex abort_mu_;
+  bool abort_started_ = false;
 };
 
 }  // namespace tfrepro

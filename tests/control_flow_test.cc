@@ -8,8 +8,10 @@
 #include <thread>
 
 #include "graph/control_flow_builder.h"
+#include "graph/op_registry.h"
 #include "graph/ops.h"
 #include "runtime/control_flow_info.h"
+#include "runtime/kernel.h"
 #include "runtime/session.h"
 
 namespace tfrepro {
@@ -309,6 +311,99 @@ TEST(ControlFlowInfoTest, FrameAssignment) {
       EXPECT_EQ(info.frame_name[n->id()], "myframe");
     }
   }
+}
+
+// Exposes the executor's frame/iteration scope id to the graph: outputs
+// ctx->frame_iter() as an int64 scalar. The anchor input pins the node
+// inside the loop frame (an input-less node would land in the root frame)
+// and makes it rerun every iteration. Stateful so the optimizer neither
+// folds nor CSEs the instances in different loops.
+class TestFrameIterOp : public OpKernel {
+ public:
+  explicit TestFrameIterOp(OpKernelConstruction* ctx) : OpKernel(ctx) {}
+  void Compute(OpKernelContext* ctx) override {
+    ctx->set_output(0, Tensor::Scalar(ctx->frame_iter()));
+  }
+  bool IsExpensive() const override { return false; }
+};
+REGISTER_KERNEL("TestFrameIter", kDeviceCpu, TestFrameIterOp);
+
+void RegisterTestFrameIterOp() {
+  // Ignore AlreadyExists when several tests in this binary register it.
+  (void)OpRegistry::Global()->Register(OpDefBuilder("TestFrameIter")
+                                           .Input("anchor: float")
+                                           .Output("id: int64")
+                                           .SetIsStateful()
+                                           .Build()
+                                           .value());
+}
+
+// Builds `while (i < 2) { i += 1; a = frame_iter; b = old a; }` — a
+// two-stage shift register, so after the loop `a` holds the scope id of
+// iteration 1 and `b` the scope id of iteration 0.
+std::vector<Output> BuildFrameIterProbeLoop(GraphBuilder* b,
+                                            const std::string& frame_name) {
+  Result<std::vector<Output>> exits = ops::WhileLoop(
+      b,
+      {Const(b, 0.0f), Const(b, Tensor::Scalar(int64_t{-1})),
+       Const(b, Tensor::Scalar(int64_t{-2}))},
+      [](GraphBuilder* b, const std::vector<Output>& v) {
+        return ops::Less(b, v[0], Const(b, 2.0f));
+      },
+      [](GraphBuilder* b, const std::vector<Output>& v) {
+        Output id = b->Op("TestFrameIter").Input(v[0]).Finalize();
+        return std::vector<Output>{ops::Add(b, v[0], Const(b, 1.0f)), id,
+                                   v[1]};
+      },
+      /*invariants=*/{}, frame_name);
+  EXPECT_TRUE(exits.ok()) << exits.status();
+  return exits.value();
+}
+
+TEST(FrameIterIdTest, IterationsAndFramesNeverAlias) {
+  // Regression test for the frame/iteration scope id fed into rendezvous
+  // keys. The old id hashed the frame-name chain with h = h*131 + c, which
+  // collides on adversarial names — "a" and "\0a" hash identically (the
+  // leading NUL contributes 0*131+0) — so two unrelated loops could share a
+  // scope and cross-deliver loop-state tensors. The id is now
+  // (frame_id << 32) | iteration with creation-ordered frame ids: distinct
+  // frames and distinct iterations can never alias.
+  RegisterTestFrameIterOp();
+  Graph g;
+  GraphBuilder b(&g);
+  std::vector<Output> loop1 = BuildFrameIterProbeLoop(&b, "a");
+  std::vector<Output> loop2 =
+      BuildFrameIterProbeLoop(&b, std::string("\0a", 2));
+  ASSERT_TRUE(b.ok()) << b.status();
+
+  SessionOptions options;
+  options.optimizer.do_cse = false;
+  auto session = DirectSession::Create(g, options);
+  ASSERT_TRUE(session.ok()) << session.status();
+  std::vector<Tensor> out;
+  TF_CHECK_OK(session.value()->Run(
+      {}, {loop1[1].name(), loop1[2].name(), loop2[1].name(),
+           loop2[2].name()},
+      {}, &out));
+  int64_t a1 = *out[0].data<int64_t>();  // loop 1, iteration 1
+  int64_t b1 = *out[1].data<int64_t>();  // loop 1, iteration 0
+  int64_t a2 = *out[2].data<int64_t>();  // loop 2, iteration 1
+  int64_t b2 = *out[3].data<int64_t>();  // loop 2, iteration 0
+
+  // Iterations of one frame are distinct and reversible: same high bits
+  // (the frame id), consecutive low bits (the iteration).
+  EXPECT_NE(a1, b1);
+  EXPECT_EQ(a1 >> 32, b1 >> 32);
+  EXPECT_EQ(b1 & 0xffffffff, 0);
+  EXPECT_EQ(a1 & 0xffffffff, 1);
+  EXPECT_NE(a2, b2);
+  EXPECT_EQ(a2 >> 32, b2 >> 32);
+
+  // The two loops occupy distinct frames despite the colliding names, and
+  // neither collides with the root scope (id 0).
+  EXPECT_NE(a1 >> 32, a2 >> 32);
+  EXPECT_NE(a1 >> 32, 0);
+  EXPECT_NE(a2 >> 32, 0);
 }
 
 TEST(ControlFlowInfoTest, RejectsMixedFrameInputs) {

@@ -6,6 +6,7 @@
 
 #include <thread>
 
+#include "graph/control_flow_builder.h"
 #include "graph/ops.h"
 #include "runtime/executor.h"
 #include "runtime/session.h"
@@ -180,6 +181,52 @@ TEST(ExecutorErrorTest, DeepGraphCompletesWithoutStackOverflow) {
   std::vector<Tensor> out;
   TF_CHECK_OK(session.value()->Run({v.name()}, &out));
   EXPECT_FLOAT_EQ(*out[0].data<float>(), 1.0f);
+}
+
+TEST(ExecutorErrorTest, ZeroOutputDeadNodePropagatesDeadnessCleanly) {
+  // A zero-output node (NoOp) inside an untaken Cond branch: its dead
+  // execution sizes the outputs vector as max(1, num_outputs) = 1, a
+  // phantom slot that must never be delivered anywhere — the node has only
+  // control out-edges, and DeliverToEdges asserts data edges always index a
+  // real output. Deadness must still flow through the NoOp's control edge
+  // so the downstream branch value dies and the merge picks the taken side.
+  Graph g;
+  GraphBuilder b(&g);
+  Output pred = ops::Placeholder(&b, DataType::kBool, TensorShape(), "pred");
+  Output x = ops::Placeholder(&b, DataType::kFloat, TensorShape(), "x");
+  Result<std::vector<Output>> results = ops::Cond(
+      &b, pred, {x},
+      [](GraphBuilder* b, const std::vector<Output>& in) {
+        Output doubled = ops::Mul(b, in[0], Const(b, 2.0f));
+        // NoOp is dead via the control edge from `doubled` when the branch
+        // is untaken; its deadness must reach `gated` the same way.
+        Node* noop = b->Op("NoOp").ControlInput(doubled.node).FinalizeNode();
+        Output gated = b->Op("Identity")
+                           .Input(doubled)
+                           .ControlInput(noop)
+                           .Attr("T", DataType::kFloat)
+                           .Finalize();
+        return std::vector<Output>{gated};
+      },
+      [](GraphBuilder* b, const std::vector<Output>& in) {
+        return std::vector<Output>{ops::Neg(b, in[0])};
+      });
+  ASSERT_TRUE(results.ok()) << results.status();
+  ASSERT_TRUE(b.ok()) << b.status();
+  SessionOptions options;
+  options.optimizer.do_cse = false;
+  auto session = DirectSession::Create(g, options);
+  std::vector<Tensor> out;
+  // Taken branch: the live NoOp executes with zero outputs.
+  TF_CHECK_OK(session.value()->Run(
+      {{"pred", Tensor::Scalar(true)}, {"x", Tensor::Scalar(5.0f)}},
+      {results.value()[0].name()}, {}, &out));
+  EXPECT_FLOAT_EQ(*out[0].data<float>(), 10.0f);
+  // Untaken branch: the dead NoOp propagates deadness, no phantom writes.
+  TF_CHECK_OK(session.value()->Run(
+      {{"pred", Tensor::Scalar(false)}, {"x", Tensor::Scalar(5.0f)}},
+      {results.value()[0].name()}, {}, &out));
+  EXPECT_FLOAT_EQ(*out[0].data<float>(), -5.0f);
 }
 
 }  // namespace
