@@ -1,0 +1,297 @@
+// Closed-loop serving load generator (the inference-side companion to the
+// training benches). Deploys an MLP through the full serving path — train
+// variables, checkpoint, FreezeGraph, Servable — then drives it with N
+// concurrent clients in two modes at EQUAL concurrency:
+//
+//   serve_unbatched — every client runs its own batch-1 Session::Run
+//     (the no-batching baseline: per-request executor dispatch);
+//   serve_batched   — every client goes through the DynamicBatcher, which
+//     coalesces concurrent requests into one batched Run.
+//
+// Rows report throughput (steps_per_s = requests/s), mean latency
+// (wall_ms) and p50/p99 latency + mean batch size in extras. The dynamic
+// batcher's win is the acceptance criterion for the serving subsystem
+// (>= 3x the unbatched throughput) and scripts/check.sh gates regressions
+// against the committed BENCH_serving.json.
+//
+//   bench_serving [--concurrency N] [--max-batch B] [--timeout-us U]
+//                 [--seconds S] [--json PATH]
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_json.h"
+#include "core/metrics.h"
+#include "graph/ops.h"
+#include "runtime/session.h"
+#include "serving/batcher.h"
+#include "serving/freeze.h"
+#include "serving/model_manager.h"
+#include "serving/servable.h"
+#include "train/saver.h"
+
+namespace tfrepro {
+namespace {
+
+using ops::Const;
+
+// Narrow-and-deep on purpose: dynamic batching amortizes the PER-NODE
+// dispatch overhead of a Run (executor wakeups, ready-queue churn, kernel
+// launches), so the representative serving workload is a graph with many
+// small nodes — the shape of real inference graphs — not one giant matmul
+// whose FLOPs scale with batch size anyway.
+constexpr int kInputDim = 16;
+constexpr int kHiddenDim = 16;
+constexpr int kHiddenLayers = 10;
+constexpr int kNumClasses = 10;
+
+Tensor RandomMatrix(int64_t rows, int64_t cols, uint32_t seed) {
+  std::mt19937 gen(seed);
+  std::normal_distribution<float> dist(0.0f, 0.5f);
+  std::vector<float> values(rows * cols);
+  for (float& v : values) v = dist(gen);
+  return Tensor::FromVector<float>(values, TensorShape({rows, cols}));
+}
+
+Tensor RandomVec(int64_t n, uint32_t seed) {
+  std::mt19937 gen(seed);
+  std::normal_distribution<float> dist(0.0f, 0.1f);
+  std::vector<float> values(n);
+  for (float& v : values) v = dist(gen);
+  return Tensor::Vec<float>(values);
+}
+
+// Trains nothing (weights are the init values) but walks the REAL deploy
+// path: Variables -> checkpoint -> FreezeGraph -> Servable.
+std::shared_ptr<const serving::Servable> DeployMlp() {
+  Graph g;
+  GraphBuilder b(&g);
+  Output x = ops::Placeholder(&b, DataType::kFloat,
+                              TensorShape({1, kInputDim}), "x");
+  std::vector<Output> vars;
+  std::vector<Output> assigns;
+  Output h = x;
+  int in_dim = kInputDim;
+  uint32_t seed = 1;
+  for (int layer = 0; layer <= kHiddenLayers; ++layer) {
+    const bool last = layer == kHiddenLayers;
+    const int out_dim = last ? kNumClasses : kHiddenDim;
+    Output w = ops::Variable(&b, DataType::kFloat,
+                             TensorShape({in_dim, out_dim}),
+                             "w" + std::to_string(layer));
+    Output bias = ops::Variable(&b, DataType::kFloat, TensorShape({out_dim}),
+                                "b" + std::to_string(layer));
+    vars.push_back(w);
+    vars.push_back(bias);
+    assigns.push_back(
+        ops::Assign(&b, w, Const(&b, RandomMatrix(in_dim, out_dim, seed++))));
+    assigns.push_back(
+        ops::Assign(&b, bias, Const(&b, RandomVec(out_dim, seed++))));
+    Output z = ops::BiasAdd(&b, ops::MatMul(&b, h, w), bias);
+    h = last ? ops::Softmax(&b, z) : ops::Relu(&b, z);
+    in_dim = out_dim;
+  }
+  const Output probs = h;
+  Output init = Output(ops::Group(&b, assigns, "init"), 0);
+  train::Saver saver(&b, vars);
+  TF_CHECK_OK(b.status());
+
+  auto session = DirectSession::Create(g);
+  TF_CHECK_OK(session.status());
+  TF_CHECK_OK(session.value()->Run({}, {}, {init.node->name()}, nullptr));
+  std::string prefix = "/tmp/bench_serving_ckpt";
+  Result<std::string> ckpt = saver.Save(session.value().get(), prefix, 1);
+  TF_CHECK_OK(ckpt.status());
+
+  Result<std::unique_ptr<Graph>> frozen =
+      serving::FreezeGraph(g, {ckpt.value()}, {probs.name()});
+  TF_CHECK_OK(frozen.status());
+  auto servable = serving::Servable::Create(
+      *frozen.value(), serving::SignatureDef{"x", {probs.name()}},
+      /*version=*/1);
+  TF_CHECK_OK(servable.status());
+  return servable.value();
+}
+
+struct LoadResult {
+  int64_t requests = 0;
+  int64_t failures = 0;
+  double elapsed_s = 0;
+  double mean_ms = 0;
+  double p50_ms = 0;
+  double p99_ms = 0;
+};
+
+// Runs `concurrency` closed-loop clients for `seconds`, each issuing one
+// request at a time through `issue` (which returns OK/error), and collects
+// the latency distribution across all clients.
+LoadResult RunClosedLoop(int concurrency, double seconds,
+                         const std::function<Status(const Tensor&)>& issue) {
+  std::atomic<bool> stop{false};
+  std::atomic<int64_t> failures{0};
+  std::vector<std::vector<double>> latencies(concurrency);
+  std::vector<std::thread> clients;
+  const auto start = std::chrono::steady_clock::now();
+  for (int c = 0; c < concurrency; ++c) {
+    clients.emplace_back([&, c] {
+      std::mt19937 gen(1000 + c);
+      std::normal_distribution<float> dist(0.0f, 1.0f);
+      std::vector<float> example(kInputDim);
+      std::vector<double>& lat = latencies[c];
+      lat.reserve(1 << 16);
+      while (!stop.load(std::memory_order_relaxed)) {
+        for (float& v : example) v = dist(gen);
+        Tensor t = Tensor::Vec<float>(example);
+        const auto t0 = std::chrono::steady_clock::now();
+        Status s = issue(t);
+        const auto t1 = std::chrono::steady_clock::now();
+        if (!s.ok()) {
+          failures.fetch_add(1, std::memory_order_relaxed);
+          continue;
+        }
+        lat.push_back(
+            std::chrono::duration<double, std::milli>(t1 - t0).count());
+      }
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+  stop.store(true);
+  for (std::thread& t : clients) t.join();
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+
+  std::vector<double> all;
+  for (const auto& v : latencies) all.insert(all.end(), v.begin(), v.end());
+  LoadResult r;
+  r.requests = static_cast<int64_t>(all.size());
+  r.failures = failures.load();
+  r.elapsed_s = elapsed;
+  if (!all.empty()) {
+    std::sort(all.begin(), all.end());
+    double sum = 0;
+    for (double v : all) sum += v;
+    r.mean_ms = sum / all.size();
+    r.p50_ms = all[all.size() / 2];
+    r.p99_ms = all[std::min(all.size() - 1,
+                            static_cast<size_t>(all.size() * 0.99))];
+  }
+  return r;
+}
+
+double HistMean(const metrics::RegistrySnapshot& snap,
+                const std::string& name, double prev_sum, int64_t prev_count) {
+  const metrics::MetricSnapshot* m = snap.Find(name);
+  if (m == nullptr || m->count - prev_count <= 0) return 0;
+  return (m->sum - prev_sum) / static_cast<double>(m->count - prev_count);
+}
+
+}  // namespace
+}  // namespace tfrepro
+
+int main(int argc, char** argv) {
+  using namespace tfrepro;
+
+  bench::BenchReport report("serving", &argc, argv);
+  // Default concurrency deliberately exceeds max_batch: a closed-loop load
+  // can only fill batches when more clients are in flight than one batch
+  // holds (otherwise every batch waits out the timeout).
+  int concurrency = 64;
+  int64_t max_batch = 32;
+  int64_t timeout_us = 1000;
+  double seconds = 2.0;
+  for (int i = 1; i < argc; ++i) {
+    auto flag = [&](const char* name) {
+      return std::strcmp(argv[i], name) == 0 && i + 1 < argc;
+    };
+    if (flag("--concurrency")) {
+      concurrency = std::atoi(argv[++i]);
+    } else if (flag("--max-batch")) {
+      max_batch = std::atoll(argv[++i]);
+    } else if (flag("--timeout-us")) {
+      timeout_us = std::atoll(argv[++i]);
+    } else if (flag("--seconds")) {
+      seconds = std::atof(argv[++i]);
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
+      return 2;
+    }
+  }
+
+  auto servable = DeployMlp();
+  serving::ModelManager manager;
+  TF_CHECK_OK(manager.Publish("mlp", servable));
+
+  std::printf("serving bench: %d clients, %.1fs per mode, max_batch=%lld, "
+              "timeout=%lldus\n",
+              concurrency, seconds, static_cast<long long>(max_batch),
+              static_cast<long long>(timeout_us));
+  std::printf("%-16s %12s %10s %10s %10s %10s\n", "mode", "req/s", "mean_ms",
+              "p50_ms", "p99_ms", "mean_batch");
+
+  // Baseline: batch-1 Session::Run per request, same concurrency.
+  LoadResult unbatched = RunClosedLoop(
+      concurrency, seconds, [&](const Tensor& example) {
+        Result<Tensor> row =
+            example.Reshaped(TensorShape({1, kInputDim}));
+        TF_RETURN_IF_ERROR(row.status());
+        std::vector<Tensor> outputs;
+        return manager.Current("mlp")->Run(row.value(), &outputs);
+      });
+  const double unbatched_rps = unbatched.requests / unbatched.elapsed_s;
+  std::printf("%-16s %12.0f %10.3f %10.3f %10.3f %10.2f\n", "serve_unbatched",
+              unbatched_rps, unbatched.mean_ms, unbatched.p50_ms,
+              unbatched.p99_ms, 1.0);
+  report.Add("serve_unbatched", unbatched.mean_ms, unbatched_rps,
+             {{"p50_ms", unbatched.p50_ms},
+              {"p99_ms", unbatched.p99_ms},
+              {"mean_batch", 1.0},
+              {"concurrency", static_cast<double>(concurrency)},
+              {"failures", static_cast<double>(unbatched.failures)}});
+
+  // Dynamic batching through the same manager.
+  serving::DynamicBatcher::Options options;
+  options.max_batch_size = max_batch;
+  options.batch_timeout_us = timeout_us;
+  options.max_enqueued = 4 * std::max<int64_t>(concurrency, max_batch);
+  options.num_batch_threads = 2;
+  serving::DynamicBatcher batcher(
+      [&manager] { return manager.Current("mlp"); }, options);
+
+  metrics::RegistrySnapshot before = metrics::Registry::Global()->Snapshot();
+  const metrics::MetricSnapshot* bs = before.Find("serving.batch_size");
+  const double prev_sum = bs == nullptr ? 0 : bs->sum;
+  const int64_t prev_count = bs == nullptr ? 0 : bs->count;
+
+  LoadResult batched = RunClosedLoop(
+      concurrency, seconds, [&](const Tensor& example) {
+        serving::DynamicBatcher::Response r = batcher.RunOne(example);
+        return r.status;
+      });
+  batcher.Shutdown();
+  const double batched_rps = batched.requests / batched.elapsed_s;
+  const double mean_batch =
+      HistMean(metrics::Registry::Global()->Snapshot(), "serving.batch_size",
+               prev_sum, prev_count);
+  std::printf("%-16s %12.0f %10.3f %10.3f %10.3f %10.2f\n", "serve_batched",
+              batched_rps, batched.mean_ms, batched.p50_ms, batched.p99_ms,
+              mean_batch);
+  report.Add("serve_batched", batched.mean_ms, batched_rps,
+             {{"p50_ms", batched.p50_ms},
+              {"p99_ms", batched.p99_ms},
+              {"mean_batch", mean_batch},
+              {"concurrency", static_cast<double>(concurrency)},
+              {"failures", static_cast<double>(batched.failures)}});
+
+  std::printf("batched/unbatched throughput: %.2fx\n",
+              batched_rps / unbatched_rps);
+  return report.WriteIfRequested();
+}

@@ -15,7 +15,8 @@ cd "$(dirname "$0")/.."
 
 JOBS="$(nproc)"
 TSAN_TESTS=(metrics_test tracing_test fault_tolerance_test queue_test
-            threadpool_test rendezvous_stress_test chaos_test)
+            threadpool_test rendezvous_stress_test chaos_test
+            serving_test session_stress_test)
 # Three chaos seeds under TSan keep the pass under a few minutes; the full
 # five-seed sweep runs in the regular tier-1 ctest.
 declare -A TSAN_FILTER=(
@@ -74,17 +75,52 @@ print("bench smoke: ok")
 PYEOF
 }
 
+# Serving bench smoke: short closed-loop run; fail if batched serving
+# throughput fell >25% below the committed BENCH_serving.json baseline.
+# Same philosophy as the executor smoke — a tripwire for "the batcher
+# stopped batching", not a precision benchmark.
+run_serving_bench_smoke() {
+  echo "== bench smoke: serve_batched vs BENCH_serving.json =="
+  cmake --build build -j "$JOBS" --target bench_serving
+  local fresh=/tmp/bench_smoke_serving.json
+  ./build/bench/bench_serving --seconds 1.5 --json "$fresh"
+  python3 - "$fresh" BENCH_serving.json <<'PYEOF'
+import json, sys
+
+fresh = json.load(open(sys.argv[1]))
+baseline = json.load(open(sys.argv[2]))
+
+def row(doc, name):
+    for r in doc["results"]:
+        if r["name"] == name:
+            return r
+    raise SystemExit(f"bench smoke: {name} missing from results")
+
+new = row(fresh, "serve_batched")["steps_per_s"]
+old = row(baseline, "serve_batched")["steps_per_s"]
+ratio = new / old
+print(f"bench smoke: batched serving {new:.0f} req/s vs baseline "
+      f"{old:.0f} req/s ({ratio:.2f}x)")
+if ratio < 0.75:
+    raise SystemExit("bench smoke FAILED: batched serving throughput "
+                     f"regressed >25% ({ratio:.2f}x)")
+print("bench smoke: ok")
+PYEOF
+}
+
 case "${1:-}" in
   --tsan-only)
     run_tsan
     ;;
   --bench-only)
     run_bench_smoke
+    run_serving_bench_smoke
     ;;
   *)
     run_tier1
     run_tsan
     run_bench_smoke
+    run_serving_bench_smoke
     ;;
 esac
 echo "check.sh: all green"

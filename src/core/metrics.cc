@@ -54,6 +54,33 @@ std::vector<double> Histogram::DefaultLatencyBucketsMs() {
   return bounds;
 }
 
+double MetricSnapshot::Percentile(double q) const {
+  if (kind != Kind::kHistogram || count <= 0) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  // Rank of the target sample (0-based) among `count` sorted samples.
+  double rank = q * static_cast<double>(count - 1);
+  int64_t seen = 0;
+  for (size_t i = 0; i < bucket_counts.size(); ++i) {
+    if (bucket_counts[i] == 0) continue;
+    if (rank >= static_cast<double>(seen + bucket_counts[i])) {
+      seen += bucket_counts[i];
+      continue;
+    }
+    // The target rank falls in bucket i, spanning (lo, hi].
+    if (i >= bounds.size()) {
+      // +inf bucket: the best available estimate is the last finite bound.
+      return bounds.empty() ? 0.0 : bounds.back();
+    }
+    double lo = i == 0 ? 0.0 : bounds[i - 1];
+    double hi = bounds[i];
+    double frac = (rank - static_cast<double>(seen)) /
+                  static_cast<double>(bucket_counts[i]);
+    return lo + (hi - lo) * frac;
+  }
+  return bounds.empty() ? 0.0 : bounds.back();
+}
+
 const MetricSnapshot* RegistrySnapshot::Find(const std::string& name,
                                              const TagMap& tags) const {
   for (const MetricSnapshot& e : entries) {

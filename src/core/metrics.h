@@ -95,6 +95,14 @@ struct MetricSnapshot {
   std::vector<int64_t> bucket_counts;
   int64_t count = 0;
   double sum = 0;
+
+  // Estimated value at quantile `q` in [0, 1] (0.5 = median, 0.99 = p99),
+  // linearly interpolated within the bucket the quantile lands in. Samples
+  // in the +inf bucket report the last finite bound. Returns 0 for empty
+  // histograms or non-histogram snapshots. Resolution is bounded by the
+  // bucket widths — good for dashboards and regression gates, not for
+  // comparing values inside one bucket.
+  double Percentile(double q) const;
 };
 
 struct RegistrySnapshot {

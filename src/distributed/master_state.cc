@@ -3,6 +3,8 @@
 #include <filesystem>
 #include <sstream>
 
+#include "core/metrics.h"
+
 namespace tfrepro {
 namespace distributed {
 
@@ -75,15 +77,44 @@ Result<MasterState> LoadMasterState(const std::string& path) {
   return state;
 }
 
-MasterStateLog::MasterStateLog(const std::string& path) : path_(path) {}
+namespace {
+
+std::string CompiledLine(const CompiledSignature& sig) {
+  std::ostringstream os;
+  os << "compiled " << sig.handle;
+  WriteNames(&os, sig.feeds);
+  WriteNames(&os, sig.fetches);
+  WriteNames(&os, sig.targets);
+  return os.str();
+}
+
+}  // namespace
+
+MasterStateLog::MasterStateLog(const std::string& path, int64_t rotate_bytes)
+    : rotate_bytes_(rotate_bytes), path_(path) {}
 
 Result<std::unique_ptr<MasterStateLog>> MasterStateLog::Open(
-    const std::string& path, const std::string& session_prefix) {
+    const std::string& path, const std::string& session_prefix,
+    int64_t rotate_bytes) {
   std::filesystem::path dir = std::filesystem::path(path).parent_path();
   std::error_code ec;
   if (!dir.empty()) std::filesystem::create_directories(dir, ec);
   const bool fresh = !std::filesystem::exists(path);
-  std::unique_ptr<MasterStateLog> log(new MasterStateLog(path));
+  std::unique_ptr<MasterStateLog> log(
+      new MasterStateLog(path, rotate_bytes));
+  if (fresh) {
+    log->mirror_.session_prefix = session_prefix;
+  } else {
+    // Seed the compaction mirror with the existing history so a rotation
+    // triggered by this incarnation preserves records from earlier ones.
+    Result<MasterState> loaded = LoadMasterState(path);
+    TF_RETURN_IF_ERROR(loaded.status());
+    log->mirror_ = std::move(loaded).value();
+    std::error_code size_ec;
+    log->bytes_ = static_cast<int64_t>(
+        std::filesystem::file_size(path, size_ec));
+    if (size_ec) log->bytes_ = 0;
+  }
   log->out_.open(path, std::ios::app);
   if (!log->out_) {
     return Internal("cannot open master state log '" + path + "'");
@@ -94,6 +125,11 @@ Result<std::unique_ptr<MasterStateLog>> MasterStateLog::Open(
   return log;
 }
 
+int64_t MasterStateLog::size_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return bytes_;
+}
+
 Status MasterStateLog::AppendLine(const std::string& line) {
   std::lock_guard<std::mutex> lock(mu_);
   out_ << line << "\n";
@@ -101,24 +137,82 @@ Status MasterStateLog::AppendLine(const std::string& line) {
   if (!out_) {
     return Internal("write to master state log '" + path_ + "' failed");
   }
+  bytes_ += static_cast<int64_t>(line.size()) + 1;
+  if (rotate_bytes_ > 0 && bytes_ > rotate_bytes_) {
+    return CompactLocked();
+  }
+  return Status::OK();
+}
+
+Status MasterStateLog::CompactLocked() {
+  std::ostringstream os;
+  os << "prefix " << mirror_.session_prefix << "\n";
+  for (const CompiledSignature& sig : mirror_.compiled) {
+    os << CompiledLine(sig) << "\n";
+  }
+  if (mirror_.step_watermark > 0) {
+    os << "step " << mirror_.step_watermark << "\n";
+  }
+  if (mirror_.has_checkpoint()) {
+    os << "ckpt " << mirror_.checkpoint_step << " "
+       << mirror_.checkpoint_prefix << "\n";
+  }
+  const std::string compact = os.str();
+
+  const std::string tmp = path_ + ".tmp";
+  {
+    std::ofstream tmp_out(tmp, std::ios::trunc);
+    tmp_out << compact;
+    tmp_out.flush();
+    if (!tmp_out) {
+      return Internal("compaction write to '" + tmp + "' failed");
+    }
+  }
+  out_.close();
+  std::error_code ec;
+  std::filesystem::rename(tmp, path_, ec);
+  if (ec) {
+    // The old (uncompacted but complete) log is still in place; keep
+    // appending to it rather than losing durability.
+    out_.open(path_, std::ios::app);
+    return Internal("compaction rename to '" + path_ +
+                    "' failed: " + ec.message());
+  }
+  out_.open(path_, std::ios::app);
+  if (!out_) {
+    return Internal("cannot reopen master state log '" + path_ +
+                    "' after compaction");
+  }
+  bytes_ = static_cast<int64_t>(compact.size());
+  metrics::Registry::Global()->GetCounter("master.statelog_rotations")
+      ->Increment();
   return Status::OK();
 }
 
 Status MasterStateLog::AppendCompiled(const CompiledSignature& sig) {
-  std::ostringstream os;
-  os << "compiled " << sig.handle;
-  WriteNames(&os, sig.feeds);
-  WriteNames(&os, sig.fetches);
-  WriteNames(&os, sig.targets);
-  return AppendLine(os.str());
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    mirror_.compiled.push_back(sig);
+    mirror_.next_handle = static_cast<int64_t>(mirror_.compiled.size());
+  }
+  return AppendLine(CompiledLine(sig));
 }
 
 Status MasterStateLog::AppendStep(int64_t step_id) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (step_id > mirror_.step_watermark) mirror_.step_watermark = step_id;
+  }
   return AppendLine("step " + std::to_string(step_id));
 }
 
 Status MasterStateLog::AppendCheckpoint(const std::string& prefix,
                                         int64_t step) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    mirror_.checkpoint_prefix = prefix;
+    mirror_.checkpoint_step = step;
+  }
   return AppendLine("ckpt " + std::to_string(step) + " " + prefix);
 }
 

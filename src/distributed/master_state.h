@@ -18,6 +18,14 @@
 // Format: an append-only text log, one record per line, replayed in order
 // on load (later records win). Names must not contain whitespace — true for
 // graph node names throughout this codebase.
+//
+// Rotation: AppendStep writes one record per training step, so a
+// long-running master grows the log without bound while its replayed state
+// stays tiny (later records win). The log therefore tracks a compact
+// in-memory mirror of the replayed state and, when the file exceeds
+// `rotate_bytes`, atomically rewrites it to just that state (write to
+// "<path>.tmp", flush, rename over `path`) — recovery over a rotated log is
+// indistinguishable from recovery over the full history.
 
 #ifndef TFREPRO_DISTRIBUTED_MASTER_STATE_H_
 #define TFREPRO_DISTRIBUTED_MASTER_STATE_H_
@@ -55,26 +63,40 @@ struct MasterState {
 // Replays the log at `path`. NotFound when no log exists (fresh start).
 Result<MasterState> LoadMasterState(const std::string& path);
 
-// Append-only writer. Thread-safe; each record is flushed so the log
-// survives an abrupt master death mid-run.
+// Append-only writer with size-triggered compaction. Thread-safe; each
+// record is flushed so the log survives an abrupt master death mid-run.
 class MasterStateLog {
  public:
+  static constexpr int64_t kDefaultRotateBytes = 1 << 20;  // 1 MiB
+
   // Opens `path` for appending, first writing a fresh `prefix` record when
-  // the file is new (an existing log is continued, not truncated).
+  // the file is new (an existing log is continued, not truncated; its
+  // replayed state seeds the compaction mirror). The log is rewritten to
+  // its compact current state whenever it exceeds `rotate_bytes`
+  // (0 disables rotation).
   static Result<std::unique_ptr<MasterStateLog>> Open(
-      const std::string& path, const std::string& session_prefix);
+      const std::string& path, const std::string& session_prefix,
+      int64_t rotate_bytes = kDefaultRotateBytes);
 
   Status AppendCompiled(const CompiledSignature& sig);
   Status AppendStep(int64_t step_id);
   Status AppendCheckpoint(const std::string& prefix, int64_t step);
 
- private:
-  MasterStateLog(const std::string& path);
-  Status AppendLine(const std::string& line);
+  // Current on-disk size in bytes (exact after every Append returns).
+  int64_t size_bytes() const;
 
-  std::mutex mu_;
+ private:
+  MasterStateLog(const std::string& path, int64_t rotate_bytes);
+  Status AppendLine(const std::string& line);
+  // Rewrites the log to the mirror's compact state. Called with mu_ held.
+  Status CompactLocked();
+
+  const int64_t rotate_bytes_;
+  mutable std::mutex mu_;
   std::ofstream out_;
   std::string path_;
+  MasterState mirror_;
+  int64_t bytes_ = 0;
 };
 
 }  // namespace distributed

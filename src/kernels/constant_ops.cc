@@ -1,6 +1,8 @@
 // Kernels for constants, identity, placeholders, and the _Feed/_Fetch nodes
 // inserted by session graph rewriting (paper §3.2).
 
+#include <mutex>
+
 #include "kernels/dispatch.h"
 #include "runtime/kernel.h"
 
@@ -93,9 +95,19 @@ class FetchOp : public OpKernel {
                 Internal("_Fetch executed without a call frame"));
     // Deep-copy: a fetch leaves the dataflow (in the distributed runtime it
     // would be serialized to the client), so it must be a snapshot that
-    // later in-place variable updates cannot alias.
+    // later in-place variable updates cannot alias. When fetching a ref
+    // output (a Variable), the snapshot is taken under the variable's mutex
+    // so a concurrent Assign*'s in-place write can never tear it.
+    Tensor snapshot;
+    std::mutex* mu = nullptr;
+    if (Tensor* ref = ctx->mutable_input_ref(0, &mu); ref != nullptr) {
+      std::lock_guard<std::mutex> lock(*mu);
+      snapshot = ref->Clone();
+    } else {
+      snapshot = ctx->input(0).Clone();
+    }
     OP_REQUIRES_OK(ctx, ctx->call_frame()->SetFetch(static_cast<int>(index_),
-                                                    ctx->input(0).Clone()));
+                                                    std::move(snapshot)));
   }
   bool IsExpensive() const override { return false; }
 

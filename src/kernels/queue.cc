@@ -2,6 +2,7 @@
 
 #include "core/metrics.h"
 #include "runtime/device.h"
+#include "runtime/tracing.h"
 
 namespace tfrepro {
 
@@ -28,6 +29,15 @@ const QueueMetrics& GetQueueMetrics() {
     };
   }();
   return m;
+}
+
+// Emits a trace span for a queue waiter that actually blocked. The 100us
+// floor keeps the pass-through fast path (every op transits the waiter
+// list) from spamming the trace with zero-length spans.
+void MaybeRecordBlockedSpan(const char* name, int64_t start_micros,
+                            int64_t end_micros) {
+  if (end_micros - start_micros < 100) return;
+  RecordGlobalSpan(name, /*scope=*/"", start_micros, end_micros);
 }
 }  // namespace
 
@@ -164,9 +174,11 @@ void QueueResource::SatisfyLocked(std::vector<std::function<void()>>* actions) {
       buffer_.push_back(std::move(w.tuple));
       GetQueueMetrics().enqueues->Increment();
       GetQueueMetrics().occupancy->Add(1);
+      const int64_t enq_now = metrics::NowMicros();
       GetQueueMetrics().enqueue_block_ms->Record(
-          static_cast<double>(metrics::NowMicros() - w.wait_start_micros) /
-          1000.0);
+          static_cast<double>(enq_now - w.wait_start_micros) / 1000.0);
+      MaybeRecordBlockedSpan("queue.enqueue_blocked", w.wait_start_micros,
+                             enq_now);
       if (w.has_token) w.cm->DeregisterCallback(w.token);
       actions->push_back([done = std::move(w.done)]() { done(Status::OK()); });
       progress = true;
@@ -187,10 +199,11 @@ void QueueResource::SatisfyLocked(std::vector<std::function<void()>>* actions) {
       DequeueWaiter ready = std::move(dequeue_waiters_.front());
       dequeue_waiters_.pop_front();
       GetQueueMetrics().dequeues->Increment(ready.n);
+      const int64_t deq_now = metrics::NowMicros();
       GetQueueMetrics().dequeue_block_ms->Record(
-          static_cast<double>(metrics::NowMicros() -
-                              ready.wait_start_micros) /
-          1000.0);
+          static_cast<double>(deq_now - ready.wait_start_micros) / 1000.0);
+      MaybeRecordBlockedSpan("queue.dequeue_blocked",
+                             ready.wait_start_micros, deq_now);
       if (ready.has_token) ready.cm->DeregisterCallback(ready.token);
       Tuple result = ready.batched ? StackRows(ready.rows)
                                    : std::move(ready.rows[0]);

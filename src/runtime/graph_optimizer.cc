@@ -65,7 +65,8 @@ Status ReplaceNode(Graph* graph, Node* from, Node* to) {
 
 }  // namespace
 
-int EliminateCommonSubexpressions(Graph* graph) {
+int EliminateCommonSubexpressions(Graph* graph,
+                                  const std::set<std::string>& preserve) {
   int removed = 0;
   bool changed = true;
   while (changed) {
@@ -78,12 +79,51 @@ int EliminateCommonSubexpressions(Graph* graph) {
       std::string sig = NodeSignature(node);
       auto [it, inserted] = canonical.emplace(sig, node);
       if (!inserted && it->second != node) {
+        if (preserve.count(node->name()) != 0) continue;
         if (ReplaceNode(graph, node, it->second).ok()) {
           ++removed;
           changed = true;
         }
       }
     }
+  }
+  return removed;
+}
+
+int ElideIdentityNodes(Graph* graph, const std::set<std::string>& preserve) {
+  int removed = 0;
+  for (Node* node : graph->nodes()) {
+    if (!node->IsOp("Identity") && !node->IsOp("StopGradient")) continue;
+    if (preserve.count(node->name()) != 0) continue;
+    bool has_control = false;
+    for (const Edge* e : node->in_edges()) {
+      if (e->IsControlEdge()) has_control = true;
+    }
+    for (const Edge* e : node->out_edges()) {
+      if (e->IsControlEdge()) has_control = true;
+    }
+    if (has_control) continue;
+    Result<const Edge*> in = node->input_edge(0);
+    if (!in.ok()) continue;
+    Node* src = in.value()->src;
+    int src_output = in.value()->src_output;
+    // An Identity read of a ref output snapshots the variable; keep it.
+    if (IsRefType(src->output_type(src_output))) continue;
+    std::vector<const Edge*> outs(node->out_edges().begin(),
+                                  node->out_edges().end());
+    bool ok = true;
+    for (const Edge* e : outs) {
+      Node* dst = e->dst;
+      int dst_input = e->dst_input;
+      graph->RemoveEdge(e);
+      if (!graph->AddEdge(src, src_output, dst, dst_input).ok()) {
+        ok = false;
+        break;
+      }
+    }
+    if (!ok) return removed;
+    graph->RemoveNode(node);
+    ++removed;
   }
   return removed;
 }
@@ -125,12 +165,14 @@ Result<std::vector<Tensor>> EvaluateNode(Node* node,
 
 }  // namespace
 
-Result<int> FoldConstants(Graph* graph, Device* device) {
+Result<int> FoldConstants(Graph* graph, Device* device,
+                          const std::set<std::string>& preserve) {
   int folded = 0;
   Result<std::vector<Node*>> order = graph->TopologicalOrder();
   TF_RETURN_IF_ERROR(order.status());
   for (Node* node : order.value()) {
     if (!IsOptimizable(node) || node->IsConstant()) continue;
+    if (preserve.count(node->name()) != 0) continue;
     if (node->num_inputs() == 0) continue;  // placeholders etc.
     bool all_const = true;
     bool has_control = false;
@@ -203,16 +245,19 @@ Result<int> FoldConstants(Graph* graph, Device* device) {
 
 Status OptimizeGraph(Graph* graph, Device* device,
                      const OptimizerOptions& options) {
+  if (options.do_identity_elision) {
+    ElideIdentityNodes(graph, options.preserve);
+  }
   if (options.do_cse) {
-    EliminateCommonSubexpressions(graph);
+    EliminateCommonSubexpressions(graph, options.preserve);
   }
   if (options.do_constant_folding) {
     for (int pass = 0; pass < options.max_folding_passes; ++pass) {
-      Result<int> folded = FoldConstants(graph, device);
+      Result<int> folded = FoldConstants(graph, device, options.preserve);
       TF_RETURN_IF_ERROR(folded.status());
       if (folded.value() == 0) break;
       if (options.do_cse) {
-        EliminateCommonSubexpressions(graph);
+        EliminateCommonSubexpressions(graph, options.preserve);
       }
     }
   }

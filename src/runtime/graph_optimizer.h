@@ -6,6 +6,9 @@
 #ifndef TFREPRO_RUNTIME_GRAPH_OPTIMIZER_H_
 #define TFREPRO_RUNTIME_GRAPH_OPTIMIZER_H_
 
+#include <set>
+#include <string>
+
 #include "core/status.h"
 #include "graph/graph.h"
 #include "runtime/device.h"
@@ -17,14 +20,34 @@ struct OptimizerOptions {
   bool do_constant_folding = true;
   // Bound on folding passes (each pass may expose new foldable nodes).
   int max_folding_passes = 3;
+  // Removes Identity/StopGradient pass-through nodes (inference-graph
+  // cleanup used by serving::FreezeGraph; off for sessions, where the hop
+  // is harmless and keeps traces readable).
+  bool do_identity_elision = false;
+  // Node names that must survive optimization under their own name. Session
+  // compilation protects fetch roots structurally (_Fetch nodes are never
+  // optimizable); FreezeGraph optimizes a graph whose fetch roots are plain
+  // nodes, so it lists them here to keep CSE/folding/elision from renaming
+  // or removing them.
+  std::set<std::string> preserve;
 };
 
 // Merges duplicate stateless nodes. Returns the number of nodes removed.
-int EliminateCommonSubexpressions(Graph* graph);
+// Nodes named in `preserve` are never removed (they may still act as the
+// surviving canonical copy).
+int EliminateCommonSubexpressions(Graph* graph,
+                                  const std::set<std::string>& preserve = {});
+
+// Removes Identity/StopGradient nodes by rewiring their consumers to the
+// upstream producer. Skips nodes in `preserve`, nodes touching control
+// edges, and reads of ref outputs. Returns the number of nodes removed.
+int ElideIdentityNodes(Graph* graph,
+                       const std::set<std::string>& preserve = {});
 
 // Evaluates stateless nodes whose inputs are all constants on `device` and
 // replaces them with Const nodes. Returns the number of nodes folded.
-Result<int> FoldConstants(Graph* graph, Device* device);
+Result<int> FoldConstants(Graph* graph, Device* device,
+                          const std::set<std::string>& preserve = {});
 
 Status OptimizeGraph(Graph* graph, Device* device,
                      const OptimizerOptions& options = OptimizerOptions());

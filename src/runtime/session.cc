@@ -109,6 +109,12 @@ Result<DirectSession::ExecutorsAndGraphs*> DirectSession::GetOrCreateExecutors(
   return raw;
 }
 
+Status DirectSession::Warmup(const std::vector<std::string>& feed_names,
+                             const std::vector<std::string>& fetches,
+                             const std::vector<std::string>& targets) {
+  return GetOrCreateExecutors(feed_names, fetches, targets).status();
+}
+
 Status DirectSession::Run(
     const RunOptions& run_options,
     const std::vector<std::pair<std::string, Tensor>>& feeds,

@@ -3,7 +3,20 @@
 // signature is pruned, optimized, placed, partitioned and compiled into
 // per-device executors exactly once, then cached — repeated steps reuse the
 // cached executors (the paper's low-latency repeated-subgraph execution).
-// Multiple Run() calls may execute concurrently and share stateful kernels.
+//
+// Concurrent-Run guarantees (relied on by the serving subsystem, which
+// fans many client threads over one session):
+//   * Run() may be called from any number of threads concurrently. Each
+//     call gets a private step id, rendezvous, call frame and cancellation
+//     scope; the session mutex is held only for the executor-cache lookup
+//     and step-id mint, never across step execution.
+//   * Concurrent steps share stateful kernels (variables, queues), with the
+//     paper's relaxed consistency: a step reading a variable while another
+//     writes it sees either value (kernels guard their buffers; no torn
+//     reads, no cross-step ordering).
+//   * The first Run of a new signature compiles it under the session mutex,
+//     briefly blocking other Runs' cache lookups; latency-sensitive callers
+//     pre-compile with Warmup().
 
 #ifndef TFREPRO_RUNTIME_SESSION_H_
 #define TFREPRO_RUNTIME_SESSION_H_
@@ -67,6 +80,13 @@ class DirectSession {
              std::vector<Tensor>* outputs) {
     return Run({}, fetches, {}, outputs);
   }
+
+  // Compiles the executors for one step signature without running it, so
+  // the first real Run (and every concurrent first Run) hits the cache.
+  // `feed_names` are the names later passed as feeds.
+  Status Warmup(const std::vector<std::string>& feed_names,
+                const std::vector<std::string>& fetches,
+                const std::vector<std::string>& targets);
 
   DeviceMgr* device_mgr() { return &device_mgr_; }
 

@@ -92,6 +92,11 @@ void TraceCollector::RecordInstant(InstantEvent event) {
   stats_.instants.push_back(std::move(event));
 }
 
+void TraceCollector::RecordSpan(SpanEvent event) {
+  std::lock_guard<std::mutex> lock(mu_);
+  stats_.spans.push_back(std::move(event));
+}
+
 StepStats TraceCollector::Consume(int64_t step_id) {
   std::lock_guard<std::mutex> lock(mu_);
   StepStats out = std::move(stats_);
@@ -110,6 +115,21 @@ void RecordGlobalInstant(const std::string& name, const std::string& scope,
   std::lock_guard<std::mutex> lock(*GlobalSinkMu());
   for (TraceCollector* sink : *GlobalSinks()) {
     sink->RecordInstant(event);
+  }
+}
+
+void RecordGlobalSpan(const std::string& name, const std::string& scope,
+                      int64_t start_micros, int64_t end_micros,
+                      std::map<std::string, std::string> args) {
+  SpanEvent event;
+  event.name = name;
+  event.scope = scope;
+  event.start_micros = start_micros;
+  event.end_micros = end_micros;
+  event.args = std::move(args);
+  std::lock_guard<std::mutex> lock(*GlobalSinkMu());
+  for (TraceCollector* sink : *GlobalSinks()) {
+    sink->RecordSpan(event);
   }
 }
 
@@ -142,7 +162,12 @@ std::string StepStats::ToChromeTraceJson() const {
     if (t.recv_start_micros > 0) base = std::min(base, t.recv_start_micros);
   }
   for (const InstantEvent& i : instants) base = std::min(base, i.micros);
+  for (const SpanEvent& s : spans) base = std::min(base, s.start_micros);
   if (base == INT64_MAX) base = 0;
+
+  // Blocked-time spans get their own "waits" thread row per process so
+  // queue / batcher wait intervals sit alongside the compute lanes.
+  constexpr int kWaitsTid = 9990;
 
   std::ostringstream os;
   os << "{\"traceEvents\":[";
@@ -210,6 +235,28 @@ std::string StepStats::ToChromeTraceJson() const {
     os << "}}";
   }
 
+  std::set<int> span_pids;
+  for (const SpanEvent& s : spans) {
+    sep();
+    int pid = s.scope.empty() ? 0 : pid_of_task(s.scope);
+    span_pids.insert(pid);
+    int64_t dur = std::max<int64_t>(s.end_micros - s.start_micros, 1);
+    os << "{\"ph\":\"X\",\"pid\":" << pid << ",\"tid\":" << kWaitsTid
+       << ",\"ts\":" << (s.start_micros - base) << ",\"dur\":" << dur
+       << ",\"cat\":\"wait\",\"name\":";
+    AppendJsonString(&os, s.name);
+    os << ",\"args\":{";
+    bool first_arg = true;
+    for (const auto& [k, v] : s.args) {
+      if (!first_arg) os << ",";
+      first_arg = false;
+      AppendJsonString(&os, k);
+      os << ":";
+      AppendJsonString(&os, v);
+    }
+    os << "}}";
+  }
+
   // Name the rows. pid 0 hosts global markers when present.
   for (const auto& [task, pid] : task_pid) {
     sep();
@@ -220,6 +267,11 @@ std::string StepStats::ToChromeTraceJson() const {
     sep();
     os << "{\"ph\":\"M\",\"pid\":" << pid << ",\"tid\":0"
        << ",\"name\":\"thread_name\",\"args\":{\"name\":\"transfers\"}}";
+  }
+  for (int pid : span_pids) {
+    sep();
+    os << "{\"ph\":\"M\",\"pid\":" << pid << ",\"tid\":" << kWaitsTid
+       << ",\"name\":\"thread_name\",\"args\":{\"name\":\"waits\"}}";
   }
   for (const auto& [device, tid] : device_tid) {
     sep();

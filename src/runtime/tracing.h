@@ -61,12 +61,25 @@ struct InstantEvent {
   std::map<std::string, std::string> args;
 };
 
+// A blocked interval with duration: time a request sat in a batching queue,
+// time a queue enqueue/dequeue waiter was parked, etc. Rendered on a
+// dedicated "waits" row per scope so blocked time is visible next to the
+// compute lanes (previously these intervals were metrics-only histograms).
+struct SpanEvent {
+  std::string name;
+  std::string scope;  // task name when attributable, else ""
+  int64_t start_micros = 0;
+  int64_t end_micros = 0;
+  std::map<std::string, std::string> args;
+};
+
 // Everything recorded for one step.
 struct StepStats {
   int64_t step_id = 0;
   std::vector<NodeExecStats> nodes;
   std::vector<TransferStats> transfers;
   std::vector<InstantEvent> instants;
+  std::vector<SpanEvent> spans;
 
   // Chrome trace_event JSON ({"traceEvents": [...]}): process per task,
   // thread per device + per-task "transfers" row, X events for node
@@ -90,6 +103,7 @@ class TraceCollector {
   void RecordNode(NodeExecStats stats);
   void RecordTransfer(TransferStats stats);
   void RecordInstant(InstantEvent event);
+  void RecordSpan(SpanEvent event);
 
   // Moves the accumulated stats out (the collector resets to empty).
   StepStats Consume(int64_t step_id);
@@ -104,6 +118,14 @@ class TraceCollector {
 // constructed with capture_global_events. Cheap no-op when none is live.
 void RecordGlobalInstant(const std::string& name, const std::string& scope,
                          std::map<std::string, std::string> args = {});
+
+// Delivers a completed blocked interval [start_micros, end_micros] to every
+// live TraceCollector constructed with capture_global_events. Call sites sit
+// on slow paths only (a waiter that actually blocked); cheap no-op when no
+// collector is live.
+void RecordGlobalSpan(const std::string& name, const std::string& scope,
+                      int64_t start_micros, int64_t end_micros,
+                      std::map<std::string, std::string> args = {});
 
 // Per-step options consumed by DirectSession::Run and MasterSession::Run.
 struct RunOptions {

@@ -1,0 +1,268 @@
+#include "serving/batcher.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <future>
+#include <utility>
+
+#include "core/metrics.h"
+#include "runtime/tracing.h"
+
+namespace tfrepro {
+namespace serving {
+
+namespace {
+
+std::vector<double> BatchSizeBounds(int64_t max_batch_size) {
+  std::vector<double> bounds;
+  for (int64_t b = 1; b < max_batch_size; b *= 2) {
+    bounds.push_back(static_cast<double>(b));
+  }
+  bounds.push_back(static_cast<double>(max_batch_size));
+  return bounds;
+}
+
+}  // namespace
+
+DynamicBatcher::DynamicBatcher(ServableProvider provider, Options options)
+    : provider_(std::move(provider)), options_(std::move(options)) {
+  // Create the instruments eagerly so snapshots taken before the first
+  // request still see them (and so the batch-size bounds come from our
+  // policy, not a later caller's default).
+  metrics::Registry* reg = metrics::Registry::Global();
+  reg->GetCounter("serving.requests");
+  reg->GetCounter("serving.batches");
+  reg->GetCounter("serving.rejected");
+  reg->GetGauge("serving.queue_depth");
+  reg->GetHistogram("serving.batch_size",
+                    BatchSizeBounds(options_.max_batch_size));
+  reg->GetHistogram("serving.request_ms",
+                    metrics::Histogram::DefaultLatencyBucketsMs());
+  reg->GetHistogram("serving.batch_run_ms",
+                    metrics::Histogram::DefaultLatencyBucketsMs());
+  const int n = std::max(1, options_.num_batch_threads);
+  threads_.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    threads_.emplace_back([this] { BatchLoop(); });
+  }
+}
+
+DynamicBatcher::~DynamicBatcher() { Shutdown(); }
+
+Status DynamicBatcher::Enqueue(Tensor example, DoneCallback done) {
+  if (!example.IsInitialized()) {
+    return InvalidArgument("cannot serve an uninitialized tensor");
+  }
+  if (BaseType(example.dtype()) == DataType::kString) {
+    return InvalidArgument("string tensors are not batchable");
+  }
+  metrics::Registry* reg = metrics::Registry::Global();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shutdown_) {
+      return Unavailable("batcher is shut down");
+    }
+    if (static_cast<int64_t>(queue_.size()) >= options_.max_enqueued) {
+      reg->GetCounter("serving.rejected")->Increment();
+      return Unavailable("serving queue full (" +
+                         std::to_string(options_.max_enqueued) +
+                         " requests enqueued)");
+    }
+    queue_.push_back(Request{std::move(example), std::move(done),
+                             metrics::NowMicros()});
+    reg->GetGauge("serving.queue_depth")
+        ->Set(static_cast<int64_t>(queue_.size()));
+  }
+  reg->GetCounter("serving.requests")->Increment();
+  cv_.notify_one();
+  return Status::OK();
+}
+
+DynamicBatcher::Response DynamicBatcher::RunOne(Tensor example) {
+  std::promise<Response> promise;
+  std::future<Response> future = promise.get_future();
+  Status s = Enqueue(std::move(example), [&promise](Response r) {
+    promise.set_value(std::move(r));
+  });
+  if (!s.ok()) {
+    Response r;
+    r.status = s;
+    return r;
+  }
+  return future.get();
+}
+
+void DynamicBatcher::Shutdown() {
+  std::deque<Request> drained;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shutdown_) return;
+    shutdown_ = true;
+    drained.swap(queue_);
+  }
+  cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+  threads_.clear();
+  for (Request& r : drained) {
+    Response resp;
+    resp.status = Cancelled("batcher shut down before dispatch");
+    r.done(std::move(resp));
+  }
+  metrics::Registry::Global()->GetGauge("serving.queue_depth")->Set(0);
+}
+
+int64_t DynamicBatcher::queue_depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int64_t>(queue_.size());
+}
+
+void DynamicBatcher::BatchLoop() {
+  for (;;) {
+    std::vector<Request> batch;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+      if (shutdown_) return;
+      // Dispatch when the batch fills or the oldest request has waited out
+      // the timeout — whichever comes first.
+      const int64_t deadline =
+          queue_.front().enqueue_micros + options_.batch_timeout_us;
+      while (static_cast<int64_t>(queue_.size()) < options_.max_batch_size &&
+             !shutdown_) {
+        const int64_t now = metrics::NowMicros();
+        if (now >= deadline) break;
+        cv_.wait_for(lock, std::chrono::microseconds(deadline - now));
+      }
+      if (shutdown_) return;
+      const int64_t take = std::min<int64_t>(
+          static_cast<int64_t>(queue_.size()), options_.max_batch_size);
+      batch.reserve(take);
+      for (int64_t i = 0; i < take; ++i) {
+        batch.push_back(std::move(queue_.front()));
+        queue_.pop_front();
+      }
+      metrics::Registry::Global()
+          ->GetGauge("serving.queue_depth")
+          ->Set(static_cast<int64_t>(queue_.size()));
+    }
+    // More work may remain (e.g. a burst larger than max_batch_size);
+    // wake a sibling before running the model.
+    cv_.notify_one();
+    ExecuteBatch(std::move(batch));
+  }
+}
+
+void DynamicBatcher::ExecuteBatch(std::vector<Request> batch) {
+  if (batch.empty()) return;
+  metrics::Registry* reg = metrics::Registry::Global();
+  const int64_t dispatch_micros = metrics::NowMicros();
+  for (const Request& r : batch) {
+    RecordGlobalSpan("serving.queue_wait", /*scope=*/"serving",
+                     r.enqueue_micros, dispatch_micros);
+  }
+
+  auto fail_all = [&](const Status& s) {
+    for (Request& r : batch) {
+      Response resp;
+      resp.status = s;
+      r.done(std::move(resp));
+    }
+  };
+
+  std::shared_ptr<const Servable> servable = provider_();
+  if (servable == nullptr) {
+    fail_all(FailedPrecondition("no servable published"));
+    return;
+  }
+
+  // Requests whose dtype/shape disagree with the head of the batch get an
+  // individual error; the rest still batch together.
+  const Tensor& head = batch[0].example;
+  const size_t row_bytes = head.TotalBytes();
+  std::vector<Request*> members;
+  members.reserve(batch.size());
+  for (Request& r : batch) {
+    if (r.example.dtype() != head.dtype() ||
+        !(r.example.shape() == head.shape())) {
+      Response resp;
+      resp.status = InvalidArgument(
+          "example shape/dtype mismatch within batch: got " +
+          r.example.shape().DebugString() + ", batch head has " +
+          head.shape().DebugString());
+      r.done(std::move(resp));
+      continue;
+    }
+    members.push_back(&r);
+  }
+  if (members.empty()) return;
+
+  const int64_t k = static_cast<int64_t>(members.size());
+  std::vector<int64_t> batched_dims;
+  batched_dims.push_back(k);
+  for (int i = 0; i < head.shape().rank(); ++i) {
+    batched_dims.push_back(head.dim(i));
+  }
+  Tensor batched(head.dtype(), TensorShape(batched_dims));
+  for (int64_t i = 0; i < k; ++i) {
+    std::memcpy(batched.raw_data() + i * row_bytes,
+                members[i]->example.raw_data(), row_bytes);
+  }
+
+  reg->GetCounter("serving.batches")->Increment();
+  reg->GetHistogram("serving.batch_size")->Record(static_cast<double>(k));
+
+  std::vector<Tensor> outputs;
+  const int64_t run_start = metrics::NowMicros();
+  Status run_status = servable->Run(batched, &outputs);
+  const int64_t run_end = metrics::NowMicros();
+  reg->GetHistogram("serving.batch_run_ms")
+      ->Record(static_cast<double>(run_end - run_start) / 1000.0);
+
+  if (!run_status.ok()) {
+    for (Request* r : members) {
+      Response resp;
+      resp.status = run_status;
+      resp.version = servable->version();
+      r->done(std::move(resp));
+    }
+    return;
+  }
+
+  metrics::Histogram* request_ms = reg->GetHistogram("serving.request_ms");
+  for (int64_t i = 0; i < k; ++i) {
+    Response resp;
+    resp.version = servable->version();
+    resp.outputs.reserve(outputs.size());
+    for (const Tensor& out : outputs) {
+      if (out.shape().rank() >= 1 && out.dim(0) == k) {
+        Result<Tensor> row = out.SliceRows(i, 1);
+        if (!row.ok()) {
+          resp.status = row.status();
+          break;
+        }
+        // Drop the batch dimension: [1, ...] -> [...].
+        std::vector<int64_t> dims;
+        for (int d = 1; d < out.shape().rank(); ++d) {
+          dims.push_back(out.dim(d));
+        }
+        Result<Tensor> squeezed = row.value().Reshaped(TensorShape(dims));
+        if (!squeezed.ok()) {
+          resp.status = squeezed.status();
+          break;
+        }
+        resp.outputs.push_back(std::move(squeezed).value());
+      } else {
+        // Output without a per-example batch dimension (e.g. a scalar
+        // temperature): every request sees the same value.
+        resp.outputs.push_back(out);
+      }
+    }
+    request_ms->Record(
+        static_cast<double>(run_end - members[i]->enqueue_micros) / 1000.0);
+    members[i]->done(std::move(resp));
+  }
+}
+
+}  // namespace serving
+}  // namespace tfrepro

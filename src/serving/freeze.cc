@@ -1,0 +1,124 @@
+#include "serving/freeze.h"
+
+#include <map>
+
+#include "core/threadpool.h"
+#include "graph/subgraph.h"
+#include "kernels/checkpoint_format.h"
+#include "runtime/device.h"
+
+namespace tfrepro {
+namespace serving {
+
+namespace {
+
+// Replaces `var` with a Const node of the same name holding `value`,
+// rewiring every consumer. The variable's ref output feeding a value input
+// becomes a plain value edge; ref-consuming inputs were rejected earlier.
+Status ReplaceVariableWithConst(Graph* graph, Node* var,
+                                const Tensor& value) {
+  struct SavedEdge {
+    Node* dst;
+    int dst_input;
+    bool control;
+  };
+  std::vector<SavedEdge> out_edges;
+  for (const Edge* e : var->out_edges()) {
+    out_edges.push_back({e->dst, e->dst_input, e->IsControlEdge()});
+  }
+  // In-edges (initializer control deps) vanish with the node.
+  NodeDef def;
+  def.name = var->name();
+  def.op = "Const";
+  def.device = var->requested_device();
+  def.attrs["dtype"] = AttrValue(BaseType(var->output_type(0)));
+  def.attrs["value"] = AttrValue(value);
+  graph->RemoveNode(var);  // frees the name for the Const
+  Result<Node*> cnode = graph->AddNode(std::move(def));
+  TF_RETURN_IF_ERROR(cnode.status());
+  for (const SavedEdge& e : out_edges) {
+    if (e.control) {
+      graph->AddControlEdge(cnode.value(), e.dst);
+    } else {
+      TF_RETURN_IF_ERROR(
+          graph->AddEdge(cnode.value(), 0, e.dst, e.dst_input).status());
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<std::unique_ptr<Graph>> FreezeGraph(
+    const Graph& graph, const std::vector<std::string>& checkpoint_files,
+    const std::vector<std::string>& fetches,
+    const FreezeOptions& options) {
+  std::unique_ptr<Graph> frozen = graph.Clone();
+
+  // Prune to the inference subgraph: everything not reachable backwards
+  // from the fetches — optimizer updates, initializers, Save/Restore — goes.
+  std::vector<Node*> roots;
+  std::set<std::string> root_names;
+  for (const std::string& fetch : fetches) {
+    std::string name;
+    int port;
+    ParseInputName(fetch, &name, &port);
+    Node* node = frozen->FindNode(name);
+    if (node == nullptr) {
+      return NotFound("freeze fetch '" + fetch + "' not in graph");
+    }
+    roots.push_back(node);
+    root_names.insert(name);
+  }
+  PruneForReverseReachability(frozen.get(), std::move(roots));
+
+  // Index the checkpoint: variable name -> file holding its tensor.
+  std::map<std::string, std::string> tensor_file;
+  for (const std::string& file : checkpoint_files) {
+    Result<std::vector<std::string>> names = ListCheckpointTensors(file);
+    TF_RETURN_IF_ERROR(names.status());
+    for (const std::string& n : names.value()) tensor_file[n] = file;
+  }
+
+  // Fold each surviving Variable into a Const.
+  std::vector<Node*> variables;
+  for (Node* node : frozen->nodes()) {
+    if (node->IsVariable()) variables.push_back(node);
+  }
+  for (Node* var : variables) {
+    for (const Edge* e : var->out_edges()) {
+      if (!e->IsControlEdge() &&
+          IsRefType(e->dst->input_type(e->dst_input))) {
+        return FailedPrecondition(
+            "cannot freeze: variable '" + var->name() +
+            "' still feeds ref-consuming op '" + e->dst->op() + " '" +
+            e->dst->name() +
+            "' after pruning — the fetches reach a training-only state "
+            "update; fetch only inference outputs");
+      }
+    }
+    auto it = tensor_file.find(var->name());
+    if (it == tensor_file.end()) {
+      return NotFound("variable '" + var->name() +
+                      "' has no tensor in the checkpoint");
+    }
+    Result<Tensor> value = ReadCheckpointTensor(it->second, var->name());
+    TF_RETURN_IF_ERROR(value.status());
+    TF_RETURN_IF_ERROR(
+        ReplaceVariableWithConst(frozen.get(), var, value.value()));
+  }
+
+  // Standard cleanup passes over the now-stateless graph. The fetch roots
+  // must survive under their own names — unlike session compilation there
+  // are no _Fetch nodes shielding them.
+  OptimizerOptions opt = options.optimizer;
+  opt.preserve.insert(root_names.begin(), root_names.end());
+  ThreadPool pool("freeze", 1);
+  std::unique_ptr<Device> device = NewCpuDevice("freeze", 0, 0, &pool);
+  TF_RETURN_IF_ERROR(OptimizeGraph(frozen.get(), device.get(), opt));
+
+  return frozen;
+}
+
+}  // namespace serving
+}  // namespace tfrepro

@@ -1,0 +1,76 @@
+#include "serving/model_manager.h"
+
+#include "core/metrics.h"
+
+namespace tfrepro {
+namespace serving {
+
+Status ModelManager::Publish(const std::string& model,
+                             std::shared_ptr<const Servable> servable) {
+  if (servable == nullptr) {
+    return InvalidArgument("cannot publish a null servable");
+  }
+  const int64_t version = servable->version();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    Entry& entry = models_[model];
+    auto [it, inserted] = entry.versions.emplace(version,
+                                                 std::move(servable));
+    if (!inserted) {
+      return AlreadyExists("model '" + model + "' version " +
+                           std::to_string(version) + " already published");
+    }
+    entry.current = version;
+  }
+  metrics::Registry* reg = metrics::Registry::Global();
+  reg->GetCounter("serving.publishes")->Increment();
+  reg->GetGauge("serving.active_version", {{"model", model}})->Set(version);
+  return Status::OK();
+}
+
+std::shared_ptr<const Servable> ModelManager::Current(
+    const std::string& model) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = models_.find(model);
+  if (it == models_.end() || it->second.current < 0) return nullptr;
+  auto vit = it->second.versions.find(it->second.current);
+  return vit == it->second.versions.end() ? nullptr : vit->second;
+}
+
+std::shared_ptr<const Servable> ModelManager::Version(
+    const std::string& model, int64_t version) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = models_.find(model);
+  if (it == models_.end()) return nullptr;
+  auto vit = it->second.versions.find(version);
+  return vit == it->second.versions.end() ? nullptr : vit->second;
+}
+
+Status ModelManager::Unpublish(const std::string& model, int64_t version) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = models_.find(model);
+  if (it == models_.end() || it->second.versions.count(version) == 0) {
+    return NotFound("model '" + model + "' version " +
+                    std::to_string(version) + " is not published");
+  }
+  if (it->second.current == version) {
+    return FailedPrecondition(
+        "model '" + model + "' version " + std::to_string(version) +
+        "' is the current version; publish a replacement first");
+  }
+  it->second.versions.erase(version);
+  return Status::OK();
+}
+
+std::vector<int64_t> ModelManager::Versions(const std::string& model) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<int64_t> out;
+  auto it = models_.find(model);
+  if (it != models_.end()) {
+    for (const auto& [v, s] : it->second.versions) out.push_back(v);
+  }
+  return out;
+}
+
+}  // namespace serving
+}  // namespace tfrepro

@@ -1,0 +1,61 @@
+// ModelManager: version routing for servables. Each model name maps to a
+// set of immutable Servable versions plus a "current" alias that new
+// requests resolve through. Publishing a new version is a zero-downtime
+// hot-swap: the alias flips under the manager mutex, requests already
+// holding the old version's shared_ptr finish on it, and the old Servable
+// is destroyed when its last in-flight request drops the reference. Old
+// versions stay resolvable by explicit number (pinned clients, A/B reads)
+// until Unpublish.
+
+#ifndef TFREPRO_SERVING_MODEL_MANAGER_H_
+#define TFREPRO_SERVING_MODEL_MANAGER_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/status.h"
+#include "serving/servable.h"
+
+namespace tfrepro {
+namespace serving {
+
+class ModelManager {
+ public:
+  // Adds `servable` under its version and makes it the current version for
+  // `model`. AlreadyExists if that version number is already published.
+  Status Publish(const std::string& model,
+                 std::shared_ptr<const Servable> servable);
+
+  // The current version's servable; nullptr when the model is unknown.
+  // The returned reference keeps the servable alive across a concurrent
+  // Publish — callers finish their request on the version they resolved.
+  std::shared_ptr<const Servable> Current(const std::string& model) const;
+
+  // A pinned version; nullptr when absent.
+  std::shared_ptr<const Servable> Version(const std::string& model,
+                                          int64_t version) const;
+
+  // Drops a retired version. FailedPrecondition while it is still current.
+  Status Unpublish(const std::string& model, int64_t version);
+
+  // Published version numbers, ascending.
+  std::vector<int64_t> Versions(const std::string& model) const;
+
+ private:
+  struct Entry {
+    std::map<int64_t, std::shared_ptr<const Servable>> versions;
+    int64_t current = -1;
+  };
+
+  mutable std::mutex mu_;
+  std::map<std::string, Entry> models_;
+};
+
+}  // namespace serving
+}  // namespace tfrepro
+
+#endif  // TFREPRO_SERVING_MODEL_MANAGER_H_

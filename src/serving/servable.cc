@@ -1,0 +1,43 @@
+#include "serving/servable.h"
+
+namespace tfrepro {
+namespace serving {
+
+Result<std::shared_ptr<const Servable>> Servable::Create(
+    const Graph& frozen_graph, SignatureDef signature, int64_t version,
+    const Options& options) {
+  if (signature.input.empty() || signature.outputs.empty()) {
+    return InvalidArgument("servable signature needs an input and outputs");
+  }
+  for (const Node* node : frozen_graph.nodes()) {
+    if (node->IsVariable()) {
+      return FailedPrecondition(
+          "servable graph contains variable '" + node->name() +
+          "' — freeze the graph against a checkpoint first (freeze.h)");
+    }
+  }
+  std::string input_name;
+  int port;
+  ParseInputName(signature.input, &input_name, &port);
+  if (frozen_graph.FindNode(input_name) == nullptr) {
+    return NotFound("signature input '" + signature.input +
+                    "' not in graph");
+  }
+
+  Result<std::unique_ptr<DirectSession>> session =
+      DirectSession::Create(frozen_graph, options.session);
+  TF_RETURN_IF_ERROR(session.status());
+  TF_RETURN_IF_ERROR(session.value()->Warmup({signature.input},
+                                             signature.outputs, {}));
+  return std::shared_ptr<const Servable>(new Servable(
+      std::move(signature), version, std::move(session).value()));
+}
+
+Status Servable::Run(const Tensor& batch,
+                     std::vector<Tensor>* outputs) const {
+  return session_->Run({{signature_.input, batch}}, signature_.outputs, {},
+                       outputs);
+}
+
+}  // namespace serving
+}  // namespace tfrepro

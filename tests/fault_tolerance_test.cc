@@ -17,6 +17,7 @@
 
 #include "distributed/fault_injector.h"
 #include "distributed/master.h"
+#include "distributed/master_state.h"
 #include "graph/ops.h"
 #include "train/checkpoint_policy.h"
 #include "train/optimizer.h"
@@ -769,6 +770,85 @@ TEST(FaultToleranceTest, RestartedMasterResumesFromDurableState) {
   EXPECT_EQ(*out[0].data<float>(), expected);
   EXPECT_EQ(sess->stats().retries, 0);
   EXPECT_EQ(sess->last_checkpoint_step(), kSteps);
+}
+
+TEST(MasterStateLogTest, RotationKeepsLogBoundedAndRecoverable) {
+  const std::string path =
+      CheckpointPrefix("statelog_rotation") + "/state.log";
+  constexpr int64_t kRotateBytes = 512;
+
+  auto log = distributed::MasterStateLog::Open(path, "sess-7", kRotateBytes);
+  ASSERT_TRUE(log.ok()) << log.status();
+
+  distributed::CompiledSignature sig;
+  sig.handle = "sess-7/step/0";
+  sig.feeds = {"x"};
+  sig.fetches = {"loss:0"};
+  sig.targets = {"train"};
+  TF_CHECK_OK(log.value()->AppendCompiled(sig));
+  TF_CHECK_OK(log.value()->AppendCheckpoint("/ckpt/model", 480));
+
+  const int64_t rotations_before = metrics::Registry::Global()
+                                       ->GetCounter("master.statelog_rotations")
+                                       ->value();
+  // ~900 step records at ~9 bytes each: several rotations' worth of
+  // history through a 512-byte cap.
+  for (int64_t step = 1; step <= 900; ++step) {
+    TF_CHECK_OK(log.value()->AppendStep(step));
+  }
+  // The file stays bounded: at most the cap plus one compact rewrite.
+  EXPECT_LT(log.value()->size_bytes(), 2 * kRotateBytes);
+  EXPECT_GT(metrics::Registry::Global()
+                ->GetCounter("master.statelog_rotations")
+                ->value(),
+            rotations_before);
+
+  // Recovery over the rotated log sees the full logical history.
+  Result<distributed::MasterState> state =
+      distributed::LoadMasterState(path);
+  ASSERT_TRUE(state.ok()) << state.status();
+  EXPECT_EQ(state.value().session_prefix, "sess-7");
+  EXPECT_EQ(state.value().step_watermark, 900);
+  ASSERT_EQ(state.value().compiled.size(), 1u);
+  EXPECT_EQ(state.value().compiled[0].handle, "sess-7/step/0");
+  EXPECT_EQ(state.value().compiled[0].feeds, std::vector<std::string>{"x"});
+  EXPECT_EQ(state.value().compiled[0].fetches,
+            std::vector<std::string>{"loss:0"});
+  EXPECT_EQ(state.value().checkpoint_prefix, "/ckpt/model");
+  EXPECT_EQ(state.value().checkpoint_step, 480);
+}
+
+TEST(MasterStateLogTest, ReopenedLogRotatesWithoutLosingOldRecords) {
+  const std::string path = CheckpointPrefix("statelog_reopen") + "/state.log";
+  constexpr int64_t kRotateBytes = 256;
+
+  {
+    auto log =
+        distributed::MasterStateLog::Open(path, "sess-a", kRotateBytes);
+    ASSERT_TRUE(log.ok()) << log.status();
+    distributed::CompiledSignature sig;
+    sig.handle = "sess-a/step/0";
+    sig.fetches = {"y:0"};
+    TF_CHECK_OK(log.value()->AppendCompiled(sig));
+    TF_CHECK_OK(log.value()->AppendStep(10));
+  }  // master dies; log closed mid-history
+
+  // A new incarnation continues the log; its rotations must preserve the
+  // records written before it was born (the seeded mirror).
+  auto log = distributed::MasterStateLog::Open(path, "ignored", kRotateBytes);
+  ASSERT_TRUE(log.ok()) << log.status();
+  for (int64_t step = 11; step <= 200; ++step) {
+    TF_CHECK_OK(log.value()->AppendStep(step));
+  }
+  EXPECT_LT(log.value()->size_bytes(), 2 * kRotateBytes);
+
+  Result<distributed::MasterState> state =
+      distributed::LoadMasterState(path);
+  ASSERT_TRUE(state.ok()) << state.status();
+  EXPECT_EQ(state.value().session_prefix, "sess-a");
+  EXPECT_EQ(state.value().step_watermark, 200);
+  ASSERT_EQ(state.value().compiled.size(), 1u);
+  EXPECT_EQ(state.value().compiled[0].handle, "sess-a/step/0");
 }
 
 }  // namespace

@@ -170,6 +170,45 @@ TEST(RegistryTest, GlobalIsSingleton) {
   EXPECT_NE(Registry::Global(), nullptr);
 }
 
+TEST(HistogramTest, PercentileInterpolatesWithinBuckets) {
+  Registry registry;
+  Histogram* h = registry.GetHistogram("pct.hist", {1.0, 10.0, 100.0});
+  // 100 samples spread evenly through the (1, 10] bucket.
+  for (int i = 0; i < 100; ++i) h->Record(5.0);
+
+  RegistrySnapshot snap = registry.Snapshot();
+  const MetricSnapshot* m = snap.Find("pct.hist");
+  ASSERT_NE(m, nullptr);
+  // Everything is in one bucket: all quantiles interpolate inside (1, 10].
+  EXPECT_GT(m->Percentile(0.0), 1.0 - 1e-9);
+  EXPECT_LE(m->Percentile(0.5), 10.0);
+  EXPECT_LE(m->Percentile(0.99), 10.0);
+  EXPECT_GE(m->Percentile(0.99), m->Percentile(0.5));
+
+  // A bimodal distribution separates p50 from p99 across buckets.
+  Histogram* h2 = registry.GetHistogram("pct.bimodal", {1.0, 10.0, 100.0});
+  for (int i = 0; i < 99; ++i) h2->Record(0.5);
+  for (int i = 0; i < 99; ++i) h2->Record(50.0);
+  snap = registry.Snapshot();
+  m = snap.Find("pct.bimodal");
+  ASSERT_NE(m, nullptr);
+  EXPECT_LE(m->Percentile(0.25), 1.0);
+  EXPECT_GT(m->Percentile(0.99), 10.0);
+
+  // +inf samples report the last finite bound; empty histograms report 0.
+  Histogram* h3 = registry.GetHistogram("pct.inf", {1.0, 10.0});
+  h3->Record(1e9);
+  snap = registry.Snapshot();
+  EXPECT_DOUBLE_EQ(snap.Find("pct.inf")->Percentile(0.99), 10.0);
+  registry.GetHistogram("pct.empty", {1.0});
+  snap = registry.Snapshot();
+  EXPECT_DOUBLE_EQ(snap.Find("pct.empty")->Percentile(0.5), 0.0);
+  // Counters have no quantiles.
+  registry.GetCounter("pct.counter")->Increment();
+  snap = registry.Snapshot();
+  EXPECT_DOUBLE_EQ(snap.Find("pct.counter")->Percentile(0.5), 0.0);
+}
+
 TEST(NowMicrosTest, Monotonic) {
   int64_t a = NowMicros();
   int64_t b = NowMicros();

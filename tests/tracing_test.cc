@@ -336,5 +336,43 @@ TEST(TracingTest, WriteChromeTraceRoundTrip) {
   EXPECT_FALSE(stats.WriteChromeTrace("/nonexistent-dir/x/y.json").ok());
 }
 
+TEST(TracingTest, GlobalSpansReachLiveCollectors) {
+  TraceCollector collector(/*capture_global_events=*/true);
+  RecordGlobalSpan("queue.enqueue_blocked", "/job:worker/task:1", 1000, 3500,
+                   {{"queue", "input"}});
+  // A collector not subscribed to global events must see nothing.
+  TraceCollector passive(/*capture_global_events=*/false);
+  RecordGlobalSpan("serving.queue_wait", "serving", 4000, 4200);
+
+  StepStats stats = collector.Consume(1);
+  ASSERT_EQ(stats.spans.size(), 2u);
+  EXPECT_EQ(stats.spans[0].name, "queue.enqueue_blocked");
+  EXPECT_EQ(stats.spans[0].scope, "/job:worker/task:1");
+  EXPECT_EQ(stats.spans[0].start_micros, 1000);
+  EXPECT_EQ(stats.spans[0].end_micros, 3500);
+  EXPECT_EQ(stats.spans[0].args.at("queue"), "input");
+  EXPECT_EQ(stats.spans[1].name, "serving.queue_wait");
+  EXPECT_TRUE(passive.Consume(1).spans.empty());
+}
+
+TEST(TracingTest, ChromeTraceRendersSpansOnWaitsRow) {
+  StepStats stats;
+  SpanEvent span;
+  span.name = "serving.queue_wait";
+  span.scope = "/job:worker/task:0";
+  span.start_micros = 500;
+  span.end_micros = 1700;
+  stats.spans.push_back(span);
+
+  std::string json = stats.ToChromeTraceJson();
+  EXPECT_NE(json.find("\"serving.queue_wait\""), std::string::npos);
+  EXPECT_NE(json.find("\"waits\""), std::string::npos);
+  // Duration events: phase X with the span's length.
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"dur\":1200"), std::string::npos);
+  // Spans alone define the time base (earliest event rebases to 0).
+  EXPECT_NE(json.find("\"ts\":0"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace tfrepro
