@@ -3,9 +3,10 @@
 # tests (DESIGN.md §8, §9) and a bench smoke against the committed
 # hot-path baseline.
 #
-#   scripts/check.sh              # full: tier-1 build+ctest, TSan subset, bench smoke
+#   scripts/check.sh              # full: tier-1 build+ctest, socket subset, TSan subset, bench smoke
 #   scripts/check.sh --tsan-only
 #   scripts/check.sh --bench-only
+#   scripts/check.sh --socket-only
 #
 # The TSan build lives in build-tsan/ so it never pollutes the regular
 # build/ tree.
@@ -28,6 +29,20 @@ run_tier1() {
   cmake -B build -S .
   cmake --build build -j "$JOBS"
   (cd build && ctest --output-on-failure -j "$JOBS")
+}
+
+# Socket-transport subset (DESIGN.md §11): the distributed suite re-run
+# with every task as a real worker_main process, plus the SIGKILL chaos
+# smoke. Both are also tier-1 ctest entries (distributed_socket_test,
+# socket_chaos_test); this target runs them standalone with hard timeouts
+# so a wedged worker process can never hang the check.
+run_socket() {
+  echo "== socket transport: distributed_test over real processes + SIGKILL chaos =="
+  cmake --build build -j "$JOBS" --target distributed_test socket_chaos_test worker_main
+  TFREPRO_TRANSPORT=socket TFREPRO_WORKER_BINARY="$PWD/build/bin/worker_main" \
+      timeout 300 ./build/tests/distributed_test
+  TFREPRO_WORKER_BINARY="$PWD/build/bin/worker_main" \
+      timeout 120 ./build/tests/socket_chaos_test
 }
 
 run_tsan() {
@@ -116,8 +131,12 @@ case "${1:-}" in
     run_bench_smoke
     run_serving_bench_smoke
     ;;
+  --socket-only)
+    run_socket
+    ;;
   *)
     run_tier1
+    run_socket
     run_tsan
     run_bench_smoke
     run_serving_bench_smoke

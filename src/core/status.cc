@@ -1,5 +1,8 @@
 #include "core/status.h"
 
+#include <cerrno>
+#include <cstring>
+
 namespace tfrepro {
 
 const char* CodeName(Code code) {
@@ -105,6 +108,46 @@ Status DataLoss(const std::string& message) {
 }
 Status DeadlineExceeded(const std::string& message) {
   return Status(Code::kDeadlineExceeded, message);
+}
+
+Status StatusFromErrno(int err, const std::string& context) {
+  const std::string message =
+      context + ": " + std::strerror(err) + " (errno " + std::to_string(err) +
+      ")";
+  switch (err) {
+    case 0:
+      // EOF-style failures (read returned 0) arrive with errno unset: the
+      // peer closed the connection, which is a transient transport loss.
+      return Unavailable(message);
+    case ECONNRESET:
+    case EPIPE:
+    case ECONNREFUSED:
+    case ECONNABORTED:
+    case ENETDOWN:
+    case ENETUNREACH:
+    case ENETRESET:
+    case EHOSTDOWN:
+    case EHOSTUNREACH:
+    case ESHUTDOWN:
+      return Unavailable(message);
+    case ETIMEDOUT:
+      return DeadlineExceeded(message);
+    case EINVAL:
+    case EBADF:
+      return InvalidArgument(message);
+    case EACCES:
+    case EPERM:
+      return Status(Code::kPermissionDenied, message);
+    case EADDRINUSE:
+      return AlreadyExists(message);
+    case EMFILE:
+    case ENFILE:
+    case ENOBUFS:
+    case ENOMEM:
+      return ResourceExhausted(message);
+    default:
+      return Internal(message);
+  }
 }
 
 }  // namespace tfrepro

@@ -96,6 +96,15 @@ Status Unavailable(const std::string& message);
 Status DataLoss(const std::string& message);
 Status DeadlineExceeded(const std::string& message);
 
+// Maps an errno from a socket/syscall onto the canonical Status codes the
+// distributed failure paths understand. Transport-level connection failures
+// (ECONNRESET, EPIPE, ECONNREFUSED, ...) become Unavailable and timeouts
+// (ETIMEDOUT) become DeadlineExceeded — both retryable (IsRetryable()), so
+// a step that trips over a dead peer is retried like any other transient
+// fault instead of failing the run. Anything unrecognized maps to Internal.
+// `context` is prepended to the strerror text.
+Status StatusFromErrno(int err, const std::string& context);
+
 // Result<T> is a Status plus, on success, a value of type T.
 template <typename T>
 class Result {

@@ -153,6 +153,12 @@ bool ReadInt64(const std::string& in, size_t* offset, int64_t* v) {
 
 void Tensor::AppendToBytes(std::string* out) const {
   AppendInt64(out, static_cast<int64_t>(dtype_));
+  if (!IsInitialized()) {
+    // Uninitialized (kInvalid) tensors have no buffer; the header alone
+    // round-trips them. The distributed transport relies on this to carry
+    // dead tensors across a process boundary (§3.4 deadness propagation).
+    return;
+  }
   AppendInt64(out, shape_.rank());
   for (int i = 0; i < shape_.rank(); ++i) AppendInt64(out, shape_.dim(i));
   if (dtype_ == DataType::kString) {
@@ -169,8 +175,13 @@ Result<Tensor> Tensor::ParseFromBytes(const std::string& bytes,
                                       size_t* offset) {
   int64_t dtype_val = 0;
   int64_t rank = 0;
-  if (!ReadInt64(bytes, offset, &dtype_val) ||
-      !ReadInt64(bytes, offset, &rank)) {
+  if (!ReadInt64(bytes, offset, &dtype_val)) {
+    return DataLoss("truncated tensor header");
+  }
+  if (dtype_val == static_cast<int64_t>(DataType::kInvalid)) {
+    return Tensor();  // uninitialized tensor: header only, no buffer
+  }
+  if (!ReadInt64(bytes, offset, &rank)) {
     return DataLoss("truncated tensor header");
   }
   if (rank < 0 || rank > 16) {

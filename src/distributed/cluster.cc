@@ -1,9 +1,11 @@
 #include "distributed/cluster.h"
 
 #include <chrono>
+#include <cstdlib>
 #include <thread>
 
 #include "distributed/fault_injector.h"
+#include "distributed/rpc/process_cluster.h"
 
 namespace tfrepro {
 namespace distributed {
@@ -200,9 +202,44 @@ int64_t TaskWorker::incarnation() const {
   return incarnation_;
 }
 
+Status ValidateSpec(const ClusterSpec& spec) {
+  if (spec.jobs.empty()) {
+    return InvalidArgument("cluster spec has no jobs");
+  }
+  for (const auto& [job, count] : spec.jobs) {
+    if (count <= 0) {
+      return InvalidArgument("job '" + job + "' has no tasks");
+    }
+  }
+  return Status::OK();
+}
+
+Result<std::unique_ptr<Cluster>> Cluster::Create(const ClusterSpec& spec,
+                                                 const Options& options) {
+  std::string transport = spec.transport;
+  if (transport.empty()) {
+    const char* env = std::getenv("TFREPRO_TRANSPORT");
+    transport = (env != nullptr) ? env : "";
+  }
+  if (transport.empty() || transport == "inprocess") {
+    Result<std::unique_ptr<InProcessCluster>> cluster =
+        InProcessCluster::Create(spec, options);
+    TF_RETURN_IF_ERROR(cluster.status());
+    return std::unique_ptr<Cluster>(std::move(cluster).value());
+  }
+  if (transport == "socket") {
+    Result<std::unique_ptr<rpc::ProcessCluster>> cluster =
+        rpc::ProcessCluster::Create(spec, options);
+    TF_RETURN_IF_ERROR(cluster.status());
+    return std::unique_ptr<Cluster>(std::move(cluster).value());
+  }
+  return InvalidArgument("unknown cluster transport '" + transport +
+                         "' (expected 'inprocess' or 'socket')");
+}
+
 InProcessCluster::InProcessCluster(const ClusterSpec& spec,
                                    const Options& options)
-    : spec_(spec), fault_injector_(options.fault_injector) {
+    : Cluster(spec, options.fault_injector) {
   for (const auto& [job, count] : spec.jobs) {
     for (int i = 0; i < count; ++i) {
       workers_.push_back(std::make_unique<TaskWorker>(
@@ -214,20 +251,13 @@ InProcessCluster::InProcessCluster(const ClusterSpec& spec,
 
 Result<std::unique_ptr<InProcessCluster>> InProcessCluster::Create(
     const ClusterSpec& spec, const Options& options) {
-  if (spec.jobs.empty()) {
-    return InvalidArgument("cluster spec has no jobs");
-  }
-  for (const auto& [job, count] : spec.jobs) {
-    if (count <= 0) {
-      return InvalidArgument("job '" + job + "' has no tasks");
-    }
-  }
+  TF_RETURN_IF_ERROR(ValidateSpec(spec));
   return std::unique_ptr<InProcessCluster>(
       new InProcessCluster(spec, options));
 }
 
-Result<TaskWorker*> InProcessCluster::worker(const std::string& job,
-                                             int task_index) const {
+Result<TaskWorker*> InProcessCluster::task_worker(const std::string& job,
+                                                  int task_index) const {
   for (const auto& w : workers_) {
     if (w->job() == job && w->task_index() == task_index) {
       return w.get();
@@ -237,8 +267,15 @@ Result<TaskWorker*> InProcessCluster::worker(const std::string& job,
                   std::to_string(task_index) + " in cluster");
 }
 
+Result<WorkerInterface*> InProcessCluster::worker(const std::string& job,
+                                                  int task_index) const {
+  Result<TaskWorker*> w = task_worker(job, task_index);
+  TF_RETURN_IF_ERROR(w.status());
+  return static_cast<WorkerInterface*>(w.value());
+}
+
 Status InProcessCluster::RestartTask(const std::string& job, int task_index) {
-  Result<TaskWorker*> w = worker(job, task_index);
+  Result<TaskWorker*> w = task_worker(job, task_index);
   TF_RETURN_IF_ERROR(w.status());
   w.value()->Reset();
   if (fault_injector_ != nullptr) {
@@ -247,8 +284,13 @@ Status InProcessCluster::RestartTask(const std::string& job, int task_index) {
   return Status::OK();
 }
 
-std::vector<TaskWorker*> InProcessCluster::workers() const {
-  std::vector<TaskWorker*> out;
+bool InProcessCluster::TaskIsDown(WorkerInterface* worker) const {
+  return fault_injector_ != nullptr &&
+         fault_injector_->IsDown(worker->task_name());
+}
+
+std::vector<WorkerInterface*> InProcessCluster::workers() const {
+  std::vector<WorkerInterface*> out;
   for (const auto& w : workers_) out.push_back(w.get());
   return out;
 }

@@ -1,10 +1,20 @@
-// In-process cluster substrate (paper §3.3). Each task ("/job:ps/task:0",
-// "/job:worker/task:3", ...) is modeled as a Worker owning its own devices
-// and threadpool — the same code paths a networked deployment exercises
-// (graph partitioning, Send/Recv rendezvous, per-task subgraph caching),
-// with an in-memory transport standing in for gRPC (see DESIGN.md
-// substitutions). An optional NetworkModel injects per-transfer latency and
-// bandwidth costs so tests and benchmarks can reproduce network behaviour.
+// Cluster substrate (paper §3.3). Each task ("/job:ps/task:0",
+// "/job:worker/task:3", ...) is a worker owning devices, a threadpool and
+// registered subgraphs. Two transports implement the same interfaces:
+//
+//   * "inprocess" (default): every task is a TaskWorker object in this
+//     process, dispatch is a function call, transfers go through a shared
+//     rendezvous. An optional NetworkModel injects per-transfer latency and
+//     bandwidth so tests and benchmarks reproduce network behaviour.
+//   * "socket": every task is a real OS process (worker_main) spoken to
+//     over length-prefixed TCP frames (src/distributed/rpc/, DESIGN.md
+//     §11). A killed process is a genuinely dead peer: connections reset,
+//     dispatches fail with retryable errors, and the master's recovery
+//     paths (§4.3) restart the process and restore from a checkpoint.
+//
+// The master only sees the abstract Cluster / WorkerInterface types, so
+// every fault-tolerance path (probing, restart, re-registration, recovery)
+// is transport-independent.
 
 #ifndef TFREPRO_DISTRIBUTED_CLUSTER_H_
 #define TFREPRO_DISTRIBUTED_CLUSTER_H_
@@ -28,6 +38,9 @@ class FaultInjector;
 // Jobs and their task counts, e.g. {{"ps", 2}, {"worker", 4}}.
 struct ClusterSpec {
   std::map<std::string, int> jobs;
+  // Transport selector: "inprocess" | "socket". Empty = the
+  // TFREPRO_TRANSPORT environment variable, falling back to "inprocess".
+  std::string transport;
 };
 
 // Models the wire between tasks: a transfer of `bytes` takes
@@ -71,43 +84,77 @@ class ThrottledRendezvous : public Rendezvous {
   std::shared_ptr<LocalRendezvous> inner_ = std::make_shared<LocalRendezvous>();
 };
 
-// One task of the cluster: devices + threadpool + registered subgraphs.
-class TaskWorker {
+// One task of the cluster, as the master sees it: subgraph registration,
+// step dispatch, liveness probing. Implemented by TaskWorker (in-process)
+// and rpc::RemoteWorker (a stub speaking to a worker_main process).
+class WorkerInterface {
+ public:
+  virtual ~WorkerInterface() = default;
+
+  virtual const std::string& job() const = 0;
+  virtual int task_index() const = 0;
+  std::string task_name() const {
+    return "/job:" + job() + "/task:" + std::to_string(task_index());
+  }
+
+  // Registers one per-device partition under (handle, device); creates its
+  // executor (remotely: ships the serialized partition to the worker
+  // process). Takes ownership of the partition graph. `handle` names the
+  // step's subgraph set; `segment` keys kernel sharing and must be stable
+  // for the whole session so stateful kernels (variables, queues) are
+  // shared across step signatures.
+  virtual Status RegisterSubgraph(const std::string& handle,
+                                  const std::string& segment,
+                                  std::unique_ptr<Graph> partition,
+                                  const std::string& device_name) = 0;
+
+  // Runs all subgraphs registered under `handle` for one step; `done` fires
+  // once with the first error (or OK). This is the "one small message to
+  // each participating task" of §3.3. `done` may fire from another thread
+  // — or, for a hung in-process task, never (the master's deadline is the
+  // only exit then; the socket transport always fails a dispatch whose
+  // deadline expires).
+  virtual void RunSubgraphsAsync(const std::string& handle,
+                                 const Executor::Args& args,
+                                 std::function<void(Status)> done) = 0;
+
+  // Liveness probe (paper §4.3 health monitoring), answered through the
+  // same transport as a dispatch so real failures and injected ones apply.
+  virtual void PingAsync(std::function<void(Status)> done) = 0;
+
+  virtual bool HasSubgraphs(const std::string& handle) const = 0;
+
+  // Incremented by each restart; lets the master distinguish "the task I
+  // registered subgraphs on" from "its restarted successor".
+  virtual int64_t incarnation() const = 0;
+};
+
+// One task of the in-process cluster: devices + threadpool + registered
+// subgraphs.
+class TaskWorker : public WorkerInterface {
  public:
   TaskWorker(const std::string& job, int task_index, int num_threads,
              int num_devices, FaultInjector* injector = nullptr);
 
-  const std::string& job() const { return job_; }
-  int task_index() const { return task_index_; }
-  std::string task_name() const {
-    return "/job:" + job_ + "/task:" + std::to_string(task_index_);
-  }
+  const std::string& job() const override { return job_; }
+  int task_index() const override { return task_index_; }
   DeviceMgr* device_mgr() { return &device_mgr_; }
 
-  // Registers one per-device partition under (handle, device); creates its
-  // executor. The worker takes ownership of the partition graph.
-  // `handle` names the step's subgraph set; `segment` keys kernel sharing
-  // and must be stable for the whole session so stateful kernels
-  // (variables, queues) are shared across step signatures.
   Status RegisterSubgraph(const std::string& handle,
                           const std::string& segment,
                           std::unique_ptr<Graph> partition,
-                          const std::string& device_name);
+                          const std::string& device_name) override;
 
-  // Runs all subgraphs registered under `handle` for one step; `done` fires
-  // once with the first error (or OK). This is the "one small message to
-  // each participating task" of §3.3.
   void RunSubgraphsAsync(const std::string& handle, const Executor::Args& args,
-                         std::function<void(Status)> done);
+                         std::function<void(Status)> done) override;
 
-  // Liveness probe (paper §4.3 health monitoring), answered through the same
-  // in-process transport as a dispatch so the fault injector applies: a dead
-  // task refuses the probe, a scripted probe hang parks `done` forever (the
-  // prober must time out on its own), and a per-task delay slows the answer.
-  // `done` may fire from a worker pool thread — or never.
-  void PingAsync(std::function<void(Status)> done);
+  // Answered through the in-process transport so the fault injector
+  // applies: a dead task refuses the probe, a scripted probe hang parks
+  // `done` forever (the prober must time out on its own), and a per-task
+  // delay slows the answer.
+  void PingAsync(std::function<void(Status)> done) override;
 
-  bool HasSubgraphs(const std::string& handle) const;
+  bool HasSubgraphs(const std::string& handle) const override;
 
   // Wipes every registered subgraph/executor and all device state (cached
   // kernels, resources) — the task comes back as a fresh process with empty
@@ -116,9 +163,7 @@ class TaskWorker {
   // in-flight steps on this task. Bumps incarnation().
   void Reset();
 
-  // Incremented by each Reset; lets the master distinguish "the task I
-  // registered subgraphs on" from "its restarted successor".
-  int64_t incarnation() const;
+  int64_t incarnation() const override;
 
  private:
   // The dispatch body, after fault-injection decisions are resolved.
@@ -139,16 +184,86 @@ class TaskWorker {
   int64_t incarnation_ = 1;
 };
 
-// Owns every task's worker.
-class InProcessCluster {
+// Owns every task of a cluster, behind whichever transport. The master and
+// health prober program against this interface only.
+class Cluster {
  public:
   struct Options {
     int threads_per_task = 2;
     int devices_per_task = 1;
     // Optional fault injector consulted on every step dispatch and
-    // cross-task transfer (not owned; must outlive the cluster).
+    // cross-task transfer (not owned; must outlive the cluster). Over the
+    // socket transport, dispatch faults are applied client-side by the
+    // RemoteWorker stub and transfer drops at the master's rendezvous hub.
     FaultInjector* fault_injector = nullptr;
+
+    // --- socket transport only ---
+    // Path to the worker_main binary; empty = TFREPRO_WORKER_BINARY, then
+    // alongside the current executable.
+    std::string worker_binary;
+    // Per-RPC deadline for control calls (Register/Ping/Shutdown) and the
+    // floor for RunGraph (which stretches to the step deadline).
+    double rpc_deadline_seconds = 5.0;
+    // How long to wait for a spawned worker process to publish its port.
+    double spawn_timeout_seconds = 10.0;
   };
+
+  virtual ~Cluster() = default;
+
+  // Builds a cluster on the transport `spec.transport` selects (empty =
+  // env TFREPRO_TRANSPORT, then "inprocess").
+  static Result<std::unique_ptr<Cluster>> Create(const ClusterSpec& spec,
+                                                 const Options& options);
+  static Result<std::unique_ptr<Cluster>> Create(const ClusterSpec& spec) {
+    return Create(spec, Options{});
+  }
+
+  virtual Result<WorkerInterface*> worker(const std::string& job,
+                                          int task_index) const = 0;
+  virtual std::vector<WorkerInterface*> workers() const = 0;
+
+  // Every device in the cluster, for placement. Over the socket transport
+  // these are master-side shadow devices mirroring each process's devices
+  // by name; kernels never run on them.
+  virtual std::vector<Device*> all_devices() const = 0;
+
+  // Restarts a (killed) task in place. The WorkerInterface object — and
+  // every pointer to it — stays valid; only what it fronts is reborn
+  // (wiped state in-process; a fresh OS process over sockets). Bumps the
+  // worker's incarnation and marks it healthy in the fault injector.
+  virtual Status RestartTask(const std::string& job, int task_index) = 0;
+
+  // True when the transport knows `worker` cannot currently serve a step
+  // (fault injector says down; socket: the process was reaped). Used by
+  // the master to fail fast before dispatch and to pick restart victims on
+  // retry.
+  virtual bool TaskIsDown(WorkerInterface* worker) const = 0;
+
+  // Hook for per-step rendezvous decoration. The master builds the step's
+  // base rendezvous (throttled / fault-injecting) and passes it here; the
+  // socket transport returns a wrapper registered with its tensor hub so
+  // worker processes can reach the step's transfers, in-process returns
+  // `base` unchanged.
+  virtual std::shared_ptr<Rendezvous> WrapStepRendezvous(
+      int64_t step_id, std::shared_ptr<Rendezvous> base) {
+    return base;
+  }
+
+  const ClusterSpec& spec() const { return spec_; }
+  FaultInjector* fault_injector() const { return fault_injector_; }
+
+ protected:
+  Cluster(const ClusterSpec& spec, FaultInjector* injector)
+      : spec_(spec), fault_injector_(injector) {}
+
+  ClusterSpec spec_;
+  FaultInjector* fault_injector_ = nullptr;
+};
+
+// Every task's worker lives in this process.
+class InProcessCluster : public Cluster {
+ public:
+  using Options = Cluster::Options;
 
   static Result<std::unique_ptr<InProcessCluster>> Create(
       const ClusterSpec& spec, const Options& options);
@@ -157,22 +272,18 @@ class InProcessCluster {
     return Create(spec, Options{});
   }
 
-  Result<TaskWorker*> worker(const std::string& job, int task_index) const;
-  std::vector<TaskWorker*> workers() const;
-  std::vector<Device*> all_devices() const;
+  Result<WorkerInterface*> worker(const std::string& job,
+                                  int task_index) const override;
+  std::vector<WorkerInterface*> workers() const override;
+  std::vector<Device*> all_devices() const override;
 
-  const ClusterSpec& spec() const { return spec_; }
-  FaultInjector* fault_injector() const { return fault_injector_; }
-
-  // Restarts a (killed) task in place: wipes its subgraphs and device state
-  // and marks it healthy in the fault injector. The TaskWorker object —
-  // and every pointer to it — stays valid; only its state is reborn.
-  Status RestartTask(const std::string& job, int task_index);
+  Status RestartTask(const std::string& job, int task_index) override;
+  bool TaskIsDown(WorkerInterface* worker) const override;
 
  private:
   InProcessCluster(const ClusterSpec& spec, const Options& options);
-  ClusterSpec spec_;
-  FaultInjector* fault_injector_ = nullptr;
+  Result<TaskWorker*> task_worker(const std::string& job,
+                                  int task_index) const;
   std::vector<std::unique_ptr<TaskWorker>> workers_;
 };
 

@@ -173,6 +173,11 @@ class FaultInjectingRendezvous : public Rendezvous {
   FaultInjectingRendezvous(FaultInjector* injector,
                            std::unique_ptr<Rendezvous> base)
       : injector_(injector), base_(std::move(base)) {}
+  // Shared-ownership variant: the master's per-step rendezvous chain is
+  // shared with straggler callbacks and (over sockets) the tensor hub.
+  FaultInjectingRendezvous(FaultInjector* injector,
+                           std::shared_ptr<Rendezvous> base)
+      : injector_(injector), base_(std::move(base)) {}
 
   Status Send(const std::string& key, const Tensor& value,
               bool is_dead) override;
@@ -187,7 +192,7 @@ class FaultInjectingRendezvous : public Rendezvous {
 
  private:
   FaultInjector* injector_;
-  std::unique_ptr<Rendezvous> base_;
+  std::shared_ptr<Rendezvous> base_;
 };
 
 }  // namespace distributed

@@ -1,6 +1,8 @@
 #include "distributed/health_prober.h"
 
+#include <algorithm>
 #include <chrono>
+#include <cstdint>
 #include <vector>
 
 #include "core/metrics.h"
@@ -9,9 +11,9 @@
 namespace tfrepro {
 namespace distributed {
 
-HealthProber::HealthProber(InProcessCluster* cluster, const Options& options,
+HealthProber::HealthProber(Cluster* cluster, const Options& options,
                            std::string session,
-                           std::function<void(TaskWorker*)> on_dead)
+                           std::function<void(WorkerInterface*)> on_dead)
     : cluster_(cluster),
       options_(options),
       session_(std::move(session)),
@@ -20,6 +22,11 @@ HealthProber::HealthProber(InProcessCluster* cluster, const Options& options,
     options_.timeout_seconds = options_.interval_seconds;
   }
   if (options_.miss_threshold < 1) options_.miss_threshold = 1;
+  options_.interval_jitter_fraction =
+      std::min(1.0, std::max(0.0, options_.interval_jitter_fraction));
+  jitter_state_ = options_.jitter_seed != 0
+                      ? options_.jitter_seed
+                      : reinterpret_cast<uintptr_t>(this) | 1;
   thread_ = std::thread([this]() { Loop(); });
 }
 
@@ -43,12 +50,29 @@ int HealthProber::misses(const std::string& task) const {
   return it == misses_.end() ? 0 : it->second;
 }
 
+double HealthProber::JitteredIntervalSeconds() {
+  if (options_.interval_jitter_fraction <= 0.0) {
+    return options_.interval_seconds;
+  }
+  // xorshift64* — cheap, seedable, no global RNG state touched. Only the
+  // prober thread reads jitter_state_.
+  jitter_state_ ^= jitter_state_ >> 12;
+  jitter_state_ ^= jitter_state_ << 25;
+  jitter_state_ ^= jitter_state_ >> 27;
+  const uint64_t r = jitter_state_ * 0x2545F4914F6CDD1DULL;
+  // Uniform in [-1, 1), scaled to the configured fraction of the interval.
+  const double unit = static_cast<double>(r >> 11) / 4503599627370496.0 * 2.0 -
+                      1.0;
+  return options_.interval_seconds *
+         (1.0 + unit * options_.interval_jitter_fraction);
+}
+
 void HealthProber::Loop() {
   std::unique_lock<std::mutex> lock(mu_);
   while (!stopping_) {
-    if (cv_.wait_for(
-            lock, std::chrono::duration<double>(options_.interval_seconds),
-            [this]() { return stopping_; })) {
+    if (cv_.wait_for(lock,
+                     std::chrono::duration<double>(JitteredIntervalSeconds()),
+                     [this]() { return stopping_; })) {
       return;
     }
     lock.unlock();
@@ -69,10 +93,10 @@ void HealthProber::ProbeRound() {
   };
   auto state = std::make_shared<RoundState>();
 
-  std::vector<TaskWorker*> workers = cluster_->workers();
+  std::vector<WorkerInterface*> workers = cluster_->workers();
   metrics::Registry* reg = metrics::Registry::Global();
   state->outstanding = workers.size();
-  for (TaskWorker* worker : workers) {
+  for (WorkerInterface* worker : workers) {
     const std::string task = worker->task_name();
     reg->GetCounter("health.probe_sent", {{"session", session_}, {"task", task}})
         ->Increment();
@@ -94,7 +118,7 @@ void HealthProber::ProbeRound() {
     answered = state->answered;
   }
 
-  for (TaskWorker* worker : workers) {
+  for (WorkerInterface* worker : workers) {
     const std::string task = worker->task_name();
     const metrics::TagMap tags{{"session", session_}, {"task", task}};
     auto it = answered.find(task);

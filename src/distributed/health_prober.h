@@ -43,6 +43,13 @@ class HealthProber {
     double timeout_seconds = 0.0;
     // Consecutive misses (K) before a task is declared dead.
     int miss_threshold = 3;
+    // Each round's wait is perturbed uniformly within ±fraction·interval
+    // (clamped to [0, 1]) so a fleet of masters restarted together does not
+    // probe its tasks in lockstep. 0 disables jitter.
+    double interval_jitter_fraction = 0.1;
+    // Seed for the jitter stream; 0 derives one from this prober's address
+    // (distinct probers jitter differently, a seeded prober is repeatable).
+    uint64_t jitter_seed = 0;
   };
 
   // Starts probing immediately. `on_dead(task)` fires from the prober
@@ -50,9 +57,8 @@ class HealthProber {
   // threshold, until the task answers a probe again (a restarted task's
   // first successful probe resets its miss count). `session` tags the
   // metrics. The cluster must outlive the prober.
-  HealthProber(InProcessCluster* cluster, const Options& options,
-               std::string session,
-               std::function<void(TaskWorker*)> on_dead);
+  HealthProber(Cluster* cluster, const Options& options, std::string session,
+               std::function<void(WorkerInterface*)> on_dead);
   ~HealthProber();
 
   // Stops the prober thread; idempotent. No on_dead fires after it returns.
@@ -64,11 +70,14 @@ class HealthProber {
  private:
   void Loop();
   void ProbeRound();
+  // The coming round's wait, with jitter applied.
+  double JitteredIntervalSeconds();
 
-  InProcessCluster* cluster_;
+  Cluster* cluster_;
   Options options_;
   std::string session_;
-  std::function<void(TaskWorker*)> on_dead_;
+  std::function<void(WorkerInterface*)> on_dead_;
+  uint64_t jitter_state_ = 0;
 
   mutable std::mutex mu_;
   std::condition_variable cv_;

@@ -44,7 +44,7 @@ std::string CompileKey(const std::vector<std::string>& feed_names,
 }
 }  // namespace
 
-MasterSession::MasterSession(const Graph& graph, InProcessCluster* cluster,
+MasterSession::MasterSession(const Graph& graph, Cluster* cluster,
                              const Options& options,
                              const MasterState* restored)
     : options_(options),
@@ -89,7 +89,7 @@ MasterSession::~MasterSession() {
 }
 
 Result<std::unique_ptr<MasterSession>> MasterSession::Create(
-    const Graph& graph, InProcessCluster* cluster, const Options& options) {
+    const Graph& graph, Cluster* cluster, const Options& options) {
   if (cluster == nullptr) {
     return InvalidArgument("null cluster");
   }
@@ -115,7 +115,7 @@ Result<std::unique_ptr<MasterSession>> MasterSession::Create(
     MasterSession* raw = session.get();
     session->prober_ = std::make_unique<HealthProber>(
         cluster, popts, raw->session_prefix_,
-        [raw](TaskWorker* worker) { raw->HandleDeadTask(worker); });
+        [raw](WorkerInterface* worker) { raw->HandleDeadTask(worker); });
   }
   return session;
 }
@@ -247,18 +247,18 @@ Result<MasterSession::CompiledStep*> MasterSession::CompileLocked(
 
   auto step = std::make_unique<CompiledStep>();
   step->handle = handle;
-  std::set<TaskWorker*> participating;
+  std::set<WorkerInterface*> participating;
   // A restarted master recompiling from its durable log finds surviving
   // workers still registered under the same handle: re-adopt those
   // registrations instead of re-registering.
-  std::map<TaskWorker*, bool> holds_handle;
+  std::map<WorkerInterface*, bool> holds_handle;
   for (auto& [device_name, part] : partitions.value()) {
     Result<std::pair<std::string, int>> task = TaskOfDevice(device_name);
     TF_RETURN_IF_ERROR(task.status());
-    Result<TaskWorker*> worker =
+    Result<WorkerInterface*> worker =
         cluster_->worker(task.value().first, task.value().second);
     TF_RETURN_IF_ERROR(worker.status());
-    TaskWorker* w = worker.value();
+    WorkerInterface* w = worker.value();
     auto [held, inserted] = holds_handle.emplace(w, false);
     if (inserted) held->second = w->HasSubgraphs(handle);
     if (held->second) {
@@ -284,7 +284,7 @@ Result<MasterSession::CompiledStep*> MasterSession::CompileLocked(
 Status MasterSession::EnsureRegistered(CompiledStep* step) {
   // Serialized so concurrent Runs cannot double-register after a restart.
   std::lock_guard<std::mutex> lock(register_mu_);
-  for (TaskWorker* worker : step->participating) {
+  for (WorkerInterface* worker : step->participating) {
     if (worker->HasSubgraphs(step->handle)) continue;
     for (const PartitionRecord& rec : step->partitions) {
       if (rec.worker != worker) continue;
@@ -297,7 +297,7 @@ Status MasterSession::EnsureRegistered(CompiledStep* step) {
   return Status::OK();
 }
 
-void MasterSession::HandleDeadTask(TaskWorker* worker) {
+void MasterSession::HandleDeadTask(WorkerInterface* worker) {
   if (!options_.restart_failed_tasks) return;
   {
     std::lock_guard<std::mutex> gate(restart_gate_);
@@ -391,13 +391,11 @@ Status MasterSession::RunOnce(CompiledStep* step,
   };
   InFlight in_flight_guard(this);
 
-  FaultInjector* injector = cluster_->fault_injector();
-  if (injector != nullptr) {
-    // Fail fast instead of dispatching to a task known to be down.
-    for (TaskWorker* worker : step->participating) {
-      if (injector->IsDown(worker->task_name())) {
-        return Unavailable("task " + worker->task_name() + " is down");
-      }
+  // Fail fast instead of dispatching to a task the transport knows is down
+  // (injected fault, or a reaped worker process over sockets).
+  for (WorkerInterface* worker : step->participating) {
+    if (cluster_->TaskIsDown(worker)) {
+      return Unavailable("task " + worker->task_name() + " is down");
     }
   }
   TF_RETURN_IF_ERROR(EnsureRegistered(step));
@@ -411,7 +409,9 @@ Status MasterSession::RunOnce(CompiledStep* step,
         : call_frame(std::move(feeds), num_fetches) {}
     CallFrame call_frame;
     CancellationManager cancellation;
-    std::unique_ptr<Rendezvous> rendezvous;
+    // Shared: the socket transport's hub wrapper is co-owned by in-flight
+    // remote Recv serving until the step is torn down everywhere.
+    std::shared_ptr<Rendezvous> rendezvous;
     // Keeps the step's collector alive for straggler kernels that record
     // events after a deadline already returned this Run call.
     std::shared_ptr<TraceCollector> trace;
@@ -425,19 +425,6 @@ Status MasterSession::RunOnce(CompiledStep* step,
                                            static_cast<int>(fetches.size()));
   state->trace = trace;
 
-  std::unique_ptr<Rendezvous> rendezvous;
-  if (options_.use_network_model) {
-    rendezvous =
-        std::make_unique<ThrottledRendezvous>(options_.network, &timer_pool_);
-  } else {
-    rendezvous = std::make_unique<LocalRendezvous>();
-  }
-  if (injector != nullptr) {
-    rendezvous = std::make_unique<FaultInjectingRendezvous>(
-        injector, std::move(rendezvous));
-  }
-  state->rendezvous = std::move(rendezvous);
-
   Executor::Args args;
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -449,17 +436,37 @@ Status MasterSession::RunOnce(CompiledStep* step,
     // step id, a successor master must never issue it again.
     TF_RETURN_IF_ERROR(state_log_->AppendStep(args.step_id));
   }
+
+  FaultInjector* injector = cluster_->fault_injector();
+  std::shared_ptr<Rendezvous> rendezvous;
+  if (options_.use_network_model) {
+    rendezvous =
+        std::make_shared<ThrottledRendezvous>(options_.network, &timer_pool_);
+  } else {
+    rendezvous = std::make_shared<LocalRendezvous>();
+  }
+  if (injector != nullptr) {
+    rendezvous = std::make_shared<FaultInjectingRendezvous>(
+        injector, std::move(rendezvous));
+  }
+  // Transport hook: over sockets this registers the step's rendezvous with
+  // the master's tensor hub so worker processes can reach it; in-process it
+  // returns the rendezvous unchanged.
+  state->rendezvous =
+      cluster_->WrapStepRendezvous(args.step_id, std::move(rendezvous));
+
   args.rendezvous = state->rendezvous.get();
   args.call_frame = &state->call_frame;
   args.cancellation = &state->cancellation;
   args.trace = state->trace.get();
+  args.deadline_seconds = options_.step_deadline_seconds;
   const int64_t step_start_micros = metrics::NowMicros();
 
   // One message per participating task (§3.3). The callback captures only
   // `state` — never `this` — because a parked (hung) callback can outlive
   // both this call and the session.
   state->remaining = step->participating.size();
-  for (TaskWorker* worker : step->participating) {
+  for (WorkerInterface* worker : step->participating) {
     worker->RunSubgraphsAsync(step->handle, args, [state](const Status& s) {
       bool fan_abort = false;
       {
@@ -545,20 +552,17 @@ Status MasterSession::RunOnce(CompiledStep* step,
 }
 
 Status MasterSession::PrepareRetry(CompiledStep* step) {
-  FaultInjector* injector = cluster_->fault_injector();
-  if (injector != nullptr) {
-    for (TaskWorker* worker : step->participating) {
-      if (!injector->IsDown(worker->task_name())) continue;
-      if (!options_.restart_failed_tasks) {
-        return Unavailable("task " + worker->task_name() +
-                           " is down and restart_failed_tasks is off");
-      }
-      TF_RETURN_IF_ERROR(
-          cluster_->RestartTask(worker->job(), worker->task_index()));
-      counters_.restarts->Increment();
-      RecordGlobalInstant("master.task_restarted", worker->task_name(),
-                          {{"session", session_prefix_}});
+  for (WorkerInterface* worker : step->participating) {
+    if (!cluster_->TaskIsDown(worker)) continue;
+    if (!options_.restart_failed_tasks) {
+      return Unavailable("task " + worker->task_name() +
+                         " is down and restart_failed_tasks is off");
     }
+    TF_RETURN_IF_ERROR(
+        cluster_->RestartTask(worker->job(), worker->task_index()));
+    counters_.restarts->Increment();
+    RecordGlobalInstant("master.task_restarted", worker->task_name(),
+                        {{"session", session_prefix_}});
   }
   // §4.3: a failed step is "aborted and restarted from the last checkpoint"
   // — recovery runs on EVERY retry, not only after a task restart. An

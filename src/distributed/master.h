@@ -122,11 +122,11 @@ class MasterSession {
     int64_t partition_reuses = 0;
   };
 
-  // Clones `graph`; the cluster must outlive the session.
+  // Clones `graph`; the cluster (any transport) must outlive the session.
   static Result<std::unique_ptr<MasterSession>> Create(
-      const Graph& graph, InProcessCluster* cluster, const Options& options);
+      const Graph& graph, Cluster* cluster, const Options& options);
   static Result<std::unique_ptr<MasterSession>> Create(
-      const Graph& graph, InProcessCluster* cluster) {
+      const Graph& graph, Cluster* cluster) {
     return Create(graph, cluster, Options{});
   }
 
@@ -182,20 +182,20 @@ class MasterSession {
   ~MasterSession();
 
  private:
-  MasterSession(const Graph& graph, InProcessCluster* cluster,
-                const Options& options, const MasterState* restored);
+  MasterSession(const Graph& graph, Cluster* cluster, const Options& options,
+                const MasterState* restored);
 
   // One partition retained by the master so it can re-register a restarted
   // task's subgraphs (the worker's copy dies with the task).
   struct PartitionRecord {
-    TaskWorker* worker;
+    WorkerInterface* worker;
     std::string device_name;
     std::unique_ptr<Graph> graph;
   };
 
   struct CompiledStep {
     std::string handle;
-    std::vector<TaskWorker*> participating;
+    std::vector<WorkerInterface*> participating;
     std::vector<PartitionRecord> partitions;
   };
 
@@ -225,7 +225,7 @@ class MasterSession {
   // Prober verdict: `worker` missed K consecutive probes. Restarts it and
   // re-registers its subgraphs (when restart_failed_tasks allows and no
   // step is in flight), then runs the recovery handler.
-  void HandleDeadTask(TaskWorker* worker);
+  void HandleDeadTask(WorkerInterface* worker);
 
   // Invokes the installed recovery handler, if any, counting the recovery.
   Status RunRecoveryHandler();
@@ -247,7 +247,7 @@ class MasterSession {
   Status PrepareRetry(CompiledStep* step);
 
   Options options_;
-  InProcessCluster* cluster_;
+  Cluster* cluster_;
   std::unique_ptr<Graph> graph_;
   std::string session_prefix_;
   ThreadPool timer_pool_;

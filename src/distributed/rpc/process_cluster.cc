@@ -1,0 +1,367 @@
+#include "distributed/rpc/process_cluster.h"
+
+#include <errno.h>
+#include <limits.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <thread>
+#include <utility>
+
+#include "core/metrics.h"
+#include "distributed/fault_injector.h"
+
+namespace tfrepro {
+namespace distributed {
+namespace rpc {
+
+namespace {
+
+// The per-step rendezvous the master sees over the socket transport: the
+// base chain (throttled / fault-injecting / local) does the actual
+// matching; this wrapper makes the step reachable through the hub for its
+// lifetime and fans a CancelStep to every worker process on abort, because
+// a worker's process-local waiters cannot observe a master-side abort any
+// other way.
+class HubStepRendezvous : public Rendezvous {
+ public:
+  HubStepRendezvous(ProcessCluster* cluster, int64_t step_id,
+                    std::shared_ptr<Rendezvous> base)
+      : cluster_(cluster), step_id_(step_id), base_(std::move(base)) {
+    cluster_->hub()->RegisterStep(step_id_, base_);
+  }
+
+  ~HubStepRendezvous() override { cluster_->hub()->DeregisterStep(step_id_); }
+
+  Status Send(const std::string& key, const Tensor& value,
+              bool is_dead) override {
+    return base_->Send(key, value, is_dead);
+  }
+  Status Send(const std::string& key, uint64_t key_hash, const Tensor& value,
+              bool is_dead) override {
+    return base_->Send(key, key_hash, value, is_dead);
+  }
+  void RecvAsync(const std::string& key, DoneCallback done) override {
+    base_->RecvAsync(key, std::move(done));
+  }
+  void RecvAsync(const std::string& key, uint64_t key_hash,
+                 DoneCallback done) override {
+    base_->RecvAsync(key, key_hash, std::move(done));
+  }
+  void StartAbort(const Status& status) override {
+    base_->StartAbort(status);
+    cluster_->CancelStepOnWorkers(step_id_, status);
+  }
+
+ private:
+  ProcessCluster* cluster_;
+  const int64_t step_id_;
+  std::shared_ptr<Rendezvous> base_;
+};
+
+Result<std::string> ResolveWorkerBinary(const std::string& explicit_path) {
+  std::vector<std::string> candidates;
+  if (!explicit_path.empty()) {
+    candidates.push_back(explicit_path);
+  } else {
+    const char* env = std::getenv("TFREPRO_WORKER_BINARY");
+    if (env != nullptr && env[0] != '\0') candidates.push_back(env);
+    char exe[PATH_MAX];
+    ssize_t n = ::readlink("/proc/self/exe", exe, sizeof(exe) - 1);
+    if (n > 0) {
+      exe[n] = '\0';
+      std::string dir(exe);
+      size_t slash = dir.rfind('/');
+      dir = slash == std::string::npos ? "." : dir.substr(0, slash);
+      candidates.push_back(dir + "/worker_main");
+      candidates.push_back(dir + "/../bin/worker_main");
+      candidates.push_back(dir + "/bin/worker_main");
+    }
+  }
+  for (const std::string& candidate : candidates) {
+    if (::access(candidate.c_str(), X_OK) == 0) return candidate;
+  }
+  std::string tried;
+  for (const std::string& candidate : candidates) {
+    if (!tried.empty()) tried += ", ";
+    tried += candidate;
+  }
+  return NotFound(
+      "worker_main binary not found (tried: " + tried +
+      "); set Cluster::Options::worker_binary or TFREPRO_WORKER_BINARY");
+}
+
+}  // namespace
+
+ProcessCluster::ProcessCluster(const ClusterSpec& spec, const Options& options)
+    : Cluster(spec, options.fault_injector),
+      options_(options),
+      timer_pool_("process-cluster", 2) {}
+
+Result<std::unique_ptr<ProcessCluster>> ProcessCluster::Create(
+    const ClusterSpec& spec, const Options& options) {
+  if (spec.jobs.empty()) {
+    return InvalidArgument("cluster spec has no jobs");
+  }
+  for (const auto& [job, count] : spec.jobs) {
+    if (count <= 0) {
+      return InvalidArgument("job '" + job + "' has no tasks");
+    }
+  }
+  std::unique_ptr<ProcessCluster> cluster(new ProcessCluster(spec, options));
+  TF_RETURN_IF_ERROR(cluster->Initialize());
+  return cluster;
+}
+
+Status ProcessCluster::Initialize() {
+  Result<std::string> binary = ResolveWorkerBinary(options_.worker_binary);
+  TF_RETURN_IF_ERROR(binary.status());
+  worker_binary_ = binary.value();
+  TF_RETURN_IF_ERROR(hub_.Start());
+  for (const auto& [job, count] : spec_.jobs) {
+    for (int i = 0; i < count; ++i) {
+      auto task = std::make_unique<Task>();
+      task->job = job;
+      task->task_index = i;
+      for (int d = 0; d < options_.devices_per_task; ++d) {
+        task->shadow_devices.push_back(NewCpuDevice(job, i, d, &timer_pool_));
+      }
+      TF_RETURN_IF_ERROR(SpawnProcess(task.get()));
+      task->stub = std::make_unique<RemoteWorker>(
+          job, i, task->port, options_.rpc_deadline_seconds, fault_injector_,
+          &timer_pool_);
+      tasks_.push_back(std::move(task));
+    }
+  }
+  return Status::OK();
+}
+
+ProcessCluster::~ProcessCluster() {
+  // Graceful drain: ask every live worker to exit...
+  for (const auto& task : tasks_) {
+    bool live;
+    {
+      std::lock_guard<std::mutex> lock(procs_mu_);
+      live = !ProcessGoneLocked(task.get());
+    }
+    if (live && task->stub != nullptr) {
+      (void)task->stub->channel()->CallSync(Method::kShutdown, std::string(),
+                                            /*deadline_seconds=*/1.0);
+    }
+  }
+  // ...give them a moment to oblige...
+  const int64_t drain_deadline = metrics::NowMicros() + 2000000;
+  for (const auto& task : tasks_) {
+    for (;;) {
+      {
+        std::lock_guard<std::mutex> lock(procs_mu_);
+        if (ProcessGoneLocked(task.get())) break;
+        if (metrics::NowMicros() >= drain_deadline) {
+          // ...then SIGKILL the stragglers.
+          ReapLocked(task.get(), /*force_kill=*/true);
+          break;
+        }
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+  }
+  // Channels close before the hub so parked hub calls fail cleanly.
+  for (const auto& task : tasks_) {
+    if (task->stub != nullptr) task->stub->channel()->Shutdown();
+  }
+  hub_.Shutdown();
+}
+
+Status ProcessCluster::SpawnProcess(Task* task) {
+  static std::atomic<uint64_t> spawn_counter{0};
+  const std::string port_file =
+      "/tmp/tfrepro_worker_" + std::to_string(::getpid()) + "_" + task->job +
+      "_" + std::to_string(task->task_index) + "_" +
+      std::to_string(spawn_counter.fetch_add(1)) + ".port";
+  ::unlink(port_file.c_str());
+
+  std::vector<std::string> args = {
+      worker_binary_,
+      "--job=" + task->job,
+      "--task=" + std::to_string(task->task_index),
+      "--hub_port=" + std::to_string(hub_.port()),
+      "--port_file=" + port_file,
+      "--threads=" + std::to_string(options_.threads_per_task),
+      "--devices=" + std::to_string(options_.devices_per_task),
+  };
+  std::vector<char*> argv;
+  argv.reserve(args.size() + 1);
+  for (std::string& arg : args) argv.push_back(arg.data());
+  argv.push_back(nullptr);
+
+  pid_t pid = ::fork();
+  if (pid < 0) return StatusFromErrno(errno, "fork");
+  if (pid == 0) {
+    ::execv(worker_binary_.c_str(), argv.data());
+    _exit(127);  // exec failed; the parent sees an early exit
+  }
+
+  // Readiness handshake: poll for the port file the child renames into
+  // place, watching for early death so a crash-looping binary fails fast
+  // instead of burning the whole spawn timeout.
+  const int64_t deadline =
+      metrics::NowMicros() +
+      static_cast<int64_t>(options_.spawn_timeout_seconds * 1e6);
+  const std::string task_name =
+      "/job:" + task->job + "/task:" + std::to_string(task->task_index);
+  for (;;) {
+    {
+      std::ifstream in(port_file);
+      int port = 0;
+      if (in && (in >> port) && port > 0) {
+        ::unlink(port_file.c_str());
+        std::lock_guard<std::mutex> lock(procs_mu_);
+        task->pid = pid;
+        task->port = port;
+        task->reaped = false;
+        return Status::OK();
+      }
+    }
+    int wstatus = 0;
+    if (::waitpid(pid, &wstatus, WNOHANG) == pid) {
+      ::unlink(port_file.c_str());
+      return Internal("worker process for " + task_name +
+                      " exited during startup (status " +
+                      std::to_string(wstatus) + ")");
+    }
+    if (metrics::NowMicros() >= deadline) {
+      ::kill(pid, SIGKILL);
+      ::waitpid(pid, &wstatus, 0);
+      ::unlink(port_file.c_str());
+      return DeadlineExceeded(
+          "worker process for " + task_name + " did not publish its port in " +
+          std::to_string(options_.spawn_timeout_seconds) + "s");
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+}
+
+Result<ProcessCluster::Task*> ProcessCluster::FindTask(const std::string& job,
+                                                       int task_index) const {
+  for (const auto& task : tasks_) {
+    if (task->job == job && task->task_index == task_index) return task.get();
+  }
+  return NotFound("no task /job:" + job + "/task:" +
+                  std::to_string(task_index) + " in cluster");
+}
+
+Result<WorkerInterface*> ProcessCluster::worker(const std::string& job,
+                                                int task_index) const {
+  Result<Task*> task = FindTask(job, task_index);
+  TF_RETURN_IF_ERROR(task.status());
+  return static_cast<WorkerInterface*>(task.value()->stub.get());
+}
+
+std::vector<WorkerInterface*> ProcessCluster::workers() const {
+  std::vector<WorkerInterface*> out;
+  out.reserve(tasks_.size());
+  for (const auto& task : tasks_) out.push_back(task->stub.get());
+  return out;
+}
+
+std::vector<Device*> ProcessCluster::all_devices() const {
+  std::vector<Device*> out;
+  for (const auto& task : tasks_) {
+    for (const auto& device : task->shadow_devices) out.push_back(device.get());
+  }
+  return out;
+}
+
+bool ProcessCluster::ProcessGoneLocked(Task* task) const {
+  if (task->reaped || task->pid < 0) return true;
+  int wstatus = 0;
+  pid_t r = ::waitpid(task->pid, &wstatus, WNOHANG);
+  if (r == task->pid || (r < 0 && errno == ECHILD)) {
+    task->reaped = true;
+    return true;
+  }
+  return false;
+}
+
+void ProcessCluster::ReapLocked(Task* task, bool force_kill) {
+  if (ProcessGoneLocked(task)) return;
+  if (force_kill) ::kill(task->pid, SIGKILL);
+  int wstatus = 0;
+  ::waitpid(task->pid, &wstatus, 0);
+  task->reaped = true;
+}
+
+bool ProcessCluster::TaskIsDown(WorkerInterface* worker) const {
+  if (fault_injector_ != nullptr &&
+      fault_injector_->IsDown(worker->task_name())) {
+    return true;
+  }
+  Result<Task*> task = FindTask(worker->job(), worker->task_index());
+  if (!task.ok()) return false;
+  std::lock_guard<std::mutex> lock(procs_mu_);
+  return ProcessGoneLocked(task.value());
+}
+
+Status ProcessCluster::RestartTask(const std::string& job, int task_index) {
+  Result<Task*> found = FindTask(job, task_index);
+  TF_RETURN_IF_ERROR(found.status());
+  Task* task = found.value();
+  {
+    std::lock_guard<std::mutex> lock(procs_mu_);
+    ReapLocked(task, /*force_kill=*/true);
+  }
+  TF_RETURN_IF_ERROR(SpawnProcess(task));
+  // The stub survives the restart: only its target changes, and its bumped
+  // incarnation tells the master that registered subgraphs are gone.
+  task->stub->TargetRestartedProcess(task->port);
+  if (fault_injector_ != nullptr) {
+    fault_injector_->MarkRestarted(task->stub->task_name());
+  }
+  return Status::OK();
+}
+
+Status ProcessCluster::KillTaskProcess(const std::string& job,
+                                       int task_index) {
+  Result<Task*> found = FindTask(job, task_index);
+  TF_RETURN_IF_ERROR(found.status());
+  Task* task = found.value();
+  std::lock_guard<std::mutex> lock(procs_mu_);
+  if (ProcessGoneLocked(task)) {
+    return FailedPrecondition("task /job:" + job + "/task:" +
+                              std::to_string(task_index) +
+                              " has no live process to kill");
+  }
+  ::kill(task->pid, SIGKILL);
+  // Deliberately not reaped here: TaskIsDown's WNOHANG collects the corpse
+  // when the master next looks, just like a monitor discovering a crash.
+  return Status::OK();
+}
+
+std::shared_ptr<Rendezvous> ProcessCluster::WrapStepRendezvous(
+    int64_t step_id, std::shared_ptr<Rendezvous> base) {
+  return std::make_shared<HubStepRendezvous>(this, step_id, std::move(base));
+}
+
+void ProcessCluster::CancelStepOnWorkers(int64_t step_id,
+                                         const Status& reason) {
+  std::string body;
+  AppendInt64(&body, step_id);
+  AppendStatus(&body, reason);
+  for (const auto& task : tasks_) {
+    // Fire-and-forget: a dead worker fails the call fast (backoff window),
+    // a live one aborts its local waiters. Either way nobody blocks here.
+    task->stub->channel()->Call(
+        Method::kCancelStep, std::string(body), nullptr, 0,
+        /*deadline_seconds=*/1.0, [](const Status&, std::string) {});
+  }
+}
+
+}  // namespace rpc
+}  // namespace distributed
+}  // namespace tfrepro

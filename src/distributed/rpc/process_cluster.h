@@ -1,0 +1,120 @@
+// Multi-process cluster (DESIGN.md §11): every task of the ClusterSpec is
+// a real OS process running worker_main, spawned with fork/exec and spoken
+// to through a RemoteWorker stub. The master keeps:
+//
+//   * one RemoteWorker (and its RpcChannel) per task — the stable identity
+//     the master holds across restarts; restarting a task swaps the process
+//     behind the stub, never the stub itself;
+//   * shadow CPU devices mirroring each process's devices by name, so
+//     placement and partitioning run unchanged (kernels never execute on
+//     them);
+//   * the rendezvous hub, which fronts every step's master-side rendezvous
+//     to the worker processes (see rendezvous_hub.h).
+//
+// Process lifecycle: spawn writes the child's ephemeral service port to a
+// tmp file (renamed into place so the parent never reads a partial write);
+// the parent polls that file, bounded by spawn_timeout_seconds, and fails
+// the spawn if the child dies first. Liveness is waitpid(WNOHANG):
+// TaskIsDown reaps and reports a SIGKILLed child, and RestartTask respawns
+// it, retargets the stub, bumps the incarnation and lets the master's
+// existing re-register + checkpoint-recovery path do the rest. Destruction
+// drains gracefully: Shutdown RPC, bounded wait, SIGKILL stragglers.
+//
+// KillTaskProcess is the chaos hook: SIGKILL a live worker, no respawn, no
+// bookkeeping — exactly what a machine failure looks like to the master.
+
+#ifndef TFREPRO_DISTRIBUTED_RPC_PROCESS_CLUSTER_H_
+#define TFREPRO_DISTRIBUTED_RPC_PROCESS_CLUSTER_H_
+
+#include <sys/types.h>
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/status.h"
+#include "core/threadpool.h"
+#include "distributed/cluster.h"
+#include "distributed/rpc/remote_worker.h"
+#include "distributed/rpc/rendezvous_hub.h"
+
+namespace tfrepro {
+namespace distributed {
+namespace rpc {
+
+class ProcessCluster : public Cluster {
+ public:
+  using Options = Cluster::Options;
+
+  static Result<std::unique_ptr<ProcessCluster>> Create(
+      const ClusterSpec& spec, const Options& options);
+
+  ~ProcessCluster() override;
+
+  Result<WorkerInterface*> worker(const std::string& job,
+                                  int task_index) const override;
+  std::vector<WorkerInterface*> workers() const override;
+  std::vector<Device*> all_devices() const override;
+
+  Status RestartTask(const std::string& job, int task_index) override;
+  bool TaskIsDown(WorkerInterface* worker) const override;
+
+  // Registers the step with the hub and arranges CancelStep fan-out on
+  // abort, so worker-local rendezvous waiters unblock when the master
+  // aborts a step they cannot observe failing.
+  std::shared_ptr<Rendezvous> WrapStepRendezvous(
+      int64_t step_id, std::shared_ptr<Rendezvous> base) override;
+
+  // Chaos hook: SIGKILL the task's live process and do nothing else — the
+  // master must notice (failed dispatch or missed probes) and recover on
+  // its own. Errors if the process is already gone.
+  Status KillTaskProcess(const std::string& job, int task_index);
+
+  int hub_port() const { return hub_.port(); }
+  RendezvousHub* hub() { return &hub_; }
+
+  // Fans CancelStep to every worker (fire-and-forget, short deadline);
+  // called by the per-step hub rendezvous wrapper on abort.
+  void CancelStepOnWorkers(int64_t step_id, const Status& reason);
+
+ private:
+  struct Task {
+    std::string job;
+    int task_index = 0;
+    std::unique_ptr<RemoteWorker> stub;
+    pid_t pid = -1;
+    int port = 0;
+    bool reaped = false;  // waitpid already collected the child
+    std::vector<std::unique_ptr<Device>> shadow_devices;
+  };
+
+  ProcessCluster(const ClusterSpec& spec, const Options& options);
+
+  Status Initialize();
+  // fork/exec of worker_main; on success fills task->pid and task->port.
+  Status SpawnProcess(Task* task);
+  // SIGKILLs (if needed) and reaps the task's process. Must hold procs_mu_.
+  void ReapLocked(Task* task, bool force_kill);
+
+  Result<Task*> FindTask(const std::string& job, int task_index) const;
+  // waitpid(WNOHANG) check-and-reap. Must hold procs_mu_.
+  bool ProcessGoneLocked(Task* task) const;
+
+  Options options_;
+  std::string worker_binary_;
+  RendezvousHub hub_;
+  // Carries injected dispatch delays and owns the shadow devices' (unused)
+  // kernel pool.
+  ThreadPool timer_pool_;
+  std::vector<std::unique_ptr<Task>> tasks_;
+  // Guards pid/reaped state: TaskIsDown (any thread) races RestartTask and
+  // the destructor on waitpid, which collects each child exactly once.
+  mutable std::mutex procs_mu_;
+};
+
+}  // namespace rpc
+}  // namespace distributed
+}  // namespace tfrepro
+
+#endif  // TFREPRO_DISTRIBUTED_RPC_PROCESS_CLUSTER_H_

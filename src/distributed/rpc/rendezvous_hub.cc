@@ -1,0 +1,129 @@
+#include "distributed/rpc/rendezvous_hub.h"
+
+#include <utility>
+
+namespace tfrepro {
+namespace distributed {
+namespace rpc {
+
+RendezvousHub::~RendezvousHub() { Shutdown(); }
+
+Status RendezvousHub::Start() {
+  server_.RegisterHandler(
+      Method::kSendTensor,
+      [this](const std::string& body,
+             std::shared_ptr<RpcServer::Responder> responder) {
+        HandleSendTensor(body, std::move(responder));
+      });
+  server_.RegisterHandler(
+      Method::kRecvTensor,
+      [this](const std::string& body,
+             std::shared_ptr<RpcServer::Responder> responder) {
+        HandleRecvTensor(body, std::move(responder));
+      });
+  return server_.Start(0);
+}
+
+void RendezvousHub::Shutdown() { server_.Shutdown(); }
+
+void RendezvousHub::RegisterStep(int64_t step_id,
+                                 std::shared_ptr<Rendezvous> rendezvous) {
+  std::lock_guard<std::mutex> lock(mu_);
+  steps_[step_id] = std::move(rendezvous);
+}
+
+void RendezvousHub::DeregisterStep(int64_t step_id) {
+  std::shared_ptr<Rendezvous> dropped;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = steps_.find(step_id);
+    if (it == steps_.end()) return;
+    dropped = std::move(it->second);
+    steps_.erase(it);
+  }
+  // Release outside the lock: the rendezvous destructor may fire parked
+  // waiter callbacks (which respond on connection fds), and none of that
+  // needs — or should hold — the registry lock.
+}
+
+int RendezvousHub::num_active_steps() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int>(steps_.size());
+}
+
+std::shared_ptr<Rendezvous> RendezvousHub::LookupStep(int64_t step_id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = steps_.find(step_id);
+  return it == steps_.end() ? nullptr : it->second;
+}
+
+void RendezvousHub::HandleSendTensor(
+    const std::string& body, std::shared_ptr<RpcServer::Responder> responder) {
+  size_t offset = 0;
+  int64_t step_id = 0;
+  int64_t is_dead = 0;
+  std::string key;
+  if (!ReadInt64(body, &offset, &step_id) || !ReadString(body, &offset, &key) ||
+      !ReadInt64(body, &offset, &is_dead)) {
+    responder->Respond(InvalidArgument("malformed SendTensor request"),
+                       std::string());
+    return;
+  }
+  Result<Tensor> tensor = Tensor::ParseFromBytes(body, &offset);
+  if (!tensor.ok()) {
+    responder->Respond(tensor.status(), std::string());
+    return;
+  }
+  std::shared_ptr<Rendezvous> rendezvous = LookupStep(step_id);
+  if (rendezvous == nullptr) {
+    // Straggler from a finished/aborted step; Aborted is retryable, so the
+    // worker-side executor fails the step cleanly and the master's retry
+    // machinery (not this send) decides what happens next.
+    responder->Respond(
+        Aborted("step " + std::to_string(step_id) + " is not active"),
+        std::string());
+    return;
+  }
+  responder->Respond(rendezvous->Send(key, tensor.value(), is_dead != 0),
+                     std::string());
+}
+
+void RendezvousHub::HandleRecvTensor(
+    const std::string& body, std::shared_ptr<RpcServer::Responder> responder) {
+  size_t offset = 0;
+  int64_t step_id = 0;
+  std::string key;
+  if (!ReadInt64(body, &offset, &step_id) || !ReadString(body, &offset, &key)) {
+    responder->Respond(InvalidArgument("malformed RecvTensor request"),
+                       std::string());
+    return;
+  }
+  std::shared_ptr<Rendezvous> rendezvous = LookupStep(step_id);
+  if (rendezvous == nullptr) {
+    responder->Respond(
+        Aborted("step " + std::to_string(step_id) + " is not active"),
+        std::string());
+    return;
+  }
+  // Long poll: the callback may run inline (value already buffered) or much
+  // later from whichever connection thread delivers the matching Send. The
+  // responder keeps the originating connection alive either way.
+  rendezvous->RecvAsync(
+      key, [responder](const Status& status, const Tensor& value,
+                       bool is_dead) {
+        if (!status.ok()) {
+          responder->Respond(status, std::string());
+          return;
+        }
+        std::string reply;
+        AppendInt64(&reply, is_dead ? 1 : 0);
+        const char* payload = nullptr;
+        size_t payload_len = 0;
+        AppendTensorMeta(value, &reply, &payload, &payload_len);
+        responder->Respond(Status::OK(), reply, payload, payload_len);
+      });
+}
+
+}  // namespace rpc
+}  // namespace distributed
+}  // namespace tfrepro

@@ -1,0 +1,72 @@
+// Master-side tensor hub for the socket transport (DESIGN.md §11). Worker
+// processes cannot share a LocalRendezvous across address spaces, so every
+// cross-task Send/Recv is proxied to the master: the hub maps step_id to
+// that step's master-side rendezvous (the same Throttled/FaultInjecting
+// chain the in-process transport uses) and serves two methods:
+//
+//   SendTensor(step_id, key, is_dead, tensor) -> status
+//   RecvTensor(step_id, key) -> status, is_dead, tensor   [long-poll]
+//
+// RecvTensor parks the responder in the rendezvous' waiter queue; the
+// response goes out whenever the matching Send lands (possibly from
+// another worker's connection) or the step aborts — the hub thread never
+// blocks. Operations against a step that is not registered (never started,
+// or already torn down) answer with retryable Aborted, so stragglers from
+// a killed step die quietly on the worker side.
+//
+// Hub-and-spoke doubles the hop count versus worker-to-worker links
+// (worker -> hub -> worker), which is the honest cost of keeping one
+// rendezvous implementation; on localhost the extra hop is microseconds.
+
+#ifndef TFREPRO_DISTRIBUTED_RPC_RENDEZVOUS_HUB_H_
+#define TFREPRO_DISTRIBUTED_RPC_RENDEZVOUS_HUB_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "core/status.h"
+#include "distributed/rpc/rpc_server.h"
+#include "runtime/rendezvous.h"
+
+namespace tfrepro {
+namespace distributed {
+namespace rpc {
+
+class RendezvousHub {
+ public:
+  RendezvousHub() = default;
+  ~RendezvousHub();
+
+  // Starts the hub server on an ephemeral localhost port (see port()).
+  Status Start();
+  int port() const { return server_.port(); }
+  void Shutdown();
+
+  // Makes `rendezvous` reachable for `step_id`. The hub shares ownership
+  // until DeregisterStep, so parked RecvTensor responders stay valid even
+  // if the master's step state is torn down first.
+  void RegisterStep(int64_t step_id, std::shared_ptr<Rendezvous> rendezvous);
+  void DeregisterStep(int64_t step_id);
+
+  int num_active_steps() const;
+
+ private:
+  void HandleSendTensor(const std::string& body,
+                        std::shared_ptr<RpcServer::Responder> responder);
+  void HandleRecvTensor(const std::string& body,
+                        std::shared_ptr<RpcServer::Responder> responder);
+  std::shared_ptr<Rendezvous> LookupStep(int64_t step_id) const;
+
+  RpcServer server_;
+  mutable std::mutex mu_;
+  std::map<int64_t, std::shared_ptr<Rendezvous>> steps_;
+};
+
+}  // namespace rpc
+}  // namespace distributed
+}  // namespace tfrepro
+
+#endif  // TFREPRO_DISTRIBUTED_RPC_RENDEZVOUS_HUB_H_

@@ -1,0 +1,84 @@
+// Entry point for one worker process of the socket transport (DESIGN.md
+// §11). Spawned by ProcessCluster as:
+//
+//   worker_main --job=worker --task=0 --hub_port=41234 \
+//       --port_file=/tmp/...port [--threads=2] [--devices=1]
+//
+// The service binds an ephemeral port, publishes it through the port file
+// (written to a temp name and renamed, so the spawning master never reads
+// a partial write), then serves RPCs until a Shutdown RPC arrives. Being
+// SIGKILLed at any point is an expected fate — the master's chaos tests do
+// exactly that — and requires no cooperation from this side.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "distributed/rpc/worker_service.h"
+
+namespace {
+
+// Returns the value of "--name=value" if `arg` matches, else nullptr.
+const char* FlagValue(const char* arg, const char* name) {
+  const std::string prefix = std::string("--") + name + "=";
+  return std::strncmp(arg, prefix.c_str(), prefix.size()) == 0
+             ? arg + prefix.size()
+             : nullptr;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  tfrepro::distributed::rpc::WorkerService::Options options;
+  std::string port_file;
+  for (int i = 1; i < argc; ++i) {
+    if (const char* v = FlagValue(argv[i], "job")) {
+      options.job = v;
+    } else if (const char* v = FlagValue(argv[i], "task")) {
+      options.task_index = std::atoi(v);
+    } else if (const char* v = FlagValue(argv[i], "hub_port")) {
+      options.hub_port = std::atoi(v);
+    } else if (const char* v = FlagValue(argv[i], "port_file")) {
+      port_file = v;
+    } else if (const char* v = FlagValue(argv[i], "threads")) {
+      options.num_threads = std::atoi(v);
+    } else if (const char* v = FlagValue(argv[i], "devices")) {
+      options.num_devices = std::atoi(v);
+    } else {
+      std::fprintf(stderr, "worker_main: unknown flag %s\n", argv[i]);
+      return 2;
+    }
+  }
+  if (options.job.empty() || options.hub_port <= 0 || port_file.empty()) {
+    std::fprintf(stderr,
+                 "worker_main: --job, --hub_port and --port_file are "
+                 "required\n");
+    return 2;
+  }
+
+  tfrepro::distributed::rpc::WorkerService service(options);
+  tfrepro::Status started = service.Start(/*port=*/0);
+  if (!started.ok()) {
+    std::fprintf(stderr, "worker_main: %s\n", started.message().c_str());
+    return 1;
+  }
+
+  // Publish readiness: temp file + rename is atomic on one filesystem.
+  const std::string tmp = port_file + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "worker_main: cannot write %s\n", tmp.c_str());
+    return 1;
+  }
+  std::fprintf(f, "%d\n", service.port());
+  std::fclose(f);
+  if (std::rename(tmp.c_str(), port_file.c_str()) != 0) {
+    std::fprintf(stderr, "worker_main: cannot publish %s\n",
+                 port_file.c_str());
+    return 1;
+  }
+
+  service.WaitForShutdown();
+  return 0;
+}

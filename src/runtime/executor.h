@@ -41,6 +41,10 @@ class Executor {
     // Send/Recv kernels record transfer events). Null = tracing off: the
     // executor takes no timestamps and allocates nothing for tracing.
     TraceCollector* trace = nullptr;
+    // Advisory per-step deadline in seconds (0 = none). Executors ignore
+    // it; the socket transport bounds its RunGraph RPC with it so a dead
+    // worker's dispatch callback always fires eventually.
+    double deadline_seconds = 0.0;
   };
 
   // Creates an executor for `graph` (a partition fully assigned to

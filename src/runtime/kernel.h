@@ -50,6 +50,11 @@ class CallFrame {
   Status SetFetch(int index, Tensor value);
   const std::vector<Tensor>& fetches() const { return fetches_; }
 
+  // Read-only views for transports that ship a frame across a process
+  // boundary (the socket worker rebuilds an identical frame from these).
+  const std::vector<Tensor>& feeds() const { return feeds_; }
+  int num_fetches() const { return static_cast<int>(fetches_.size()); }
+
  private:
   std::vector<Tensor> feeds_;
   mutable std::mutex mu_;

@@ -1,6 +1,7 @@
 #include "runtime/rendezvous.h"
 
 #include <condition_variable>
+#include <cstdlib>
 #include <vector>
 
 #include "core/metrics.h"
@@ -66,6 +67,31 @@ Status Rendezvous::Recv(const std::string& key, Tensor* value, bool* is_dead) {
   cv.wait(lock, [&]() { return done; });
   return status;
 }
+
+namespace {
+// Rounds up to a power of two and clamps to [1, 1024] so the shard mask
+// stays valid whatever the env says.
+int NormalizeShardCount(int n) {
+  if (n < 1) n = 1;
+  if (n > 1024) n = 1024;
+  int pow2 = 1;
+  while (pow2 < n) pow2 <<= 1;
+  return pow2;
+}
+}  // namespace
+
+int LocalRendezvous::DefaultShardCount() {
+  const char* env = std::getenv("TFREPRO_RENDEZVOUS_SHARDS");
+  if (env == nullptr || *env == '\0') return 16;
+  char* end = nullptr;
+  long v = std::strtol(env, &end, 10);
+  if (end == env || *end != '\0' || v <= 0) return 16;
+  return NormalizeShardCount(static_cast<int>(v));
+}
+
+LocalRendezvous::LocalRendezvous(int num_shards)
+    : shards_(NormalizeShardCount(num_shards)),
+      shard_mask_(static_cast<uint64_t>(shards_.size()) - 1) {}
 
 Status LocalRendezvous::Send(const std::string& key, const Tensor& value,
                              bool is_dead) {

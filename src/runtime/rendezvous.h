@@ -76,16 +76,31 @@ class Rendezvous {
 // In-process rendezvous used within one task: values are buffered until the
 // matching Recv arrives (or vice versa).
 //
-// The table is sharded into kNumShards hash-indexed buckets, each with its
-// own mutex and maps (DESIGN.md §9), so concurrent Send/Recv across keys no
-// longer serialize on one lock. An abort fans out across every shard.
+// The table is sharded into hash-indexed buckets, each with its own mutex
+// and maps (DESIGN.md §9), so concurrent Send/Recv across keys no longer
+// serialize on one lock. An abort fans out across every shard. The shard
+// count is runtime-configurable: the default constructor reads
+// TFREPRO_RENDEZVOUS_SHARDS (default 16; rounded up to a power of two,
+// clamped to [1, 1024]) at construction, so deployments can size the table
+// to their concurrency without recompiling.
 class LocalRendezvous : public Rendezvous {
  public:
+  // Shard count from TFREPRO_RENDEZVOUS_SHARDS (see DefaultShardCount).
+  LocalRendezvous() : LocalRendezvous(DefaultShardCount()) {}
+  // Explicit shard count, normalized like the env value.
+  explicit LocalRendezvous(int num_shards);
+
   // Releases any entries still buffered, keeping the process-wide
   // rendezvous.live_items / rendezvous.live_waiters gauges balanced — after
   // every step's rendezvous is destroyed both gauges read 0, so a non-zero
   // value is a leaked entry (chaos_test asserts this).
   ~LocalRendezvous() override;
+
+  int num_shards() const { return static_cast<int>(shards_.size()); }
+
+  // TFREPRO_RENDEZVOUS_SHARDS parsed and normalized; 16 when unset or
+  // unparseable. Read per call so tests can vary the env between steps.
+  static int DefaultShardCount();
 
   Status Send(const std::string& key, const Tensor& value,
               bool is_dead) override;
@@ -97,8 +112,6 @@ class LocalRendezvous : public Rendezvous {
   void StartAbort(const Status& status) override;
 
  private:
-  static constexpr int kNumShards = 16;  // power of two
-
   struct Item {
     Tensor value;
     bool is_dead = false;
@@ -118,11 +131,11 @@ class LocalRendezvous : public Rendezvous {
     std::unordered_map<std::string, std::deque<Waiter>> waiting;
   };
 
-  Shard& shard(uint64_t key_hash) {
-    return shards_[key_hash & (kNumShards - 1)];
-  }
+  Shard& shard(uint64_t key_hash) { return shards_[key_hash & shard_mask_]; }
 
-  Shard shards_[kNumShards];
+  // Sized at construction (power of two), immutable afterwards.
+  std::vector<Shard> shards_;
+  uint64_t shard_mask_ = 0;
   // Serializes StartAbort calls only (first-abort-wins); never taken by
   // Send/Recv.
   std::mutex abort_mu_;

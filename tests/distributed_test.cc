@@ -1,4 +1,5 @@
-// Tests for the in-process distributed runtime: placement onto PS/worker
+// Tests for the distributed runtime (transport-agnostic: run under
+// TFREPRO_TRANSPORT=socket they exercise real worker processes): placement onto PS/worker
 // tasks, cross-task Send/Recv, parameter-server-style training, async and
 // network-model behaviour.
 
@@ -6,6 +7,7 @@
 
 #include <chrono>
 #include <condition_variable>
+#include <cstdlib>
 #include <fstream>
 #include <memory>
 #include <mutex>
@@ -26,10 +28,18 @@ namespace {
 
 using distributed::ClusterSpec;
 using distributed::FaultInjector;
-using distributed::InProcessCluster;
+using distributed::Cluster;
 using distributed::MasterSession;
 using ops::Const;
 using train::GradAndVar;
+
+// True when this run exercises the socket transport (real worker
+// processes). Kernel-side metrics then live in the worker processes'
+// registries, not this one.
+bool SocketTransport() {
+  const char* t = std::getenv("TFREPRO_TRANSPORT");
+  return t != nullptr && std::string(t) == "socket";
+}
 
 ClusterSpec PsWorkerSpec(int ps, int workers) {
   ClusterSpec spec;
@@ -39,7 +49,7 @@ ClusterSpec PsWorkerSpec(int ps, int workers) {
 }
 
 TEST(ClusterTest, CreateAndLookup) {
-  auto cluster = InProcessCluster::Create(PsWorkerSpec(2, 3));
+  auto cluster = Cluster::Create(PsWorkerSpec(2, 3));
   ASSERT_TRUE(cluster.ok()) << cluster.status();
   EXPECT_EQ(cluster.value()->workers().size(), 5u);
   EXPECT_EQ(cluster.value()->all_devices().size(), 5u);
@@ -51,11 +61,11 @@ TEST(ClusterTest, CreateAndLookup) {
 }
 
 TEST(ClusterTest, RejectsEmptySpec) {
-  EXPECT_FALSE(InProcessCluster::Create(ClusterSpec{}).ok());
+  EXPECT_FALSE(Cluster::Create(ClusterSpec{}).ok());
 }
 
 TEST(MasterSessionTest, CrossTaskComputation) {
-  auto cluster = InProcessCluster::Create(PsWorkerSpec(1, 1));
+  auto cluster = Cluster::Create(PsWorkerSpec(1, 1));
   ASSERT_TRUE(cluster.ok());
 
   Graph g;
@@ -83,7 +93,7 @@ TEST(MasterSessionTest, CrossTaskComputation) {
 TEST(MasterSessionTest, ParameterServerTraining) {
   // The canonical PS architecture (§3.3): parameters on /job:ps, compute on
   // /job:worker; gradients flow back over Send/Recv.
-  auto cluster = InProcessCluster::Create(PsWorkerSpec(1, 1));
+  auto cluster = Cluster::Create(PsWorkerSpec(1, 1));
   ASSERT_TRUE(cluster.ok());
 
   Graph g;
@@ -120,7 +130,7 @@ TEST(MasterSessionTest, ParameterServerTraining) {
 
 TEST(MasterSessionTest, ShardedParametersAcrossPsTasks) {
   // Two PS shards; the worker sums reads from both (the Figure 3 layout).
-  auto cluster = InProcessCluster::Create(PsWorkerSpec(2, 1));
+  auto cluster = Cluster::Create(PsWorkerSpec(2, 1));
   ASSERT_TRUE(cluster.ok());
 
   Graph g;
@@ -155,7 +165,7 @@ TEST(MasterSessionTest, ShardedParametersAcrossPsTasks) {
 TEST(MasterSessionTest, AsynchronousDataParallelWorkers) {
   // Two workers run AssignAdd concurrently against one PS variable — the
   // asynchronous scheme of Figure 4(a). All updates must land.
-  auto cluster = InProcessCluster::Create(PsWorkerSpec(1, 2));
+  auto cluster = Cluster::Create(PsWorkerSpec(1, 2));
   ASSERT_TRUE(cluster.ok());
 
   Graph g;
@@ -203,7 +213,7 @@ TEST(MasterSessionTest, AsynchronousDataParallelWorkers) {
 }
 
 TEST(MasterSessionTest, NetworkModelDelaysCrossTaskTransfers) {
-  auto cluster = InProcessCluster::Create(PsWorkerSpec(1, 1));
+  auto cluster = Cluster::Create(PsWorkerSpec(1, 1));
   ASSERT_TRUE(cluster.ok());
 
   Graph g;
@@ -238,7 +248,7 @@ TEST(MasterSessionTest, NetworkModelDelaysCrossTaskTransfers) {
 }
 
 TEST(MasterSessionTest, MissingDeviceConstraintFails) {
-  auto cluster = InProcessCluster::Create(PsWorkerSpec(1, 1));
+  auto cluster = Cluster::Create(PsWorkerSpec(1, 1));
   Graph g;
   GraphBuilder b(&g);
   Output x;
@@ -255,7 +265,7 @@ TEST(MasterSessionTest, MissingDeviceConstraintFails) {
 TEST(MasterSessionTest, StatefulKernelsSharedAcrossStepSignatures) {
   // Different fetch signatures compile different subgraphs, but the
   // variable state must be shared between them.
-  auto cluster = InProcessCluster::Create(PsWorkerSpec(1, 1));
+  auto cluster = Cluster::Create(PsWorkerSpec(1, 1));
   Graph g;
   GraphBuilder b(&g);
   Output v;
@@ -285,7 +295,7 @@ TEST(MasterSessionTest, ShardedEmbeddingAcrossPsTasksTrains) {
   // Figure 3 end to end, distributed: embedding shards on two PS tasks,
   // Gather colocated with each shard, DynamicStitch on the worker, dense
   // gradients flowing back over Send/Recv.
-  auto cluster = InProcessCluster::Create(PsWorkerSpec(2, 1));
+  auto cluster = Cluster::Create(PsWorkerSpec(2, 1));
   ASSERT_TRUE(cluster.ok());
 
   Graph g;
@@ -440,7 +450,7 @@ TEST(LocalRendezvousAbortTest, DoubleAbortKeepsFirstStatus) {
 TEST(MasterSessionTest, PerTaskSaverRoundTrip) {
   // §4.3: one Save operation per task. Two PS tasks -> two task groups,
   // each writing its own checkpoint file; restore reassembles both.
-  auto cluster = InProcessCluster::Create(PsWorkerSpec(2, 1));
+  auto cluster = Cluster::Create(PsWorkerSpec(2, 1));
   ASSERT_TRUE(cluster.ok());
 
   Graph g;
@@ -495,9 +505,9 @@ TEST(MasterSessionTest, StaleBackupGradientIsDroppedNotAggregated) {
   // below the advanced stale floor and QueueDequeueFreshMany discards it —
   // the poison value must never reach the variable.
   FaultInjector injector;
-  InProcessCluster::Options copts;
+  Cluster::Options copts;
   copts.fault_injector = &injector;
-  auto cluster = InProcessCluster::Create(PsWorkerSpec(1, 4), copts);
+  auto cluster = Cluster::Create(PsWorkerSpec(1, 4), copts);
   ASSERT_TRUE(cluster.ok()) << cluster.status();
 
   constexpr int kWorkers = 4;
@@ -562,8 +572,13 @@ TEST(MasterSessionTest, StaleBackupGradientIsDroppedNotAggregated) {
   EXPECT_FLOAT_EQ(*out[0].data<float>(), -3.0f * kSteps);
 
   // Steps 2..N each dequeued (and discarded) the previous step's leftover
-  // straggler gradient: its tag is below the floor advanced at commit.
-  EXPECT_EQ(dropped->value() - dropped_before, kSteps - 1);
+  // straggler gradient: its tag is below the floor advanced at commit. The
+  // counter increments where the dequeue kernel runs, so over the socket
+  // transport it lives in the ps process — unobservable here; the bit-exact
+  // trajectory above already proves no stale gradient was aggregated.
+  if (!SocketTransport()) {
+    EXPECT_EQ(dropped->value() - dropped_before, kSteps - 1);
+  }
 }
 
 }  // namespace
