@@ -5,12 +5,21 @@
 //
 //   $ ./distributed_training
 //   $ ./distributed_training --trace-out /tmp/step  # step profiling
+//   $ ./distributed_training --profile-out /tmp/profile.json  # sampling
 //
 // With --trace-out, one traced asynchronous step and one traced
 // synchronous round are re-run at the end; <prefix>_async.trace.json and
 // <prefix>_sync.trace.json open in chrome://tracing (one row per task and
 // device, with the cross-task Send/Recv transfers), and
 // <prefix>.metrics.json holds the full metrics registry snapshot.
+//
+// With --profile-out, the sampling profiler traces every Nth training step
+// (N = TFREPRO_PROFILE_EVERY when set, else 5) and the aggregated
+// per-(op, node, device) latency profile is dumped as JSON (DESIGN.md §12).
+//
+// The transport follows TFREPRO_TRANSPORT ("inprocess" default; "socket"
+// spawns one worker_main process per task, and traced steps stitch every
+// process onto one timeline).
 
 #include <cmath>
 #include <cstdio>
@@ -28,8 +37,8 @@
 #include "train/sync_replicas.h"
 
 using namespace tfrepro;
+using distributed::Cluster;
 using distributed::ClusterSpec;
-using distributed::InProcessCluster;
 using distributed::MasterSession;
 
 constexpr int kWorkers = 3;
@@ -39,11 +48,17 @@ constexpr int kBatch = 16;
 
 int main(int argc, char** argv) {
   std::string trace_prefix;
+  std::string profile_out;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--trace-out") == 0 && i + 1 < argc) {
       trace_prefix = argv[++i];
+    } else if (std::strcmp(argv[i], "--profile-out") == 0 && i + 1 < argc) {
+      profile_out = argv[++i];
     } else {
-      std::fprintf(stderr, "usage: %s [--trace-out <path-prefix>]\n", argv[0]);
+      std::fprintf(stderr,
+                   "usage: %s [--trace-out <path-prefix>] "
+                   "[--profile-out <path>]\n",
+                   argv[0]);
       return 1;
     }
   }
@@ -51,9 +66,17 @@ int main(int argc, char** argv) {
   ClusterSpec spec;
   spec.jobs["ps"] = 2;
   spec.jobs["worker"] = kWorkers;
-  auto cluster = InProcessCluster::Create(spec);
+  auto cluster = Cluster::Create(spec);
   TF_CHECK_OK(cluster.status());
-  std::printf("cluster: 2 PS tasks, %d workers (in-process)\n\n", kWorkers);
+  std::printf("cluster: 2 PS tasks, %d workers\n\n", kWorkers);
+
+  // --profile-out turns the sampling profiler on: every Nth Run is traced
+  // and folded into each session's ProfileStore. The env var still wins
+  // when set, so the check.sh smoke can tighten the cadence.
+  MasterSession::Options session_options;
+  if (!profile_out.empty() && ProfilerSession::SampleEveryFromEnv() == 0) {
+    session_options.profile_sample_every = 5;
+  }
 
   // ------------------------------------------------------------------
   // Part 1: asynchronous replication (Figure 4a). Each worker computes
@@ -101,7 +124,8 @@ int main(int argc, char** argv) {
   Node* init = store.BuildInitOp("init");
   TF_CHECK_OK(b.status());
 
-  auto session = MasterSession::Create(graph, cluster.value().get());
+  auto session =
+      MasterSession::Create(graph, cluster.value().get(), session_options);
   TF_CHECK_OK(session.status());
   MasterSession* sess = session.value().get();
   TF_CHECK_OK(sess->Run({}, {}, {init->name()}, nullptr));
@@ -155,7 +179,8 @@ int main(int argc, char** argv) {
   TF_CHECK_OK(chief.status());
   TF_CHECK_OK(b.status());
 
-  auto session2 = MasterSession::Create(graph, cluster.value().get());
+  auto session2 =
+      MasterSession::Create(graph, cluster.value().get(), session_options);
   MasterSession* sess2 = session2.value().get();
   TF_CHECK_OK(sess2->Run({}, {}, {init->name()}, nullptr));
   TF_CHECK_OK(sess2->Run({}, {}, {sync.token_seed_op()->name()}, nullptr));
@@ -233,6 +258,19 @@ int main(int argc, char** argv) {
     std::ofstream metrics_out(metrics_path);
     metrics_out << metrics::Registry::Global()->Snapshot().ToJson() << "\n";
     std::printf("wrote %s\n", metrics_path.c_str());
+  }
+
+  if (!profile_out.empty()) {
+    // Both sessions sampled; merge their stores into one cluster profile.
+    ProfileStore merged;
+    merged.MergeFrom(*sess->profile_store());
+    merged.MergeFrom(*sess2->profile_store());
+    TF_CHECK_OK(merged.WriteJson(profile_out));
+    std::printf("wrote %s (%lld sampled steps, %zu profiled (op,node,device) "
+                "keys)\n",
+                profile_out.c_str(),
+                static_cast<long long>(merged.steps()),
+                merged.Entries().size());
   }
   std::printf("done.\n");
   return 0;

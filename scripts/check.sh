@@ -3,10 +3,11 @@
 # tests (DESIGN.md §8, §9) and a bench smoke against the committed
 # hot-path baseline.
 #
-#   scripts/check.sh              # full: tier-1 build+ctest, socket subset, TSan subset, bench smoke
+#   scripts/check.sh              # full: tier-1 build+ctest, socket subset, TSan subset, bench + profiler smoke
 #   scripts/check.sh --tsan-only
 #   scripts/check.sh --bench-only
 #   scripts/check.sh --socket-only
+#   scripts/check.sh --profiler-only
 #
 # The TSan build lives in build-tsan/ so it never pollutes the regular
 # build/ tree.
@@ -64,7 +65,10 @@ run_bench_smoke() {
   echo "== bench smoke: BM_CachedStepOverhead vs BENCH_executor.json =="
   cmake --build build -j "$JOBS" --target bench_executor
   local fresh=/tmp/bench_smoke_executor.json
-  ./build/bench/bench_executor --json "$fresh" \
+  # TFREPRO_PROFILE_EVERY=0 pins the sampling profiler off: the null-step
+  # gate doubles as the profiler's disabled-overhead guard — a profiler
+  # that costs anything when disabled trips the same >25% tripwire.
+  TFREPRO_PROFILE_EVERY=0 ./build/bench/bench_executor --json "$fresh" \
       --benchmark_filter='BM_CachedStepOverhead' --benchmark_min_time=0.2
   python3 - "$fresh" BENCH_executor.json <<'PYEOF'
 import json, sys
@@ -123,6 +127,33 @@ print("bench smoke: ok")
 PYEOF
 }
 
+# Profiler smoke (DESIGN.md §12): run the distributed training example
+# with sampling enabled and check the dumped profile is well-formed —
+# sampled steps were taken and per-node entries aggregated.
+run_profiler_smoke() {
+  echo "== profiler smoke: distributed_training --profile-out =="
+  cmake --build build -j "$JOBS" --target distributed_training
+  local profile=/tmp/profiler_smoke.json
+  rm -f "$profile"
+  TFREPRO_PROFILE_EVERY=5 timeout 300 \
+      ./build/examples/distributed_training --profile-out "$profile"
+  python3 - "$profile" <<'PYEOF'
+import json, sys
+
+profile = json.load(open(sys.argv[1]))
+steps = profile["steps"]
+entries = profile["entries"]
+if steps <= 0:
+    raise SystemExit("profiler smoke FAILED: no sampled steps recorded")
+if not entries:
+    raise SystemExit("profiler smoke FAILED: no profile entries aggregated")
+bad = [e for e in entries if e["count"] <= 0 or e["mean_us"] < 0]
+if bad:
+    raise SystemExit(f"profiler smoke FAILED: malformed entries {bad[:3]}")
+print(f"profiler smoke: {steps} sampled steps, {len(entries)} entries — ok")
+PYEOF
+}
+
 case "${1:-}" in
   --tsan-only)
     run_tsan
@@ -134,12 +165,16 @@ case "${1:-}" in
   --socket-only)
     run_socket
     ;;
+  --profiler-only)
+    run_profiler_smoke
+    ;;
   *)
     run_tier1
     run_socket
     run_tsan
     run_bench_smoke
     run_serving_bench_smoke
+    run_profiler_smoke
     ;;
 esac
 echo "check.sh: all green"

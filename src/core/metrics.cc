@@ -1,8 +1,13 @@
 #include "core/metrics.h"
 
+#include <unistd.h>
+
 #include <algorithm>
 #include <bit>
 #include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
 #include <sstream>
 
 namespace tfrepro {
@@ -248,6 +253,71 @@ RegistrySnapshot Registry::Snapshot() const {
     snap.entries.push_back(std::move(e));
   }
   return snap;
+}
+
+MetricsExporter::MetricsExporter(std::string path, double interval_seconds)
+    : path_(std::move(path)), interval_seconds_(interval_seconds) {
+  thread_ = std::thread([this]() {
+    std::unique_lock<std::mutex> lock(mu_);
+    for (;;) {
+      cv_.wait_for(lock,
+                   std::chrono::duration<double>(interval_seconds_),
+                   [this]() { return stop_; });
+      if (stop_) return;  // Stop writes the final snapshot itself
+      lock.unlock();
+      WriteOnce();  // best effort: a full disk must not kill the worker
+      lock.lock();
+    }
+  });
+}
+
+MetricsExporter::~MetricsExporter() { Stop(); }
+
+Status MetricsExporter::WriteOnce() const {
+  const std::string json = Registry::Global()->Snapshot().ToJson();
+  const std::string tmp = path_ + ".tmp";
+  {
+    std::ofstream out(tmp);
+    if (!out.is_open()) {
+      return InvalidArgument("cannot open metrics dump file '" + tmp + "'");
+    }
+    out << json;
+    out.close();
+    if (!out) {
+      return DataLoss("failed writing metrics to '" + tmp + "'");
+    }
+  }
+  if (std::rename(tmp.c_str(), path_.c_str()) != 0) {
+    return DataLoss("failed renaming '" + tmp + "' to '" + path_ + "'");
+  }
+  return Status::OK();
+}
+
+void MetricsExporter::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stop_) return;
+    stop_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+  WriteOnce();  // final dump so short-lived processes still leave a file
+}
+
+std::unique_ptr<MetricsExporter> MetricsExporter::StartFromEnv() {
+  const char* secs = std::getenv("TFREPRO_METRICS_DUMP_SECS");
+  if (secs == nullptr || *secs == '\0') return nullptr;
+  char* end = nullptr;
+  const double interval = std::strtod(secs, &end);
+  if (end == secs || interval <= 0.0) return nullptr;
+  const char* path = std::getenv("TFREPRO_METRICS_DUMP_PATH");
+  std::string out;
+  if (path != nullptr && *path != '\0') {
+    out = path;
+  } else {
+    out = "/tmp/tfrepro_metrics_" + std::to_string(::getpid()) + ".json";
+  }
+  return std::make_unique<MetricsExporter>(std::move(out), interval);
 }
 
 }  // namespace metrics

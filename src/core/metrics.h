@@ -19,12 +19,16 @@
 #define TFREPRO_CORE_METRICS_H_
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
+
+#include "core/status.h"
 
 namespace tfrepro {
 namespace metrics {
@@ -145,6 +149,42 @@ class Registry {
   std::map<Key, std::unique_ptr<Counter>> counters_;
   std::map<Key, std::unique_ptr<Gauge>> gauges_;
   std::map<Key, std::unique_ptr<Histogram>> histograms_;
+};
+
+// Periodic metrics exporter (DESIGN.md §12): a background thread that
+// writes Registry::Global()->Snapshot().ToJson() to `path` every
+// `interval_seconds`, plus a final dump at Stop/destruction. Each write
+// goes to `path + ".tmp"` and is renamed into place, so a concurrent
+// reader never observes a torn file. Intended for long-running processes
+// (worker_main) that have no other introspection channel.
+class MetricsExporter {
+ public:
+  MetricsExporter(std::string path, double interval_seconds);
+  ~MetricsExporter();  // Stop()s
+
+  MetricsExporter(const MetricsExporter&) = delete;
+  MetricsExporter& operator=(const MetricsExporter&) = delete;
+
+  // Starts an exporter from TFREPRO_METRICS_DUMP_SECS (interval; unset,
+  // empty or non-positive = no exporter, returns nullptr) and
+  // TFREPRO_METRICS_DUMP_PATH (defaults to /tmp/tfrepro_metrics_<pid>.json).
+  static std::unique_ptr<MetricsExporter> StartFromEnv();
+
+  // Writes one snapshot now (also used by the background thread).
+  Status WriteOnce() const;
+
+  // Final dump + thread join. Idempotent.
+  void Stop();
+
+  const std::string& path() const { return path_; }
+
+ private:
+  const std::string path_;
+  const double interval_seconds_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  std::thread thread_;
 };
 
 }  // namespace metrics

@@ -23,6 +23,10 @@ ThreadPool::ThreadPool(const std::string& name, int num_threads) {
       reg->GetCounter("threadpool.scheduled_after_shutdown", tags);
   queue_depth_metric_ = reg->GetGauge("threadpool.queue_depth", tags);
   task_wait_ms_metric_ = reg->GetHistogram("threadpool.task_wait_ms", {}, tags);
+  steal_latency_us_metric_ = reg->GetHistogram(
+      "threadpool.steal_latency_us",
+      {5, 10, 25, 50, 100, 250, 500, 1000, 2500, 10000, 100000}, tags);
+  wakeup_batch_metric_ = reg->GetGauge("threadpool.wakeup_batch", tags);
   workers_.reserve(num_threads);
   for (int i = 0; i < num_threads; ++i) {
     workers_.push_back(std::make_unique<Worker>());
@@ -84,6 +88,7 @@ void ThreadPool::WakeWorkers(int64_t num_new_tasks) {
   // sleeper and notify under the lock, or the racing worker observes
   // pending_ > 0 in its wait predicate and never sleeps.
   if (sleepers_.load(std::memory_order_seq_cst) == 0) return;
+  wakeup_batch_metric_->Set(num_new_tasks);
   std::lock_guard<std::mutex> lock(wake_mu_);
   if (num_new_tasks == 1) {
     work_cv_.notify_one();
@@ -159,6 +164,10 @@ bool ThreadPool::Steal(int index, Task* task) {
     w.q.pop_back();
     active_.fetch_add(1, std::memory_order_seq_cst);
     pending_.fetch_sub(1, std::memory_order_seq_cst);
+    if (task->enqueue_micros != 0) {  // sampled in SampleOnSchedule
+      steal_latency_us_metric_->Record(
+          static_cast<double>(metrics::NowMicros() - task->enqueue_micros));
+    }
     return true;
   }
   return false;

@@ -98,6 +98,12 @@ class ThreadPool {
   metrics::Counter* after_shutdown_metric_;
   metrics::Gauge* queue_depth_metric_;
   metrics::Histogram* task_wait_ms_metric_;
+  // Enqueue→steal latency of sampled tasks that were executed by a thief
+  // rather than their home worker; with the wakeup-batch gauge below, the
+  // instrument for tuning batched-wakeup fan-out (ROADMAP follow-on).
+  metrics::Histogram* steal_latency_us_metric_;
+  // Size of the last Schedule/ScheduleBatch that actually woke sleepers.
+  metrics::Gauge* wakeup_batch_metric_;
   std::atomic<int64_t> sample_counter_{0};
   std::atomic<int64_t> tasks_unflushed_{0};
 

@@ -53,7 +53,9 @@ MasterSession::MasterSession(const Graph& graph, Cluster* cluster,
       session_prefix_(restored != nullptr
                           ? restored->session_prefix
                           : "master_" + std::to_string(next_master_id++)),
-      timer_pool_("net_timer", 2) {
+      timer_pool_("net_timer", 2),
+      profiler_(ProfilerSession::ResolveSampleEvery(
+          options.profile_sample_every)) {
   if (restored != nullptr) {
     next_handle_ = restored->next_handle;
     // Step ids tag gradients for staleness; the watermark keeps them
@@ -238,7 +240,7 @@ Result<MasterSession::CompiledStep*> MasterSession::CompileLocked(
   TF_RETURN_IF_ERROR(RewriteGraphForExecution(client_graph.get(), feed_names,
                                               fetches, targets));
   std::vector<Device*> devices = cluster_->all_devices();
-  TF_RETURN_IF_ERROR(PlaceGraph(client_graph.get(), devices));
+  TF_RETURN_IF_ERROR(PlaceGraph(client_graph.get(), devices, options_.placer));
   TF_RETURN_IF_ERROR(
       OptimizeGraph(client_graph.get(), devices.front(), options_.optimizer));
   Result<std::map<std::string, std::unique_ptr<Graph>>> partitions =
@@ -589,10 +591,13 @@ Status MasterSession::Run(
   Result<CompiledStep*> step = GetOrCompile(feed_names, fetches, targets);
   TF_RETURN_IF_ERROR(step.status());
 
-  // Shared (not unique) so straggler callbacks past a deadline can hold it
-  // via the step state after this frame returns.
+  // A step is traced when the caller asked for it or when the sampling
+  // profiler elected this Run (DESIGN.md §12). Shared (not unique) so
+  // straggler callbacks past a deadline can hold it via the step state
+  // after this frame returns.
+  const bool sampled = profiler_.ShouldSample(run_options.sample_every);
   std::shared_ptr<TraceCollector> trace;
-  if (run_options.trace) {
+  if (run_options.trace || sampled) {
     trace = std::make_shared<TraceCollector>(/*capture_global_events=*/true);
   }
 
@@ -605,8 +610,10 @@ Status MasterSession::Run(
     Status s =
         RunOnce(step.value(), feed_tensors, fetches, outputs, trace, &step_id);
     if (s.ok() || !s.IsRetryable() || attempt >= options_.max_step_retries) {
-      if (metadata != nullptr && trace != nullptr) {
-        metadata->step_stats = trace->Consume(step_id);
+      if (trace != nullptr) {
+        StepStats stats = trace->Consume(step_id);
+        if (s.ok()) profiler_.AddStepStats(stats);
+        if (metadata != nullptr) metadata->step_stats = std::move(stats);
       }
       return s;
     }

@@ -49,6 +49,8 @@
 #include "distributed/master_state.h"
 #include "graph/graph.h"
 #include "runtime/graph_optimizer.h"
+#include "runtime/placer.h"
+#include "runtime/profiler.h"
 #include "runtime/tracing.h"
 
 namespace tfrepro {
@@ -92,6 +94,18 @@ class MasterSession {
     // the probe callback forever, so this timeout is the only exit.
     double health_probe_timeout_seconds = 0.0;
     int health_probe_miss_threshold = 3;
+
+    // How unconstrained colocation groups are spread across the cluster's
+    // devices (see runtime/placer.h). kObservedCost typically takes its
+    // node_cost callback from a previous session's
+    // ProfileStore::CostFunction(), closing the paper's §3.2.1 loop.
+    PlacerOptions placer;
+
+    // Sampling profiler (DESIGN.md §12): > 0 traces every Nth Run —
+    // including the workers, whose StepStats ride back on the RunGraph
+    // responses — into the session's ProfileStore; 0 defers to
+    // TFREPRO_PROFILE_EVERY; < 0 disables sampling.
+    int64_t profile_sample_every = 0;
 
     // Durable master state log file; empty = keep state in memory only.
     // With a path set, a new MasterSession created against an existing log
@@ -174,6 +188,11 @@ class MasterSession {
 
   RunStats stats() const;
 
+  // The sampling profiler; its store aggregates node timings from every
+  // sampled (and explicitly traced) successful step, cluster-wide.
+  ProfilerSession* profiler() { return &profiler_; }
+  ProfileStore* profile_store() { return profiler_.store(); }
+
   // This session's metrics tag value ("master.*" and "health.*" counters
   // are tagged {"session", session_prefix()}). Stable across master
   // incarnations sharing one durable state log.
@@ -251,6 +270,7 @@ class MasterSession {
   std::unique_ptr<Graph> graph_;
   std::string session_prefix_;
   ThreadPool timer_pool_;
+  ProfilerSession profiler_;
 
   std::mutex mu_;
   std::map<std::string, std::unique_ptr<CompiledStep>> compiled_;

@@ -6,9 +6,11 @@
 #include <utility>
 #include <vector>
 
+#include "core/metrics.h"
 #include "distributed/fault_injector.h"
 #include "graph/graph_io.h"
 #include "runtime/kernel.h"
+#include "runtime/tracing.h"
 
 namespace tfrepro {
 namespace distributed {
@@ -100,6 +102,10 @@ void RemoteWorker::DispatchNow(const std::string& handle,
   AppendInt64(&body, num_fetches);
   AppendInt64(&body, static_cast<int64_t>(feeds.size()));
   for (const Tensor& feed : feeds) feed.AppendToBytes(&body);
+  // Traced steps ask the worker to run under a TraceCollector and ship its
+  // StepStats back on this response (DESIGN.md §12).
+  TraceCollector* trace = args.trace;
+  AppendInt64(&body, trace != nullptr ? 1 : 0);
 
   // The RPC deadline stretches to the step deadline (never below the
   // control floor) so a wedged worker cannot hang a deadline-bearing step;
@@ -110,10 +116,11 @@ void RemoteWorker::DispatchNow(const std::string& handle,
           ? std::max(args.deadline_seconds, rpc_deadline_seconds_)
           : 0.0;
 
+  const int64_t t0 = metrics::NowMicros();
   channel_.Call(
       Method::kRunGraph, std::move(body), nullptr, 0, deadline,
-      [frame, done = std::move(done)](const Status& transport,
-                                      std::string response) {
+      [frame, trace, t0, done = std::move(done)](const Status& transport,
+                                                 std::string response) {
         if (!transport.ok()) {
           done(transport);
           return;
@@ -148,6 +155,33 @@ void RemoteWorker::DispatchNow(const std::string& handle,
               done(set);
               return;
             }
+          }
+        }
+        // Stitch the worker's trace into the master's collector with its
+        // timestamps normalized onto the master clock: assuming the
+        // network legs of the RPC are symmetric, the request arrived at
+        // the worker at master-time t0 + (rtt - worker_handling) / 2, and
+        // the worker stamped that moment w0 on its own clock.
+        int64_t traced = 0;
+        if (!ReadInt64(response, &offset, &traced)) {
+          done(DataLoss("malformed RunGraph response"));
+          return;
+        }
+        if (traced != 0) {
+          int64_t w0 = 0, w1 = 0;
+          StepStats stats;
+          if (!ReadInt64(response, &offset, &w0) ||
+              !ReadInt64(response, &offset, &w1) ||
+              !StepStats::ParseFromBytes(response, &offset, &stats)) {
+            done(DataLoss("malformed RunGraph trace payload"));
+            return;
+          }
+          if (trace != nullptr) {
+            const int64_t t1 = metrics::NowMicros();
+            const int64_t wire_us = std::max<int64_t>(
+                (t1 - t0) - (w1 - w0), 0);
+            stats.ShiftTimes((t0 + wire_us / 2) - w0);
+            trace->MergeStepStats(stats);
           }
         }
         done(Status::OK());

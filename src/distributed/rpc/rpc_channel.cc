@@ -4,6 +4,7 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <array>
 #include <chrono>
 #include <memory>
 #include <utility>
@@ -26,6 +27,31 @@ metrics::Counter* SendRetriesCounter() {
   static metrics::Counter* c =
       metrics::Registry::Global()->GetCounter("rpc.send_retries");
   return c;
+}
+
+// Microsecond latency buckets, ~4x apart from 10us to 10s.
+std::vector<double> LatencyUsBuckets() {
+  return {10,     40,     160,     640,     2560,     10240,
+          40960,  163840, 655360,  2621440, 10485760};
+}
+
+// One client-side latency histogram per method, resolved once: Call sits
+// on the send path of every tensor transfer, so it must not pay a registry
+// map lookup per invocation.
+metrics::Histogram* CallLatencyHistogram(Method method) {
+  static const auto* hists = []() {
+    auto* a = new std::array<metrics::Histogram*,
+                             static_cast<size_t>(Method::kRecvTensor) + 1>{};
+    for (size_t m = 1; m < a->size(); ++m) {
+      (*a)[m] = metrics::Registry::Global()->GetHistogram(
+          "rpc.call_latency_us", LatencyUsBuckets(),
+          {{"method", MethodName(static_cast<Method>(m))}});
+    }
+    return a;
+  }();
+  const size_t m = static_cast<size_t>(method);
+  return m < hists->size() && (*hists)[m] != nullptr ? (*hists)[m]
+                                                     : (*hists)[1];
 }
 
 }  // namespace
@@ -115,6 +141,14 @@ Status RpcChannel::EnsureConnectedLocked() {
 void RpcChannel::Call(Method method, std::string body, const char* payload,
                       size_t payload_len, double deadline_seconds,
                       Callback done) {
+  // Time the full call — send through completion (response, deadline expiry
+  // or fail-fast alike), tagged by method.
+  done = [done = std::move(done), start = metrics::NowMicros(),
+          hist = CallLatencyHistogram(method)](const Status& status,
+                                               std::string response) {
+    hist->Record(static_cast<double>(metrics::NowMicros() - start));
+    done(status, std::move(response));
+  };
   const int64_t deadline_micros =
       deadline_seconds > 0
           ? metrics::NowMicros() + static_cast<int64_t>(deadline_seconds * 1e6)

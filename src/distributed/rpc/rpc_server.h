@@ -50,6 +50,9 @@ class RpcServer {
     std::shared_ptr<void> conn_;  // keeps the connection alive
     uint64_t request_id_;
     uint8_t method_;
+    // When the request was parsed off the wire; Respond records the
+    // elapsed server handling time as rpc.server_handle_us (per method).
+    int64_t start_micros_;
     std::atomic<bool> responded_{false};
   };
 

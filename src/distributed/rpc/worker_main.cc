@@ -13,8 +13,10 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 
+#include "core/metrics.h"
 #include "distributed/rpc/worker_service.h"
 
 namespace {
@@ -78,6 +80,12 @@ int main(int argc, char** argv) {
                  port_file.c_str());
     return 1;
   }
+
+  // With TFREPRO_METRICS_DUMP_SECS set, periodically dump the metrics
+  // registry to a JSON file so a long-running worker can be inspected
+  // without a debugger; a final dump lands when the exporter is destroyed.
+  std::unique_ptr<tfrepro::metrics::MetricsExporter> exporter =
+      tfrepro::metrics::MetricsExporter::StartFromEnv();
 
   service.WaitForShutdown();
   return 0;

@@ -4,6 +4,7 @@
 #include <utility>
 #include <vector>
 
+#include "core/metrics.h"
 #include "distributed/fault_injector.h"
 #include "graph/graph_io.h"
 
@@ -206,6 +207,7 @@ void WorkerService::HandleRegisterSubgraph(
 
 void WorkerService::HandleRunGraph(
     const std::string& body, std::shared_ptr<RpcServer::Responder> responder) {
+  const int64_t recv_micros = metrics::NowMicros();
   size_t offset = 0;
   std::string handle;
   int64_t step_id = 0, num_fetches = 0, num_feeds = 0;
@@ -228,6 +230,12 @@ void WorkerService::HandleRunGraph(
     }
     feeds.push_back(std::move(feed.value()));
   }
+  int64_t traced = 0;
+  if (!ReadInt64(body, &offset, &traced)) {
+    responder->Respond(InvalidArgument("malformed RunGraph request"),
+                       std::string());
+    return;
+  }
 
   auto ctx = std::make_shared<StepCtx>();
   ctx->frame = std::make_unique<CallFrame>(std::move(feeds),
@@ -238,6 +246,12 @@ void WorkerService::HandleRunGraph(
   ctx->args.rendezvous = ctx->rendezvous.get();
   ctx->args.call_frame = ctx->frame.get();
   ctx->args.cancellation = &ctx->cancellation;
+  if (traced != 0) {
+    ctx->trace = std::make_unique<TraceCollector>(/*capture_global_events=*/
+                                                  true);
+    ctx->args.trace = ctx->trace.get();
+    ctx->recv_micros = recv_micros;
+  }
   {
     std::lock_guard<std::mutex> lock(steps_mu_);
     steps_[step_id] = ctx;
@@ -260,6 +274,16 @@ void WorkerService::HandleRunGraph(
             if (!fetches[i].IsInitialized()) continue;
             AppendInt64(&reply, static_cast<int64_t>(i));
             fetches[i].AppendToBytes(&reply);
+          }
+          // Trace payload: [traced][w0][w1][StepStats]. w0/w1 bracket this
+          // process's handling so the master can estimate the clock offset
+          // from its own send/receive timestamps (DESIGN.md §12).
+          AppendInt64(&reply, ctx->trace != nullptr ? 1 : 0);
+          if (ctx->trace != nullptr) {
+            StepStats stats = ctx->trace->Consume(step_id);
+            AppendInt64(&reply, ctx->recv_micros);
+            AppendInt64(&reply, metrics::NowMicros());
+            stats.AppendToBytes(&reply);
           }
         }
         {

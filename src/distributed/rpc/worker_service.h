@@ -36,6 +36,7 @@
 #include "distributed/rpc/rpc_server.h"
 #include "runtime/kernel.h"
 #include "runtime/rendezvous.h"
+#include "runtime/tracing.h"
 
 namespace tfrepro {
 namespace distributed {
@@ -108,6 +109,12 @@ class WorkerService {
     CancellationManager cancellation;
     std::shared_ptr<WorkerRendezvous> rendezvous;
     Executor::Args args;  // outlives the async executor run
+    // Set when the master requested a traced step (DESIGN.md §12): the
+    // collected StepStats ride back on the RunGraph response together with
+    // the request-receive / response-build timestamps the master needs for
+    // clock-skew normalization.
+    std::unique_ptr<TraceCollector> trace;
+    int64_t recv_micros = 0;  // w0: when the RunGraph request arrived
   };
 
   void HandleRegisterSubgraph(const std::string& body,

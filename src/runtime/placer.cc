@@ -1,5 +1,6 @@
 #include "runtime/placer.h"
 
+#include <algorithm>
 #include <map>
 #include <numeric>
 
@@ -30,6 +31,11 @@ class UnionFind {
 
 Status PlaceGraph(Graph* graph, const std::vector<Device*>& devices,
                   Device* default_device) {
+  return PlaceGraph(graph, devices, PlacerOptions(), default_device);
+}
+
+Status PlaceGraph(Graph* graph, const std::vector<Device*>& devices,
+                  const PlacerOptions& options, Device* default_device) {
   if (devices.empty()) {
     return InvalidArgument("no devices to place onto");
   }
@@ -69,18 +75,41 @@ Status PlaceGraph(Graph* graph, const std::vector<Device*>& devices,
     }
   }
 
-  // 3. Pick a satisfying device per group.
+  // 2b. Group weights, used only when balancing. kArity weighs a node at
+  // 1; kObservedCost asks the profile callback and falls back to
+  // default_cost_micros for unobserved nodes.
+  std::map<int, double> group_cost;
+  if (options.balance != PlacerOptions::Balance::kNone) {
+    for (Node* node : graph->nodes()) {
+      double cost = 1.0;
+      if (options.balance == PlacerOptions::Balance::kObservedCost) {
+        cost = options.node_cost ? options.node_cost(*node) : -1.0;
+        if (cost <= 0.0) cost = options.default_cost_micros;
+      }
+      group_cost[groups.Find(node->id())] += cost;
+    }
+  }
+
+  // 3. Pick a satisfying device per group. Constrained groups always go to
+  // the first matching device; unconstrained groups go to the default
+  // device (kNone) or are balanced greedily across all devices.
   std::map<int, Device*> group_device;
+  std::map<Device*, double> device_load;
+  std::vector<int> unconstrained;
   for (const auto& [g, spec] : group_spec) {
-    Device* chosen = nullptr;
     if (!spec.has_job && !spec.has_task && !spec.has_type && !spec.has_id) {
-      chosen = default_device;
-    } else {
-      for (Device* d : devices) {
-        if (d->parsed_name().Matches(spec)) {
-          chosen = d;
-          break;
-        }
+      if (options.balance == PlacerOptions::Balance::kNone) {
+        group_device[g] = default_device;
+      } else {
+        unconstrained.push_back(g);
+      }
+      continue;
+    }
+    Device* chosen = nullptr;
+    for (Device* d : devices) {
+      if (d->parsed_name().Matches(spec)) {
+        chosen = d;
+        break;
       }
     }
     if (chosen == nullptr) {
@@ -88,6 +117,26 @@ Status PlaceGraph(Graph* graph, const std::vector<Device*>& devices,
                              spec.ToString() + "'");
     }
     group_device[g] = chosen;
+    device_load[chosen] += group_cost[g];
+  }
+
+  // 3b. Balanced assignment: heaviest group first onto the least-loaded
+  // device. Ties on weight break by smallest group id and ties on load by
+  // device order, so the result is deterministic.
+  std::sort(unconstrained.begin(), unconstrained.end(),
+            [&group_cost](int a, int b) {
+              if (group_cost[a] != group_cost[b]) {
+                return group_cost[a] > group_cost[b];
+              }
+              return a < b;
+            });
+  for (int g : unconstrained) {
+    Device* chosen = devices.front();
+    for (Device* d : devices) {
+      if (device_load[d] < device_load[chosen]) chosen = d;
+    }
+    group_device[g] = chosen;
+    device_load[chosen] += group_cost[g];
   }
 
   for (Node* node : graph->nodes()) {

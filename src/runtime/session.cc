@@ -38,7 +38,9 @@ DirectSession::DirectSession(const Graph& graph, const SessionOptions& options)
     : options_(options),
       handle_("session_" + std::to_string(next_session_id++)),
       pool_("session", options.num_threads),
-      graph_(graph.Clone()) {
+      graph_(graph.Clone()),
+      profiler_(ProfilerSession::ResolveSampleEvery(
+          options.profile_sample_every)) {
   for (int i = 0; i < options.num_devices; ++i) {
     device_mgr_.AddDevice(NewCpuDevice(options.job_name, 0, i, &pool_));
   }
@@ -85,8 +87,8 @@ Result<DirectSession::ExecutorsAndGraphs*> DirectSession::GetOrCreateExecutors(
   }
 
   // Place, optimize, partition (§3.3, §5).
-  TF_RETURN_IF_ERROR(
-      PlaceGraph(client_graph.get(), device_mgr_.ListDevices()));
+  TF_RETURN_IF_ERROR(PlaceGraph(client_graph.get(), device_mgr_.ListDevices(),
+                                options_.placer));
   TF_RETURN_IF_ERROR(OptimizeGraph(client_graph.get(),
                                    device_mgr_.default_device(),
                                    options_.optimizer));
@@ -137,8 +139,12 @@ Status DirectSession::Run(
                        static_cast<int>(fetches.size()));
   LocalRendezvous rendezvous;
   CancellationManager cancellation;
+  // A step is traced when the caller asked for it or when the sampling
+  // profiler elected this Run (every Nth; DESIGN.md §12). Sampled steps
+  // pay the same tracing cost as user-traced steps and feed the store.
+  const bool sampled = profiler_.ShouldSample(run_options.sample_every);
   std::unique_ptr<TraceCollector> trace;
-  if (run_options.trace) {
+  if (run_options.trace || sampled) {
     trace = std::make_unique<TraceCollector>(/*capture_global_events=*/true);
     GetSessionMetrics().traced_steps->Increment();
   }
@@ -177,8 +183,10 @@ Status DirectSession::Run(
   GetSessionMetrics().steps->Increment();
   GetSessionMetrics().step_ms->Record(
       static_cast<double>(metrics::NowMicros() - step_start_micros) / 1000.0);
-  if (metadata != nullptr && trace != nullptr) {
-    metadata->step_stats = trace->Consume(step_id);
+  if (trace != nullptr) {
+    StepStats stats = trace->Consume(step_id);
+    if (step_status.ok()) profiler_.AddStepStats(stats);
+    if (metadata != nullptr) metadata->step_stats = std::move(stats);
   }
   TF_RETURN_IF_ERROR(step_status);
 

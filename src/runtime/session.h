@@ -34,6 +34,8 @@
 #include "runtime/device.h"
 #include "runtime/executor.h"
 #include "runtime/graph_optimizer.h"
+#include "runtime/placer.h"
+#include "runtime/profiler.h"
 #include "runtime/tracing.h"
 
 namespace tfrepro {
@@ -48,6 +50,13 @@ struct SessionOptions {
   int num_devices = 1;
   std::string job_name = "localhost";
   OptimizerOptions optimizer;
+  // How unconstrained colocation groups are spread across the devices
+  // (default: historical all-on-default-device; see runtime/placer.h).
+  PlacerOptions placer;
+  // Sampling profiler (DESIGN.md §12): > 0 traces every Nth Run into the
+  // session's ProfileStore, 0 defers to TFREPRO_PROFILE_EVERY, < 0
+  // disables sampling regardless of the environment.
+  int64_t profile_sample_every = 0;
 };
 
 class DirectSession {
@@ -90,6 +99,11 @@ class DirectSession {
 
   DeviceMgr* device_mgr() { return &device_mgr_; }
 
+  // The sampling profiler; its store aggregates every sampled (and
+  // explicitly traced) successful step.
+  ProfilerSession* profiler() { return &profiler_; }
+  ProfileStore* profile_store() { return profiler_.store(); }
+
  private:
   DirectSession(const Graph& graph, const SessionOptions& options);
 
@@ -108,6 +122,7 @@ class DirectSession {
   ThreadPool pool_;
   DeviceMgr device_mgr_;
   std::unique_ptr<Graph> graph_;
+  ProfilerSession profiler_;
 
   std::mutex mu_;
   std::map<std::string, std::unique_ptr<ExecutorsAndGraphs>> executor_cache_;

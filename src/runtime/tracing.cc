@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <set>
 #include <sstream>
@@ -95,6 +96,11 @@ void TraceCollector::RecordInstant(InstantEvent event) {
 void TraceCollector::RecordSpan(SpanEvent event) {
   std::lock_guard<std::mutex> lock(mu_);
   stats_.spans.push_back(std::move(event));
+}
+
+void TraceCollector::MergeStepStats(const StepStats& stats) {
+  std::lock_guard<std::mutex> lock(mu_);
+  stats_.MergeFrom(stats);
 }
 
 StepStats TraceCollector::Consume(int64_t step_id) {
@@ -285,6 +291,204 @@ std::string StepStats::ToChromeTraceJson() const {
   os << "],\"displayTimeUnit\":\"ms\",\"metadata\":{\"step_id\":" << step_id
      << "}}";
   return os.str();
+}
+
+namespace {
+
+// Wire-compatible primitives (same layout as distributed/rpc/wire.cc's
+// AppendInt64/ReadInt64/AppendString/ReadString, duplicated locally so the
+// runtime layer does not depend on the rpc layer).
+void AppendI64(std::string* out, int64_t v) {
+  out->append(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+bool ReadI64(const std::string& data, size_t* pos, int64_t* v) {
+  if (*pos > data.size() || data.size() - *pos < sizeof(*v)) return false;
+  std::memcpy(v, data.data() + *pos, sizeof(*v));
+  *pos += sizeof(*v);
+  return true;
+}
+
+void AppendStr(std::string* out, const std::string& s) {
+  AppendI64(out, static_cast<int64_t>(s.size()));
+  out->append(s);
+}
+
+bool ReadStr(const std::string& data, size_t* pos, std::string* s) {
+  int64_t len = 0;
+  if (!ReadI64(data, pos, &len)) return false;
+  if (len < 0 || static_cast<size_t>(len) > data.size() - *pos) return false;
+  s->assign(data.data() + *pos, static_cast<size_t>(len));
+  *pos += static_cast<size_t>(len);
+  return true;
+}
+
+void AppendArgs(std::string* out,
+                const std::map<std::string, std::string>& args) {
+  AppendI64(out, static_cast<int64_t>(args.size()));
+  for (const auto& [k, v] : args) {
+    AppendStr(out, k);
+    AppendStr(out, v);
+  }
+}
+
+bool ReadArgs(const std::string& data, size_t* pos,
+              std::map<std::string, std::string>* args) {
+  int64_t n = 0;
+  if (!ReadI64(data, pos, &n)) return false;
+  if (n < 0) return false;
+  for (int64_t i = 0; i < n; ++i) {
+    std::string k, v;
+    if (!ReadStr(data, pos, &k) || !ReadStr(data, pos, &v)) return false;
+    (*args)[std::move(k)] = std::move(v);
+  }
+  return true;
+}
+
+// Sanity cap on deserialized event-vector sizes: a malformed length
+// prefix must not turn into a multi-gigabyte allocation.
+constexpr int64_t kMaxEvents = int64_t{1} << 24;
+
+// Shift that preserves the "0 means unrecorded" convention.
+int64_t ShiftNonZero(int64_t micros, int64_t delta) {
+  return micros == 0 ? 0 : micros + delta;
+}
+
+}  // namespace
+
+void StepStats::AppendToBytes(std::string* out) const {
+  AppendI64(out, step_id);
+  AppendI64(out, static_cast<int64_t>(nodes.size()));
+  for (const NodeExecStats& n : nodes) {
+    AppendStr(out, n.node_name);
+    AppendStr(out, n.op);
+    AppendStr(out, n.device);
+    AppendI64(out, n.scheduled_micros);
+    AppendI64(out, n.start_micros);
+    AppendI64(out, n.end_micros);
+  }
+  AppendI64(out, static_cast<int64_t>(transfers.size()));
+  for (const TransferStats& t : transfers) {
+    AppendI64(out, t.kind == TransferStats::Kind::kSend ? 0 : 1);
+    AppendStr(out, t.tensor_name);
+    AppendStr(out, t.send_device);
+    AppendStr(out, t.recv_device);
+    AppendI64(out, t.bytes);
+    AppendI64(out, t.send_micros);
+    AppendI64(out, t.recv_start_micros);
+    AppendI64(out, t.recv_end_micros);
+  }
+  AppendI64(out, static_cast<int64_t>(instants.size()));
+  for (const InstantEvent& i : instants) {
+    AppendStr(out, i.name);
+    AppendStr(out, i.scope);
+    AppendI64(out, i.micros);
+    AppendArgs(out, i.args);
+  }
+  AppendI64(out, static_cast<int64_t>(spans.size()));
+  for (const SpanEvent& s : spans) {
+    AppendStr(out, s.name);
+    AppendStr(out, s.scope);
+    AppendI64(out, s.start_micros);
+    AppendI64(out, s.end_micros);
+    AppendArgs(out, s.args);
+  }
+}
+
+bool StepStats::ParseFromBytes(const std::string& data, size_t* pos,
+                               StepStats* out) {
+  *out = StepStats();
+  int64_t count = 0;
+  if (!ReadI64(data, pos, &out->step_id)) return false;
+  if (!ReadI64(data, pos, &count) || count < 0 || count > kMaxEvents) {
+    return false;
+  }
+  out->nodes.reserve(static_cast<size_t>(count));
+  for (int64_t i = 0; i < count; ++i) {
+    NodeExecStats n;
+    if (!ReadStr(data, pos, &n.node_name) || !ReadStr(data, pos, &n.op) ||
+        !ReadStr(data, pos, &n.device) ||
+        !ReadI64(data, pos, &n.scheduled_micros) ||
+        !ReadI64(data, pos, &n.start_micros) ||
+        !ReadI64(data, pos, &n.end_micros)) {
+      return false;
+    }
+    out->nodes.push_back(std::move(n));
+  }
+  if (!ReadI64(data, pos, &count) || count < 0 || count > kMaxEvents) {
+    return false;
+  }
+  out->transfers.reserve(static_cast<size_t>(count));
+  for (int64_t i = 0; i < count; ++i) {
+    TransferStats t;
+    int64_t kind = 0;
+    if (!ReadI64(data, pos, &kind) || !ReadStr(data, pos, &t.tensor_name) ||
+        !ReadStr(data, pos, &t.send_device) ||
+        !ReadStr(data, pos, &t.recv_device) || !ReadI64(data, pos, &t.bytes) ||
+        !ReadI64(data, pos, &t.send_micros) ||
+        !ReadI64(data, pos, &t.recv_start_micros) ||
+        !ReadI64(data, pos, &t.recv_end_micros)) {
+      return false;
+    }
+    t.kind = kind == 0 ? TransferStats::Kind::kSend : TransferStats::Kind::kRecv;
+    out->transfers.push_back(std::move(t));
+  }
+  if (!ReadI64(data, pos, &count) || count < 0 || count > kMaxEvents) {
+    return false;
+  }
+  out->instants.reserve(static_cast<size_t>(count));
+  for (int64_t i = 0; i < count; ++i) {
+    InstantEvent e;
+    if (!ReadStr(data, pos, &e.name) || !ReadStr(data, pos, &e.scope) ||
+        !ReadI64(data, pos, &e.micros) || !ReadArgs(data, pos, &e.args)) {
+      return false;
+    }
+    out->instants.push_back(std::move(e));
+  }
+  if (!ReadI64(data, pos, &count) || count < 0 || count > kMaxEvents) {
+    return false;
+  }
+  out->spans.reserve(static_cast<size_t>(count));
+  for (int64_t i = 0; i < count; ++i) {
+    SpanEvent s;
+    if (!ReadStr(data, pos, &s.name) || !ReadStr(data, pos, &s.scope) ||
+        !ReadI64(data, pos, &s.start_micros) ||
+        !ReadI64(data, pos, &s.end_micros) || !ReadArgs(data, pos, &s.args)) {
+      return false;
+    }
+    out->spans.push_back(std::move(s));
+  }
+  return true;
+}
+
+void StepStats::ShiftTimes(int64_t delta_micros) {
+  if (delta_micros == 0) return;
+  for (NodeExecStats& n : nodes) {
+    n.scheduled_micros = ShiftNonZero(n.scheduled_micros, delta_micros);
+    n.start_micros = ShiftNonZero(n.start_micros, delta_micros);
+    n.end_micros = ShiftNonZero(n.end_micros, delta_micros);
+  }
+  for (TransferStats& t : transfers) {
+    t.send_micros = ShiftNonZero(t.send_micros, delta_micros);
+    t.recv_start_micros = ShiftNonZero(t.recv_start_micros, delta_micros);
+    t.recv_end_micros = ShiftNonZero(t.recv_end_micros, delta_micros);
+  }
+  for (InstantEvent& i : instants) {
+    i.micros = ShiftNonZero(i.micros, delta_micros);
+  }
+  for (SpanEvent& s : spans) {
+    s.start_micros = ShiftNonZero(s.start_micros, delta_micros);
+    s.end_micros = ShiftNonZero(s.end_micros, delta_micros);
+  }
+}
+
+void StepStats::MergeFrom(const StepStats& other) {
+  nodes.insert(nodes.end(), other.nodes.begin(), other.nodes.end());
+  transfers.insert(transfers.end(), other.transfers.begin(),
+                   other.transfers.end());
+  instants.insert(instants.end(), other.instants.begin(),
+                  other.instants.end());
+  spans.insert(spans.end(), other.spans.begin(), other.spans.end());
 }
 
 Status StepStats::WriteChromeTrace(const std::string& path) const {

@@ -87,6 +87,24 @@ struct StepStats {
   // Timestamps are rebased so the earliest event is t=0.
   std::string ToChromeTraceJson() const;
   Status WriteChromeTrace(const std::string& path) const;
+
+  // Byte (de)serialization for the RPC wire (DESIGN.md §12): a traced
+  // RunGraph response carries the worker's StepStats back to the master.
+  // The encoding matches the rpc wire body helpers (host-endian int64s,
+  // int64-length-prefixed strings) without depending on them.
+  void AppendToBytes(std::string* out) const;
+  // Parses one StepStats starting at *pos, advancing *pos past it. Returns
+  // false (leaving *out unspecified) on truncated or malformed input.
+  static bool ParseFromBytes(const std::string& data, size_t* pos,
+                             StepStats* out);
+
+  // Shifts every timestamp by delta_micros (clock-skew normalization when
+  // stitching a worker's stats into the master's timeline). Zero timestamps
+  // stay zero: they mean "not recorded", not t=0.
+  void ShiftTimes(int64_t delta_micros);
+
+  // Appends other's events (not its step_id) onto this.
+  void MergeFrom(const StepStats& other);
 };
 
 // Thread-safe sink for one step's events. Constructing with
@@ -104,6 +122,10 @@ class TraceCollector {
   void RecordTransfer(TransferStats stats);
   void RecordInstant(InstantEvent event);
   void RecordSpan(SpanEvent event);
+
+  // Bulk-records every event in `stats` under one lock acquisition (used
+  // when stitching a remote worker's already-collected StepStats in).
+  void MergeStepStats(const StepStats& stats);
 
   // Moves the accumulated stats out (the collector resets to empty).
   StepStats Consume(int64_t step_id);
@@ -131,6 +153,13 @@ void RecordGlobalSpan(const std::string& name, const std::string& scope,
 struct RunOptions {
   // Collect per-node and transfer events for this step.
   bool trace = false;
+
+  // Sampling-profiler override for this Run (DESIGN.md §12): > 0 overrides
+  // the session's sampling period for the cadence decision made on this
+  // call, < 0 disables sampling for this call, 0 inherits the session
+  // default (SessionOptions / MasterSession::Options profile_sample_every,
+  // falling back to the TFREPRO_PROFILE_EVERY environment variable).
+  int64_t sample_every = 0;
 };
 
 // Per-step results returned alongside outputs when requested.

@@ -495,6 +495,145 @@ TEST(MasterSessionTest, PerTaskSaverRoundTrip) {
   EXPECT_NE(latest.value().find("per_task_ckpt-7"), std::string::npos);
 }
 
+TEST(MasterSessionTest, TracedStepStitchesAllWorkerTimelines) {
+  // The tentpole acceptance test (DESIGN.md §12): one traced distributed
+  // step must come back as a single timeline containing node events from
+  // BOTH worker tasks on task-prefixed device rows. Under
+  // TFREPRO_TRANSPORT=socket the events cross real process boundaries in
+  // the RunGraph response and are clock-skew-normalized by the master.
+  ClusterSpec spec;
+  spec.jobs["worker"] = 2;
+  auto cluster = Cluster::Create(spec);
+  ASSERT_TRUE(cluster.ok()) << cluster.status();
+
+  Graph g;
+  GraphBuilder b(&g);
+  // A fed placeholder keeps the chain from being constant-folded: real
+  // kernels must run on both tasks at step time.
+  Output x;
+  Output left;
+  {
+    GraphBuilder::DeviceScope scope(&b, "/job:worker/task:0");
+    x = ops::Placeholder(&b, DataType::kFloat, TensorShape(), "x");
+    left = ops::Mul(&b, x, Const(&b, 3.0f));
+  }
+  Output total;
+  {
+    GraphBuilder::DeviceScope scope(&b, "/job:worker/task:1");
+    total = ops::Add(&b, left, Const(&b, 4.0f));
+  }
+  ASSERT_TRUE(b.ok()) << b.status();
+
+  auto session = MasterSession::Create(g, cluster.value().get());
+  ASSERT_TRUE(session.ok()) << session.status();
+  RunOptions run_options;
+  run_options.trace = true;
+  RunMetadata metadata;
+  std::vector<Tensor> out;
+  TF_CHECK_OK(session.value()->Run(run_options, {{"x", Tensor::Scalar(2.0f)}},
+                                   {total.name()}, {}, &out, &metadata));
+  EXPECT_FLOAT_EQ(*out[0].data<float>(), 10.0f);
+
+  // Node events from both tasks, on device names carrying the task prefix.
+  bool saw_task0 = false;
+  bool saw_task1 = false;
+  for (const NodeExecStats& n : metadata.step_stats.nodes) {
+    if (n.device.rfind("/job:worker/task:0/", 0) == 0) saw_task0 = true;
+    if (n.device.rfind("/job:worker/task:1/", 0) == 0) saw_task1 = true;
+    EXPECT_GT(n.end_micros, 0) << n.node_name;
+    EXPECT_GE(n.end_micros, n.start_micros) << n.node_name;
+  }
+  EXPECT_TRUE(saw_task0);
+  EXPECT_TRUE(saw_task1);
+
+  // The cross-task hop (task:0 -> task:1) was recorded as a transfer.
+  bool saw_cross_task_transfer = false;
+  for (const TransferStats& t : metadata.step_stats.transfers) {
+    if (t.send_device.rfind("/job:worker/task:0/", 0) == 0 &&
+        t.recv_device.rfind("/job:worker/task:1/", 0) == 0) {
+      saw_cross_task_transfer = true;
+    }
+  }
+  EXPECT_TRUE(saw_cross_task_transfer);
+
+  // The Chrome export puts both tasks in one trace: each task becomes a
+  // process row, each device a thread row.
+  const std::string trace = metadata.step_stats.ToChromeTraceJson();
+  EXPECT_NE(trace.find("/job:worker/task:0"), std::string::npos);
+  EXPECT_NE(trace.find("/job:worker/task:1"), std::string::npos);
+  EXPECT_NE(trace.find("\"traceEvents\""), std::string::npos);
+
+  // Skew normalization: every stitched event must land within the
+  // master-observed step window (sanity bound — a badly normalized worker
+  // clock puts events far outside it). The window is widened by a minute
+  // on each side so the assertion only catches gross offsets, not jitter.
+  int64_t min_us = INT64_MAX;
+  int64_t max_us = 0;
+  for (const NodeExecStats& n : metadata.step_stats.nodes) {
+    if (n.start_micros > 0 && n.start_micros < min_us) min_us = n.start_micros;
+    if (n.end_micros > max_us) max_us = n.end_micros;
+  }
+  ASSERT_LT(min_us, max_us);
+  EXPECT_LT(max_us - min_us, int64_t{60} * 1000 * 1000);
+
+  // An untraced run on the same session stays trace-free.
+  RunMetadata untraced;
+  TF_CHECK_OK(session.value()->Run(RunOptions(), {{"x", Tensor::Scalar(2.0f)}},
+                                   {total.name()}, {}, &out, &untraced));
+  EXPECT_TRUE(untraced.step_stats.nodes.empty());
+}
+
+TEST(MasterSessionTest, SampledStepsAggregateIntoProfileStore) {
+  // Sampling cadence applies to distributed steps too: every 2nd Run is
+  // traced and folded into the master's ProfileStore, including node
+  // timings harvested from remote workers.
+  ClusterSpec spec;
+  spec.jobs["worker"] = 2;
+  auto cluster = Cluster::Create(spec);
+  ASSERT_TRUE(cluster.ok()) << cluster.status();
+
+  Graph g;
+  GraphBuilder b(&g);
+  Output x;
+  Output left;
+  {
+    GraphBuilder::DeviceScope scope(&b, "/job:worker/task:0");
+    x = ops::Placeholder(&b, DataType::kFloat, TensorShape(), "x");
+    left = ops::Square(&b, x);
+  }
+  Output total;
+  {
+    GraphBuilder::DeviceScope scope(&b, "/job:worker/task:1");
+    total = ops::Add(&b, left, Const(&b, 1.0f));
+  }
+  ASSERT_TRUE(b.ok()) << b.status();
+
+  MasterSession::Options options;
+  options.profile_sample_every = 2;
+  auto session = MasterSession::Create(g, cluster.value().get(), options);
+  ASSERT_TRUE(session.ok()) << session.status();
+  constexpr int kRuns = 6;
+  for (int i = 0; i < kRuns; ++i) {
+    std::vector<Tensor> out;
+    TF_CHECK_OK(session.value()->Run({{"x", Tensor::Scalar(3.0f)}},
+                                     {total.name()}, {}, &out));
+    EXPECT_FLOAT_EQ(*out[0].data<float>(), 10.0f);
+  }
+
+  const ProfileStore* store = session.value()->profile_store();
+  EXPECT_EQ(store->steps(), kRuns / 2);
+  // Both tasks' devices contributed measured entries.
+  bool task0_entry = false;
+  bool task1_entry = false;
+  for (const ProfileEntry& e : store->Entries()) {
+    if (e.device.rfind("/job:worker/task:0/", 0) == 0) task0_entry = true;
+    if (e.device.rfind("/job:worker/task:1/", 0) == 0) task1_entry = true;
+  }
+  EXPECT_TRUE(task0_entry);
+  EXPECT_TRUE(task1_entry);
+  EXPECT_GE(store->OpMeanMicros("Add"), 0.0);
+}
+
 TEST(MasterSessionTest, StaleBackupGradientIsDroppedNotAggregated) {
   // §4.4 "first m of n" with real staleness protection: n=4 replicas, m=3
   // required, and the whole training step is ONE distributed Run so every
