@@ -82,11 +82,15 @@ void BM_NullOpChain(benchmark::State& state) {
   GraphBuilder b(&g);
   Output v = ops::Const(&b, 0.0f);
   for (int i = 0; i < depth; ++i) {
-    v = ops::Identity(&b, v);
+    v = ops::Neg(&b, v);
   }
   TF_CHECK_OK(b.status());
   SessionOptions options;
   options.num_threads = 2;
+  // CSE/folding off so the chain survives to execution as real per-node
+  // dispatches; element-wise fusion (when the tier is enabled) is then the
+  // only pass allowed to collapse it — the ≥2x gate in scripts/check.sh
+  // measures exactly that collapse.
   options.optimizer.do_cse = false;
   options.optimizer.do_constant_folding = false;
   auto session = DirectSession::Create(g, options);
@@ -98,6 +102,30 @@ void BM_NullOpChain(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * depth);
 }
 BENCHMARK(BM_NullOpChain)->Arg(100)->Arg(1000);
+
+// The same chain with the optimizer tier disabled entirely: the unfused
+// per-node dispatch cost, for before/after comparison in BENCH_executor.json.
+void BM_NullOpChainUnfused(benchmark::State& state) {
+  const int depth = static_cast<int>(state.range(0));
+  Graph g;
+  GraphBuilder b(&g);
+  Output v = ops::Const(&b, 0.0f);
+  for (int i = 0; i < depth; ++i) {
+    v = ops::Neg(&b, v);
+  }
+  TF_CHECK_OK(b.status());
+  SessionOptions options;
+  options.num_threads = 2;
+  options.optimizer.enable = false;
+  auto session = DirectSession::Create(g, options);
+  std::vector<Tensor> out;
+  TF_CHECK_OK(session.value()->Run({v.name()}, &out));
+  for (auto _ : state) {
+    TF_CHECK_OK(session.value()->Run({v.name()}, &out));
+  }
+  state.SetItemsProcessed(state.iterations() * depth);
+}
+BENCHMARK(BM_NullOpChainUnfused)->Arg(1000);
 
 // Minimal end-to-end step latency (one Const fetch) — the per-step session
 // overhead when the executor is cached.

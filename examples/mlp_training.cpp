@@ -1,0 +1,122 @@
+// MLP training: a two-layer perceptron on a fixed synthetic regression
+// task, built so the loss trajectory is bit-for-bit reproducible — the
+// differential harness for the graph-optimizer tier (scripts/check.sh
+// --optimizer-only) runs this twice, tier off vs on, and byte-compares
+// the per-step losses.
+//
+//   $ ./mlp_training --steps 50 --loss-out /tmp/losses.txt
+//
+// Reproducibility requires care with the relaxed read consistency of
+// variables (§4.3): MatMul's gradient re-reads the weight operand, and
+// ApplyGradientDescent mutates the weight buffer in place, so a backward
+// read of W2 (needed for dL/dW1) would race W2's own update. The example
+// inserts a control barrier between the gradient computation and the
+// applies — every gradient finishes before any weight changes, the
+// synchronous-update discipline from §4.4 in miniature.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <random>
+#include <vector>
+
+#include "graph/ops.h"
+#include "runtime/session.h"
+#include "train/optimizer.h"
+
+using namespace tfrepro;
+
+namespace {
+
+// Deterministic pseudo-random matrix (fixed generator, fixed seed stream).
+Tensor FixedMat(uint32_t seed, int rows, int cols, float scale) {
+  std::mt19937 rng(seed * 2654435761u + 97u);
+  std::uniform_real_distribution<float> dist(-scale, scale);
+  std::vector<float> vals(static_cast<size_t>(rows) * cols);
+  for (float& v : vals) v = dist(rng);
+  return Tensor::FromVector<float>(vals, TensorShape({rows, cols}));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int steps = 50;
+  const char* loss_out = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--steps") == 0 && i + 1 < argc) {
+      steps = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--loss-out") == 0 && i + 1 < argc) {
+      loss_out = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--steps N] [--loss-out FILE]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+
+  // Forward: x[8,4] -> Relu(x.W1)[8,8] -> h.W2[8,1], squared loss vs y.
+  Graph graph;
+  GraphBuilder b(&graph);
+  Output x = ops::Const(&b, FixedMat(1, 8, 4, 1.0f), "x");
+  Output y = ops::Const(&b, FixedMat(2, 8, 1, 1.0f), "y");
+  Output w1 = ops::Variable(&b, DataType::kFloat, TensorShape({4, 8}), "w1");
+  Output w2 = ops::Variable(&b, DataType::kFloat, TensorShape({8, 1}), "w2");
+  Output init = Output(
+      ops::Group(&b,
+                 {ops::Assign(&b, w1, ops::Const(&b, FixedMat(3, 4, 8, 0.5f))),
+                  ops::Assign(&b, w2, ops::Const(&b, FixedMat(4, 8, 1, 0.5f)))},
+                 "init"),
+      0);
+
+  Output h = ops::Relu(&b, ops::MatMul(&b, x, w1));
+  Output pred = ops::MatMul(&b, h, w2);
+  Output loss = ops::MeanAll(&b, ops::Square(&b, ops::Sub(&b, pred, y)));
+
+  // Backward, with the barrier described above: compute all gradients,
+  // then gate every in-place apply on the whole set.
+  train::GradientDescentOptimizer sgd(0.05f);
+  auto grads = sgd.ComputeGradients(&b, loss, {w1, w2});
+  TF_CHECK_OK(grads.status());
+  std::vector<Output> grad_outs;
+  for (const auto& gv : grads.value()) grad_outs.push_back(gv.grad);
+  Node* barrier = ops::Group(&b, grad_outs, "grad_barrier");
+  std::vector<Output> updates;
+  for (const auto& gv : grads.value()) {
+    updates.push_back(b.Op("ApplyGradientDescent")
+                          .Input(gv.var)
+                          .Input(ops::Const(&b, 0.05f))
+                          .Input(gv.grad)
+                          .ControlInput(barrier)
+                          .Attr("T", BaseType(gv.var.dtype()))
+                          .Finalize());
+  }
+  Node* train = ops::Group(&b, updates, "train");
+  TF_CHECK_OK(b.status());
+
+  auto session = DirectSession::Create(graph);
+  TF_CHECK_OK(session.status());
+  TF_CHECK_OK(session.value()->Run({}, {}, {init.node->name()}, nullptr));
+
+  std::FILE* out = nullptr;
+  if (loss_out != nullptr) {
+    out = std::fopen(loss_out, "w");
+    if (out == nullptr) {
+      std::fprintf(stderr, "cannot open %s\n", loss_out);
+      return 1;
+    }
+  }
+  for (int step = 0; step < steps; ++step) {
+    std::vector<Tensor> fetched;
+    TF_CHECK_OK(
+        session.value()->Run({}, {loss.name()}, {train->name()}, &fetched));
+    float l = fetched[0].data<float>()[0];
+    // %a (hex float) is exact: any single-ulp divergence between the
+    // optimized and unoptimized graphs shows up in the file diff.
+    if (out != nullptr) std::fprintf(out, "%a\n", static_cast<double>(l));
+    if (step % 10 == 0 || step == steps - 1) {
+      std::printf("step %3d  loss %.6f\n", step, static_cast<double>(l));
+    }
+  }
+  if (out != nullptr) std::fclose(out);
+  return 0;
+}

@@ -3,11 +3,12 @@
 # tests (DESIGN.md §8, §9) and a bench smoke against the committed
 # hot-path baseline.
 #
-#   scripts/check.sh              # full: tier-1 build+ctest, socket subset, TSan subset, bench + profiler smoke
+#   scripts/check.sh              # full: tier-1 build+ctest, socket subset, TSan subset, bench + profiler + optimizer smoke
 #   scripts/check.sh --tsan-only
 #   scripts/check.sh --bench-only
 #   scripts/check.sh --socket-only
 #   scripts/check.sh --profiler-only
+#   scripts/check.sh --optimizer-only
 #
 # The TSan build lives in build-tsan/ so it never pollutes the regular
 # build/ tree.
@@ -18,11 +19,12 @@ cd "$(dirname "$0")/.."
 JOBS="$(nproc)"
 TSAN_TESTS=(metrics_test tracing_test fault_tolerance_test queue_test
             threadpool_test rendezvous_stress_test chaos_test
-            serving_test session_stress_test)
-# Three chaos seeds under TSan keep the pass under a few minutes; the full
-# five-seed sweep runs in the regular tier-1 ctest.
+            serving_test session_stress_test optimizer_fuzz_test)
+# Three chaos seeds and five fuzz seeds under TSan keep the pass under a
+# few minutes; the full sweeps run in the regular tier-1 ctest.
 declare -A TSAN_FILTER=(
   [chaos_test]="--gtest_filter=ChaosTest.Seed0:ChaosTest.Seed1:ChaosTest.Seed2"
+  [optimizer_fuzz_test]="--gtest_filter=OptimizerFuzzTest.Seed0:OptimizerFuzzTest.Seed1:OptimizerFuzzTest.Seed2:OptimizerFuzzTest.Seed3:OptimizerFuzzTest.Seed4"
 )
 
 run_tier1() {
@@ -57,19 +59,22 @@ run_tsan() {
 }
 
 # Bench smoke: re-run bench_executor and fail if null-step latency
-# (BM_CachedStepOverhead) regressed >25% against the committed "after"
-# baseline in BENCH_executor.json. A generous bound — this is a tripwire
-# for "someone re-introduced a lock on the hot path", not a precision
-# benchmark; CI containers are noisy.
+# (BM_CachedStepOverhead) or the fused-chain latency (BM_NullOpChain/1000,
+# the elementwise-fusion acceptance gate) regressed >25% against the
+# committed "after" baseline in BENCH_executor.json. A generous bound —
+# this is a tripwire for "someone re-introduced a lock on the hot path"
+# or "fusion stopped firing", not a precision benchmark; CI containers
+# are noisy.
 run_bench_smoke() {
-  echo "== bench smoke: BM_CachedStepOverhead vs BENCH_executor.json =="
+  echo "== bench smoke: BM_CachedStepOverhead + BM_NullOpChain vs BENCH_executor.json =="
   cmake --build build -j "$JOBS" --target bench_executor
   local fresh=/tmp/bench_smoke_executor.json
   # TFREPRO_PROFILE_EVERY=0 pins the sampling profiler off: the null-step
   # gate doubles as the profiler's disabled-overhead guard — a profiler
   # that costs anything when disabled trips the same >25% tripwire.
   TFREPRO_PROFILE_EVERY=0 ./build/bench/bench_executor --json "$fresh" \
-      --benchmark_filter='BM_CachedStepOverhead' --benchmark_min_time=0.2
+      --benchmark_filter='BM_CachedStepOverhead|BM_NullOpChain/1000' \
+      --benchmark_min_time=0.2
   python3 - "$fresh" BENCH_executor.json <<'PYEOF'
 import json, sys
 
@@ -82,14 +87,19 @@ def wall_ms(doc, name):
             return r["wall_ms"]
     raise SystemExit(f"bench smoke: {name} missing from results")
 
-new = wall_ms(fresh, "BM_CachedStepOverhead")
-old = wall_ms(baseline["after"], "BM_CachedStepOverhead")
-ratio = new / old
-print(f"bench smoke: null-step latency {new*1e6:.0f}ns vs baseline "
-      f"{old*1e6:.0f}ns ({ratio:.2f}x)")
-if ratio > 1.25:
-    raise SystemExit("bench smoke FAILED: null-step latency regressed "
-                     f">25% ({ratio:.2f}x)")
+failed = False
+for name, what in [("BM_CachedStepOverhead", "null-step latency"),
+                   ("BM_NullOpChain/1000", "fused-chain latency")]:
+    new = wall_ms(fresh, name)
+    old = wall_ms(baseline["after"], name)
+    ratio = new / old
+    print(f"bench smoke: {what} {new*1e6:.0f}ns vs baseline "
+          f"{old*1e6:.0f}ns ({ratio:.2f}x)")
+    if ratio > 1.25:
+        print(f"bench smoke FAILED: {what} regressed >25% ({ratio:.2f}x)")
+        failed = True
+if failed:
+    raise SystemExit(1)
 print("bench smoke: ok")
 PYEOF
 }
@@ -125,6 +135,28 @@ if ratio < 0.75:
                      f"regressed >25% ({ratio:.2f}x)")
 print("bench smoke: ok")
 PYEOF
+}
+
+# Optimizer smoke (DESIGN.md §13): the differential harness in brief.
+# Five fuzz seeds compare optimized vs unoptimized executions bit-for-bit,
+# then the MLP training example runs twice — optimizer tier off vs on —
+# and the two loss trajectories (hex floats, one per step) must be
+# byte-identical. Any numeric divergence introduced by a rewrite pass
+# fails the diff.
+run_optimizer_smoke() {
+  echo "== optimizer smoke: fuzz seeds 0-4 + mlp_training loss diff (tier off vs on) =="
+  cmake --build build -j "$JOBS" --target optimizer_fuzz_test mlp_training
+  ./build/tests/optimizer_fuzz_test \
+      --gtest_filter='OptimizerFuzzTest.Seed0:OptimizerFuzzTest.Seed1:OptimizerFuzzTest.Seed2:OptimizerFuzzTest.Seed3:OptimizerFuzzTest.Seed4'
+  local off=/tmp/mlp_loss_off.txt on=/tmp/mlp_loss_on.txt
+  TFREPRO_OPTIMIZER=off ./build/examples/mlp_training --steps 50 --loss-out "$off"
+  ./build/examples/mlp_training --steps 50 --loss-out "$on"
+  if ! cmp -s "$off" "$on"; then
+    echo "optimizer smoke FAILED: loss trajectories diverge with tier on"
+    diff "$off" "$on" | head -20
+    exit 1
+  fi
+  echo "optimizer smoke: $(wc -l < "$on") steps, trajectories identical — ok"
 }
 
 # Profiler smoke (DESIGN.md §12): run the distributed training example
@@ -168,6 +200,9 @@ case "${1:-}" in
   --profiler-only)
     run_profiler_smoke
     ;;
+  --optimizer-only)
+    run_optimizer_smoke
+    ;;
   *)
     run_tier1
     run_socket
@@ -175,6 +210,7 @@ case "${1:-}" in
     run_bench_smoke
     run_serving_bench_smoke
     run_profiler_smoke
+    run_optimizer_smoke
     ;;
 esac
 echo "check.sh: all green"

@@ -241,8 +241,13 @@ Result<MasterSession::CompiledStep*> MasterSession::CompileLocked(
                                               fetches, targets));
   std::vector<Device*> devices = cluster_->all_devices();
   TF_RETURN_IF_ERROR(PlaceGraph(client_graph.get(), devices, options_.placer));
-  TF_RETURN_IF_ERROR(
-      OptimizeGraph(client_graph.get(), devices.front(), options_.optimizer));
+  // As in DirectSession: feeds/fetches are structurally protected, but Run
+  // targets are plain node names the optimizer must leave in place.
+  OptimizerOptions opt = options_.optimizer;
+  for (const std::string& t : targets) {
+    opt.preserve.insert(t.substr(0, t.find(':')));
+  }
+  TF_RETURN_IF_ERROR(OptimizeGraph(client_graph.get(), devices.front(), opt));
   Result<std::map<std::string, std::unique_ptr<Graph>>> partitions =
       PartitionGraph(*client_graph);
   TF_RETURN_IF_ERROR(partitions.status());

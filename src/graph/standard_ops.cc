@@ -637,6 +637,20 @@ REGISTER_OP("_Recv")
     .Attr("recv_device: string")
     .SetIsStateful();
 
+// A chain of unary/binary element-wise ops collapsed into one dispatch by
+// the optimizer's fusion pass (DESIGN.md §13). `ops` lists the original op
+// names in execution order; the accumulator starts at inputs[0] and each
+// binary step consumes the next external input, with chain_lhs[i] == 1 when
+// the accumulator feeds that step's left operand. Underscore-prefixed:
+// inserted by the runtime, never by clients.
+REGISTER_OP("_FusedElementwise")
+    .Input("inputs: N * T")
+    .Output("output: T")
+    .Attr("N: int")
+    .Attr("T: type")
+    .Attr("ops: list(string)")
+    .Attr("chain_lhs: list(int)");
+
 // The issuing master's step id, as an int64 scalar. Stateful so the
 // optimizer never folds or CSEs it: the value changes every step. Used to
 // tag gradients for the synchronous-replica staleness filter (§4.4).

@@ -1,6 +1,7 @@
 #include "graph/subgraph.h"
 
 #include <deque>
+#include <map>
 #include <set>
 
 #include "graph/graph_builder.h"
@@ -58,7 +59,11 @@ Status RewriteGraphForExecution(Graph* graph,
                                 const std::vector<std::string>& feeds,
                                 const std::vector<std::string>& fetches,
                                 const std::vector<std::string>& targets) {
-  // Insert _Feed nodes and redirect consumers.
+  // Insert _Feed nodes and redirect consumers. Remember which output each
+  // feed replaced: fetching a fed tensor must round-trip the fed value
+  // through the _Feed node, not re-execute the producer (which for a
+  // Placeholder is an error).
+  std::map<std::pair<const Node*, int>, Node*> fed_outputs;
   for (size_t i = 0; i < feeds.size(); ++i) {
     Result<Output> fed = ResolveTensorName(graph, feeds[i]);
     if (!fed.ok()) {
@@ -78,6 +83,7 @@ Status RewriteGraphForExecution(Graph* graph,
     def.attrs["index"] = AttrValue(static_cast<int64_t>(i));
     Result<Node*> feed_node = graph->AddNode(std::move(def));
     TF_RETURN_IF_ERROR(feed_node.status());
+    fed_outputs[{fed.value().node, fed.value().index}] = feed_node.value();
     // Move consumers of the fed output onto the feed node.
     std::vector<const Edge*> out_edges(fed.value().node->out_edges().begin(),
                                        fed.value().node->out_edges().end());
@@ -91,29 +97,31 @@ Status RewriteGraphForExecution(Graph* graph,
     }
   }
 
-  // Insert _Fetch nodes.
+  // Insert _Fetch nodes. A fetch of a fed tensor reads the _Feed node.
   std::vector<Node*> roots;
   for (size_t i = 0; i < fetches.size(); ++i) {
     Result<Output> fetched = ResolveTensorName(graph, fetches[i]);
     if (!fetched.ok()) {
       return Status(fetched.status()).Prepend("fetch '" + fetches[i] + "'");
     }
+    Node* src = fetched.value().node;
+    int src_output = fetched.value().index;
+    auto fed_it = fed_outputs.find({src, src_output});
+    if (fed_it != fed_outputs.end()) {
+      src = fed_it->second;
+      src_output = 0;
+    }
     NodeDef def;
     def.name = graph->NewName("_fetch_" + std::to_string(i));
     def.op = "_Fetch";
-    def.device = fetched.value().node->assigned_device().empty()
-                     ? fetched.value().node->requested_device()
-                     : fetched.value().node->assigned_device();
-    def.attrs["T"] =
-        AttrValue(BaseType(fetched.value().node->output_type(fetched.value().index)));
+    def.device = src->assigned_device().empty() ? src->requested_device()
+                                                : src->assigned_device();
+    def.attrs["T"] = AttrValue(BaseType(src->output_type(src_output)));
     def.attrs["index"] = AttrValue(static_cast<int64_t>(i));
     Result<Node*> fetch_node = graph->AddNode(std::move(def));
     TF_RETURN_IF_ERROR(fetch_node.status());
-    TF_RETURN_IF_ERROR(graph
-                           ->AddEdge(fetched.value().node,
-                                     fetched.value().index,
-                                     fetch_node.value(), 0)
-                           .status());
+    TF_RETURN_IF_ERROR(
+        graph->AddEdge(src, src_output, fetch_node.value(), 0).status());
     roots.push_back(fetch_node.value());
   }
 

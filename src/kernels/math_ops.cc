@@ -5,6 +5,7 @@
 #include <cmath>
 
 #include "kernels/broadcast.h"
+#include "kernels/elementwise_functors.h"
 #include "kernels/dispatch.h"
 #include "runtime/kernel.h"
 
@@ -31,83 +32,6 @@ class BinaryOp : public OpKernel {
                             [](T x, T y) { return Functor::template Run<T>(x, y); });
     }));
     ctx->set_output(0, std::move(out));
-  }
-};
-
-struct AddFunc {
-  template <typename T>
-  static T Run(T x, T y) {
-    return x + y;
-  }
-};
-struct SubFunc {
-  template <typename T>
-  static T Run(T x, T y) {
-    return x - y;
-  }
-};
-struct MulFunc {
-  template <typename T>
-  static T Run(T x, T y) {
-    return x * y;
-  }
-};
-struct DivFunc {
-  template <typename T>
-  static T Run(T x, T y) {
-    return x / y;
-  }
-};
-struct FloorDivFunc {
-  template <typename T>
-  static T Run(T x, T y) {
-    if constexpr (std::is_integral_v<T>) {
-      T q = x / y;
-      if ((x % y != 0) && ((x < 0) != (y < 0))) --q;
-      return q;
-    } else {
-      return std::floor(x / y);
-    }
-  }
-};
-struct ModFunc {
-  template <typename T>
-  static T Run(T x, T y) {
-    if constexpr (std::is_integral_v<T>) {
-      T m = x % y;
-      if (m != 0 && ((x < 0) != (y < 0))) m += y;
-      return m;
-    } else {
-      T m = std::fmod(x, y);
-      if (m != 0 && ((x < 0) != (y < 0))) m += y;
-      return m;
-    }
-  }
-};
-struct PowFunc {
-  template <typename T>
-  static T Run(T x, T y) {
-    return static_cast<T>(std::pow(static_cast<double>(x),
-                                   static_cast<double>(y)));
-  }
-};
-struct MaximumFunc {
-  template <typename T>
-  static T Run(T x, T y) {
-    return x > y ? x : y;
-  }
-};
-struct MinimumFunc {
-  template <typename T>
-  static T Run(T x, T y) {
-    return x < y ? x : y;
-  }
-};
-struct SquaredDifferenceFunc {
-  template <typename T>
-  static T Run(T x, T y) {
-    T d = x - y;
-    return d * d;
   }
 };
 
@@ -204,91 +128,6 @@ class UnaryOp : public OpKernel {
       }
     }));
     ctx->set_output(0, std::move(out));
-  }
-};
-
-struct NegFunc {
-  template <typename T>
-  static T Run(T x) {
-    return -x;
-  }
-};
-struct ExpFunc {
-  template <typename T>
-  static T Run(T x) {
-    return static_cast<T>(std::exp(static_cast<double>(x)));
-  }
-};
-struct LogFunc {
-  template <typename T>
-  static T Run(T x) {
-    return static_cast<T>(std::log(static_cast<double>(x)));
-  }
-};
-struct SqrtFunc {
-  template <typename T>
-  static T Run(T x) {
-    return static_cast<T>(std::sqrt(static_cast<double>(x)));
-  }
-};
-struct RsqrtFunc {
-  template <typename T>
-  static T Run(T x) {
-    return static_cast<T>(1.0 / std::sqrt(static_cast<double>(x)));
-  }
-};
-struct SquareFunc {
-  template <typename T>
-  static T Run(T x) {
-    return x * x;
-  }
-};
-struct AbsFunc {
-  template <typename T>
-  static T Run(T x) {
-    return x < T{0} ? static_cast<T>(-x) : x;
-  }
-};
-struct SignFunc {
-  template <typename T>
-  static T Run(T x) {
-    return x > T{0} ? T{1} : (x < T{0} ? static_cast<T>(-1) : T{0});
-  }
-};
-struct TanhFunc {
-  template <typename T>
-  static T Run(T x) {
-    return static_cast<T>(std::tanh(static_cast<double>(x)));
-  }
-};
-struct SigmoidFunc {
-  template <typename T>
-  static T Run(T x) {
-    return static_cast<T>(1.0 / (1.0 + std::exp(-static_cast<double>(x))));
-  }
-};
-struct ReluFunc {
-  template <typename T>
-  static T Run(T x) {
-    return x > T{0} ? x : T{0};
-  }
-};
-struct FloorFunc {
-  template <typename T>
-  static T Run(T x) {
-    return static_cast<T>(std::floor(static_cast<double>(x)));
-  }
-};
-struct CeilFunc {
-  template <typename T>
-  static T Run(T x) {
-    return static_cast<T>(std::ceil(static_cast<double>(x)));
-  }
-};
-struct ReciprocalFunc {
-  template <typename T>
-  static T Run(T x) {
-    return static_cast<T>(1.0 / static_cast<double>(x));
   }
 };
 

@@ -1,8 +1,13 @@
 #include "runtime/graph_optimizer.h"
 
+#include <algorithm>
+#include <cstdlib>
 #include <map>
 #include <sstream>
+#include <vector>
 
+#include "graph/subgraph.h"
+#include "kernels/elementwise_functors.h"
 #include "runtime/kernel.h"
 
 namespace tfrepro {
@@ -12,7 +17,13 @@ namespace {
 // True if this node is eligible for CSE / folding at all.
 bool IsOptimizable(const Node* node) {
   if (node->IsStateful() || node->IsControlFlow()) return false;
-  if (node->op()[0] == '_') return false;  // _Feed/_Fetch/_Send/_Recv
+  // Runtime-inserted ops (_Feed/_Fetch/_Send/_Recv) are pinned to their
+  // role; _FusedElementwise is the optimizer's own node and stays
+  // optimizable so later rounds can CSE/fold it further.
+  if (node->op()[0] == '_' && node->op() != "_FusedElementwise") return false;
+  // Source nodes other than Const (Placeholder, ...) stand for externally
+  // supplied values: two with identical attrs are NOT interchangeable.
+  if (node->num_inputs() == 0 && !node->IsConstant()) return false;
   for (int i = 0; i < node->num_outputs(); ++i) {
     if (IsRefType(node->output_type(i))) return false;
   }
@@ -24,7 +35,16 @@ std::string NodeSignature(const Node* node) {
   os << node->op() << "|" << node->requested_device() << "|"
      << node->assigned_device() << "|";
   for (const auto& [name, value] : node->attrs()) {
-    os << name << "=" << value.DebugString() << ";";
+    if (value.kind() == AttrValue::Kind::kTensor) {
+      // DebugString() truncates tensor content; two different Consts that
+      // agree on dtype/shape and the printed prefix must not CSE-merge, so
+      // hash the exact bytes instead.
+      std::string bytes;
+      value.tensor().AppendToBytes(&bytes);
+      os << name << "=tensor[" << bytes.size() << "]:" << bytes << ";";
+    } else {
+      os << name << "=" << value.DebugString() << ";";
+    }
   }
   os << "|";
   for (const Edge* e : node->ordered_data_inputs()) {
@@ -63,10 +83,21 @@ Status ReplaceNode(Graph* graph, Node* from, Node* to) {
   return Status::OK();
 }
 
+// Preserve entries may be written as "node" or "node:port" (Run fetches and
+// Output::name() carry ports); passes match on node names, so strip them.
+std::set<std::string> StripPorts(const std::set<std::string>& names) {
+  std::set<std::string> stripped;
+  for (const std::string& n : names) {
+    stripped.insert(n.substr(0, n.find(':')));
+  }
+  return stripped;
+}
+
 }  // namespace
 
 int EliminateCommonSubexpressions(Graph* graph,
-                                  const std::set<std::string>& preserve) {
+                                  const std::set<std::string>& preserve_in) {
+  const std::set<std::string> preserve = StripPorts(preserve_in);
   int removed = 0;
   bool changed = true;
   while (changed) {
@@ -90,7 +121,9 @@ int EliminateCommonSubexpressions(Graph* graph,
   return removed;
 }
 
-int ElideIdentityNodes(Graph* graph, const std::set<std::string>& preserve) {
+int ElideIdentityNodes(Graph* graph,
+                       const std::set<std::string>& preserve_in) {
+  const std::set<std::string> preserve = StripPorts(preserve_in);
   int removed = 0;
   for (Node* node : graph->nodes()) {
     if (!node->IsOp("Identity") && !node->IsOp("StopGradient")) continue;
@@ -166,7 +199,8 @@ Result<std::vector<Tensor>> EvaluateNode(Node* node,
 }  // namespace
 
 Result<int> FoldConstants(Graph* graph, Device* device,
-                          const std::set<std::string>& preserve) {
+                          const std::set<std::string>& preserve_in) {
+  const std::set<std::string> preserve = StripPorts(preserve_in);
   int folded = 0;
   Result<std::vector<Node*>> order = graph->TopologicalOrder();
   TF_RETURN_IF_ERROR(order.status());
@@ -243,23 +277,258 @@ Result<int> FoldConstants(Graph* graph, Device* device,
   return folded;
 }
 
+namespace {
+
+bool IsFusableDtype(DataType dt) {
+  switch (BaseType(dt)) {
+    case DataType::kFloat:
+    case DataType::kDouble:
+    case DataType::kInt32:
+    case DataType::kInt64:
+    case DataType::kUint8:
+      return true;
+    default:
+      return false;
+  }
+}
+
+// Replaces `chain` (execution-ordered element-wise nodes, each interior
+// member feeding exactly the next) with one _FusedElementwise node carrying
+// the recipe attrs (see kernels/fused_ops.cc for the encoding).
+Status BuildFusedNode(Graph* graph, const std::vector<Node*>& chain) {
+  Node* head = chain.front();
+  Node* tail = chain.back();
+  std::vector<std::pair<Node*, int>> ext;  // external inputs (src, port)
+  std::vector<std::string> op_names;
+  std::vector<int64_t> chain_lhs;
+  Node* prev = nullptr;
+  for (Node* n : chain) {
+    op_names.push_back(n->op());
+    if (n == head) {
+      // All of the head's inputs are external; the first seeds the
+      // accumulator, so the head step is always accumulator-on-the-left.
+      for (const Edge* e : n->ordered_data_inputs()) {
+        ext.emplace_back(e->src, e->src_output);
+      }
+      chain_lhs.push_back(1);
+    } else if (BinaryEwiseFromOp(n->op()) != BinaryEwise::kInvalid) {
+      Result<const Edge*> e0 = n->input_edge(0);
+      Result<const Edge*> e1 = n->input_edge(1);
+      TF_RETURN_IF_ERROR(e0.status());
+      TF_RETURN_IF_ERROR(e1.status());
+      // `prev` has exactly one data consumer, so it feeds exactly one slot.
+      const bool acc_is_lhs = e0.value()->src == prev;
+      const Edge* other = acc_is_lhs ? e1.value() : e0.value();
+      ext.emplace_back(other->src, other->src_output);
+      chain_lhs.push_back(acc_is_lhs ? 1 : 0);
+    } else {
+      chain_lhs.push_back(1);
+    }
+    prev = n;
+  }
+
+  NodeDef def;
+  def.name = graph->NewName(head->name() + "_fused");
+  def.op = "_FusedElementwise";
+  def.device = head->requested_device();
+  def.attrs["N"] = AttrValue(static_cast<int64_t>(ext.size()));
+  def.attrs["T"] = AttrValue(BaseType(head->output_type(0)));
+  def.attrs["ops"] = AttrValue(op_names);
+  def.attrs["chain_lhs"] = AttrValue(chain_lhs);
+  Result<Node*> fused_r = graph->AddNode(std::move(def));
+  TF_RETURN_IF_ERROR(fused_r.status());
+  Node* fused = fused_r.value();
+  fused->set_assigned_device(head->assigned_device());
+  for (size_t i = 0; i < ext.size(); ++i) {
+    TF_RETURN_IF_ERROR(graph
+                           ->AddEdge(ext[i].first, ext[i].second, fused,
+                                     static_cast<int>(i))
+                           .status());
+  }
+  std::vector<const Edge*> outs(tail->out_edges().begin(),
+                                tail->out_edges().end());
+  for (const Edge* e : outs) {
+    Node* dst = e->dst;
+    int dst_input = e->dst_input;
+    graph->RemoveEdge(e);
+    TF_RETURN_IF_ERROR(graph->AddEdge(fused, 0, dst, dst_input).status());
+  }
+  for (Node* n : chain) graph->RemoveNode(n);
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<int> FuseElementwiseChains(Graph* graph,
+                                  const std::set<std::string>& preserve_in,
+                                  bool skip_const_computable) {
+  const std::set<std::string> preserve = StripPorts(preserve_in);
+  Result<std::vector<Node*>> order_r = graph->TopologicalOrder();
+  TF_RETURN_IF_ERROR(order_r.status());
+  const std::vector<Node*>& order = order_r.value();
+
+  // Nodes the folding pass will consume (transitively constant): burying
+  // them inside a fused node would hide fold candidates, so leave them out
+  // when folding is enabled (the pass-ordering fix; see DESIGN.md §13).
+  std::set<const Node*> constish;
+  if (skip_const_computable) {
+    for (Node* n : order) {
+      if (n->IsConstant()) {
+        constish.insert(n);
+        continue;
+      }
+      if (!IsOptimizable(n) || preserve.count(n->name()) != 0 ||
+          n->num_inputs() == 0) {
+        continue;
+      }
+      bool all_const = true;
+      bool has_control = false;
+      for (const Edge* e : n->in_edges()) {
+        if (e->IsControlEdge()) {
+          has_control = true;
+        } else if (constish.count(e->src) == 0) {
+          all_const = false;
+        }
+      }
+      if (all_const && !has_control) constish.insert(n);
+    }
+  }
+
+  auto fusible = [&](const Node* n) {
+    if (UnaryEwiseFromOp(n->op()) == UnaryEwise::kInvalid &&
+        BinaryEwiseFromOp(n->op()) == BinaryEwise::kInvalid) {
+      return false;
+    }
+    if (preserve.count(n->name()) != 0) return false;
+    if (constish.count(n) != 0) return false;
+    const DataType t = BaseType(n->output_type(0));
+    if (!IsFusableDtype(t)) return false;
+    for (const Edge* e : n->in_edges()) {
+      if (e->IsControlEdge()) return false;  // ordering must survive
+      const DataType it = e->src->output_type(e->src_output);
+      // Ref reads (variables) keep their own dispatch: the standalone
+      // kernel snapshots the variable at its own execution point, and
+      // grouping reads would move that point.
+      if (IsRefType(it)) return false;
+      if (BaseType(it) != t) return false;
+    }
+    for (const Edge* e : n->out_edges()) {
+      if (e->IsControlEdge()) return false;
+    }
+    return true;
+  };
+
+  std::set<const Node*> claimed;
+  int fused_chains = 0;
+  for (Node* start : order) {
+    if (claimed.count(start) != 0 || !fusible(start)) continue;
+    std::vector<Node*> chain{start};
+    Node* tail = start;
+    while (true) {
+      // Interior members must have exactly one data consumer: the next
+      // chain member. Multi-consumer nodes can only terminate a chain.
+      const Edge* out = nullptr;
+      int data_out = 0;
+      for (const Edge* e : tail->out_edges()) {
+        if (!e->IsControlEdge()) {
+          out = e;
+          ++data_out;
+        }
+      }
+      if (data_out != 1) break;
+      Node* next = out->dst;
+      if (claimed.count(next) != 0 || !fusible(next)) break;
+      // Chains never span devices.
+      if (next->requested_device() != start->requested_device() ||
+          next->assigned_device() != start->assigned_device() ||
+          BaseType(next->output_type(0)) !=
+              BaseType(start->output_type(0))) {
+        break;
+      }
+      chain.push_back(next);
+      tail = next;
+    }
+    if (chain.size() < 2) continue;
+    for (Node* n : chain) claimed.insert(n);
+    TF_RETURN_IF_ERROR(BuildFusedNode(graph, chain));
+    ++fused_chains;
+  }
+  return fused_chains;
+}
+
+int RemoveDeadNodes(Graph* graph, const std::set<std::string>& preserve_in) {
+  const std::set<std::string> preserve = StripPorts(preserve_in);
+  std::vector<Node*> roots;
+  for (Node* n : graph->nodes()) {
+    // Ref-input consumers (Assign, AssignAdd, ScatterAdd, ...) mutate a
+    // variable in place: a side effect, even though the op itself is not
+    // registered stateful.
+    bool mutates_state = false;
+    for (const Edge* e : n->in_edges()) {
+      if (!e->IsControlEdge() &&
+          IsRefType(e->src->output_type(e->src_output))) {
+        mutates_state = true;
+        break;
+      }
+    }
+    if (n->IsStateful() || n->IsControlFlow() || mutates_state ||
+        (n->op()[0] == '_' && n->op() != "_FusedElementwise") ||
+        preserve.count(n->name()) != 0) {
+      roots.push_back(n);
+    }
+  }
+  // A graph with no roots at all is a bare expression graph (unit tests,
+  // ad-hoc callers); erasing it wholesale would never be what they meant.
+  if (roots.empty()) return 0;
+  const int before = graph->num_nodes();
+  PruneForReverseReachability(graph, std::move(roots));
+  return before - graph->num_nodes();
+}
+
+namespace {
+
+// TFREPRO_OPTIMIZER=off|0|false|disabled kill-switch: lets a user bisect a
+// suspected mis-optimization without touching code.
+bool OptimizerDisabledByEnv() {
+  const char* v = std::getenv("TFREPRO_OPTIMIZER");
+  if (v == nullptr) return false;
+  const std::string s(v);
+  return s == "off" || s == "0" || s == "false" || s == "disabled";
+}
+
+}  // namespace
+
 Status OptimizeGraph(Graph* graph, Device* device,
                      const OptimizerOptions& options) {
+  if (!options.enable || OptimizerDisabledByEnv()) return Status::OK();
   if (options.do_identity_elision) {
     ElideIdentityNodes(graph, options.preserve);
   }
-  if (options.do_cse) {
-    EliminateCommonSubexpressions(graph, options.preserve);
-  }
-  if (options.do_constant_folding) {
-    for (int pass = 0; pass < options.max_folding_passes; ++pass) {
+  // CSE -> fusion -> folding to a fixed point: folding a fused chain's
+  // const inputs (or CSE-merging folded consts) exposes new fusion and
+  // merge candidates for the next round.
+  const int rounds = std::max(1, options.max_folding_passes);
+  for (int round = 0; round < rounds; ++round) {
+    int changed = 0;
+    if (options.do_cse) {
+      changed += EliminateCommonSubexpressions(graph, options.preserve);
+    }
+    if (options.do_fusion) {
+      Result<int> fused = FuseElementwiseChains(
+          graph, options.preserve,
+          /*skip_const_computable=*/options.do_constant_folding);
+      TF_RETURN_IF_ERROR(fused.status());
+      changed += fused.value();
+    }
+    if (options.do_constant_folding) {
       Result<int> folded = FoldConstants(graph, device, options.preserve);
       TF_RETURN_IF_ERROR(folded.status());
-      if (folded.value() == 0) break;
-      if (options.do_cse) {
-        EliminateCommonSubexpressions(graph, options.preserve);
-      }
+      changed += folded.value();
     }
+    if (changed == 0) break;
+  }
+  if (options.do_dead_elimination) {
+    RemoveDeadNodes(graph, options.preserve);
   }
   return Status::OK();
 }

@@ -1,7 +1,15 @@
-// Master-side graph optimizations (paper §5): common-subexpression
-// elimination and constant folding. (Pruning, the third optimization named
-// in the paper, lives in graph/subgraph.h as part of partial-execution
-// rewriting.)
+// Session-level graph-optimization tier (paper §5, DESIGN.md §13): a pass
+// manager run at graph-compile time by DirectSession, MasterSession and
+// serving::FreezeGraph. Passes: identity elision, common-subexpression
+// elimination, element-wise fusion, constant folding (the middle three in a
+// fixed-point loop — folding a fused chain's const inputs exposes new CSE
+// and fusion candidates), then dead-node elimination.
+//
+// Safety contract: optimization must be invisible. Fetches, post-step
+// variable states and gradient updates are bit-exact with the unoptimized
+// graph (enforced by tests/optimizer_fuzz_test.cc). Stateful nodes,
+// control-flow nodes and runtime-inserted `_` ops are never touched;
+// callers list additional roots (targets, freeze outputs) in `preserve`.
 
 #ifndef TFREPRO_RUNTIME_GRAPH_OPTIMIZER_H_
 #define TFREPRO_RUNTIME_GRAPH_OPTIMIZER_H_
@@ -16,19 +24,29 @@
 namespace tfrepro {
 
 struct OptimizerOptions {
+  // Master switch for the whole tier; the environment variable
+  // TFREPRO_OPTIMIZER=off (or 0/false) disables it regardless, as the
+  // escape hatch when debugging a suspected mis-optimization.
+  bool enable = true;
   bool do_cse = true;
   bool do_constant_folding = true;
-  // Bound on folding passes (each pass may expose new foldable nodes).
+  // Collapse chains of unary/binary element-wise ops into single
+  // _FusedElementwise dispatches (see kernels/fused_ops.cc).
+  bool do_fusion = true;
+  // Bound on CSE -> fusion -> folding rounds (each round may expose new
+  // candidates for the next; see the two-round regression test).
   int max_folding_passes = 3;
-  // Removes Identity/StopGradient pass-through nodes (inference-graph
-  // cleanup used by serving::FreezeGraph; off for sessions, where the hop
-  // is harmless and keeps traces readable).
-  bool do_identity_elision = false;
+  // Removes Identity/StopGradient pass-through nodes. On by default: the
+  // fetched values are identical and the executor skips a dispatch per hop.
+  bool do_identity_elision = true;
+  // Removes stateless nodes whose output reaches no fetch, target,
+  // stateful op or preserved node (orphans left behind by CSE/folding).
+  bool do_dead_elimination = true;
   // Node names that must survive optimization under their own name. Session
   // compilation protects fetch roots structurally (_Fetch nodes are never
-  // optimizable); FreezeGraph optimizes a graph whose fetch roots are plain
-  // nodes, so it lists them here to keep CSE/folding/elision from renaming
-  // or removing them.
+  // optimizable) and adds Run targets here; FreezeGraph optimizes a graph
+  // whose fetch roots are plain nodes, so it lists them here to keep
+  // CSE/folding/elision/fusion from renaming or removing them.
   std::set<std::string> preserve;
 };
 
@@ -48,6 +66,25 @@ int ElideIdentityNodes(Graph* graph,
 // replaces them with Const nodes. Returns the number of nodes folded.
 Result<int> FoldConstants(Graph* graph, Device* device,
                           const std::set<std::string>& preserve = {});
+
+// Collapses chains (length >= 2) of same-device, same-dtype element-wise
+// nodes into single _FusedElementwise nodes. A node joins a chain only if
+// it is stateless, not preserved, touches no control edges, reads no ref
+// outputs, and every interior member has exactly one data consumer (the
+// next chain member), so multi-consumer interiors, cross-device hops and
+// ref readers are never fused. With `skip_const_computable` set (the pass
+// manager passes do_constant_folding), nodes whose inputs are transitively
+// constant are left for the folding pass instead of being buried inside a
+// fused node. Returns the number of chains fused.
+Result<int> FuseElementwiseChains(Graph* graph,
+                                  const std::set<std::string>& preserve = {},
+                                  bool skip_const_computable = false);
+
+// Removes stateless nodes from which no root (stateful / control-flow /
+// `_`-prefixed / preserved node) is reachable. No-op when the graph has no
+// roots at all, so optimizing a bare expression graph without a preserve
+// set does not erase it. Returns the number of nodes removed.
+int RemoveDeadNodes(Graph* graph, const std::set<std::string>& preserve = {});
 
 Status OptimizeGraph(Graph* graph, Device* device,
                      const OptimizerOptions& options = OptimizerOptions());

@@ -147,6 +147,11 @@ Status OpKernelConstruction::GetIntListAttr(const std::string& name,
   return GetTypedRefAttr(this, name, AttrValue::Kind::kIntList,
                          &AttrValue::int_list, value);
 }
+Status OpKernelConstruction::GetStringListAttr(
+    const std::string& name, std::vector<std::string>* value) const {
+  return GetTypedRefAttr(this, name, AttrValue::Kind::kStringList,
+                         &AttrValue::string_list, value);
+}
 Status OpKernelConstruction::GetTypeListAttr(const std::string& name,
                                              DataTypeVector* value) const {
   return GetTypedRefAttr(this, name, AttrValue::Kind::kTypeList,

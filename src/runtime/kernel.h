@@ -105,6 +105,8 @@ class OpKernelConstruction {
   Status GetTensorAttr(const std::string& name, Tensor* value) const;
   Status GetIntListAttr(const std::string& name,
                         std::vector<int64_t>* value) const;
+  Status GetStringListAttr(const std::string& name,
+                           std::vector<std::string>* value) const;
   Status GetTypeListAttr(const std::string& name, DataTypeVector* value) const;
 
   int num_inputs() const { return node_->num_inputs(); }

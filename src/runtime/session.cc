@@ -89,9 +89,16 @@ Result<DirectSession::ExecutorsAndGraphs*> DirectSession::GetOrCreateExecutors(
   // Place, optimize, partition (§3.3, §5).
   TF_RETURN_IF_ERROR(PlaceGraph(client_graph.get(), device_mgr_.ListDevices(),
                                 options_.placer));
+  // Feeds/fetches are structurally protected (_Feed/_Fetch are never
+  // optimized away) and stateful nodes are never touched; Run targets are
+  // plain node names, so add them to the preserve set to keep the
+  // optimizer from renaming, fusing or eliding them.
+  OptimizerOptions opt = options_.optimizer;
+  for (const std::string& t : targets) {
+    opt.preserve.insert(t.substr(0, t.find(':')));
+  }
   TF_RETURN_IF_ERROR(OptimizeGraph(client_graph.get(),
-                                   device_mgr_.default_device(),
-                                   options_.optimizer));
+                                   device_mgr_.default_device(), opt));
   Result<std::map<std::string, std::unique_ptr<Graph>>> partitions =
       PartitionGraph(*client_graph);
   TF_RETURN_IF_ERROR(partitions.status());

@@ -26,12 +26,11 @@ namespace tfrepro {
 namespace serving {
 
 struct FreezeOptions {
-  // Optimizer passes run on the frozen graph. Identity elision is on by
-  // default (inference graphs keep no trace-readability hops); the fetch
-  // names are added to `optimizer.preserve` automatically.
+  // Optimizer passes run on the frozen graph — the same session-level tier
+  // DirectSession/MasterSession run at compile time (DESIGN.md §13),
+  // including element-wise fusion. The fetch names are added to
+  // `optimizer.preserve` automatically.
   OptimizerOptions optimizer;
-
-  FreezeOptions() { optimizer.do_identity_elision = true; }
 };
 
 // Freezes `graph` against the checkpoint written as `checkpoint_files`

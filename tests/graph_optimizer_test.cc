@@ -1,0 +1,395 @@
+// Unit tests for the session-level optimizer tier (DESIGN.md §13): the
+// element-wise fusion pass and its refusal cases, the CSE -> fusion ->
+// folding fixed-point loop, dead-node elimination, and two CSE signature
+// regressions (truncated Const content, mergeable Placeholders).
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/ops.h"
+#include "graph/subgraph.h"
+#include "runtime/graph_optimizer.h"
+#include "runtime/session.h"
+
+namespace tfrepro {
+namespace {
+
+using ops::Const;
+
+std::string TensorBytes(const Tensor& t) {
+  std::string s;
+  t.AppendToBytes(&s);
+  return s;
+}
+
+int CountOp(const Graph& g, const std::string& op) {
+  int n = 0;
+  for (Node* node : g.nodes()) {
+    if (node->op() == op) ++n;
+  }
+  return n;
+}
+
+Node* FindOp(const Graph& g, const std::string& op) {
+  for (Node* node : g.nodes()) {
+    if (node->op() == op) return node;
+  }
+  return nullptr;
+}
+
+// Runs `g` through a DirectSession with the optimizer tier on or off and
+// returns the fetched tensors.
+std::vector<Tensor> RunSession(
+    const Graph& g, bool optimize,
+    const std::vector<std::pair<std::string, Tensor>>& feeds,
+    const std::vector<std::string>& fetches,
+    const std::vector<std::string>& targets = {}) {
+  SessionOptions options;
+  options.optimizer.enable = optimize;
+  auto session = DirectSession::Create(g, options);
+  EXPECT_TRUE(session.ok()) << session.status();
+  std::vector<Tensor> out;
+  Status s = session.value()->Run(feeds, fetches, targets, &out);
+  EXPECT_TRUE(s.ok()) << s;
+  return out;
+}
+
+TEST(FusionPassTest, FusesUnaryChain) {
+  Graph g;
+  GraphBuilder b(&g);
+  Output x = ops::Placeholder(&b, DataType::kFloat, TensorShape({4}), "x");
+  Output y = ops::Square(&b, ops::Neg(&b, ops::Tanh(&b, x)));
+  ASSERT_TRUE(b.ok()) << b.status();
+
+  Result<int> fused = FuseElementwiseChains(&g, {y.name()});
+  ASSERT_TRUE(fused.ok()) << fused.status();
+  // Square is preserved, so the chain is [Tanh, Neg].
+  EXPECT_EQ(fused.value(), 1);
+  EXPECT_EQ(CountOp(g, "_FusedElementwise"), 1);
+  EXPECT_EQ(CountOp(g, "Tanh"), 0);
+  EXPECT_EQ(CountOp(g, "Neg"), 0);
+  EXPECT_EQ(CountOp(g, "Square"), 1);
+
+  Node* fused_node = FindOp(g, "_FusedElementwise");
+  ASSERT_NE(fused_node, nullptr);
+  const std::vector<std::string>& ops_attr =
+      fused_node->GetAttr("ops").string_list();
+  ASSERT_EQ(ops_attr.size(), 2u);
+  EXPECT_EQ(ops_attr[0], "Tanh");
+  EXPECT_EQ(ops_attr[1], "Neg");
+}
+
+TEST(FusionPassTest, FusedExecutionIsBitExact) {
+  Graph g;
+  GraphBuilder b(&g);
+  Output x = ops::Placeholder(&b, DataType::kFloat, TensorShape({5}), "x");
+  Output y = ops::Relu(&b, ops::Add(&b, ops::Tanh(&b, ops::Neg(&b, x)),
+                                    Const(&b, 0.25f)));
+  ASSERT_TRUE(b.ok()) << b.status();
+
+  Tensor xv = Tensor::FromVector<float>({-2.5f, -0.1f, 0.0f, 0.7f, 3.14f},
+                                        TensorShape({5}));
+  std::vector<Tensor> off = RunSession(g, false, {{"x", xv}}, {y.name()});
+  std::vector<Tensor> on = RunSession(g, true, {{"x", xv}}, {y.name()});
+  ASSERT_EQ(off.size(), 1u);
+  ASSERT_EQ(on.size(), 1u);
+  EXPECT_EQ(TensorBytes(off[0]), TensorBytes(on[0]));
+}
+
+TEST(FusionPassTest, GeneralBroadcastChainIsBitExact) {
+  // Mixed shapes force the fused kernel's general (non-elementwise)
+  // broadcasting path: [2,3] + scalar, then * [3]-vector.
+  Graph g;
+  GraphBuilder b(&g);
+  Output x = ops::Placeholder(&b, DataType::kFloat, TensorShape({2, 3}), "x");
+  Output s = ops::Placeholder(&b, DataType::kFloat, TensorShape(), "s");
+  Output v = ops::Placeholder(&b, DataType::kFloat, TensorShape({3}), "v");
+  Output y = ops::Mul(&b, ops::Add(&b, x, s), v);
+  ASSERT_TRUE(b.ok()) << b.status();
+
+  Tensor xv = Tensor::FromVector<float>({1, -2, 3, -4, 5, -6},
+                                        TensorShape({2, 3}));
+  Tensor sv = Tensor::Scalar(0.3f);
+  Tensor vv = Tensor::FromVector<float>({2, -1, 0.5f}, TensorShape({3}));
+  std::vector<std::pair<std::string, Tensor>> feeds = {
+      {"x", xv}, {"s", sv}, {"v", vv}};
+  std::vector<Tensor> off = RunSession(g, false, feeds, {y.name()});
+  std::vector<Tensor> on = RunSession(g, true, feeds, {y.name()});
+  EXPECT_EQ(TensorBytes(off[0]), TensorBytes(on[0]));
+}
+
+TEST(FusionPassTest, RefusesPreservedNodes) {
+  Graph g;
+  GraphBuilder b(&g);
+  Output x = ops::Placeholder(&b, DataType::kFloat, TensorShape({4}), "x");
+  Output r = ops::Relu(&b, x);
+  Output y = ops::Neg(&b, r);
+  ASSERT_TRUE(b.ok()) << b.status();
+
+  Result<int> fused =
+      FuseElementwiseChains(&g, {r.name(), y.name()});
+  ASSERT_TRUE(fused.ok()) << fused.status();
+  EXPECT_EQ(fused.value(), 0);
+  EXPECT_EQ(CountOp(g, "_FusedElementwise"), 0);
+  EXPECT_EQ(CountOp(g, "Relu"), 1);
+  EXPECT_EQ(CountOp(g, "Neg"), 1);
+}
+
+TEST(FusionPassTest, RefusesNodesWithControlEdges) {
+  Graph g;
+  GraphBuilder b(&g);
+  Output x = ops::Placeholder(&b, DataType::kFloat, TensorShape({4}), "x");
+  Output other = Const(&b, 1.0f);
+  // Relu carries a control input: its execution order is observable, so it
+  // must keep its own dispatch.
+  Output r = b.Op("Relu")
+                 .Input(x)
+                 .Attr("T", DataType::kFloat)
+                 .ControlInput(other.node)
+                 .Finalize();
+  Output y = ops::Neg(&b, ops::Square(&b, r));
+  ASSERT_TRUE(b.ok()) << b.status();
+
+  Result<int> fused = FuseElementwiseChains(&g, {y.name()});
+  ASSERT_TRUE(fused.ok()) << fused.status();
+  // Only [Square] remains as a candidate head; Neg is preserved — nothing
+  // reaches the length-2 minimum... except Square->Neg? Neg is preserved,
+  // so no chain forms at all.
+  EXPECT_EQ(CountOp(g, "Relu"), 1);
+  for (Node* n : g.nodes()) {
+    if (n->op() == "_FusedElementwise") {
+      const auto& names = n->GetAttr("ops").string_list();
+      for (const std::string& op : names) EXPECT_NE(op, "Relu");
+    }
+  }
+}
+
+TEST(FusionPassTest, RefusesRefReaders) {
+  Graph g;
+  GraphBuilder b(&g);
+  Output v = ops::Variable(&b, DataType::kFloat, TensorShape({4}), "v");
+  Output init = ops::Assign(&b, v, Const(&b, Tensor::FromVector<float>(
+                                                 {1, 2, 3, 4},
+                                                 TensorShape({4}))));
+  ops::Group(&b, {init}, "init");
+  // Mul reads the variable's ref output directly: the read must keep its
+  // own dispatch point, so Mul can never join a chain.
+  Output m = ops::Mul(&b, v, Const(&b, 2.0f));
+  Output y = ops::Neg(&b, ops::Square(&b, m));
+  ASSERT_TRUE(b.ok()) << b.status();
+
+  Result<int> fused = FuseElementwiseChains(&g, {y.name()});
+  ASSERT_TRUE(fused.ok()) << fused.status();
+  EXPECT_EQ(CountOp(g, "Mul"), 1);
+  Node* fused_node = FindOp(g, "_FusedElementwise");
+  if (fused_node != nullptr) {
+    for (const std::string& op : fused_node->GetAttr("ops").string_list()) {
+      EXPECT_NE(op, "Mul");
+    }
+  }
+}
+
+TEST(FusionPassTest, RefusesMultiConsumerInterior) {
+  Graph g;
+  GraphBuilder b(&g);
+  Output x = ops::Placeholder(&b, DataType::kFloat, TensorShape({4}), "x");
+  Output u = ops::Relu(&b, x);
+  Output m1 = ops::Neg(&b, u);
+  Output m2 = ops::Square(&b, u);
+  ASSERT_TRUE(b.ok()) << b.status();
+
+  Result<int> fused = FuseElementwiseChains(&g, {m1.name(), m2.name()});
+  ASSERT_TRUE(fused.ok()) << fused.status();
+  // u has two consumers, so it cannot be an interior member; m1/m2 are
+  // preserved — no chain of length >= 2 exists.
+  EXPECT_EQ(fused.value(), 0);
+  EXPECT_EQ(CountOp(g, "_FusedElementwise"), 0);
+}
+
+TEST(FusionPassTest, RefusesCrossDeviceChains) {
+  Graph g;
+  GraphBuilder b(&g);
+  Output x = ops::Placeholder(&b, DataType::kFloat, TensorShape({4}), "x");
+  Output n0;
+  {
+    GraphBuilder::DeviceScope scope(&b, "/device:CPU:0");
+    n0 = ops::Neg(&b, x);
+  }
+  Output r1, s1;
+  {
+    GraphBuilder::DeviceScope scope(&b, "/device:CPU:1");
+    r1 = ops::Relu(&b, n0);
+    s1 = ops::Square(&b, r1);
+  }
+  ASSERT_TRUE(b.ok()) << b.status();
+
+  Result<int> fused = FuseElementwiseChains(&g, {s1.name()});
+  ASSERT_TRUE(fused.ok()) << fused.status();
+  // The device boundary splits the chain: Neg stays standalone, and the
+  // CPU:1 pair [Relu] alone (Square preserved) is below the minimum.
+  EXPECT_EQ(fused.value(), 0);
+  EXPECT_EQ(CountOp(g, "Neg"), 1);
+  EXPECT_EQ(CountOp(g, "Relu"), 1);
+}
+
+TEST(OptimizeGraphTest, TwoRoundFixedPointExposesFusion) {
+  // Round 1: nothing fuses (u has two consumers, k1/k2 are fold
+  // candidates), folding turns k1/k2 into equal consts. Round 2: CSE
+  // merges the folded consts, then merges m1/m2, leaving u with a single
+  // consumer — and fusion collapses [u, m]. A single-round pipeline never
+  // finds the chain.
+  auto build = [](Graph* g) {
+    GraphBuilder b(g);
+    Output x = ops::Placeholder(&b, DataType::kFloat, TensorShape({4}), "x");
+    Output u = ops::Relu(&b, x);
+    Output k1 = ops::Add(&b, Const(&b, 1.0f), Const(&b, 2.0f));
+    Output k2 = ops::Mul(&b, Const(&b, 1.5f), Const(&b, 2.0f));
+    Output m1 = ops::Mul(&b, u, k1);
+    Output m2 = ops::Mul(&b, u, k2);
+    ASSERT_TRUE(b.ok()) << b.status();
+    Status s = RewriteGraphForExecution(g, {"x"}, {m1.name(), m2.name()}, {});
+    ASSERT_TRUE(s.ok()) << s;
+  };
+
+  ThreadPool pool("test", 1);
+  std::unique_ptr<Device> device = NewCpuDevice("test", 0, 0, &pool);
+
+  Graph single_round;
+  build(&single_round);
+  OptimizerOptions one;
+  one.max_folding_passes = 1;
+  ASSERT_TRUE(OptimizeGraph(&single_round, device.get(), one).ok());
+  EXPECT_EQ(CountOp(single_round, "_FusedElementwise"), 0);
+
+  Graph multi_round;
+  build(&multi_round);
+  OptimizerOptions many;  // default max_folding_passes = 3
+  ASSERT_TRUE(OptimizeGraph(&multi_round, device.get(), many).ok());
+  EXPECT_EQ(CountOp(multi_round, "_FusedElementwise"), 1);
+
+  // And the rewrite is invisible to execution.
+  Graph g;
+  GraphBuilder b(&g);
+  Output x = ops::Placeholder(&b, DataType::kFloat, TensorShape({4}), "x");
+  Output u = ops::Relu(&b, x);
+  Output k1 = ops::Add(&b, Const(&b, 1.0f), Const(&b, 2.0f));
+  Output k2 = ops::Mul(&b, Const(&b, 1.5f), Const(&b, 2.0f));
+  Output m1 = ops::Mul(&b, u, k1);
+  Output m2 = ops::Mul(&b, u, k2);
+  ASSERT_TRUE(b.ok()) << b.status();
+  Tensor xv =
+      Tensor::FromVector<float>({-1, 0, 2, 3.5f}, TensorShape({4}));
+  std::vector<Tensor> off =
+      RunSession(g, false, {{"x", xv}}, {m1.name(), m2.name()});
+  std::vector<Tensor> on =
+      RunSession(g, true, {{"x", xv}}, {m1.name(), m2.name()});
+  EXPECT_EQ(TensorBytes(off[0]), TensorBytes(on[0]));
+  EXPECT_EQ(TensorBytes(off[1]), TensorBytes(on[1]));
+}
+
+TEST(CseTest, ConstContentBeyondDebugTruncationNotMerged) {
+  // AttrValue::DebugString truncates tensor content to a few elements; two
+  // consts agreeing on the printed prefix but differing later must not
+  // merge (the signature hashes the exact bytes).
+  Graph g;
+  GraphBuilder b(&g);
+  Output c1 = Const(&b, Tensor::FromVector<float>({1, 2, 3, 4, 5, 6},
+                                                  TensorShape({6})));
+  Output c2 = Const(&b, Tensor::FromVector<float>({1, 2, 3, 4, 5, 99},
+                                                  TensorShape({6})));
+  Output a1 = ops::Neg(&b, c1);
+  Output a2 = ops::Neg(&b, c2);
+  ASSERT_TRUE(b.ok()) << b.status();
+
+  EliminateCommonSubexpressions(&g, {a1.name(), a2.name()});
+  EXPECT_EQ(CountOp(g, "Const"), 2);
+  EXPECT_EQ(CountOp(g, "Neg"), 2);
+
+  std::vector<Tensor> out = RunSession(g, true, {}, {a1.name(), a2.name()});
+  EXPECT_NE(TensorBytes(out[0]), TensorBytes(out[1]));
+}
+
+TEST(CseTest, PlaceholdersNeverMerge) {
+  // Two placeholders with identical attrs stand for different external
+  // inputs; CSE must not canonicalize one onto the other.
+  Graph g;
+  GraphBuilder b(&g);
+  Output x = ops::Placeholder(&b, DataType::kFloat, TensorShape(), "x");
+  Output y = ops::Placeholder(&b, DataType::kFloat, TensorShape(), "y");
+  Output d = ops::Sub(&b, x, y);
+  ASSERT_TRUE(b.ok()) << b.status();
+
+  EliminateCommonSubexpressions(&g, {d.name()});
+  EXPECT_EQ(CountOp(g, "Placeholder"), 2);
+
+  std::vector<Tensor> out = RunSession(
+      g, true,
+      {{"x", Tensor::Scalar(5.0f)}, {"y", Tensor::Scalar(2.0f)}},
+      {d.name()});
+  EXPECT_EQ(out[0].data<float>()[0], 3.0f);
+}
+
+TEST(DeadNodeTest, RemovesOrphansKeepsStatefulAndPreserved) {
+  Graph g;
+  GraphBuilder b(&g);
+  Output live = ops::Neg(&b, Const(&b, 1.0f));
+  // Orphan expression: consumed by nothing, reaches nothing stateful.
+  Output dead = ops::Square(&b, ops::Add(&b, Const(&b, 2.0f),
+                                         Const(&b, 3.0f)));
+  (void)dead;
+  // A variable (stateful) with its initializer must survive even though
+  // nothing fetches it.
+  Output v = ops::Variable(&b, DataType::kFloat, TensorShape(), "v");
+  Output init = ops::Assign(&b, v, Const(&b, 7.0f));
+  (void)init;
+  ASSERT_TRUE(b.ok()) << b.status();
+
+  int removed = RemoveDeadNodes(&g, {live.name()});
+  EXPECT_GE(removed, 3);  // dead Square, Add and their consts
+  EXPECT_EQ(CountOp(g, "Square"), 0);
+  EXPECT_EQ(CountOp(g, "Add"), 0);
+  EXPECT_EQ(CountOp(g, "Neg"), 1);
+  EXPECT_EQ(CountOp(g, "Variable"), 1);
+  EXPECT_EQ(CountOp(g, "Assign"), 1);
+}
+
+TEST(DeadNodeTest, NoRootsMeansNoRemoval) {
+  // A bare expression graph without stateful nodes or a preserve set must
+  // not be erased wholesale.
+  Graph g;
+  GraphBuilder b(&g);
+  Output y = ops::Neg(&b, Const(&b, 1.0f));
+  (void)y;
+  ASSERT_TRUE(b.ok()) << b.status();
+  EXPECT_EQ(RemoveDeadNodes(&g, {}), 0);
+  EXPECT_EQ(g.num_nodes(), 2);
+}
+
+TEST(OptimizeGraphTest, EnvKillSwitchDisablesTier) {
+  Graph g;
+  GraphBuilder b(&g);
+  Output x = ops::Placeholder(&b, DataType::kFloat, TensorShape({4}), "x");
+  Output y = ops::Neg(&b, ops::Relu(&b, ops::Tanh(&b, x)));
+  (void)y;
+  ASSERT_TRUE(b.ok()) << b.status();
+  Status s = RewriteGraphForExecution(&g, {"x"}, {y.name()}, {});
+  ASSERT_TRUE(s.ok()) << s;
+
+  ThreadPool pool("test", 1);
+  std::unique_ptr<Device> device = NewCpuDevice("test", 0, 0, &pool);
+  setenv("TFREPRO_OPTIMIZER", "off", 1);
+  ASSERT_TRUE(OptimizeGraph(&g, device.get(), OptimizerOptions()).ok());
+  unsetenv("TFREPRO_OPTIMIZER");
+  EXPECT_EQ(CountOp(g, "_FusedElementwise"), 0);
+  EXPECT_EQ(CountOp(g, "Tanh"), 1);
+
+  ASSERT_TRUE(OptimizeGraph(&g, device.get(), OptimizerOptions()).ok());
+  EXPECT_EQ(CountOp(g, "_FusedElementwise"), 1);
+}
+
+}  // namespace
+}  // namespace tfrepro

@@ -270,6 +270,9 @@ TEST(TracingTest, InjectedFaultAppearsInEventsAndTrace) {
   MasterSession::Options options;
   options.max_step_retries = 2;
   options.restart_failed_tasks = true;
+  // Constant folding would evaluate this all-const graph at compile time
+  // and task:0 would never see the dispatch this test kills.
+  options.optimizer.enable = false;
   auto session =
       MasterSession::Create(g, cluster.value().get(), options);
   ASSERT_TRUE(session.ok());
