@@ -1,0 +1,286 @@
+// Closed-loop input-pipeline benchmark (Figure 1's motivation measured):
+// the same input-bound training step driven three ways —
+//
+//   feed_dict    — the client thread fetches and parses records inline one
+//     element at a time, stacks the batch, and feeds it per step: the
+//     pre-pipeline input path, every record latency paid serially;
+//   pipeline     — the identical records flow through the in-graph chain
+//     RecordFile -> Repeat -> ParallelMap -> Batch -> Prefetch ->
+//     IteratorGetNext, so record fetches overlap each other and the step;
+//   data_service_workers_N — one shared data-service task hosts the
+//     pipeline and N sessions pull their round-robin shares over the rpc
+//     transport, each record fetched and parsed exactly once overall.
+//
+// The workload is input-bound on purpose: parse_example_remote emulates
+// the remote-storage read latency the paper's workers pay per record (a
+// clock wait, not CPU), so pipeline/feed_dict measures input-path overlap
+// and holds on any core count. scripts/check.sh --input-only gates that
+// ratio at >= 2x and tracks regressions against BENCH_input.json.
+//
+//   bench_input [--seconds S] [--batch B] [--parallelism P] [--records N]
+//               [--json PATH]
+
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_json.h"
+#include "data/dataset.h"
+#include "distributed/data_service.h"
+#include "graph/ops.h"
+#include "runtime/session.h"
+#include "train/optimizer.h"
+
+namespace tfrepro {
+namespace {
+
+constexpr int kDim = 32;
+constexpr int kClasses = 3;
+
+// The model under all three input paths: softmax regression, small enough
+// that the step itself is cheap and input dominates.
+void BuildModel(GraphBuilder* b, Output x, Output y, std::string* init_name,
+                std::string* step_name) {
+  Output w =
+      ops::Variable(b, DataType::kFloat, TensorShape({kDim, kClasses}), "w");
+  Output bias =
+      ops::Variable(b, DataType::kFloat, TensorShape({kClasses}), "bias");
+  std::vector<float> zeros(static_cast<size_t>(kDim) * kClasses, 0.0f);
+  Output init = Output(
+      ops::Group(
+          b,
+          {ops::Assign(b, w,
+                       ops::Const(b, Tensor::FromVector<float>(
+                                         zeros, TensorShape({kDim, kClasses})))),
+           ops::Assign(b, bias,
+                       ops::Const(b, Tensor::FromVector<float>(
+                                         std::vector<float>(kClasses, 0.0f),
+                                         TensorShape({kClasses}))))},
+          "init"),
+      0);
+  Output logits = ops::BiasAdd(b, ops::MatMul(b, x, w), bias);
+  Node* xent = ops::SparseSoftmaxCrossEntropyWithLogits(b, logits, y);
+  Output loss = ops::MeanAll(b, Output(xent, 0));
+  train::GradientDescentOptimizer opt(0.05f);
+  Result<Node*> step = opt.Minimize(b, loss, {w, bias}, "train_step");
+  TF_CHECK_OK(step.status());
+  *init_name = init.node->name();
+  *step_name = step.value()->name();
+}
+
+struct ModeResult {
+  int64_t steps = 0;
+  double elapsed_s = 0;
+  double steps_per_s() const { return elapsed_s > 0 ? steps / elapsed_s : 0; }
+  double ms_per_step() const {
+    return steps > 0 ? 1e3 * elapsed_s / steps : 0;
+  }
+};
+
+// Runs `step` closed-loop for `seconds` after a short warmup.
+ModeResult TimeSteps(double seconds, const std::function<void()>& step) {
+  for (int i = 0; i < 2; ++i) step();
+  ModeResult r;
+  const auto start = std::chrono::steady_clock::now();
+  for (;;) {
+    step();
+    ++r.steps;
+    r.elapsed_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+    if (r.elapsed_s >= seconds) return r;
+  }
+}
+
+// feed_dict: sequential read + inline heavy parse + stack, then feed.
+ModeResult RunFeedDict(const std::string& path, int batch, double seconds) {
+  Graph g;
+  GraphBuilder b(&g);
+  Output x = ops::Placeholder(&b, DataType::kFloat,
+                              TensorShape({batch, kDim}), "x");
+  Output y =
+      ops::Placeholder(&b, DataType::kInt64, TensorShape({batch}), "y");
+  std::string init_name, step_name;
+  BuildModel(&b, x, y, &init_name, &step_name);
+  TF_CHECK_OK(b.status());
+  auto session = DirectSession::Create(g);
+  TF_CHECK_OK(session.status());
+  TF_CHECK_OK(session.value()->Run({}, {}, {init_name}, nullptr));
+
+  auto source = data::NewRecordFileDataset({path});
+  TF_CHECK_OK(source.status());
+  auto repeated = data::NewRepeatDataset(source.value(), -1);
+  TF_CHECK_OK(repeated.status());
+  auto it = repeated.value()->MakeIterator();
+  TF_CHECK_OK(it.status());
+  auto heavy = data::MapFnRegistry::Global()->Lookup("parse_example_remote");
+  TF_CHECK_OK(heavy.status());
+
+  return TimeSteps(seconds, [&]() {
+    std::vector<float> features(static_cast<size_t>(batch) * kDim);
+    std::vector<int64_t> labels(batch);
+    data::IteratorContext ictx;
+    for (int i = 0; i < batch; ++i) {
+      data::Element raw, parsed;
+      bool eos = false;
+      TF_CHECK_OK(it.value()->GetNext(&ictx, &raw, &eos));
+      TF_CHECK_OK(heavy.value()(raw, &parsed));
+      std::memcpy(features.data() + static_cast<size_t>(i) * kDim,
+                  parsed[0].data<float>(), sizeof(float) * kDim);
+      labels[i] = parsed[1].data<int64_t>()[0];
+    }
+    TF_CHECK_OK(session.value()->Run(
+        {{"x", Tensor::FromVector<float>(features,
+                                         TensorShape({batch, kDim}))},
+         {"y", Tensor::FromVector<int64_t>(labels, TensorShape({batch}))}},
+        {}, {step_name}, nullptr));
+  });
+}
+
+// pipeline: the same records through the in-graph dataset chain.
+ModeResult RunPipeline(const std::string& path, int batch, int parallelism,
+                       double seconds) {
+  Graph g;
+  GraphBuilder b(&g);
+  Output p = ops::RecordFileDataset(&b, {path});
+  p = ops::RepeatDataset(&b, p, -1);
+  p = ops::ParallelMapDataset(&b, p, "parse_example_remote", parallelism,
+                              {DataType::kFloat, DataType::kInt64});
+  p = ops::BatchDataset(&b, p, batch, /*drop_remainder=*/true);
+  p = ops::PrefetchDataset(&b, p, 4);
+  std::vector<Output> next = ops::IteratorGetNext(
+      &b, p, {DataType::kFloat, DataType::kInt64}, "input");
+  std::string init_name, step_name;
+  BuildModel(&b, next[0], next[1], &init_name, &step_name);
+  TF_CHECK_OK(b.status());
+  auto session = DirectSession::Create(g);
+  TF_CHECK_OK(session.status());
+  TF_CHECK_OK(session.value()->Run({}, {}, {init_name}, nullptr));
+  return TimeSteps(seconds, [&]() {
+    TF_CHECK_OK(session.value()->Run({}, {}, {step_name}, nullptr));
+  });
+}
+
+// data service: one shared pipeline task, `workers` pulling sessions.
+ModeResult RunDataService(const std::string& path, int batch, int parallelism,
+                          int workers, double seconds) {
+  auto factory = distributed::RecordPipelineFactory(
+      {path}, "parse_example_remote", parallelism,
+      {DataType::kFloat, DataType::kInt64}, /*repeat=*/-1,
+      /*shuffle_buffer=*/0, /*seed=*/0);
+  TF_CHECK_OK(factory.status());
+  distributed::DataServiceHandler::Options options;
+  options.num_consumers = workers;
+  distributed::DataServiceServer server(factory.value(), options);
+  TF_CHECK_OK(server.Start(0));
+
+  std::atomic<bool> stop{false};
+  std::vector<int64_t> steps(workers, 0);
+  std::vector<std::thread> threads;
+  const auto start = std::chrono::steady_clock::now();
+  for (int c = 0; c < workers; ++c) {
+    threads.emplace_back([&, c]() {
+      Graph g;
+      GraphBuilder b(&g);
+      Output p = ops::DataServiceDataset(&b, server.port(), c, workers,
+                                         {DataType::kFloat, DataType::kInt64});
+      p = ops::BatchDataset(&b, p, batch, /*drop_remainder=*/true);
+      std::vector<Output> next = ops::IteratorGetNext(
+          &b, p, {DataType::kFloat, DataType::kInt64}, "input");
+      std::string init_name, step_name;
+      BuildModel(&b, next[0], next[1], &init_name, &step_name);
+      TF_CHECK_OK(b.status());
+      auto session = DirectSession::Create(g);
+      TF_CHECK_OK(session.status());
+      TF_CHECK_OK(session.value()->Run({}, {}, {init_name}, nullptr));
+      for (int i = 0; i < 2; ++i) {  // warmup
+        TF_CHECK_OK(session.value()->Run({}, {}, {step_name}, nullptr));
+      }
+      while (!stop.load(std::memory_order_relaxed)) {
+        TF_CHECK_OK(session.value()->Run({}, {}, {step_name}, nullptr));
+        ++steps[c];
+      }
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+  stop.store(true);
+  for (std::thread& t : threads) t.join();
+  ModeResult r;
+  r.elapsed_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  for (int64_t s : steps) r.steps += s;
+  server.Shutdown();
+  return r;
+}
+
+}  // namespace
+}  // namespace tfrepro
+
+int main(int argc, char** argv) {
+  using namespace tfrepro;
+
+  bench::BenchReport report("input", &argc, argv);
+  double seconds = 1.5;
+  int batch = 32;
+  int parallelism = 8;
+  int records = 4096;
+  for (int i = 1; i < argc; ++i) {
+    auto flag = [&](const char* name) {
+      return std::strcmp(argv[i], name) == 0 && i + 1 < argc;
+    };
+    if (flag("--seconds")) {
+      seconds = std::atof(argv[++i]);
+    } else if (flag("--batch")) {
+      batch = std::atoi(argv[++i]);
+    } else if (flag("--parallelism")) {
+      parallelism = std::atoi(argv[++i]);
+    } else if (flag("--records")) {
+      records = std::atoi(argv[++i]);
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
+      return 2;
+    }
+  }
+
+  const std::string path =
+      "/tmp/bench_input_records_" + std::to_string(::getpid());
+  TF_CHECK_OK(data::WriteClusteredRecordFile(path, records, kClasses, kDim,
+                                             /*seed=*/7));
+  std::printf("input bench: %d records, batch=%d, parallelism=%d, %.1fs per "
+              "mode\n",
+              records, batch, parallelism, seconds);
+  std::printf("%-24s %12s %12s\n", "mode", "steps/s", "ms/step");
+
+  auto row = [&](const std::string& name, const ModeResult& r,
+                 std::map<std::string, double> extras) {
+    std::printf("%-24s %12.1f %12.3f\n", name.c_str(), r.steps_per_s(),
+                r.ms_per_step());
+    extras["batch"] = batch;
+    extras["steps"] = static_cast<double>(r.steps);
+    report.Add(name, r.ms_per_step(), r.steps_per_s(), std::move(extras));
+  };
+
+  ModeResult feed = RunFeedDict(path, batch, seconds);
+  row("feed_dict", feed, {});
+  ModeResult pipe = RunPipeline(path, batch, parallelism, seconds);
+  row("pipeline", pipe, {{"parallelism", static_cast<double>(parallelism)}});
+  for (int workers = 1; workers <= 3; ++workers) {
+    ModeResult svc = RunDataService(path, batch, parallelism, workers, seconds);
+    row("data_service_workers_" + std::to_string(workers), svc,
+        {{"workers", static_cast<double>(workers)},
+         {"parallelism", static_cast<double>(parallelism)}});
+  }
+
+  std::printf("pipeline/feed_dict throughput: %.2fx\n",
+              pipe.steps_per_s() / feed.steps_per_s());
+  std::remove(path.c_str());
+  return report.WriteIfRequested();
+}

@@ -3,6 +3,13 @@
 // tasks, first asynchronously (Figure 4a), then synchronously through the
 // queue-based coordination of §4.4 (Figure 4b).
 //
+// Input arrives through the shared data service, not per-step feed dicts:
+// one pipeline task in this process reads and preprocesses a record file
+// exactly once, and each worker's graph pulls its round-robin share via
+// DataServiceDataset -> Batch -> IteratorGetNext. Identity nodes keep the
+// names x<wk>/y<wk> feedable, so evaluation and tracing can still
+// substitute a fixed batch through the feed rewrite.
+//
 //   $ ./distributed_training
 //   $ ./distributed_training --trace-out /tmp/step  # step profiling
 //   $ ./distributed_training --profile-out /tmp/profile.json  # sampling
@@ -21,15 +28,20 @@
 // spawns one worker_main process per task, and traced steps stitch every
 // process onto one timeline).
 
+#include <unistd.h>
+
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <string>
 #include <thread>
 
 #include "core/metrics.h"
+#include "data/dataset.h"
 #include "data/synthetic.h"
+#include "distributed/data_service.h"
 #include "distributed/master.h"
 #include "graph/ops.h"
 #include "nn/layers.h"
@@ -70,6 +82,26 @@ int main(int argc, char** argv) {
   TF_CHECK_OK(cluster.status());
   std::printf("cluster: 2 PS tasks, %d workers\n\n", kWorkers);
 
+  // The shared input pipeline: write the training set once, then serve it
+  // from a single data-service task. Every record is read and parsed
+  // exactly once no matter how many workers pull.
+  const std::string records_path =
+      "/tmp/distributed_training_records_" + std::to_string(::getpid());
+  TF_CHECK_OK(data::WriteClusteredRecordFile(
+      records_path, /*count=*/8 * kWorkers * kBatch, kClasses, kFeatureDim,
+      /*seed=*/31));
+  auto pipeline = distributed::RecordPipelineFactory(
+      {records_path}, "parse_example", /*parallelism=*/4,
+      {DataType::kFloat, DataType::kInt64}, /*repeat=*/-1,
+      /*shuffle_buffer=*/0, /*seed=*/0);
+  TF_CHECK_OK(pipeline.status());
+  distributed::DataServiceHandler::Options data_options;
+  data_options.num_consumers = kWorkers;
+  distributed::DataServiceServer data_service(pipeline.value(), data_options);
+  TF_CHECK_OK(data_service.Start(0));
+  std::printf("data service: port %d serving %s to %d consumers\n\n",
+              data_service.port(), records_path.c_str(), kWorkers);
+
   // --profile-out turns the sampling profiler on: every Nth Run is traced
   // and folded into each session's ProfileStore. The env var still wins
   // when set, so the check.sh smoke can tighten the cadence.
@@ -100,18 +132,31 @@ int main(int argc, char** argv) {
     bias = store.ZeroVariable("bias", TensorShape({kClasses}));
   }
 
-  // One replica of the model per worker, each reading its own feeds.
+  // One replica of the model per worker, each pulling its own share of the
+  // data service (consumer wk of kWorkers). The named Identity nodes keep
+  // x<wk>/y<wk> feedable for evaluation and tracing.
   std::vector<Node*> async_steps;
   std::vector<Output> losses;
   train::GradientDescentOptimizer async_opt(0.1f);
   for (int wk = 0; wk < kWorkers; ++wk) {
     GraphBuilder::DeviceScope scope(&b,
                                     "/job:worker/task:" + std::to_string(wk));
-    Output x = ops::Placeholder(&b, DataType::kFloat,
-                                TensorShape({kBatch, kFeatureDim}),
-                                "x" + std::to_string(wk));
-    Output y = ops::Placeholder(&b, DataType::kInt64, TensorShape({kBatch}),
-                                "y" + std::to_string(wk));
+    Output ds = ops::DataServiceDataset(&b, data_service.port(), wk, kWorkers,
+                                        {DataType::kFloat, DataType::kInt64});
+    ds = ops::BatchDataset(&b, ds, kBatch, /*drop_remainder=*/true);
+    std::vector<Output> next = ops::IteratorGetNext(
+        &b, ds, {DataType::kFloat, DataType::kInt64},
+        "input" + std::to_string(wk));
+    Output x = b.Op("Identity")
+                   .Name("x" + std::to_string(wk))
+                   .Input(next[0])
+                   .Attr("T", BaseType(next[0].dtype()))
+                   .Finalize();
+    Output y = b.Op("Identity")
+                   .Name("y" + std::to_string(wk))
+                   .Input(next[1])
+                   .Attr("T", BaseType(next[1].dtype()))
+                   .Finalize();
     Output logits = ops::BiasAdd(&b, ops::MatMul(&b, x, w1), bias);
     Node* xent = ops::SparseSoftmaxCrossEntropyWithLogits(&b, logits, y);
     Output loss = ops::MeanAll(&b, Output(xent, 0));
@@ -131,17 +176,13 @@ int main(int argc, char** argv) {
   TF_CHECK_OK(sess->Run({}, {}, {init->name()}, nullptr));
 
   data::ClusteredDataset dataset(kClasses, kFeatureDim, 31);
-  std::printf("asynchronous training, %d workers:\n", kWorkers);
+  std::printf("asynchronous training, %d workers (data-service input):\n",
+              kWorkers);
   std::vector<std::thread> threads;
   for (int wk = 0; wk < kWorkers; ++wk) {
     threads.emplace_back([&, wk]() {
-      data::ClusteredDataset local(kClasses, kFeatureDim, 31);  // same task
       for (int step = 0; step < 60; ++step) {
-        Tensor features, labels;
-        local.Batch(kBatch, &features, &labels);
-        TF_CHECK_OK(sess->Run({{"x" + std::to_string(wk), features},
-                               {"y" + std::to_string(wk), labels}},
-                              {}, {async_steps[wk]->name()}, nullptr));
+        TF_CHECK_OK(sess->Run({}, {}, {async_steps[wk]->name()}, nullptr));
       }
     });
   }
@@ -189,13 +230,8 @@ int main(int argc, char** argv) {
   std::vector<std::thread> sync_threads;
   for (int wk = 0; wk < kWorkers; ++wk) {
     sync_threads.emplace_back([&, wk]() {
-      data::ClusteredDataset local(kClasses, kFeatureDim, 31);
       for (int step = 0; step < kSyncRounds; ++step) {
-        Tensor features, labels;
-        local.Batch(kBatch, &features, &labels);
-        TF_CHECK_OK(sess2->Run({{"x" + std::to_string(wk), features},
-                                {"y" + std::to_string(wk), labels}},
-                               {}, {sync_steps[wk]->name()}, nullptr));
+        TF_CHECK_OK(sess2->Run({}, {}, {sync_steps[wk]->name()}, nullptr));
       }
     });
   }
@@ -222,11 +258,9 @@ int main(int argc, char** argv) {
     RunOptions run_options;
     run_options.trace = true;
 
-    Tensor features, labels;
-    dataset.Batch(kBatch, &features, &labels);
     RunMetadata async_meta;
-    TF_CHECK_OK(sess->Run(run_options, {{"x0", features}, {"y0", labels}}, {},
-                          {async_steps[0]->name()}, nullptr, &async_meta));
+    TF_CHECK_OK(sess->Run(run_options, {}, {}, {async_steps[0]->name()},
+                          nullptr, &async_meta));
     std::string async_path = trace_prefix + "_async.trace.json";
     TF_CHECK_OK(async_meta.step_stats.WriteChromeTrace(async_path));
     std::printf("wrote %s (%zu node events, %zu transfers)\n",
@@ -237,12 +271,7 @@ int main(int argc, char** argv) {
     std::vector<std::thread> traced_workers;
     for (int wk = 0; wk < kWorkers; ++wk) {
       traced_workers.emplace_back([&, wk]() {
-        data::ClusteredDataset local(kClasses, kFeatureDim, 31);
-        Tensor f, l;
-        local.Batch(kBatch, &f, &l);
-        TF_CHECK_OK(sess2->Run({{"x" + std::to_string(wk), f},
-                                {"y" + std::to_string(wk), l}},
-                               {}, {sync_steps[wk]->name()}, nullptr));
+        TF_CHECK_OK(sess2->Run({}, {}, {sync_steps[wk]->name()}, nullptr));
       });
     }
     TF_CHECK_OK(sess2->Run(run_options, {}, {}, {chief.value()->name()},
@@ -272,6 +301,8 @@ int main(int argc, char** argv) {
                 static_cast<long long>(merged.steps()),
                 merged.Entries().size());
   }
+  data_service.Shutdown();
+  std::remove(records_path.c_str());
   std::printf("done.\n");
   return 0;
 }

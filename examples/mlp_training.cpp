@@ -6,6 +6,13 @@
 //
 //   $ ./mlp_training --steps 50 --loss-out /tmp/losses.txt
 //
+// Input arrives through a dataset pipeline, not a feed dict (Figure 1):
+// the 8 training rows are written to a record file at startup and read
+// back via RecordFile -> Repeat -> ParallelMap(parse) -> Batch -> Prefetch
+// -> IteratorGetNext inside the graph. With all 8 rows in every batch and
+// no shuffle, each step sees identical input, so the loss file stays
+// byte-deterministic.
+//
 // Reproducibility requires care with the relaxed read consistency of
 // variables (§4.3): MatMul's gradient re-reads the weight operand, and
 // ApplyGradientDescent mutates the weight buffer in place, so a backward
@@ -14,12 +21,16 @@
 // applies — every gradient finishes before any weight changes, the
 // synchronous-update discipline from §4.4 in miniature.
 
+#include <unistd.h>
+
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <random>
 #include <vector>
 
+#include "data/dataset.h"
+#include "data/record_file.h"
 #include "graph/ops.h"
 #include "runtime/session.h"
 #include "train/optimizer.h"
@@ -35,6 +46,25 @@ Tensor FixedMat(uint32_t seed, int rows, int cols, float scale) {
   std::vector<float> vals(static_cast<size_t>(rows) * cols);
   for (float& v : vals) v = dist(rng);
   return Tensor::FromVector<float>(vals, TensorShape({rows, cols}));
+}
+
+// Writes the fixed training set as one record per row: features hold the
+// 4 x-values followed by the y-value (label field unused). parse_example
+// recovers them as a [5] float tensor; the graph slices x and y back out.
+std::string WriteTrainingRecords() {
+  Tensor x = FixedMat(1, 8, 4, 1.0f);
+  Tensor y = FixedMat(2, 8, 1, 1.0f);
+  std::string path =
+      "/tmp/mlp_training_records_" + std::to_string(::getpid());
+  data::RecordWriter writer(path);
+  for (int row = 0; row < 8; ++row) {
+    float packed[5];
+    for (int c = 0; c < 4; ++c) packed[c] = x.matrix<float>(row, c);
+    packed[4] = y.matrix<float>(row, 0);
+    TF_CHECK_OK(writer.Append(data::EncodeExample(packed, 5, /*label=*/0)));
+  }
+  TF_CHECK_OK(writer.Close());
+  return path;
 }
 
 }  // namespace
@@ -54,11 +84,22 @@ int main(int argc, char** argv) {
     }
   }
 
+  const std::string records = WriteTrainingRecords();
+
   // Forward: x[8,4] -> Relu(x.W1)[8,8] -> h.W2[8,1], squared loss vs y.
+  // x and y come off the input pipeline: every batch holds all 8 rows.
   Graph graph;
   GraphBuilder b(&graph);
-  Output x = ops::Const(&b, FixedMat(1, 8, 4, 1.0f), "x");
-  Output y = ops::Const(&b, FixedMat(2, 8, 1, 1.0f), "y");
+  Output pipeline = ops::RecordFileDataset(&b, {records});
+  pipeline = ops::RepeatDataset(&b, pipeline, -1);
+  pipeline = ops::ParallelMapDataset(&b, pipeline, "parse_example", 2,
+                                     {DataType::kFloat, DataType::kInt64});
+  pipeline = ops::BatchDataset(&b, pipeline, 8);
+  pipeline = ops::PrefetchDataset(&b, pipeline, 2);
+  std::vector<Output> next = ops::IteratorGetNext(
+      &b, pipeline, {DataType::kFloat, DataType::kInt64}, "input");
+  Output x = ops::Slice(&b, next[0], {0, 0}, {8, 4});
+  Output y = ops::Slice(&b, next[0], {0, 4}, {8, 1});
   Output w1 = ops::Variable(&b, DataType::kFloat, TensorShape({4, 8}), "w1");
   Output w2 = ops::Variable(&b, DataType::kFloat, TensorShape({8, 1}), "w2");
   Output init = Output(
@@ -118,5 +159,6 @@ int main(int argc, char** argv) {
     }
   }
   if (out != nullptr) std::fclose(out);
+  std::remove(records.c_str());
   return 0;
 }

@@ -3,12 +3,13 @@
 # tests (DESIGN.md §8, §9) and a bench smoke against the committed
 # hot-path baseline.
 #
-#   scripts/check.sh              # full: tier-1 build+ctest, socket subset, TSan subset, bench + profiler + optimizer smoke
+#   scripts/check.sh              # full: tier-1 build+ctest, socket subset, TSan subset, bench + profiler + optimizer + input smoke
 #   scripts/check.sh --tsan-only
 #   scripts/check.sh --bench-only
 #   scripts/check.sh --socket-only
 #   scripts/check.sh --profiler-only
 #   scripts/check.sh --optimizer-only
+#   scripts/check.sh --input-only
 #
 # The TSan build lives in build-tsan/ so it never pollutes the regular
 # build/ tree.
@@ -19,7 +20,8 @@ cd "$(dirname "$0")/.."
 JOBS="$(nproc)"
 TSAN_TESTS=(metrics_test tracing_test fault_tolerance_test queue_test
             threadpool_test rendezvous_stress_test chaos_test
-            serving_test session_stress_test optimizer_fuzz_test)
+            serving_test session_stress_test optimizer_fuzz_test
+            dataset_test)
 # Three chaos seeds and five fuzz seeds under TSan keep the pass under a
 # few minutes; the full sweeps run in the regular tier-1 ctest.
 declare -A TSAN_FILTER=(
@@ -159,6 +161,42 @@ run_optimizer_smoke() {
   echo "optimizer smoke: $(wc -l < "$on") steps, trajectories identical — ok"
 }
 
+# Input-pipeline smoke (DESIGN.md §14): a fresh bench_input run must hold
+# the tentpole's acceptance ratio — in-graph pipeline throughput >= 2x the
+# feed-dict baseline on the latency-bound workload (the real ratio runs
+# ~5-7x; 2x leaves room for CI noise) — and the data-service chaos test
+# must pass under two different kill schedules (TFREPRO_CHAOS_SEED).
+run_input_smoke() {
+  echo "== input smoke: bench_input pipeline >= 2x feed_dict + data-service chaos seeds =="
+  cmake --build build -j "$JOBS" --target bench_input data_service_test
+  local fresh=/tmp/bench_smoke_input.json
+  timeout 120 ./build/bench/bench_input --seconds 1.5 --json "$fresh"
+  python3 - "$fresh" <<'PYEOF'
+import json, sys
+
+fresh = json.load(open(sys.argv[1]))
+
+def rate(name):
+    for r in fresh["results"]:
+        if r["name"] == name:
+            return r["steps_per_s"]
+    raise SystemExit(f"input smoke: {name} missing from results")
+
+pipeline, feed = rate("pipeline"), rate("feed_dict")
+ratio = pipeline / feed
+print(f"input smoke: pipeline {pipeline:.0f} steps/s vs feed_dict "
+      f"{feed:.0f} steps/s ({ratio:.2f}x)")
+if ratio < 2.0:
+    raise SystemExit(f"input smoke FAILED: pipeline < 2x feed_dict ({ratio:.2f}x)")
+print("input smoke: ok")
+PYEOF
+  for seed in 1 2; do
+    echo "-- data_service_test (chaos seed $seed)"
+    TFREPRO_CHAOS_SEED="$seed" timeout 120 ./build/tests/data_service_test \
+        --gtest_filter='DataServiceTest.KillingPipelineTaskMidEpochLosesNothing'
+  done
+}
+
 # Profiler smoke (DESIGN.md §12): run the distributed training example
 # with sampling enabled and check the dumped profile is well-formed —
 # sampled steps were taken and per-node entries aggregated.
@@ -203,6 +241,9 @@ case "${1:-}" in
   --optimizer-only)
     run_optimizer_smoke
     ;;
+  --input-only)
+    run_input_smoke
+    ;;
   *)
     run_tier1
     run_socket
@@ -211,6 +252,7 @@ case "${1:-}" in
     run_serving_bench_smoke
     run_profiler_smoke
     run_optimizer_smoke
+    run_input_smoke
     ;;
 esac
 echo "check.sh: all green"

@@ -21,30 +21,48 @@ Status RecordWriter::Append(const std::string& record) {
   if (closed_) {
     return FailedPrecondition("record writer for '" + path_ + "' is closed");
   }
+  if (broken_) {
+    return DataLoss("record writer for '" + path_ +
+                    "' failed on an earlier write; file may end in a torn "
+                    "record");
+  }
   if (!out_) {
-    return Internal("cannot write to '" + path_ + "'");
+    broken_ = true;
+    return DataLoss("cannot write to '" + path_ + "'");
   }
   int64_t length = static_cast<int64_t>(record.size());
   uint32_t checksum = RecordChecksum(record);
   out_.write(reinterpret_cast<const char*>(&length), sizeof(length));
   out_.write(reinterpret_cast<const char*>(&checksum), sizeof(checksum));
   out_.write(record.data(), static_cast<std::streamsize>(record.size()));
+  // Force buffered bytes toward the fd so ENOSPC-style failures surface on
+  // the Append that caused them, not records later at Close().
+  out_.flush();
   if (!out_) {
-    return Internal("short write to '" + path_ + "'");
+    broken_ = true;
+    return DataLoss("short write to '" + path_ + "' at record " +
+                    std::to_string(records_));
   }
   ++records_;
   return Status::OK();
 }
 
 Status RecordWriter::Close() {
-  if (!closed_) {
-    out_.flush();
-    out_.close();
-    closed_ = true;
+  if (closed_) {
+    return broken_ ? DataLoss("record file '" + path_ +
+                              "' had a failed write before close")
+                   : Status::OK();
   }
-  return out_.fail() && records_ > 0 ? Internal("close failed for '" + path_ +
-                                                "'")
-                                     : Status::OK();
+  out_.flush();
+  if (out_.fail()) broken_ = true;
+  out_.close();
+  if (out_.fail()) broken_ = true;
+  closed_ = true;
+  if (broken_) {
+    return DataLoss("close failed for '" + path_ +
+                    "'; file may be missing records");
+  }
+  return Status::OK();
 }
 
 RecordReader::RecordReader(const std::string& path)
@@ -59,8 +77,13 @@ Status RecordReader::ReadNext(std::string* record) {
   if (in_.eof() && in_.gcount() == 0) {
     return OutOfRange("end of record file '" + path_ + "'");
   }
-  if (!in_ || in_.gcount() != sizeof(length) || length < 0) {
+  if (!in_ || in_.gcount() != sizeof(length)) {
     return DataLoss("truncated record header in '" + path_ + "'");
+  }
+  if (length < 0 || length > kMaxRecordBytes) {
+    // Reject before allocating: a corrupted length must not drive resize().
+    return DataLoss("corrupt record length " + std::to_string(length) +
+                    " in '" + path_ + "'");
   }
   uint32_t checksum = 0;
   in_.read(reinterpret_cast<char*>(&checksum), sizeof(checksum));

@@ -14,13 +14,23 @@
 namespace tfrepro {
 namespace data {
 
+// Upper bound on a single record's payload. A length prefix above this is
+// treated as corruption (DataLoss) rather than handed to resize() — a
+// flipped header byte must not turn into a multi-gigabyte allocation.
+constexpr int64_t kMaxRecordBytes = int64_t{1} << 30;  // 1 GiB
+
 class RecordWriter {
  public:
   // Truncates/creates `path`.
   explicit RecordWriter(const std::string& path);
 
+  // Appends one record. A failed write (disk full, closed fd) returns
+  // DataLoss and marks the writer broken: the file may now end in a torn
+  // record, so every later Append fails too rather than writing records
+  // after a gap. Failed writes are never counted in records_written().
   Status Append(const std::string& record);
-  // Flushes and closes; further Appends fail.
+  // Flushes and closes; surfaces buffered-write failures that the
+  // ofstream had not yet flushed. Further Appends fail.
   Status Close();
 
   int64_t records_written() const { return records_; }
@@ -30,6 +40,7 @@ class RecordWriter {
   std::string path_;
   int64_t records_ = 0;
   bool closed_ = false;
+  bool broken_ = false;
 };
 
 class RecordReader {
@@ -37,7 +48,8 @@ class RecordReader {
   explicit RecordReader(const std::string& path);
 
   // Reads the next record; OutOfRange at clean end-of-file, DataLoss on a
-  // truncated or corrupted record.
+  // truncated or corrupted record (EOF mid-header or mid-payload, negative
+  // or absurd length, checksum mismatch).
   Status ReadNext(std::string* record);
 
   int64_t records_read() const { return records_; }

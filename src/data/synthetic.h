@@ -38,6 +38,14 @@ class ClusteredDataset {
   PhiloxRandom rng_;
 };
 
+// Philox stream ids owned by the generators in this file. Each generator
+// draws from its own counter stream, so two generators built from the same
+// seed are uncorrelated and a generator's Batch output for a fixed seed is
+// reproducible no matter what other RNG users run in between.
+constexpr uint64_t kClusteredInitStream = 0x636c7573;   // "clus"
+constexpr uint64_t kClusteredBatchStream = 0x636c7462;  // "cltb"
+constexpr uint64_t kZipfStream = 0x7a697066;            // "zipf"
+
 // Synthetic "image" batches: uniform noise in NHWC layout.
 Tensor SyntheticImageBatch(int batch, int height, int width, int channels,
                            PhiloxRandom* rng);

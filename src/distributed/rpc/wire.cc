@@ -81,6 +81,7 @@ const char* MethodName(Method m) {
     case Method::kShutdown: return "Shutdown";
     case Method::kSendTensor: return "SendTensor";
     case Method::kRecvTensor: return "RecvTensor";
+    case Method::kGetElement: return "GetElement";
   }
   return "?";
 }

@@ -44,6 +44,9 @@ enum class Method : uint8_t {
   // Rendezvous hub (worker process -> master).
   kSendTensor = 7,
   kRecvTensor = 8,
+  // Data service (training worker -> shared pipeline task): pull the
+  // element at the caller's cursor (distributed/data_service.h).
+  kGetElement = 9,
 };
 
 const char* MethodName(Method m);

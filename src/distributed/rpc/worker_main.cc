@@ -16,7 +16,10 @@
 #include <memory>
 #include <string>
 
+#include <vector>
+
 #include "core/metrics.h"
+#include "distributed/data_service.h"
 #include "distributed/rpc/worker_service.h"
 
 namespace {
@@ -29,11 +32,29 @@ const char* FlagValue(const char* arg, const char* name) {
              : nullptr;
 }
 
+std::vector<std::string> SplitCommas(const std::string& s) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  while (start <= s.size()) {
+    size_t comma = s.find(',', start);
+    if (comma == std::string::npos) comma = s.size();
+    if (comma > start) out.push_back(s.substr(start, comma - start));
+    start = comma + 1;
+  }
+  return out;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   tfrepro::distributed::rpc::WorkerService::Options options;
   std::string port_file;
+  // --data_files turns this worker into the cluster's shared pipeline task:
+  // it hosts RecordFile -> [Repeat] -> ParallelMap -> [Shuffle] and answers
+  // GetElement on the same RPC port as the worker service.
+  std::string data_files, data_map_fn = "parse_example";
+  int data_parallelism = 4, data_consumers = 1;
+  long long data_repeat = 1, data_shuffle = 0, data_seed = 0;
   for (int i = 1; i < argc; ++i) {
     if (const char* v = FlagValue(argv[i], "job")) {
       options.job = v;
@@ -47,6 +68,20 @@ int main(int argc, char** argv) {
       options.num_threads = std::atoi(v);
     } else if (const char* v = FlagValue(argv[i], "devices")) {
       options.num_devices = std::atoi(v);
+    } else if (const char* v = FlagValue(argv[i], "data_files")) {
+      data_files = v;
+    } else if (const char* v = FlagValue(argv[i], "data_map_fn")) {
+      data_map_fn = v;
+    } else if (const char* v = FlagValue(argv[i], "data_parallelism")) {
+      data_parallelism = std::atoi(v);
+    } else if (const char* v = FlagValue(argv[i], "data_consumers")) {
+      data_consumers = std::atoi(v);
+    } else if (const char* v = FlagValue(argv[i], "data_repeat")) {
+      data_repeat = std::atoll(v);
+    } else if (const char* v = FlagValue(argv[i], "data_shuffle")) {
+      data_shuffle = std::atoll(v);
+    } else if (const char* v = FlagValue(argv[i], "data_seed")) {
+      data_seed = std::atoll(v);
     } else {
       std::fprintf(stderr, "worker_main: unknown flag %s\n", argv[i]);
       return 2;
@@ -60,6 +95,27 @@ int main(int argc, char** argv) {
   }
 
   tfrepro::distributed::rpc::WorkerService service(options);
+  if (!data_files.empty()) {
+    tfrepro::DataTypeVector output_types =
+        data_map_fn == "identity"
+            ? tfrepro::DataTypeVector{tfrepro::DataType::kString}
+            : tfrepro::DataTypeVector{tfrepro::DataType::kFloat,
+                                      tfrepro::DataType::kInt64};
+    auto factory = tfrepro::distributed::RecordPipelineFactory(
+        SplitCommas(data_files), data_map_fn, data_parallelism,
+        std::move(output_types), data_repeat, data_shuffle,
+        static_cast<uint64_t>(data_seed));
+    if (!factory.ok()) {
+      std::fprintf(stderr, "worker_main: %s\n",
+                   factory.status().message().c_str());
+      return 1;
+    }
+    tfrepro::distributed::DataServiceHandler::Options ds_options;
+    ds_options.num_consumers = data_consumers;
+    service.AttachDataService(
+        std::make_shared<tfrepro::distributed::DataServiceHandler>(
+            factory.value(), ds_options));
+  }
   tfrepro::Status started = service.Start(/*port=*/0);
   if (!started.ok()) {
     std::fprintf(stderr, "worker_main: %s\n", started.message().c_str());

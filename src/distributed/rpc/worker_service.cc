@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "core/metrics.h"
+#include "distributed/data_service.h"
 #include "distributed/fault_injector.h"
 #include "graph/graph_io.h"
 
@@ -108,7 +109,14 @@ WorkerService::WorkerService(const Options& options)
               options.num_devices, /*injector=*/nullptr),
       hub_("hub", options.hub_port) {}
 
+void WorkerService::AttachDataService(
+    std::shared_ptr<DataServiceHandler> handler) {
+  data_service_ = std::move(handler);
+}
+
 WorkerService::~WorkerService() {
+  // Unblock reader threads parked in a dataset GetNext before joining them.
+  if (data_service_ != nullptr) data_service_->Cancel();
   server_.Shutdown();
   hub_.Shutdown();
   // Abort whatever steps are still running and wait for their executors to
@@ -168,6 +176,21 @@ Status WorkerService::Start(int port) {
         (void)body;
         responder->Respond(Status::OK(), std::string());
         RequestShutdown();
+      });
+  server_.RegisterHandler(
+      Method::kGetElement,
+      [this](const std::string& body,
+             std::shared_ptr<RpcServer::Responder> responder) {
+        if (data_service_ == nullptr) {
+          responder->Respond(
+              FailedPrecondition("this task hosts no data service"),
+              std::string());
+          return;
+        }
+        data_service_->HandleGetElement(
+            body, [responder](const Status& s, const std::string& resp) {
+              responder->Respond(s, resp);
+            });
       });
   return server_.Start(port);
 }

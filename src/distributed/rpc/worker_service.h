@@ -40,6 +40,9 @@
 
 namespace tfrepro {
 namespace distributed {
+
+class DataServiceHandler;
+
 namespace rpc {
 
 // Per-step rendezvous inside a worker process. Same-task keys (both
@@ -94,6 +97,14 @@ class WorkerService {
   explicit WorkerService(const Options& options);
   ~WorkerService();
 
+  // Hosts a shared data service on this worker's RPC port: GetElement
+  // frames are answered by `handler` (distributed/data_service.h). Must be
+  // called before Start; without it GetElement answers FailedPrecondition.
+  // This is how a pipeline task is just another worker process — spawn
+  // worker_main with --data_files=... and point DataServiceClients at its
+  // port.
+  void AttachDataService(std::shared_ptr<DataServiceHandler> handler);
+
   // Binds the service socket (port 0 = ephemeral, see port()) and starts
   // answering RPCs.
   Status Start(int port);
@@ -125,6 +136,8 @@ class WorkerService {
                         std::shared_ptr<RpcServer::Responder> responder);
 
   Options options_;
+  // Answers GetElement when this worker doubles as the pipeline task.
+  std::shared_ptr<DataServiceHandler> data_service_;
   // Runs hub-recv completions (and through them, downstream executor
   // nodes). Declared before worker_/hub_ so it is destroyed after them: by
   // then the steps_ drain below guarantees it is idle.

@@ -650,6 +650,86 @@ Node* QueueClose(GraphBuilder* b, Output handle,
       .FinalizeNode();
 }
 
+Output RecordFileDataset(GraphBuilder* b,
+                         const std::vector<std::string>& filenames,
+                         const std::string& shared_name) {
+  return b->Op("RecordFileDataset")
+      .Attr("filenames", filenames)
+      .Attr("shared_name", shared_name)
+      .Finalize();
+}
+Output ParallelMapDataset(GraphBuilder* b, Output input,
+                          const std::string& map_fn, int64_t parallelism,
+                          const DataTypeVector& output_types,
+                          const std::string& shared_name) {
+  return b->Op("ParallelMapDataset")
+      .Input(input)
+      .Attr("map_fn", map_fn)
+      .Attr("parallelism", parallelism)
+      .Attr("output_types", output_types)
+      .Attr("shared_name", shared_name)
+      .Finalize();
+}
+Output ShuffleDataset(GraphBuilder* b, Output input, int64_t buffer_size,
+                      int64_t seed, const std::string& shared_name) {
+  return b->Op("ShuffleDataset")
+      .Input(input)
+      .Attr("buffer_size", buffer_size)
+      .Attr("seed", seed)
+      .Attr("shared_name", shared_name)
+      .Finalize();
+}
+Output RepeatDataset(GraphBuilder* b, Output input, int64_t count,
+                     const std::string& shared_name) {
+  return b->Op("RepeatDataset")
+      .Input(input)
+      .Attr("count", count)
+      .Attr("shared_name", shared_name)
+      .Finalize();
+}
+Output BatchDataset(GraphBuilder* b, Output input, int64_t batch_size,
+                    bool drop_remainder, const std::string& shared_name) {
+  return b->Op("BatchDataset")
+      .Input(input)
+      .Attr("batch_size", batch_size)
+      .Attr("drop_remainder", drop_remainder)
+      .Attr("shared_name", shared_name)
+      .Finalize();
+}
+Output PrefetchDataset(GraphBuilder* b, Output input, int64_t buffer_size,
+                       const std::string& shared_name) {
+  return b->Op("PrefetchDataset")
+      .Input(input)
+      .Attr("buffer_size", buffer_size)
+      .Attr("shared_name", shared_name)
+      .Finalize();
+}
+Output DataServiceDataset(GraphBuilder* b, int64_t port, int64_t consumer,
+                          int64_t num_consumers,
+                          const DataTypeVector& output_types,
+                          const std::string& shared_name) {
+  return b->Op("DataServiceDataset")
+      .Attr("port", port)
+      .Attr("consumer", consumer)
+      .Attr("num_consumers", num_consumers)
+      .Attr("output_types", output_types)
+      .Attr("shared_name", shared_name)
+      .Finalize();
+}
+std::vector<Output> IteratorGetNext(GraphBuilder* b, Output handle,
+                                    const DataTypeVector& output_types,
+                                    const std::string& name) {
+  NodeBuilder nb = b->Op("IteratorGetNext");
+  if (!name.empty()) nb.Name(name);
+  Node* node = nb.Input(handle).Attr("output_types", output_types)
+                   .FinalizeNode();
+  std::vector<Output> outs;
+  for (size_t i = 0; i < output_types.size(); ++i) {
+    outs.emplace_back(node, node == nullptr ? 0 : static_cast<int>(i));
+  }
+  return outs;
+}
+
 Node* Save(GraphBuilder* b, Output filename, Output tensor_names,
            const std::vector<Output>& tensors) {
   return b->Op("Save")

@@ -186,6 +186,37 @@ Output QueueSize(GraphBuilder* b, Output handle);
 Node* QueueClose(GraphBuilder* b, Output handle,
                  bool cancel_pending_enqueues = false);
 
+// --- Input pipelines (Figure 1; data/dataset.h) ---
+// Dataset ops output a string handle naming a DatasetResource; chain them
+// (RecordFile -> Repeat -> ParallelMap -> Shuffle -> Batch -> Prefetch)
+// and pull elements with IteratorGetNext. The whole chain must be
+// colocated on one device (handles resolve in the device resource mgr).
+Output RecordFileDataset(GraphBuilder* b,
+                         const std::vector<std::string>& filenames,
+                         const std::string& shared_name = "");
+Output ParallelMapDataset(GraphBuilder* b, Output input,
+                          const std::string& map_fn, int64_t parallelism,
+                          const DataTypeVector& output_types,
+                          const std::string& shared_name = "");
+Output ShuffleDataset(GraphBuilder* b, Output input, int64_t buffer_size,
+                      int64_t seed = 0, const std::string& shared_name = "");
+Output RepeatDataset(GraphBuilder* b, Output input, int64_t count = -1,
+                     const std::string& shared_name = "");
+Output BatchDataset(GraphBuilder* b, Output input, int64_t batch_size,
+                    bool drop_remainder = false,
+                    const std::string& shared_name = "");
+Output PrefetchDataset(GraphBuilder* b, Output input, int64_t buffer_size = 2,
+                       const std::string& shared_name = "");
+// Client of a shared data-service pipeline task (distributed transport):
+// consumer `consumer` of `num_consumers`, served round-robin.
+Output DataServiceDataset(GraphBuilder* b, int64_t port, int64_t consumer,
+                          int64_t num_consumers,
+                          const DataTypeVector& output_types,
+                          const std::string& shared_name = "");
+std::vector<Output> IteratorGetNext(GraphBuilder* b, Output handle,
+                                    const DataTypeVector& output_types,
+                                    const std::string& name = "");
+
 // --- Checkpointing (§4.3) ---
 Node* Save(GraphBuilder* b, Output filename, Output tensor_names,
            const std::vector<Output>& tensors);

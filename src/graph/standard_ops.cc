@@ -727,6 +727,80 @@ REGISTER_OP("QueueClose")
     .SetIsStateful();
 
 // ---------------------------------------------------------------------------
+// Input pipelines (paper Figure 1: Reader / preprocessing stages as graph
+// nodes — see data/dataset.h). Each dataset op publishes a DatasetResource
+// under its node name (or shared_name) and outputs a string handle; the
+// whole chain plus its IteratorGetNext must be colocated on one device.
+// All are stateful so the optimizer tier never folds, CSEs or prunes them.
+// ---------------------------------------------------------------------------
+
+REGISTER_OP("RecordFileDataset")
+    .Output("handle: string")
+    .Attr("filenames: list(string)")
+    .Attr("shared_name: string = ''")
+    .SetIsStateful();
+
+REGISTER_OP("ParallelMapDataset")
+    .Input("input_dataset: string")
+    .Output("handle: string")
+    .Attr("map_fn: string")
+    .Attr("parallelism: int = 4")
+    .Attr("output_types: list(type)")
+    .Attr("shared_name: string = ''")
+    .SetIsStateful();
+
+REGISTER_OP("ShuffleDataset")
+    .Input("input_dataset: string")
+    .Output("handle: string")
+    .Attr("buffer_size: int")
+    .Attr("seed: int = 0")
+    .Attr("shared_name: string = ''")
+    .SetIsStateful();
+
+REGISTER_OP("RepeatDataset")
+    .Input("input_dataset: string")
+    .Output("handle: string")
+    .Attr("count: int = -1")
+    .Attr("shared_name: string = ''")
+    .SetIsStateful();
+
+REGISTER_OP("BatchDataset")
+    .Input("input_dataset: string")
+    .Output("handle: string")
+    .Attr("batch_size: int")
+    .Attr("drop_remainder: bool = false")
+    .Attr("shared_name: string = ''")
+    .SetIsStateful();
+
+REGISTER_OP("PrefetchDataset")
+    .Input("input_dataset: string")
+    .Output("handle: string")
+    .Attr("buffer_size: int = 2")
+    .Attr("shared_name: string = ''")
+    .SetIsStateful();
+
+// Client of the shared data service (distributed/data_service.h): elements
+// come from a remote pipeline task over the rpc transport, round-robin by
+// consumer index.
+REGISTER_OP("DataServiceDataset")
+    .Output("handle: string")
+    .Attr("port: int")
+    .Attr("consumer: int")
+    .Attr("num_consumers: int")
+    .Attr("output_types: list(type)")
+    .Attr("shared_name: string = ''")
+    .SetIsStateful();
+
+// Pulls the next element from the dataset's iterator; OutOfRange at end of
+// sequence. The iterator lives on the kernel, so it persists across steps
+// and is torn down (cancelling blocked producers) at session close.
+REGISTER_OP("IteratorGetNext")
+    .Input("handle: string")
+    .Output("components: output_types")
+    .Attr("output_types: list(type)")
+    .SetIsStateful();
+
+// ---------------------------------------------------------------------------
 // Checkpointing (paper §4.3) and file I/O.
 // ---------------------------------------------------------------------------
 

@@ -1,0 +1,283 @@
+// Dataset op kernels (paper Figure 1: Reader/preprocessing stages in the
+// graph). Dataset creation ops build their dataset lazily at first Compute
+// — upstream handle inputs only resolve then — publish a DatasetResource
+// under node_name/shared_name, and output a string handle. IteratorGetNext
+// keeps its iterator in the device resource manager (IteratorResource,
+// keyed "<handle>/iterator"): stream position belongs to the device, so it
+// persists across steps and across sessions sharing the device (two
+// MasterSessions over one in-process cluster continue a single stream).
+// The iterator is cancelled when the resource manager is torn down with
+// its device, which unblocks producers parked on full buffers (the
+// teardown path the queue-cancellation satellite wires through
+// QueueResource::CancelAll / Close).
+
+#include "data/dataset.h"
+#include "runtime/device.h"
+
+namespace tfrepro {
+namespace {
+
+using data::DatasetBase;
+using data::DatasetResource;
+
+class DatasetOpKernel : public OpKernel {
+ public:
+  explicit DatasetOpKernel(OpKernelConstruction* ctx) : OpKernel(ctx) {
+    ctx->SetStatus(ctx->GetStringAttr("shared_name", &shared_name_));
+  }
+
+  void Compute(OpKernelContext* ctx) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!created_) {
+      std::shared_ptr<DatasetBase> dataset;
+      OP_REQUIRES_OK(ctx, CreateDataset(ctx, &dataset));
+      const std::string resource_name =
+          shared_name_.empty() ? name() : shared_name_;
+      Status s = ctx->device()->resource_mgr()->Create(
+          resource_name, std::make_shared<DatasetResource>(dataset));
+      if (s.code() == Code::kAlreadyExists) {
+        // Sharing by name, or a second session re-running the same node on
+        // a shared device: reuse the published dataset (one stream).
+        s = Status::OK();
+      }
+      OP_REQUIRES_OK(ctx, s);
+      handle_ = Tensor::Scalar(resource_name);
+      created_ = true;
+    }
+    ctx->set_output(0, handle_);
+  }
+
+  bool IsExpensive() const override { return false; }
+
+ protected:
+  virtual Status CreateDataset(OpKernelContext* ctx,
+                               std::shared_ptr<DatasetBase>* out) = 0;
+
+ private:
+  std::string shared_name_;
+  std::mutex mu_;
+  bool created_ = false;
+  Tensor handle_;
+};
+
+class RecordFileDatasetOp : public DatasetOpKernel {
+ public:
+  explicit RecordFileDatasetOp(OpKernelConstruction* ctx)
+      : DatasetOpKernel(ctx) {
+    ctx->SetStatus(ctx->GetStringListAttr("filenames", &filenames_));
+  }
+
+ protected:
+  Status CreateDataset(OpKernelContext* ctx,
+                       std::shared_ptr<DatasetBase>* out) override {
+    auto d = data::NewRecordFileDataset(filenames_);
+    if (!d.ok()) return d.status();
+    *out = std::move(d.value());
+    return Status::OK();
+  }
+
+ private:
+  std::vector<std::string> filenames_;
+};
+REGISTER_KERNEL("RecordFileDataset", kDeviceCpu, RecordFileDatasetOp);
+
+class ParallelMapDatasetOp : public DatasetOpKernel {
+ public:
+  explicit ParallelMapDatasetOp(OpKernelConstruction* ctx)
+      : DatasetOpKernel(ctx) {
+    ctx->SetStatus(ctx->GetStringAttr("map_fn", &map_fn_));
+    ctx->SetStatus(ctx->GetIntAttr("parallelism", &parallelism_));
+    ctx->SetStatus(ctx->GetTypeListAttr("output_types", &output_types_));
+  }
+
+ protected:
+  Status CreateDataset(OpKernelContext* ctx,
+                       std::shared_ptr<DatasetBase>* out) override {
+    auto input = data::LookupDataset(ctx, 0);
+    if (!input.ok()) return input.status();
+    auto d = data::NewParallelMapDataset(input.value(), map_fn_,
+                                         static_cast<int>(parallelism_),
+                                         output_types_);
+    if (!d.ok()) return d.status();
+    *out = std::move(d.value());
+    return Status::OK();
+  }
+
+ private:
+  std::string map_fn_;
+  int64_t parallelism_ = 4;
+  DataTypeVector output_types_;
+};
+REGISTER_KERNEL("ParallelMapDataset", kDeviceCpu, ParallelMapDatasetOp);
+
+class ShuffleDatasetOp : public DatasetOpKernel {
+ public:
+  explicit ShuffleDatasetOp(OpKernelConstruction* ctx) : DatasetOpKernel(ctx) {
+    ctx->SetStatus(ctx->GetIntAttr("buffer_size", &buffer_size_));
+    ctx->SetStatus(ctx->GetIntAttr("seed", &seed_));
+  }
+
+ protected:
+  Status CreateDataset(OpKernelContext* ctx,
+                       std::shared_ptr<DatasetBase>* out) override {
+    auto input = data::LookupDataset(ctx, 0);
+    if (!input.ok()) return input.status();
+    auto d = data::NewShuffleDataset(input.value(), buffer_size_,
+                                     static_cast<uint64_t>(seed_));
+    if (!d.ok()) return d.status();
+    *out = std::move(d.value());
+    return Status::OK();
+  }
+
+ private:
+  int64_t buffer_size_ = 0;
+  int64_t seed_ = 0;
+};
+REGISTER_KERNEL("ShuffleDataset", kDeviceCpu, ShuffleDatasetOp);
+
+class RepeatDatasetOp : public DatasetOpKernel {
+ public:
+  explicit RepeatDatasetOp(OpKernelConstruction* ctx) : DatasetOpKernel(ctx) {
+    ctx->SetStatus(ctx->GetIntAttr("count", &count_));
+  }
+
+ protected:
+  Status CreateDataset(OpKernelContext* ctx,
+                       std::shared_ptr<DatasetBase>* out) override {
+    auto input = data::LookupDataset(ctx, 0);
+    if (!input.ok()) return input.status();
+    auto d = data::NewRepeatDataset(input.value(), count_);
+    if (!d.ok()) return d.status();
+    *out = std::move(d.value());
+    return Status::OK();
+  }
+
+ private:
+  int64_t count_ = -1;
+};
+REGISTER_KERNEL("RepeatDataset", kDeviceCpu, RepeatDatasetOp);
+
+class BatchDatasetOp : public DatasetOpKernel {
+ public:
+  explicit BatchDatasetOp(OpKernelConstruction* ctx) : DatasetOpKernel(ctx) {
+    ctx->SetStatus(ctx->GetIntAttr("batch_size", &batch_size_));
+    ctx->SetStatus(ctx->GetBoolAttr("drop_remainder", &drop_remainder_));
+  }
+
+ protected:
+  Status CreateDataset(OpKernelContext* ctx,
+                       std::shared_ptr<DatasetBase>* out) override {
+    auto input = data::LookupDataset(ctx, 0);
+    if (!input.ok()) return input.status();
+    auto d = data::NewBatchDataset(input.value(), batch_size_, drop_remainder_);
+    if (!d.ok()) return d.status();
+    *out = std::move(d.value());
+    return Status::OK();
+  }
+
+ private:
+  int64_t batch_size_ = 0;
+  bool drop_remainder_ = false;
+};
+REGISTER_KERNEL("BatchDataset", kDeviceCpu, BatchDatasetOp);
+
+class PrefetchDatasetOp : public DatasetOpKernel {
+ public:
+  explicit PrefetchDatasetOp(OpKernelConstruction* ctx)
+      : DatasetOpKernel(ctx) {
+    ctx->SetStatus(ctx->GetIntAttr("buffer_size", &buffer_size_));
+  }
+
+ protected:
+  Status CreateDataset(OpKernelContext* ctx,
+                       std::shared_ptr<DatasetBase>* out) override {
+    auto input = data::LookupDataset(ctx, 0);
+    if (!input.ok()) return input.status();
+    auto d = data::NewPrefetchDataset(input.value(), buffer_size_);
+    if (!d.ok()) return d.status();
+    *out = std::move(d.value());
+    return Status::OK();
+  }
+
+ private:
+  int64_t buffer_size_ = 2;
+};
+REGISTER_KERNEL("PrefetchDataset", kDeviceCpu, PrefetchDatasetOp);
+
+// Pulls one element per invocation. GetNext may block the calling pool
+// thread (e.g. an empty prefetch buffer); that is safe against deadlock —
+// every dataset's internal production runs on private threads/pools, never
+// on the session pool — but pulls are serialized across concurrent steps
+// by iter_mu_, so one graph's input order is well-defined.
+class IteratorGetNextOp : public AsyncOpKernel {
+ public:
+  explicit IteratorGetNextOp(OpKernelConstruction* ctx) : AsyncOpKernel(ctx) {
+    ctx->SetStatus(ctx->GetTypeListAttr("output_types", &output_types_));
+  }
+
+  void ComputeAsync(OpKernelContext* ctx, DoneCallback done) override {
+    std::shared_ptr<data::IteratorResource> res;
+    {
+      std::lock_guard<std::mutex> lock(init_mu_);
+      if (resource_ == nullptr) {
+        Tensor handle = ctx->input(0);
+        OP_REQUIRES_ASYNC(ctx,
+                          BaseType(handle.dtype()) == DataType::kString &&
+                              handle.num_elements() >= 1,
+                          InvalidArgument("dataset handle must be a string"),
+                          done);
+        const std::string key = handle.str(0) + "/iterator";
+        auto* rm = ctx->device()->resource_mgr();
+        auto found = rm->Lookup<data::IteratorResource>(key);
+        if (!found.ok()) {
+          auto dataset = data::LookupDataset(ctx, 0);
+          OP_REQUIRES_OK_ASYNC(ctx, dataset.status(), done);
+          auto it = dataset.value()->MakeIterator();
+          OP_REQUIRES_OK_ASYNC(ctx, it.status(), done);
+          Status create = rm->Create(
+              key,
+              std::make_shared<data::IteratorResource>(std::move(it.value())));
+          // kAlreadyExists: another kernel published first; use theirs.
+          if (!create.ok() && create.code() != Code::kAlreadyExists) {
+            OP_REQUIRES_OK_ASYNC(ctx, create, done);
+          }
+          found = rm->Lookup<data::IteratorResource>(key);
+          OP_REQUIRES_OK_ASYNC(ctx, found.status(), done);
+        }
+        resource_ = found.value();
+      }
+      res = resource_;
+    }
+    std::lock_guard<std::mutex> lock(res->mu);
+    data::IteratorContext ictx;
+    ictx.cancellation = ctx->cancellation();
+    data::Element element;
+    bool end_of_sequence = false;
+    Status s = res->iterator->GetNext(&ictx, &element, &end_of_sequence);
+    OP_REQUIRES_OK_ASYNC(ctx, s, done);
+    if (end_of_sequence) {
+      ctx->SetStatus(OutOfRange("end of sequence"));
+      done();
+      return;
+    }
+    OP_REQUIRES_ASYNC(
+        ctx, static_cast<int>(element.size()) == ctx->num_outputs(),
+        InvalidArgument("iterator produced " + std::to_string(element.size()) +
+                        " components, op expects " +
+                        std::to_string(ctx->num_outputs())),
+        done);
+    for (int i = 0; i < ctx->num_outputs(); ++i) {
+      ctx->set_output(i, std::move(element[i]));
+    }
+    done();
+  }
+
+ private:
+  DataTypeVector output_types_;
+  std::mutex init_mu_;
+  std::shared_ptr<data::IteratorResource> resource_;
+};
+REGISTER_KERNEL("IteratorGetNext", kDeviceCpu, IteratorGetNextOp);
+
+}  // namespace
+}  // namespace tfrepro

@@ -249,6 +249,32 @@ void QueueResource::Close(bool cancel_pending_enqueues) {
   for (auto& action : actions) action();
 }
 
+void QueueResource::CancelAll(const Status& reason) {
+  std::vector<std::function<void()>> actions;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    while (!enqueue_waiters_.empty()) {
+      EnqueueWaiter w = std::move(enqueue_waiters_.front());
+      enqueue_waiters_.pop_front();
+      if (w.has_token) w.cm->DeregisterCallback(w.token);
+      actions.push_back([done = std::move(w.done), reason]() { done(reason); });
+    }
+    while (!dequeue_waiters_.empty()) {
+      DequeueWaiter w = std::move(dequeue_waiters_.front());
+      dequeue_waiters_.pop_front();
+      if (w.has_token) w.cm->DeregisterCallback(w.token);
+      // Return partially-collected rows so no element is lost.
+      for (auto it = w.rows.rbegin(); it != w.rows.rend(); ++it) {
+        buffer_.push_front(std::move(*it));
+        GetQueueMetrics().occupancy->Add(1);
+      }
+      actions.push_back(
+          [done = std::move(w.done), reason]() { done(reason, Tuple()); });
+    }
+  }
+  for (auto& action : actions) action();
+}
+
 int64_t QueueResource::Size() const {
   std::lock_guard<std::mutex> lock(mu_);
   return static_cast<int64_t>(buffer_.size());

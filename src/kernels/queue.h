@@ -45,6 +45,15 @@ class QueueResource : public ResourceBase {
                   DequeueCallback done);
 
   void Close(bool cancel_pending_enqueues);
+
+  // Fails every currently blocked enqueue and dequeue waiter with `reason`
+  // without closing the queue — the teardown hook for blocked dataset
+  // producers: Coordinator stop and session close call this so a producer
+  // parked on a full queue (or a consumer parked on an empty one) unblocks
+  // promptly instead of waiting for an explicit Close op to run. Partially
+  // collected dequeue rows go back to the buffer; buffered elements stay.
+  void CancelAll(const Status& reason);
+
   int64_t Size() const;
   bool is_closed() const;
 

@@ -119,6 +119,53 @@ TEST_P(QueuePropertyTest, CancellationRemovesWaiter) {
   EXPECT_EQ(queue->Size(), 1);
 }
 
+TEST_P(QueuePropertyTest, CancelAllFailsBlockedEnqueuersKeepsQueueOpen) {
+  if (GetParam().capacity < 0) GTEST_SKIP() << "unbounded: enqueue never blocks";
+  auto queue = MakeQueue();
+  for (int64_t i = 0; i < GetParam().capacity; ++i) {
+    queue->TryEnqueue(ScalarTuple(static_cast<float>(i)), nullptr,
+                      [](const Status&) {});
+  }
+  Status enq_status;
+  bool enq_done = false;
+  queue->TryEnqueue(ScalarTuple(99), nullptr, [&](const Status& s) {
+    enq_status = s;
+    enq_done = true;
+  });
+  EXPECT_FALSE(enq_done);  // full: parked
+  queue->CancelAll(Cancelled("session teardown"));
+  EXPECT_TRUE(enq_done);
+  EXPECT_EQ(enq_status.code(), Code::kCancelled);
+  // Unlike Close, CancelAll leaves the queue usable: buffered elements stay
+  // and fresh operations proceed.
+  EXPECT_EQ(queue->Size(), GetParam().capacity);
+  bool deq_ok = false;
+  queue->TryDequeue(1, false, nullptr,
+                    [&](const Status& s, const QueueResource::Tuple&) {
+                      deq_ok = s.ok();
+                    });
+  EXPECT_TRUE(deq_ok);
+}
+
+TEST_P(QueuePropertyTest, CancelAllFailsBlockedDequeuersWithoutLosingRows) {
+  auto queue = MakeQueue();
+  queue->TryEnqueue(ScalarTuple(1), nullptr, [](const Status&) {});
+  Status deq_status;
+  bool deq_done = false;
+  // Needs 3 rows, only 1 buffered: parks (possibly holding that row).
+  queue->TryDequeue(3, false, nullptr,
+                    [&](const Status& s, const QueueResource::Tuple&) {
+                      deq_status = s;
+                      deq_done = true;
+                    });
+  EXPECT_FALSE(deq_done);
+  queue->CancelAll(Cancelled("session teardown"));
+  EXPECT_TRUE(deq_done);
+  EXPECT_EQ(deq_status.code(), Code::kCancelled);
+  // Any partially-collected row went back into the buffer.
+  EXPECT_EQ(queue->Size(), 1);
+}
+
 INSTANTIATE_TEST_SUITE_P(
     Kinds, QueuePropertyTest,
     ::testing::Values(QueueParam{false, -1}, QueueParam{false, 4},
